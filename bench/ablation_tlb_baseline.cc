@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The introduction's premise, measured: a virtual-address cache vs. the
+ * conventional TLB + physical-cache machine on identical workloads.
+ *
+ *  - The TLB machine translates on *every* reference (a serial cycle,
+ *    plus page-table walks on TLB misses) but gets reference and dirty
+ *    bits for free.
+ *  - The SPUR machine translates only on cache misses but pays the
+ *    Section 3/4 bit-maintenance machinery.
+ *
+ * Reported: elapsed time, translation time, bit-maintenance events, and
+ * the net advantage — quantifying "virtual address caches generally
+ * provide faster access times than physical address caches".
+ *
+ * Flags: --refs=M (millions, default 6), --mem=MB (default 8), --seed=S
+ */
+#include <cstdio>
+
+#include "src/common/args.h"
+#include "src/common/table.h"
+#include "src/core/system.h"
+#include "src/core/tlb_system.h"
+#include "src/workload/driver.h"
+#include "src/workload/workloads.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace spur;
+    const Args args(argc, argv);
+    const uint64_t refs =
+        static_cast<uint64_t>(args.GetInt("refs", 6)) * 1'000'000ull;
+    const auto mem = static_cast<uint32_t>(args.GetInt("mem", 8));
+    const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 13));
+
+    Table t("Virtual-address cache (SPUR) vs. TLB + physical cache, "
+            "identical workloads at " + std::to_string(mem) + " MB");
+    t.SetHeader({"workload", "machine", "xlate (s)", "bit events",
+                 "bit-fault (s)", "page-ins", "elapsed (s)"});
+
+    for (const auto make_spec :
+         {&workload::MakeSlc, &workload::MakeWorkload1}) {
+        const workload::WorkloadSpec probe = make_spec();
+        double spur_elapsed = 0;
+        double tlb_elapsed = 0;
+        // SPUR machine.
+        {
+            sim::MachineConfig config = sim::MachineConfig::Prototype(mem);
+            config.page_in_us = 800.0;
+            core::SpurSystem machine(config, policy::DirtyPolicyKind::kSpur,
+                                     policy::RefPolicyKind::kMiss);
+            workload::Driver driver(machine, make_spec(), refs, seed);
+            driver.Run();
+            const auto& ev = machine.events();
+            const uint64_t bit_events =
+                ev.Get(sim::Event::kDirtyFault) +
+                ev.Get(sim::Event::kDirtyBitMiss) +
+                ev.Get(sim::Event::kRefFault) +
+                ev.Get(sim::Event::kRefClear);
+            const double bit_fault_s =
+                static_cast<double>(
+                    (ev.Get(sim::Event::kDirtyFault) +
+                     ev.Get(sim::Event::kRefFault)) *
+                    config.t_fault) *
+                config.cpu_cycle_ns * 1e-9;
+            spur_elapsed = machine.timing().ElapsedSeconds();
+            t.AddRow({probe.name, "SPUR (virtual cache)",
+                      Table::Num(
+                          machine.timing().Seconds(sim::TimeBucket::kXlate),
+                          2),
+                      Table::Num(bit_events), Table::Num(bit_fault_s, 2),
+                      Table::Num(ev.Get(sim::Event::kPageIn)),
+                      Table::Num(spur_elapsed, 2)});
+        }
+        // TLB machine.
+        {
+            sim::MachineConfig config = sim::MachineConfig::Prototype(mem);
+            config.page_in_us = 800.0;
+            core::TlbSystem machine(config);
+            workload::Driver driver(machine, make_spec(), refs, seed);
+            driver.Run();
+            const auto& ev = machine.events();
+            tlb_elapsed = machine.timing().ElapsedSeconds();
+            t.AddRow({"", "TLB + physical cache",
+                      Table::Num(
+                          machine.timing().Seconds(sim::TimeBucket::kXlate),
+                          2),
+                      Table::Num(ev.Get(sim::Event::kRefClear)),
+                      Table::Num(0.0, 2),
+                      Table::Num(ev.Get(sim::Event::kPageIn)),
+                      Table::Num(tlb_elapsed, 2)});
+        }
+        t.AddRow({"", "SPUR advantage", "", "", "", "",
+                  Table::Num(100.0 * (tlb_elapsed - spur_elapsed) /
+                                 (tlb_elapsed > 0 ? tlb_elapsed : 1),
+                             1) +
+                      "%"});
+        t.AddSeparator();
+    }
+    t.Print(stdout);
+    std::printf(
+        "\nThe TLB machine spends translation time on every reference;\n"
+        "the SPUR machine only on misses, buying back far more than its\n"
+        "bit-maintenance faults cost — the trade the paper's whole\n"
+        "investigation rests on.\n");
+    return 0;
+}

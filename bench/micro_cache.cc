@@ -1,0 +1,128 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks for the virtual cache's primitive
+ * operations: lookup hit/miss, fill, tag-checked page flush vs. SPUR's
+ * indexed flush, and the full system Access() hot path.
+ */
+#include <benchmark/benchmark.h>
+
+#include "src/cache/cache.h"
+#include "src/common/random.h"
+#include "src/core/system.h"
+#include "src/sim/config.h"
+#include "src/workload/process.h"
+
+namespace {
+
+using namespace spur;
+
+void
+BM_CacheLookupHit(benchmark::State& state)
+{
+    sim::MachineConfig config = sim::MachineConfig::Prototype(8);
+    cache::VirtualCache vcache(config);
+    for (GlobalAddr a = 0; a < config.cache_bytes; a += config.block_bytes) {
+        vcache.Fill(a, Protection::kReadWrite, true, nullptr);
+    }
+    Rng rng(1);
+    for (auto _ : state) {
+        const GlobalAddr addr = rng.NextBelow(config.cache_bytes);
+        benchmark::DoNotOptimize(vcache.Lookup(addr));
+    }
+}
+BENCHMARK(BM_CacheLookupHit);
+
+void
+BM_CacheLookupMiss(benchmark::State& state)
+{
+    sim::MachineConfig config = sim::MachineConfig::Prototype(8);
+    cache::VirtualCache vcache(config);
+    Rng rng(1);
+    for (auto _ : state) {
+        // Addresses beyond the filled range always miss on tag.
+        const GlobalAddr addr =
+            config.cache_bytes + rng.NextBelow(1 << 30);
+        benchmark::DoNotOptimize(vcache.Lookup(addr));
+    }
+}
+BENCHMARK(BM_CacheLookupMiss);
+
+void
+BM_CacheFill(benchmark::State& state)
+{
+    sim::MachineConfig config = sim::MachineConfig::Prototype(8);
+    cache::VirtualCache vcache(config);
+    Rng rng(1);
+    cache::Eviction eviction;
+    for (auto _ : state) {
+        const GlobalAddr addr = rng.NextBelow(uint64_t{1} << 32);
+        benchmark::DoNotOptimize(
+            &vcache.Fill(addr, Protection::kReadWrite, false, &eviction));
+    }
+}
+BENCHMARK(BM_CacheFill);
+
+void
+BM_FlushPageChecked(benchmark::State& state)
+{
+    sim::MachineConfig config = sim::MachineConfig::Prototype(8);
+    cache::VirtualCache vcache(config);
+    Rng rng(1);
+    for (auto _ : state) {
+        state.PauseTiming();
+        const GlobalAddr page = rng.NextBelow(256) * config.page_bytes;
+        for (uint64_t b = 0; b < config.BlocksPerPage(); b += 2) {
+            vcache.Fill(page + b * config.block_bytes,
+                        Protection::kReadWrite, true, nullptr);
+        }
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(vcache.FlushPageChecked(page));
+    }
+}
+BENCHMARK(BM_FlushPageChecked);
+
+void
+BM_FlushPageIndexed(benchmark::State& state)
+{
+    sim::MachineConfig config = sim::MachineConfig::Prototype(8);
+    cache::VirtualCache vcache(config);
+    Rng rng(1);
+    for (auto _ : state) {
+        state.PauseTiming();
+        const GlobalAddr page = rng.NextBelow(256) * config.page_bytes;
+        for (uint64_t b = 0; b < config.BlocksPerPage(); b += 2) {
+            vcache.Fill(page + b * config.block_bytes,
+                        Protection::kReadWrite, true, nullptr);
+        }
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(vcache.FlushPageIndexed(page));
+    }
+}
+BENCHMARK(BM_FlushPageIndexed);
+
+void
+BM_SystemAccessHot(benchmark::State& state)
+{
+    sim::MachineConfig config = sim::MachineConfig::Prototype(8);
+    core::SpurSystem system(config, policy::DirtyPolicyKind::kSpur,
+                            policy::RefPolicyKind::kMiss);
+    const Pid pid = system.CreateProcess();
+    system.MapRegion(pid, workload::kHeapBase, 64 * config.page_bytes,
+                     vm::PageKind::kHeap);
+    Rng rng(1);
+    // Confine to 16 pages so the simulated cache mostly hits: this
+    // measures the simulator's per-reference overhead on the fast path.
+    const uint32_t span = 16 * static_cast<uint32_t>(config.page_bytes);
+    for (auto _ : state) {
+        const auto offset =
+            static_cast<ProcessAddr>(rng.NextBelow(span) & ~3u);
+        system.Access(pid, workload::kHeapBase + offset,
+                      AccessType::kRead);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SystemAccessHot);
+
+}  // namespace
+
+BENCHMARK_MAIN();

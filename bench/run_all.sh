@@ -1,0 +1,13 @@
+#!/bin/sh
+# Regenerates every paper table/figure and ablation into stdout.
+# Usage: bench/run_all.sh [build_dir]
+set -e
+BUILD="${1:-build}"
+for b in "$BUILD"/bench/*; do
+    [ -x "$b" ] || continue
+    echo "==================================================================="
+    echo "== $(basename "$b")"
+    echo "==================================================================="
+    "$b"
+    echo
+done

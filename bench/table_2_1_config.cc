@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces Table 2.1 — "SPUR System Configuration" — from the live
+ * MachineConfig, and validates the derived timing quantities the rest of
+ * the evaluation depends on (block fetch latency, page-in cost).
+ */
+#include <cstdio>
+
+#include "src/common/args.h"
+#include "src/common/table.h"
+#include "src/sim/config.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace spur;
+    const Args args(argc, argv);
+    sim::MachineConfig config =
+        sim::MachineConfig::Prototype(
+            static_cast<uint32_t>(args.GetInt("memory-mb", 8)));
+
+    Table t("Table 2.1: SPUR System Configuration");
+    t.SetHeader({"Parameter", "Value"});
+    t.AddRow({"Processor Information", ""});
+    t.AddSeparator();
+    t.AddRow({"Cache Size",
+              std::to_string(config.cache_bytes / 1024) + " Kbytes"});
+    t.AddRow({"Associativity", "Direct Mapped"});
+    t.AddRow({"Block Size", std::to_string(config.block_bytes) + " bytes"});
+    t.AddRow({"Page Size",
+              std::to_string(config.page_bytes / 1024) + " Kbytes"});
+    t.AddRow({"Instruction Buffer", "Disabled"});
+    t.AddRow({"Processor cycle time",
+              Table::Num(config.cpu_cycle_ns, 0) + "ns"});
+    t.AddRow({"Backplane cycle time",
+              Table::Num(config.bus_cycle_ns, 0) + "ns"});
+    t.AddSeparator();
+    t.AddRow({"Memory Information", ""});
+    t.AddSeparator();
+    t.AddRow({"Time to first word",
+              std::to_string(config.mem_first_word_cycles) + " cycles"});
+    t.AddRow({"Time to next word",
+              std::to_string(config.mem_next_word_cycles) + " cycles"});
+    t.AddRow({"Main memory size",
+              std::to_string(config.memory_bytes / (1024 * 1024)) +
+                  " Mbytes"});
+    t.Print(stdout);
+
+    Table d("Derived timing quantities (checked by the test suite)");
+    d.SetHeader({"Quantity", "Value"});
+    d.AddRow({"Cache blocks", Table::Num(config.NumBlocks())});
+    d.AddRow({"Blocks per page", Table::Num(config.BlocksPerPage())});
+    d.AddRow({"Page frames", Table::Num(config.NumFrames())});
+    d.AddRow({"Block fetch (bus cycles)",
+              Table::Num(uint64_t{config.BlockFetchBusCycles()})});
+    d.AddRow({"Block fetch (CPU cycles)",
+              Table::Num(uint64_t{config.BlockFetchCycles()})});
+    d.AddRow({"Fault handler t_ds (cycles)",
+              Table::Num(uint64_t{config.t_fault})});
+    d.AddRow({"Page flush t_flush (cycles)",
+              Table::Num(uint64_t{config.t_flush_page})});
+    d.AddRow({"Dirty-bit miss t_dm (cycles)",
+              Table::Num(uint64_t{config.t_dirty_miss})});
+    d.AddRow({"Dirty check t_dc (cycles)",
+              Table::Num(uint64_t{config.t_dirty_check})});
+    d.Print(stdout);
+    return 0;
+}

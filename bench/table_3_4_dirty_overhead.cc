@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Reproduces Tables 3.1, 3.2 and 3.4 — the dirty-bit alternatives, the
+ * time parameters, and "Overhead of Dirty Bit Alternatives (Excluding
+ * Zero-Fills)".
+ *
+ * Like the paper, the overheads are computed by combining *measured*
+ * event frequencies (a run under the SPUR mechanism, which observes the
+ * necessary faults, dirty-bit misses, w-hits and w-misses without
+ * perturbing the cache) with the Section 3.2 cost models.  A second,
+ * mechanistic mode (--mechanistic) instead executes each policy for real
+ * and reports the simulator's actually-charged cycles, validating the
+ * analytic model.
+ *
+ * Flags: --reps=N, --refs=M (millions), --mechanistic, --csv, --seed=S
+ */
+#include <cstdio>
+#include <vector>
+
+#include "src/common/args.h"
+#include "src/common/table.h"
+#include "src/core/experiment.h"
+#include "src/core/overhead_model.h"
+#include "src/stats/summary.h"
+
+namespace {
+
+using namespace spur;
+
+constexpr policy::DirtyPolicyKind kOrder[] = {
+    policy::DirtyPolicyKind::kMin, policy::DirtyPolicyKind::kFault,
+    policy::DirtyPolicyKind::kFlush, policy::DirtyPolicyKind::kSpur,
+    policy::DirtyPolicyKind::kWrite,
+};
+
+void
+PrintPreamble()
+{
+    Table alt("Table 3.1: Dirty Bit Implementation Alternatives");
+    alt.SetHeader({"Policy", "Mechanism"});
+    alt.AddRow({"FAULT", "Emulate dirty bits with protection; writes to "
+                         "previously cached blocks cause excess faults."});
+    alt.AddRow({"FLUSH", "Emulate with protection; flush the page from "
+                         "the cache on a fault, preventing excess faults."});
+    alt.AddRow({"SPUR", "Cache the dirty bit with each block; check the "
+                        "PTE before faulting; refresh stale copies with a "
+                        "dirty bit miss."});
+    alt.AddRow({"WRITE", "Check the PTE on the first write to each cache "
+                         "block."});
+    alt.AddRow({"MIN", "Minimal policy: only the intrinsic overhead."});
+    alt.Print(stdout);
+    std::printf("\n");
+
+    const sim::MachineConfig config = sim::MachineConfig::Prototype(8);
+    Table tp("Table 3.2: Time Parameters");
+    tp.SetHeader({"Parameter", "Cycle Count", "Description"});
+    tp.AddRow({"t_ds", Table::Num(uint64_t{config.t_fault}),
+               "Time for handler to set dirty bit"});
+    tp.AddRow({"t_flush", Table::Num(uint64_t{config.t_flush_page}),
+               "Time to flush page from cache"});
+    tp.AddRow({"t_dm", Table::Num(uint64_t{config.t_dirty_miss}),
+               "Time to update cached dirty bit"});
+    tp.AddRow({"t_dc", Table::Num(uint64_t{config.t_dirty_check}),
+               "Time to check PTE dirty bit"});
+    tp.Print(stdout);
+    std::printf("\n");
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    const Args args(argc, argv);
+    const auto reps = static_cast<uint32_t>(args.GetInt("reps", 1));
+    const uint64_t refs =
+        static_cast<uint64_t>(args.GetInt("refs", 0)) * 1'000'000ull;
+    const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+    const bool mechanistic = args.Has("mechanistic");
+
+    if (!args.Has("csv")) {
+        PrintPreamble();
+    }
+
+    Table t(mechanistic
+                ? "Table 3.4 (mechanistic): measured dirty-bit cycles per "
+                  "policy, zero-fill faults excluded analytically"
+                : "Table 3.4: Overhead of Dirty Bit Alternatives "
+                  "(Excluding Zero-Fills), millions of cycles (relative "
+                  "to MIN)");
+    t.SetHeader({"Workload", "Memory (MB)", "MIN", "FAULT", "FLUSH", "SPUR",
+                 "WRITE"});
+
+    const sim::MachineConfig model_config = sim::MachineConfig::Prototype(8);
+    const core::OverheadModel model(model_config);
+
+    const char* last_workload = nullptr;
+    for (const core::WorkloadId workload :
+         {core::WorkloadId::kSlc, core::WorkloadId::kWorkload1}) {
+        for (const uint32_t mb : {5u, 6u, 8u}) {
+            std::vector<double> cycles(std::size(kOrder), 0.0);
+            if (!mechanistic) {
+                // Paper mode: one measurement run (SPUR mechanism), then
+                // the analytic models.
+                core::RunConfig config;
+                config.workload = workload;
+                config.memory_mb = mb;
+                config.dirty = policy::DirtyPolicyKind::kSpur;
+                config.ref = policy::RefPolicyKind::kMiss;
+                config.refs = refs;
+                config.seed = seed;
+                stats::Summary per_policy[std::size(kOrder)];
+                const auto results = core::RunMatrix({config}, reps);
+                const double scale = core::RefCompression(workload);
+                for (const core::RunResult& r : results[0]) {
+                    // Per-reference event counts are rescaled to
+                    // prototype-equivalent run lengths (see
+                    // core::RefCompression); per-page counts are already
+                    // at prototype scale by calibration.
+                    core::EventFrequencies f = r.frequencies;
+                    f.n_w_hit = static_cast<uint64_t>(
+                        static_cast<double>(f.n_w_hit) * scale);
+                    f.n_w_miss = static_cast<uint64_t>(
+                        static_cast<double>(f.n_w_miss) * scale);
+                    for (size_t p = 0; p < std::size(kOrder); ++p) {
+                        per_policy[p].Add(model.Overhead(
+                            kOrder[p], f,
+                            /*exclude_zfod=*/true));
+                    }
+                }
+                for (size_t p = 0; p < std::size(kOrder); ++p) {
+                    cycles[p] = per_policy[p].Mean();
+                }
+            } else {
+                // Validation mode: run each policy for real and read the
+                // cycles the simulator charged to the dirty-bit buckets.
+                // Zero-fill fault costs are excluded the same way the
+                // paper's table does, by subtracting N_zfod * t_ds.
+                std::vector<core::RunConfig> configs;
+                for (const policy::DirtyPolicyKind dirty : kOrder) {
+                    core::RunConfig config;
+                    config.workload = workload;
+                    config.memory_mb = mb;
+                    config.dirty = dirty;
+                    config.ref = policy::RefPolicyKind::kMiss;
+                    config.refs = refs;
+                    config.seed = seed;
+                    configs.push_back(config);
+                }
+                const auto results = core::RunMatrix(configs, reps);
+                for (size_t p = 0; p < std::size(kOrder); ++p) {
+                    stats::Summary sum;
+                    for (const core::RunResult& r : results[p]) {
+                        const double fault_s = r.bucket_seconds[
+                            static_cast<size_t>(sim::TimeBucket::kFault)];
+                        const double flush_s = r.bucket_seconds[
+                            static_cast<size_t>(sim::TimeBucket::kFlush)];
+                        const double aux_s = r.bucket_seconds[
+                            static_cast<size_t>(sim::TimeBucket::kDirtyAux)];
+                        const double cycle_ns = model_config.cpu_cycle_ns;
+                        double total =
+                            (fault_s + flush_s + aux_s) * 1e9 / cycle_ns;
+                        // Remove costs that are not dirty-bit overhead:
+                        // ref faults, zero-fill faults, page-fault
+                        // software, and the VM's reclaim flushes.
+                        total -= static_cast<double>(
+                            r.events.Get(sim::Event::kRefFault) *
+                            model_config.t_fault);
+                        total -= static_cast<double>(
+                            r.events.Get(sim::Event::kDirtyFaultZfod) *
+                            model_config.t_fault);
+                        total -= static_cast<double>(
+                            r.events.Get(sim::Event::kPageFault) *
+                            model_config.t_pagefault_sw);
+                        total -= static_cast<double>(
+                            r.events.Get(sim::Event::kPageFlush) *
+                            model_config.t_flush_page);
+                        sum.Add(total);
+                    }
+                    cycles[p] = sum.Mean();
+                }
+            }
+
+            const double min_cycles = (cycles[0] > 0) ? cycles[0] : 1.0;
+            std::vector<std::string> row = {ToString(workload),
+                                            std::to_string(mb)};
+            for (size_t p = 0; p < std::size(kOrder); ++p) {
+                row.push_back(Table::Num(cycles[p] / 1e6, 2) + " " +
+                              Table::Rel(cycles[p] / min_cycles));
+            }
+            const char* name = ToString(workload);
+            if (last_workload != nullptr && name != last_workload) {
+                t.AddSeparator();
+            }
+            last_workload = name;
+            t.AddRow(row);
+        }
+    }
+
+    if (args.Has("csv")) {
+        t.PrintCsv(stdout);
+    } else {
+        t.Print(stdout);
+        std::printf(
+            "\nShape checks vs. the paper: MIN < SPUR (~1.03) < FAULT "
+            "(~1.15-1.35)\n< FLUSH (1.50) << WRITE (5-10x).  Hardware "
+            "support buys at most a\nfew tens of percent of a tiny "
+            "overhead: FAULT needs no hardware at all.\n");
+    }
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Reproduces Table 4.1 — "Reference Bit Results" — by running both
+ * workloads at 5, 6 and 8 MB under each of the three reference-bit
+ * policies (MISS / REF / NOREF), with repetitions in randomized order as
+ * in the paper's experiment design.  Reports page-ins and elapsed time,
+ * each with the percentage relative to MISS at the same point.
+ *
+ * Flags: --reps=N (default 3; the paper used 5), --refs=M (millions),
+ *        --csv, --seed=S
+ */
+#include <cstdio>
+#include <vector>
+
+#include "src/common/args.h"
+#include "src/common/table.h"
+#include "src/core/experiment.h"
+#include "src/stats/summary.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace spur;
+    const Args args(argc, argv);
+    const auto reps = static_cast<uint32_t>(args.GetInt("reps", 3));
+    const uint64_t refs =
+        static_cast<uint64_t>(args.GetInt("refs", 0)) * 1'000'000ull;
+    const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+
+    const policy::RefPolicyKind order[] = {policy::RefPolicyKind::kMiss,
+                                           policy::RefPolicyKind::kRef,
+                                           policy::RefPolicyKind::kNoRef};
+
+    std::vector<core::RunConfig> configs;
+    for (const core::WorkloadId workload :
+         {core::WorkloadId::kSlc, core::WorkloadId::kWorkload1}) {
+        for (const uint32_t mb : {5u, 6u, 8u}) {
+            for (const policy::RefPolicyKind ref : order) {
+                core::RunConfig config;
+                config.workload = workload;
+                config.memory_mb = mb;
+                config.dirty = policy::DirtyPolicyKind::kSpur;
+                config.ref = ref;
+                config.refs = refs;
+                config.seed = seed;
+                configs.push_back(config);
+            }
+        }
+    }
+
+    const auto results = core::RunMatrix(configs, reps);
+
+    Table t("Table 4.1: Reference Bit Results (elapsed time in scaled "
+            "seconds; percentages relative to MISS)");
+    t.SetHeader({"Workload", "Memory (MB)", "Policy", "Page-Ins", "",
+                 "Elapsed (s)", ""});
+
+    for (size_t i = 0; i < configs.size(); i += 3) {
+        stats::Summary page_ins[3], elapsed[3];
+        for (size_t p = 0; p < 3; ++p) {
+            for (const core::RunResult& r : results[i + p]) {
+                page_ins[p].Add(static_cast<double>(r.page_ins));
+                elapsed[p].Add(r.elapsed_seconds);
+            }
+        }
+        const double miss_pi = page_ins[0].Mean();
+        const double miss_el = elapsed[0].Mean();
+        for (size_t p = 0; p < 3; ++p) {
+            const char* policy_name = ToString(order[p]);
+            t.AddRow({p == 0 ? ToString(configs[i].workload) : "",
+                      p == 0 ? std::to_string(configs[i].memory_mb) : "",
+                      policy_name,
+                      Table::Num(static_cast<uint64_t>(page_ins[p].Mean())),
+                      "(" + Table::Num(100.0 * page_ins[p].Mean() /
+                                           (miss_pi > 0 ? miss_pi : 1),
+                                       0) +
+                          "%)",
+                      Table::Num(elapsed[p].Mean(), 0),
+                      "(" + Table::Num(100.0 * elapsed[p].Mean() /
+                                           (miss_el > 0 ? miss_el : 1),
+                                       0) +
+                          "%)"});
+        }
+        t.AddSeparator();
+    }
+
+    if (args.Has("csv")) {
+        t.PrintCsv(stdout);
+    } else {
+        t.Print(stdout);
+        std::printf(
+            "\nShape checks vs. the paper: NOREF generates substantially\n"
+            "more page-ins at 5-6 MB but converges at 8 MB; REF's page-in\n"
+            "savings never pay for its flush overhead, so MISS has the\n"
+            "best (or near-best) elapsed time everywhere.\n");
+    }
+    return 0;
+}

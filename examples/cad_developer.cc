@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The paper's motivating scenario: a CAD tool developer's session
+ * (WORKLOAD1) with espresso optimizing a PLA in the background, compared
+ * across all five dirty-bit alternatives at one memory size.
+ *
+ * Demonstrates the mechanistic mode: each policy is actually executed,
+ * not modelled, and the per-bucket elapsed-time breakdown shows where
+ * the cycles go.
+ *
+ * Usage: example_cad_developer [memory_mb] [million_refs]
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/table.h"
+#include "src/core/system.h"
+#include "src/workload/driver.h"
+#include "src/workload/workloads.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace spur;
+    const uint32_t memory_mb = (argc > 1) ? std::atoi(argv[1]) : 6;
+    const uint64_t refs =
+        ((argc > 2) ? std::atoll(argv[2]) : 8) * 1'000'000ull;
+
+    Table t("CAD developer session (WORKLOAD1) at " +
+            std::to_string(memory_mb) + " MB, " +
+            std::to_string(refs / 1'000'000) + "M refs, per dirty policy");
+    t.SetHeader({"policy", "dirty faults", "excess faults",
+                 "dirty-bit misses", "PTE checks", "fault time (s)",
+                 "flush time (s)", "elapsed (s)"});
+
+    for (const policy::DirtyPolicyKind kind :
+         {policy::DirtyPolicyKind::kMin, policy::DirtyPolicyKind::kFault,
+          policy::DirtyPolicyKind::kFlush, policy::DirtyPolicyKind::kSpur,
+          policy::DirtyPolicyKind::kWrite}) {
+        sim::MachineConfig config = sim::MachineConfig::Prototype(memory_mb);
+        config.page_in_us = 800.0;  // Scaled paging (see DESIGN.md).
+        core::SpurSystem system(config, kind,
+                                policy::RefPolicyKind::kMiss);
+        workload::Driver driver(system, workload::MakeWorkload1(), refs,
+                                /*seed=*/11);
+        driver.Run();
+        const auto& ev = system.events();
+        t.AddRow({ToString(kind),
+                  Table::Num(ev.Get(sim::Event::kDirtyFault)),
+                  Table::Num(ev.Get(sim::Event::kExcessFault)),
+                  Table::Num(ev.Get(sim::Event::kDirtyBitMiss)),
+                  Table::Num(ev.Get(sim::Event::kDirtyCheck)),
+                  Table::Num(system.timing().Seconds(sim::TimeBucket::kFault),
+                             2),
+                  Table::Num(system.timing().Seconds(sim::TimeBucket::kFlush),
+                             2),
+                  Table::Num(system.timing().ElapsedSeconds(), 2)});
+    }
+    t.Print(stdout);
+    std::printf(
+        "\nThe FAULT policy's excess faults equal the SPUR policy's\n"
+        "dirty-bit misses: the same stale-cached-state events, paid for\n"
+        "at t_ds=1000 vs t_dm=25 cycles.  FLUSH shows zero excess faults\n"
+        "but pays a page flush per necessary fault.\n");
+    return 0;
+}

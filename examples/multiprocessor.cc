@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Drives the 4-CPU SPUR multiprocessor: four workers sharing a result
+ * segment under the Berkeley Ownership protocol, showing the coherency
+ * traffic and the shared dirty-fault machinery (one fault per page for
+ * the whole machine, because the PTE is shared).
+ *
+ * Usage: example_multiprocessor [cpus] [million_refs]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/table.h"
+#include "src/core/mp_system.h"
+#include "src/workload/process.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace spur;
+    const unsigned cpus =
+        (argc > 1) ? static_cast<unsigned>(std::atoi(argv[1])) : 4;
+    const uint64_t refs =
+        ((argc > 2) ? std::atoll(argv[2]) : 2) * 1'000'000ull;
+
+    sim::MachineConfig config = sim::MachineConfig::Prototype(8);
+    core::MpSpurSystem machine(config, cpus,
+                               policy::DirtyPolicyKind::kSpur,
+                               policy::RefPolicyKind::kMiss);
+    const uint64_t page = config.page_bytes;
+
+    // Workers: private heaps, plus one segment shared with worker 0.
+    std::vector<Pid> pids(cpus);
+    for (unsigned cpu = 0; cpu < cpus; ++cpu) {
+        pids[cpu] = machine.CreateProcess();
+        machine.MapRegion(pids[cpu], workload::kHeapBase, 256 * page,
+                          vm::PageKind::kHeap);
+        if (cpu == 0) {
+            machine.MapRegion(pids[0], workload::kStackBase, 64 * page,
+                              vm::PageKind::kHeap);
+        } else {
+            machine.ShareSegment(pids[cpu], 3, pids[0], 3);
+        }
+    }
+
+    Rng rng(17);
+    for (uint64_t i = 0; i < refs / cpus; ++i) {
+        for (unsigned cpu = 0; cpu < cpus; ++cpu) {
+            const bool shared = rng.Chance(0.3);
+            const ProcessAddr base =
+                shared ? workload::kStackBase : workload::kHeapBase;
+            const uint32_t span = shared ? 64 : 256;
+            const ProcessAddr addr =
+                base +
+                static_cast<ProcessAddr>(rng.NextZipf(span, 0.8) * page +
+                                         rng.NextBelow(128) * 32);
+            machine.Access(cpu, MemRef{pids[cpu], addr,
+                                       rng.Chance(0.15)
+                                           ? AccessType::kWrite
+                                           : AccessType::kRead});
+        }
+    }
+
+    const auto& ev = machine.events();
+    Table t(std::to_string(cpus) +
+            "-CPU SPUR multiprocessor, 30% shared references");
+    t.SetHeader({"quantity", "count"});
+    t.AddRow({"total refs", Table::Num(ev.TotalRefs())});
+    t.AddRow({"misses", Table::Num(ev.TotalMisses())});
+    t.AddRow({"bus reads", Table::Num(ev.Get(sim::Event::kBusRead))});
+    t.AddRow({"bus read-owned",
+              Table::Num(ev.Get(sim::Event::kBusReadOwned))});
+    t.AddRow({"ownership upgrades",
+              Table::Num(ev.Get(sim::Event::kBusUpgrade))});
+    t.AddRow({"cache-to-cache supplies",
+              Table::Num(ev.Get(sim::Event::kBusCacheToCache))});
+    t.AddRow({"peer invalidations",
+              Table::Num(ev.Get(sim::Event::kBusInvalidation))});
+    t.AddRow({"dirty faults (shared PTEs: once per page)",
+              Table::Num(ev.Get(sim::Event::kDirtyFault))});
+    t.AddRow({"dirty-bit misses (stale peer copies)",
+              Table::Num(ev.Get(sim::Event::kDirtyBitMiss))});
+    t.Print(stdout);
+    std::printf(
+        "\nNote the dirty-bit misses: a peer CPU caching a block while\n"
+        "the page was clean later writes it after another CPU took the\n"
+        "fault — exactly the cross-processor staleness the SPUR scheme's\n"
+        "check-the-PTE-before-faulting rule was designed for.\n");
+    return 0;
+}

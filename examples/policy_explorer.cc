@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Sweeps the full policy cross-product (5 dirty x 3 reference) over a
+ * memory-size range on one workload and prints a compact grid — the
+ * "what if" explorer for the paper's entire design space.
+ *
+ * Usage: example_policy_explorer [w1|slc] [million_refs] [mem_mb ...]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/core/experiment.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace spur;
+    core::WorkloadId workload = core::WorkloadId::kWorkload1;
+    if (argc > 1 && std::strcmp(argv[1], "slc") == 0) {
+        workload = core::WorkloadId::kSlc;
+    }
+    const uint64_t refs =
+        ((argc > 2) ? std::atoll(argv[2]) : 6) * 1'000'000ull;
+    std::vector<uint32_t> memories;
+    for (int i = 3; i < argc; ++i) {
+        memories.push_back(static_cast<uint32_t>(std::atoi(argv[i])));
+    }
+    if (memories.empty()) {
+        memories = {5, 8};
+    }
+
+    const policy::DirtyPolicyKind dirty_kinds[] = {
+        policy::DirtyPolicyKind::kMin, policy::DirtyPolicyKind::kFault,
+        policy::DirtyPolicyKind::kFlush, policy::DirtyPolicyKind::kSpur,
+        policy::DirtyPolicyKind::kWrite};
+    const policy::RefPolicyKind ref_kinds[] = {
+        policy::RefPolicyKind::kMiss, policy::RefPolicyKind::kRef,
+        policy::RefPolicyKind::kNoRef};
+
+    for (const uint32_t mb : memories) {
+        Table t(std::string(ToString(workload)) + " @ " +
+                std::to_string(mb) +
+                " MB: elapsed seconds (page-ins) per policy pair");
+        t.SetHeader({"dirty \\ ref", "MISS", "REF", "NOREF"});
+        for (const auto dirty : dirty_kinds) {
+            std::vector<std::string> row = {ToString(dirty)};
+            for (const auto ref : ref_kinds) {
+                core::RunConfig config;
+                config.workload = workload;
+                config.memory_mb = mb;
+                config.dirty = dirty;
+                config.ref = ref;
+                config.refs = refs;
+                const core::RunResult r = core::RunOnce(config);
+                row.push_back(Table::Num(r.elapsed_seconds, 1) + " (" +
+                              Table::Num(r.page_ins) + ")");
+            }
+            t.AddRow(row);
+        }
+        t.Print(stdout);
+        std::printf("\n");
+    }
+    std::printf("The dirty-bit choice barely moves the totals (its\n"
+                "overhead is sub-1%% of elapsed time); the reference-bit\n"
+                "choice dominates through its effect on page-ins.\n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Quickstart: build a SPUR machine, run a small synthetic workload, and
+ * print the event counters and the elapsed-time breakdown.
+ *
+ * Usage: example_quickstart [memory_mb] [million_refs]
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/table.h"
+#include "src/core/system.h"
+#include "src/sim/config.h"
+#include "src/workload/driver.h"
+#include "src/workload/workloads.h"
+
+int
+main(int argc, char** argv)
+{
+    const uint32_t memory_mb = (argc > 1) ? std::atoi(argv[1]) : 8;
+    const uint64_t refs =
+        ((argc > 2) ? std::atoll(argv[2]) : 4) * 1'000'000ull;
+
+    using namespace spur;
+
+    // 1. Configure the prototype machine (Table 2.1 defaults).
+    sim::MachineConfig config = sim::MachineConfig::Prototype(memory_mb);
+
+    // 2. Build the system with the policies SPUR shipped with.
+    core::SpurSystem system(config, policy::DirtyPolicyKind::kSpur,
+                            policy::RefPolicyKind::kMiss);
+
+    // 3. Run a slice of the CAD-developer workload.
+    workload::Driver driver(system, workload::MakeWorkload1(), refs,
+                            /*seed=*/1);
+    driver.Run();
+
+    // 4. Report.
+    const sim::EventCounts& ev = system.events();
+    Table t("Quickstart: " + std::to_string(memory_mb) + " MB, " +
+            std::to_string(refs / 1'000'000) + "M refs, SPUR dirty policy, "
+            "MISS ref policy");
+    t.SetHeader({"event", "count"});
+    auto row = [&](const char* name, sim::Event e) {
+        t.AddRow({name, Table::Num(ev.Get(e))});
+    };
+    t.AddRow({"total refs", Table::Num(ev.TotalRefs())});
+    t.AddRow({"total misses", Table::Num(ev.TotalMisses())});
+    row("dirty faults (N_ds)", sim::Event::kDirtyFault);
+    row("  of which zero-fill (N_zfod)", sim::Event::kDirtyFaultZfod);
+    row("dirty-bit misses (N_dm)", sim::Event::kDirtyBitMiss);
+    row("write hits on clean blocks (N_w-hit)",
+        sim::Event::kWriteHitCleanBlock);
+    row("write-miss fills (N_w-miss)", sim::Event::kWriteMissFill);
+    row("ref faults", sim::Event::kRefFault);
+    row("ref clears", sim::Event::kRefClear);
+    row("page faults", sim::Event::kPageFault);
+    row("page-ins", sim::Event::kPageIn);
+    row("zero fills", sim::Event::kZeroFill);
+    row("dirty page-outs", sim::Event::kPageOutDirty);
+    row("clean reclaims", sim::Event::kPageReclaimClean);
+    row("daemon sweeps", sim::Event::kDaemonSweep);
+    row("context switches", sim::Event::kContextSwitch);
+    t.Print(stdout);
+
+    Table b("Elapsed time breakdown");
+    b.SetHeader({"bucket", "seconds"});
+    for (size_t i = 0; i < sim::kNumTimeBuckets; ++i) {
+        const auto bucket = static_cast<sim::TimeBucket>(i);
+        b.AddRow({ToString(bucket),
+                  Table::Num(system.timing().Seconds(bucket), 3)});
+    }
+    b.AddRow({"TOTAL", Table::Num(system.timing().ElapsedSeconds(), 3)});
+    b.Print(stdout);
+    return 0;
+}

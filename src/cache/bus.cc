@@ -1,0 +1,98 @@
+#include "src/cache/bus.h"
+
+#include "src/common/log.h"
+
+namespace spur::cache {
+
+unsigned
+SnoopBus::Attach(VirtualCache* vcache)
+{
+    if (vcache == nullptr) {
+        Panic("SnoopBus: null cache");
+    }
+    caches_.push_back(vcache);
+    return static_cast<unsigned>(caches_.size() - 1);
+}
+
+BusResult
+SnoopBus::Read(GlobalAddr addr, unsigned requester)
+{
+    events_.Add(sim::Event::kBusRead);
+    BusResult result;
+    for (unsigned port = 0; port < caches_.size(); ++port) {
+        if (port == requester) {
+            continue;
+        }
+        Line* line = caches_[port]->Lookup(addr);
+        if (line == nullptr) {
+            continue;
+        }
+        if (line->state == CoherencyState::kOwnedExclusive ||
+            line->state == CoherencyState::kOwnedShared) {
+            // The owner supplies the block and admits sharers; it keeps
+            // ownership (and the writeback responsibility).
+            result.supplied_by_cache = true;
+            events_.Add(sim::Event::kBusCacheToCache);
+            line->state = CoherencyState::kOwnedShared;
+        }
+        // UnOwned peers are unaffected by a read.
+    }
+    return result;
+}
+
+BusResult
+SnoopBus::ReadOwned(GlobalAddr addr, unsigned requester)
+{
+    events_.Add(sim::Event::kBusReadOwned);
+    BusResult result;
+    for (unsigned port = 0; port < caches_.size(); ++port) {
+        if (port == requester) {
+            continue;
+        }
+        Line* line = caches_[port]->Lookup(addr);
+        if (line == nullptr) {
+            continue;
+        }
+        if (line->state == CoherencyState::kOwnedExclusive ||
+            line->state == CoherencyState::kOwnedShared) {
+            // The owner supplies the latest data directly to the new
+            // owner; no memory update is needed (ownership transfers).
+            result.supplied_by_cache = true;
+            events_.Add(sim::Event::kBusCacheToCache);
+        }
+        ++result.invalidations;
+        events_.Add(sim::Event::kBusInvalidation);
+        *line = Line{};
+    }
+    return result;
+}
+
+BusResult
+SnoopBus::Upgrade(GlobalAddr addr, unsigned requester)
+{
+    events_.Add(sim::Event::kBusUpgrade);
+    BusResult result;
+    for (unsigned port = 0; port < caches_.size(); ++port) {
+        if (port == requester) {
+            continue;
+        }
+        Line* line = caches_[port]->Lookup(addr);
+        if (line == nullptr) {
+            continue;
+        }
+        if (line->state == CoherencyState::kOwnedExclusive ||
+            line->state == CoherencyState::kOwnedShared) {
+            // The requester holds an UnOwned copy while a peer owns the
+            // dirty block: ownership (and the latest data) transfers over
+            // the bus as part of the upgrade.
+            result.supplied_by_cache = true;
+            events_.Add(sim::Event::kBusCacheToCache);
+        }
+        ++result.invalidations;
+        events_.Add(sim::Event::kBusInvalidation);
+        *line = Line{};
+    }
+    return result;
+}
+
+}  // namespace spur::cache

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The SPUR backplane: a snooping bus running the Berkeley Ownership
+ * protocol [Katz85] across up to twelve processor caches.
+ *
+ * Protocol summary (states per cache line, see cache.h):
+ *   Invalid          no copy;
+ *   UnOwned          clean copy, memory is up to date, may be shared;
+ *   OwnedShared      dirty copy, this cache owns it, peers may hold
+ *                    UnOwned copies; owner must supply data and
+ *                    eventually write back;
+ *   OwnedExclusive   dirty copy, no other copies exist.
+ *
+ * Transactions:
+ *   Read       a read miss: the owner (if any) supplies the block and
+ *              drops to OwnedShared; otherwise memory supplies. The
+ *              requester fills UnOwned.
+ *   ReadOwned  a write miss: every peer invalidates its copy; a dirty
+ *              owner supplies the block. The requester fills
+ *              OwnedExclusive.
+ *   Upgrade    a write hit on a non-exclusive line: peers invalidate,
+ *              the writer promotes to OwnedExclusive. No data moves.
+ *
+ * Ownership writebacks to memory happen on eviction/flush, exactly as in
+ * the uniprocessor model.
+ */
+#ifndef SPUR_CACHE_BUS_H_
+#define SPUR_CACHE_BUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cache/cache.h"
+#include "src/common/types.h"
+#include "src/sim/events.h"
+
+namespace spur::cache {
+
+/** Outcome of one bus transaction. */
+struct BusResult {
+    bool supplied_by_cache = false;  ///< An owner provided the block.
+    uint32_t invalidations = 0;      ///< Peer copies invalidated.
+};
+
+/** The shared snooping bus. */
+class SnoopBus
+{
+  public:
+    explicit SnoopBus(sim::EventCounts& events) : events_(events) {}
+
+    SnoopBus(const SnoopBus&) = delete;
+    SnoopBus& operator=(const SnoopBus&) = delete;
+
+    /** Registers a processor's cache; returns its port number. */
+    unsigned Attach(VirtualCache* vcache);
+
+    /** Number of attached caches. */
+    unsigned NumPorts() const
+    {
+        return static_cast<unsigned>(caches_.size());
+    }
+
+    /** Read-miss transaction for @p addr issued by port @p requester. */
+    BusResult Read(GlobalAddr addr, unsigned requester);
+
+    /** Write-miss (read-with-ownership) transaction. */
+    BusResult ReadOwned(GlobalAddr addr, unsigned requester);
+
+    /**
+     * Ownership upgrade for a line the requester already holds.  Peers'
+     * copies are invalidated; the caller promotes its own line.
+     */
+    BusResult Upgrade(GlobalAddr addr, unsigned requester);
+
+    /** The cache on @p port (for tests). */
+    VirtualCache& CacheAt(unsigned port) { return *caches_[port]; }
+
+  private:
+    sim::EventCounts& events_;
+    std::vector<VirtualCache*> caches_;
+};
+
+}  // namespace spur::cache
+
+#endif  // SPUR_CACHE_BUS_H_

@@ -1,0 +1,122 @@
+#include "src/cache/cache.h"
+
+#include "src/common/bits.h"
+
+namespace spur::cache {
+
+const char*
+ToString(CoherencyState state)
+{
+    switch (state) {
+      case CoherencyState::kInvalid: return "Invalid";
+      case CoherencyState::kUnOwned: return "UnOwned";
+      case CoherencyState::kOwnedShared: return "OwnedShared";
+      case CoherencyState::kOwnedExclusive: return "OwnedExclusive";
+    }
+    return "?";
+}
+
+VirtualCache::VirtualCache(const sim::MachineConfig& config)
+    : block_shift_(config.BlockShift()),
+      index_bits_(config.IndexBits()),
+      index_mask_(config.NumBlocks() - 1),
+      page_shift_(config.PageShift()),
+      blocks_per_page_(static_cast<uint32_t>(config.BlocksPerPage())),
+      lines_(config.NumBlocks())
+{
+}
+
+Line&
+VirtualCache::Fill(GlobalAddr addr, Protection prot, bool page_dirty,
+                   Eviction* eviction)
+{
+    const uint64_t index = IndexOf(addr);
+    Line& line = lines_[index];
+    if (eviction != nullptr) {
+        eviction->happened = line.valid();
+        eviction->writeback = line.valid() && line.block_dirty;
+        eviction->block_addr =
+            line.valid() ? BlockAddrOf(index, line) : 0;
+    }
+    line.tag = TagOf(addr);
+    line.prot = prot;
+    line.page_dirty = page_dirty;
+    line.block_dirty = false;
+    line.state = CoherencyState::kUnOwned;
+    return line;
+}
+
+bool
+VirtualCache::InvalidateBlock(GlobalAddr addr)
+{
+    Line* line = Lookup(addr);
+    if (line == nullptr) {
+        return false;
+    }
+    const bool writeback = line->block_dirty;
+    *line = Line{};
+    return writeback;
+}
+
+template <bool kTagChecked>
+FlushResult
+VirtualCache::FlushPageImpl(GlobalAddr addr)
+{
+    FlushResult result;
+    const GlobalAddr page_base = AlignDown(addr, uint64_t{1} << page_shift_);
+    for (uint32_t i = 0; i < blocks_per_page_; ++i) {
+        const GlobalAddr block_addr =
+            page_base + (static_cast<GlobalAddr>(i) << block_shift_);
+        const uint64_t index = IndexOf(block_addr);
+        Line& line = lines_[index];
+        ++result.slots_examined;
+        if (!line.valid()) {
+            continue;
+        }
+        const bool belongs = line.tag == TagOf(block_addr);
+        if (kTagChecked && !belongs) {
+            continue;
+        }
+        if (!belongs) {
+            ++result.foreign_flushed;
+        }
+        ++result.blocks_flushed;
+        if (line.block_dirty) {
+            ++result.writebacks;
+        }
+        line = Line{};
+    }
+    return result;
+}
+
+FlushResult
+VirtualCache::FlushPageChecked(GlobalAddr addr)
+{
+    return FlushPageImpl<true>(addr);
+}
+
+FlushResult
+VirtualCache::FlushPageIndexed(GlobalAddr addr)
+{
+    return FlushPageImpl<false>(addr);
+}
+
+void
+VirtualCache::Reset()
+{
+    for (Line& line : lines_) {
+        line = Line{};
+    }
+}
+
+uint64_t
+VirtualCache::NumValid() const
+{
+    uint64_t count = 0;
+    for (const Line& line : lines_) {
+        count += line.valid() ? 1 : 0;
+    }
+    return count;
+}
+
+}  // namespace spur::cache

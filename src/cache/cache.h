@@ -1,0 +1,181 @@
+/**
+ * @file
+ * SPUR's 128 KB direct-mapped, virtually-addressed, unified cache.
+ *
+ * Each cache line carries the Figure 3.2(b) tag fields:
+ *   VTag  virtual address tag,
+ *   PR    cached copy of the page protection (2 bits),
+ *   P     cached copy of the *page* dirty bit,
+ *   B     *block* dirty bit (this block was modified while cached),
+ *   CS    Berkeley Ownership coherency state (2 bits).
+ *
+ * PR and P are copied from the PTE when the block is filled and may go
+ * stale when the PTE changes afterwards — the central phenomenon studied
+ * by the paper.  The cache is a metadata model: block data contents are
+ * never simulated because no experiment depends on them.
+ *
+ * On the uniprocessor configuration the Berkeley Ownership protocol
+ * [Katz85] degenerates to: fills enter UnOwned, writes promote to
+ * OwnedExclusive (dirty).  The multiprocessor configuration connects
+ * several of these caches over the snooping bus in bus.h, which drives
+ * the full protocol state machine.
+ */
+#ifndef SPUR_CACHE_CACHE_H_
+#define SPUR_CACHE_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cache/flusher.h"
+#include "src/common/types.h"
+#include "src/sim/config.h"
+
+namespace spur::cache {
+
+/** Berkeley Ownership coherency states (2-bit CS field). */
+enum class CoherencyState : uint8_t {
+    kInvalid = 0,
+    kUnOwned = 1,         ///< Clean, possibly shared.
+    kOwnedShared = 2,     ///< Dirty, other caches may hold copies.
+    kOwnedExclusive = 3,  ///< Dirty, no other cached copies.
+};
+
+/** Returns a short name for a coherency state. */
+const char* ToString(CoherencyState state);
+
+/** One cache line (block frame) of tag state. */
+struct Line {
+    uint64_t tag = 0;                ///< VTag: address bits above the index.
+    Protection prot = Protection::kNone;  ///< PR: cached page protection.
+    CoherencyState state = CoherencyState::kInvalid;  ///< CS.
+    bool page_dirty = false;         ///< P: cached copy of page dirty bit.
+    bool block_dirty = false;        ///< B: block modified while cached.
+
+    bool valid() const { return state != CoherencyState::kInvalid; }
+};
+
+/** Result of evicting a line during Fill(). */
+struct Eviction {
+    bool happened = false;     ///< A valid line was displaced.
+    bool writeback = false;    ///< The displaced line was block-dirty.
+    GlobalAddr block_addr = 0; ///< Block address of the displaced line.
+};
+
+/** Result of a page flush operation. */
+struct FlushResult {
+    uint32_t slots_examined = 0;  ///< Cache slots visited.
+    uint32_t blocks_flushed = 0;  ///< Valid blocks invalidated.
+    uint32_t writebacks = 0;      ///< Of those, dirty blocks written back.
+    uint32_t foreign_flushed = 0; ///< Blocks from *other* pages flushed
+                                  ///< (indexed flush only).
+};
+
+/** The direct-mapped virtual-address cache. */
+class VirtualCache : public PageFlusher
+{
+  public:
+    explicit VirtualCache(const sim::MachineConfig& config);
+
+    VirtualCache(const VirtualCache&) = delete;
+    VirtualCache& operator=(const VirtualCache&) = delete;
+
+    /** Returns the line holding @p addr, or nullptr on miss. */
+    Line* Lookup(GlobalAddr addr)
+    {
+        Line& line = lines_[IndexOf(addr)];
+        return (line.valid() && line.tag == TagOf(addr)) ? &line : nullptr;
+    }
+
+    /** Const lookup. */
+    const Line* Lookup(GlobalAddr addr) const
+    {
+        const Line& line = lines_[IndexOf(addr)];
+        return (line.valid() && line.tag == TagOf(addr)) ? &line : nullptr;
+    }
+
+    /**
+     * Installs the block containing @p addr with cached PTE state
+     * (@p prot, @p page_dirty).  Fills enter UnOwned (clean).  Any valid
+     * line previously in the slot is described in @p eviction.
+     */
+    Line& Fill(GlobalAddr addr, Protection prot, bool page_dirty,
+               Eviction* eviction);
+
+    /**
+     * Marks the line as written: sets B, promotes CS to OwnedExclusive.
+     * @p line must be a live line returned by Lookup()/Fill().
+     */
+    static void MarkWritten(Line& line)
+    {
+        line.block_dirty = true;
+        line.state = CoherencyState::kOwnedExclusive;
+    }
+
+    /** Invalidates the block containing @p addr if present.
+     *  Returns true when a dirty block was written back. */
+    bool InvalidateBlock(GlobalAddr addr);
+
+    /**
+     * Flushes every block of the page containing @p addr with the
+     * *tag-checked* flush (the improved operation the paper assumes for
+     * its comparisons): slots whose line belongs to another page are left
+     * alone.
+     */
+    FlushResult FlushPageChecked(GlobalAddr addr) override;
+
+    /**
+     * Flushes the page with SPUR's real *indexed* flush, which clears the
+     * 128 slots the page maps to regardless of tag, evicting innocent
+     * blocks from other pages (counted in foreign_flushed).
+     */
+    FlushResult FlushPageIndexed(GlobalAddr addr);
+
+    /** Invalidates the whole cache (no writebacks counted). */
+    void Reset();
+
+    /** Number of lines. */
+    uint64_t NumLines() const { return lines_.size(); }
+
+    /** Number of currently valid lines. */
+    uint64_t NumValid() const;
+
+    /** Direct slot access for tests and the page daemon's flush path. */
+    const Line& LineAt(uint64_t index) const { return lines_[index]; }
+
+    /** Cache index of @p addr. */
+    uint64_t IndexOf(GlobalAddr addr) const
+    {
+        return (addr >> block_shift_) & index_mask_;
+    }
+
+    /** Tag of @p addr (bits above index + block offset). */
+    uint64_t TagOf(GlobalAddr addr) const
+    {
+        return addr >> (block_shift_ + index_bits_);
+    }
+
+    /** Reconstructs the block base address of the line at @p index. */
+    GlobalAddr BlockAddrOf(uint64_t index, const Line& line) const
+    {
+        return (line.tag << (block_shift_ + index_bits_)) |
+               (index << block_shift_);
+    }
+
+    /** Blocks per page (the number of slots a page flush touches). */
+    uint32_t BlocksPerPage() const { return blocks_per_page_; }
+
+  private:
+    unsigned block_shift_;
+    unsigned index_bits_;
+    uint64_t index_mask_;
+    unsigned page_shift_;
+    uint32_t blocks_per_page_;
+    std::vector<Line> lines_;
+
+    template <bool kTagChecked>
+    FlushResult FlushPageImpl(GlobalAddr addr);
+};
+
+}  // namespace spur::cache
+
+#endif  // SPUR_CACHE_CACHE_H_

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The page-flush capability the OS layers depend on, abstracted from the
+ * number of caches behind it.
+ *
+ * On the uniprocessor prototype a page flush touches one cache; on a
+ * SPUR multiprocessor the kernel "must flush the page from all the
+ * caches" (Section 4.1), which is the main reason true reference bits
+ * are so expensive there.  VirtualCache implements this interface for
+ * one cache; core::AllCachesFlusher fans a flush out across a machine's
+ * caches.
+ */
+#ifndef SPUR_CACHE_FLUSHER_H_
+#define SPUR_CACHE_FLUSHER_H_
+
+#include "src/common/types.h"
+
+namespace spur::cache {
+
+struct FlushResult;
+
+/** Anything that can purge one page's blocks from cache(s). */
+class PageFlusher
+{
+  public:
+    /** Tag-checked page flush; aggregated result across targets. */
+    virtual FlushResult FlushPageChecked(GlobalAddr addr) = 0;
+
+    /** Number of caches a flush must visit (prices kernel flush time). */
+    virtual unsigned NumFlushTargets() const { return 1; }
+
+  protected:
+    ~PageFlusher() = default;
+};
+
+}  // namespace spur::cache
+
+#endif  // SPUR_CACHE_FLUSHER_H_

@@ -1,0 +1,61 @@
+#include "src/common/args.h"
+
+#include <cstdlib>
+
+namespace spur {
+
+Args::Args(int argc, char** argv)
+{
+    program_ = (argc > 0) ? argv[0] : "";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(std::move(arg));
+            continue;
+        }
+        arg = arg.substr(2);
+        const size_t eq = arg.find('=');
+        if (eq != std::string::npos) {
+            flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+            flags_[arg] = argv[++i];
+        } else {
+            flags_[arg] = "";
+        }
+    }
+}
+
+bool
+Args::Has(const std::string& name) const
+{
+    return flags_.find(name) != flags_.end();
+}
+
+std::string
+Args::GetString(const std::string& name, const std::string& fallback) const
+{
+    const auto it = flags_.find(name);
+    return (it != flags_.end()) ? it->second : fallback;
+}
+
+int64_t
+Args::GetInt(const std::string& name, int64_t fallback) const
+{
+    const auto it = flags_.find(name);
+    if (it == flags_.end() || it->second.empty()) {
+        return fallback;
+    }
+    return std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double
+Args::GetDouble(const std::string& name, double fallback) const
+{
+    const auto it = flags_.find(name);
+    if (it == flags_.end() || it->second.empty()) {
+        return fallback;
+    }
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+}  // namespace spur

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Minimal command-line flag parsing for the bench and example binaries.
+ * Supports "--name=value", "--name value" and bare "--flag" booleans.
+ */
+#ifndef SPUR_COMMON_ARGS_H_
+#define SPUR_COMMON_ARGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace spur {
+
+/** Parsed command line. */
+class Args
+{
+  public:
+    Args(int argc, char** argv);
+
+    /** True when --name was present (with or without a value). */
+    bool Has(const std::string& name) const;
+
+    /** String value of --name, or @p fallback. */
+    std::string GetString(const std::string& name,
+                          const std::string& fallback = "") const;
+
+    /** Integer value of --name, or @p fallback. */
+    int64_t GetInt(const std::string& name, int64_t fallback) const;
+
+    /** Floating-point value of --name, or @p fallback. */
+    double GetDouble(const std::string& name, double fallback) const;
+
+    /** Positional (non-flag) arguments in order. */
+    const std::vector<std::string>& positional() const
+    {
+        return positional_;
+    }
+
+    /** Program name (argv[0]). */
+    const std::string& program() const { return program_; }
+
+  private:
+    std::string program_;
+    std::map<std::string, std::string> flags_;
+    std::vector<std::string> positional_;
+};
+
+}  // namespace spur
+
+#endif  // SPUR_COMMON_ARGS_H_

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used across the simulator.
+ */
+#ifndef SPUR_COMMON_BITS_H_
+#define SPUR_COMMON_BITS_H_
+
+#include <cstdint>
+
+namespace spur {
+
+/** Returns true when @p value is a (nonzero) power of two. */
+constexpr bool
+IsPowerOfTwo(uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Returns floor(log2(value)); @p value must be nonzero. */
+constexpr unsigned
+FloorLog2(uint64_t value)
+{
+    unsigned result = 0;
+    while (value >>= 1) {
+        ++result;
+    }
+    return result;
+}
+
+/** Extracts bits [lo, lo+width) of @p value. */
+constexpr uint64_t
+ExtractBits(uint64_t value, unsigned lo, unsigned width)
+{
+    return (value >> lo) & ((width >= 64) ? ~uint64_t{0}
+                                          : ((uint64_t{1} << width) - 1));
+}
+
+/** Returns @p value rounded up to the next multiple of @p align
+ *  (a power of two). */
+constexpr uint64_t
+AlignUp(uint64_t value, uint64_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** Returns @p value rounded down to a multiple of @p align
+ *  (a power of two). */
+constexpr uint64_t
+AlignDown(uint64_t value, uint64_t align)
+{
+    return value & ~(align - 1);
+}
+
+}  // namespace spur
+
+#endif  // SPUR_COMMON_BITS_H_

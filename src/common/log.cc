@@ -1,0 +1,46 @@
+#include "src/common/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace spur {
+
+namespace {
+bool g_verbose = true;
+}  // namespace
+
+void
+Fatal(const std::string& message)
+{
+    std::fprintf(stderr, "fatal: %s\n", message.c_str());
+    std::exit(1);
+}
+
+void
+Panic(const std::string& message)
+{
+    std::fprintf(stderr, "panic: %s\n", message.c_str());
+    std::abort();
+}
+
+void
+Warn(const std::string& message)
+{
+    std::fprintf(stderr, "warn: %s\n", message.c_str());
+}
+
+void
+Inform(const std::string& message)
+{
+    if (g_verbose) {
+        std::fprintf(stderr, "info: %s\n", message.c_str());
+    }
+}
+
+void
+SetVerbose(bool verbose)
+{
+    g_verbose = verbose;
+}
+
+}  // namespace spur

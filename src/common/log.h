@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Minimal logging / fatal-error helpers (gem5-style fatal vs. panic).
+ *
+ * - Fatal():  the *user's* fault (bad configuration); exits with code 1.
+ * - Panic():  the *simulator's* fault (broken invariant); aborts.
+ * - Warn()/Inform(): non-fatal status messages on stderr.
+ */
+#ifndef SPUR_COMMON_LOG_H_
+#define SPUR_COMMON_LOG_H_
+
+#include <string>
+
+namespace spur {
+
+/** Terminates with exit(1); use for invalid user configuration. */
+[[noreturn]] void Fatal(const std::string& message);
+
+/** Terminates with abort(); use for violated simulator invariants. */
+[[noreturn]] void Panic(const std::string& message);
+
+/** Prints a warning to stderr. */
+void Warn(const std::string& message);
+
+/** Prints an informational message to stderr. */
+void Inform(const std::string& message);
+
+/** Enables/disables Inform() output (default on). */
+void SetVerbose(bool verbose);
+
+}  // namespace spur
+
+#endif  // SPUR_COMMON_LOG_H_

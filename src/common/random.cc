@@ -1,0 +1,100 @@
+#include "src/common/random.h"
+
+#include <cmath>
+
+namespace spur {
+
+namespace {
+
+/** splitmix64, used to expand a single seed into the xoshiro state. */
+uint64_t
+SplitMix64(uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+constexpr uint64_t
+Rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t s = seed;
+    for (auto& word : state_) {
+        word = SplitMix64(s);
+    }
+    // A state of all zeros would be a fixed point; splitmix cannot produce
+    // four zero outputs from any seed, but be defensive anyway.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+        state_[0] = 1;
+    }
+}
+
+uint64_t
+Rng::Next()
+{
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+
+    return result;
+}
+
+uint64_t
+Rng::NextBelow(uint64_t bound)
+{
+    // Lemire's multiply-shift bounded draw; the slight modulo bias of the
+    // plain form is irrelevant for workload synthesis, so we skip the
+    // rejection step for speed.
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>(Next()) * bound;
+    return static_cast<uint64_t>(product >> 64);
+}
+
+double
+Rng::NextDouble()
+{
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::Chance(double p)
+{
+    if (p <= 0.0) {
+        return false;
+    }
+    if (p >= 1.0) {
+        return true;
+    }
+    return NextDouble() < p;
+}
+
+uint64_t
+Rng::NextZipf(uint64_t n, double skew)
+{
+    if (n <= 1) {
+        return 0;
+    }
+    // Power transform: floor(n * u^k) with k >= 1 concentrates mass near
+    // index zero; k grows without bound as skew approaches 1.
+    const double k = 1.0 / ((skew >= 0.95) ? 0.05 : (1.0 - skew));
+    const double u = NextDouble();
+    auto idx = static_cast<uint64_t>(static_cast<double>(n) * std::pow(u, k));
+    return (idx >= n) ? (n - 1) : idx;
+}
+
+}  // namespace spur

@@ -1,0 +1,27 @@
+#include "src/common/types.h"
+
+namespace spur {
+
+const char*
+ToString(AccessType type)
+{
+    switch (type) {
+      case AccessType::kIFetch: return "ifetch";
+      case AccessType::kRead: return "read";
+      case AccessType::kWrite: return "write";
+    }
+    return "?";
+}
+
+const char*
+ToString(Protection prot)
+{
+    switch (prot) {
+      case Protection::kNone: return "none";
+      case Protection::kReadOnly: return "ro";
+      case Protection::kReadWrite: return "rw";
+    }
+    return "?";
+}
+
+}  // namespace spur

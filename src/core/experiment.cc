@@ -1,0 +1,131 @@
+#include "src/core/experiment.h"
+
+#include <algorithm>
+
+#include "src/common/log.h"
+#include "src/common/random.h"
+#include "src/workload/workloads.h"
+
+namespace spur::core {
+
+const char*
+ToString(WorkloadId id)
+{
+    switch (id) {
+      case WorkloadId::kWorkload1: return "WORKLOAD1";
+      case WorkloadId::kSlc: return "SLC";
+      case WorkloadId::kDevMachine: return "dev-machine";
+    }
+    return "?";
+}
+
+double
+RefCompression(WorkloadId id)
+{
+    switch (id) {
+      case WorkloadId::kWorkload1: return 160.0;
+      case WorkloadId::kSlc: return 35.0;
+      case WorkloadId::kDevMachine: return 80.0;
+    }
+    return 1.0;
+}
+
+namespace {
+
+workload::WorkloadSpec
+SpecFor(const RunConfig& config)
+{
+    switch (config.workload) {
+      case WorkloadId::kWorkload1:
+        return workload::MakeWorkload1();
+      case WorkloadId::kSlc:
+        return workload::MakeSlc();
+      case WorkloadId::kDevMachine:
+        return workload::MakeDevMachine(config.intensity);
+    }
+    Panic("SpecFor: bad workload id");
+}
+
+uint64_t
+DefaultRefs(WorkloadId id)
+{
+    switch (id) {
+      case WorkloadId::kWorkload1: return workload::kWorkload1Refs;
+      case WorkloadId::kSlc: return workload::kSlcRefs;
+      case WorkloadId::kDevMachine: return workload::kDevMachineRefs;
+    }
+    Panic("DefaultRefs: bad workload id");
+}
+
+}  // namespace
+
+RunResult
+RunOnce(const RunConfig& config)
+{
+    sim::MachineConfig machine =
+        sim::MachineConfig::Prototype(config.memory_mb);
+    machine.page_in_us =
+        (config.page_in_us > 0) ? config.page_in_us : kScaledPageInUs;
+
+    SpurSystem system(machine, config.dirty, config.ref);
+    const uint64_t refs =
+        (config.refs != 0) ? config.refs : DefaultRefs(config.workload);
+    workload::Driver driver(system, SpecFor(config), refs, config.seed);
+    driver.Run();
+
+    RunResult result;
+    result.events = system.events();
+    result.frequencies = EventFrequencies::FromEvents(result.events);
+    result.elapsed_seconds = system.timing().ElapsedSeconds();
+    result.page_ins = result.events.Get(sim::Event::kPageIn);
+    result.page_outs = result.events.Get(sim::Event::kPageOutDirty);
+    result.refs_issued = driver.refs_issued();
+    for (size_t i = 0; i < sim::kNumTimeBuckets; ++i) {
+        result.bucket_seconds[i] =
+            system.timing().Seconds(static_cast<sim::TimeBucket>(i));
+    }
+    return result;
+}
+
+std::vector<std::vector<RunResult>>
+RunMatrix(const std::vector<RunConfig>& configs, uint32_t reps,
+          uint64_t shuffle_seed,
+          const std::function<void(const RunConfig&, const RunResult&)>&
+              progress)
+{
+    // Build the full (config, rep) list, then shuffle: the randomized
+    // experiment design of Section 4.2.
+    struct Cell {
+        size_t config_index;
+        uint32_t rep;
+    };
+    std::vector<Cell> cells;
+    cells.reserve(configs.size() * reps);
+    for (size_t i = 0; i < configs.size(); ++i) {
+        for (uint32_t r = 0; r < reps; ++r) {
+            cells.push_back(Cell{i, r});
+        }
+    }
+    Rng rng(shuffle_seed);
+    for (size_t i = cells.size(); i > 1; --i) {
+        std::swap(cells[i - 1], cells[rng.NextBelow(i)]);
+    }
+
+    std::vector<std::vector<RunResult>> results(configs.size());
+    for (auto& group : results) {
+        group.resize(reps);
+    }
+    for (const Cell& cell : cells) {
+        RunConfig run = configs[cell.config_index];
+        // Distinct, reproducible seed per repetition.
+        run.seed = run.seed * 1000003 + cell.rep * 7919 + 17;
+        RunResult result = RunOnce(run);
+        if (progress) {
+            progress(run, result);
+        }
+        results[cell.config_index][cell.rep] = std::move(result);
+    }
+    return results;
+}
+
+}  // namespace spur::core

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The machine surface workloads are written against.
+ *
+ * The synthetic processes and the job driver only need to create address
+ * spaces, map regions, share segments, and issue references; any machine
+ * that provides those — the uniprocessor SPUR system, the TLB baseline —
+ * can run the same WorkloadSpec, which is what makes cross-machine
+ * comparisons (bench/ablation_tlb_baseline) meaningful.
+ */
+#ifndef SPUR_CORE_HOST_H_
+#define SPUR_CORE_HOST_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+#include "src/sim/config.h"
+#include "src/vm/region.h"
+
+namespace spur::core {
+
+/** A machine that can host synthetic workloads. */
+class WorkloadHost
+{
+  public:
+    virtual ~WorkloadHost() = default;
+
+    /** Creates a process with private segments; returns its pid. */
+    virtual Pid CreateProcess() = 0;
+
+    /** Tears down a process and frees its pages. */
+    virtual void DestroyProcess(Pid pid) = 0;
+
+    /** Declares a region of @p pid's address space. */
+    virtual void MapRegion(Pid pid, ProcessAddr base, uint64_t bytes,
+                           vm::PageKind kind) = 0;
+
+    /** Points @p pid's segment register at @p other's (shared memory). */
+    virtual void ShareSegment(Pid pid, unsigned reg, Pid other,
+                              unsigned other_reg) = 0;
+
+    /** Executes one memory reference. */
+    virtual void Access(const MemRef& ref) = 0;
+
+    /** Accounts a context switch. */
+    virtual void OnContextSwitch() = 0;
+
+    /** The machine parameters. */
+    virtual const sim::MachineConfig& config() const = 0;
+};
+
+}  // namespace spur::core
+
+#endif  // SPUR_CORE_HOST_H_

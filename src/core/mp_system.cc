@@ -1,0 +1,209 @@
+#include "src/core/mp_system.h"
+
+#include <string>
+
+#include "src/common/log.h"
+
+namespace spur::core {
+
+cache::FlushResult
+AllCachesFlusher::FlushPageChecked(GlobalAddr addr)
+{
+    cache::FlushResult total;
+    for (const auto& vcache : caches_) {
+        const cache::FlushResult one = vcache->FlushPageChecked(addr);
+        total.slots_examined += one.slots_examined;
+        total.blocks_flushed += one.blocks_flushed;
+        total.writebacks += one.writebacks;
+        total.foreign_flushed += one.foreign_flushed;
+    }
+    return total;
+}
+
+MpSpurSystem::MpSpurSystem(const sim::MachineConfig& config,
+                           unsigned num_cpus, policy::DirtyPolicyKind dirty,
+                           policy::RefPolicyKind ref)
+    : config_(config),
+      timing_(config_),
+      bus_(events_),
+      flusher_(caches_),
+      block_fetch_cycles_(config_.BlockFetchCycles())
+{
+    config_.Validate();
+    if (num_cpus < 1 || num_cpus > 12) {
+        Fatal("MpSpurSystem: a SPUR workstation holds 1..12 processor "
+              "boards, got " + std::to_string(num_cpus));
+    }
+    for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
+        caches_.push_back(std::make_unique<cache::VirtualCache>(config_));
+        bus_.Attach(caches_.back().get());
+        xlates_.push_back(std::make_unique<xlate::Translator>(
+            *caches_.back(), table_, config_));
+    }
+    dirty_ = policy::MakeDirtyPolicy(dirty, flusher_, config_);
+    ref_ = policy::MakeRefPolicy(ref, flusher_, config_);
+    vm_ = std::make_unique<vm::VirtualMemory>(config_, table_, flusher_,
+                                              events_, timing_);
+    vm_->SetPolicies(dirty_.get(), ref_.get());
+}
+
+MpSpurSystem::~MpSpurSystem() = default;
+
+Pid
+MpSpurSystem::CreateProcess()
+{
+    const Pid pid = segmap_.CreateProcess();
+    process_regions_[pid];
+    return pid;
+}
+
+void
+MpSpurSystem::DestroyProcess(Pid pid)
+{
+    auto it = process_regions_.find(pid);
+    if (it == process_regions_.end()) {
+        Fatal("MpSpurSystem: destroying unknown pid " + std::to_string(pid));
+    }
+    for (const auto& [base, start_vpn] : it->second) {
+        vm_->UnmapRegion(start_vpn);
+    }
+    process_regions_.erase(it);
+    segmap_.DestroyProcess(pid);
+}
+
+void
+MpSpurSystem::MapRegion(Pid pid, ProcessAddr base, uint64_t bytes,
+                        vm::PageKind kind)
+{
+    const uint64_t page_bytes = config_.page_bytes;
+    if (base % page_bytes != 0 || bytes == 0 || bytes % page_bytes != 0) {
+        Fatal("MpSpurSystem: region must be page aligned and nonempty");
+    }
+    auto it = process_regions_.find(pid);
+    if (it == process_regions_.end()) {
+        Fatal("MpSpurSystem: MapRegion on unknown pid");
+    }
+    const GlobalAddr gva = segmap_.ToGlobal(pid, base);
+    const GlobalVpn start = gva >> config_.PageShift();
+    vm_->MapRegion(start, bytes / page_bytes, kind);
+    it->second.emplace(base, start);
+}
+
+void
+MpSpurSystem::Access(unsigned cpu, const MemRef& ref)
+{
+    const GlobalAddr gva = segmap_.ToGlobal(ref.pid, ref.addr);
+
+    switch (ref.type) {
+      case AccessType::kIFetch:
+        events_.Add(sim::Event::kIFetch);
+        break;
+      case AccessType::kRead:
+        events_.Add(sim::Event::kRead);
+        break;
+      case AccessType::kWrite:
+        events_.Add(sim::Event::kWrite);
+        break;
+    }
+
+    cache::VirtualCache& vcache = *caches_[cpu];
+    cache::Line* line = vcache.Lookup(gva);
+    if (line != nullptr) {
+        timing_.Charge(sim::TimeBucket::kExecute, config_.t_cache_hit);
+        if (ref.type != AccessType::kWrite) {
+            return;
+        }
+        if (!line->block_dirty) {
+            events_.Add(sim::Event::kWriteHitCleanBlock);
+        }
+        if (!dirty_->WriteHitFastPath(*line)) {
+            const policy::DirtyCost cost =
+                dirty_->OnWriteHit(*line, gva, ResidentPte(gva), events_);
+            ChargeDirty(cost);
+            if (cost.line_invalidated) {
+                AccessMiss(cpu, gva, ref.type);
+                return;
+            }
+        }
+        // Coherency: gain exclusive ownership before the store.
+        if (line->state != cache::CoherencyState::kOwnedExclusive) {
+            bus_.Upgrade(gva, cpu);
+            timing_.Charge(sim::TimeBucket::kMissStall, 1);
+        }
+        cache::VirtualCache::MarkWritten(*line);
+        return;
+    }
+
+    switch (ref.type) {
+      case AccessType::kIFetch:
+        events_.Add(sim::Event::kIFetchMiss);
+        break;
+      case AccessType::kRead:
+        events_.Add(sim::Event::kReadMiss);
+        break;
+      case AccessType::kWrite:
+        events_.Add(sim::Event::kWriteMiss);
+        break;
+    }
+    AccessMiss(cpu, gva, ref.type);
+}
+
+void
+MpSpurSystem::AccessMiss(unsigned cpu, GlobalAddr gva, AccessType type)
+{
+    xlate::XlateResult xr = xlates_[cpu]->Translate(gva, events_);
+    timing_.Charge(sim::TimeBucket::kXlate, xr.cycles);
+    pt::Pte* pte = xr.pte;
+    if (!pte->valid()) {
+        pte = &vm_->HandlePageFault(gva);
+    }
+
+    const policy::RefCost ref_cost = ref_->OnCacheMiss(*pte, events_);
+    timing_.Charge(sim::TimeBucket::kFault, ref_cost.fault_cycles);
+
+    if (type == AccessType::kWrite) {
+        ChargeDirty(dirty_->OnWriteMiss(gva, *pte, events_));
+    }
+
+    // The bus transaction settles ownership before the fill.
+    if (type == AccessType::kWrite) {
+        bus_.ReadOwned(gva, cpu);
+    } else {
+        bus_.Read(gva, cpu);
+    }
+
+    cache::VirtualCache& vcache = *caches_[cpu];
+    cache::Eviction eviction;
+    cache::Line& line =
+        vcache.Fill(gva, pte->protection(), pte->dirty(), &eviction);
+    if (eviction.writeback) {
+        events_.Add(sim::Event::kWriteback);
+        timing_.Charge(sim::TimeBucket::kMissStall, block_fetch_cycles_);
+    }
+    timing_.Charge(sim::TimeBucket::kMissStall, block_fetch_cycles_);
+
+    if (type == AccessType::kWrite) {
+        events_.Add(sim::Event::kWriteMissFill);
+        cache::VirtualCache::MarkWritten(line);
+    }
+}
+
+pt::Pte&
+MpSpurSystem::ResidentPte(GlobalAddr gva)
+{
+    pt::Pte* pte = table_.FindMutable(gva >> config_.PageShift());
+    if (pte == nullptr || !pte->valid()) {
+        Panic("MpSpurSystem: cache hit on a non-resident page");
+    }
+    return *pte;
+}
+
+void
+MpSpurSystem::ChargeDirty(const policy::DirtyCost& cost)
+{
+    timing_.Charge(sim::TimeBucket::kFault, cost.fault_cycles);
+    timing_.Charge(sim::TimeBucket::kFlush, cost.flush_cycles);
+    timing_.Charge(sim::TimeBucket::kDirtyAux, cost.aux_cycles);
+}
+
+}  // namespace spur::core

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * MpSpurSystem: the SPUR multiprocessor — up to twelve processors, each
+ * with its own 128 KB virtual-address cache and in-cache translation
+ * engine, kept coherent over a shared snooping bus running the Berkeley
+ * Ownership protocol [Katz85], over one shared Sprite kernel (page
+ * table, VM, policies).
+ *
+ * This is the machine the paper's mechanisms were *designed* for (the
+ * measured prototype was the uniprocessor configuration): dirty-bit
+ * updates are done in software because PTEs are shared between
+ * processors, and true reference bits are expensive because clearing one
+ * must flush the page from *all* the caches.  The ablation bench
+ * `ablation_mp_refbits` quantifies that claim.
+ *
+ * Timing note: the aggregate TimingModel accumulates total work cycles
+ * across processors (not wall-clock of a parallel execution); the
+ * experiments built on this class compare policy overheads, which are
+ * work terms.
+ */
+#ifndef SPUR_CORE_MP_SYSTEM_H_
+#define SPUR_CORE_MP_SYSTEM_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cache/bus.h"
+#include "src/core/host.h"
+#include "src/cache/cache.h"
+#include "src/cache/flusher.h"
+#include "src/common/types.h"
+#include "src/policy/dirty_policy.h"
+#include "src/policy/ref_policy.h"
+#include "src/pt/page_table.h"
+#include "src/pt/segment_map.h"
+#include "src/sim/config.h"
+#include "src/sim/events.h"
+#include "src/sim/timing.h"
+#include "src/vm/vm.h"
+#include "src/xlate/translator.h"
+
+namespace spur::core {
+
+/** Fans page flushes out across every cache in the machine. */
+class AllCachesFlusher : public cache::PageFlusher
+{
+  public:
+    explicit AllCachesFlusher(
+        std::vector<std::unique_ptr<cache::VirtualCache>>& caches)
+        : caches_(caches)
+    {
+    }
+
+    cache::FlushResult FlushPageChecked(GlobalAddr addr) override;
+
+    unsigned NumFlushTargets() const override
+    {
+        return static_cast<unsigned>(caches_.size());
+    }
+
+  private:
+    std::vector<std::unique_ptr<cache::VirtualCache>>& caches_;
+};
+
+/** The multiprocessor SPUR workstation. */
+class MpSpurSystem
+{
+  public:
+    /** Builds a machine with @p num_cpus processors (1..12). */
+    MpSpurSystem(const sim::MachineConfig& config, unsigned num_cpus,
+                 policy::DirtyPolicyKind dirty, policy::RefPolicyKind ref);
+
+    ~MpSpurSystem();
+
+    MpSpurSystem(const MpSpurSystem&) = delete;
+    MpSpurSystem& operator=(const MpSpurSystem&) = delete;
+
+    // ---- Address-space management (shared kernel) ------------------------
+
+    Pid CreateProcess();
+    void DestroyProcess(Pid pid);
+    void MapRegion(Pid pid, ProcessAddr base, uint64_t bytes,
+                   vm::PageKind kind);
+    void ShareSegment(Pid pid, unsigned reg, Pid other, unsigned other_reg)
+    {
+        segmap_.ShareSegment(pid, reg, other, other_reg);
+    }
+
+    // ---- The hot path ------------------------------------------------------
+
+    /** Executes one reference on processor @p cpu. */
+    void Access(unsigned cpu, const MemRef& ref);
+
+    // ---- State access ------------------------------------------------------
+
+    unsigned NumCpus() const
+    {
+        return static_cast<unsigned>(caches_.size());
+    }
+    const sim::MachineConfig& config() const { return config_; }
+    const sim::EventCounts& events() const { return events_; }
+    const sim::TimingModel& timing() const { return timing_; }
+    const cache::VirtualCache& vcache(unsigned cpu) const
+    {
+        return *caches_[cpu];
+    }
+    const vm::VirtualMemory& memory() const { return *vm_; }
+    GlobalAddr ToGlobal(Pid pid, ProcessAddr addr) const
+    {
+        return segmap_.ToGlobal(pid, addr);
+    }
+
+    /**
+     * A WorkloadHost view of one processor: synthetic processes and the
+     * job driver built for the uniprocessor API can run pinned to a CPU
+     * of the multiprocessor through this adapter.
+     */
+    class CpuPort : public WorkloadHost
+    {
+      public:
+        CpuPort(MpSpurSystem& system, unsigned cpu)
+            : system_(system), cpu_(cpu)
+        {
+        }
+
+        Pid CreateProcess() override { return system_.CreateProcess(); }
+        void DestroyProcess(Pid pid) override
+        {
+            system_.DestroyProcess(pid);
+        }
+        void MapRegion(Pid pid, ProcessAddr base, uint64_t bytes,
+                       vm::PageKind kind) override
+        {
+            system_.MapRegion(pid, base, bytes, kind);
+        }
+        void ShareSegment(Pid pid, unsigned reg, Pid other,
+                          unsigned other_reg) override
+        {
+            system_.ShareSegment(pid, reg, other, other_reg);
+        }
+        void Access(const MemRef& ref) override
+        {
+            system_.Access(cpu_, ref);
+        }
+        void OnContextSwitch() override
+        {
+            system_.events_.Add(sim::Event::kContextSwitch);
+            system_.timing_.Charge(sim::TimeBucket::kKernel,
+                                   system_.config_.t_context_switch);
+        }
+        const sim::MachineConfig& config() const override
+        {
+            return system_.config_;
+        }
+
+      private:
+        MpSpurSystem& system_;
+        unsigned cpu_;
+    };
+
+    /** A workload-host view pinned to processor @p cpu. */
+    CpuPort Port(unsigned cpu) { return CpuPort(*this, cpu); }
+
+  private:
+    friend class CpuPort;
+    sim::MachineConfig config_;
+    sim::EventCounts events_;
+    sim::TimingModel timing_;
+    pt::SegmentMap segmap_;
+    pt::PageTable table_;
+    std::vector<std::unique_ptr<cache::VirtualCache>> caches_;
+    cache::SnoopBus bus_;
+    std::vector<std::unique_ptr<xlate::Translator>> xlates_;
+    AllCachesFlusher flusher_;
+    std::unique_ptr<policy::DirtyPolicy> dirty_;
+    std::unique_ptr<policy::RefPolicy> ref_;
+    std::unique_ptr<vm::VirtualMemory> vm_;
+    std::unordered_map<Pid, std::unordered_map<ProcessAddr, GlobalVpn>>
+        process_regions_;
+    Cycles block_fetch_cycles_;
+
+    void AccessMiss(unsigned cpu, GlobalAddr gva, AccessType type);
+    pt::Pte& ResidentPte(GlobalAddr gva);
+    void ChargeDirty(const policy::DirtyCost& cost);
+};
+
+}  // namespace spur::core
+
+#endif  // SPUR_CORE_MP_SYSTEM_H_

@@ -1,0 +1,208 @@
+#include "src/core/system.h"
+
+#include <string>
+
+#include "src/common/log.h"
+
+namespace spur::core {
+
+SpurSystem::SpurSystem(const sim::MachineConfig& config,
+                       policy::DirtyPolicyKind dirty,
+                       policy::RefPolicyKind ref)
+    : config_(config),
+      timing_(config_),
+      vcache_(config_),
+      xlate_(vcache_, table_, config_),
+      dirty_(policy::MakeDirtyPolicy(dirty, vcache_, config_)),
+      ref_(policy::MakeRefPolicy(ref, vcache_, config_)),
+      block_fetch_cycles_(config_.BlockFetchCycles())
+{
+    config_.Validate();
+    vm_ = std::make_unique<vm::VirtualMemory>(config_, table_, vcache_,
+                                              events_, timing_);
+    vm_->SetPolicies(dirty_.get(), ref_.get());
+}
+
+SpurSystem::~SpurSystem() = default;
+
+Pid
+SpurSystem::CreateProcess()
+{
+    const Pid pid = segmap_.CreateProcess();
+    process_regions_[pid];
+    return pid;
+}
+
+void
+SpurSystem::DestroyProcess(Pid pid)
+{
+    auto it = process_regions_.find(pid);
+    if (it == process_regions_.end()) {
+        Fatal("SpurSystem: destroying unknown pid " + std::to_string(pid));
+    }
+    for (const auto& [base, start_vpn] : it->second) {
+        vm_->UnmapRegion(start_vpn);
+    }
+    process_regions_.erase(it);
+    segmap_.DestroyProcess(pid);
+    OnContextSwitch();
+}
+
+void
+SpurSystem::MapRegion(Pid pid, ProcessAddr base, uint64_t bytes,
+                      vm::PageKind kind)
+{
+    const uint64_t page_bytes = config_.page_bytes;
+    if (base % page_bytes != 0 || bytes == 0 || bytes % page_bytes != 0) {
+        Fatal("SpurSystem: region must be page aligned and nonempty");
+    }
+    auto it = process_regions_.find(pid);
+    if (it == process_regions_.end()) {
+        Fatal("SpurSystem: MapRegion on unknown pid " + std::to_string(pid));
+    }
+    const GlobalAddr gva = segmap_.ToGlobal(pid, base);
+    const GlobalVpn start = gva >> config_.PageShift();
+    vm_->MapRegion(start, bytes / page_bytes, kind);
+    it->second.emplace(base, start);
+}
+
+void
+SpurSystem::UnmapRegion(Pid pid, ProcessAddr base)
+{
+    auto it = process_regions_.find(pid);
+    if (it == process_regions_.end()) {
+        Fatal("SpurSystem: UnmapRegion on unknown pid " +
+              std::to_string(pid));
+    }
+    auto region_it = it->second.find(base);
+    if (region_it == it->second.end()) {
+        Fatal("SpurSystem: no region mapped at this base");
+    }
+    vm_->UnmapRegion(region_it->second);
+    it->second.erase(region_it);
+}
+
+void
+SpurSystem::Access(const MemRef& ref)
+{
+    const GlobalAddr gva = segmap_.ToGlobal(ref.pid, ref.addr);
+
+    switch (ref.type) {
+      case AccessType::kIFetch:
+        events_.Add(sim::Event::kIFetch);
+        break;
+      case AccessType::kRead:
+        events_.Add(sim::Event::kRead);
+        break;
+      case AccessType::kWrite:
+        events_.Add(sim::Event::kWrite);
+        break;
+    }
+
+    cache::Line* line = vcache_.Lookup(gva);
+    if (line != nullptr) {
+        timing_.Charge(sim::TimeBucket::kExecute, config_.t_cache_hit);
+        if (ref.type != AccessType::kWrite) {
+            return;
+        }
+        // First write to a block that arrived via a read/fetch: this is
+        // the N_w-hit population of Table 3.3.
+        if (!line->block_dirty) {
+            events_.Add(sim::Event::kWriteHitCleanBlock);
+        }
+        if (dirty_->WriteHitFastPath(*line)) {
+            cache::VirtualCache::MarkWritten(*line);
+            return;
+        }
+        const policy::DirtyCost cost =
+            dirty_->OnWriteHit(*line, gva, ResidentPte(gva), events_);
+        ChargeDirty(cost);
+        if (cost.line_invalidated) {
+            // FLUSH purged the written line inside the fault handler; the
+            // store re-executes as a cache miss and refills the block
+            // under the page's new protection.
+            AccessMiss(gva, ref.type);
+            return;
+        }
+        cache::VirtualCache::MarkWritten(*line);
+        return;
+    }
+
+    switch (ref.type) {
+      case AccessType::kIFetch:
+        events_.Add(sim::Event::kIFetchMiss);
+        break;
+      case AccessType::kRead:
+        events_.Add(sim::Event::kReadMiss);
+        break;
+      case AccessType::kWrite:
+        events_.Add(sim::Event::kWriteMiss);
+        break;
+    }
+    AccessMiss(gva, ref.type);
+}
+
+void
+SpurSystem::AccessMiss(GlobalAddr gva, AccessType type)
+{
+    // In-cache translation: find the PTE (possibly faulting the page in).
+    xlate::XlateResult xr = xlate_.Translate(gva, events_);
+    timing_.Charge(sim::TimeBucket::kXlate, xr.cycles);
+    pt::Pte* pte = xr.pte;
+    if (!pte->valid()) {
+        pte = &vm_->HandlePageFault(gva);
+    }
+
+    // Reference bit: the controller checks R while it has the PTE.
+    const policy::RefCost ref_cost = ref_->OnCacheMiss(*pte, events_);
+    timing_.Charge(sim::TimeBucket::kFault, ref_cost.fault_cycles);
+
+    // Dirty bit: a write miss checks the dirty state before the fill.
+    if (type == AccessType::kWrite) {
+        ChargeDirty(dirty_->OnWriteMiss(gva, *pte, events_));
+    }
+
+    // Fill the block, copying PR and the page dirty bit from the PTE into
+    // the cache line (Figure 3.2).
+    cache::Eviction eviction;
+    cache::Line& line =
+        vcache_.Fill(gva, pte->protection(), pte->dirty(), &eviction);
+    if (eviction.writeback) {
+        events_.Add(sim::Event::kWriteback);
+        timing_.Charge(sim::TimeBucket::kMissStall, block_fetch_cycles_);
+    }
+    timing_.Charge(sim::TimeBucket::kMissStall, block_fetch_cycles_);
+
+    if (type == AccessType::kWrite) {
+        events_.Add(sim::Event::kWriteMissFill);
+        cache::VirtualCache::MarkWritten(line);
+    }
+}
+
+void
+SpurSystem::OnContextSwitch()
+{
+    events_.Add(sim::Event::kContextSwitch);
+    timing_.Charge(sim::TimeBucket::kKernel, config_.t_context_switch);
+}
+
+pt::Pte&
+SpurSystem::ResidentPte(GlobalAddr gva)
+{
+    pt::Pte* pte = table_.FindMutable(gva >> config_.PageShift());
+    if (pte == nullptr || !pte->valid()) {
+        Panic("SpurSystem: cache hit on a non-resident page (reclaim "
+              "missed a flush?)");
+    }
+    return *pte;
+}
+
+void
+SpurSystem::ChargeDirty(const policy::DirtyCost& cost)
+{
+    timing_.Charge(sim::TimeBucket::kFault, cost.fault_cycles);
+    timing_.Charge(sim::TimeBucket::kFlush, cost.flush_cycles);
+    timing_.Charge(sim::TimeBucket::kDirtyAux, cost.aux_cycles);
+}
+
+}  // namespace spur::core

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * SpurSystem: the complete simulated SPUR workstation.
+ *
+ * Wires together the virtual-address cache, in-cache translation, the
+ * Sprite-like VM, the pluggable dirty/reference-bit policies, the cycle
+ * accounting and the event counters, and exposes the single hot-path
+ * entry point Access() that workloads drive with memory references.
+ *
+ * This is the library's primary public type: construct one per
+ * experiment run, create processes and regions, feed references, read
+ * the counters and the timing breakdown.
+ */
+#ifndef SPUR_CORE_SYSTEM_H_
+#define SPUR_CORE_SYSTEM_H_
+
+#include <cstddef>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/cache.h"
+#include "src/core/host.h"
+#include "src/common/types.h"
+#include "src/policy/dirty_policy.h"
+#include "src/policy/ref_policy.h"
+#include "src/pt/page_table.h"
+#include "src/pt/segment_map.h"
+#include "src/sim/config.h"
+#include "src/sim/counters.h"
+#include "src/sim/events.h"
+#include "src/sim/timing.h"
+#include "src/vm/vm.h"
+#include "src/xlate/translator.h"
+
+namespace spur::core {
+
+/** One simulated SPUR workstation. */
+class SpurSystem : public WorkloadHost
+{
+  public:
+    /**
+     * @param config machine parameters (validated).
+     * @param dirty  dirty-bit alternative to run.
+     * @param ref    reference-bit policy to run.
+     */
+    SpurSystem(const sim::MachineConfig& config,
+               policy::DirtyPolicyKind dirty, policy::RefPolicyKind ref);
+
+    ~SpurSystem();
+
+    SpurSystem(const SpurSystem&) = delete;
+    SpurSystem& operator=(const SpurSystem&) = delete;
+
+    // ---- Process and address-space management ---------------------------
+
+    /** Creates a process with four private global segments. */
+    Pid CreateProcess() override;
+
+    /** Tears down a process: unmaps its regions, frees its pages. */
+    void DestroyProcess(Pid pid) override;
+
+    /**
+     * Declares a region of @p pid's address space.
+     * @param base  process virtual address (page aligned).
+     * @param bytes region length (page aligned, nonzero).
+     * @param kind  what backs the pages.
+     */
+    void MapRegion(Pid pid, ProcessAddr base, uint64_t bytes,
+                   vm::PageKind kind) override;
+
+    /** Removes the region mapped at @p base and frees its pages. */
+    void UnmapRegion(Pid pid, ProcessAddr base);
+
+    /**
+     * Shares memory the SPUR way: points @p pid's segment register
+     * @p reg at the same global segment as @p other's @p other_reg, so
+     * both processes use one global virtual address for the shared pages
+     * (no synonyms possible, [Hill86]).  Typical use: shared program
+     * text across repeated invocations of the same tool.
+     */
+    void ShareSegment(Pid pid, unsigned reg, Pid other,
+                      unsigned other_reg) override
+    {
+        segmap_.ShareSegment(pid, reg, other, other_reg);
+    }
+
+    // ---- The hot path ----------------------------------------------------
+
+    /** Executes one memory reference through the whole memory system. */
+    void Access(const MemRef& ref) override;
+
+    /** Convenience overload. */
+    void Access(Pid pid, ProcessAddr addr, AccessType type)
+    {
+        Access(MemRef{pid, addr, type});
+    }
+
+    /** Accounts a context switch (scheduler notification). */
+    void OnContextSwitch() override;
+
+    // ---- State access ------------------------------------------------------
+
+    const sim::MachineConfig& config() const override { return config_; }
+    const sim::EventCounts& events() const { return events_; }
+    const sim::TimingModel& timing() const { return timing_; }
+    const cache::VirtualCache& vcache() const { return vcache_; }
+    const vm::VirtualMemory& memory() const { return *vm_; }
+    const pt::PageTable& page_table() const { return table_; }
+    const pt::SegmentMap& segments() const { return segmap_; }
+
+    policy::DirtyPolicyKind dirty_kind() const { return dirty_->kind(); }
+    policy::RefPolicyKind ref_kind() const { return ref_->kind(); }
+
+    /**
+     * Attaches the hardware counter model: every subsequent event is also
+     * mirrored into it (slower; used by fidelity tests and examples).
+     * Pass nullptr to detach.
+     */
+    void AttachPerfCounters(sim::PerfCounters* counters)
+    {
+        events_.SetObserver(counters);
+    }
+
+    /** The global virtual address a reference resolves to (for tests). */
+    GlobalAddr ToGlobal(Pid pid, ProcessAddr addr) const
+    {
+        return segmap_.ToGlobal(pid, addr);
+    }
+
+  private:
+    sim::MachineConfig config_;
+    sim::EventCounts events_;
+    sim::TimingModel timing_;
+    pt::SegmentMap segmap_;
+    pt::PageTable table_;
+    cache::VirtualCache vcache_;
+    xlate::Translator xlate_;
+    std::unique_ptr<policy::DirtyPolicy> dirty_;
+    std::unique_ptr<policy::RefPolicy> ref_;
+    std::unique_ptr<vm::VirtualMemory> vm_;
+
+    /// Region starts (global vpn) per process, keyed by process base addr.
+    std::unordered_map<Pid,
+                       std::unordered_map<ProcessAddr, GlobalVpn>>
+        process_regions_;
+
+    /// Cached cost of fetching one block from memory.
+    Cycles block_fetch_cycles_;
+
+    /** Handles the miss path for @p gva; @p type as in Access(). */
+    void AccessMiss(GlobalAddr gva, AccessType type);
+
+    /** Returns the PTE backing a *hit* line (must exist and be valid). */
+    pt::Pte& ResidentPte(GlobalAddr gva);
+
+    /** Applies a DirtyCost to the timing buckets. */
+    void ChargeDirty(const policy::DirtyCost& cost);
+};
+
+}  // namespace spur::core
+
+#endif  // SPUR_CORE_SYSTEM_H_

@@ -1,0 +1,219 @@
+#include "src/core/tlb_system.h"
+
+#include <string>
+
+#include "src/common/log.h"
+
+namespace spur::core {
+
+cache::FlushResult
+TlbSystem::ReclaimFlusher::FlushPageChecked(GlobalAddr addr)
+{
+    TlbSystem& sys = system_;
+    const GlobalVpn vpn = addr >> sys.config_.PageShift();
+    cache::FlushResult result;
+    const pt::Pte* pte = sys.table_.Find(vpn);
+    if (pte != nullptr && pte->valid()) {
+        // Invalidate the physical frame's lines (the next occupant of the
+        // frame arrives by I/O, which is not coherent with the cache).
+        const PhysAddr frame_base = static_cast<PhysAddr>(pte->pfn())
+                                    << sys.config_.PageShift();
+        result = sys.pcache_.FlushPageChecked(frame_base);
+    }
+    // Shoot down the translation.
+    sys.tlb_.Invalidate(vpn);
+    return result;
+}
+
+policy::RefCost
+TlbSystem::TlbRefPolicy::OnCacheMiss(pt::Pte& pte, sim::EventCounts& events)
+{
+    // Never called on the TLB machine's hot path (bits are set during
+    // translation), but keep it correct for the shared VM code.
+    (void)events;
+    pte.set_referenced(true);
+    return policy::RefCost{};
+}
+
+policy::RefCost
+TlbSystem::TlbRefPolicy::ClearRefBit(pt::Pte& pte, GlobalAddr page_addr,
+                                     sim::EventCounts& events)
+{
+    events.Add(sim::Event::kRefClear);
+    pte.set_referenced(false);
+    // The cached translation must go, or the hardware would keep
+    // skipping the R update: the TLB shootdown is the whole cost of
+    // clearing a bit here (no cache flush!).
+    system_.tlb_.Invalidate(page_addr >> system_.config_.PageShift());
+    policy::RefCost cost;
+    cost.kernel_cycles = system_.config_.t_ref_clear;
+    return cost;
+}
+
+TlbSystem::TlbSystem(const sim::MachineConfig& config, uint32_t tlb_entries)
+    : config_(config),
+      timing_(config_),
+      tlb_(tlb_entries),
+      pcache_(config_),
+      flusher_(*this),
+      ref_policy_(*this),
+      block_fetch_cycles_(config_.BlockFetchCycles()),
+      // A miss walks two levels in memory: one block fetch per level.
+      t_walk_(2 * Cycles{config.BlockFetchCycles()})
+{
+    config_.Validate();
+    // MIN is exactly right here: the hardware maintains D with zero
+    // marginal cost, so only intrinsic state changes happen.
+    dirty_ = policy::MakeDirtyPolicy(policy::DirtyPolicyKind::kMin,
+                                     pcache_, config_);
+    vm_ = std::make_unique<vm::VirtualMemory>(config_, table_, flusher_,
+                                              events_, timing_);
+    vm_->SetPolicies(dirty_.get(), &ref_policy_);
+}
+
+TlbSystem::~TlbSystem() = default;
+
+Pid
+TlbSystem::CreateProcess()
+{
+    const Pid pid = segmap_.CreateProcess();
+    process_regions_[pid];
+    return pid;
+}
+
+void
+TlbSystem::DestroyProcess(Pid pid)
+{
+    auto it = process_regions_.find(pid);
+    if (it == process_regions_.end()) {
+        Fatal("TlbSystem: destroying unknown pid " + std::to_string(pid));
+    }
+    for (const auto& [base, start_vpn] : it->second) {
+        vm_->UnmapRegion(start_vpn);
+    }
+    process_regions_.erase(it);
+    segmap_.DestroyProcess(pid);
+    OnContextSwitch();
+}
+
+void
+TlbSystem::MapRegion(Pid pid, ProcessAddr base, uint64_t bytes,
+                     vm::PageKind kind)
+{
+    const uint64_t page_bytes = config_.page_bytes;
+    if (base % page_bytes != 0 || bytes == 0 || bytes % page_bytes != 0) {
+        Fatal("TlbSystem: region must be page aligned and nonempty");
+    }
+    auto it = process_regions_.find(pid);
+    if (it == process_regions_.end()) {
+        Fatal("TlbSystem: MapRegion on unknown pid");
+    }
+    const GlobalAddr gva = segmap_.ToGlobal(pid, base);
+    const GlobalVpn start = gva >> config_.PageShift();
+    vm_->MapRegion(start, bytes / page_bytes, kind);
+    it->second.emplace(base, start);
+}
+
+pt::Pte&
+TlbSystem::Translate(GlobalAddr gva, bool is_write)
+{
+    const GlobalVpn vpn = gva >> config_.PageShift();
+    timing_.Charge(sim::TimeBucket::kXlate, t_tlb_);
+    if (!tlb_.Lookup(vpn)) {
+        // Hardware page-table walk.
+        events_.Add(sim::Event::kXlatePteMiss);
+        timing_.Charge(sim::TimeBucket::kXlate, t_walk_);
+        tlb_.Insert(vpn);
+    } else {
+        events_.Add(sim::Event::kXlatePteHit);
+    }
+    pt::Pte* pte = table_.FindMutable(vpn);
+    if (pte == nullptr || !pte->valid()) {
+        pte = &vm_->HandlePageFault(gva);
+        tlb_.Insert(vpn);
+    }
+    // The famous free lunch: R and D are set as a side effect of the
+    // translation the machine had to do anyway.
+    if (!pte->referenced()) {
+        pte->set_referenced(true);
+    }
+    if (is_write && !pte->dirty()) {
+        events_.Add(sim::Event::kDirtyFault);  // Bookkeeping: a
+        if (pte->zfod_clean()) {               // clean->dirty transition,
+            events_.Add(sim::Event::kDirtyFaultZfod);  // not a fault.
+            pte->set_zfod_clean(false);
+        }
+        pte->set_dirty(true);
+    }
+    return *pte;
+}
+
+void
+TlbSystem::Access(const MemRef& ref)
+{
+    const GlobalAddr gva = segmap_.ToGlobal(ref.pid, ref.addr);
+    const bool is_write = ref.type == AccessType::kWrite;
+
+    switch (ref.type) {
+      case AccessType::kIFetch:
+        events_.Add(sim::Event::kIFetch);
+        break;
+      case AccessType::kRead:
+        events_.Add(sim::Event::kRead);
+        break;
+      case AccessType::kWrite:
+        events_.Add(sim::Event::kWrite);
+        break;
+    }
+
+    // Translation first: it is on the critical path of every access.
+    pt::Pte& pte = Translate(gva, is_write);
+    const PhysAddr pa =
+        (static_cast<PhysAddr>(pte.pfn()) << config_.PageShift()) |
+        (gva & (config_.page_bytes - 1));
+
+    cache::Line* line = pcache_.Lookup(pa);
+    if (line != nullptr) {
+        timing_.Charge(sim::TimeBucket::kExecute, config_.t_cache_hit);
+        if (is_write) {
+            if (!line->block_dirty) {
+                events_.Add(sim::Event::kWriteHitCleanBlock);
+            }
+            cache::VirtualCache::MarkWritten(*line);
+        }
+        return;
+    }
+
+    switch (ref.type) {
+      case AccessType::kIFetch:
+        events_.Add(sim::Event::kIFetchMiss);
+        break;
+      case AccessType::kRead:
+        events_.Add(sim::Event::kReadMiss);
+        break;
+      case AccessType::kWrite:
+        events_.Add(sim::Event::kWriteMiss);
+        break;
+    }
+    cache::Eviction eviction;
+    cache::Line& filled =
+        pcache_.Fill(pa, pte.protection(), pte.dirty(), &eviction);
+    if (eviction.writeback) {
+        events_.Add(sim::Event::kWriteback);
+        timing_.Charge(sim::TimeBucket::kMissStall, block_fetch_cycles_);
+    }
+    timing_.Charge(sim::TimeBucket::kMissStall, block_fetch_cycles_);
+    if (is_write) {
+        events_.Add(sim::Event::kWriteMissFill);
+        cache::VirtualCache::MarkWritten(filled);
+    }
+}
+
+void
+TlbSystem::OnContextSwitch()
+{
+    events_.Add(sim::Event::kContextSwitch);
+    timing_.Charge(sim::TimeBucket::kKernel, config_.t_context_switch);
+}
+
+}  // namespace spur::core

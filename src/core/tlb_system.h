@@ -1,0 +1,159 @@
+/**
+ * @file
+ * TlbSystem: the conventional machine the paper argues against — a
+ * physically addressed cache behind a TLB.
+ *
+ * Every reference translates through the TLB before (conceptually, in
+ * series with) the cache access, so translation adds a cycle to every
+ * hit; in exchange the reference and dirty bits are checked and set as a
+ * side effect of the mandatory TLB access — no faults, no dirty-bit
+ * misses, no flush-on-clear.  A TLB miss walks the two-level page table
+ * in memory.
+ *
+ * Differences from the virtual-cache machine that the model captures:
+ *  - hit time: t_cache_hit + t_tlb vs. t_cache_hit;
+ *  - bit maintenance: free vs. the Section 3/4 machinery;
+ *  - page reclaim: a TLB shootdown instead of a cache flush (the
+ *    physical cache needs no flush when a *virtual* page dies; its
+ *    frame's lines are invalidated when the frame is refilled by I/O);
+ *  - the page daemon reads true reference bits (TLB systems get REF
+ *    semantics for free).
+ *
+ * Shares the Sprite VM, frame table, page table, and workload machinery
+ * with the SPUR machine, so `bench/ablation_tlb_baseline` can run the
+ * identical workload on both.
+ */
+#ifndef SPUR_CORE_TLB_SYSTEM_H_
+#define SPUR_CORE_TLB_SYSTEM_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "src/cache/cache.h"
+#include "src/core/host.h"
+#include "src/cache/flusher.h"
+#include "src/common/types.h"
+#include "src/policy/dirty_policy.h"
+#include "src/policy/ref_policy.h"
+#include "src/pt/page_table.h"
+#include "src/pt/segment_map.h"
+#include "src/sim/config.h"
+#include "src/sim/events.h"
+#include "src/sim/timing.h"
+#include "src/vm/vm.h"
+#include "src/xlate/tlb.h"
+
+namespace spur::core {
+
+/** The TLB + physical-cache baseline machine. */
+class TlbSystem : public WorkloadHost
+{
+  public:
+    explicit TlbSystem(const sim::MachineConfig& config,
+                       uint32_t tlb_entries = 64);
+
+    ~TlbSystem();
+
+    TlbSystem(const TlbSystem&) = delete;
+    TlbSystem& operator=(const TlbSystem&) = delete;
+
+    // ---- Address-space management (same surface as SpurSystem) ----------
+
+    Pid CreateProcess() override;
+    void DestroyProcess(Pid pid) override;
+    void MapRegion(Pid pid, ProcessAddr base, uint64_t bytes,
+                   vm::PageKind kind) override;
+    void ShareSegment(Pid pid, unsigned reg, Pid other,
+                      unsigned other_reg) override
+    {
+        segmap_.ShareSegment(pid, reg, other, other_reg);
+    }
+
+    // ---- The hot path ------------------------------------------------------
+
+    /** Executes one memory reference. */
+    void Access(const MemRef& ref) override;
+
+    void Access(Pid pid, ProcessAddr addr, AccessType type)
+    {
+        Access(MemRef{pid, addr, type});
+    }
+
+    /** Context switch: untagged TLBs flush (we use the global space, so
+     *  like SPUR no flush is needed — only the switch cost). */
+    void OnContextSwitch() override;
+
+    // ---- State access ------------------------------------------------------
+
+    const sim::MachineConfig& config() const override { return config_; }
+    const sim::EventCounts& events() const { return events_; }
+    const sim::TimingModel& timing() const { return timing_; }
+    const xlate::Tlb& tlb() const { return tlb_; }
+    const vm::VirtualMemory& memory() const { return *vm_; }
+    GlobalAddr ToGlobal(Pid pid, ProcessAddr addr) const
+    {
+        return segmap_.ToGlobal(pid, addr);
+    }
+
+  private:
+    /**
+     * The VM's reclaim flush, physical-cache style: translate the dying
+     * page to its frame, invalidate the frame's cache lines, and shoot
+     * the TLB entry down.
+     */
+    class ReclaimFlusher : public cache::PageFlusher
+    {
+      public:
+        explicit ReclaimFlusher(TlbSystem& system) : system_(system) {}
+        cache::FlushResult FlushPageChecked(GlobalAddr addr) override;
+
+      private:
+        TlbSystem& system_;
+    };
+
+    /** TLB machines maintain true reference bits for free. */
+    class TlbRefPolicy : public policy::RefPolicy
+    {
+      public:
+        explicit TlbRefPolicy(TlbSystem& system) : system_(system) {}
+        policy::RefPolicyKind kind() const override
+        {
+            return policy::RefPolicyKind::kRef;
+        }
+        policy::RefCost OnCacheMiss(pt::Pte& pte,
+                                    sim::EventCounts& events) override;
+        bool ReadRefBit(const pt::Pte& pte) const override
+        {
+            return pte.referenced();
+        }
+        policy::RefCost ClearRefBit(pt::Pte& pte, GlobalAddr page_addr,
+                                    sim::EventCounts& events) override;
+
+      private:
+        TlbSystem& system_;
+    };
+
+    sim::MachineConfig config_;
+    sim::EventCounts events_;
+    sim::TimingModel timing_;
+    pt::SegmentMap segmap_;
+    pt::PageTable table_;
+    xlate::Tlb tlb_;
+    cache::VirtualCache pcache_;  ///< Physically indexed/tagged cache.
+    ReclaimFlusher flusher_;
+    TlbRefPolicy ref_policy_;
+    std::unique_ptr<policy::DirtyPolicy> dirty_;  ///< MIN: bits are free.
+    std::unique_ptr<vm::VirtualMemory> vm_;
+    std::unordered_map<Pid, std::unordered_map<ProcessAddr, GlobalVpn>>
+        process_regions_;
+    Cycles block_fetch_cycles_;
+    Cycles t_tlb_ = 1;         ///< Serial TLB access per reference.
+    Cycles t_walk_;            ///< Page-table walk on a TLB miss.
+
+    /** Translates, updating R/D for free; returns the live PTE. */
+    pt::Pte& Translate(GlobalAddr gva, bool is_write);
+};
+
+}  // namespace spur::core
+
+#endif  // SPUR_CORE_TLB_SYSTEM_H_

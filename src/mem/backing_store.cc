@@ -1,0 +1,25 @@
+#include "src/mem/backing_store.h"
+
+namespace spur::mem {
+
+uint64_t
+BackingStore::PageOut(GlobalVpn vpn)
+{
+    stored_.insert(vpn);
+    return ++page_outs_;
+}
+
+uint64_t
+BackingStore::PageIn(GlobalVpn vpn)
+{
+    (void)vpn;  // Presence is not required: initial file-system page-ins.
+    return ++page_ins_;
+}
+
+void
+BackingStore::Discard(GlobalVpn vpn)
+{
+    stored_.erase(vpn);
+}
+
+}  // namespace spur::mem

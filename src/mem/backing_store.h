@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The paging backing store (swap device plus file system, merged: Sprite
+ * pages program text in from the file server and data to/from swap; for
+ * the metrics in the paper only the count and kind of paging I/Os matter).
+ *
+ * Tracks which global pages currently have a backing copy, counts paging
+ * I/Os, and prices each operation through a simple disk latency model.
+ */
+#ifndef SPUR_MEM_BACKING_STORE_H_
+#define SPUR_MEM_BACKING_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+
+#include "src/common/types.h"
+
+namespace spur::mem {
+
+/** Paging I/O accounting and the swap-presence set. */
+class BackingStore
+{
+  public:
+    BackingStore() = default;
+
+    BackingStore(const BackingStore&) = delete;
+    BackingStore& operator=(const BackingStore&) = delete;
+
+    /**
+     * Records a page-out of @p vpn (the page now has a backing copy).
+     * Returns the I/O count after the operation.
+     */
+    uint64_t PageOut(GlobalVpn vpn);
+
+    /**
+     * Records a page-in of @p vpn.  It is legal to page in a page with no
+     * backing copy: that models initial text/data page-ins from the file
+     * system.
+     */
+    uint64_t PageIn(GlobalVpn vpn);
+
+    /** Forgets the backing copy (address space teardown). */
+    void Discard(GlobalVpn vpn);
+
+    /** True when @p vpn has a swap/file copy from an earlier page-out. */
+    bool HasCopy(GlobalVpn vpn) const
+    {
+        return stored_.find(vpn) != stored_.end();
+    }
+
+    /** Total page-out I/Os so far. */
+    uint64_t NumPageOuts() const { return page_outs_; }
+
+    /** Total page-in I/Os so far. */
+    uint64_t NumPageIns() const { return page_ins_; }
+
+    /** Total paging I/Os (ins + outs). */
+    uint64_t NumIos() const { return page_ins_ + page_outs_; }
+
+    /** Pages currently resident in the store. */
+    size_t NumStored() const { return stored_.size(); }
+
+  private:
+    std::unordered_set<GlobalVpn> stored_;
+    uint64_t page_ins_ = 0;
+    uint64_t page_outs_ = 0;
+};
+
+}  // namespace spur::mem
+
+#endif  // SPUR_MEM_BACKING_STORE_H_

@@ -1,0 +1,76 @@
+#include "src/mem/frame_table.h"
+
+#include <string>
+
+#include "src/common/log.h"
+
+namespace spur::mem {
+
+FrameTable::FrameTable(uint32_t total_frames, uint32_t wired_frames)
+    : total_(total_frames),
+      wired_(wired_frames),
+      pageable_(total_frames > wired_frames ? total_frames - wired_frames
+                                            : 0),
+      vpn_of_(total_frames, kNoVpn),
+      allocated_(total_frames, false)
+{
+    if (wired_frames >= total_frames) {
+        Fatal("FrameTable: wired frames (" + std::to_string(wired_frames) +
+              ") exceed total frames (" + std::to_string(total_frames) +
+              ")");
+    }
+    free_.reserve(pageable_);
+    // Push high frames first so low frame numbers are allocated first;
+    // allocation order is deterministic either way.
+    for (FrameNum f = total_frames; f-- > wired_frames;) {
+        free_.push_back(f);
+    }
+}
+
+FrameNum
+FrameTable::Allocate()
+{
+    if (free_.empty()) {
+        return kInvalidFrame;
+    }
+    const FrameNum frame = free_.back();
+    free_.pop_back();
+    allocated_[frame] = true;
+    return frame;
+}
+
+void
+FrameTable::Free(FrameNum frame)
+{
+    if (frame >= total_ || !allocated_[frame]) {
+        Panic("FrameTable: freeing unallocated frame " +
+              std::to_string(frame));
+    }
+    if (vpn_of_[frame] != kNoVpn) {
+        Panic("FrameTable: freeing bound frame " + std::to_string(frame));
+    }
+    allocated_[frame] = false;
+    free_.push_back(frame);
+}
+
+void
+FrameTable::Bind(FrameNum frame, GlobalVpn vpn)
+{
+    if (frame >= total_ || !allocated_[frame]) {
+        Panic("FrameTable: binding unallocated frame " +
+              std::to_string(frame));
+    }
+    vpn_of_[frame] = vpn;
+}
+
+void
+FrameTable::Unbind(FrameNum frame)
+{
+    if (frame >= total_ || !allocated_[frame]) {
+        Panic("FrameTable: unbinding unallocated frame " +
+              std::to_string(frame));
+    }
+    vpn_of_[frame] = kNoVpn;
+}
+
+}  // namespace spur::mem

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Physical memory frame accounting: a free list plus a reverse map from
+ * frame number to the global virtual page occupying it (needed by the
+ * page daemon to find replacement candidates and by page-out to know what
+ * it is writing).
+ */
+#ifndef SPUR_MEM_FRAME_TABLE_H_
+#define SPUR_MEM_FRAME_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace spur::mem {
+
+/** Sentinel vpn for an unbound frame. */
+inline constexpr GlobalVpn kNoVpn = ~GlobalVpn{0};
+
+/** Tracks the allocation state of every physical page frame. */
+class FrameTable
+{
+  public:
+    /**
+     * @param total_frames  physical frames in the machine.
+     * @param wired_frames  frames permanently reserved for the kernel and
+     *                      wired page tables; never allocatable.
+     */
+    FrameTable(uint32_t total_frames, uint32_t wired_frames);
+
+    FrameTable(const FrameTable&) = delete;
+    FrameTable& operator=(const FrameTable&) = delete;
+
+    /** Takes a frame from the free list; kInvalidFrame when exhausted. */
+    FrameNum Allocate();
+
+    /** Returns @p frame to the free list (must be allocated and unbound). */
+    void Free(FrameNum frame);
+
+    /** Associates @p frame with global page @p vpn. */
+    void Bind(FrameNum frame, GlobalVpn vpn);
+
+    /** Dissolves the association (before Free()). */
+    void Unbind(FrameNum frame);
+
+    /** The page bound to @p frame, or kNoVpn. */
+    GlobalVpn VpnOf(FrameNum frame) const { return vpn_of_[frame]; }
+
+    /** Number of frames currently on the free list. */
+    uint32_t NumFree() const { return static_cast<uint32_t>(free_.size()); }
+
+    /** Frames available to the VM (total minus wired). */
+    uint32_t NumPageable() const { return pageable_; }
+
+    /** Total frames in the machine. */
+    uint32_t NumTotal() const { return total_; }
+
+    /** First allocatable frame number (frames below are wired). */
+    FrameNum FirstPageable() const { return wired_; }
+
+  private:
+    uint32_t total_;
+    uint32_t wired_;
+    uint32_t pageable_;
+    std::vector<GlobalVpn> vpn_of_;
+    std::vector<FrameNum> free_;
+    std::vector<bool> allocated_;
+};
+
+}  // namespace spur::mem
+
+#endif  // SPUR_MEM_FRAME_TABLE_H_

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The five dirty-bit maintenance alternatives of Section 3 (Table 3.1).
+ *
+ * | Policy | Mechanism                                                    |
+ * |--------|--------------------------------------------------------------|
+ * | FAULT  | Emulate dirty bits with protection; writes to previously    |
+ * |        | cached blocks cause *excess faults*.                         |
+ * | FLUSH  | FAULT, plus flush the page from the cache on the first      |
+ * |        | fault, preventing excess faults.                             |
+ * | SPUR   | Cache a copy of the page dirty bit with each block; check   |
+ * |        | the PTE before faulting; refresh stale copies with a cheap  |
+ * |        | *dirty-bit miss*.                                            |
+ * | WRITE  | Check the PTE on the first write to each cache block        |
+ * |        | (Sun-3 style, but faulting to software).                     |
+ * | MIN    | Oracle: only the intrinsic necessary faults, no checking    |
+ * |        | overhead.  Lower bound for comparisons.                      |
+ *
+ * Two variants the paper describes but did not build are also provided:
+ *
+ * | SPUR-PROT | Section 3.1's generalized SPUR scheme applied to the     |
+ * |           | protection field instead of an explicit dirty bit: a     |
+ * |           | stale read-only cached copy is refreshed with a          |
+ * |           | "protection bit miss" after checking the PTE.  The paper |
+ * |           | notes its performance is identical to SPUR's; the test   |
+ * |           | suite verifies that equivalence.                          |
+ * | WRITE-HW  | The actual Sun-3 mechanism: the hardware *updates* the   |
+ * |           | dirty bit itself on the first write to each block — no   |
+ * |           | faults at all, but the per-block check cost remains.      |
+ *
+ * All policies share the software fault handler (cost t_ds) that actually
+ * sets the dirty information in the PTE; they differ in *when* control
+ * reaches it and what hardware checking costs accrue.
+ */
+#ifndef SPUR_POLICY_DIRTY_POLICY_H_
+#define SPUR_POLICY_DIRTY_POLICY_H_
+
+#include <memory>
+#include <string>
+
+#include "src/cache/cache.h"
+#include "src/cache/flusher.h"
+#include "src/common/types.h"
+#include "src/pt/pte.h"
+#include "src/sim/config.h"
+#include "src/sim/events.h"
+
+namespace spur::policy {
+
+/** Selector for the dirty-bit alternative. */
+enum class DirtyPolicyKind : uint8_t {
+    kMin,
+    kFault,
+    kFlush,
+    kSpur,
+    kWrite,
+    kSpurProt,  ///< SPUR semantics on the protection field (no extra bit).
+    kWriteHw,   ///< Sun-3 hardware dirty-bit update (no faults).
+};
+
+/** Returns the paper's name for the policy ("FAULT", "SPUR", ...). */
+const char* ToString(DirtyPolicyKind kind);
+
+/** Parses a policy name (case-insensitive); fatal on unknown names. */
+DirtyPolicyKind ParseDirtyPolicy(const std::string& name);
+
+/** Cycle charges produced by a policy action, by destination bucket. */
+struct DirtyCost {
+    Cycles fault_cycles = 0;  ///< Software fault handler time.
+    Cycles flush_cycles = 0;  ///< Page flush time (FLUSH policy).
+    Cycles aux_cycles = 0;    ///< Dirty-bit misses / PTE dirty checks.
+    /// The written line was invalidated (page flushed); the system must
+    /// re-execute the write as a cache miss.
+    bool line_invalidated = false;
+};
+
+/**
+ * Interface of a dirty-bit maintenance policy.
+ *
+ * The SpurSystem calls OnWriteHit for every write that hits in the cache
+ * and OnWriteMiss for every write after its miss has been translated
+ * (PTE in hand, page resident).  Policies update PTE and line state,
+ * count events, and report cycle charges.
+ */
+class DirtyPolicy
+{
+  public:
+    virtual ~DirtyPolicy() = default;
+
+    DirtyPolicy(const DirtyPolicy&) = delete;
+    DirtyPolicy& operator=(const DirtyPolicy&) = delete;
+
+    /** Which alternative this is. */
+    virtual DirtyPolicyKind kind() const = 0;
+
+    /**
+     * Protection value the VM installs in the PTE when a page becomes
+     * resident while clean.  FAULT/FLUSH deliberately under-protect
+     * writable pages as read-only; the others install the real protection.
+     */
+    virtual Protection ResidentProtection(bool writable) const = 0;
+
+    /**
+     * True when a write hitting @p line needs no policy action (the
+     * cached checks pass).  The system skips the PTE lookup and the
+     * OnWriteHit call entirely on this fast path — exactly the "proceed
+     * without delay" case of the hardware.
+     */
+    virtual bool WriteHitFastPath(const cache::Line& line) const = 0;
+
+    /** Handles a write that hit on @p line (slow path only). */
+    virtual DirtyCost OnWriteHit(cache::Line& line, GlobalAddr addr,
+                                 pt::Pte& pte, sim::EventCounts& events) = 0;
+
+    /** Handles a write miss after translation (before the fill). */
+    virtual DirtyCost OnWriteMiss(GlobalAddr addr, pt::Pte& pte,
+                                  sim::EventCounts& events) = 0;
+
+    /**
+     * The policy's notion of "this page is modified", consulted by the
+     * page daemon at replacement time.  FAULT/FLUSH use the software
+     * dirty bit; the hardware policies use the PTE D bit.
+     */
+    virtual bool IsPageDirty(const pt::Pte& pte) const = 0;
+
+  protected:
+    DirtyPolicy() = default;
+};
+
+/**
+ * Creates a policy instance.
+ *
+ * @param kind     which alternative.
+ * @param flusher  the machine's cache(s): FLUSH purges pages through it.
+ * @param config   time parameters (Table 3.2).
+ */
+std::unique_ptr<DirtyPolicy> MakeDirtyPolicy(DirtyPolicyKind kind,
+                                             cache::PageFlusher& flusher,
+                                             const sim::MachineConfig& config);
+
+}  // namespace spur::policy
+
+#endif  // SPUR_POLICY_DIRTY_POLICY_H_

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The three reference-bit policies of Section 4.
+ *
+ * | Policy | Mechanism                                                     |
+ * |--------|---------------------------------------------------------------|
+ * | MISS   | Check the reference bit only on cache misses (free: the PTE  |
+ * |        | is in hand for translation); fault to software to set it.    |
+ * |        | Blocks that stay cache-resident never re-set the bit, so the |
+ * |        | daemon can replace genuinely active pages.                    |
+ * | REF    | True reference bits: the daemon flushes the page from the    |
+ * |        | cache whenever it clears the bit, guaranteeing the next      |
+ * |        | reference misses and re-sets it.                              |
+ * | NOREF  | No reference bits: reads of the bit always return false and  |
+ * |        | clears are no-ops (the hardware bit stays set so no ref      |
+ * |        | faults ever occur); replacement degenerates to sweep order.   |
+ */
+#ifndef SPUR_POLICY_REF_POLICY_H_
+#define SPUR_POLICY_REF_POLICY_H_
+
+#include <memory>
+#include <string>
+
+#include "src/cache/cache.h"
+#include "src/cache/flusher.h"
+#include "src/common/types.h"
+#include "src/pt/pte.h"
+#include "src/sim/config.h"
+#include "src/sim/events.h"
+
+namespace spur::policy {
+
+/** Selector for the reference-bit policy. */
+enum class RefPolicyKind : uint8_t {
+    kMiss,
+    kRef,
+    kNoRef,
+};
+
+/** Returns the paper's name for the policy ("MISS", "REF", "NOREF"). */
+const char* ToString(RefPolicyKind kind);
+
+/** Parses a policy name (case-insensitive); fatal on unknown names. */
+RefPolicyKind ParseRefPolicy(const std::string& name);
+
+/** Cycle charges from a reference-bit action. */
+struct RefCost {
+    Cycles fault_cycles = 0;   ///< Reference faults (software handler).
+    Cycles flush_cycles = 0;   ///< Page flushes on clear (REF policy).
+    Cycles kernel_cycles = 0;  ///< Bit clearing work in the daemon.
+};
+
+/** Interface of a reference-bit policy. */
+class RefPolicy
+{
+  public:
+    virtual ~RefPolicy() = default;
+
+    RefPolicy(const RefPolicy&) = delete;
+    RefPolicy& operator=(const RefPolicy&) = delete;
+
+    /** Which policy this is. */
+    virtual RefPolicyKind kind() const = 0;
+
+    /**
+     * Called on every cache miss after translation: the hardware checks
+     * the PTE's R bit and faults to software when it must be set.
+     */
+    virtual RefCost OnCacheMiss(pt::Pte& pte, sim::EventCounts& events) = 0;
+
+    /** The page daemon's read of the reference bit. */
+    virtual bool ReadRefBit(const pt::Pte& pte) const = 0;
+
+    /**
+     * The page daemon's clear of the reference bit for page @p vpn whose
+     * blocks live at global page address @p page_addr.
+     */
+    virtual RefCost ClearRefBit(pt::Pte& pte, GlobalAddr page_addr,
+                                sim::EventCounts& events) = 0;
+
+  protected:
+    RefPolicy() = default;
+};
+
+/** Creates a reference policy (REF flushes pages through the machine's
+ *  cache(s) when clearing bits). */
+std::unique_ptr<RefPolicy> MakeRefPolicy(RefPolicyKind kind,
+                                         cache::PageFlusher& flusher,
+                                         const sim::MachineConfig& config);
+
+}  // namespace spur::policy
+
+#endif  // SPUR_POLICY_REF_POLICY_H_

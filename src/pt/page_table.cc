@@ -1,0 +1,35 @@
+#include "src/pt/page_table.h"
+
+namespace spur::pt {
+
+const Pte*
+PageTable::Find(GlobalVpn vpn) const
+{
+    const auto it = pages_.find(SecondLevelIndex(vpn));
+    if (it == pages_.end()) {
+        return nullptr;
+    }
+    return &(*it->second)[vpn % kPtesPerPage];
+}
+
+Pte*
+PageTable::FindMutable(GlobalVpn vpn)
+{
+    const auto it = pages_.find(SecondLevelIndex(vpn));
+    if (it == pages_.end()) {
+        return nullptr;
+    }
+    return &(*it->second)[vpn % kPtesPerPage];
+}
+
+Pte&
+PageTable::Ensure(GlobalVpn vpn)
+{
+    auto& page = pages_[SecondLevelIndex(vpn)];
+    if (!page) {
+        page = std::make_unique<TablePage>();
+    }
+    return (*page)[vpn % kPtesPerPage];
+}
+
+}  // namespace spur::pt

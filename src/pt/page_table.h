@@ -1,0 +1,97 @@
+/**
+ * @file
+ * SPUR's two-level page table over the global virtual address space.
+ *
+ * The *first-level* PTE for global virtual page `vpn` lives at a fixed
+ * global virtual address computed by shift-and-concatenate hardware:
+ * `PteBase + vpn * 4`.  First-level PTE pages are ordinary pageable
+ * memory and their blocks compete for cache space ("in-cache translation",
+ * [Wood86]).  The *second-level* page tables, which map the first-level
+ * PTE pages, are wired down at well-known physical addresses, so a
+ * second-level access always goes straight to memory and cannot fault.
+ *
+ * We store PTE contents authoritatively here; the cache models only which
+ * PTE *blocks* are resident (for timing), since on a coherent uniprocessor
+ * the cached PTE data can never be stale.  What can go stale are the
+ * copies of PR / page-dirty bits held in cache *tags*, which is the whole
+ * subject of the paper and is modelled in the cache module.
+ */
+#ifndef SPUR_PT_PAGE_TABLE_H_
+#define SPUR_PT_PAGE_TABLE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "src/common/types.h"
+#include "src/pt/pte.h"
+
+namespace spur::pt {
+
+/** PTEs per first-level page-table page (4 KB / 4 B). */
+inline constexpr uint64_t kPtesPerPage = 1024;
+
+/**
+ * Global segment number housing the linear first-level PTE array.  Chosen
+ * far above anything the segment allocator hands out, so PTE addresses
+ * never collide with user segments.
+ */
+inline constexpr uint64_t kPteSegment = uint64_t{1} << 20;
+
+/** Base global virtual address of the first-level PTE array. */
+inline constexpr GlobalAddr kPteBase = kPteSegment << 30;
+
+/** The global page table (one per machine; shared by all processes). */
+class PageTable
+{
+  public:
+    PageTable() = default;
+
+    PageTable(const PageTable&) = delete;
+    PageTable& operator=(const PageTable&) = delete;
+
+    /**
+     * Returns the PTE for @p vpn, or nullptr when no first-level table
+     * page covers it yet (the OS has never mapped anything nearby).
+     */
+    const Pte* Find(GlobalVpn vpn) const;
+
+    /** Mutable variant of Find(). */
+    Pte* FindMutable(GlobalVpn vpn);
+
+    /** Returns the PTE for @p vpn, creating its table page on demand. */
+    Pte& Ensure(GlobalVpn vpn);
+
+    /** Global virtual address of the first-level PTE for @p vpn
+     *  (the shift-and-concatenate circuit). */
+    static GlobalAddr PteVa(GlobalVpn vpn) { return kPteBase + vpn * 4; }
+
+    /** True when @p addr lies inside the first-level PTE array. */
+    static bool IsPteAddr(GlobalAddr addr) { return addr >= kPteBase; }
+
+    /** Inverse of PteVa() (valid only for PTE addresses). */
+    static GlobalVpn VpnOfPteVa(GlobalAddr addr)
+    {
+        return (addr - kPteBase) / 4;
+    }
+
+    /** Index of the second-level PTE consulted for @p vpn (the page of
+     *  first-level PTEs it lives in). */
+    static uint64_t SecondLevelIndex(GlobalVpn vpn)
+    {
+        return vpn / kPtesPerPage;
+    }
+
+    /** Number of first-level page-table pages materialized so far
+     *  (these occupy wired kernel frames in the prototype's accounting). */
+    size_t NumTablePages() const { return pages_.size(); }
+
+  private:
+    using TablePage = std::array<Pte, kPtesPerPage>;
+    std::unordered_map<uint64_t, std::unique_ptr<TablePage>> pages_;
+};
+
+}  // namespace spur::pt
+
+#endif  // SPUR_PT_PAGE_TABLE_H_

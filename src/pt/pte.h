@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The SPUR page table entry, packed as in Figure 3.2(a) of the paper.
+ *
+ * A PTE holds the physical frame number plus:
+ *   PR (2 bits)  page protection,
+ *   C            coherency enable,
+ *   K            cacheable,
+ *   D            page dirty bit,
+ *   R            page referenced bit,
+ *   V            page valid (resident) bit.
+ *
+ * Our packing (bit positions are our choice; the paper gives fields, not
+ * positions):
+ *
+ *   31..12  PFN    physical frame number
+ *   11..8   SW     software-available bits (bit 8 = Sprite's software
+ *                  dirty bit used when emulating dirty bits with
+ *                  protection; bit 9 = "page is writable by intent")
+ *   7..6    PR     protection (00 none, 01 read-only, 10 read-write)
+ *   5       C      coherency enable
+ *   4       K      cacheable
+ *   3       D      page dirty
+ *   2       R      page referenced
+ *   1       V      valid
+ *   0       --     reserved, reads as zero
+ */
+#ifndef SPUR_PT_PTE_H_
+#define SPUR_PT_PTE_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace spur::pt {
+
+/** A 32-bit SPUR page table entry (value type, freely copyable). */
+class Pte
+{
+  public:
+    Pte() = default;
+    explicit Pte(uint32_t raw) : raw_(raw) {}
+
+    /** The raw 32-bit register image. */
+    uint32_t raw() const { return raw_; }
+
+    // ---- Field accessors --------------------------------------------------
+    FrameNum pfn() const { return raw_ >> kPfnShift; }
+    void set_pfn(FrameNum pfn)
+    {
+        raw_ = (raw_ & ~kPfnMask) | (pfn << kPfnShift);
+    }
+
+    Protection protection() const
+    {
+        return static_cast<Protection>((raw_ >> kProtShift) & 0x3u);
+    }
+    void set_protection(Protection prot)
+    {
+        raw_ = (raw_ & ~(0x3u << kProtShift)) |
+               (static_cast<uint32_t>(prot) << kProtShift);
+    }
+
+    bool coherent() const { return (raw_ & kCohBit) != 0; }
+    void set_coherent(bool value) { SetBit(kCohBit, value); }
+
+    bool cacheable() const { return (raw_ & kCacheBit) != 0; }
+    void set_cacheable(bool value) { SetBit(kCacheBit, value); }
+
+    /** Hardware page dirty bit (the D of Section 3). */
+    bool dirty() const { return (raw_ & kDirtyBit) != 0; }
+    void set_dirty(bool value) { SetBit(kDirtyBit, value); }
+
+    /** Hardware page referenced bit (the R of Section 4). */
+    bool referenced() const { return (raw_ & kRefBit) != 0; }
+    void set_referenced(bool value) { SetBit(kRefBit, value); }
+
+    /** Valid (page resident) bit. */
+    bool valid() const { return (raw_ & kValidBit) != 0; }
+    void set_valid(bool value) { SetBit(kValidBit, value); }
+
+    // ---- Software bits (used by the Sprite-like VM) -----------------------
+    /** Software dirty bit kept by the FAULT/FLUSH emulation handlers. */
+    bool soft_dirty() const { return (raw_ & kSoftDirtyBit) != 0; }
+    void set_soft_dirty(bool value) { SetBit(kSoftDirtyBit, value); }
+
+    /**
+     * True when the page is writable *by intent* even if its current PR is
+     * read-only (the FAULT emulation deliberately under-protects pages).
+     */
+    bool writable_intent() const { return (raw_ & kWritableBit) != 0; }
+    void set_writable_intent(bool value) { SetBit(kWritableBit, value); }
+
+    /**
+     * True for a freshly zero-filled page that has not yet taken its dirty
+     * fault.  Dirty faults on such pages are the N_zfod class that
+     * Section 3.2 excludes as non-intrinsic.
+     */
+    bool zfod_clean() const { return (raw_ & kZfodBit) != 0; }
+    void set_zfod_clean(bool value) { SetBit(kZfodBit, value); }
+
+    bool operator==(const Pte& other) const { return raw_ == other.raw_; }
+
+    // Bit layout constants (public so tests can verify Figure 3.2a).
+    static constexpr unsigned kPfnShift = 12;
+    static constexpr uint32_t kPfnMask = 0xFFFFF000u;
+    static constexpr unsigned kProtShift = 6;
+    static constexpr uint32_t kCohBit = 1u << 5;
+    static constexpr uint32_t kCacheBit = 1u << 4;
+    static constexpr uint32_t kDirtyBit = 1u << 3;
+    static constexpr uint32_t kRefBit = 1u << 2;
+    static constexpr uint32_t kValidBit = 1u << 1;
+    static constexpr uint32_t kSoftDirtyBit = 1u << 8;
+    static constexpr uint32_t kWritableBit = 1u << 9;
+    static constexpr uint32_t kZfodBit = 1u << 10;
+
+  private:
+    void SetBit(uint32_t mask, bool value)
+    {
+        raw_ = value ? (raw_ | mask) : (raw_ & ~mask);
+    }
+
+    uint32_t raw_ = 0;
+};
+
+}  // namespace spur::pt
+
+#endif  // SPUR_PT_PTE_H_

@@ -1,0 +1,66 @@
+#include "src/pt/segment_map.h"
+
+#include <string>
+
+#include "src/common/log.h"
+
+namespace spur::pt {
+
+SegmentMap::SegmentMap() = default;
+
+Pid
+SegmentMap::CreateProcess()
+{
+    const Pid pid = static_cast<Pid>(maps_.size());
+    std::array<uint32_t, kSegmentsPerProcess> regs{};
+    for (auto& reg : regs) {
+        reg = AllocateGlobalSegment();
+    }
+    maps_.push_back(regs);
+    alive_.push_back(true);
+    ++live_;
+    return pid;
+}
+
+void
+SegmentMap::DestroyProcess(Pid pid)
+{
+    CheckPid(pid);
+    if (!alive_[pid]) {
+        Panic("SegmentMap: double destroy of pid " + std::to_string(pid));
+    }
+    alive_[pid] = false;
+    --live_;
+}
+
+void
+SegmentMap::ShareSegment(Pid pid, unsigned reg, Pid other_pid,
+                         unsigned other_reg)
+{
+    CheckPid(pid);
+    CheckPid(other_pid);
+    if (reg >= kSegmentsPerProcess || other_reg >= kSegmentsPerProcess) {
+        Fatal("SegmentMap: segment register index must be 0..3");
+    }
+    maps_[pid][reg] = maps_[other_pid][other_reg];
+}
+
+uint32_t
+SegmentMap::SegmentOf(Pid pid, unsigned reg) const
+{
+    CheckPid(pid);
+    if (reg >= kSegmentsPerProcess) {
+        Fatal("SegmentMap: segment register index must be 0..3");
+    }
+    return maps_[pid][reg];
+}
+
+void
+SegmentMap::CheckPid(Pid pid) const
+{
+    if (pid >= maps_.size()) {
+        Fatal("SegmentMap: unknown pid " + std::to_string(pid));
+    }
+}
+
+}  // namespace spur::pt

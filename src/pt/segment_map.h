@@ -1,0 +1,94 @@
+/**
+ * @file
+ * SPUR's segment mapping from process virtual addresses to the shared
+ * global virtual address space.
+ *
+ * The top two bits of a 32-bit process address select one of four segment
+ * registers; each register names a 1 GB *global* segment.  Processes that
+ * share memory are given the same global segment, so a physical page is
+ * only ever cached under one global virtual address — this is how SPUR's
+ * operating system prevents virtual-address synonyms [Hill86].
+ */
+#ifndef SPUR_PT_SEGMENT_MAP_H_
+#define SPUR_PT_SEGMENT_MAP_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace spur::pt {
+
+/** Bits of a process address below the segment selector. */
+inline constexpr unsigned kSegmentShift = 30;
+
+/** Size of one segment in bytes (1 GB). */
+inline constexpr uint64_t kSegmentBytes = uint64_t{1} << kSegmentShift;
+
+/** Segment registers per process. */
+inline constexpr unsigned kSegmentsPerProcess = 4;
+
+/** Sentinel for an unmapped segment register. */
+inline constexpr uint32_t kUnmappedSegment = ~uint32_t{0};
+
+/**
+ * Per-process segment registers and the global-segment allocator.
+ *
+ * Global segment 0 is reserved for the kernel; the page-table segment is
+ * assigned at construction time by the page table itself.
+ */
+class SegmentMap
+{
+  public:
+    SegmentMap();
+
+    SegmentMap(const SegmentMap&) = delete;
+    SegmentMap& operator=(const SegmentMap&) = delete;
+
+    /** Registers a process and backs all four registers with fresh
+     *  private global segments. Returns the new pid. */
+    Pid CreateProcess();
+
+    /** Releases a process's table entry (its segments are not recycled;
+     *  the global space is large). */
+    void DestroyProcess(Pid pid);
+
+    /**
+     * Makes @p pid's segment register @p reg point at the same global
+     * segment as @p other_pid's register @p other_reg (shared memory).
+     */
+    void ShareSegment(Pid pid, unsigned reg, Pid other_pid,
+                      unsigned other_reg);
+
+    /** Translates a process virtual address to a global one. */
+    GlobalAddr ToGlobal(Pid pid, ProcessAddr addr) const
+    {
+        const unsigned reg = addr >> kSegmentShift;
+        const uint32_t seg = maps_[pid][reg];
+        return (static_cast<GlobalAddr>(seg) << kSegmentShift) |
+               (addr & (kSegmentBytes - 1));
+    }
+
+    /** The global segment behind @p pid's register @p reg. */
+    uint32_t SegmentOf(Pid pid, unsigned reg) const;
+
+    /** Allocates a fresh global segment number (also used internally). */
+    uint32_t AllocateGlobalSegment() { return next_segment_++; }
+
+    /** Number of live (created, not destroyed) processes. */
+    size_t NumProcesses() const { return live_; }
+
+  private:
+    std::vector<std::array<uint32_t, kSegmentsPerProcess>> maps_;
+    std::vector<bool> alive_;
+    uint32_t next_segment_ = 1;  // Segment 0 is the kernel's.
+    size_t live_ = 0;
+
+    void CheckPid(Pid pid) const;
+};
+
+}  // namespace spur::pt
+
+#endif  // SPUR_PT_SEGMENT_MAP_H_

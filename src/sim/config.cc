@@ -1,0 +1,40 @@
+#include "src/sim/config.h"
+
+#include <string>
+
+#include "src/common/log.h"
+
+namespace spur::sim {
+
+void
+MachineConfig::Validate() const
+{
+    auto require = [](bool ok, const char* what) {
+        if (!ok) {
+            Fatal(std::string("MachineConfig: ") + what);
+        }
+    };
+    require(IsPowerOfTwo(cache_bytes), "cache size must be a power of two");
+    require(IsPowerOfTwo(block_bytes), "block size must be a power of two");
+    require(IsPowerOfTwo(page_bytes), "page size must be a power of two");
+    require(block_bytes >= word_bytes, "block smaller than a word");
+    require(page_bytes >= block_bytes, "page smaller than a block");
+    require(cache_bytes >= block_bytes, "cache smaller than a block");
+    require(memory_bytes >= page_bytes * (wired_frames + 16),
+            "memory too small for wired frames plus a working minimum");
+    require(cpu_cycle_ns > 0 && bus_cycle_ns > 0, "cycle times must be > 0");
+    require(daemon_low_frac > 0 && daemon_high_frac > daemon_low_frac &&
+                daemon_high_frac < 0.5,
+            "daemon watermarks must satisfy 0 < low < high < 0.5");
+}
+
+MachineConfig
+MachineConfig::Prototype(uint32_t megabytes)
+{
+    MachineConfig config;
+    config.memory_bytes = uint64_t{megabytes} * 1024 * 1024;
+    config.Validate();
+    return config;
+}
+
+}  // namespace spur::sim

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * SPUR machine configuration — the parameters of Table 2.1 and the time
+ * parameters of Table 3.2 of the paper, plus the simulation-only knobs
+ * (paging I/O latency, page-daemon watermarks) that the prototype realized
+ * in hardware or in Sprite.
+ */
+#ifndef SPUR_SIM_CONFIG_H_
+#define SPUR_SIM_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/common/bits.h"
+#include "src/common/types.h"
+
+namespace spur::sim {
+
+/**
+ * Static description of the simulated SPUR workstation.
+ *
+ * Defaults reproduce the uniprocessor prototype measured in the paper:
+ * 128 KB direct-mapped unified virtual cache, 32-byte blocks, 4 KB pages,
+ * 150 ns processor cycle, 125 ns backplane cycle, memory read of
+ * 3 cycles to the first word and 1 cycle per subsequent word.
+ */
+struct MachineConfig {
+    // ---- Table 2.1: processor information -------------------------------
+    uint64_t cache_bytes = 128 * 1024;   ///< Unified cache capacity.
+    uint64_t block_bytes = 32;           ///< Cache block (line) size.
+    uint64_t page_bytes = 4 * 1024;      ///< Virtual memory page size.
+    double cpu_cycle_ns = 150.0;         ///< Processor cycle time.
+    double bus_cycle_ns = 125.0;         ///< Backplane cycle time.
+
+    // ---- Table 2.1: memory information ----------------------------------
+    uint32_t mem_first_word_cycles = 3;  ///< Bus cycles to first word.
+    uint32_t mem_next_word_cycles = 1;   ///< Bus cycles per later word.
+    uint32_t word_bytes = 4;             ///< Memory word size.
+
+    // ---- Main memory size (the experiments sweep this) ------------------
+    uint64_t memory_bytes = 8ULL * 1024 * 1024;
+
+    // ---- Table 3.2: time parameters (CPU cycles) -------------------------
+    Cycles t_fault = 1000;   ///< t_ds: software fault handler (set a bit).
+    Cycles t_flush_page = 500;  ///< t_flush: tag-checked page flush.
+    Cycles t_dirty_miss = 25;   ///< t_dm: refresh cached page-dirty bit.
+    Cycles t_dirty_check = 5;   ///< t_dc: check PTE dirty bit on write hit.
+
+    // ---- Cache access costs (cycles) -------------------------------------
+    Cycles t_cache_hit = 1;     ///< Hit: single processor cycle.
+    Cycles t_xlate_hit = 3;     ///< PTE found in cache during translation.
+
+    // ---- Paging / OS model ------------------------------------------------
+    /// Process-visible latency of a page-in from disk, in microseconds.
+    /// ~1989 SCSI disk: seek + rotation + 4 KB transfer, plus queueing.
+    double page_in_us = 42000.0;
+    /// CPU cycles of kernel work per page fault (Sprite fault path).
+    Cycles t_pagefault_sw = 3000;
+    /// CPU cycles of kernel work to initiate a page-out (I/O is async).
+    Cycles t_pageout_sw = 1500;
+    /// CPU cycles to zero-fill a fresh 4 KB page.
+    Cycles t_zero_fill = 1024;
+    /// CPU cycles for the page daemon to examine one frame.
+    Cycles t_daemon_page = 10;
+    /// CPU cycles to clear one reference bit (PTE update in the kernel).
+    Cycles t_ref_clear = 20;
+    /// CPU cycles for a context switch between processes.
+    Cycles t_context_switch = 500;
+    /// Frames below which the page daemon starts sweeping, as a fraction
+    /// of total frames.
+    double daemon_low_frac = 0.04;
+    /// Frames at which the page daemon stops, as a fraction of total.
+    double daemon_high_frac = 0.08;
+    /// Frames reserved for the kernel + wired page tables.
+    uint32_t wired_frames = 96;
+
+    // ---- Derived quantities ----------------------------------------------
+    uint64_t NumBlocks() const { return cache_bytes / block_bytes; }
+    uint64_t NumFrames() const { return memory_bytes / page_bytes; }
+    uint64_t BlocksPerPage() const { return page_bytes / block_bytes; }
+    unsigned BlockShift() const { return FloorLog2(block_bytes); }
+    unsigned PageShift() const { return FloorLog2(page_bytes); }
+    unsigned IndexBits() const { return FloorLog2(NumBlocks()); }
+
+    /// Bus cycles to transfer one cache block from memory.
+    uint32_t BlockFetchBusCycles() const
+    {
+        const uint32_t words =
+            static_cast<uint32_t>(block_bytes / word_bytes);
+        return mem_first_word_cycles + (words - 1) * mem_next_word_cycles;
+    }
+
+    /// The same bus transfer expressed in CPU cycles (rounded up).
+    Cycles BlockFetchCycles() const
+    {
+        const double ns = BlockFetchBusCycles() * bus_cycle_ns;
+        return static_cast<Cycles>((ns + cpu_cycle_ns - 1) / cpu_cycle_ns);
+    }
+
+    /// Page-in latency in CPU cycles.
+    Cycles PageInCycles() const
+    {
+        return static_cast<Cycles>(page_in_us * 1000.0 / cpu_cycle_ns);
+    }
+
+    /** Aborts with a message if the configuration is inconsistent. */
+    void Validate() const;
+
+    /** Returns the prototype configuration with @p megabytes of memory. */
+    static MachineConfig Prototype(uint32_t megabytes);
+};
+
+}  // namespace spur::sim
+
+#endif  // SPUR_SIM_CONFIG_H_

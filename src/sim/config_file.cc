@@ -1,0 +1,120 @@
+#include "src/sim/config_file.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/log.h"
+
+namespace spur::sim {
+
+namespace {
+
+/** Trims ASCII whitespace from both ends. */
+std::string
+Trim(const std::string& text)
+{
+    const size_t first = text.find_first_not_of(" \t\r");
+    if (first == std::string::npos) {
+        return "";
+    }
+    const size_t last = text.find_last_not_of(" \t\r");
+    return text.substr(first, last - first + 1);
+}
+
+/** Applies one key/value pair; fatal on unknown keys or bad numbers. */
+void
+Apply(MachineConfig& config, const std::string& key,
+      const std::string& value, int line_number)
+{
+    auto fail = [&](const char* what) {
+        Fatal("config line " + std::to_string(line_number) + ": " + what +
+              " ('" + key + " = " + value + "')");
+    };
+    char* end = nullptr;
+    const double d = std::strtod(value.c_str(), &end);
+    if (end == value.c_str()) {
+        fail("not a number");
+    }
+    if (!Trim(std::string(end)).empty()) {
+        fail("trailing characters after number");
+    }
+    const auto u = static_cast<uint64_t>(d);
+
+    if (key == "cache_bytes") config.cache_bytes = u;
+    else if (key == "block_bytes") config.block_bytes = u;
+    else if (key == "page_bytes") config.page_bytes = u;
+    else if (key == "memory_bytes") config.memory_bytes = u;
+    else if (key == "memory_mb") config.memory_bytes = u * 1024 * 1024;
+    else if (key == "cpu_cycle_ns") config.cpu_cycle_ns = d;
+    else if (key == "bus_cycle_ns") config.bus_cycle_ns = d;
+    else if (key == "mem_first_word_cycles")
+        config.mem_first_word_cycles = static_cast<uint32_t>(u);
+    else if (key == "mem_next_word_cycles")
+        config.mem_next_word_cycles = static_cast<uint32_t>(u);
+    else if (key == "word_bytes") config.word_bytes = static_cast<uint32_t>(u);
+    else if (key == "t_fault") config.t_fault = u;
+    else if (key == "t_flush_page") config.t_flush_page = u;
+    else if (key == "t_dirty_miss") config.t_dirty_miss = u;
+    else if (key == "t_dirty_check") config.t_dirty_check = u;
+    else if (key == "t_cache_hit") config.t_cache_hit = u;
+    else if (key == "t_xlate_hit") config.t_xlate_hit = u;
+    else if (key == "page_in_us") config.page_in_us = d;
+    else if (key == "t_pagefault_sw") config.t_pagefault_sw = u;
+    else if (key == "t_pageout_sw") config.t_pageout_sw = u;
+    else if (key == "t_zero_fill") config.t_zero_fill = u;
+    else if (key == "t_daemon_page") config.t_daemon_page = u;
+    else if (key == "t_ref_clear") config.t_ref_clear = u;
+    else if (key == "t_context_switch") config.t_context_switch = u;
+    else if (key == "daemon_low_frac") config.daemon_low_frac = d;
+    else if (key == "daemon_high_frac") config.daemon_high_frac = d;
+    else if (key == "wired_frames")
+        config.wired_frames = static_cast<uint32_t>(u);
+    else fail("unknown key");
+}
+
+}  // namespace
+
+MachineConfig
+LoadConfigString(const std::string& text, const MachineConfig& base)
+{
+    MachineConfig config = base;
+    std::istringstream in(text);
+    std::string line;
+    int line_number = 0;
+    while (std::getline(in, line)) {
+        ++line_number;
+        const size_t hash = line.find('#');
+        if (hash != std::string::npos) {
+            line = line.substr(0, hash);
+        }
+        line = Trim(line);
+        if (line.empty()) {
+            continue;
+        }
+        const size_t eq = line.find('=');
+        if (eq == std::string::npos) {
+            Fatal("config line " + std::to_string(line_number) +
+                  ": expected 'key = value', got '" + line + "'");
+        }
+        Apply(config, Trim(line.substr(0, eq)), Trim(line.substr(eq + 1)),
+              line_number);
+    }
+    config.Validate();
+    return config;
+}
+
+MachineConfig
+LoadConfigFile(const std::string& path, const MachineConfig& base)
+{
+    std::ifstream in(path);
+    if (!in) {
+        Fatal("config: cannot open '" + path + "'");
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return LoadConfigString(text.str(), base);
+}
+
+}  // namespace spur::sim

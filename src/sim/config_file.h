@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Loading MachineConfig overrides from a key=value file, so downstream
+ * users can explore machine variants (cache geometry, time parameters,
+ * paging costs) without recompiling.
+ *
+ * Format: one `key = value` per line; `#` starts a comment; unknown keys
+ * are fatal (catching typos beats silently ignoring them).  Keys mirror
+ * the MachineConfig field names:
+ *
+ * ```
+ * # 256 KB cache, 8 MB memory, slow disk
+ * cache_bytes   = 262144
+ * memory_bytes  = 8388608
+ * page_in_us    = 42000
+ * t_fault       = 800
+ * ```
+ */
+#ifndef SPUR_SIM_CONFIG_FILE_H_
+#define SPUR_SIM_CONFIG_FILE_H_
+
+#include <string>
+
+#include "src/sim/config.h"
+
+namespace spur::sim {
+
+/**
+ * Applies `key = value` overrides from @p path on top of @p base and
+ * validates the result.  Fatal on missing file, malformed lines or
+ * unknown keys.
+ */
+MachineConfig LoadConfigFile(const std::string& path,
+                             const MachineConfig& base = MachineConfig{});
+
+/**
+ * Applies overrides from an in-memory string (the file loader's core;
+ * exposed for tests and embedded configuration).
+ */
+MachineConfig LoadConfigString(const std::string& text,
+                               const MachineConfig& base = MachineConfig{});
+
+}  // namespace spur::sim
+
+#endif  // SPUR_SIM_CONFIG_FILE_H_

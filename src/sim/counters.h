@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Hardware-faithful model of the SPUR cache controller's performance
+ * counters: sixteen 32-bit counters whose meaning is selected by a 2-bit
+ * mode register, one of four event sets at a time [Wood87].  The real
+ * experiments in the paper were taken through exactly this window, so we
+ * model its limitations (32-bit wrap, one mode at a time) and let tests
+ * verify that the windowed view agrees with the 64-bit ground truth.
+ */
+#ifndef SPUR_SIM_COUNTERS_H_
+#define SPUR_SIM_COUNTERS_H_
+
+#include <cstddef>
+#include <array>
+#include <cstdint>
+
+#include "src/sim/events.h"
+
+namespace spur::sim {
+
+/** Number of hardware counters on the cache controller chip. */
+inline constexpr size_t kNumHwCounters = 16;
+
+/** Number of selectable event sets. */
+inline constexpr size_t kNumCounterModes = 4;
+
+/**
+ * The cache controller's on-chip counter block.
+ *
+ * Attach it to an EventCounts producer by calling Observe() for each event
+ * (SpurSystem does this); only events present in the current mode's set are
+ * accumulated, into 32-bit registers that wrap like the silicon did.
+ */
+class PerfCounters : public EventObserver
+{
+  public:
+    PerfCounters();
+
+    PerfCounters(const PerfCounters&) = default;
+    PerfCounters& operator=(const PerfCounters&) = default;
+
+    /** Selects the active event set (0..3) and zeroes the registers. */
+    void SetMode(unsigned mode);
+
+    /** Currently selected mode. */
+    unsigned mode() const { return mode_; }
+
+    /** Records @p n occurrences of @p event if the mode captures it. */
+    void Observe(Event event, uint32_t n = 1);
+
+    /** EventObserver: mirror of the ground-truth event stream. */
+    void OnEvent(Event event, uint64_t n) override
+    {
+        Observe(event, static_cast<uint32_t>(n));
+    }
+
+    /** Reads hardware counter @p index (0..15) in the current mode. */
+    uint32_t Read(size_t index) const;
+
+    /** Zeroes all sixteen registers without changing the mode. */
+    void Clear();
+
+    /**
+     * Returns the event monitored by counter @p index in @p mode, or
+     * Event::kCount when the slot is unused.
+     */
+    static Event SlotEvent(unsigned mode, size_t index);
+
+    /**
+     * Returns the counter index of @p event in the current mode, or -1 if
+     * this mode does not capture it.
+     */
+    int IndexOf(Event event) const;
+
+  private:
+    unsigned mode_ = 0;
+    std::array<uint32_t, kNumHwCounters> regs_{};
+    /// Per-event slot in the current mode, or -1. Rebuilt on SetMode().
+    std::array<int8_t, kNumEvents> slot_of_event_{};
+
+    void RebuildSlotMap();
+};
+
+}  // namespace spur::sim
+
+#endif  // SPUR_SIM_COUNTERS_H_

@@ -1,0 +1,50 @@
+#include "src/sim/events.h"
+
+namespace spur::sim {
+
+const char*
+ToString(Event event)
+{
+    switch (event) {
+      case Event::kIFetch: return "ifetch";
+      case Event::kRead: return "read";
+      case Event::kWrite: return "write";
+      case Event::kIFetchMiss: return "ifetch_miss";
+      case Event::kReadMiss: return "read_miss";
+      case Event::kWriteMiss: return "write_miss";
+      case Event::kWriteback: return "writeback";
+      case Event::kBlockFlush: return "block_flush";
+      case Event::kPageFlush: return "page_flush";
+      case Event::kXlatePteHit: return "xlate_pte_hit";
+      case Event::kXlatePteMiss: return "xlate_pte_miss";
+      case Event::kXlateL2Access: return "xlate_l2_access";
+      case Event::kDirtyFault: return "dirty_fault";
+      case Event::kDirtyFaultZfod: return "dirty_fault_zfod";
+      case Event::kDirtyBitMiss: return "dirty_bit_miss";
+      case Event::kExcessFault: return "excess_fault";
+      case Event::kWriteHitCleanBlock: return "write_hit_clean_block";
+      case Event::kWriteMissFill: return "write_miss_fill";
+      case Event::kDirtyCheck: return "dirty_check";
+      case Event::kRefFault: return "ref_fault";
+      case Event::kRefClear: return "ref_clear";
+      case Event::kRefClearFlush: return "ref_clear_flush";
+      case Event::kPageIn: return "page_in";
+      case Event::kZeroFill: return "zero_fill";
+      case Event::kPageOutDirty: return "page_out_dirty";
+      case Event::kPageReclaimClean: return "page_reclaim_clean";
+      case Event::kPageoutWritableModified: return "pageout_w_modified";
+      case Event::kPageoutWritableNotModified: return "pageout_w_clean";
+      case Event::kDaemonSweep: return "daemon_sweep";
+      case Event::kPageFault: return "page_fault";
+      case Event::kContextSwitch: return "context_switch";
+      case Event::kBusRead: return "bus_read";
+      case Event::kBusReadOwned: return "bus_read_owned";
+      case Event::kBusUpgrade: return "bus_upgrade";
+      case Event::kBusCacheToCache: return "bus_cache_to_cache";
+      case Event::kBusInvalidation: return "bus_invalidation";
+      case Event::kCount: break;
+    }
+    return "?";
+}
+
+}  // namespace spur::sim

@@ -1,0 +1,44 @@
+#include "src/sim/timing.h"
+
+namespace spur::sim {
+
+const char*
+ToString(TimeBucket bucket)
+{
+    switch (bucket) {
+      case TimeBucket::kExecute: return "execute";
+      case TimeBucket::kMissStall: return "miss_stall";
+      case TimeBucket::kXlate: return "xlate";
+      case TimeBucket::kFault: return "fault";
+      case TimeBucket::kFlush: return "flush";
+      case TimeBucket::kDirtyAux: return "dirty_aux";
+      case TimeBucket::kPagingIo: return "paging_io";
+      case TimeBucket::kKernel: return "kernel";
+      case TimeBucket::kCount: break;
+    }
+    return "?";
+}
+
+Cycles
+TimingModel::Total() const
+{
+    Cycles total = 0;
+    for (Cycles cycles : buckets_) {
+        total += cycles;
+    }
+    return total;
+}
+
+double
+TimingModel::ElapsedSeconds() const
+{
+    return static_cast<double>(Total()) * config_.cpu_cycle_ns * 1e-9;
+}
+
+double
+TimingModel::Seconds(TimeBucket bucket) const
+{
+    return static_cast<double>(Get(bucket)) * config_.cpu_cycle_ns * 1e-9;
+}
+
+}  // namespace spur::sim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Cycle accounting for the simulated machine.
+ *
+ * The paper reports elapsed wall-clock seconds on the 1.5 MIPS prototype;
+ * we account simulated CPU cycles in labelled buckets (base execution,
+ * cache-miss stalls, fault handlers, flush operations, paging I/O waits)
+ * so experiments can report both a total elapsed time and its breakdown.
+ */
+#ifndef SPUR_SIM_TIMING_H_
+#define SPUR_SIM_TIMING_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/types.h"
+#include "src/sim/config.h"
+
+namespace spur::sim {
+
+/** Buckets the elapsed-time accounting is broken into. */
+enum class TimeBucket : uint8_t {
+    kExecute,    ///< Base per-reference execution cycles.
+    kMissStall,  ///< Memory stalls for cache fills and writebacks.
+    kXlate,      ///< In-cache translation work on misses.
+    kFault,      ///< Software fault handlers (dirty / reference / page).
+    kFlush,      ///< Cache flush operations.
+    kDirtyAux,   ///< Dirty-bit misses and PTE dirty checks.
+    kPagingIo,   ///< Blocking page-in I/O waits.
+    kKernel,     ///< Other kernel work (daemon, page-out initiation).
+    kCount,      ///< Keep last.
+};
+
+/** Number of time buckets. */
+inline constexpr size_t kNumTimeBuckets =
+    static_cast<size_t>(TimeBucket::kCount);
+
+/** Returns a short stable name for a bucket. */
+const char* ToString(TimeBucket bucket);
+
+/** Accumulates simulated cycles per bucket and converts to seconds. */
+class TimingModel
+{
+  public:
+    explicit TimingModel(const MachineConfig& config) : config_(config) {}
+
+    /** Charges @p cycles to @p bucket. */
+    void Charge(TimeBucket bucket, Cycles cycles)
+    {
+        buckets_[static_cast<size_t>(bucket)] += cycles;
+    }
+
+    /** Cycles accumulated in @p bucket. */
+    Cycles Get(TimeBucket bucket) const
+    {
+        return buckets_[static_cast<size_t>(bucket)];
+    }
+
+    /** Total cycles across all buckets. */
+    Cycles Total() const;
+
+    /** Total simulated elapsed seconds (cycles x CPU cycle time). */
+    double ElapsedSeconds() const;
+
+    /** Seconds attributable to @p bucket. */
+    double Seconds(TimeBucket bucket) const;
+
+    /** Zeroes every bucket. */
+    void Reset() { buckets_.fill(0); }
+
+    /** The machine configuration this model prices against. */
+    const MachineConfig& config() const { return config_; }
+
+  private:
+    MachineConfig config_;
+    std::array<Cycles, kNumTimeBuckets> buckets_{};
+};
+
+}  // namespace spur::sim
+
+#endif  // SPUR_SIM_TIMING_H_

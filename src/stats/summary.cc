@@ -1,0 +1,68 @@
+#include "src/stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spur::stats {
+
+void
+Summary::Add(double value)
+{
+    values_.push_back(value);
+}
+
+double
+Summary::Mean() const
+{
+    if (values_.empty()) {
+        return 0.0;
+    }
+    double sum = 0.0;
+    for (double v : values_) {
+        sum += v;
+    }
+    return sum / static_cast<double>(values_.size());
+}
+
+double
+Summary::StdDev() const
+{
+    if (values_.size() < 2) {
+        return 0.0;
+    }
+    const double mean = Mean();
+    double sq = 0.0;
+    for (double v : values_) {
+        sq += (v - mean) * (v - mean);
+    }
+    return std::sqrt(sq / static_cast<double>(values_.size() - 1));
+}
+
+double
+Summary::Ci95() const
+{
+    if (values_.size() < 2) {
+        return 0.0;
+    }
+    return 1.96 * StdDev() / std::sqrt(static_cast<double>(values_.size()));
+}
+
+double
+Summary::Min() const
+{
+    if (values_.empty()) {
+        return 0.0;
+    }
+    return *std::min_element(values_.begin(), values_.end());
+}
+
+double
+Summary::Max() const
+{
+    if (values_.empty()) {
+        return 0.0;
+    }
+    return *std::max_element(values_.begin(), values_.end());
+}
+
+}  // namespace spur::stats

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Summary statistics for repeated experiment runs (the paper ran five
+ * repetitions of each data point in randomized order).
+ */
+#ifndef SPUR_STATS_SUMMARY_H_
+#define SPUR_STATS_SUMMARY_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace spur::stats {
+
+/** Accumulates samples and reports mean / deviation / confidence. */
+class Summary
+{
+  public:
+    Summary() = default;
+
+    /** Adds one observation. */
+    void Add(double value);
+
+    /** Number of observations. */
+    size_t Count() const { return values_.size(); }
+
+    /** Arithmetic mean (0 when empty). */
+    double Mean() const;
+
+    /** Sample standard deviation (0 when fewer than 2 samples). */
+    double StdDev() const;
+
+    /** Half-width of the ~95% confidence interval on the mean, using the
+     *  normal approximation (0 when fewer than 2 samples). */
+    double Ci95() const;
+
+    /** Smallest observation (0 when empty). */
+    double Min() const;
+
+    /** Largest observation (0 when empty). */
+    double Max() const;
+
+    /** All raw samples, in insertion order. */
+    const std::vector<double>& values() const { return values_; }
+
+  private:
+    std::vector<double> values_;
+};
+
+}  // namespace spur::stats
+
+#endif  // SPUR_STATS_SUMMARY_H_

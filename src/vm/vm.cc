@@ -1,0 +1,256 @@
+#include "src/vm/vm.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/common/log.h"
+
+namespace spur::vm {
+
+namespace {
+
+/** Clamp-derived watermark counts from the configured fractions. */
+uint32_t
+WatermarkFrames(double fraction, uint32_t pageable, uint32_t minimum)
+{
+    const auto frames =
+        static_cast<uint32_t>(fraction * static_cast<double>(pageable));
+    return std::max(frames, minimum);
+}
+
+}  // namespace
+
+VirtualMemory::VirtualMemory(const sim::MachineConfig& config,
+                             pt::PageTable& table,
+                             cache::PageFlusher& flusher,
+                             sim::EventCounts& events,
+                             sim::TimingModel& timing)
+    : config_(config),
+      table_(table),
+      flusher_(flusher),
+      events_(events),
+      timing_(timing),
+      frames_(static_cast<uint32_t>(config.NumFrames()),
+              config.wired_frames),
+      low_water_(WatermarkFrames(config.daemon_low_frac,
+                                 frames_.NumPageable(), 4)),
+      high_water_(WatermarkFrames(config.daemon_high_frac,
+                                  frames_.NumPageable(), 8)),
+      page_shift_(config.PageShift())
+{
+    if (high_water_ <= low_water_) {
+        high_water_ = low_water_ + 4;
+    }
+    // Start the hands a quarter-sweep apart: pages get that much grace
+    // between the clear and the reclaim test.
+    back_hand_ = frames_.FirstPageable();
+    const uint32_t gap = std::max<uint32_t>(frames_.NumPageable() / 4, 1);
+    front_hand_ = frames_.FirstPageable() +
+                  (gap % std::max<uint32_t>(frames_.NumPageable(), 1));
+}
+
+void
+VirtualMemory::SetPolicies(policy::DirtyPolicy* dirty, policy::RefPolicy* ref)
+{
+    dirty_policy_ = dirty;
+    ref_policy_ = ref;
+}
+
+void
+VirtualMemory::MapRegion(GlobalVpn start, uint64_t pages, PageKind kind)
+{
+    regions_.Add(start, pages, kind);
+}
+
+void
+VirtualMemory::UnmapRegion(GlobalVpn start)
+{
+    const Region region = regions_.Remove(start);
+    for (GlobalVpn vpn = region.start; vpn < region.end; ++vpn) {
+        pt::Pte* pte = table_.FindMutable(vpn);
+        if (pte == nullptr || !pte->valid()) {
+            store_.Discard(vpn);
+            continue;
+        }
+        // Exit-time teardown: flush (virtual-cache hygiene), free the
+        // frame, forget the swap copy.  Not a replacement, so none of the
+        // Table 3.5 accounting applies.
+        FlushPageForReclaim(vpn);
+        const FrameNum frame = pte->pfn();
+        frames_.Unbind(frame);
+        frames_.Free(frame);
+        *pte = pt::Pte{};
+        store_.Discard(vpn);
+        timing_.Charge(sim::TimeBucket::kKernel, config_.t_daemon_page);
+    }
+}
+
+pt::Pte&
+VirtualMemory::HandlePageFault(GlobalAddr addr)
+{
+    if (dirty_policy_ == nullptr || ref_policy_ == nullptr) {
+        Panic("VirtualMemory: policies not installed");
+    }
+    const GlobalVpn vpn = addr >> page_shift_;
+    const Region* region = regions_.Find(vpn);
+    if (region == nullptr) {
+        Panic("VirtualMemory: fault on unmapped page " + std::to_string(vpn));
+    }
+
+    events_.Add(sim::Event::kPageFault);
+
+    // Keep the free list healthy before taking a frame.
+    if (frames_.NumFree() <= low_water_) {
+        SweepToTarget(high_water_);
+    }
+    const FrameNum frame = frames_.Allocate();
+    if (frame == kInvalidFrame) {
+        Fatal("VirtualMemory: out of frames even after daemon sweep "
+              "(memory too small for the workload's pinned minimum)");
+    }
+
+    pt::Pte& pte = table_.Ensure(vpn);
+    const bool writable = IsWritable(region->kind);
+    pte.set_pfn(frame);
+    pte.set_valid(true);
+    pte.set_referenced(true);  // The faulting access references it.
+    pte.set_cacheable(true);
+    pte.set_coherent(true);
+    pte.set_dirty(false);
+    pte.set_soft_dirty(false);
+    pte.set_writable_intent(writable);
+    pte.set_protection(writable
+                           ? dirty_policy_->ResidentProtection(true)
+                           : Protection::kReadOnly);
+
+    if (IsZeroFill(region->kind) && !store_.HasCopy(vpn)) {
+        // Fresh anonymous page: materialize zeroes, no I/O.
+        events_.Add(sim::Event::kZeroFill);
+        pte.set_zfod_clean(true);
+        timing_.Charge(sim::TimeBucket::kFault, config_.t_pagefault_sw);
+        timing_.Charge(sim::TimeBucket::kKernel, config_.t_zero_fill);
+    } else {
+        // Content exists on the file server or in swap: blocking page-in.
+        events_.Add(sim::Event::kPageIn);
+        store_.PageIn(vpn);
+        pte.set_zfod_clean(false);
+        timing_.Charge(sim::TimeBucket::kFault, config_.t_pagefault_sw);
+        timing_.Charge(sim::TimeBucket::kPagingIo, config_.PageInCycles());
+    }
+
+    frames_.Bind(frame, vpn);
+    return pte;
+}
+
+void
+VirtualMemory::SweepToTarget(uint32_t target)
+{
+    events_.Add(sim::Event::kDaemonSweep);
+    const uint64_t pageable = frames_.NumPageable();
+    // Two full revolutions give every page one clear-then-test cycle; if
+    // the free list is still short after that, force-reclaim.
+    const uint64_t max_steps = 2 * pageable;
+    uint64_t steps = 0;
+    while (frames_.NumFree() < target && steps < max_steps) {
+        front_hand_ = Advance(front_hand_);
+        back_hand_ = Advance(back_hand_);
+        ++steps;
+        timing_.Charge(sim::TimeBucket::kKernel, config_.t_daemon_page);
+
+        // Front hand: clear the reference bit.
+        const GlobalVpn front_vpn = frames_.VpnOf(front_hand_);
+        if (front_vpn != mem::kNoVpn) {
+            pt::Pte* pte = table_.FindMutable(front_vpn);
+            if (pte != nullptr && pte->valid()) {
+                const policy::RefCost cost = ref_policy_->ClearRefBit(
+                    *pte, static_cast<GlobalAddr>(front_vpn) << page_shift_,
+                    events_);
+                timing_.Charge(sim::TimeBucket::kKernel, cost.kernel_cycles);
+                timing_.Charge(sim::TimeBucket::kFlush, cost.flush_cycles);
+            }
+        }
+
+        // Back hand: reclaim if still unreferenced.
+        TryReclaim(back_hand_, /*force=*/false);
+    }
+    // Desperation pass: take pages in sweep order regardless of use.
+    while (frames_.NumFree() < target && steps < 3 * pageable) {
+        back_hand_ = Advance(back_hand_);
+        ++steps;
+        timing_.Charge(sim::TimeBucket::kKernel, config_.t_daemon_page);
+        TryReclaim(back_hand_, /*force=*/true);
+    }
+}
+
+FrameNum
+VirtualMemory::Advance(FrameNum hand) const
+{
+    ++hand;
+    if (hand >= frames_.NumTotal()) {
+        hand = frames_.FirstPageable();
+    }
+    return hand;
+}
+
+bool
+VirtualMemory::TryReclaim(FrameNum frame, bool force)
+{
+    const GlobalVpn vpn = frames_.VpnOf(frame);
+    if (vpn == mem::kNoVpn) {
+        return false;
+    }
+    pt::Pte* pte = table_.FindMutable(vpn);
+    if (pte == nullptr || !pte->valid()) {
+        Panic("VirtualMemory: bound frame with invalid PTE");
+    }
+    if (!force && ref_policy_->ReadRefBit(*pte)) {
+        return false;
+    }
+
+    // The cache is virtually tagged: purge the page's blocks before the
+    // frame can be reused.
+    FlushPageForReclaim(vpn);
+
+    const bool writable = pte->writable_intent();
+    const bool modified = dirty_policy_->IsPageDirty(*pte);
+    // Sprite always writes a zero-fill page to swap on first replacement,
+    // even when the program never touched it (paper footnote 4).
+    const bool must_write = modified || pte->zfod_clean();
+
+    if (writable) {
+        if (must_write) {
+            events_.Add(sim::Event::kPageoutWritableModified);
+            events_.Add(sim::Event::kPageOutDirty);
+            store_.PageOut(vpn);
+            timing_.Charge(sim::TimeBucket::kKernel, config_.t_pageout_sw);
+        } else {
+            events_.Add(sim::Event::kPageoutWritableNotModified);
+            events_.Add(sim::Event::kPageReclaimClean);
+        }
+    } else {
+        events_.Add(sim::Event::kPageReclaimClean);
+    }
+
+    frames_.Unbind(frame);
+    frames_.Free(frame);
+    *pte = pt::Pte{};
+    return true;
+}
+
+void
+VirtualMemory::FlushPageForReclaim(GlobalVpn vpn)
+{
+    const GlobalAddr page_addr = static_cast<GlobalAddr>(vpn) << page_shift_;
+    const cache::FlushResult result =
+        flusher_.FlushPageChecked(page_addr);
+    events_.Add(sim::Event::kPageFlush);
+    events_.Add(sim::Event::kBlockFlush, result.blocks_flushed);
+    events_.Add(sim::Event::kWriteback, result.writebacks);
+    timing_.Charge(sim::TimeBucket::kFlush,
+                   config_.t_flush_page * flusher_.NumFlushTargets());
+    timing_.Charge(sim::TimeBucket::kMissStall,
+                   static_cast<Cycles>(result.writebacks) *
+                       config_.BlockFetchCycles());
+}
+
+}  // namespace spur::vm

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The workload driver: schedules synthetic processes round-robin over a
+ * SpurSystem, spawning and reaping jobs according to a WorkloadSpec
+ * timeline (the "script" of Section 2's synthetic workloads).
+ */
+#ifndef SPUR_WORKLOAD_DRIVER_H_
+#define SPUR_WORKLOAD_DRIVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/core/host.h"
+#include "src/workload/process.h"
+#include "src/workload/profile.h"
+
+namespace spur::workload {
+
+/** One entry in a workload script. */
+struct JobSpec {
+    ProcessProfile profile;
+    /// References into the run at which the first instance starts.
+    uint64_t start_refs = 0;
+    /// Instances running concurrently (e.g. two parallel compiles).
+    uint32_t concurrency = 1;
+    /// When an instance exits, respawn after this many further global
+    /// references (0 = do not respawn).  Models the edit-compile-debug
+    /// cycle and the periodic performance monitors.
+    uint64_t respawn_delay_refs = 0;
+    /// Instances reuse one shared text segment (Sprite's sticky text:
+    /// repeated invocations of the same tool share its code pages).
+    bool share_text = true;
+    /// Instances also share the file-backed data segment (tools that
+    /// reread the same files, e.g. monitors reading kernel tables).
+    bool share_data = false;
+};
+
+/** A named collection of jobs: WORKLOAD1, SLC, the dev machines. */
+struct WorkloadSpec {
+    std::string name;
+    std::vector<JobSpec> jobs;
+};
+
+/** Drives a WorkloadSpec against a system for a fixed reference budget. */
+class Driver
+{
+  public:
+    /**
+     * @param system       the machine under test.
+     * @param spec         the script to run.
+     * @param total_refs   references to issue in the whole run.
+     * @param seed         seed for process generators and scheduling.
+     * @param slice_refs   references per scheduling quantum.
+     */
+    Driver(core::WorkloadHost& system, WorkloadSpec spec, uint64_t total_refs,
+           uint64_t seed, uint32_t slice_refs = 20000);
+
+    ~Driver();
+
+    Driver(const Driver&) = delete;
+    Driver& operator=(const Driver&) = delete;
+
+    /** Runs to the reference budget. */
+    void Run();
+
+    /** Runs at most @p refs more references (for incremental tests). */
+    void RunRefs(uint64_t refs);
+
+    /** Global references issued so far. */
+    uint64_t refs_issued() const { return refs_issued_; }
+
+    /** Processes currently live (for tests). */
+    size_t NumLive() const { return live_.size(); }
+
+    /** Total process spawns so far (for tests and reports). */
+    uint64_t NumSpawns() const { return spawns_; }
+
+  private:
+    /** A live process instance and the job it instantiates. */
+    struct Instance {
+        std::unique_ptr<SyntheticProcess> process;
+        size_t job_index;
+    };
+
+    /** A job instance scheduled to start in the future. */
+    struct Pending {
+        uint64_t at_refs;
+        size_t job_index;
+    };
+
+    core::WorkloadHost& system_;
+    WorkloadSpec spec_;
+    uint64_t total_refs_;
+    Rng rng_;
+    uint32_t slice_refs_;
+
+    std::vector<Instance> live_;
+    std::vector<Pending> pending_;
+    /// Per-job owner process holding shared text/data segments, or
+    /// kNoOwner when the job shares nothing (or not yet spawned).
+    static constexpr Pid kNoOwner = ~Pid{0};
+    std::vector<Pid> owners_;
+    uint64_t refs_issued_ = 0;
+    uint64_t spawns_ = 0;
+    size_t next_slot_ = 0;  ///< Round-robin cursor.
+
+    void SpawnDue();
+    void Spawn(size_t job_index);
+    void ReapFinished();
+};
+
+}  // namespace spur::workload
+
+#endif  // SPUR_WORKLOAD_DRIVER_H_

@@ -1,0 +1,405 @@
+#include "src/workload/process.h"
+
+#include <algorithm>
+
+#include "src/common/log.h"
+
+namespace spur::workload {
+
+SyntheticProcess::SyntheticProcess(core::WorkloadHost& system,
+                                   const ProcessProfile& profile,
+                                   uint64_t seed, const ShareSpec* share)
+    : system_(system),
+      profile_(profile),
+      rng_(seed),
+      pid_(system.CreateProcess()),
+      page_shift_(system.config().PageShift()),
+      block_bytes_(static_cast<uint32_t>(system.config().block_bytes)),
+      page_bytes_(static_cast<uint32_t>(system.config().page_bytes)),
+      seq_read_pos_(kDataBase),
+      alloc_front_(kHeapBase),
+      file_write_pos_(kDataBase)
+{
+    const auto& config = system.config();
+    auto map = [&](ProcessAddr base, uint32_t pages, vm::PageKind kind) {
+        if (pages > 0) {
+            system_.MapRegion(pid_, base, uint64_t{pages} * config.page_bytes,
+                              kind);
+        }
+    };
+    if (share != nullptr && share->text) {
+        system_.ShareSegment(pid_, kCodeSeg, share->owner, kCodeSeg);
+    } else {
+        map(kCodeBase, profile_.code_pages, vm::PageKind::kCode);
+    }
+    if (share != nullptr && share->data) {
+        system_.ShareSegment(pid_, kDataSeg, share->owner, kDataSeg);
+    } else {
+        MapDataSegment(system_, pid_, profile_);
+    }
+    map(kHeapBase, profile_.heap_pages, vm::PageKind::kHeap);
+    map(kStackBase, profile_.stack_pages, vm::PageKind::kStack);
+
+    // Build the cumulative distribution over the six data generators.
+    const std::array<double, 6> weights = {
+        profile_.w_seq_read, profile_.w_seq_write, profile_.w_rmw,
+        profile_.w_scan_update, profile_.w_rand, profile_.w_file_write};
+    double total = 0;
+    for (double w : weights) {
+        if (w < 0) {
+            Fatal("ProcessProfile: negative generator weight");
+        }
+        total += w;
+    }
+    if (total <= 0) {
+        Fatal("ProcessProfile: all generator weights are zero");
+    }
+    double acc = 0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i] / total;
+        gen_cdf_[i] = acc;
+    }
+    gen_cdf_.back() = 1.0;
+
+    // Clamp windows to region sizes.
+    profile_.heap_ws_pages =
+        std::max(1u, std::min(profile_.heap_ws_pages, profile_.heap_pages));
+    profile_.code_ws_pages =
+        std::max(1u, std::min(profile_.code_ws_pages, profile_.code_pages));
+}
+
+void
+MapDataSegment(core::WorkloadHost& system, Pid pid,
+               const ProcessProfile& profile)
+{
+    if (profile.data_pages == 0) {
+        return;
+    }
+    const uint64_t page_bytes = system.config().page_bytes;
+    if (profile.w_file_write > 0 && profile.data_pages >= 4) {
+        const uint32_t half = profile.data_pages / 2;
+        system.MapRegion(pid, kDataBase, uint64_t{half} * page_bytes,
+                         vm::PageKind::kFileCache);
+        system.MapRegion(pid,
+                         kDataBase + static_cast<ProcessAddr>(
+                                         half * page_bytes),
+                         uint64_t{profile.data_pages - half} * page_bytes,
+                         vm::PageKind::kData);
+    } else {
+        system.MapRegion(pid, kDataBase,
+                         uint64_t{profile.data_pages} * page_bytes,
+                         profile.w_file_write > 0 ? vm::PageKind::kData
+                                                  : vm::PageKind::kFileCache);
+    }
+}
+
+SyntheticProcess::~SyntheticProcess()
+{
+    system_.DestroyProcess(pid_);
+}
+
+MemRef
+SyntheticProcess::Next()
+{
+    ++refs_issued_;
+    if (rng_.NextDouble() < profile_.frac_ifetch) {
+        return MakeIFetch();
+    }
+    return MakeDataRef();
+}
+
+MemRef
+SyntheticProcess::MakeIFetch()
+{
+    if (loop_base_ == 0) {
+        PickNextLoop();
+    }
+    const MemRef ref = Ref(loop_base_ + loop_block_idx_ * block_bytes_ +
+                               loop_offset_,
+                           AccessType::kIFetch);
+    loop_offset_ += 4;
+    if (loop_offset_ >= block_bytes_) {
+        loop_offset_ = 0;
+        if (++loop_block_idx_ >= loop_blocks_) {
+            loop_block_idx_ = 0;
+            if (--loop_iters_left_ == 0) {
+                PickNextLoop();
+            }
+        }
+    }
+    return ref;
+}
+
+void
+SyntheticProcess::PickNextLoop()
+{
+    const uint32_t blocks_per_page = page_bytes_ / block_bytes_;
+    if (loop_base_ == 0 || rng_.Chance(profile_.call_prob)) {
+        // Call or long jump into the hot-code window, which itself drifts
+        // slowly across the text (program phases).
+        if (rng_.Chance(0.02)) {
+            code_ws_base_ = static_cast<uint32_t>(rng_.NextBelow(
+                std::max(1u,
+                         profile_.code_pages - profile_.code_ws_pages + 1)));
+        }
+        const uint32_t page = ZipfPage(code_ws_base_, profile_.code_ws_pages,
+                                       profile_.code_pages);
+        const uint32_t block =
+            static_cast<uint32_t>(rng_.NextBelow(blocks_per_page));
+        loop_base_ = BlockAddr(kCodeBase, page, block);
+    } else {
+        // Fall through to the code after the previous loop body.
+        loop_base_ += loop_blocks_ * block_bytes_;
+        if (loop_base_ >= kCodeBase + profile_.code_pages * page_bytes_) {
+            loop_base_ = kCodeBase;
+        }
+    }
+    loop_blocks_ = 1 + static_cast<uint32_t>(
+                           rng_.NextBelow(profile_.loop_blocks_max));
+    loop_iters_left_ = 1 + static_cast<uint32_t>(
+                               rng_.NextBelow(profile_.loop_iters_max));
+    loop_block_idx_ = 0;
+    loop_offset_ = 0;
+    // Keep the body inside the region.
+    const ProcessAddr region_end =
+        kCodeBase + profile_.code_pages * page_bytes_;
+    if (loop_base_ + loop_blocks_ * block_bytes_ > region_end) {
+        loop_base_ = region_end - loop_blocks_ * block_bytes_;
+    }
+}
+
+MemRef
+SyntheticProcess::MakeDataRef()
+{
+    // Slide the heap working set occasionally: phase behaviour.
+    if (rng_.Chance(profile_.ws_slide_prob) && profile_.heap_pages > 0) {
+        heap_ws_base_ = (heap_ws_base_ + 1 +
+                         static_cast<uint32_t>(rng_.NextBelow(4))) %
+                        std::max(1u, profile_.heap_pages);
+    }
+    if (profile_.stack_pages > 0 && rng_.NextDouble() < profile_.frac_stack) {
+        return GenStack();
+    }
+    // A pending write burst completes before anything else starts.
+    if (burst_words_ != 0) {
+        const MemRef ref = Ref(burst_addr_, AccessType::kWrite);
+        burst_addr_ += 4;
+        --burst_words_;
+        return ref;
+    }
+    const double draw = rng_.NextDouble();
+    if (draw < gen_cdf_[0] && profile_.data_pages > 0) {
+        return GenSeqRead();
+    }
+    if (draw < gen_cdf_[1] && profile_.heap_pages > 0) {
+        return GenSeqWrite();
+    }
+    if (draw < gen_cdf_[2] && profile_.heap_pages > 0) {
+        return GenRmw();
+    }
+    if (draw < gen_cdf_[3] && profile_.heap_pages > 0) {
+        return GenScanUpdate();
+    }
+    if (draw < gen_cdf_[4] && profile_.heap_pages > 0) {
+        return GenRand();
+    }
+    if (profile_.data_pages > 0) {
+        return GenFileWrite();
+    }
+    if (profile_.heap_pages > 0) {
+        return GenRand();
+    }
+    return GenStack();
+}
+
+MemRef
+SyntheticProcess::StartBurst(ProcessAddr addr, uint32_t words)
+{
+    // Clip the burst to its cache block so every word after the first
+    // hits the freshly written (dirty) block.
+    const uint32_t word_in_block = (addr % block_bytes_) / 4;
+    const uint32_t room = block_bytes_ / 4 - word_in_block;
+    const uint32_t len = std::max(1u, std::min(words, room));
+    burst_addr_ = addr + 4;
+    burst_words_ = len - 1;
+    return Ref(addr, AccessType::kWrite);
+}
+
+MemRef
+SyntheticProcess::GenFileWrite()
+{
+    const uint32_t half = std::max(1u, profile_.data_pages / 2);
+    const ProcessAddr lo = kDataBase + half * page_bytes_;
+    if (file_write_pos_ < lo) {
+        file_write_pos_ = lo;
+    }
+    // Sometimes re-read an earlier output page (previewing what was
+    // written) rather than appending.
+    const uint32_t written_pages = static_cast<uint32_t>(
+        (file_write_pos_ - lo) / page_bytes_);
+    if (written_pages > 0 && rng_.NextDouble() < profile_.file_reread_frac) {
+        const uint32_t page =
+            static_cast<uint32_t>(rng_.NextBelow(written_pages));
+        const ProcessAddr addr =
+            lo + page * page_bytes_ +
+            static_cast<ProcessAddr>(rng_.NextBelow(page_bytes_) & ~3u);
+        return Ref(addr, AccessType::kRead);
+    }
+    const MemRef ref = Ref(file_write_pos_, AccessType::kWrite);
+    file_write_pos_ += 4;
+    if (file_write_pos_ >= kDataBase + profile_.data_pages * page_bytes_) {
+        file_write_pos_ = lo;
+    }
+    return ref;
+}
+
+MemRef
+SyntheticProcess::GenSeqRead()
+{
+    // Input files live in the lower part of the data region; output files
+    // (GenFileWrite) in the upper part, so scans do not pre-cache the
+    // blocks the writer dirties.
+    const uint32_t read_pages =
+        (profile_.w_file_write > 0) ? std::max(1u, profile_.data_pages / 2)
+                                    : profile_.data_pages;
+    const MemRef ref = Ref(seq_read_pos_, AccessType::kRead);
+    seq_read_pos_ += 4;
+    if (seq_read_pos_ >= kDataBase + read_pages * page_bytes_) {
+        seq_read_pos_ = kDataBase;
+    }
+    return ref;
+}
+
+MemRef
+SyntheticProcess::GenSeqWrite()
+{
+    const MemRef ref = Ref(alloc_front_, AccessType::kWrite);
+    alloc_front_ += 4;
+    if (alloc_front_ >= kHeapBase + profile_.heap_pages * page_bytes_) {
+        alloc_front_ = kHeapBase;
+    }
+    return ref;
+}
+
+MemRef
+SyntheticProcess::GenRmw()
+{
+    const uint32_t page = ZipfPage(heap_ws_base_, profile_.heap_ws_pages,
+                                   profile_.heap_pages);
+    const uint32_t block =
+        static_cast<uint32_t>(rng_.NextBelow(page_bytes_ / block_bytes_));
+    const ProcessAddr addr = BlockAddr(kHeapBase, page, block);
+    // The modify-write of a couple of words follows on later accesses.
+    burst_addr_ = addr;
+    burst_words_ = 2;
+    return Ref(addr, AccessType::kRead);
+}
+
+MemRef
+SyntheticProcess::GenScanUpdate()
+{
+    const uint32_t blocks_per_page = page_bytes_ / block_bytes_;
+    const uint32_t read_burst =
+        std::min(profile_.scan_read_blocks, blocks_per_page);
+    const uint32_t write_burst =
+        std::min(profile_.scan_write_blocks, read_burst);
+
+    if (scan_page_ == 0) {
+        // Scans walk *allocated* structures: pages at or below the
+        // allocation high-water mark.  Resident allocated pages are
+        // already dirty (writes take the fast path), but pages that were
+        // paged out and reloaded come back clean — so the excess-fault
+        // rate tracks paging pressure, as in the paper's Table 3.3.
+        const uint32_t allocated = static_cast<uint32_t>(
+            (alloc_front_ - kHeapBase) / page_bytes_);
+        if (allocated == 0) {
+            return GenRand();
+        }
+        const uint32_t page =
+            static_cast<uint32_t>(rng_.NextBelow(allocated));
+        scan_page_ = kHeapBase + page * page_bytes_;
+        scan_index_ = 0;
+        scan_writing_ = false;
+    }
+    MemRef ref{};
+    if (!scan_writing_) {
+        ref = Ref(scan_page_ + scan_index_ * block_bytes_, AccessType::kRead);
+        if (++scan_index_ >= read_burst) {
+            scan_index_ = 0;
+            scan_writing_ = true;
+        }
+    } else {
+        ref =
+            Ref(scan_page_ + scan_index_ * block_bytes_, AccessType::kWrite);
+        if (++scan_index_ >= write_burst) {
+            scan_page_ = 0;  // Burst complete; pick a new page next time.
+        }
+    }
+    return ref;
+}
+
+MemRef
+SyntheticProcess::GenRand()
+{
+    const bool write = rng_.NextDouble() < profile_.rand_write_frac;
+    // Reads concentrate on the hot (Zipf) pages, which therefore live in
+    // the cache; update bursts scatter uniformly over the window, mostly
+    // landing on blocks that are *not* cached — real programs update far
+    // more data than they keep hot, which is why the paper measures four
+    // to six write-miss fills per write hit on a clean block.
+    // Updates cover only the lower half of the window: the upper half
+    // models initialized-once, read-many structures (tables, loaded
+    // structures), which is where replaced-but-never-modified writable
+    // pages come from (Table 3.5's "not modified" column).
+    const uint32_t write_span = std::max(1u, profile_.heap_ws_pages / 2);
+    const uint32_t page =
+        write ? (heap_ws_base_ +
+                 static_cast<uint32_t>(rng_.NextBelow(write_span))) %
+                    std::max(1u, profile_.heap_pages)
+              : ZipfPage(heap_ws_base_, profile_.heap_ws_pages,
+                         profile_.heap_pages);
+    const uint32_t block =
+        static_cast<uint32_t>(rng_.NextBelow(page_bytes_ / block_bytes_));
+    const ProcessAddr addr =
+        BlockAddr(kHeapBase, page, block) +
+        4 * static_cast<uint32_t>(rng_.NextBelow(block_bytes_ / 4));
+    if (write) {
+        return StartBurst(addr, profile_.write_burst_words);
+    }
+    return Ref(addr, AccessType::kRead);
+}
+
+MemRef
+SyntheticProcess::GenStack()
+{
+    // Stack activity clusters near the top (page 0 of the region), with a
+    // write bias: call frames are written on entry.
+    const uint32_t page = static_cast<uint32_t>(
+        rng_.NextZipf(profile_.stack_pages, /*skew=*/0.85));
+    const uint32_t block =
+        static_cast<uint32_t>(rng_.NextBelow(page_bytes_ / block_bytes_));
+    const ProcessAddr addr = BlockAddr(kStackBase, page, block);
+    if (rng_.NextDouble() < 0.55) {
+        // Frame setup: a run of stores.
+        return StartBurst(addr, block_bytes_ / 4);
+    }
+    return Ref(addr, AccessType::kRead);
+}
+
+uint32_t
+SyntheticProcess::ZipfPage(uint32_t window_base, uint32_t window_pages,
+                           uint32_t region_pages)
+{
+    const uint32_t offset = static_cast<uint32_t>(
+        rng_.NextZipf(window_pages, profile_.zipf_skew));
+    return (window_base + offset) % std::max(1u, region_pages);
+}
+
+ProcessAddr
+SyntheticProcess::BlockAddr(ProcessAddr region_base, uint32_t page,
+                            uint32_t block)
+{
+    return region_base + page * page_bytes_ + block * block_bytes_;
+}
+
+}  // namespace spur::workload

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * A synthetic process: owns an address space in a SpurSystem and generates
+ * a reference stream according to its ProcessProfile.
+ */
+#ifndef SPUR_WORKLOAD_PROCESS_H_
+#define SPUR_WORKLOAD_PROCESS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/random.h"
+#include "src/common/types.h"
+#include "src/core/host.h"
+#include "src/workload/profile.h"
+
+namespace spur::workload {
+
+/** Process-VA layout constants: one segment register per region kind
+ *  (top two address bits select the register, see pt::SegmentMap), so
+ *  text or data can be shared between processes at segment granularity. */
+inline constexpr ProcessAddr kCodeBase = 0x00000000;   // Segment 0.
+inline constexpr ProcessAddr kDataBase = 0x40000000;   // Segment 1.
+inline constexpr ProcessAddr kHeapBase = 0x80000000;   // Segment 2.
+inline constexpr ProcessAddr kStackBase = 0xC0000000;  // Segment 3.
+
+/** Segment-register indexes of the regions. */
+inline constexpr unsigned kCodeSeg = 0;
+inline constexpr unsigned kDataSeg = 1;
+
+/**
+ * Sharing instructions for a new process: reuse another process's text
+ * and/or data segment instead of mapping private regions (Sprite's
+ * sticky text and file-cache effects for repeatedly invoked tools).
+ */
+struct ShareSpec {
+    Pid owner = 0;
+    bool text = false;
+    bool data = false;
+};
+
+/**
+ * Maps the data segment for @p profile on @p pid: when the profile writes
+ * output files, the lower half (input files, read through the file cache)
+ * is mapped read-only and the upper half (output files) read-write;
+ * otherwise the whole region is file-cache.
+ */
+void MapDataSegment(core::WorkloadHost& system, Pid pid,
+                    const ProcessProfile& profile);
+
+/** One live synthetic process. */
+class SyntheticProcess
+{
+  public:
+    /**
+     * Creates the process in @p system and maps its regions.
+     * @param seed  deterministic per-process random seed.
+     */
+    SyntheticProcess(core::WorkloadHost& system, const ProcessProfile& profile,
+                     uint64_t seed, const ShareSpec* share = nullptr);
+
+    /** Tears the process down in the system (frees all its pages). */
+    ~SyntheticProcess();
+
+    SyntheticProcess(const SyntheticProcess&) = delete;
+    SyntheticProcess& operator=(const SyntheticProcess&) = delete;
+
+    /** Generates and returns the next memory reference. */
+    MemRef Next();
+
+    /** Issues the next reference directly into the system. */
+    void Step() { system_.Access(Next()); }
+
+    /** True once lifetime_refs references have been generated. */
+    bool Done() const
+    {
+        return profile_.lifetime_refs != 0 &&
+               refs_issued_ >= profile_.lifetime_refs;
+    }
+
+    Pid pid() const { return pid_; }
+    const ProcessProfile& profile() const { return profile_; }
+    uint64_t refs_issued() const { return refs_issued_; }
+
+  private:
+    core::WorkloadHost& system_;
+    ProcessProfile profile_;
+    Rng rng_;
+    Pid pid_;
+    uint64_t refs_issued_ = 0;
+
+    unsigned page_shift_;
+    uint32_t block_bytes_;
+    uint32_t page_bytes_;
+
+    // Normalized cumulative generator weights.
+    std::array<double, 6> gen_cdf_{};
+
+    // ---- Generator state ----------------------------------------------------
+    // Instruction-fetch loop model.
+    ProcessAddr loop_base_ = 0;   ///< First block of the current loop body.
+    uint32_t loop_blocks_ = 1;    ///< Body length in blocks.
+    uint32_t loop_iters_left_ = 1;///< Iterations remaining.
+    uint32_t loop_block_idx_ = 0; ///< Current block within the body.
+    uint32_t loop_offset_ = 0;    ///< Byte offset within the block.
+    uint32_t code_ws_base_ = 0;   ///< Hot-code window base page.
+    ProcessAddr seq_read_pos_;    ///< Data-scan cursor.
+    ProcessAddr alloc_front_;     ///< Heap allocation cursor (seq_write).
+    ProcessAddr file_write_pos_;  ///< Output-file cursor (file_write).
+    uint32_t heap_ws_base_ = 0;   ///< Heap working-set window base page.
+    // Pending write burst (rmw completion, rand/stack store runs).
+    ProcessAddr burst_addr_ = 0;  ///< Next word to write, or 0.
+    uint32_t burst_words_ = 0;    ///< Words remaining in the burst.
+    // scan_update state machine.
+    ProcessAddr scan_page_ = 0;   ///< Page being scanned (0 = pick new).
+    uint32_t scan_index_ = 0;     ///< Next block within the burst.
+    bool scan_writing_ = false;   ///< Read phase vs. write-back phase.
+
+    MemRef MakeIFetch();
+    void PickNextLoop();
+    MemRef MakeDataRef();
+    MemRef GenSeqRead();
+    MemRef GenSeqWrite();
+    MemRef GenRmw();
+    MemRef GenScanUpdate();
+    MemRef GenRand();
+    MemRef GenStack();
+    MemRef GenFileWrite();
+
+    /** Starts a write burst at @p addr, clipped to its cache block, and
+     *  returns the first write of the burst. */
+    MemRef StartBurst(ProcessAddr addr, uint32_t words);
+
+    /** Picks a page within [base, base+window) of a region via Zipf. */
+    uint32_t ZipfPage(uint32_t window_base, uint32_t window_pages,
+                      uint32_t region_pages);
+
+    /** A random block-aligned address inside @p region_base + page. */
+    ProcessAddr BlockAddr(ProcessAddr region_base, uint32_t page,
+                          uint32_t block);
+
+    MemRef Ref(ProcessAddr addr, AccessType type)
+    {
+        return MemRef{pid_, addr, type};
+    }
+};
+
+}  // namespace spur::workload
+
+#endif  // SPUR_WORKLOAD_PROCESS_H_

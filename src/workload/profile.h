@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Parameter set describing one synthetic process's memory behaviour.
+ *
+ * The paper's workloads are themselves synthetic scripts ("designed to
+ * reflect a moderately heavy load for a CAD tool developer"); what our
+ * generators must reproduce is their *event structure*: the balance of
+ * instruction fetches to data references, the fraction of modified blocks
+ * that are read before written (N_w-hit : N_w-miss of Table 3.3), the
+ * zero-fill allocation volume (N_zfod), the page reuse locality the page
+ * daemon interacts with, and working-set sizes that stress 5-8 MB
+ * memories.
+ */
+#ifndef SPUR_WORKLOAD_PROFILE_H_
+#define SPUR_WORKLOAD_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace spur::workload {
+
+/**
+ * Behavioural parameters for one synthetic process.
+ *
+ * Data references are produced by five generators, selected per access by
+ * the `w_*` weights (normalized internally):
+ *  - seq_read:    cyclic sequential read of the file-backed data region
+ *                 (source files, object files, symbol tables);
+ *  - seq_write:   an allocation front walking the zero-fill heap (fresh
+ *                 pages, first touch is a write — the N_zfod producer);
+ *  - rmw:         read a block then immediately write it back (the
+ *                 read-modify-write that produces write hits on clean
+ *                 blocks with no excess faults);
+ *  - scan_update: read a run of blocks from one page, then write part of
+ *                 the run back (produces the multiple-clean-cached-blocks
+ *                 pattern of Figure 3.1, i.e. excess faults);
+ *  - rand:        Zipf-distributed references over a sliding heap working
+ *                 set (read-mostly; writes come in short word bursts);
+ *  - file_write:  sequential writes over the file-backed data region
+ *                 (compiler/linker output files — the source of dirty
+ *                 faults on non-zero-fill pages).
+ */
+struct ProcessProfile {
+    std::string name = "proc";
+
+    // ---- Region sizes (pages) -------------------------------------------
+    uint32_t code_pages = 64;    ///< Read-only text.
+    uint32_t data_pages = 64;    ///< File-backed read-write data.
+    uint32_t heap_pages = 256;   ///< Zero-fill heap.
+    uint32_t stack_pages = 16;   ///< Zero-fill stack.
+
+    // ---- Reference mix ---------------------------------------------------
+    double frac_ifetch = 0.70;   ///< Fraction of refs that fetch code.
+    double frac_stack = 0.06;    ///< Of data refs, fraction to the stack.
+
+    // ---- Data generator weights (relative) --------------------------------
+    double w_seq_read = 1.0;
+    double w_seq_write = 0.5;
+    double w_rmw = 0.5;
+    double w_scan_update = 0.5;
+    double w_rand = 1.5;
+    double w_file_write = 0.0;
+
+    // ---- Generator details -------------------------------------------------
+    double rand_write_frac = 0.12;  ///< Write fraction inside `rand`.
+    /// Inside `file_write`: fraction of operations that *re-read* an
+    /// earlier output page (previewing / reloading what was written).
+    /// Re-read pages come back clean and are the main source of
+    /// replaced-but-unmodified writable pages (Table 3.5).
+    double file_reread_frac = 0.25;
+    uint32_t write_burst_words = 6; ///< Words per rand/stack write burst.
+    uint32_t scan_read_blocks = 8;  ///< Blocks read per scan_update burst.
+    uint32_t scan_write_blocks = 4; ///< Of those, blocks written back.
+
+    // ---- Locality ----------------------------------------------------------
+    uint32_t heap_ws_pages = 96;  ///< Sliding window within the heap.
+    double zipf_skew = 0.88;      ///< Reuse skew inside windows.
+    double ws_slide_prob = 2e-4;  ///< Per-data-ref chance to slide the WS.
+    uint32_t code_ws_pages = 24;  ///< Hot code window.
+
+    // ---- Instruction-fetch loop model ---------------------------------------
+    // Code executes as loops: a body of loop_blocks cache blocks is
+    // fetched sequentially loop_iters times (first iteration misses, the
+    // rest hit), then control moves on — sometimes sequentially,
+    // sometimes by a call/jump elsewhere in the hot window.
+    uint32_t loop_blocks_max = 6;   ///< Body length, 1..max blocks.
+    uint32_t loop_iters_max = 24;   ///< Iterations, 1..max.
+    double call_prob = 0.25;        ///< Post-loop chance of a far jump.
+
+    // ---- Lifetime ------------------------------------------------------------
+    uint64_t lifetime_refs = 0;   ///< Refs until exit; 0 = runs forever.
+};
+
+}  // namespace spur::workload
+
+#endif  // SPUR_WORKLOAD_PROFILE_H_

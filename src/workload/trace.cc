@@ -1,0 +1,163 @@
+#include "src/workload/trace.h"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "src/common/log.h"
+#include "src/workload/process.h"
+
+namespace spur::workload {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'P', 'U', 'R', 'T', 'R', 'C', '1'};
+
+void
+WriteU64(std::FILE* file, uint64_t value)
+{
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i) {
+        bytes[i] = static_cast<unsigned char>(value >> (8 * i));
+    }
+    if (std::fwrite(bytes, 1, 8, file) != 8) {
+        Fatal("trace: short write");
+    }
+}
+
+uint64_t
+ReadU64(std::FILE* file)
+{
+    unsigned char bytes[8];
+    if (std::fread(bytes, 1, 8, file) != 8) {
+        Fatal("trace: truncated header");
+    }
+    uint64_t value = 0;
+    for (int i = 7; i >= 0; --i) {
+        value = (value << 8) | bytes[i];
+    }
+    return value;
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path)
+    : file_(std::fopen(path.c_str(), "wb"))
+{
+    if (file_ == nullptr) {
+        Fatal("trace: cannot open '" + path + "' for writing");
+    }
+    if (std::fwrite(kMagic, 1, sizeof(kMagic), file_) != sizeof(kMagic)) {
+        Fatal("trace: short write");
+    }
+    WriteU64(file_, 0);  // Patched in the destructor.
+}
+
+TraceWriter::~TraceWriter()
+{
+    std::fseek(file_, sizeof(kMagic), SEEK_SET);
+    WriteU64(file_, count_);
+    std::fclose(file_);
+}
+
+void
+TraceWriter::Append(const MemRef& ref)
+{
+    unsigned char record[9];
+    for (int i = 0; i < 4; ++i) {
+        record[i] = static_cast<unsigned char>(ref.pid >> (8 * i));
+        record[4 + i] = static_cast<unsigned char>(ref.addr >> (8 * i));
+    }
+    record[8] = static_cast<unsigned char>(ref.type);
+    if (std::fwrite(record, 1, sizeof(record), file_) != sizeof(record)) {
+        Fatal("trace: short write");
+    }
+    ++count_;
+}
+
+TraceReader::TraceReader(const std::string& path)
+    : file_(std::fopen(path.c_str(), "rb"))
+{
+    if (file_ == nullptr) {
+        Fatal("trace: cannot open '" + path + "'");
+    }
+    char magic[8];
+    if (std::fread(magic, 1, sizeof(magic), file_) != sizeof(magic) ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        Fatal("trace: '" + path + "' is not a SPUR trace");
+    }
+    count_ = ReadU64(file_);
+}
+
+TraceReader::~TraceReader()
+{
+    std::fclose(file_);
+}
+
+bool
+TraceReader::Next(MemRef* ref)
+{
+    if (read_ >= count_) {
+        return false;
+    }
+    unsigned char record[9];
+    if (std::fread(record, 1, sizeof(record), file_) != sizeof(record)) {
+        Fatal("trace: truncated record");
+    }
+    ref->pid = 0;
+    ref->addr = 0;
+    for (int i = 3; i >= 0; --i) {
+        ref->pid = (ref->pid << 8) | record[i];
+        ref->addr = (ref->addr << 8) | record[4 + i];
+    }
+    if (record[8] > static_cast<unsigned char>(AccessType::kWrite)) {
+        Fatal("trace: corrupt access type");
+    }
+    ref->type = static_cast<AccessType>(record[8]);
+    ++read_;
+    return true;
+}
+
+uint64_t
+ReplayTrace(const std::string& path, core::SpurSystem& system)
+{
+    TraceReader reader(path);
+    // Trace pids are renamed into processes of the target system, with
+    // generously sized regions mapped lazily on first sight of a pid.
+    std::unordered_map<Pid, Pid> pid_map;
+    const uint64_t page_bytes = system.config().page_bytes;
+    auto target_pid = [&](Pid trace_pid) {
+        const auto it = pid_map.find(trace_pid);
+        if (it != pid_map.end()) {
+            return it->second;
+        }
+        const Pid pid = system.CreateProcess();
+        system.MapRegion(pid, kCodeBase, 2048 * page_bytes,
+                         vm::PageKind::kCode);
+        system.MapRegion(pid, kDataBase, 2048 * page_bytes,
+                         vm::PageKind::kData);
+        system.MapRegion(pid, kHeapBase, 8192 * page_bytes,
+                         vm::PageKind::kHeap);
+        system.MapRegion(pid, kStackBase, 256 * page_bytes,
+                         vm::PageKind::kStack);
+        pid_map.emplace(trace_pid, pid);
+        return pid;
+    };
+
+    uint64_t replayed = 0;
+    MemRef ref;
+    Pid last_pid = ~Pid{0};
+    while (reader.Next(&ref)) {
+        ref.pid = target_pid(ref.pid);
+        if (ref.pid != last_pid) {
+            if (last_pid != ~Pid{0}) {
+                system.OnContextSwitch();
+            }
+            last_pid = ref.pid;
+        }
+        system.Access(ref);
+        ++replayed;
+    }
+    return replayed;
+}
+
+}  // namespace spur::workload

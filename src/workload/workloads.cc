@@ -1,0 +1,305 @@
+#include "src/workload/workloads.h"
+
+namespace spur::workload {
+
+namespace {
+
+/** The espresso PLA optimizer running in the background: long-lived,
+ *  large heap, heavy read-modify-write over a sliding working set. */
+ProcessProfile
+EspressoProfile()
+{
+    ProcessProfile p;
+    p.name = "espresso-bg";
+    p.code_pages = 64;    // ~256 KB text.
+    p.data_pages = 96;    // The large input PLA.
+    p.heap_pages = 450;   // ~3.6 MB of cover/cube structures.
+    p.stack_pages = 12;
+    p.frac_ifetch = 0.71;
+    p.w_seq_read = 0.55;
+    p.w_seq_write = 0.938;
+    p.w_rmw = 0.09;
+    p.w_scan_update = 0.0714;
+    p.w_rand = 1.9;
+    p.w_file_write = 0.30;  // Periodic solution checkpoints.
+    p.rand_write_frac = 0.08;
+    p.heap_ws_pages = 240;
+    p.ws_slide_prob = 3e-4;
+    p.code_ws_pages = 20;
+    p.lifetime_refs = 0;  // Runs for the whole script.
+    return p;
+}
+
+/** One cc invocation: read sources/headers, build ASTs in fresh heap. */
+ProcessProfile
+CompileProfile()
+{
+    ProcessProfile p;
+    p.name = "cc";
+    p.code_pages = 110;   // Compiler text.
+    p.data_pages = 90;   // Source + headers, scanned.
+    p.heap_pages = 260;   // Fresh ASTs and symbol tables: zfod volume.
+    p.stack_pages = 20;
+    p.frac_ifetch = 0.69;
+    p.w_seq_read = 1.1;
+    p.w_seq_write = 1.88;  // Allocation-heavy.
+    p.w_rmw = 0.08;
+    p.w_scan_update = 0.0612;
+    p.w_rand = 1.0;
+    p.w_file_write = 0.75;  // Emitting the object file.
+    p.rand_write_frac = 0.07;
+    p.heap_ws_pages = 90;
+    p.ws_slide_prob = 8e-4;  // Pass structure: front advances steadily.
+    p.code_ws_pages = 30;
+    p.lifetime_refs = 1'100'000;
+    return p;
+}
+
+/** Linking the CAD tool: streams object files, emits the image. */
+ProcessProfile
+LinkProfile()
+{
+    ProcessProfile p;
+    p.name = "ld";
+    p.code_pages = 40;
+    p.data_pages = 200;   // Object files read through.
+    p.heap_pages = 180;   // Output image + symbol tables.
+    p.stack_pages = 10;
+    p.frac_ifetch = 0.62;
+    p.w_seq_read = 2.2;
+    p.w_seq_write = 2;
+    p.w_rmw = 0.05;
+    p.w_scan_update = 0.0408;
+    p.w_rand = 0.5;
+    p.w_file_write = 1.1;   // Writing the linked image.
+    p.rand_write_frac = 0.06;
+    p.heap_ws_pages = 100;
+    p.ws_slide_prob = 1e-3;
+    p.code_ws_pages = 16;
+    p.lifetime_refs = 700'000;
+    return p;
+}
+
+/** Debugging espresso: big symbol tables, read-mostly random probes. */
+ProcessProfile
+DebugProfile()
+{
+    ProcessProfile p;
+    p.name = "dbx";
+    p.code_pages = 130;
+    p.data_pages = 200;   // Symbol tables and the debuggee image.
+    p.heap_pages = 100;
+    p.stack_pages = 16;
+    p.frac_ifetch = 0.72;
+    p.w_seq_read = 1.0;
+    p.w_seq_write = 0.438;
+    p.w_rmw = 0.07;
+    p.w_scan_update = 0.0408;
+    p.w_rand = 1.8;        // Pointer chasing.
+    p.w_file_write = 0.08;
+    p.rand_write_frac = 0.07;
+    p.heap_ws_pages = 70;
+    p.ws_slide_prob = 5e-4;
+    p.code_ws_pages = 36;
+    p.lifetime_refs = 1'400'000;
+    return p;
+}
+
+/** Edits and miscellaneous file/directory commands. */
+ProcessProfile
+EditProfile()
+{
+    ProcessProfile p;
+    p.name = "edit-misc";
+    p.code_pages = 48;
+    p.data_pages = 70;
+    p.heap_pages = 60;
+    p.stack_pages = 10;
+    p.frac_ifetch = 0.70;
+    p.w_seq_read = 1.4;
+    p.w_seq_write = 1.12;
+    p.w_rmw = 0.09;
+    p.w_scan_update = 0.051;
+    p.w_rand = 1.0;
+    p.w_file_write = 0.55;  // Saving edited files.
+    p.rand_write_frac = 0.08;
+    p.heap_ws_pages = 40;
+    p.ws_slide_prob = 6e-4;
+    p.code_ws_pages = 18;
+    p.lifetime_refs = 350'000;
+    return p;
+}
+
+/** A periodic performance monitor: small, short, touches kernel stats. */
+ProcessProfile
+MonitorProfile(const char* name)
+{
+    ProcessProfile p;
+    p.name = name;
+    p.code_pages = 12;
+    p.data_pages = 40;    // The tables it reports from.
+    p.heap_pages = 8;
+    p.stack_pages = 4;
+    p.frac_ifetch = 0.68;
+    p.w_seq_read = 2.0;
+    p.w_seq_write = 0.5;
+    p.w_rmw = 0.06;
+    p.w_scan_update = 0.012;
+    p.w_rand = 0.6;
+    p.w_file_write = 0.15;  // Appending the report log.
+    p.rand_write_frac = 0.08;
+    p.heap_ws_pages = 8;
+    p.code_ws_pages = 8;
+    p.lifetime_refs = 70'000;
+    return p;
+}
+
+/** The resident SPUR Common Lisp system: huge heap, allocation front. */
+ProcessProfile
+LispSystemProfile()
+{
+    ProcessProfile p;
+    p.name = "slc-lisp";
+    p.code_pages = 220;    // The Lisp image text.
+    p.data_pages = 130;    // Loaded fasl/benchmark sources.
+    p.heap_pages = 1400;   // ~6 MB cons space.
+    p.stack_pages = 24;
+    p.frac_ifetch = 0.70;
+    p.w_seq_read = 0.5;
+    p.w_seq_write = 0.18;   // Cons allocation: the N_zfod producer.
+    p.w_rmw = 0.05;
+    p.w_scan_update = 0.06;
+    p.w_rand = 1.7;
+    p.w_file_write = 0.28;  // Writing compiled fasl output.
+    p.rand_write_frac = 0.1;
+    p.heap_ws_pages = 900;
+    p.ws_slide_prob = 2.5e-4;
+    p.code_ws_pages = 40;
+    p.lifetime_refs = 0;
+    return p;
+}
+
+/** One compiler task inside SLC: compiling a benchmark file. */
+ProcessProfile
+LispCompileProfile()
+{
+    ProcessProfile p;
+    p.name = "slc-compile";
+    p.code_pages = 90;
+    p.data_pages = 160;
+    p.heap_pages = 70;
+    p.stack_pages = 16;
+    p.frac_ifetch = 0.69;
+    p.w_seq_read = 1.0;
+    p.w_seq_write = 0.35;
+    p.w_rmw = 0.05;
+    p.w_scan_update = 0.084;
+    p.w_rand = 1.1;
+    p.w_file_write = 1.3;   // The compiled output file.
+    p.rand_write_frac = 0.07;
+    p.heap_ws_pages = 45;
+    p.ws_slide_prob = 7e-4;
+    p.code_ws_pages = 28;
+    p.lifetime_refs = 650'000;
+    return p;
+}
+
+}  // namespace
+
+WorkloadSpec
+MakeWorkload1()
+{
+    WorkloadSpec spec;
+    spec.name = "WORKLOAD1";
+    // The background optimizer runs throughout.
+    spec.jobs.push_back(JobSpec{EspressoProfile(), 0, 1, 0});
+    // Two interleaved compile streams: the edit-compile cycle.
+    spec.jobs.push_back(JobSpec{CompileProfile(), 50'000, 2, 260'000});
+    // Link after the first compiles complete, then repeatedly.
+    spec.jobs.push_back(JobSpec{LinkProfile(), 1'500'000, 1, 1'700'000});
+    // Debug sessions between builds.
+    spec.jobs.push_back(JobSpec{DebugProfile(), 2'600'000, 1, 1'900'000,
+                                /*share_text=*/true, /*share_data=*/true});
+    // Edits and miscellaneous commands all along.
+    spec.jobs.push_back(JobSpec{EditProfile(), 120'000, 1, 420'000});
+    // Two periodic monitors (VM status and CPU performance).
+    spec.jobs.push_back(JobSpec{MonitorProfile("vmstat"), 0, 1, 380'000,
+                                /*share_text=*/true, /*share_data=*/true});
+    spec.jobs.push_back(JobSpec{MonitorProfile("cpustat"), 190'000, 1,
+                                380'000, /*share_text=*/true,
+                                /*share_data=*/true});
+    return spec;
+}
+
+WorkloadSpec
+MakeSlc()
+{
+    WorkloadSpec spec;
+    spec.name = "SLC";
+    spec.jobs.push_back(JobSpec{LispSystemProfile(), 0, 1, 0});
+    // A steady stream of benchmark compilations.
+    spec.jobs.push_back(JobSpec{LispCompileProfile(), 30'000, 1, 100'000});
+    return spec;
+}
+
+WorkloadSpec
+MakeDevMachine(double intensity)
+{
+    WorkloadSpec spec;
+    spec.name = "dev-machine";
+
+    // A long-lived login session: editor buffers, a window-less shell,
+    // mail folders.  Sized with the machine (users with big machines run
+    // big jobs), read-biased, with a modest stream of file saves.
+    ProcessProfile session;
+    session.name = "session";
+    // Sessions run many different programs over the window; their text
+    // cycles through memory as clean read-only pages (the bulk of the
+    // paper's page-in traffic on these hosts).
+    session.code_pages = static_cast<uint32_t>(350 * intensity);
+    session.data_pages = static_cast<uint32_t>(140 * intensity);
+    session.heap_pages = static_cast<uint32_t>(1400 * intensity);
+    session.stack_pages = 16;
+    session.frac_ifetch = 0.70;
+    session.w_seq_read = 1.6;
+    session.w_seq_write = 0.5;
+    session.w_rmw = 0.10;
+    session.w_scan_update = 0.08;
+    session.w_rand = 1.6;
+    session.w_file_write = 0.35;
+    session.rand_write_frac = 0.07;
+    session.file_reread_frac = 0.45;
+    session.heap_ws_pages = static_cast<uint32_t>(500 * intensity);
+    session.ws_slide_prob = 2.5e-4;
+    session.code_ws_pages = 36;
+    session.lifetime_refs = 0;
+    spec.jobs.push_back(JobSpec{session, 0, 1, 0});
+
+    // Kernel builds and tool compiles: two parallel streams.
+    ProcessProfile compile = CompileProfile();
+    compile.heap_pages = static_cast<uint32_t>(300 * intensity);
+    compile.data_pages = static_cast<uint32_t>(120 * intensity);
+    spec.jobs.push_back(JobSpec{compile, 80'000, 2, 300'000});
+
+    // Linking the build results.
+    ProcessProfile link = LinkProfile();
+    link.data_pages = static_cast<uint32_t>(220 * intensity);
+    spec.jobs.push_back(JobSpec{link, 1'200'000, 1, 2'400'000});
+
+    // Paper/dissertation writing: mostly reads, few dirty pages.
+    ProcessProfile tex = DebugProfile();
+    tex.name = "latex";
+    tex.data_pages = static_cast<uint32_t>(220 * intensity);
+    tex.rand_write_frac = 0.05;
+    tex.w_seq_write = 0.3;
+    tex.lifetime_refs = 900'000;
+    spec.jobs.push_back(JobSpec{tex, 500'000, 1, 1'500'000,
+                                /*share_text=*/true, /*share_data=*/true});
+
+    // Mail reading: small, frequent.
+    spec.jobs.push_back(JobSpec{MonitorProfile("mail"), 0, 1, 700'000,
+                                /*share_text=*/true, /*share_data=*/true});
+    return spec;
+}
+
+}  // namespace spur::workload

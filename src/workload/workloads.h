@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The paper's synthetic workloads, rebuilt as WorkloadSpecs.
+ *
+ * WORKLOAD1 (Section 2): "a moderately heavy load for a CAD tool
+ * developer" — compilation of several modules, link and debug of a
+ * ~12000-line CAD tool (espresso), the same tool running in the
+ * background optimizing a large PLA, plus edit/miscellaneous commands
+ * and two periodic performance monitors.
+ *
+ * SLC (Section 2): the SPUR Common Lisp system with its compiler
+ * compiling a set of benchmark programs — a large allocation-heavy heap
+ * (the N_zfod producer) with compiler phases on top.
+ *
+ * Development machines (Table 3.5): software-development day workloads
+ * at 8/12/16 MB used to measure how many replaced writable pages were
+ * actually modified.
+ */
+#ifndef SPUR_WORKLOAD_WORKLOADS_H_
+#define SPUR_WORKLOAD_WORKLOADS_H_
+
+#include <cstdint>
+
+#include "src/workload/driver.h"
+
+namespace spur::workload {
+
+/** The CAD-developer script (Section 2's WORKLOAD1). */
+WorkloadSpec MakeWorkload1();
+
+/** The SPUR Common Lisp compiler script (Section 2's SLC). */
+WorkloadSpec MakeSlc();
+
+/**
+ * A development-machine day for Table 3.5.
+ *
+ * @param intensity  relative activity level: >1 means more and bigger
+ *                   jobs (the paper's hosts differ in load; users also
+ *                   self-schedule big jobs onto big-memory machines).
+ */
+WorkloadSpec MakeDevMachine(double intensity);
+
+/** Default reference budget for one WORKLOAD1 run. */
+inline constexpr uint64_t kWorkload1Refs = 24'000'000;
+
+/** Default reference budget for one SLC run. */
+inline constexpr uint64_t kSlcRefs = 20'000'000;
+
+/** Default reference budget for one dev-machine observation window. */
+inline constexpr uint64_t kDevMachineRefs = 30'000'000;
+
+}  // namespace spur::workload
+
+#endif  // SPUR_WORKLOAD_WORKLOADS_H_

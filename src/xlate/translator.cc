@@ -1,0 +1,64 @@
+#include "src/xlate/translator.h"
+
+namespace spur::xlate {
+
+Translator::Translator(cache::VirtualCache& vcache, pt::PageTable& table,
+                       const sim::MachineConfig& config)
+    : vcache_(vcache),
+      table_(table),
+      pte_hit_cycles_(config.t_xlate_hit),
+      block_fetch_cycles_(config.BlockFetchCycles()),
+      page_shift_(config.PageShift())
+{
+}
+
+Cycles
+Translator::TouchPteBlock(GlobalVpn vpn, sim::EventCounts& events,
+                          bool* pte_hit, bool* evicted_dirty)
+{
+    const GlobalAddr pte_va = pt::PageTable::PteVa(vpn);
+    if (vcache_.Lookup(pte_va) != nullptr) {
+        events.Add(sim::Event::kXlatePteHit);
+        *pte_hit = true;
+        return pte_hit_cycles_;
+    }
+    // First-level PTE not cached: consult the wired second-level table
+    // (physical access, no recursion possible) and fetch the PTE block.
+    events.Add(sim::Event::kXlatePteMiss);
+    events.Add(sim::Event::kXlateL2Access);
+    *pte_hit = false;
+    cache::Eviction eviction;
+    // Page-table pages are wired kernel data: their lines carry kernel
+    // read-write protection and a set page-dirty bit so stores to PTEs
+    // (bit updates by fault handlers) never re-enter the dirty machinery.
+    vcache_.Fill(pte_va, Protection::kReadWrite, /*page_dirty=*/true,
+                 &eviction);
+    if (eviction.writeback) {
+        events.Add(sim::Event::kWriteback);
+        *evicted_dirty = true;
+    }
+    return pte_hit_cycles_ + block_fetch_cycles_ +
+           (eviction.writeback ? block_fetch_cycles_ : 0);
+}
+
+XlateResult
+Translator::Translate(GlobalAddr addr, sim::EventCounts& events)
+{
+    XlateResult result;
+    const GlobalVpn vpn = addr >> page_shift_;
+    result.cycles = TouchPteBlock(vpn, events, &result.pte_hit,
+                                  &result.evicted_dirty);
+    result.pte = &table_.Ensure(vpn);
+    return result;
+}
+
+Cycles
+Translator::ProbePteCost(GlobalAddr addr, sim::EventCounts& events)
+{
+    bool pte_hit = false;
+    bool evicted_dirty = false;
+    const GlobalVpn vpn = addr >> page_shift_;
+    return TouchPteBlock(vpn, events, &pte_hit, &evicted_dirty);
+}
+
+}  // namespace spur::xlate

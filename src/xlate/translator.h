@@ -1,0 +1,76 @@
+/**
+ * @file
+ * SPUR's in-cache address translation [Wood86].
+ *
+ * There is no TLB.  On a cache miss the controller computes the global
+ * virtual address of the first-level PTE with a shift-and-concatenate
+ * circuit and looks for *that* address in the same unified cache — the
+ * cache doubles as a very large TLB.  If the PTE block misses too, the
+ * second-level PTE (wired in physical memory at a known address) supplies
+ * the physical address of the first-level PTE page, which is then fetched
+ * from memory into the cache.  Either way the access may then discover the
+ * page is not resident and raise a page fault.
+ */
+#ifndef SPUR_XLATE_TRANSLATOR_H_
+#define SPUR_XLATE_TRANSLATOR_H_
+
+#include "src/cache/cache.h"
+#include "src/common/types.h"
+#include "src/pt/page_table.h"
+#include "src/sim/config.h"
+#include "src/sim/events.h"
+
+namespace spur::xlate {
+
+/** Outcome of one translation attempt. */
+struct XlateResult {
+    pt::Pte* pte = nullptr;  ///< The PTE (never null; may be !valid()).
+    Cycles cycles = 0;       ///< Controller cycles spent translating.
+    bool pte_hit = false;    ///< First-level PTE was found in the cache.
+    bool evicted_dirty = false;  ///< PTE fill displaced a dirty block.
+};
+
+/** The cache controller's translation engine. */
+class Translator
+{
+  public:
+    Translator(cache::VirtualCache& vcache, pt::PageTable& table,
+               const sim::MachineConfig& config);
+
+    Translator(const Translator&) = delete;
+    Translator& operator=(const Translator&) = delete;
+
+    /**
+     * Translates the page containing @p addr.
+     *
+     * Models the cache behaviour of the PTE fetch (possibly filling the
+     * PTE's block into the cache, which can evict a data block) and counts
+     * kXlatePteHit / kXlatePteMiss / kXlateL2Access in @p events.  The
+     * returned PTE is the authoritative one: the caller must check
+     * `valid()` and raise a page fault when clear.
+     */
+    XlateResult Translate(GlobalAddr addr, sim::EventCounts& events);
+
+    /**
+     * Probes the PTE through the cache *without* the full miss sequence —
+     * the dirty-bit check path used by the SPUR and WRITE policies.
+     * Returns the cycle cost (t_xlate_hit on a cached PTE, plus a memory
+     * fetch when it is not).
+     */
+    Cycles ProbePteCost(GlobalAddr addr, sim::EventCounts& events);
+
+  private:
+    cache::VirtualCache& vcache_;
+    pt::PageTable& table_;
+    Cycles pte_hit_cycles_;
+    Cycles block_fetch_cycles_;
+    unsigned page_shift_;
+
+    /** Ensures the PTE block for @p vpn is cached; returns cost. */
+    Cycles TouchPteBlock(GlobalVpn vpn, sim::EventCounts& events,
+                         bool* pte_hit, bool* evicted_dirty);
+};
+
+}  // namespace spur::xlate
+
+#endif  // SPUR_XLATE_TRANSLATOR_H_

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the snooping bus: the Berkeley Ownership state machine
+ * across caches — supply-on-read, ownership transfer, invalidation on
+ * write, and the upgrade path.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/cache/bus.h"
+#include "src/cache/cache.h"
+#include "src/sim/config.h"
+#include "src/sim/events.h"
+
+namespace spur::cache {
+namespace {
+
+class BusTest : public testing::Test
+{
+  protected:
+    BusTest() : config_(sim::MachineConfig::Prototype(8)), bus_(events_)
+    {
+        for (int i = 0; i < 3; ++i) {
+            caches_.push_back(std::make_unique<VirtualCache>(config_));
+            bus_.Attach(caches_.back().get());
+        }
+    }
+
+    /** Puts @p addr into cache @p port with @p state. */
+    Line& Install(unsigned port, GlobalAddr addr, CoherencyState state)
+    {
+        Line& line = caches_[port]->Fill(addr, Protection::kReadWrite,
+                                         false, nullptr);
+        line.state = state;
+        line.block_dirty = (state == CoherencyState::kOwnedExclusive ||
+                            state == CoherencyState::kOwnedShared);
+        return line;
+    }
+
+    sim::MachineConfig config_;
+    sim::EventCounts events_;
+    std::vector<std::unique_ptr<VirtualCache>> caches_;
+    SnoopBus bus_;
+};
+
+TEST_F(BusTest, ReadWithNoPeersComesFromMemory)
+{
+    const BusResult result = bus_.Read(0x1000, 0);
+    EXPECT_FALSE(result.supplied_by_cache);
+    EXPECT_EQ(result.invalidations, 0u);
+    EXPECT_EQ(events_.Get(sim::Event::kBusRead), 1u);
+}
+
+TEST_F(BusTest, ReadIsSuppliedByOwnerWhoDropsToOwnedShared)
+{
+    Install(1, 0x1000, CoherencyState::kOwnedExclusive);
+    const BusResult result = bus_.Read(0x1000, 0);
+    EXPECT_TRUE(result.supplied_by_cache);
+    EXPECT_EQ(result.invalidations, 0u);
+    EXPECT_EQ(caches_[1]->Lookup(0x1000)->state,
+              CoherencyState::kOwnedShared);
+    EXPECT_EQ(events_.Get(sim::Event::kBusCacheToCache), 1u);
+}
+
+TEST_F(BusTest, ReadLeavesUnOwnedPeersAlone)
+{
+    Install(1, 0x1000, CoherencyState::kUnOwned);
+    const BusResult result = bus_.Read(0x1000, 0);
+    EXPECT_FALSE(result.supplied_by_cache);  // Memory supplies.
+    EXPECT_EQ(caches_[1]->Lookup(0x1000)->state,
+              CoherencyState::kUnOwned);
+}
+
+TEST_F(BusTest, ReadOwnedInvalidatesEveryCopy)
+{
+    Install(1, 0x1000, CoherencyState::kOwnedShared);
+    Install(2, 0x1000, CoherencyState::kUnOwned);
+    const BusResult result = bus_.ReadOwned(0x1000, 0);
+    EXPECT_TRUE(result.supplied_by_cache);
+    EXPECT_EQ(result.invalidations, 2u);
+    EXPECT_EQ(caches_[1]->Lookup(0x1000), nullptr);
+    EXPECT_EQ(caches_[2]->Lookup(0x1000), nullptr);
+    EXPECT_EQ(events_.Get(sim::Event::kBusInvalidation), 2u);
+}
+
+TEST_F(BusTest, UpgradeInvalidatesSharersWithoutData)
+{
+    Install(1, 0x1000, CoherencyState::kUnOwned);
+    Install(2, 0x1000, CoherencyState::kUnOwned);
+    const BusResult result = bus_.Upgrade(0x1000, 0);
+    EXPECT_FALSE(result.supplied_by_cache);
+    EXPECT_EQ(result.invalidations, 2u);
+    EXPECT_EQ(events_.Get(sim::Event::kBusUpgrade), 1u);
+}
+
+TEST_F(BusTest, UpgradeTransfersOwnershipFromDirtyPeer)
+{
+    // Requester holds UnOwned; a peer owns the dirty block: the upgrade
+    // must pull the data across and invalidate the owner.
+    Install(0, 0x1000, CoherencyState::kUnOwned);
+    Install(1, 0x1000, CoherencyState::kOwnedShared);
+    const BusResult result = bus_.Upgrade(0x1000, 0);
+    EXPECT_TRUE(result.supplied_by_cache);
+    EXPECT_EQ(result.invalidations, 1u);
+    EXPECT_EQ(caches_[1]->Lookup(0x1000), nullptr);
+}
+
+TEST_F(BusTest, TransactionsIgnoreOtherAddresses)
+{
+    Install(1, 0x2000, CoherencyState::kOwnedExclusive);
+    const BusResult result = bus_.ReadOwned(0x1000, 0);
+    EXPECT_EQ(result.invalidations, 0u);
+    EXPECT_NE(caches_[1]->Lookup(0x2000), nullptr);
+}
+
+TEST_F(BusTest, RequesterIsNeverSnooped)
+{
+    Install(0, 0x1000, CoherencyState::kOwnedExclusive);
+    const BusResult result = bus_.Read(0x1000, 0);
+    EXPECT_FALSE(result.supplied_by_cache);
+    EXPECT_NE(caches_[0]->Lookup(0x1000), nullptr);
+}
+
+TEST_F(BusTest, PortNumbering)
+{
+    EXPECT_EQ(bus_.NumPorts(), 3u);
+    EXPECT_EQ(&bus_.CacheAt(1), caches_[1].get());
+}
+
+}  // namespace
+}  // namespace spur::cache

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Tests for the common utilities: bit helpers, the deterministic RNG,
+ * table rendering and argument parsing.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/args.h"
+#include "src/common/bits.h"
+#include "src/common/random.h"
+#include "src/common/table.h"
+
+namespace spur {
+namespace {
+
+// ---------------------------------------------------------------------------
+// bits.h
+// ---------------------------------------------------------------------------
+
+TEST(BitsTest, IsPowerOfTwo)
+{
+    EXPECT_FALSE(IsPowerOfTwo(0));
+    EXPECT_TRUE(IsPowerOfTwo(1));
+    EXPECT_TRUE(IsPowerOfTwo(2));
+    EXPECT_FALSE(IsPowerOfTwo(3));
+    EXPECT_TRUE(IsPowerOfTwo(4096));
+    EXPECT_FALSE(IsPowerOfTwo(4097));
+    EXPECT_TRUE(IsPowerOfTwo(uint64_t{1} << 63));
+}
+
+TEST(BitsTest, FloorLog2)
+{
+    EXPECT_EQ(FloorLog2(1), 0u);
+    EXPECT_EQ(FloorLog2(2), 1u);
+    EXPECT_EQ(FloorLog2(3), 1u);
+    EXPECT_EQ(FloorLog2(32), 5u);
+    EXPECT_EQ(FloorLog2(4096), 12u);
+    EXPECT_EQ(FloorLog2((uint64_t{1} << 40) + 5), 40u);
+}
+
+TEST(BitsTest, ExtractBits)
+{
+    EXPECT_EQ(ExtractBits(0xFF00, 8, 8), 0xFFu);
+    EXPECT_EQ(ExtractBits(0xABCD, 0, 4), 0xDu);
+    EXPECT_EQ(ExtractBits(~uint64_t{0}, 0, 64), ~uint64_t{0});
+    EXPECT_EQ(ExtractBits(0b1010, 1, 2), 0b01u);
+}
+
+TEST(BitsTest, AlignUpDown)
+{
+    EXPECT_EQ(AlignUp(0, 32), 0u);
+    EXPECT_EQ(AlignUp(1, 32), 32u);
+    EXPECT_EQ(AlignUp(32, 32), 32u);
+    EXPECT_EQ(AlignUp(33, 32), 64u);
+    EXPECT_EQ(AlignDown(33, 32), 32u);
+    EXPECT_EQ(AlignDown(4095, 4096), 0u);
+    EXPECT_EQ(AlignDown(4096, 4096), 4096u);
+}
+
+// ---------------------------------------------------------------------------
+// random.h
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicAcrossInstances)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(a.Next(), b.Next());
+    }
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        same += (a.Next() == b.Next()) ? 1 : 0;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBelowInRange)
+{
+    Rng rng(7);
+    for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i) {
+            EXPECT_LT(rng.NextBelow(bound), bound);
+        }
+    }
+}
+
+TEST(RngTest, NextBelowCoversRange)
+{
+    Rng rng(9);
+    std::vector<int> seen(10, 0);
+    for (int i = 0; i < 10000; ++i) {
+        ++seen[rng.NextBelow(10)];
+    }
+    for (int count : seen) {
+        // Uniform expectation 1000; allow generous slack.
+        EXPECT_GT(count, 700);
+        EXPECT_LT(count, 1300);
+    }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double value = rng.NextDouble();
+        ASSERT_GE(value, 0.0);
+        ASSERT_LT(value, 1.0);
+        sum += value;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceExtremes)
+{
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.Chance(0.0));
+        EXPECT_TRUE(rng.Chance(1.0));
+        EXPECT_FALSE(rng.Chance(-1.0));
+        EXPECT_TRUE(rng.Chance(2.0));
+    }
+}
+
+TEST(RngTest, ChanceProbabilityApproximate)
+{
+    Rng rng(11);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i) {
+        hits += rng.Chance(0.25) ? 1 : 0;
+    }
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(RngTest, ZipfBiasesTowardZero)
+{
+    Rng rng(13);
+    uint64_t low = 0;
+    uint64_t high = 0;
+    const uint64_t n = 100;
+    for (int i = 0; i < 20000; ++i) {
+        const uint64_t idx = rng.NextZipf(n, 0.9);
+        ASSERT_LT(idx, n);
+        if (idx < n / 10) {
+            ++low;
+        }
+        if (idx >= n - n / 10) {
+            ++high;
+        }
+    }
+    EXPECT_GT(low, high * 5);
+}
+
+TEST(RngTest, ZipfDegenerateCases)
+{
+    Rng rng(17);
+    EXPECT_EQ(rng.NextZipf(0, 0.8), 0u);
+    EXPECT_EQ(rng.NextZipf(1, 0.8), 0u);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_LT(rng.NextZipf(5, 0.99), 5u);  // Near-1 skew is clamped.
+    }
+}
+
+// ---------------------------------------------------------------------------
+// table.h
+// ---------------------------------------------------------------------------
+
+std::string
+Render(Table& table, bool csv = false)
+{
+    std::FILE* f = std::tmpfile();
+    if (csv) {
+        table.PrintCsv(f);
+    } else {
+        table.Print(f);
+    }
+    std::fseek(f, 0, SEEK_SET);
+    std::string out;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+        out.append(buf, n);
+    }
+    std::fclose(f);
+    return out;
+}
+
+TEST(TableTest, RendersHeaderAndRows)
+{
+    Table t("Title");
+    t.SetHeader({"a", "bb"});
+    t.AddRow({"1", "2"});
+    t.AddRow({"333", "4"});
+    const std::string out = Render(t);
+    EXPECT_NE(out.find("Title"), std::string::npos);
+    EXPECT_NE(out.find("333"), std::string::npos);
+    EXPECT_NE(out.find("bb"), std::string::npos);
+    EXPECT_EQ(t.NumRows(), 2u);
+}
+
+TEST(TableTest, PadsShortRows)
+{
+    Table t("");
+    t.SetHeader({"a", "b", "c"});
+    t.AddRow({"only"});
+    const std::string out = Render(t);
+    EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscapesSpecialCells)
+{
+    Table t("T");
+    t.SetHeader({"x"});
+    t.AddRow({"has,comma"});
+    t.AddRow({"has\"quote"});
+    const std::string out = Render(t, /*csv=*/true);
+    EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+    EXPECT_NE(out.find("# T"), std::string::npos);
+}
+
+TEST(TableTest, Formatters)
+{
+    EXPECT_EQ(Table::Num(uint64_t{12345}), "12345");
+    EXPECT_EQ(Table::Num(1.5, 2), "1.50");
+    EXPECT_EQ(Table::Rel(1.034), "(1.03)");
+    EXPECT_EQ(Table::Pct(0.18), "18%");
+    EXPECT_EQ(Table::Pct(0.1849, 1), "18.5%");
+}
+
+// ---------------------------------------------------------------------------
+// args.h
+// ---------------------------------------------------------------------------
+
+Args
+MakeArgs(std::vector<const char*> argv)
+{
+    argv.insert(argv.begin(), "prog");
+    return Args(static_cast<int>(argv.size()),
+                const_cast<char**>(argv.data()));
+}
+
+TEST(ArgsTest, ParsesEqualsForm)
+{
+    const Args args = MakeArgs({"--reps=5", "--name=x"});
+    EXPECT_EQ(args.GetInt("reps", 0), 5);
+    EXPECT_EQ(args.GetString("name"), "x");
+}
+
+TEST(ArgsTest, ParsesSpaceForm)
+{
+    const Args args = MakeArgs({"--reps", "7"});
+    EXPECT_EQ(args.GetInt("reps", 0), 7);
+}
+
+TEST(ArgsTest, BareFlagAndDefaults)
+{
+    const Args args = MakeArgs({"--csv"});
+    EXPECT_TRUE(args.Has("csv"));
+    EXPECT_FALSE(args.Has("missing"));
+    EXPECT_EQ(args.GetInt("missing", 42), 42);
+    EXPECT_DOUBLE_EQ(args.GetDouble("missing", 2.5), 2.5);
+}
+
+TEST(ArgsTest, Positional)
+{
+    const Args args = MakeArgs({"pos1", "--flag", "pos2"});
+    // "pos2" follows a bare flag, so it is consumed as its value.
+    ASSERT_EQ(args.positional().size(), 1u);
+    EXPECT_EQ(args.positional()[0], "pos1");
+    EXPECT_EQ(args.GetString("flag"), "pos2");
+}
+
+TEST(ArgsTest, DoubleValues)
+{
+    const Args args = MakeArgs({"--x=1.25"});
+    EXPECT_DOUBLE_EQ(args.GetDouble("x", 0), 1.25);
+}
+
+}  // namespace
+}  // namespace spur

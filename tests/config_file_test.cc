@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the key=value machine-configuration loader.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/sim/config_file.h"
+
+namespace spur::sim {
+namespace {
+
+TEST(ConfigFileTest, EmptyStringKeepsDefaults)
+{
+    const MachineConfig config = LoadConfigString("");
+    EXPECT_EQ(config.cache_bytes, 128u * 1024);
+    EXPECT_EQ(config.t_fault, 1000u);
+}
+
+TEST(ConfigFileTest, OverridesAndComments)
+{
+    const MachineConfig config = LoadConfigString(
+        "# a variant machine\n"
+        "cache_bytes = 262144   # 256 KB\n"
+        "memory_mb = 16\n"
+        "\n"
+        "t_fault = 800\n"
+        "page_in_us = 42000\n");
+    EXPECT_EQ(config.cache_bytes, 256u * 1024);
+    EXPECT_EQ(config.memory_bytes, 16ull * 1024 * 1024);
+    EXPECT_EQ(config.t_fault, 800u);
+    EXPECT_DOUBLE_EQ(config.page_in_us, 42000.0);
+    // Untouched fields keep defaults.
+    EXPECT_EQ(config.block_bytes, 32u);
+}
+
+TEST(ConfigFileTest, BaseConfigIsRespected)
+{
+    MachineConfig base = MachineConfig::Prototype(5);
+    const MachineConfig config = LoadConfigString("t_fault = 500\n", base);
+    EXPECT_EQ(config.memory_bytes, 5ull * 1024 * 1024);
+    EXPECT_EQ(config.t_fault, 500u);
+}
+
+TEST(ConfigFileTest, AllDocumentedKeysParse)
+{
+    const MachineConfig config = LoadConfigString(
+        "cache_bytes=131072\nblock_bytes=32\npage_bytes=4096\n"
+        "memory_bytes=8388608\ncpu_cycle_ns=150\nbus_cycle_ns=125\n"
+        "mem_first_word_cycles=3\nmem_next_word_cycles=1\nword_bytes=4\n"
+        "t_fault=1000\nt_flush_page=500\nt_dirty_miss=25\n"
+        "t_dirty_check=5\nt_cache_hit=1\nt_xlate_hit=3\n"
+        "page_in_us=800\nt_pagefault_sw=3000\nt_pageout_sw=1500\n"
+        "t_zero_fill=1024\nt_daemon_page=10\nt_ref_clear=20\n"
+        "t_context_switch=500\ndaemon_low_frac=0.04\n"
+        "daemon_high_frac=0.08\nwired_frames=96\n");
+    EXPECT_EQ(config.NumBlocks(), 4096u);
+}
+
+TEST(ConfigFileDeathTest, UnknownKeyIsFatal)
+{
+    EXPECT_EXIT(LoadConfigString("cache_bites = 1\n"),
+                testing::ExitedWithCode(1), "unknown key");
+}
+
+TEST(ConfigFileDeathTest, MalformedLineIsFatal)
+{
+    EXPECT_EXIT(LoadConfigString("cache_bytes 131072\n"),
+                testing::ExitedWithCode(1), "expected 'key = value'");
+}
+
+TEST(ConfigFileDeathTest, BadNumberIsFatal)
+{
+    EXPECT_EXIT(LoadConfigString("t_fault = lots\n"),
+                testing::ExitedWithCode(1), "not a number");
+    EXPECT_EXIT(LoadConfigString("t_fault = 12peanuts\n"),
+                testing::ExitedWithCode(1), "trailing characters");
+}
+
+TEST(ConfigFileDeathTest, InvalidResultIsFatal)
+{
+    // Overrides that individually parse but produce an invalid machine
+    // must still be rejected by validation.
+    EXPECT_EXIT(LoadConfigString("block_bytes = 24\n"),
+                testing::ExitedWithCode(1), "power of");
+}
+
+TEST(ConfigFileTest, LoadsFromDisk)
+{
+    const std::string path = testing::TempDir() + "/machine.conf";
+    {
+        std::ofstream out(path);
+        out << "memory_mb = 12\nt_dirty_miss = 30\n";
+    }
+    const MachineConfig config = LoadConfigFile(path);
+    EXPECT_EQ(config.memory_bytes, 12ull * 1024 * 1024);
+    EXPECT_EQ(config.t_dirty_miss, 30u);
+    std::remove(path.c_str());
+}
+
+TEST(ConfigFileDeathTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT(LoadConfigFile("/nonexistent/machine.conf"),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+}  // namespace
+}  // namespace spur::sim

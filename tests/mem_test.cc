@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for physical memory accounting: the frame table's free list and
+ * reverse map, and the backing store's I/O bookkeeping.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/mem/backing_store.h"
+#include "src/mem/frame_table.h"
+
+namespace spur::mem {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FrameTable
+// ---------------------------------------------------------------------------
+
+TEST(FrameTableTest, InitialState)
+{
+    FrameTable frames(100, 10);
+    EXPECT_EQ(frames.NumTotal(), 100u);
+    EXPECT_EQ(frames.NumPageable(), 90u);
+    EXPECT_EQ(frames.NumFree(), 90u);
+    EXPECT_EQ(frames.FirstPageable(), 10u);
+}
+
+TEST(FrameTableTest, AllocateAllThenExhaust)
+{
+    FrameTable frames(20, 4);
+    std::set<FrameNum> seen;
+    for (int i = 0; i < 16; ++i) {
+        const FrameNum frame = frames.Allocate();
+        ASSERT_NE(frame, kInvalidFrame);
+        EXPECT_GE(frame, 4u);   // Never a wired frame.
+        EXPECT_LT(frame, 20u);
+        EXPECT_TRUE(seen.insert(frame).second);  // No duplicates.
+    }
+    EXPECT_EQ(frames.Allocate(), kInvalidFrame);
+    EXPECT_EQ(frames.NumFree(), 0u);
+}
+
+TEST(FrameTableTest, LowFramesAllocatedFirst)
+{
+    FrameTable frames(20, 4);
+    EXPECT_EQ(frames.Allocate(), 4u);
+    EXPECT_EQ(frames.Allocate(), 5u);
+}
+
+TEST(FrameTableTest, BindUnbindRoundTrip)
+{
+    FrameTable frames(20, 4);
+    const FrameNum frame = frames.Allocate();
+    EXPECT_EQ(frames.VpnOf(frame), kNoVpn);
+    frames.Bind(frame, 12345);
+    EXPECT_EQ(frames.VpnOf(frame), 12345u);
+    frames.Unbind(frame);
+    EXPECT_EQ(frames.VpnOf(frame), kNoVpn);
+    frames.Free(frame);
+    EXPECT_EQ(frames.NumFree(), 16u);
+}
+
+TEST(FrameTableTest, FreedFrameIsReallocatable)
+{
+    FrameTable frames(6, 4);
+    const FrameNum a = frames.Allocate();
+    const FrameNum b = frames.Allocate();
+    EXPECT_EQ(frames.Allocate(), kInvalidFrame);
+    frames.Free(a);
+    EXPECT_EQ(frames.Allocate(), a);
+    (void)b;
+}
+
+TEST(FrameTableDeathTest, FreeOfBoundFramePanics)
+{
+    FrameTable frames(20, 4);
+    const FrameNum frame = frames.Allocate();
+    frames.Bind(frame, 1);
+    EXPECT_DEATH(frames.Free(frame), "bound frame");
+}
+
+TEST(FrameTableDeathTest, DoubleFreePanics)
+{
+    FrameTable frames(20, 4);
+    const FrameNum frame = frames.Allocate();
+    frames.Free(frame);
+    EXPECT_DEATH(frames.Free(frame), "unallocated");
+}
+
+TEST(FrameTableDeathTest, BindUnallocatedPanics)
+{
+    FrameTable frames(20, 4);
+    EXPECT_DEATH(frames.Bind(5, 1), "unallocated");
+}
+
+TEST(FrameTableDeathTest, WiredGeTotalIsFatal)
+{
+    EXPECT_EXIT(FrameTable(10, 10), testing::ExitedWithCode(1), "wired");
+}
+
+// ---------------------------------------------------------------------------
+// BackingStore
+// ---------------------------------------------------------------------------
+
+TEST(BackingStoreTest, PageOutCreatesCopy)
+{
+    BackingStore store;
+    EXPECT_FALSE(store.HasCopy(7));
+    store.PageOut(7);
+    EXPECT_TRUE(store.HasCopy(7));
+    EXPECT_EQ(store.NumPageOuts(), 1u);
+    EXPECT_EQ(store.NumStored(), 1u);
+}
+
+TEST(BackingStoreTest, PageInWithoutCopyIsLegal)
+{
+    // Initial text/data page-ins come from the file system.
+    BackingStore store;
+    store.PageIn(42);
+    EXPECT_EQ(store.NumPageIns(), 1u);
+    EXPECT_FALSE(store.HasCopy(42));
+}
+
+TEST(BackingStoreTest, IoCountsAccumulate)
+{
+    BackingStore store;
+    store.PageOut(1);
+    store.PageOut(1);  // Re-outs overwrite the same copy.
+    store.PageIn(1);
+    store.PageIn(2);
+    EXPECT_EQ(store.NumPageOuts(), 2u);
+    EXPECT_EQ(store.NumPageIns(), 2u);
+    EXPECT_EQ(store.NumIos(), 4u);
+    EXPECT_EQ(store.NumStored(), 1u);
+}
+
+TEST(BackingStoreTest, DiscardForgetsCopy)
+{
+    BackingStore store;
+    store.PageOut(9);
+    store.Discard(9);
+    EXPECT_FALSE(store.HasCopy(9));
+    store.Discard(9);  // Idempotent.
+    EXPECT_EQ(store.NumPageOuts(), 1u);  // Counts are history, not state.
+}
+
+}  // namespace
+}  // namespace spur::mem

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the Section 3.2 analytic overhead models, checked against the
+ * paper's own published numbers: feeding Table 3.3's measured event
+ * frequencies into the models must reproduce Table 3.4's cycle counts.
+ */
+#include <gtest/gtest.h>
+
+#include "src/core/overhead_model.h"
+#include "src/sim/config.h"
+
+namespace spur::core {
+namespace {
+
+using policy::DirtyPolicyKind;
+
+OverheadModel
+PaperModel()
+{
+    // Table 3.2 parameters.
+    return OverheadModel(/*t_ds=*/1000, /*t_flush=*/500, /*t_dm=*/25,
+                         /*t_dc=*/5);
+}
+
+/** Table 3.3's SLC row at 5 MB (w-hit/w-miss columns are in millions). */
+EventFrequencies
+Slc5()
+{
+    EventFrequencies f;
+    f.n_ds = 2349;
+    f.n_zfod = 905;
+    f.n_ef = 237;
+    f.n_w_hit = 1'270'000;
+    f.n_w_miss = 7'380'000;
+    return f;
+}
+
+/** Table 3.3's WORKLOAD1 row at 5 MB. */
+EventFrequencies
+W15()
+{
+    EventFrequencies f;
+    f.n_ds = 9860;
+    f.n_zfod = 5286;
+    f.n_ef = 1534;
+    f.n_w_hit = 6'150'000;
+    f.n_w_miss = 34'000'000;
+    return f;
+}
+
+TEST(OverheadModelTest, ReproducesPaperTable34SlcRow)
+{
+    const OverheadModel model = PaperModel();
+    const EventFrequencies f = Slc5();
+    // Paper: MIN 1.44M, FAULT 1.68M, FLUSH 2.17M, SPUR 1.49M, WRITE 7.81M.
+    EXPECT_NEAR(model.Overhead(DirtyPolicyKind::kMin, f) / 1e6, 1.44, 0.01);
+    EXPECT_NEAR(model.Overhead(DirtyPolicyKind::kFault, f) / 1e6, 1.68,
+                0.01);
+    EXPECT_NEAR(model.Overhead(DirtyPolicyKind::kFlush, f) / 1e6, 2.17,
+                0.01);
+    EXPECT_NEAR(model.Overhead(DirtyPolicyKind::kSpur, f) / 1e6, 1.49,
+                0.01);
+    // The published inputs are rounded (N_w-hit "1.27" million), so the
+    // recomputed WRITE overhead lands within rounding of the paper's.
+    EXPECT_NEAR(model.Overhead(DirtyPolicyKind::kWrite, f) / 1e6, 7.81,
+                0.03);
+}
+
+TEST(OverheadModelTest, ReproducesPaperTable34Workload1Row)
+{
+    const OverheadModel model = PaperModel();
+    const EventFrequencies f = W15();
+    // Paper: MIN 4.57M, FAULT 6.11M, FLUSH 6.86M, SPUR 4.73M, WRITE 35.3M.
+    EXPECT_NEAR(model.Overhead(DirtyPolicyKind::kMin, f) / 1e6, 4.57, 0.01);
+    EXPECT_NEAR(model.Overhead(DirtyPolicyKind::kFault, f) / 1e6, 6.11,
+                0.01);
+    EXPECT_NEAR(model.Overhead(DirtyPolicyKind::kFlush, f) / 1e6, 6.86,
+                0.01);
+    EXPECT_NEAR(model.Overhead(DirtyPolicyKind::kSpur, f) / 1e6, 4.73,
+                0.01);
+    EXPECT_NEAR(model.Overhead(DirtyPolicyKind::kWrite, f) / 1e6, 35.3,
+                0.05);
+}
+
+TEST(OverheadModelTest, ReproducesPaperRelatives)
+{
+    const OverheadModel model = PaperModel();
+    const EventFrequencies f = W15();
+    EXPECT_NEAR(model.RelativeToMin(DirtyPolicyKind::kFault, f), 1.34,
+                0.005);
+    EXPECT_NEAR(model.RelativeToMin(DirtyPolicyKind::kFlush, f), 1.50,
+                0.005);
+    EXPECT_NEAR(model.RelativeToMin(DirtyPolicyKind::kSpur, f), 1.03,
+                0.005);
+    EXPECT_NEAR(model.RelativeToMin(DirtyPolicyKind::kWrite, f), 7.72,
+                0.01);
+}
+
+TEST(OverheadModelTest, FlushIsAlwaysExactlyHalfAboveMin)
+{
+    // With t_flush = t_ds / 2, FLUSH is 1.50x MIN for any frequencies.
+    const OverheadModel model = PaperModel();
+    for (uint64_t n_ds : {100ull, 1000ull, 50000ull}) {
+        EventFrequencies f;
+        f.n_ds = n_ds;
+        f.n_ef = n_ds / 7;
+        EXPECT_DOUBLE_EQ(model.RelativeToMin(DirtyPolicyKind::kFlush, f),
+                         1.5);
+    }
+}
+
+TEST(OverheadModelTest, FaultFlushCrossoverAtHalf)
+{
+    const OverheadModel model = PaperModel();
+    EventFrequencies f;
+    f.n_ds = 1000;
+    f.n_ef = 499;
+    EXPECT_LT(model.Overhead(DirtyPolicyKind::kFault, f),
+              model.Overhead(DirtyPolicyKind::kFlush, f));
+    f.n_ef = 501;
+    EXPECT_GT(model.Overhead(DirtyPolicyKind::kFault, f),
+              model.Overhead(DirtyPolicyKind::kFlush, f));
+    f.n_ef = 500;
+    EXPECT_DOUBLE_EQ(model.Overhead(DirtyPolicyKind::kFault, f),
+                     model.Overhead(DirtyPolicyKind::kFlush, f));
+}
+
+TEST(OverheadModelTest, ZeroFillExclusion)
+{
+    const OverheadModel model = PaperModel();
+    EventFrequencies f;
+    f.n_ds = 1000;
+    f.n_zfod = 400;
+    EXPECT_DOUBLE_EQ(model.Overhead(DirtyPolicyKind::kMin, f,
+                                    /*exclude_zfod=*/true),
+                     600.0 * 1000);
+    EXPECT_DOUBLE_EQ(model.Overhead(DirtyPolicyKind::kMin, f,
+                                    /*exclude_zfod=*/false),
+                     1000.0 * 1000);
+    // Degenerate: more zfod than faults clamps at zero.
+    f.n_zfod = 2000;
+    EXPECT_DOUBLE_EQ(model.Overhead(DirtyPolicyKind::kMin, f), 0.0);
+}
+
+TEST(OverheadModelTest, GeometricExcessModel)
+{
+    // p_w = 0.8 -> (1 - 0.8) / 0.8 = 0.25.
+    EventFrequencies f;
+    f.n_w_hit = 200;
+    f.n_w_miss = 800;
+    EXPECT_DOUBLE_EQ(OverheadModel::WriteMissProbability(f), 0.8);
+    EXPECT_DOUBLE_EQ(OverheadModel::PredictedExcessRatio(f), 0.25);
+    // The paper's SLC@5 mix: 1.27 : 7.38 -> p_w = 0.853 -> 17.2%.
+    const EventFrequencies slc = Slc5();
+    EXPECT_NEAR(OverheadModel::PredictedExcessRatio(slc), 0.172, 0.001);
+    // Measured (excluding zfod): 237 / 1444 = 16.4% - below the model,
+    // as the paper observes.
+    EXPECT_NEAR(OverheadModel::MeasuredExcessRatio(slc), 0.164, 0.001);
+    EXPECT_LT(OverheadModel::MeasuredExcessRatio(slc),
+              OverheadModel::PredictedExcessRatio(slc));
+}
+
+TEST(OverheadModelTest, MeasuredExcessRatioInclusiveVsExclusive)
+{
+    const EventFrequencies f = W15();
+    // Excluding zero-fills: 1534 / 4574 = 33.5%.
+    EXPECT_NEAR(OverheadModel::MeasuredExcessRatio(f, true), 0.335, 0.001);
+    // Including: 1534 / 9860 = 15.6%.
+    EXPECT_NEAR(OverheadModel::MeasuredExcessRatio(f, false), 0.156, 0.001);
+}
+
+TEST(OverheadModelTest, DegenerateFrequencies)
+{
+    const OverheadModel model = PaperModel();
+    EventFrequencies empty;
+    EXPECT_DOUBLE_EQ(model.Overhead(DirtyPolicyKind::kFault, empty), 0.0);
+    EXPECT_DOUBLE_EQ(model.RelativeToMin(DirtyPolicyKind::kWrite, empty),
+                     1.0);
+    EXPECT_DOUBLE_EQ(OverheadModel::MeasuredExcessRatio(empty), 0.0);
+    EXPECT_DOUBLE_EQ(OverheadModel::PredictedExcessRatio(empty), 0.0);
+}
+
+TEST(OverheadModelTest, FromEventsMergesExcessAndDirtyMiss)
+{
+    sim::EventCounts events;
+    events.Add(sim::Event::kDirtyFault, 10);
+    events.Add(sim::Event::kDirtyFaultZfod, 4);
+    events.Add(sim::Event::kDirtyBitMiss, 3);
+    events.Add(sim::Event::kExcessFault, 2);
+    events.Add(sim::Event::kWriteHitCleanBlock, 100);
+    events.Add(sim::Event::kWriteMissFill, 500);
+    const EventFrequencies f = EventFrequencies::FromEvents(events);
+    EXPECT_EQ(f.n_ds, 10u);
+    EXPECT_EQ(f.n_zfod, 4u);
+    EXPECT_EQ(f.n_ef, 5u);  // Same population, either counter.
+    EXPECT_EQ(f.n_w_hit, 100u);
+    EXPECT_EQ(f.n_w_miss, 500u);
+    EXPECT_EQ(f.IntrinsicFaults(), 6u);
+}
+
+}  // namespace
+}  // namespace spur::core

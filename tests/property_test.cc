@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Cross-policy property tests: invariants that must hold between the
+ * dirty-bit alternatives when they process *the same reference stream*
+ * (driven by identical synthetic generators across seeds).
+ *
+ *  - FAULT's excess faults and SPUR's dirty-bit misses are the same
+ *    event population (Section 3.1).
+ *  - SPUR-PROT is performance-identical to SPUR (Section 3.1's
+ *    "the performance of this scheme is identical").
+ *  - Every policy observes the same necessary faults, page-ins and
+ *    misses (the policy must not perturb the memory system, FLUSH
+ *    excepted since flushing is its mechanism).
+ *  - WRITE-HW never charges fault cycles.
+ *  - MIN's dirty-bit cycles lower-bound every other policy's.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/system.h"
+#include "src/workload/process.h"
+
+namespace spur::core {
+namespace {
+
+using policy::DirtyPolicyKind;
+using policy::RefPolicyKind;
+
+struct RunStats {
+    uint64_t n_ds = 0;
+    uint64_t n_zfod = 0;
+    uint64_t excess = 0;
+    uint64_t dirty_miss = 0;
+    uint64_t page_ins = 0;
+    uint64_t misses = 0;
+    Cycles fault_cycles = 0;
+    Cycles aux_cycles = 0;
+    Cycles flush_cycles = 0;
+};
+
+RunStats
+RunPolicy(DirtyPolicyKind dirty, uint64_t seed, uint64_t refs = 400'000)
+{
+    sim::MachineConfig config = sim::MachineConfig::Prototype(5);
+    SpurSystem system(config, dirty, RefPolicyKind::kMiss);
+    workload::ProcessProfile profile;
+    profile.code_pages = 48;
+    profile.data_pages = 64;
+    profile.heap_pages = 700;   // Enough to page at 5 MB.
+    profile.heap_ws_pages = 260;
+    profile.w_scan_update = 0.4;  // Plenty of stale-copy events.
+    workload::SyntheticProcess process(system, profile, seed);
+    for (uint64_t i = 0; i < refs; ++i) {
+        process.Step();
+    }
+    RunStats stats;
+    const auto& ev = system.events();
+    stats.n_ds = ev.Get(sim::Event::kDirtyFault);
+    stats.n_zfod = ev.Get(sim::Event::kDirtyFaultZfod);
+    stats.excess = ev.Get(sim::Event::kExcessFault);
+    stats.dirty_miss = ev.Get(sim::Event::kDirtyBitMiss);
+    stats.page_ins = ev.Get(sim::Event::kPageIn);
+    stats.misses = ev.TotalMisses();
+    stats.fault_cycles = system.timing().Get(sim::TimeBucket::kFault);
+    stats.aux_cycles = system.timing().Get(sim::TimeBucket::kDirtyAux);
+    stats.flush_cycles = system.timing().Get(sim::TimeBucket::kFlush);
+    return stats;
+}
+
+class CrossPolicyTest : public testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(CrossPolicyTest, FaultExcessEqualsSpurDirtyMisses)
+{
+    const RunStats fault = RunPolicy(DirtyPolicyKind::kFault, GetParam());
+    const RunStats spur = RunPolicy(DirtyPolicyKind::kSpur, GetParam());
+    // Same stream, same stale-copy events, different mechanism.
+    EXPECT_EQ(fault.excess, spur.dirty_miss);
+    EXPECT_EQ(fault.n_ds, spur.n_ds);
+    EXPECT_EQ(fault.n_zfod, spur.n_zfod);
+    EXPECT_EQ(fault.page_ins, spur.page_ins);
+    EXPECT_EQ(fault.misses, spur.misses);
+    EXPECT_EQ(fault.dirty_miss, 0u);
+    EXPECT_EQ(spur.excess, 0u);
+}
+
+TEST_P(CrossPolicyTest, SpurProtIsIdenticalToSpur)
+{
+    // The paper: "Since the performance of this scheme is identical to
+    // what we implemented in SPUR, we will not discuss it separately."
+    const RunStats spur = RunPolicy(DirtyPolicyKind::kSpur, GetParam());
+    const RunStats prot = RunPolicy(DirtyPolicyKind::kSpurProt, GetParam());
+    EXPECT_EQ(prot.n_ds, spur.n_ds);
+    EXPECT_EQ(prot.dirty_miss, spur.dirty_miss);
+    EXPECT_EQ(prot.page_ins, spur.page_ins);
+    EXPECT_EQ(prot.misses, spur.misses);
+    EXPECT_EQ(prot.fault_cycles, spur.fault_cycles);
+    EXPECT_EQ(prot.aux_cycles, spur.aux_cycles);
+}
+
+TEST_P(CrossPolicyTest, NonFlushingPoliciesAgreeOnMemoryBehaviour)
+{
+    // MIN / SPUR / WRITE / WRITE-HW never perturb cache contents, so the
+    // paging and miss behaviour they observe is identical.
+    const RunStats min = RunPolicy(DirtyPolicyKind::kMin, GetParam());
+    for (const DirtyPolicyKind kind :
+         {DirtyPolicyKind::kSpur, DirtyPolicyKind::kWrite,
+          DirtyPolicyKind::kWriteHw}) {
+        const RunStats other = RunPolicy(kind, GetParam());
+        EXPECT_EQ(other.misses, min.misses) << ToString(kind);
+        EXPECT_EQ(other.page_ins, min.page_ins) << ToString(kind);
+        EXPECT_EQ(other.n_ds, min.n_ds) << ToString(kind);
+    }
+}
+
+TEST_P(CrossPolicyTest, WriteHwNeverFaultsForDirtyBits)
+{
+    const RunStats min = RunPolicy(DirtyPolicyKind::kMin, GetParam());
+    const RunStats hw = RunPolicy(DirtyPolicyKind::kWriteHw, GetParam());
+    // MIN's fault bucket = page faults + ref faults + N_ds * t_ds;
+    // WRITE-HW's lacks the N_ds term entirely.
+    const Cycles t_ds = sim::MachineConfig::Prototype(5).t_fault;
+    EXPECT_EQ(hw.fault_cycles + min.n_ds * t_ds, min.fault_cycles);
+    // But it pays checks on every first block write.
+    EXPECT_GT(hw.aux_cycles, 0u);
+}
+
+TEST_P(CrossPolicyTest, MinLowerBoundsDirtyCycles)
+{
+    // MIN's dirty-machinery time (fault + aux + flush attributable to
+    // dirty bits) must not exceed any other policy's on the same stream.
+    const RunStats min = RunPolicy(DirtyPolicyKind::kMin, GetParam());
+    const Cycles min_total =
+        min.fault_cycles + min.aux_cycles + min.flush_cycles;
+    for (const DirtyPolicyKind kind :
+         {DirtyPolicyKind::kFault, DirtyPolicyKind::kFlush,
+          DirtyPolicyKind::kSpur, DirtyPolicyKind::kWrite,
+          DirtyPolicyKind::kSpurProt}) {
+        const RunStats other = RunPolicy(kind, GetParam());
+        EXPECT_GE(other.fault_cycles + other.aux_cycles +
+                      other.flush_cycles,
+                  min_total)
+            << ToString(kind);
+    }
+}
+
+TEST_P(CrossPolicyTest, ZeroFillClassificationIsPolicyIndependent)
+{
+    const RunStats a = RunPolicy(DirtyPolicyKind::kMin, GetParam());
+    const RunStats b = RunPolicy(DirtyPolicyKind::kFault, GetParam());
+    const RunStats c = RunPolicy(DirtyPolicyKind::kWriteHw, GetParam());
+    EXPECT_EQ(a.n_zfod, b.n_zfod);
+    EXPECT_EQ(a.n_zfod, c.n_zfod);
+    EXPECT_GT(a.n_zfod, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossPolicyTest,
+                         testing::Values(1, 7, 23, 91, 1234),
+                         [](const auto& info) {
+                             return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace spur::core

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the segment map (synonym prevention) and the two-level page
+ * table with its shift-and-concatenate PTE addressing.
+ */
+#include <gtest/gtest.h>
+
+#include "src/pt/page_table.h"
+#include "src/pt/segment_map.h"
+
+namespace spur::pt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SegmentMap
+// ---------------------------------------------------------------------------
+
+TEST(SegmentMapTest, ProcessesGetDistinctSegments)
+{
+    SegmentMap map;
+    const Pid a = map.CreateProcess();
+    const Pid b = map.CreateProcess();
+    EXPECT_NE(a, b);
+    for (unsigned reg = 0; reg < kSegmentsPerProcess; ++reg) {
+        EXPECT_NE(map.SegmentOf(a, reg), map.SegmentOf(b, reg));
+    }
+    EXPECT_EQ(map.NumProcesses(), 2u);
+}
+
+TEST(SegmentMapTest, ToGlobalUsesTopTwoBits)
+{
+    SegmentMap map;
+    const Pid pid = map.CreateProcess();
+    const uint32_t seg0 = map.SegmentOf(pid, 0);
+    const uint32_t seg3 = map.SegmentOf(pid, 3);
+
+    const GlobalAddr g0 = map.ToGlobal(pid, 0x00001234);
+    EXPECT_EQ(g0 >> kSegmentShift, seg0);
+    EXPECT_EQ(g0 & (kSegmentBytes - 1), 0x1234u);
+
+    const GlobalAddr g3 = map.ToGlobal(pid, 0xC0005678);
+    EXPECT_EQ(g3 >> kSegmentShift, seg3);
+    EXPECT_EQ(g3 & (kSegmentBytes - 1), 0x5678u);
+}
+
+TEST(SegmentMapTest, SharingGivesOneGlobalAddress)
+{
+    // The SPUR synonym-prevention property: two processes sharing memory
+    // see the same *global* address for it.
+    SegmentMap map;
+    const Pid a = map.CreateProcess();
+    const Pid b = map.CreateProcess();
+    map.ShareSegment(b, 1, a, 1);
+    const ProcessAddr addr = 0x40001000;  // Segment register 1.
+    EXPECT_EQ(map.ToGlobal(a, addr), map.ToGlobal(b, addr));
+    // Other segments stay private.
+    EXPECT_NE(map.ToGlobal(a, 0x00001000), map.ToGlobal(b, 0x00001000));
+}
+
+TEST(SegmentMapTest, DestroyAndRecreate)
+{
+    SegmentMap map;
+    const Pid a = map.CreateProcess();
+    map.DestroyProcess(a);
+    EXPECT_EQ(map.NumProcesses(), 0u);
+    const Pid b = map.CreateProcess();
+    EXPECT_EQ(map.NumProcesses(), 1u);
+    // Segments are never recycled: the new process gets fresh ones.
+    for (unsigned reg = 0; reg < kSegmentsPerProcess; ++reg) {
+        EXPECT_NE(map.SegmentOf(b, reg), map.SegmentOf(a, reg));
+    }
+}
+
+TEST(SegmentMapDeathTest, RejectsUnknownPid)
+{
+    SegmentMap map;
+    EXPECT_EXIT(map.SegmentOf(5, 0), testing::ExitedWithCode(1),
+                "unknown pid");
+}
+
+TEST(SegmentMapDeathTest, RejectsBadRegister)
+{
+    SegmentMap map;
+    const Pid pid = map.CreateProcess();
+    EXPECT_EXIT(map.SegmentOf(pid, 4), testing::ExitedWithCode(1),
+                "register");
+}
+
+// ---------------------------------------------------------------------------
+// PageTable
+// ---------------------------------------------------------------------------
+
+TEST(PageTableTest, FindBeforeEnsureIsNull)
+{
+    PageTable table;
+    EXPECT_EQ(table.Find(123), nullptr);
+    EXPECT_EQ(table.FindMutable(123), nullptr);
+    EXPECT_EQ(table.NumTablePages(), 0u);
+}
+
+TEST(PageTableTest, EnsureCreatesAndFindSees)
+{
+    PageTable table;
+    Pte& pte = table.Ensure(123);
+    pte.set_valid(true);
+    pte.set_pfn(77);
+    const Pte* found = table.Find(123);
+    ASSERT_NE(found, nullptr);
+    EXPECT_TRUE(found->valid());
+    EXPECT_EQ(found->pfn(), 77u);
+    EXPECT_EQ(table.NumTablePages(), 1u);
+}
+
+TEST(PageTableTest, NeighboursShareATablePage)
+{
+    PageTable table;
+    table.Ensure(0);
+    table.Ensure(kPtesPerPage - 1);
+    EXPECT_EQ(table.NumTablePages(), 1u);
+    table.Ensure(kPtesPerPage);  // First PTE of the next table page.
+    EXPECT_EQ(table.NumTablePages(), 2u);
+}
+
+TEST(PageTableTest, FindInExistingPageButUntouchedEntry)
+{
+    PageTable table;
+    table.Ensure(10);
+    // Entry 11 shares the table page: Find returns it, and it is invalid.
+    const Pte* pte = table.Find(11);
+    ASSERT_NE(pte, nullptr);
+    EXPECT_FALSE(pte->valid());
+}
+
+TEST(PageTableTest, ShiftAndConcatenateAddressing)
+{
+    // The hardware computes PteVa = PteBase + vpn * 4.
+    EXPECT_EQ(PageTable::PteVa(0), kPteBase);
+    EXPECT_EQ(PageTable::PteVa(1), kPteBase + 4);
+    EXPECT_EQ(PageTable::PteVa(1000), kPteBase + 4000);
+    // Inverse.
+    EXPECT_EQ(PageTable::VpnOfPteVa(PageTable::PteVa(123456)), 123456u);
+    // PTE addresses are recognizable.
+    EXPECT_TRUE(PageTable::IsPteAddr(kPteBase));
+    EXPECT_FALSE(PageTable::IsPteAddr(0x1000));
+}
+
+TEST(PageTableTest, SecondLevelIndexGroupsByTablePage)
+{
+    EXPECT_EQ(PageTable::SecondLevelIndex(0), 0u);
+    EXPECT_EQ(PageTable::SecondLevelIndex(kPtesPerPage - 1), 0u);
+    EXPECT_EQ(PageTable::SecondLevelIndex(kPtesPerPage), 1u);
+    EXPECT_EQ(PageTable::SecondLevelIndex(5 * kPtesPerPage + 3), 5u);
+}
+
+TEST(PageTableTest, PteSegmentIsAboveUserSegments)
+{
+    // A few thousand processes x 4 segments must never collide with the
+    // PTE segment.
+    SegmentMap map;
+    uint32_t max_segment = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const Pid pid = map.CreateProcess();
+        for (unsigned reg = 0; reg < kSegmentsPerProcess; ++reg) {
+            max_segment = std::max(max_segment, map.SegmentOf(pid, reg));
+        }
+    }
+    EXPECT_LT(max_segment, kPteSegment);
+}
+
+}  // namespace
+}  // namespace spur::pt

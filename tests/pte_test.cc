@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the Figure 3.2(a) PTE format: field packing, independence of
+ * bits, and the software-bit extensions used by the FAULT emulation.
+ */
+#include <gtest/gtest.h>
+
+#include "src/pt/pte.h"
+
+namespace spur::pt {
+namespace {
+
+TEST(PteTest, DefaultIsAllZero)
+{
+    Pte pte;
+    EXPECT_EQ(pte.raw(), 0u);
+    EXPECT_FALSE(pte.valid());
+    EXPECT_FALSE(pte.dirty());
+    EXPECT_FALSE(pte.referenced());
+    EXPECT_FALSE(pte.soft_dirty());
+    EXPECT_FALSE(pte.zfod_clean());
+    EXPECT_EQ(pte.protection(), Protection::kNone);
+    EXPECT_EQ(pte.pfn(), 0u);
+}
+
+TEST(PteTest, PfnRoundTrips)
+{
+    Pte pte;
+    pte.set_pfn(0xABCDE);
+    EXPECT_EQ(pte.pfn(), 0xABCDEu);
+    // The PFN must not disturb the low control bits.
+    EXPECT_FALSE(pte.valid());
+    EXPECT_EQ(pte.protection(), Protection::kNone);
+}
+
+TEST(PteTest, PfnOccupiesHighBits)
+{
+    Pte pte;
+    pte.set_pfn(1);
+    EXPECT_EQ(pte.raw(), uint32_t{1} << Pte::kPfnShift);
+}
+
+TEST(PteTest, ProtectionRoundTrips)
+{
+    Pte pte;
+    for (Protection prot : {Protection::kNone, Protection::kReadOnly,
+                            Protection::kReadWrite}) {
+        pte.set_protection(prot);
+        EXPECT_EQ(pte.protection(), prot);
+    }
+}
+
+TEST(PteTest, FlagBitsAreIndependent)
+{
+    Pte pte;
+    pte.set_pfn(0xFFFFF);
+    pte.set_protection(Protection::kReadWrite);
+    pte.set_valid(true);
+    pte.set_dirty(true);
+    pte.set_referenced(true);
+    pte.set_cacheable(true);
+    pte.set_coherent(true);
+    pte.set_soft_dirty(true);
+    pte.set_writable_intent(true);
+    pte.set_zfod_clean(true);
+
+    // Clear one flag at a time; all others must survive.
+    pte.set_dirty(false);
+    EXPECT_FALSE(pte.dirty());
+    EXPECT_TRUE(pte.valid());
+    EXPECT_TRUE(pte.referenced());
+    EXPECT_TRUE(pte.soft_dirty());
+    EXPECT_TRUE(pte.writable_intent());
+    EXPECT_TRUE(pte.zfod_clean());
+    EXPECT_EQ(pte.pfn(), 0xFFFFFu);
+    EXPECT_EQ(pte.protection(), Protection::kReadWrite);
+
+    pte.set_referenced(false);
+    EXPECT_FALSE(pte.referenced());
+    EXPECT_TRUE(pte.valid());
+    EXPECT_TRUE(pte.cacheable());
+    EXPECT_TRUE(pte.coherent());
+}
+
+TEST(PteTest, RawConstructorPreservesImage)
+{
+    Pte a;
+    a.set_pfn(0x12345);
+    a.set_valid(true);
+    a.set_dirty(true);
+    Pte b(a.raw());
+    EXPECT_EQ(a, b);
+    EXPECT_TRUE(b.dirty());
+    EXPECT_EQ(b.pfn(), 0x12345u);
+}
+
+TEST(PteTest, BitPositionsMatchDocumentedLayout)
+{
+    // Figure 3.2(a) fields at our documented positions.
+    EXPECT_EQ(Pte::kValidBit, 1u << 1);
+    EXPECT_EQ(Pte::kRefBit, 1u << 2);
+    EXPECT_EQ(Pte::kDirtyBit, 1u << 3);
+    EXPECT_EQ(Pte::kCacheBit, 1u << 4);
+    EXPECT_EQ(Pte::kCohBit, 1u << 5);
+    EXPECT_EQ(Pte::kProtShift, 6u);
+    EXPECT_EQ(Pte::kPfnShift, 12u);
+    // Software bits sit between protection and the PFN.
+    EXPECT_EQ(Pte::kSoftDirtyBit, 1u << 8);
+    EXPECT_EQ(Pte::kWritableBit, 1u << 9);
+    EXPECT_EQ(Pte::kZfodBit, 1u << 10);
+}
+
+}  // namespace
+}  // namespace spur::pt

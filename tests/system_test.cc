@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Integration tests for SpurSystem: the full access path through cache,
+ * in-cache translation, VM and policies, including the Figure 3.1
+ * scenario end-to-end, the FLUSH redo path, counter mirroring, and
+ * system-level invariants.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/system.h"
+#include "src/sim/counters.h"
+#include "src/workload/process.h"
+
+namespace spur::core {
+namespace {
+
+using policy::DirtyPolicyKind;
+using policy::RefPolicyKind;
+using workload::kCodeBase;
+using workload::kDataBase;
+using workload::kHeapBase;
+
+class SystemTest : public testing::Test
+{
+  protected:
+    void Build(DirtyPolicyKind dirty = DirtyPolicyKind::kSpur,
+               RefPolicyKind ref = RefPolicyKind::kMiss)
+    {
+        system_ = std::make_unique<SpurSystem>(
+            sim::MachineConfig::Prototype(8), dirty, ref);
+        pid_ = system_->CreateProcess();
+        system_->MapRegion(pid_, kHeapBase,
+                           64 * system_->config().page_bytes,
+                           vm::PageKind::kHeap);
+        system_->MapRegion(pid_, kCodeBase,
+                           16 * system_->config().page_bytes,
+                           vm::PageKind::kCode);
+    }
+
+    std::unique_ptr<SpurSystem> system_;
+    Pid pid_ = 0;
+};
+
+TEST_F(SystemTest, ColdReadMissesThenHits)
+{
+    Build();
+    system_->Access(pid_, kHeapBase, AccessType::kRead);
+    const auto& ev = system_->events();
+    EXPECT_EQ(ev.Get(sim::Event::kRead), 1u);
+    EXPECT_EQ(ev.Get(sim::Event::kReadMiss), 1u);
+    EXPECT_EQ(ev.Get(sim::Event::kPageFault), 1u);
+    EXPECT_EQ(ev.Get(sim::Event::kZeroFill), 1u);
+
+    system_->Access(pid_, kHeapBase + 4, AccessType::kRead);
+    EXPECT_EQ(ev.Get(sim::Event::kReadMiss), 1u);  // Same block: hit.
+    EXPECT_EQ(ev.Get(sim::Event::kRead), 2u);
+}
+
+TEST_F(SystemTest, IFetchPathCounts)
+{
+    Build();
+    system_->Access(pid_, kCodeBase, AccessType::kIFetch);
+    EXPECT_EQ(system_->events().Get(sim::Event::kIFetch), 1u);
+    EXPECT_EQ(system_->events().Get(sim::Event::kIFetchMiss), 1u);
+    system_->Access(pid_, kCodeBase, AccessType::kIFetch);
+    EXPECT_EQ(system_->events().Get(sim::Event::kIFetchMiss), 1u);
+}
+
+TEST_F(SystemTest, WriteMissFillCountsAndDirtyFault)
+{
+    Build();
+    system_->Access(pid_, kHeapBase, AccessType::kWrite);
+    const auto& ev = system_->events();
+    EXPECT_EQ(ev.Get(sim::Event::kWriteMiss), 1u);
+    EXPECT_EQ(ev.Get(sim::Event::kWriteMissFill), 1u);
+    EXPECT_EQ(ev.Get(sim::Event::kDirtyFault), 1u);
+    EXPECT_EQ(ev.Get(sim::Event::kDirtyFaultZfod), 1u);  // Fresh zfod page.
+    EXPECT_EQ(ev.Get(sim::Event::kWriteHitCleanBlock), 0u);
+}
+
+TEST_F(SystemTest, WriteHitOnReadBlockCountsWHit)
+{
+    Build();
+    system_->Access(pid_, kHeapBase, AccessType::kRead);
+    system_->Access(pid_, kHeapBase, AccessType::kWrite);
+    const auto& ev = system_->events();
+    EXPECT_EQ(ev.Get(sim::Event::kWriteHitCleanBlock), 1u);
+    // A second write to the same (now dirty) block does not count again.
+    system_->Access(pid_, kHeapBase, AccessType::kWrite);
+    EXPECT_EQ(ev.Get(sim::Event::kWriteHitCleanBlock), 1u);
+}
+
+TEST_F(SystemTest, Figure31EndToEndUnderFaultPolicy)
+{
+    Build(DirtyPolicyKind::kFault);
+    const uint64_t block = system_->config().block_bytes;
+    // Two blocks cached while the page is clean (read-only protection).
+    system_->Access(pid_, kHeapBase, AccessType::kRead);
+    system_->Access(pid_, kHeapBase + block, AccessType::kRead);
+    // First write: necessary fault.
+    system_->Access(pid_, kHeapBase, AccessType::kWrite);
+    const auto& ev = system_->events();
+    EXPECT_EQ(ev.Get(sim::Event::kDirtyFault), 1u);
+    EXPECT_EQ(ev.Get(sim::Event::kExcessFault), 0u);
+    // Second block still carries stale read-only protection: excess fault.
+    system_->Access(pid_, kHeapBase + block, AccessType::kWrite);
+    EXPECT_EQ(ev.Get(sim::Event::kExcessFault), 1u);
+    EXPECT_EQ(ev.Get(sim::Event::kDirtyFault), 1u);
+    // Subsequent writes proceed without faults.
+    system_->Access(pid_, kHeapBase + block, AccessType::kWrite);
+    EXPECT_EQ(ev.Get(sim::Event::kExcessFault), 1u);
+}
+
+TEST_F(SystemTest, Figure31EndToEndUnderSpurPolicy)
+{
+    Build(DirtyPolicyKind::kSpur);
+    const uint64_t block = system_->config().block_bytes;
+    system_->Access(pid_, kHeapBase, AccessType::kRead);
+    system_->Access(pid_, kHeapBase + block, AccessType::kRead);
+    system_->Access(pid_, kHeapBase, AccessType::kWrite);
+    system_->Access(pid_, kHeapBase + block, AccessType::kWrite);
+    const auto& ev = system_->events();
+    EXPECT_EQ(ev.Get(sim::Event::kDirtyFault), 1u);
+    EXPECT_EQ(ev.Get(sim::Event::kDirtyBitMiss), 1u);
+    EXPECT_EQ(ev.Get(sim::Event::kExcessFault), 0u);
+}
+
+TEST_F(SystemTest, FlushPolicyRedoesWriteAsMiss)
+{
+    Build(DirtyPolicyKind::kFlush);
+    const uint64_t block = system_->config().block_bytes;
+    system_->Access(pid_, kHeapBase, AccessType::kRead);
+    system_->Access(pid_, kHeapBase + block, AccessType::kRead);
+    // The write hits a stale read-only line; the handler flushes the
+    // page; the store re-executes as a miss and refills read-write.
+    system_->Access(pid_, kHeapBase, AccessType::kWrite);
+    const auto& ev = system_->events();
+    EXPECT_EQ(ev.Get(sim::Event::kDirtyFault), 1u);
+    EXPECT_EQ(ev.Get(sim::Event::kWriteMissFill), 1u);
+    // The block is present, dirty, and read-write after the redo.
+    const cache::Line* line =
+        system_->vcache().Lookup(system_->ToGlobal(pid_, kHeapBase));
+    ASSERT_NE(line, nullptr);
+    EXPECT_TRUE(line->block_dirty);
+    EXPECT_EQ(line->prot, Protection::kReadWrite);
+    // The other previously cached block was flushed: no excess possible.
+    EXPECT_EQ(system_->vcache().Lookup(
+                  system_->ToGlobal(pid_, kHeapBase + block)),
+              nullptr);
+    // Writing it refetches with read-write protection and no fault.
+    system_->Access(pid_, kHeapBase + block, AccessType::kWrite);
+    EXPECT_EQ(ev.Get(sim::Event::kExcessFault), 0u);
+    EXPECT_EQ(ev.Get(sim::Event::kDirtyFault), 1u);
+}
+
+TEST_F(SystemTest, CacheHitImpliesResidentPage)
+{
+    // Invariant behind ResidentPte(): any cached line belongs to a
+    // resident page, because reclaim flushes.
+    Build();
+    for (int i = 0; i < 32; ++i) {
+        system_->Access(pid_,
+                        kHeapBase + i * system_->config().page_bytes,
+                        AccessType::kWrite);
+    }
+    const auto& vcache = system_->vcache();
+    const auto& table = system_->page_table();
+    for (uint64_t index = 0; index < vcache.NumLines(); ++index) {
+        const cache::Line& line = vcache.LineAt(index);
+        if (!line.valid()) {
+            continue;
+        }
+        const GlobalAddr addr = vcache.BlockAddrOf(index, line);
+        if (pt::PageTable::IsPteAddr(addr)) {
+            continue;  // PTE blocks are backed by wired table pages.
+        }
+        const pt::Pte* pte =
+            table.Find(addr >> system_->config().PageShift());
+        ASSERT_NE(pte, nullptr);
+        EXPECT_TRUE(pte->valid());
+    }
+}
+
+TEST_F(SystemTest, PerfCountersMirrorGroundTruth)
+{
+    Build();
+    sim::PerfCounters counters;
+    counters.SetMode(2);  // Dirty/reference-bit events.
+    system_->AttachPerfCounters(&counters);
+    for (int i = 0; i < 8; ++i) {
+        system_->Access(pid_,
+                        kHeapBase + i * system_->config().page_bytes,
+                        AccessType::kWrite);
+    }
+    const int slot = counters.IndexOf(sim::Event::kDirtyFault);
+    ASSERT_GE(slot, 0);
+    EXPECT_EQ(counters.Read(static_cast<size_t>(slot)),
+              system_->events().Get(sim::Event::kDirtyFault));
+    EXPECT_EQ(system_->events().Get(sim::Event::kDirtyFault), 8u);
+}
+
+TEST_F(SystemTest, SharedSegmentIsOneGlobalAddress)
+{
+    Build();
+    const Pid other = system_->CreateProcess();
+    system_->ShareSegment(other, 2, pid_, 2);  // kHeapBase is segment 2.
+    EXPECT_EQ(system_->ToGlobal(pid_, kHeapBase),
+              system_->ToGlobal(other, kHeapBase));
+    // A write by one process hits the same cache line for the other: no
+    // synonyms, no coherence problem.
+    system_->Access(pid_, kHeapBase, AccessType::kWrite);
+    const auto misses_before = system_->events().TotalMisses();
+    system_->Access(other, kHeapBase, AccessType::kRead);
+    EXPECT_EQ(system_->events().TotalMisses(), misses_before);
+    system_->DestroyProcess(other);
+}
+
+TEST_F(SystemTest, DestroyProcessFreesPages)
+{
+    Build();
+    const uint32_t free_before = system_->memory().frames().NumFree();
+    for (int i = 0; i < 16; ++i) {
+        system_->Access(pid_,
+                        kHeapBase + i * system_->config().page_bytes,
+                        AccessType::kWrite);
+    }
+    EXPECT_EQ(system_->memory().frames().NumFree(), free_before - 16);
+    system_->DestroyProcess(pid_);
+    EXPECT_EQ(system_->memory().frames().NumFree(), free_before);
+}
+
+TEST_F(SystemTest, ContextSwitchAccounting)
+{
+    Build();
+    system_->OnContextSwitch();
+    system_->OnContextSwitch();
+    EXPECT_EQ(system_->events().Get(sim::Event::kContextSwitch), 2u);
+    EXPECT_EQ(system_->timing().Get(sim::TimeBucket::kKernel),
+              2 * system_->config().t_context_switch);
+}
+
+TEST_F(SystemTest, TimingAccumulatesAcrossPath)
+{
+    Build();
+    system_->Access(pid_, kHeapBase, AccessType::kWrite);
+    const auto& timing = system_->timing();
+    EXPECT_GT(timing.Get(sim::TimeBucket::kXlate), 0u);
+    EXPECT_GT(timing.Get(sim::TimeBucket::kMissStall), 0u);
+    EXPECT_GT(timing.Get(sim::TimeBucket::kFault), 0u);
+    EXPECT_GT(timing.ElapsedSeconds(), 0.0);
+}
+
+TEST_F(SystemTest, RefFaultAfterDaemonClear)
+{
+    // Exercise the MISS policy's fault-to-set-bit through the system: a
+    // page whose R bit is cleared re-faults on its next cache miss.
+    Build();
+    system_->Access(pid_, kHeapBase, AccessType::kRead);
+    EXPECT_EQ(system_->events().Get(sim::Event::kRefFault), 0u);
+    // (Daemon clears are exercised by the VM tests and full runs; here we
+    // verify no spurious ref faults occur while the bit stays set.)
+    for (int i = 0; i < 100; ++i) {
+        system_->Access(pid_, kHeapBase + i * 32, AccessType::kRead);
+    }
+    EXPECT_EQ(system_->events().Get(sim::Event::kRefFault), 0u);
+}
+
+TEST_F(SystemTest, MapRegionValidation)
+{
+    Build();
+    EXPECT_EXIT(system_->MapRegion(pid_, kDataBase + 1, 4096,
+                                   vm::PageKind::kData),
+                testing::ExitedWithCode(1), "aligned");
+    EXPECT_EXIT(system_->MapRegion(pid_, kDataBase, 100,
+                                   vm::PageKind::kData),
+                testing::ExitedWithCode(1), "aligned");
+    EXPECT_EXIT(system_->MapRegion(99, kDataBase, 4096,
+                                   vm::PageKind::kData),
+                testing::ExitedWithCode(1), "unknown pid");
+}
+
+TEST_F(SystemTest, InCacheTranslationSharesPteBlocks)
+{
+    Build();
+    // Touch 8 consecutive pages: their PTEs share one cache block, so
+    // only the first translation takes a second-level access.
+    const auto& ev = system_->events();
+    for (int i = 0; i < 8; ++i) {
+        system_->Access(pid_,
+                        kHeapBase + i * system_->config().page_bytes,
+                        AccessType::kRead);
+    }
+    // At least most translations hit the shared PTE block; occasionally
+    // a data fill evicts it (PTEs genuinely compete for cache space).
+    EXPECT_GE(ev.Get(sim::Event::kXlatePteHit), 5u);
+}
+
+}  // namespace
+}  // namespace spur::core

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for trace recording and replay: format round-trip, corruption
+ * detection, and the determinism property that replaying a recorded
+ * stream reproduces the recording system's cache statistics.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/system.h"
+#include "src/workload/process.h"
+#include "src/workload/trace.h"
+
+namespace spur::workload {
+namespace {
+
+std::string
+TempPath(const char* name)
+{
+    return testing::TempDir() + "/" + name;
+}
+
+TEST(TraceTest, RoundTripsRecords)
+{
+    const std::string path = TempPath("roundtrip.trc");
+    {
+        TraceWriter writer(path);
+        writer.Append(MemRef{1, 0x1234, AccessType::kRead});
+        writer.Append(MemRef{2, 0xFFFFFFF0, AccessType::kWrite});
+        writer.Append(MemRef{0, 0x0, AccessType::kIFetch});
+        EXPECT_EQ(writer.count(), 3u);
+    }
+    TraceReader reader(path);
+    EXPECT_EQ(reader.count(), 3u);
+    MemRef ref;
+    ASSERT_TRUE(reader.Next(&ref));
+    EXPECT_EQ(ref.pid, 1u);
+    EXPECT_EQ(ref.addr, 0x1234u);
+    EXPECT_EQ(ref.type, AccessType::kRead);
+    ASSERT_TRUE(reader.Next(&ref));
+    EXPECT_EQ(ref.pid, 2u);
+    EXPECT_EQ(ref.addr, 0xFFFFFFF0u);
+    EXPECT_EQ(ref.type, AccessType::kWrite);
+    ASSERT_TRUE(reader.Next(&ref));
+    EXPECT_EQ(ref.type, AccessType::kIFetch);
+    EXPECT_FALSE(reader.Next(&ref));
+}
+
+TEST(TraceTest, EmptyTrace)
+{
+    const std::string path = TempPath("empty.trc");
+    { TraceWriter writer(path); }
+    TraceReader reader(path);
+    EXPECT_EQ(reader.count(), 0u);
+    MemRef ref;
+    EXPECT_FALSE(reader.Next(&ref));
+}
+
+TEST(TraceDeathTest, RejectsMissingFile)
+{
+    EXPECT_EXIT({ TraceReader reader("/nonexistent/nope.trc"); },
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceDeathTest, RejectsBadMagic)
+{
+    const std::string path = TempPath("bad.trc");
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fwrite("NOTATRACEFILE...", 1, 16, f);
+    std::fclose(f);
+    EXPECT_EXIT({ TraceReader reader(path); }, testing::ExitedWithCode(1),
+                "not a SPUR trace");
+}
+
+TEST(TraceTest, ReplayReproducesRecordedRunStatistics)
+{
+    // Record a synthetic process's stream while running it, then replay
+    // the trace on a fresh identical machine: the cache statistics must
+    // match exactly (the trace-driven methodology's repeatability).
+    const std::string path = TempPath("replay.trc");
+    const sim::MachineConfig config = sim::MachineConfig::Prototype(8);
+
+    uint64_t live_misses = 0;
+    uint64_t live_dirty_faults = 0;
+    {
+        core::SpurSystem live(config, policy::DirtyPolicyKind::kSpur,
+                              policy::RefPolicyKind::kMiss);
+        ProcessProfile profile;
+        profile.heap_pages = 64;
+        profile.data_pages = 32;
+        profile.code_pages = 16;
+        SyntheticProcess process(live, profile, 77);
+        TraceWriter writer(path);
+        for (int i = 0; i < 200'000; ++i) {
+            const MemRef ref = process.Next();
+            writer.Append(ref);
+            live.Access(ref);
+        }
+        live_misses = live.events().TotalMisses();
+        live_dirty_faults = live.events().Get(sim::Event::kDirtyFault);
+    }
+
+    core::SpurSystem replayed(config, policy::DirtyPolicyKind::kSpur,
+                              policy::RefPolicyKind::kMiss);
+    const uint64_t n = ReplayTrace(path, replayed);
+    EXPECT_EQ(n, 200'000u);
+    EXPECT_EQ(replayed.events().TotalRefs(), 200'000u);
+    EXPECT_EQ(replayed.events().TotalMisses(), live_misses);
+    EXPECT_EQ(replayed.events().Get(sim::Event::kDirtyFault),
+              live_dirty_faults);
+}
+
+TEST(TraceTest, ReplayUnderDifferentPolicyDiffers)
+{
+    // The point of traces: the same stream, a different policy.
+    const std::string path = TempPath("policy.trc");
+    const sim::MachineConfig config = sim::MachineConfig::Prototype(8);
+    {
+        core::SpurSystem live(config, policy::DirtyPolicyKind::kSpur,
+                              policy::RefPolicyKind::kMiss);
+        ProcessProfile profile;
+        profile.heap_pages = 64;
+        SyntheticProcess process(live, profile, 99);
+        TraceWriter writer(path);
+        for (int i = 0; i < 100'000; ++i) {
+            writer.Append(process.Next());
+        }
+    }
+    core::SpurSystem fault_system(config, policy::DirtyPolicyKind::kFault,
+                                  policy::RefPolicyKind::kMiss);
+    ReplayTrace(path, fault_system);
+    core::SpurSystem spur_system(config, policy::DirtyPolicyKind::kSpur,
+                                 policy::RefPolicyKind::kMiss);
+    ReplayTrace(path, spur_system);
+    // FAULT turns the dirty-bit misses into excess faults.
+    EXPECT_GT(fault_system.events().Get(sim::Event::kExcessFault), 0u);
+    EXPECT_EQ(spur_system.events().Get(sim::Event::kExcessFault), 0u);
+    EXPECT_EQ(fault_system.events().Get(sim::Event::kExcessFault),
+              spur_system.events().Get(sim::Event::kDirtyBitMiss));
+}
+
+}  // namespace
+}  // namespace spur::workload
