@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_excess_model.dir/ablation_excess_model.cc.o"
+  "CMakeFiles/ablation_excess_model.dir/ablation_excess_model.cc.o.d"
+  "ablation_excess_model"
+  "ablation_excess_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_excess_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

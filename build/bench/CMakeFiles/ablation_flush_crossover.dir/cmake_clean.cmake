@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_flush_crossover.dir/ablation_flush_crossover.cc.o"
+  "CMakeFiles/ablation_flush_crossover.dir/ablation_flush_crossover.cc.o.d"
+  "ablation_flush_crossover"
+  "ablation_flush_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flush_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_flush_mechanism.dir/ablation_flush_mechanism.cc.o"
+  "CMakeFiles/ablation_flush_mechanism.dir/ablation_flush_mechanism.cc.o.d"
+  "ablation_flush_mechanism"
+  "ablation_flush_mechanism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flush_mechanism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

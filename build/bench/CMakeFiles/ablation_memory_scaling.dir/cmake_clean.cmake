@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_memory_scaling.dir/ablation_memory_scaling.cc.o"
+  "CMakeFiles/ablation_memory_scaling.dir/ablation_memory_scaling.cc.o.d"
+  "ablation_memory_scaling"
+  "ablation_memory_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_memory_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

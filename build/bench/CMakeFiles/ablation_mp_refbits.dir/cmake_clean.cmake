@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mp_refbits.dir/ablation_mp_refbits.cc.o"
+  "CMakeFiles/ablation_mp_refbits.dir/ablation_mp_refbits.cc.o.d"
+  "ablation_mp_refbits"
+  "ablation_mp_refbits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mp_refbits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_policy_variants.dir/ablation_policy_variants.cc.o"
+  "CMakeFiles/ablation_policy_variants.dir/ablation_policy_variants.cc.o.d"
+  "ablation_policy_variants"
+  "ablation_policy_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_policy_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tdc_sweep.dir/ablation_tdc_sweep.cc.o"
+  "CMakeFiles/ablation_tdc_sweep.dir/ablation_tdc_sweep.cc.o.d"
+  "ablation_tdc_sweep"
+  "ablation_tdc_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tdc_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_tdc_sweep.
+# This may be replaced when dependencies are built.

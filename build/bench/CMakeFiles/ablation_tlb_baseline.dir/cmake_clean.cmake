@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tlb_baseline.dir/ablation_tlb_baseline.cc.o"
+  "CMakeFiles/ablation_tlb_baseline.dir/ablation_tlb_baseline.cc.o.d"
+  "ablation_tlb_baseline"
+  "ablation_tlb_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tlb_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

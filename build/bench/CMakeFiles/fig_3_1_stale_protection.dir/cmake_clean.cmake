@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_3_1_stale_protection.dir/fig_3_1_stale_protection.cc.o"
+  "CMakeFiles/fig_3_1_stale_protection.dir/fig_3_1_stale_protection.cc.o.d"
+  "fig_3_1_stale_protection"
+  "fig_3_1_stale_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_3_1_stale_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_3_1_stale_protection.
+# This may be replaced when dependencies are built.

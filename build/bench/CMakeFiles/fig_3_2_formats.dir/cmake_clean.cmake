@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_3_2_formats.dir/fig_3_2_formats.cc.o"
+  "CMakeFiles/fig_3_2_formats.dir/fig_3_2_formats.cc.o.d"
+  "fig_3_2_formats"
+  "fig_3_2_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_3_2_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_3_2_formats.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_cache.dir/micro_cache.cc.o"
+  "CMakeFiles/micro_cache.dir/micro_cache.cc.o.d"
+  "micro_cache"
+  "micro_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_xlate.dir/micro_xlate.cc.o"
+  "CMakeFiles/micro_xlate.dir/micro_xlate.cc.o.d"
+  "micro_xlate"
+  "micro_xlate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_xlate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_2_1_config.dir/table_2_1_config.cc.o"
+  "CMakeFiles/table_2_1_config.dir/table_2_1_config.cc.o.d"
+  "table_2_1_config"
+  "table_2_1_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_2_1_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

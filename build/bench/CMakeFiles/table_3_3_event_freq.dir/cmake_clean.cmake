@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_3_3_event_freq.dir/table_3_3_event_freq.cc.o"
+  "CMakeFiles/table_3_3_event_freq.dir/table_3_3_event_freq.cc.o.d"
+  "table_3_3_event_freq"
+  "table_3_3_event_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_3_3_event_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table_3_3_event_freq.
+# This may be replaced when dependencies are built.

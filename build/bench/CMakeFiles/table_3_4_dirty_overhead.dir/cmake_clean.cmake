@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_3_4_dirty_overhead.dir/table_3_4_dirty_overhead.cc.o"
+  "CMakeFiles/table_3_4_dirty_overhead.dir/table_3_4_dirty_overhead.cc.o.d"
+  "table_3_4_dirty_overhead"
+  "table_3_4_dirty_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_3_4_dirty_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table_3_4_dirty_overhead.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_3_5_pageout.dir/table_3_5_pageout.cc.o"
+  "CMakeFiles/table_3_5_pageout.dir/table_3_5_pageout.cc.o.d"
+  "table_3_5_pageout"
+  "table_3_5_pageout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_3_5_pageout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

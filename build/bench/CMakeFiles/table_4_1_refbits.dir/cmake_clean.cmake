@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_4_1_refbits.dir/table_4_1_refbits.cc.o"
+  "CMakeFiles/table_4_1_refbits.dir/table_4_1_refbits.cc.o.d"
+  "table_4_1_refbits"
+  "table_4_1_refbits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_4_1_refbits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table_4_1_refbits.
+# This may be replaced when dependencies are built.

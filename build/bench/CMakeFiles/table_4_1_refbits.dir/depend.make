@@ -1,0 +1,2 @@
+# Empty dependencies file for table_4_1_refbits.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cad_developer.dir/cad_developer.cc.o"
+  "CMakeFiles/example_cad_developer.dir/cad_developer.cc.o.d"
+  "example_cad_developer"
+  "example_cad_developer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cad_developer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_calibrate.dir/calibrate.cc.o"
+  "CMakeFiles/example_calibrate.dir/calibrate.cc.o.d"
+  "example_calibrate"
+  "example_calibrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_calibrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

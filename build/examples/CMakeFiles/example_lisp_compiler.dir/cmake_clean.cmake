@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_lisp_compiler.dir/lisp_compiler.cc.o"
+  "CMakeFiles/example_lisp_compiler.dir/lisp_compiler.cc.o.d"
+  "example_lisp_compiler"
+  "example_lisp_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_lisp_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

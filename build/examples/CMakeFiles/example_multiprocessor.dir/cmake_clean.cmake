@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multiprocessor.dir/multiprocessor.cc.o"
+  "CMakeFiles/example_multiprocessor.dir/multiprocessor.cc.o.d"
+  "example_multiprocessor"
+  "example_multiprocessor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multiprocessor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_policy_explorer.dir/policy_explorer.cc.o"
+  "CMakeFiles/example_policy_explorer.dir/policy_explorer.cc.o.d"
+  "example_policy_explorer"
+  "example_policy_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_policy_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_trace_replay.dir/trace_replay.cc.o"
+  "CMakeFiles/example_trace_replay.dir/trace_replay.cc.o.d"
+  "example_trace_replay"
+  "example_trace_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_trace_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

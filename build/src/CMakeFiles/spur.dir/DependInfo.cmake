@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/bus.cc" "src/CMakeFiles/spur.dir/cache/bus.cc.o" "gcc" "src/CMakeFiles/spur.dir/cache/bus.cc.o.d"
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/spur.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/spur.dir/cache/cache.cc.o.d"
+  "/root/repo/src/common/args.cc" "src/CMakeFiles/spur.dir/common/args.cc.o" "gcc" "src/CMakeFiles/spur.dir/common/args.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/spur.dir/common/log.cc.o" "gcc" "src/CMakeFiles/spur.dir/common/log.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/spur.dir/common/random.cc.o" "gcc" "src/CMakeFiles/spur.dir/common/random.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/spur.dir/common/table.cc.o" "gcc" "src/CMakeFiles/spur.dir/common/table.cc.o.d"
+  "/root/repo/src/common/types.cc" "src/CMakeFiles/spur.dir/common/types.cc.o" "gcc" "src/CMakeFiles/spur.dir/common/types.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/spur.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/spur.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/mp_system.cc" "src/CMakeFiles/spur.dir/core/mp_system.cc.o" "gcc" "src/CMakeFiles/spur.dir/core/mp_system.cc.o.d"
+  "/root/repo/src/core/overhead_model.cc" "src/CMakeFiles/spur.dir/core/overhead_model.cc.o" "gcc" "src/CMakeFiles/spur.dir/core/overhead_model.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/CMakeFiles/spur.dir/core/system.cc.o" "gcc" "src/CMakeFiles/spur.dir/core/system.cc.o.d"
+  "/root/repo/src/core/tlb_system.cc" "src/CMakeFiles/spur.dir/core/tlb_system.cc.o" "gcc" "src/CMakeFiles/spur.dir/core/tlb_system.cc.o.d"
+  "/root/repo/src/mem/backing_store.cc" "src/CMakeFiles/spur.dir/mem/backing_store.cc.o" "gcc" "src/CMakeFiles/spur.dir/mem/backing_store.cc.o.d"
+  "/root/repo/src/mem/frame_table.cc" "src/CMakeFiles/spur.dir/mem/frame_table.cc.o" "gcc" "src/CMakeFiles/spur.dir/mem/frame_table.cc.o.d"
+  "/root/repo/src/policy/dirty_policy.cc" "src/CMakeFiles/spur.dir/policy/dirty_policy.cc.o" "gcc" "src/CMakeFiles/spur.dir/policy/dirty_policy.cc.o.d"
+  "/root/repo/src/policy/ref_policy.cc" "src/CMakeFiles/spur.dir/policy/ref_policy.cc.o" "gcc" "src/CMakeFiles/spur.dir/policy/ref_policy.cc.o.d"
+  "/root/repo/src/pt/page_table.cc" "src/CMakeFiles/spur.dir/pt/page_table.cc.o" "gcc" "src/CMakeFiles/spur.dir/pt/page_table.cc.o.d"
+  "/root/repo/src/pt/segment_map.cc" "src/CMakeFiles/spur.dir/pt/segment_map.cc.o" "gcc" "src/CMakeFiles/spur.dir/pt/segment_map.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/spur.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/spur.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/config_file.cc" "src/CMakeFiles/spur.dir/sim/config_file.cc.o" "gcc" "src/CMakeFiles/spur.dir/sim/config_file.cc.o.d"
+  "/root/repo/src/sim/counters.cc" "src/CMakeFiles/spur.dir/sim/counters.cc.o" "gcc" "src/CMakeFiles/spur.dir/sim/counters.cc.o.d"
+  "/root/repo/src/sim/events.cc" "src/CMakeFiles/spur.dir/sim/events.cc.o" "gcc" "src/CMakeFiles/spur.dir/sim/events.cc.o.d"
+  "/root/repo/src/sim/timing.cc" "src/CMakeFiles/spur.dir/sim/timing.cc.o" "gcc" "src/CMakeFiles/spur.dir/sim/timing.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/CMakeFiles/spur.dir/stats/summary.cc.o" "gcc" "src/CMakeFiles/spur.dir/stats/summary.cc.o.d"
+  "/root/repo/src/vm/region.cc" "src/CMakeFiles/spur.dir/vm/region.cc.o" "gcc" "src/CMakeFiles/spur.dir/vm/region.cc.o.d"
+  "/root/repo/src/vm/vm.cc" "src/CMakeFiles/spur.dir/vm/vm.cc.o" "gcc" "src/CMakeFiles/spur.dir/vm/vm.cc.o.d"
+  "/root/repo/src/workload/driver.cc" "src/CMakeFiles/spur.dir/workload/driver.cc.o" "gcc" "src/CMakeFiles/spur.dir/workload/driver.cc.o.d"
+  "/root/repo/src/workload/process.cc" "src/CMakeFiles/spur.dir/workload/process.cc.o" "gcc" "src/CMakeFiles/spur.dir/workload/process.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/CMakeFiles/spur.dir/workload/trace.cc.o" "gcc" "src/CMakeFiles/spur.dir/workload/trace.cc.o.d"
+  "/root/repo/src/workload/workloads.cc" "src/CMakeFiles/spur.dir/workload/workloads.cc.o" "gcc" "src/CMakeFiles/spur.dir/workload/workloads.cc.o.d"
+  "/root/repo/src/xlate/tlb.cc" "src/CMakeFiles/spur.dir/xlate/tlb.cc.o" "gcc" "src/CMakeFiles/spur.dir/xlate/tlb.cc.o.d"
+  "/root/repo/src/xlate/translator.cc" "src/CMakeFiles/spur.dir/xlate/translator.cc.o" "gcc" "src/CMakeFiles/spur.dir/xlate/translator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bus_test.cc" "tests/CMakeFiles/spur_tests.dir/bus_test.cc.o" "gcc" "tests/CMakeFiles/spur_tests.dir/bus_test.cc.o.d"
+  "/root/repo/tests/cache_test.cc" "tests/CMakeFiles/spur_tests.dir/cache_test.cc.o" "gcc" "tests/CMakeFiles/spur_tests.dir/cache_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/spur_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/spur_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/config_file_test.cc" "tests/CMakeFiles/spur_tests.dir/config_file_test.cc.o" "gcc" "tests/CMakeFiles/spur_tests.dir/config_file_test.cc.o.d"
+  "/root/repo/tests/experiment_test.cc" "tests/CMakeFiles/spur_tests.dir/experiment_test.cc.o" "gcc" "tests/CMakeFiles/spur_tests.dir/experiment_test.cc.o.d"
+  "/root/repo/tests/mem_test.cc" "tests/CMakeFiles/spur_tests.dir/mem_test.cc.o" "gcc" "tests/CMakeFiles/spur_tests.dir/mem_test.cc.o.d"
+  "/root/repo/tests/mp_system_test.cc" "tests/CMakeFiles/spur_tests.dir/mp_system_test.cc.o" "gcc" "tests/CMakeFiles/spur_tests.dir/mp_system_test.cc.o.d"
+  "/root/repo/tests/overhead_model_test.cc" "tests/CMakeFiles/spur_tests.dir/overhead_model_test.cc.o" "gcc" "tests/CMakeFiles/spur_tests.dir/overhead_model_test.cc.o.d"
+  "/root/repo/tests/policy_test.cc" "tests/CMakeFiles/spur_tests.dir/policy_test.cc.o" "gcc" "tests/CMakeFiles/spur_tests.dir/policy_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/spur_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/spur_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/pt_test.cc" "tests/CMakeFiles/spur_tests.dir/pt_test.cc.o" "gcc" "tests/CMakeFiles/spur_tests.dir/pt_test.cc.o.d"
+  "/root/repo/tests/pte_test.cc" "tests/CMakeFiles/spur_tests.dir/pte_test.cc.o" "gcc" "tests/CMakeFiles/spur_tests.dir/pte_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/spur_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/spur_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/stress_test.cc" "tests/CMakeFiles/spur_tests.dir/stress_test.cc.o" "gcc" "tests/CMakeFiles/spur_tests.dir/stress_test.cc.o.d"
+  "/root/repo/tests/system_test.cc" "tests/CMakeFiles/spur_tests.dir/system_test.cc.o" "gcc" "tests/CMakeFiles/spur_tests.dir/system_test.cc.o.d"
+  "/root/repo/tests/tlb_test.cc" "tests/CMakeFiles/spur_tests.dir/tlb_test.cc.o" "gcc" "tests/CMakeFiles/spur_tests.dir/tlb_test.cc.o.d"
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/spur_tests.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/spur_tests.dir/trace_test.cc.o.d"
+  "/root/repo/tests/vm_test.cc" "tests/CMakeFiles/spur_tests.dir/vm_test.cc.o" "gcc" "tests/CMakeFiles/spur_tests.dir/vm_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/spur_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/spur_tests.dir/workload_test.cc.o.d"
+  "/root/repo/tests/xlate_test.cc" "tests/CMakeFiles/spur_tests.dir/xlate_test.cc.o" "gcc" "tests/CMakeFiles/spur_tests.dir/xlate_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spur.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
