@@ -14,11 +14,13 @@
  * excess ratio for both workloads at all three memory sizes.
  */
 #include <cstdio>
+#include <vector>
 
 #include "src/common/args.h"
 #include "src/common/table.h"
 #include "src/core/experiment.h"
 #include "src/core/overhead_model.h"
+#include "src/runner/session.h"
 
 int
 main(int argc, char** argv)
@@ -27,6 +29,7 @@ main(int argc, char** argv)
     const Args args(argc, argv);
     const uint64_t refs =
         static_cast<uint64_t>(args.GetInt("refs", 0)) * 1'000'000ull;
+    runner::BenchSession session("ablation_excess_model", args);
 
     Table sweep("Geometric model sweep: E[excess per necessary] = "
                 "(1 - p_w) / p_w");
@@ -47,6 +50,7 @@ main(int argc, char** argv)
     Table t("Model vs. measurement (zero-fill faults excluded)");
     t.SetHeader({"Workload", "Memory (MB)", "p_w", "model prediction",
                  "measured excess ratio"});
+    std::vector<core::RunConfig> configs;
     for (const core::WorkloadId workload :
          {core::WorkloadId::kSlc, core::WorkloadId::kWorkload1}) {
         for (const uint32_t mb : {5u, 6u, 8u}) {
@@ -54,22 +58,27 @@ main(int argc, char** argv)
             config.workload = workload;
             config.memory_mb = mb;
             config.refs = refs;
-            const core::RunResult r = core::RunOnce(config);
-            t.AddRow({ToString(workload), std::to_string(mb),
-                      Table::Num(core::OverheadModel::WriteMissProbability(
-                                     r.frequencies),
-                                 3),
-                      Table::Pct(core::OverheadModel::PredictedExcessRatio(
-                                     r.frequencies),
-                                 1),
-                      Table::Pct(core::OverheadModel::MeasuredExcessRatio(
-                                     r.frequencies),
-                                 1)});
+            configs.push_back(config);
         }
+    }
+    const auto results = session.RunAll(configs);
+    for (size_t i = 0; i < configs.size(); ++i) {
+        const core::RunResult& r = results[i];
+        t.AddRow({ToString(configs[i].workload),
+                  std::to_string(configs[i].memory_mb),
+                  Table::Num(core::OverheadModel::WriteMissProbability(
+                                 r.frequencies),
+                             3),
+                  Table::Pct(core::OverheadModel::PredictedExcessRatio(
+                                 r.frequencies),
+                             1),
+                  Table::Pct(core::OverheadModel::MeasuredExcessRatio(
+                                 r.frequencies),
+                             1)});
     }
     t.Print(stdout);
     std::printf("\nAs in the paper, the measured ratio stays below the "
                 "model's\nprediction: pages that will be modified are "
                 "modified quickly.\n");
-    return 0;
+    return session.Finish();
 }

@@ -9,11 +9,13 @@
  * crossover, then shows where the measured workloads sit relative to it.
  */
 #include <cstdio>
+#include <vector>
 
 #include "src/common/args.h"
 #include "src/common/table.h"
 #include "src/core/experiment.h"
 #include "src/core/overhead_model.h"
+#include "src/runner/session.h"
 
 int
 main(int argc, char** argv)
@@ -22,6 +24,7 @@ main(int argc, char** argv)
     const Args args(argc, argv);
     const uint64_t refs =
         static_cast<uint64_t>(args.GetInt("refs", 0)) * 1'000'000ull;
+    runner::BenchSession session("ablation_flush_crossover", args);
 
     const sim::MachineConfig config = sim::MachineConfig::Prototype(8);
     const core::OverheadModel model(config);
@@ -53,6 +56,7 @@ main(int argc, char** argv)
     Table t("Measured workloads relative to the crossover");
     t.SetHeader({"Workload", "Memory (MB)", "N_ef / (N_ds - N_zfod)",
                  "winner"});
+    std::vector<core::RunConfig> runs;
     for (const core::WorkloadId workload :
          {core::WorkloadId::kSlc, core::WorkloadId::kWorkload1}) {
         for (const uint32_t mb : {5u, 6u, 8u}) {
@@ -60,17 +64,20 @@ main(int argc, char** argv)
             run.workload = workload;
             run.memory_mb = mb;
             run.refs = refs;
-            const core::RunResult r = core::RunOnce(run);
-            const double ratio =
-                core::OverheadModel::MeasuredExcessRatio(r.frequencies);
-            t.AddRow({ToString(workload), std::to_string(mb),
-                      Table::Num(ratio, 3),
-                      ratio < 0.5 ? "FAULT" : "FLUSH"});
+            runs.push_back(run);
         }
+    }
+    const auto results = session.RunAll(runs);
+    for (size_t i = 0; i < runs.size(); ++i) {
+        const double ratio = core::OverheadModel::MeasuredExcessRatio(
+            results[i].frequencies);
+        t.AddRow({ToString(runs[i].workload),
+                  std::to_string(runs[i].memory_mb), Table::Num(ratio, 3),
+                  ratio < 0.5 ? "FAULT" : "FLUSH"});
     }
     t.Print(stdout);
     std::printf("\nAll measured points sit well below 0.5: flushing never "
                 "pays, matching\nthe paper's conclusion that FLUSH costs "
                 "~1.5x MIN while FAULT stays\nnear 1.15-1.35x.\n");
-    return 0;
+    return session.Finish();
 }

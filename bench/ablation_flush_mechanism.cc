@@ -15,14 +15,19 @@
 #include <cstdio>
 
 #include "src/cache/cache.h"
+#include "src/common/args.h"
 #include "src/common/random.h"
 #include "src/common/table.h"
+#include "src/runner/runner.h"
+#include "src/runner/session.h"
 #include "src/sim/config.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace spur;
+    const Args args(argc, argv);
+    runner::BenchSession session("ablation_flush_mechanism", args);
     const sim::MachineConfig config = sim::MachineConfig::Prototype(8);
 
     Table t("Indexed (SPUR hardware) vs. tag-checked page flush: "
@@ -30,7 +35,19 @@ main()
     t.SetHeader({"flush kind", "blocks flushed", "of page", "foreign",
                  "writebacks", "est. cycles/page"});
 
-    for (const bool checked : {true, false}) {
+    // The two flush mechanisms run concurrently; each has a private
+    // cache and RNG, and rows are added in a fixed order afterwards.
+    struct Variant {
+        uint64_t flushed = 0;
+        uint64_t own = 0;
+        uint64_t foreign = 0;
+        uint64_t writebacks = 0;
+        double per_page = 0.0;
+    };
+    const bool kinds[] = {true, false};
+    Variant variants[2];
+    runner::ParallelFor(2, session.jobs(), [&](size_t v) {
+        const bool checked = kinds[v];
         cache::VirtualCache vcache(config);
         Rng rng(3);
         // A working set of 160 pages with ~10% of each page's blocks
@@ -80,10 +97,24 @@ main()
             // Refetch cost of the innocent foreign blocks.
             static_cast<double>(config.BlockFetchCycles()) *
                 static_cast<double>(foreign) / kFlushes;
-        t.AddRow({checked ? "tag-checked" : "indexed (SPUR)",
-                  Table::Num(flushed), Table::Num(own),
-                  Table::Num(foreign), Table::Num(writebacks),
-                  Table::Num(per_page, 0)});
+        variants[v] = Variant{flushed, own, foreign, writebacks, per_page};
+    });
+
+    for (size_t v = 0; v < 2; ++v) {
+        const Variant& r = variants[v];
+        t.AddRow({kinds[v] ? "tag-checked" : "indexed (SPUR)",
+                  Table::Num(r.flushed), Table::Num(r.own),
+                  Table::Num(r.foreign), Table::Num(r.writebacks),
+                  Table::Num(r.per_page, 0)});
+        stats::RunRecord record;
+        record.workload = kinds[v] ? "tag-checked" : "indexed";
+        record.memory_mb = 8;
+        record.AddMetric("blocks_flushed", static_cast<double>(r.flushed));
+        record.AddMetric("foreign_flushed",
+                         static_cast<double>(r.foreign));
+        record.AddMetric("writebacks", static_cast<double>(r.writebacks));
+        record.AddMetric("est_cycles_per_page", r.per_page);
+        session.Record(std::move(record));
     }
     t.Print(stdout);
     std::printf(
@@ -92,5 +123,5 @@ main()
         "refetch misses) are why the paper prices SPUR's real flush at\n"
         "~4x the tag-checked one, and why FLUSH-style policies need the\n"
         "better hardware to be even marginally viable.\n");
-    return 0;
+    return session.Finish();
 }

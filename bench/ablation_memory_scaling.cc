@@ -10,13 +10,17 @@
  * elapsed-time penalty shrinks as paging vanishes while its savings
  * (no ref faults, no clears) stay, so the curves cross.
  *
- * Flags: --refs=M (millions), --seed=S
+ * Flags: --refs=M (millions), --reps=N (default 1), --seed=S, --jobs=N,
+ *        --json=FILE
  */
 #include <cstdio>
+#include <vector>
 
 #include "src/common/args.h"
 #include "src/common/table.h"
 #include "src/core/experiment.h"
+#include "src/runner/session.h"
+#include "src/stats/summary.h"
 
 int
 main(int argc, char** argv)
@@ -25,19 +29,19 @@ main(int argc, char** argv)
     const Args args(argc, argv);
     const uint64_t refs =
         static_cast<uint64_t>(args.GetInt("refs", 0)) * 1'000'000ull;
+    const auto reps = static_cast<uint32_t>(args.GetInt("reps", 1));
     const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+    runner::BenchSession session("ablation_memory_scaling", args);
 
-    Table t("Future work (Section 5): reference bits vs. memory size");
-    t.SetHeader({"workload", "memory (MB)", "MISS page-ins",
-                 "NOREF page-ins", "MISS elapsed (s)", "NOREF elapsed (s)",
-                 "NOREF penalty"});
+    const core::WorkloadId workloads[] = {core::WorkloadId::kSlc,
+                                          core::WorkloadId::kWorkload1};
+    const uint32_t memories[] = {5u, 6u, 8u, 10u, 12u, 16u};
 
-    for (const core::WorkloadId workload :
-         {core::WorkloadId::kSlc, core::WorkloadId::kWorkload1}) {
-        for (const uint32_t mb : {5u, 6u, 8u, 10u, 12u, 16u}) {
-            double elapsed[2];
-            uint64_t page_ins[2];
-            int i = 0;
+    // One config per (workload, memory, policy) cell; MISS and NOREF
+    // alternate so configs[2k] / configs[2k+1] form one table row.
+    std::vector<core::RunConfig> configs;
+    for (const core::WorkloadId workload : workloads) {
+        for (const uint32_t mb : memories) {
             for (const policy::RefPolicyKind ref :
                  {policy::RefPolicyKind::kMiss,
                   policy::RefPolicyKind::kNoRef}) {
@@ -47,20 +51,39 @@ main(int argc, char** argv)
                 config.ref = ref;
                 config.refs = refs;
                 config.seed = seed;
-                const core::RunResult r = core::RunOnce(config);
-                elapsed[i] = r.elapsed_seconds;
-                page_ins[i] = r.page_ins;
-                ++i;
+                configs.push_back(config);
             }
-            const double penalty =
-                100.0 * (elapsed[1] - elapsed[0]) /
-                (elapsed[0] > 0 ? elapsed[0] : 1);
-            t.AddRow({ToString(workload), std::to_string(mb),
-                      Table::Num(page_ins[0]), Table::Num(page_ins[1]),
-                      Table::Num(elapsed[0], 2), Table::Num(elapsed[1], 2),
-                      Table::Num(penalty, 1) + "%"});
         }
-        t.AddSeparator();
+    }
+
+    const auto results = session.RunMatrix(configs, reps);
+
+    Table t("Future work (Section 5): reference bits vs. memory size");
+    t.SetHeader({"workload", "memory (MB)", "MISS page-ins",
+                 "NOREF page-ins", "MISS elapsed (s)", "NOREF elapsed (s)",
+                 "NOREF penalty"});
+
+    for (size_t i = 0; i < configs.size(); i += 2) {
+        stats::Summary elapsed[2], page_ins[2];
+        for (size_t p = 0; p < 2; ++p) {
+            for (const core::RunResult& r : results[i + p]) {
+                elapsed[p].Add(r.elapsed_seconds);
+                page_ins[p].Add(static_cast<double>(r.page_ins));
+            }
+        }
+        const double penalty =
+            100.0 * (elapsed[1].Mean() - elapsed[0].Mean()) /
+            (elapsed[0].Mean() > 0 ? elapsed[0].Mean() : 1);
+        t.AddRow({ToString(configs[i].workload),
+                  std::to_string(configs[i].memory_mb),
+                  Table::Num(static_cast<uint64_t>(page_ins[0].Mean())),
+                  Table::Num(static_cast<uint64_t>(page_ins[1].Mean())),
+                  Table::Num(elapsed[0].Mean(), 2),
+                  Table::Num(elapsed[1].Mean(), 2),
+                  Table::Num(penalty, 1) + "%"});
+        if (configs[i].memory_mb == memories[std::size(memories) - 1]) {
+            t.AddSeparator();
+        }
     }
     t.Print(stdout);
     std::printf(
@@ -69,5 +92,5 @@ main(int argc, char** argv)
         "maintaining reference bits (ref faults on every post-clear\n"
         "miss, daemon clears) is all that separates the policies — the\n"
         "paper's prediction that the bits eventually become a liability.\n");
-    return 0;
+    return session.Finish();
 }

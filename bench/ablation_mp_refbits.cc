@@ -6,7 +6,8 @@
  * processors under MISS and REF and reports how the reference-bit
  * maintenance cost (flush work plus induced refetch misses) scales.
  *
- * Flags: --refs=M (millions per CPU count; default 3), --seed=S
+ * Flags: --refs=M (millions per CPU count; default 3), --seed=S,
+ *        --jobs=N, --json=FILE
  */
 #include <cstdio>
 #include <memory>
@@ -16,6 +17,8 @@
 #include "src/common/random.h"
 #include "src/common/table.h"
 #include "src/core/mp_system.h"
+#include "src/runner/runner.h"
+#include "src/runner/session.h"
 #include "src/workload/process.h"
 
 namespace {
@@ -111,24 +114,55 @@ main(int argc, char** argv)
     const uint64_t refs =
         static_cast<uint64_t>(args.GetInt("refs", 3)) * 1'000'000ull;
     const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 21));
+    runner::BenchSession session("ablation_mp_refbits", args);
+
+    // Each (cpus, policy) combination builds its own MpSpurSystem, so
+    // the grid runs concurrently on the session's job count.
+    struct Combo {
+        unsigned cpus;
+        policy::RefPolicyKind ref;
+    };
+    std::vector<Combo> combos;
+    for (const unsigned cpus : {1u, 2u, 4u, 8u}) {
+        for (const policy::RefPolicyKind ref :
+             {policy::RefPolicyKind::kMiss, policy::RefPolicyKind::kRef}) {
+            combos.push_back(Combo{cpus, ref});
+        }
+    }
+    std::vector<MpRun> runs(combos.size());
+    runner::ParallelFor(combos.size(), session.jobs(), [&](size_t i) {
+        runs[i] = Run(combos[i].cpus, combos[i].ref, refs, seed);
+    });
 
     Table t("Ablation: reference-bit maintenance on a multiprocessor "
             "(shared-memory workers, 8 MB)");
     t.SetHeader({"CPUs", "policy", "ref clears", "flush Mcycles",
                  "bus transfers", "page-ins", "elapsed (s)"});
-    for (const unsigned cpus : {1u, 2u, 4u, 8u}) {
-        for (const policy::RefPolicyKind ref :
-             {policy::RefPolicyKind::kMiss, policy::RefPolicyKind::kRef}) {
-            const MpRun r = Run(cpus, ref, refs, seed);
-            t.AddRow({std::to_string(cpus), ToString(ref),
-                      Table::Num(r.ref_clears),
-                      Table::Num(static_cast<double>(r.total_flush_cycles) /
-                                     1e6,
-                                 2),
-                      Table::Num(r.bus_transfers), Table::Num(r.page_ins),
-                      Table::Num(r.elapsed_seconds, 2)});
+    for (size_t i = 0; i < combos.size(); ++i) {
+        const MpRun& r = runs[i];
+        t.AddRow({std::to_string(combos[i].cpus), ToString(combos[i].ref),
+                  Table::Num(r.ref_clears),
+                  Table::Num(static_cast<double>(r.total_flush_cycles) /
+                                 1e6,
+                             2),
+                  Table::Num(r.bus_transfers), Table::Num(r.page_ins),
+                  Table::Num(r.elapsed_seconds, 2)});
+        if (i % 2 == 1) {
+            t.AddSeparator();
         }
-        t.AddSeparator();
+        stats::RunRecord record;
+        record.ref_policy = ToString(combos[i].ref);
+        record.memory_mb = 8;
+        record.seed = seed;
+        record.page_ins = r.page_ins;
+        record.elapsed_seconds = r.elapsed_seconds;
+        record.AddMetric("cpus", static_cast<double>(combos[i].cpus));
+        record.AddMetric("ref_clears", static_cast<double>(r.ref_clears));
+        record.AddMetric("flush_cycles",
+                         static_cast<double>(r.total_flush_cycles));
+        record.AddMetric("bus_transfers",
+                         static_cast<double>(r.bus_transfers));
+        session.Record(std::move(record));
     }
     t.Print(stdout);
     std::printf(
@@ -136,5 +170,5 @@ main(int argc, char** argv)
         "the caches: the flush work grows with the processor count while\n"
         "MISS's stays flat — the paper's Section 4.1 argument for why\n"
         "true reference bits do not belong on a multiprocessor.\n");
-    return 0;
+    return session.Finish();
 }

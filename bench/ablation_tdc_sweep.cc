@@ -6,11 +6,13 @@
  * hypothetical 0) and recomputes the Table 3.4 overheads.
  */
 #include <cstdio>
+#include <vector>
 
 #include "src/common/args.h"
 #include "src/common/table.h"
 #include "src/core/experiment.h"
 #include "src/core/overhead_model.h"
+#include "src/runner/session.h"
 
 int
 main(int argc, char** argv)
@@ -19,6 +21,7 @@ main(int argc, char** argv)
     const Args args(argc, argv);
     const uint64_t refs =
         static_cast<uint64_t>(args.GetInt("refs", 0)) * 1'000'000ull;
+    runner::BenchSession session("ablation_tdc_sweep", args);
 
     Table t("Ablation: WRITE-policy overhead vs. t_dc "
             "(millions of cycles; FAULT shown for comparison)");
@@ -26,6 +29,7 @@ main(int argc, char** argv)
                  "WRITE t_dc=3", "WRITE t_dc=1", "WRITE t_dc=0"});
 
     const sim::MachineConfig base = sim::MachineConfig::Prototype(8);
+    std::vector<core::RunConfig> configs;
     for (const core::WorkloadId workload :
          {core::WorkloadId::kSlc, core::WorkloadId::kWorkload1}) {
         for (const uint32_t mb : {5u, 6u, 8u}) {
@@ -33,7 +37,14 @@ main(int argc, char** argv)
             config.workload = workload;
             config.memory_mb = mb;
             config.refs = refs;
-            const core::RunResult r = core::RunOnce(config);
+            configs.push_back(config);
+        }
+    }
+    const auto results = session.RunAll(configs);
+    for (size_t i = 0; i < configs.size(); ++i) {
+        {
+            const core::RunResult& r = results[i];
+            const core::WorkloadId workload = configs[i].workload;
             core::EventFrequencies freq = r.frequencies;
             const double scale = core::RefCompression(workload);
             freq.n_w_hit = static_cast<uint64_t>(
@@ -41,8 +52,8 @@ main(int argc, char** argv)
             freq.n_w_miss = static_cast<uint64_t>(
                 static_cast<double>(freq.n_w_miss) * scale);
 
-            std::vector<std::string> row = {ToString(workload),
-                                            std::to_string(mb)};
+            std::vector<std::string> row = {
+                ToString(workload), std::to_string(configs[i].memory_mb)};
             {
                 const core::OverheadModel model(base);
                 row.push_back(Table::Num(
@@ -68,5 +79,5 @@ main(int argc, char** argv)
         "\nShape check vs. the paper: at t_dc = 1 the WRITE policy still\n"
         "costs more than FAULT (the check rate — one per modified block —\n"
         "is simply too high); only a free check would tie it.\n");
-    return 0;
+    return session.Finish();
 }

@@ -15,11 +15,15 @@
  * The same scenario is then replayed under the SPUR dirty-bit-miss
  * mechanism, where step 3 costs a 25-cycle dirty-bit miss instead of a
  * 1000-cycle fault.
+ *
+ * Flags: --jobs=N (accepted for uniformity), --json=FILE
  */
 #include <cstdio>
 
+#include "src/common/args.h"
 #include "src/common/table.h"
 #include "src/core/system.h"
+#include "src/runner/session.h"
 #include "src/sim/config.h"
 #include "src/workload/process.h"
 
@@ -27,7 +31,15 @@ namespace {
 
 using namespace spur;
 
-void
+/** Final event counters after the four-step scenario. */
+struct ScenarioTotals {
+    uint64_t necessary = 0;
+    uint64_t excess = 0;
+    uint64_t dirty_bit_misses = 0;
+    uint64_t fault_aux_cycles = 0;
+};
+
+ScenarioTotals
 RunScenario(policy::DirtyPolicyKind dirty, Table* out)
 {
     sim::MachineConfig config = sim::MachineConfig::Prototype(8);
@@ -66,31 +78,62 @@ RunScenario(policy::DirtyPolicyKind dirty, Table* out)
 
     system.Access(pid, block1, AccessType::kWrite);
     snapshot("write block 1 again: proceeds normally");
+
+    const auto& ev = system.events();
+    return ScenarioTotals{
+        ev.Get(sim::Event::kDirtyFault), ev.Get(sim::Event::kExcessFault),
+        ev.Get(sim::Event::kDirtyBitMiss),
+        system.timing().Get(sim::TimeBucket::kFault) +
+            system.timing().Get(sim::TimeBucket::kDirtyAux)};
+}
+
+void
+RecordScenario(runner::BenchSession* session, policy::DirtyPolicyKind dirty,
+               const ScenarioTotals& totals)
+{
+    stats::RunRecord record;
+    record.workload = "fig_3_1_scenario";
+    record.dirty_policy = ToString(dirty);
+    record.memory_mb = 8;
+    record.AddMetric("necessary_faults",
+                     static_cast<double>(totals.necessary));
+    record.AddMetric("excess_faults", static_cast<double>(totals.excess));
+    record.AddMetric("dirty_bit_misses",
+                     static_cast<double>(totals.dirty_bit_misses));
+    record.AddMetric("fault_aux_cycles",
+                     static_cast<double>(totals.fault_aux_cycles));
+    session->Record(std::move(record));
 }
 
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    using namespace spur;
+    const Args args(argc, argv);
+    runner::BenchSession session("fig_3_1_stale_protection", args);
+
     std::printf("Figure 3.1: writes to previously cached blocks after the\n"
                 "page's first dirty fault.\n\n");
 
     Table fault("FAULT policy (emulate dirty bits with protection)");
     fault.SetHeader({"step", "necessary", "excess", "dirty-bit misses",
                      "fault+aux cycles"});
-    RunScenario(spur::policy::DirtyPolicyKind::kFault, &fault);
+    RecordScenario(&session, policy::DirtyPolicyKind::kFault,
+                   RunScenario(policy::DirtyPolicyKind::kFault, &fault));
     fault.Print(stdout);
     std::printf("\n");
 
     Table spurp("SPUR policy (cached page dirty bit + dirty-bit miss)");
     spurp.SetHeader({"step", "necessary", "excess", "dirty-bit misses",
                      "fault+aux cycles"});
-    RunScenario(spur::policy::DirtyPolicyKind::kSpur, &spurp);
+    RecordScenario(&session, policy::DirtyPolicyKind::kSpur,
+                   RunScenario(policy::DirtyPolicyKind::kSpur, &spurp));
     spurp.Print(stdout);
 
     std::printf(
         "\nThe excess fault costs t_ds = 1000 cycles under FAULT; the same\n"
         "event is a t_dm = 25 cycle dirty-bit miss under SPUR.\n");
-    return 0;
+    return session.Finish();
 }

@@ -3,18 +3,24 @@
  * Reproduces Figure 3.2 — the SPUR page-table-entry and cache-line
  * formats — by rendering the live bit layouts of pt::Pte and cache::Line
  * and demonstrating the copy-on-fill of PR and the page dirty bit.
+ *
+ * Flags: --jobs=N (accepted for uniformity), --json=FILE
  */
 #include <cstdio>
 
 #include "src/cache/cache.h"
+#include "src/common/args.h"
 #include "src/common/table.h"
 #include "src/pt/pte.h"
+#include "src/runner/session.h"
 #include "src/sim/config.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace spur;
+    const Args args(argc, argv);
+    runner::BenchSession session("fig_3_2_formats", args);
 
     std::printf("Figure 3.2(a): SPUR Page Table Entry format\n\n");
     std::printf("  31                    12 11  10   9   8  7 6  5  4  3  2  1  0\n");
@@ -74,5 +80,13 @@ main()
                 "  cache line: PR=%s P=%d   <-- stale copies (Figure 3.1)\n",
                 ToString(pte.protection()), pte.dirty() ? 1 : 0,
                 ToString(line.prot), line.page_dirty ? 1 : 0);
-    return 0;
+
+    stats::RunRecord record;
+    record.workload = "pte_cache_line_formats";
+    record.AddMetric("pte_raw", static_cast<double>(pte.raw()));
+    record.AddMetric("line_tag", static_cast<double>(line.tag));
+    record.AddMetric("line_page_dirty", line.page_dirty ? 1.0 : 0.0);
+    record.AddMetric("pte_dirty", pte.dirty() ? 1.0 : 0.0);
+    session.Record(std::move(record));
+    return session.Finish();
 }

@@ -6,6 +6,8 @@
  */
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_common.h"
+
 #include "src/cache/cache.h"
 #include "src/common/random.h"
 #include "src/core/system.h"
@@ -125,4 +127,4 @@ BENCHMARK(BM_SystemAccessHot);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SPUR_MICRO_BENCHMARK_MAIN()

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared main() for the google-benchmark micro benches, giving them the
+ * same command-line surface as the table/ablation benches:
+ *
+ *   --jobs=N    accepted and ignored (micro benches are single-threaded
+ *               timing loops; running them concurrently would only add
+ *               noise to the numbers)
+ *   --json=FILE translated to google-benchmark's own JSON reporter
+ *               (--benchmark_out=FILE --benchmark_out_format=json)
+ *
+ * Native --benchmark_* flags are forwarded to benchmark::Initialize
+ * unchanged.  Any other --flag (e.g. --reps passed by run_all.sh to the
+ * whole suite) is dropped rather than rejected, so the micro benches can
+ * share a command line with the table benches.
+ */
+#ifndef SPUR_BENCH_MICRO_COMMON_H_
+#define SPUR_BENCH_MICRO_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#define SPUR_MICRO_BENCHMARK_MAIN()                                         \
+    int main(int argc, char** argv)                                         \
+    {                                                                       \
+        return spur::bench_micro::Main(argc, argv);                         \
+    }
+
+namespace spur::bench_micro {
+
+inline int
+Main(int argc, char** argv)
+{
+    std::vector<std::string> storage;
+    storage.reserve(static_cast<size_t>(argc) + 1);
+    storage.emplace_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        if (std::strncmp(arg, "--json=", 7) == 0) {
+            storage.emplace_back(std::string("--benchmark_out=") +
+                                 (arg + 7));
+            storage.emplace_back("--benchmark_out_format=json");
+            continue;
+        }
+        if (std::strncmp(arg, "--", 2) == 0 &&
+            std::strncmp(arg, "--benchmark_", 12) != 0) {
+            continue;  // --jobs and other table-bench flags: ignored.
+        }
+        storage.emplace_back(arg);
+    }
+
+    std::vector<char*> rewritten;
+    rewritten.reserve(storage.size());
+    for (std::string& s : storage) {
+        rewritten.push_back(s.data());
+    }
+    int rewritten_argc = static_cast<int>(rewritten.size());
+    benchmark::Initialize(&rewritten_argc, rewritten.data());
+    if (benchmark::ReportUnrecognizedArguments(rewritten_argc,
+                                               rewritten.data())) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+}  // namespace spur::bench_micro
+
+#endif  // SPUR_BENCH_MICRO_COMMON_H_

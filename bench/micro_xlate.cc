@@ -6,6 +6,8 @@
  */
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_common.h"
+
 #include "src/common/random.h"
 #include "src/core/system.h"
 #include "src/pt/page_table.h"
@@ -112,4 +114,4 @@ BENCHMARK(BM_EndToEndWorkload1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SPUR_MICRO_BENCHMARK_MAIN()

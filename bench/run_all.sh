@@ -1,13 +1,54 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Regenerates every paper table/figure and ablation into stdout.
-# Usage: bench/run_all.sh [build_dir]
-set -e
-BUILD="${1:-build}"
+#
+# Usage: bench/run_all.sh [build_dir] [--json-dir=DIR] [extra flags...]
+#
+# The optional build_dir (default: build) must come first.  Every other
+# argument is passed through to each bench binary, so e.g.
+#
+#   bench/run_all.sh build --jobs=8 --reps=2
+#
+# runs the whole suite with 8 worker threads.  With --json-dir=DIR each
+# bench additionally writes machine-readable run records to
+# DIR/<bench>.json (the micro benches emit google-benchmark's JSON).
+set -euo pipefail
+
+BUILD="build"
+JSON_DIR=""
+ARGS=()
+for arg in "$@"; do
+    case "$arg" in
+        --json-dir=*)
+            JSON_DIR="${arg#--json-dir=}"
+            ;;
+        --*)
+            ARGS+=("$arg")
+            ;;
+        *)
+            BUILD="$arg"
+            ;;
+    esac
+done
+
+if [[ ! -d "$BUILD/bench" ]]; then
+    echo "error: no bench binaries under '$BUILD' (build first?)" >&2
+    exit 1
+fi
+
+if [[ -n "$JSON_DIR" ]]; then
+    mkdir -p "$JSON_DIR"
+fi
+
 for b in "$BUILD"/bench/*; do
-    [ -x "$b" ] || continue
+    [[ -x "$b" && -f "$b" ]] || continue
+    name="$(basename "$b")"
     echo "==================================================================="
-    echo "== $(basename "$b")"
+    echo "== $name"
     echo "==================================================================="
-    "$b"
+    EXTRA=()
+    if [[ -n "$JSON_DIR" ]]; then
+        EXTRA+=("--json=$JSON_DIR/$name.json")
+    fi
+    "$b" ${ARGS[@]+"${ARGS[@]}"} ${EXTRA[@]+"${EXTRA[@]}"}
     echo
 done

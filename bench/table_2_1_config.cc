@@ -8,6 +8,7 @@
 
 #include "src/common/args.h"
 #include "src/common/table.h"
+#include "src/runner/session.h"
 #include "src/sim/config.h"
 
 int
@@ -15,6 +16,7 @@ main(int argc, char** argv)
 {
     using namespace spur;
     const Args args(argc, argv);
+    runner::BenchSession session("table_2_1_config", args);
     sim::MachineConfig config =
         sim::MachineConfig::Prototype(
             static_cast<uint32_t>(args.GetInt("memory-mb", 8)));
@@ -64,5 +66,21 @@ main(int argc, char** argv)
     d.AddRow({"Dirty check t_dc (cycles)",
               Table::Num(uint64_t{config.t_dirty_check})});
     d.Print(stdout);
-    return 0;
+
+    // No simulation runs here; the JSON record carries the derived
+    // machine parameters instead.
+    stats::RunRecord record;
+    record.memory_mb = config.memory_bytes / (1024 * 1024);
+    record.AddMetric("cache_bytes", static_cast<double>(config.cache_bytes));
+    record.AddMetric("block_bytes", static_cast<double>(config.block_bytes));
+    record.AddMetric("page_bytes", static_cast<double>(config.page_bytes));
+    record.AddMetric("t_fault", static_cast<double>(config.t_fault));
+    record.AddMetric("t_flush_page",
+                     static_cast<double>(config.t_flush_page));
+    record.AddMetric("t_dirty_miss",
+                     static_cast<double>(config.t_dirty_miss));
+    record.AddMetric("t_dirty_check",
+                     static_cast<double>(config.t_dirty_check));
+    session.Record(std::move(record));
+    return session.Finish();
 }

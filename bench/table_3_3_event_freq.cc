@@ -7,7 +7,7 @@
  * prototype measurements were taken.
  *
  * Flags: --reps=N (default 1), --refs=M (override run length, millions),
- *        --csv, --seed=S
+ *        --csv, --seed=S, --jobs=N, --json=FILE
  */
 #include <cstdio>
 #include <vector>
@@ -15,6 +15,7 @@
 #include "src/common/args.h"
 #include "src/common/table.h"
 #include "src/core/experiment.h"
+#include "src/runner/session.h"
 #include "src/stats/summary.h"
 
 int
@@ -26,6 +27,7 @@ main(int argc, char** argv)
     const uint64_t refs =
         static_cast<uint64_t>(args.GetInt("refs", 0)) * 1'000'000ull;
     const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+    runner::BenchSession session("table_3_3_event_freq", args);
 
     std::vector<core::RunConfig> configs;
     for (const core::WorkloadId workload :
@@ -42,7 +44,7 @@ main(int argc, char** argv)
         }
     }
 
-    const auto results = core::RunMatrix(configs, reps);
+    const auto results = session.RunMatrix(configs, reps);
 
     Table t("Table 3.3: Event Frequencies  (N_w-hit / N_w-miss in "
             "prototype-equivalent millions via the documented "
@@ -84,5 +86,5 @@ main(int argc, char** argv)
             "N_w-hit : N_w-miss is roughly 1 : 4-6; N_zfod is nearly\n"
             "constant across memory sizes while N_ds falls.\n");
     }
-    return 0;
+    return session.Finish();
 }

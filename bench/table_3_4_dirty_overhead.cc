@@ -12,7 +12,8 @@
  * and reports the simulator's actually-charged cycles, validating the
  * analytic model.
  *
- * Flags: --reps=N, --refs=M (millions), --mechanistic, --csv, --seed=S
+ * Flags: --reps=N, --refs=M (millions), --mechanistic, --csv, --seed=S,
+ *        --jobs=N, --json=FILE
  */
 #include <cstdio>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "src/common/table.h"
 #include "src/core/experiment.h"
 #include "src/core/overhead_model.h"
+#include "src/runner/session.h"
 #include "src/stats/summary.h"
 
 namespace {
@@ -77,6 +79,7 @@ main(int argc, char** argv)
         static_cast<uint64_t>(args.GetInt("refs", 0)) * 1'000'000ull;
     const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
     const bool mechanistic = args.Has("mechanistic");
+    runner::BenchSession session("table_3_4_dirty_overhead", args);
 
     if (!args.Has("csv")) {
         PrintPreamble();
@@ -110,7 +113,7 @@ main(int argc, char** argv)
                 config.refs = refs;
                 config.seed = seed;
                 stats::Summary per_policy[std::size(kOrder)];
-                const auto results = core::RunMatrix({config}, reps);
+                const auto results = session.RunMatrix({config}, reps);
                 const double scale = core::RefCompression(workload);
                 for (const core::RunResult& r : results[0]) {
                     // Per-reference event counts are rescaled to
@@ -147,7 +150,7 @@ main(int argc, char** argv)
                     config.seed = seed;
                     configs.push_back(config);
                 }
-                const auto results = core::RunMatrix(configs, reps);
+                const auto results = session.RunMatrix(configs, reps);
                 for (size_t p = 0; p < std::size(kOrder); ++p) {
                     stats::Summary sum;
                     for (const core::RunResult& r : results[p]) {
@@ -207,5 +210,5 @@ main(int argc, char** argv)
             "support buys at most a\nfew tens of percent of a tiny "
             "overhead: FAULT needs no hardware at all.\n");
     }
-    return 0;
+    return session.Finish();
 }

@@ -10,7 +10,8 @@
  * dirty bits saved), and the extra paging I/O that would occur without
  * dirty bits.
  *
- * Flags: --refs=M (millions, per host), --csv, --seed=S
+ * Flags: --refs=M (millions, per host), --csv, --seed=S, --jobs=N,
+ *        --json=FILE
  */
 #include <cstdio>
 #include <string>
@@ -19,6 +20,7 @@
 #include "src/common/args.h"
 #include "src/common/table.h"
 #include "src/core/experiment.h"
+#include "src/runner/session.h"
 
 int
 main(int argc, char** argv)
@@ -28,6 +30,7 @@ main(int argc, char** argv)
     const uint64_t refs =
         static_cast<uint64_t>(args.GetInt("refs", 0)) * 1'000'000ull;
     const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+    runner::BenchSession session("table_3_5_pageout", args);
 
     struct Host {
         const char* name;
@@ -50,6 +53,7 @@ main(int argc, char** argv)
                  "Potentially Modified", "Not Modified", "% Not Modified",
                  "% Additional Paging I/O"});
 
+    std::vector<core::RunConfig> configs;
     for (const Host& host : hosts) {
         core::RunConfig config;
         config.workload = core::WorkloadId::kDevMachine;
@@ -59,7 +63,13 @@ main(int argc, char** argv)
         config.seed = seed + host.hours;  // Distinct, reproducible.
         config.dirty = policy::DirtyPolicyKind::kSpur;
         config.ref = policy::RefPolicyKind::kMiss;
-        const core::RunResult r = core::RunOnce(config);
+        configs.push_back(config);
+    }
+    const auto results = session.RunAll(configs);
+
+    for (size_t i = 0; i < std::size(hosts); ++i) {
+        const Host& host = hosts[i];
+        const core::RunResult& r = results[i];
 
         const uint64_t modified =
             r.events.Get(sim::Event::kPageoutWritableModified);
@@ -96,5 +106,5 @@ main(int argc, char** argv)
             "12+ MB), and dropping dirty bits would add at most a few\n"
             "percent of paging I/O — dirty bits buy very little here.\n");
     }
-    return 0;
+    return session.Finish();
 }

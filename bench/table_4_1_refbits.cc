@@ -7,7 +7,7 @@
  * each with the percentage relative to MISS at the same point.
  *
  * Flags: --reps=N (default 3; the paper used 5), --refs=M (millions),
- *        --csv, --seed=S
+ *        --csv, --seed=S, --jobs=N, --json=FILE
  */
 #include <cstdio>
 #include <vector>
@@ -15,6 +15,7 @@
 #include "src/common/args.h"
 #include "src/common/table.h"
 #include "src/core/experiment.h"
+#include "src/runner/session.h"
 #include "src/stats/summary.h"
 
 int
@@ -26,6 +27,7 @@ main(int argc, char** argv)
     const uint64_t refs =
         static_cast<uint64_t>(args.GetInt("refs", 0)) * 1'000'000ull;
     const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+    runner::BenchSession session("table_4_1_refbits", args);
 
     const policy::RefPolicyKind order[] = {policy::RefPolicyKind::kMiss,
                                            policy::RefPolicyKind::kRef,
@@ -48,7 +50,7 @@ main(int argc, char** argv)
         }
     }
 
-    const auto results = core::RunMatrix(configs, reps);
+    const auto results = session.RunMatrix(configs, reps);
 
     Table t("Table 4.1: Reference Bit Results (elapsed time in scaled "
             "seconds; percentages relative to MISS)");
@@ -94,5 +96,5 @@ main(int argc, char** argv)
             "savings never pay for its flush overhead, so MISS has the\n"
             "best (or near-best) elapsed time everywhere.\n");
     }
-    return 0;
+    return session.Finish();
 }

@@ -9,12 +9,16 @@
  * the cycles go.
  *
  * Usage: example_cad_developer [memory_mb] [million_refs]
+ *                              [--jobs=N] [--json=FILE]
  */
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/common/args.h"
 #include "src/common/table.h"
 #include "src/core/system.h"
+#include "src/runner/runner.h"
+#include "src/runner/session.h"
 #include "src/workload/driver.h"
 #include "src/workload/workloads.h"
 
@@ -22,9 +26,13 @@ int
 main(int argc, char** argv)
 {
     using namespace spur;
-    const uint32_t memory_mb = (argc > 1) ? std::atoi(argv[1]) : 6;
+    const Args args(argc, argv);
+    const auto& pos = args.positional();
+    const uint32_t memory_mb =
+        !pos.empty() ? static_cast<uint32_t>(std::atoi(pos[0].c_str())) : 6;
     const uint64_t refs =
-        ((argc > 2) ? std::atoll(argv[2]) : 8) * 1'000'000ull;
+        (pos.size() > 1 ? std::atoll(pos[1].c_str()) : 8) * 1'000'000ull;
+    runner::BenchSession session("example_cad_developer", args);
 
     Table t("CAD developer session (WORKLOAD1) at " +
             std::to_string(memory_mb) + " MB, " +
@@ -33,28 +41,64 @@ main(int argc, char** argv)
                  "dirty-bit misses", "PTE checks", "fault time (s)",
                  "flush time (s)", "elapsed (s)"});
 
-    for (const policy::DirtyPolicyKind kind :
-         {policy::DirtyPolicyKind::kMin, policy::DirtyPolicyKind::kFault,
-          policy::DirtyPolicyKind::kFlush, policy::DirtyPolicyKind::kSpur,
-          policy::DirtyPolicyKind::kWrite}) {
+    // Each policy drives a private system, so the five mechanistic runs
+    // go through the pool together; rows are added in policy order.
+    struct PolicyRun {
+        uint64_t dirty_faults = 0;
+        uint64_t excess_faults = 0;
+        uint64_t dirty_bit_misses = 0;
+        uint64_t pte_checks = 0;
+        double fault_seconds = 0;
+        double flush_seconds = 0;
+        double elapsed_seconds = 0;
+    };
+    const policy::DirtyPolicyKind kinds[] = {
+        policy::DirtyPolicyKind::kMin, policy::DirtyPolicyKind::kFault,
+        policy::DirtyPolicyKind::kFlush, policy::DirtyPolicyKind::kSpur,
+        policy::DirtyPolicyKind::kWrite};
+    PolicyRun runs[5];
+    runner::ParallelFor(5, session.jobs(), [&](size_t i) {
         sim::MachineConfig config = sim::MachineConfig::Prototype(memory_mb);
         config.page_in_us = 800.0;  // Scaled paging (see DESIGN.md).
-        core::SpurSystem system(config, kind,
+        core::SpurSystem system(config, kinds[i],
                                 policy::RefPolicyKind::kMiss);
         workload::Driver driver(system, workload::MakeWorkload1(), refs,
                                 /*seed=*/11);
         driver.Run();
         const auto& ev = system.events();
-        t.AddRow({ToString(kind),
-                  Table::Num(ev.Get(sim::Event::kDirtyFault)),
-                  Table::Num(ev.Get(sim::Event::kExcessFault)),
-                  Table::Num(ev.Get(sim::Event::kDirtyBitMiss)),
-                  Table::Num(ev.Get(sim::Event::kDirtyCheck)),
-                  Table::Num(system.timing().Seconds(sim::TimeBucket::kFault),
-                             2),
-                  Table::Num(system.timing().Seconds(sim::TimeBucket::kFlush),
-                             2),
-                  Table::Num(system.timing().ElapsedSeconds(), 2)});
+        runs[i] = PolicyRun{
+            ev.Get(sim::Event::kDirtyFault),
+            ev.Get(sim::Event::kExcessFault),
+            ev.Get(sim::Event::kDirtyBitMiss),
+            ev.Get(sim::Event::kDirtyCheck),
+            system.timing().Seconds(sim::TimeBucket::kFault),
+            system.timing().Seconds(sim::TimeBucket::kFlush),
+            system.timing().ElapsedSeconds()};
+    });
+
+    for (size_t i = 0; i < 5; ++i) {
+        const PolicyRun& r = runs[i];
+        t.AddRow({ToString(kinds[i]), Table::Num(r.dirty_faults),
+                  Table::Num(r.excess_faults),
+                  Table::Num(r.dirty_bit_misses), Table::Num(r.pte_checks),
+                  Table::Num(r.fault_seconds, 2),
+                  Table::Num(r.flush_seconds, 2),
+                  Table::Num(r.elapsed_seconds, 2)});
+        stats::RunRecord record;
+        record.workload = "WORKLOAD1";
+        record.dirty_policy = ToString(kinds[i]);
+        record.ref_policy = "MISS";
+        record.memory_mb = memory_mb;
+        record.seed = 11;
+        record.refs_issued = refs;
+        record.elapsed_seconds = r.elapsed_seconds;
+        record.AddMetric("n_ds", static_cast<double>(r.dirty_faults));
+        record.AddMetric("n_ef", static_cast<double>(r.excess_faults));
+        record.AddMetric("n_dm", static_cast<double>(r.dirty_bit_misses));
+        record.AddMetric("pte_checks", static_cast<double>(r.pte_checks));
+        record.AddMetric("fault_seconds", r.fault_seconds);
+        record.AddMetric("flush_seconds", r.flush_seconds);
+        session.Record(std::move(record));
     }
     t.Print(stdout);
     std::printf(
@@ -62,5 +106,5 @@ main(int argc, char** argv)
         "dirty-bit misses: the same stale-cached-state events, paid for\n"
         "at t_ds=1000 vs t_dm=25 cycles.  FLUSH shows zero excess faults\n"
         "but pays a page flush per necessary fault.\n");
-    return 0;
+    return session.Finish();
 }

@@ -6,33 +6,40 @@
  * low-level inspection API.
  *
  * Usage: example_calibrate [w1|slc|dev] [memory_mb] [million_refs] [seed]
+ *                          [--jobs=N] [--json=FILE]
  */
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 
+#include "src/common/args.h"
 #include "src/common/table.h"
 #include "src/core/experiment.h"
 #include "src/core/overhead_model.h"
+#include "src/runner/session.h"
 
 int
 main(int argc, char** argv)
 {
     using namespace spur;
+    const Args args(argc, argv);
+    const auto& pos = args.positional();
 
     core::RunConfig run;
-    if (argc > 1) {
-        if (std::strcmp(argv[1], "slc") == 0) {
+    if (!pos.empty()) {
+        if (pos[0] == "slc") {
             run.workload = core::WorkloadId::kSlc;
-        } else if (std::strcmp(argv[1], "dev") == 0) {
+        } else if (pos[0] == "dev") {
             run.workload = core::WorkloadId::kDevMachine;
         }
     }
-    run.memory_mb = (argc > 2) ? std::atoi(argv[2]) : 8;
-    if (argc > 3) {
-        run.refs = std::atoll(argv[3]) * 1'000'000ull;
+    run.memory_mb =
+        pos.size() > 1 ? static_cast<uint32_t>(std::atoi(pos[1].c_str()))
+                       : 8;
+    if (pos.size() > 2) {
+        run.refs = std::atoll(pos[2].c_str()) * 1'000'000ull;
     }
-    run.seed = (argc > 4) ? std::atoll(argv[4]) : 1;
+    run.seed = pos.size() > 3 ? std::atoll(pos[3].c_str()) : 1;
+    runner::BenchSession session("example_calibrate", args);
 
     const core::RunResult r = core::RunOnce(run);
     const core::EventFrequencies& f = r.frequencies;
@@ -82,5 +89,7 @@ main(int argc, char** argv)
     t.AddRow({"elapsed (s)", Table::Num(r.elapsed_seconds, 1),
               "SLC 341-948, W1 2535-3016 (scaled)"});
     t.Print(stdout);
-    return 0;
+
+    session.Record(run, /*rep=*/0, r);
+    return session.Finish();
 }

@@ -5,31 +5,36 @@
  * memory sizes — a miniature of Table 4.1 with a configurable sweep.
  *
  * Usage: example_lisp_compiler [million_refs] [mem_mb ...]
+ *                              [--jobs=N] [--json=FILE]
  */
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
+#include "src/common/args.h"
 #include "src/common/table.h"
 #include "src/core/experiment.h"
+#include "src/runner/session.h"
 
 int
 main(int argc, char** argv)
 {
     using namespace spur;
+    const Args args(argc, argv);
+    const auto& pos = args.positional();
     const uint64_t refs =
-        ((argc > 1) ? std::atoll(argv[1]) : 8) * 1'000'000ull;
+        (!pos.empty() ? std::atoll(pos[0].c_str()) : 8) * 1'000'000ull;
     std::vector<uint32_t> memories;
-    for (int i = 2; i < argc; ++i) {
-        memories.push_back(static_cast<uint32_t>(std::atoi(argv[i])));
+    for (size_t i = 1; i < pos.size(); ++i) {
+        memories.push_back(
+            static_cast<uint32_t>(std::atoi(pos[i].c_str())));
     }
     if (memories.empty()) {
         memories = {5, 6, 8};
     }
+    runner::BenchSession session("example_lisp_compiler", args);
 
-    Table t("SPUR Lisp compiler (SLC): reference-bit policies");
-    t.SetHeader({"memory (MB)", "policy", "page-ins", "ref faults",
-                 "ref clears", "daemon sweeps", "elapsed (s)"});
+    std::vector<core::RunConfig> configs;
     for (const uint32_t mb : memories) {
         for (const policy::RefPolicyKind ref :
              {policy::RefPolicyKind::kMiss, policy::RefPolicyKind::kRef,
@@ -39,20 +44,30 @@ main(int argc, char** argv)
             config.memory_mb = mb;
             config.ref = ref;
             config.refs = refs;
-            const core::RunResult r = core::RunOnce(config);
-            t.AddRow({std::to_string(mb), ToString(ref),
-                      Table::Num(r.page_ins),
-                      Table::Num(r.events.Get(sim::Event::kRefFault)),
-                      Table::Num(r.events.Get(sim::Event::kRefClear)),
-                      Table::Num(r.events.Get(sim::Event::kDaemonSweep)),
-                      Table::Num(r.elapsed_seconds, 2)});
+            configs.push_back(config);
         }
-        t.AddSeparator();
+    }
+    const auto results = session.RunAll(configs);
+
+    Table t("SPUR Lisp compiler (SLC): reference-bit policies");
+    t.SetHeader({"memory (MB)", "policy", "page-ins", "ref faults",
+                 "ref clears", "daemon sweeps", "elapsed (s)"});
+    for (size_t i = 0; i < configs.size(); ++i) {
+        const core::RunResult& r = results[i];
+        t.AddRow({std::to_string(configs[i].memory_mb),
+                  ToString(configs[i].ref), Table::Num(r.page_ins),
+                  Table::Num(r.events.Get(sim::Event::kRefFault)),
+                  Table::Num(r.events.Get(sim::Event::kRefClear)),
+                  Table::Num(r.events.Get(sim::Event::kDaemonSweep)),
+                  Table::Num(r.elapsed_seconds, 2)});
+        if (i % 3 == 2) {
+            t.AddSeparator();
+        }
     }
     t.Print(stdout);
     std::printf(
         "\nNOREF never takes reference faults or clears, but its page\n"
         "daemon reclaims pages in sweep order, inflating page-ins when\n"
         "memory is tight.  REF pays a page flush per clear.\n");
-    return 0;
+    return session.Finish();
 }

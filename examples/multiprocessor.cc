@@ -6,24 +6,30 @@
  * the whole machine, because the PTE is shared).
  *
  * Usage: example_multiprocessor [cpus] [million_refs]
+ *                               [--jobs=N] [--json=FILE]
  */
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
+#include "src/common/args.h"
 #include "src/common/random.h"
 #include "src/common/table.h"
 #include "src/core/mp_system.h"
+#include "src/runner/session.h"
 #include "src/workload/process.h"
 
 int
 main(int argc, char** argv)
 {
     using namespace spur;
+    const Args args(argc, argv);
+    const auto& pos = args.positional();
     const unsigned cpus =
-        (argc > 1) ? static_cast<unsigned>(std::atoi(argv[1])) : 4;
+        !pos.empty() ? static_cast<unsigned>(std::atoi(pos[0].c_str())) : 4;
     const uint64_t refs =
-        ((argc > 2) ? std::atoll(argv[2]) : 2) * 1'000'000ull;
+        (pos.size() > 1 ? std::atoll(pos[1].c_str()) : 2) * 1'000'000ull;
+    runner::BenchSession session("example_multiprocessor", args);
 
     sim::MachineConfig config = sim::MachineConfig::Prototype(8);
     core::MpSpurSystem machine(config, cpus,
@@ -88,5 +94,26 @@ main(int argc, char** argv)
         "the page was clean later writes it after another CPU took the\n"
         "fault — exactly the cross-processor staleness the SPUR scheme's\n"
         "check-the-PTE-before-faulting rule was designed for.\n");
-    return 0;
+
+    stats::RunRecord record;
+    record.workload = "mp_shared_workers";
+    record.dirty_policy = "SPUR";
+    record.ref_policy = "MISS";
+    record.memory_mb = 8;
+    record.seed = 17;
+    record.refs_issued = ev.TotalRefs();
+    record.AddMetric("cpus", static_cast<double>(cpus));
+    record.AddMetric("misses", static_cast<double>(ev.TotalMisses()));
+    record.AddMetric("bus_reads",
+                     static_cast<double>(ev.Get(sim::Event::kBusRead)));
+    record.AddMetric(
+        "cache_to_cache",
+        static_cast<double>(ev.Get(sim::Event::kBusCacheToCache)));
+    record.AddMetric("dirty_faults",
+                     static_cast<double>(ev.Get(sim::Event::kDirtyFault)));
+    record.AddMetric(
+        "dirty_bit_misses",
+        static_cast<double>(ev.Get(sim::Event::kDirtyBitMiss)));
+    session.Record(std::move(record));
+    return session.Finish();
 }

@@ -4,12 +4,15 @@
  * print the event counters and the elapsed-time breakdown.
  *
  * Usage: example_quickstart [memory_mb] [million_refs]
+ *                           [--jobs=N] [--json=FILE]
  */
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/common/args.h"
 #include "src/common/table.h"
 #include "src/core/system.h"
+#include "src/runner/session.h"
 #include "src/sim/config.h"
 #include "src/workload/driver.h"
 #include "src/workload/workloads.h"
@@ -17,11 +20,14 @@
 int
 main(int argc, char** argv)
 {
-    const uint32_t memory_mb = (argc > 1) ? std::atoi(argv[1]) : 8;
-    const uint64_t refs =
-        ((argc > 2) ? std::atoll(argv[2]) : 4) * 1'000'000ull;
-
     using namespace spur;
+    const Args args(argc, argv);
+    const auto& pos = args.positional();
+    const uint32_t memory_mb =
+        !pos.empty() ? static_cast<uint32_t>(std::atoi(pos[0].c_str())) : 8;
+    const uint64_t refs =
+        (pos.size() > 1 ? std::atoll(pos[1].c_str()) : 4) * 1'000'000ull;
+    runner::BenchSession session("example_quickstart", args);
 
     // 1. Configure the prototype machine (Table 2.1 defaults).
     sim::MachineConfig config = sim::MachineConfig::Prototype(memory_mb);
@@ -72,5 +78,21 @@ main(int argc, char** argv)
     }
     b.AddRow({"TOTAL", Table::Num(system.timing().ElapsedSeconds(), 3)});
     b.Print(stdout);
-    return 0;
+
+    stats::RunRecord record;
+    record.workload = "WORKLOAD1";
+    record.dirty_policy = "SPUR";
+    record.ref_policy = "MISS";
+    record.memory_mb = memory_mb;
+    record.seed = 1;
+    record.refs_issued = ev.TotalRefs();
+    record.page_ins = ev.Get(sim::Event::kPageIn);
+    record.page_outs = ev.Get(sim::Event::kPageOutDirty);
+    record.elapsed_seconds = system.timing().ElapsedSeconds();
+    record.AddMetric("n_ds",
+                     static_cast<double>(ev.Get(sim::Event::kDirtyFault)));
+    record.AddMetric("total_misses",
+                     static_cast<double>(ev.TotalMisses()));
+    session.Record(std::move(record));
+    return session.Finish();
 }

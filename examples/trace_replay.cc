@@ -6,13 +6,17 @@
  * 1989, applied to its own experiment.
  *
  * Usage: example_trace_replay [trace_path] [million_refs]
+ *                             [--jobs=N] [--json=FILE]
  */
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "src/common/args.h"
 #include "src/common/table.h"
 #include "src/core/system.h"
+#include "src/runner/runner.h"
+#include "src/runner/session.h"
 #include "src/workload/process.h"
 #include "src/workload/trace.h"
 #include "src/workload/workloads.h"
@@ -21,10 +25,13 @@ int
 main(int argc, char** argv)
 {
     using namespace spur;
+    const Args args(argc, argv);
+    const auto& pos = args.positional();
     const std::string path =
-        (argc > 1) ? argv[1] : "/tmp/spur_example.trc";
+        !pos.empty() ? pos[0] : "/tmp/spur_example.trc";
     const uint64_t refs =
-        ((argc > 2) ? std::atoll(argv[2]) : 2) * 1'000'000ull;
+        (pos.size() > 1 ? std::atoll(pos[1].c_str()) : 2) * 1'000'000ull;
+    runner::BenchSession session("example_trace_replay", args);
 
     const sim::MachineConfig config = sim::MachineConfig::Prototype(8);
 
@@ -49,24 +56,57 @@ main(int argc, char** argv)
                     path.c_str());
     }
 
-    // 2. Replay under each dirty policy.
+    // 2. Replay under each dirty policy; each replay opens its own read
+    // handle on the trace, so the five runs go through the pool together.
+    struct Replay {
+        uint64_t misses = 0;
+        uint64_t dirty_faults = 0;
+        uint64_t excess = 0;
+        uint64_t dirty_bit_misses = 0;
+        double elapsed_seconds = 0;
+    };
+    const policy::DirtyPolicyKind kinds[] = {
+        policy::DirtyPolicyKind::kMin, policy::DirtyPolicyKind::kFault,
+        policy::DirtyPolicyKind::kFlush, policy::DirtyPolicyKind::kSpur,
+        policy::DirtyPolicyKind::kWrite};
+    Replay replays[5];
+    runner::ParallelFor(5, session.jobs(), [&](size_t i) {
+        core::SpurSystem system(config, kinds[i],
+                                policy::RefPolicyKind::kMiss);
+        workload::ReplayTrace(path, system);
+        const auto& ev = system.events();
+        replays[i] = Replay{ev.TotalMisses(),
+                            ev.Get(sim::Event::kDirtyFault),
+                            ev.Get(sim::Event::kExcessFault),
+                            ev.Get(sim::Event::kDirtyBitMiss),
+                            system.timing().ElapsedSeconds()};
+    });
+
     Table t("Same trace, every dirty-bit policy (8 MB machine)");
     t.SetHeader({"policy", "misses", "dirty faults", "excess", "dirty-bit "
                  "misses", "elapsed (s)"});
-    for (const policy::DirtyPolicyKind kind :
-         {policy::DirtyPolicyKind::kMin, policy::DirtyPolicyKind::kFault,
-          policy::DirtyPolicyKind::kFlush, policy::DirtyPolicyKind::kSpur,
-          policy::DirtyPolicyKind::kWrite}) {
-        core::SpurSystem system(config, kind, policy::RefPolicyKind::kMiss);
-        workload::ReplayTrace(path, system);
-        const auto& ev = system.events();
-        t.AddRow({ToString(kind), Table::Num(ev.TotalMisses()),
-                  Table::Num(ev.Get(sim::Event::kDirtyFault)),
-                  Table::Num(ev.Get(sim::Event::kExcessFault)),
-                  Table::Num(ev.Get(sim::Event::kDirtyBitMiss)),
-                  Table::Num(system.timing().ElapsedSeconds(), 3)});
+    for (size_t i = 0; i < 5; ++i) {
+        const Replay& r = replays[i];
+        t.AddRow({ToString(kinds[i]), Table::Num(r.misses),
+                  Table::Num(r.dirty_faults), Table::Num(r.excess),
+                  Table::Num(r.dirty_bit_misses),
+                  Table::Num(r.elapsed_seconds, 3)});
+        stats::RunRecord record;
+        record.workload = "espresso_trace";
+        record.dirty_policy = ToString(kinds[i]);
+        record.ref_policy = "MISS";
+        record.memory_mb = 8;
+        record.seed = 5;
+        record.refs_issued = refs;
+        record.elapsed_seconds = r.elapsed_seconds;
+        record.AddMetric("misses", static_cast<double>(r.misses));
+        record.AddMetric("n_ds", static_cast<double>(r.dirty_faults));
+        record.AddMetric("n_ef", static_cast<double>(r.excess));
+        record.AddMetric("n_dm",
+                         static_cast<double>(r.dirty_bit_misses));
+        session.Record(std::move(record));
     }
     t.Print(stdout);
     std::remove(path.c_str());
-    return 0;
+    return session.Finish();
 }

@@ -2,36 +2,49 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace spur {
 
 namespace {
+// Serializes all log output: worker threads in the parallel runner may
+// Warn()/Inform() concurrently, and interleaved fprintf bytes would
+// garble the stream.  g_verbose is read under the same lock.
+std::mutex g_log_mutex;
 bool g_verbose = true;
 }  // namespace
 
 void
 Fatal(const std::string& message)
 {
-    std::fprintf(stderr, "fatal: %s\n", message.c_str());
+    {
+        std::lock_guard<std::mutex> lock(g_log_mutex);
+        std::fprintf(stderr, "fatal: %s\n", message.c_str());
+    }
     std::exit(1);
 }
 
 void
 Panic(const std::string& message)
 {
-    std::fprintf(stderr, "panic: %s\n", message.c_str());
+    {
+        std::lock_guard<std::mutex> lock(g_log_mutex);
+        std::fprintf(stderr, "panic: %s\n", message.c_str());
+    }
     std::abort();
 }
 
 void
 Warn(const std::string& message)
 {
+    std::lock_guard<std::mutex> lock(g_log_mutex);
     std::fprintf(stderr, "warn: %s\n", message.c_str());
 }
 
 void
 Inform(const std::string& message)
 {
+    std::lock_guard<std::mutex> lock(g_log_mutex);
     if (g_verbose) {
         std::fprintf(stderr, "info: %s\n", message.c_str());
     }
@@ -40,6 +53,7 @@ Inform(const std::string& message)
 void
 SetVerbose(bool verbose)
 {
+    std::lock_guard<std::mutex> lock(g_log_mutex);
     g_verbose = verbose;
 }
 

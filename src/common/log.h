@@ -5,6 +5,9 @@
  * - Fatal():  the *user's* fault (bad configuration); exits with code 1.
  * - Panic():  the *simulator's* fault (broken invariant); aborts.
  * - Warn()/Inform(): non-fatal status messages on stderr.
+ *
+ * All entry points are thread-safe: output is serialized by an internal
+ * mutex so messages from parallel runner workers never interleave.
  */
 #ifndef SPUR_COMMON_LOG_H_
 #define SPUR_COMMON_LOG_H_

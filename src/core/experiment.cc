@@ -1,9 +1,7 @@
 #include "src/core/experiment.h"
 
-#include <algorithm>
-
 #include "src/common/log.h"
-#include "src/common/random.h"
+#include "src/runner/runner.h"
 #include "src/workload/workloads.h"
 
 namespace spur::core {
@@ -93,39 +91,18 @@ RunMatrix(const std::vector<RunConfig>& configs, uint32_t reps,
           const std::function<void(const RunConfig&, const RunResult&)>&
               progress)
 {
-    // Build the full (config, rep) list, then shuffle: the randomized
-    // experiment design of Section 4.2.
-    struct Cell {
-        size_t config_index;
-        uint32_t rep;
-    };
-    std::vector<Cell> cells;
-    cells.reserve(configs.size() * reps);
-    for (size_t i = 0; i < configs.size(); ++i) {
-        for (uint32_t r = 0; r < reps; ++r) {
-            cells.push_back(Cell{i, r});
-        }
+    // The matrix itself lives in src/runner/ now: cells run on the
+    // process-wide default job count (the --jobs flag), with the same
+    // shuffle and per-repetition seed derivation as the original
+    // sequential loop, so results are bit-identical at any job count.
+    runner::CellCallback callback;
+    if (progress) {
+        callback = [&progress](const runner::Cell& cell) {
+            progress(cell.config, cell.result);
+        };
     }
-    Rng rng(shuffle_seed);
-    for (size_t i = cells.size(); i > 1; --i) {
-        std::swap(cells[i - 1], cells[rng.NextBelow(i)]);
-    }
-
-    std::vector<std::vector<RunResult>> results(configs.size());
-    for (auto& group : results) {
-        group.resize(reps);
-    }
-    for (const Cell& cell : cells) {
-        RunConfig run = configs[cell.config_index];
-        // Distinct, reproducible seed per repetition.
-        run.seed = run.seed * 1000003 + cell.rep * 7919 + 17;
-        RunResult result = RunOnce(run);
-        if (progress) {
-            progress(run, result);
-        }
-        results[cell.config_index][cell.rep] = std::move(result);
-    }
-    return results;
+    return runner::RunMatrix(configs, reps, shuffle_seed, /*jobs=*/0,
+                             callback);
 }
 
 }  // namespace spur::core

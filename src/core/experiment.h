@@ -99,7 +99,13 @@ RunResult RunOnce(const RunConfig& config);
  * Results are returned grouped per input config, in input order;
  * result[i][r] is repetition r of configs[i].
  *
- * @param progress  optional callback fired after each completed run.
+ * Cells execute on the process-wide default job count (the --jobs flag;
+ * see src/runner/).  Per-cell seeding makes the results bit-identical
+ * regardless of the job count; use runner::RunMatrix directly to pick a
+ * job count explicitly.
+ *
+ * @param progress  optional callback fired after each completed run, on
+ *                  the calling thread.
  */
 std::vector<std::vector<RunResult>> RunMatrix(
     const std::vector<RunConfig>& configs, uint32_t reps,

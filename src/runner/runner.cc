@@ -1,0 +1,213 @@
+#include "src/runner/runner.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <utility>
+
+#include "src/common/random.h"
+#include "src/runner/thread_pool.h"
+
+namespace spur::runner {
+
+namespace {
+
+/** Resolves a user-facing job count (0 = default) against the work size. */
+unsigned
+EffectiveJobs(unsigned jobs, size_t count)
+{
+    if (jobs == 0) {
+        jobs = DefaultJobs();
+    }
+    return static_cast<unsigned>(
+        std::min<size_t>(jobs, std::max<size_t>(count, 1)));
+}
+
+/** One cell's identity in the shuffled execution order. */
+struct CellId {
+    size_t config_index;
+    uint32_t rep;
+};
+
+/**
+ * The shuffled (config, rep) list of the paper's Section 4.2 randomized
+ * experiment design.  The shuffle depends only on @p shuffle_seed and
+ * the matrix shape, never on the job count.
+ */
+std::vector<CellId>
+ShuffledCells(size_t num_configs, uint32_t reps, uint64_t shuffle_seed)
+{
+    std::vector<CellId> cells;
+    cells.reserve(num_configs * reps);
+    for (size_t i = 0; i < num_configs; ++i) {
+        for (uint32_t r = 0; r < reps; ++r) {
+            cells.push_back(CellId{i, r});
+        }
+    }
+    Rng rng(shuffle_seed);
+    for (size_t i = cells.size(); i > 1; --i) {
+        std::swap(cells[i - 1], cells[rng.NextBelow(i)]);
+    }
+    return cells;
+}
+
+}  // namespace
+
+uint64_t
+CellSeed(uint64_t config_seed, uint32_t rep)
+{
+    // Distinct, reproducible seed per repetition; must never change, or
+    // every recorded result in the perf trajectory shifts.
+    return config_seed * 1000003 + rep * 7919 + 17;
+}
+
+void
+ParallelFor(size_t count, unsigned jobs,
+            const std::function<void(size_t)>& fn)
+{
+    if (count == 0) {
+        return;
+    }
+    jobs = EffectiveJobs(jobs, count);
+    std::vector<std::exception_ptr> errors(count);
+    if (jobs <= 1) {
+        for (size_t i = 0; i < count; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    } else {
+        std::mutex mutex;
+        std::condition_variable finished_cv;
+        size_t finished = 0;
+        ThreadPool pool(jobs);
+        for (size_t i = 0; i < count; ++i) {
+            pool.Submit([&, i] {
+                try {
+                    fn(i);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+                {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    ++finished;
+                }
+                finished_cv.notify_one();
+            });
+        }
+        std::unique_lock<std::mutex> lock(mutex);
+        finished_cv.wait(lock, [&] { return finished == count; });
+    }
+    for (const std::exception_ptr& error : errors) {
+        if (error) {
+            std::rethrow_exception(error);
+        }
+    }
+}
+
+std::vector<std::vector<core::RunResult>>
+RunMatrix(const std::vector<core::RunConfig>& configs, uint32_t reps,
+          uint64_t shuffle_seed, unsigned jobs, const CellCallback& progress)
+{
+    const std::vector<CellId> cells =
+        ShuffledCells(configs.size(), reps, shuffle_seed);
+    std::vector<std::vector<core::RunResult>> results(configs.size());
+    for (auto& group : results) {
+        group.resize(reps);
+    }
+
+    jobs = EffectiveJobs(jobs, cells.size());
+    if (jobs <= 1) {
+        for (const CellId& id : cells) {
+            Cell cell;
+            cell.config_index = id.config_index;
+            cell.rep = id.rep;
+            cell.config = configs[id.config_index];
+            cell.config.seed = CellSeed(cell.config.seed, id.rep);
+            cell.result = core::RunOnce(cell.config);
+            if (progress) {
+                progress(cell);
+            }
+            results[id.config_index][id.rep] = std::move(cell.result);
+        }
+        return results;
+    }
+
+    // Workers execute cells and hand them back over a completion queue;
+    // the calling thread drains it, firing progress callbacks here so
+    // callers never need their own locking.
+    struct Done {
+        Cell cell;
+        std::exception_ptr error;
+    };
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::deque<Done> done;
+
+    ThreadPool pool(jobs);
+    for (const CellId& id : cells) {
+        pool.Submit([&, id] {
+            Done d;
+            d.cell.config_index = id.config_index;
+            d.cell.rep = id.rep;
+            d.cell.config = configs[id.config_index];
+            d.cell.config.seed = CellSeed(d.cell.config.seed, id.rep);
+            try {
+                d.cell.result = core::RunOnce(d.cell.config);
+            } catch (...) {
+                d.error = std::current_exception();
+            }
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                done.push_back(std::move(d));
+            }
+            done_cv.notify_one();
+        });
+    }
+
+    // Deterministic error choice: the failed cell with the lowest
+    // (config_index, rep), independent of completion order.
+    std::exception_ptr first_error;
+    std::pair<size_t, uint32_t> first_error_cell{~size_t{0}, 0};
+    for (size_t drained = 0; drained < cells.size(); ++drained) {
+        Done d;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            done_cv.wait(lock, [&] { return !done.empty(); });
+            d = std::move(done.front());
+            done.pop_front();
+        }
+        if (d.error) {
+            const std::pair<size_t, uint32_t> at{d.cell.config_index,
+                                                 d.cell.rep};
+            if (!first_error || at < first_error_cell) {
+                first_error = d.error;
+                first_error_cell = at;
+            }
+            continue;
+        }
+        if (progress) {
+            progress(d.cell);
+        }
+        results[d.cell.config_index][d.cell.rep] = std::move(d.cell.result);
+    }
+    if (first_error) {
+        std::rethrow_exception(first_error);
+    }
+    return results;
+}
+
+std::vector<core::RunResult>
+RunAll(const std::vector<core::RunConfig>& configs, unsigned jobs)
+{
+    std::vector<core::RunResult> results(configs.size());
+    ParallelFor(configs.size(), jobs,
+                [&](size_t i) { results[i] = core::RunOnce(configs[i]); });
+    return results;
+}
+
+}  // namespace spur::runner

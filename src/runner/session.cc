@@ -1,0 +1,97 @@
+#include "src/runner/session.h"
+
+#include <utility>
+
+#include "src/common/log.h"
+#include "src/runner/thread_pool.h"
+
+namespace spur::runner {
+
+BenchSession::BenchSession(std::string bench_name, const Args& args)
+  : bench_(std::move(bench_name)),
+    json_path_(args.GetString("json"))
+{
+    const int64_t requested = args.GetInt("jobs", 0);
+    jobs_ = (requested > 0) ? static_cast<unsigned>(requested)
+                            : HardwareJobs();
+    // Library-level callers (core::RunMatrix) inherit the flag too.
+    SetDefaultJobs(jobs_);
+}
+
+std::vector<std::vector<core::RunResult>>
+BenchSession::RunMatrix(const std::vector<core::RunConfig>& configs,
+                        uint32_t reps, uint64_t shuffle_seed)
+{
+    auto results = runner::RunMatrix(configs, reps, shuffle_seed, jobs_);
+    // Record in (config, rep) order — not completion order — so the JSON
+    // document is byte-stable across job counts.
+    for (size_t i = 0; i < configs.size(); ++i) {
+        for (uint32_t r = 0; r < reps; ++r) {
+            core::RunConfig run = configs[i];
+            run.seed = CellSeed(run.seed, r);
+            Record(run, r, results[i][r]);
+        }
+    }
+    return results;
+}
+
+std::vector<core::RunResult>
+BenchSession::RunAll(const std::vector<core::RunConfig>& configs)
+{
+    auto results = runner::RunAll(configs, jobs_);
+    for (size_t i = 0; i < configs.size(); ++i) {
+        Record(configs[i], 0, results[i]);
+    }
+    return results;
+}
+
+void
+BenchSession::Record(const core::RunConfig& config, uint32_t rep,
+                     const core::RunResult& result)
+{
+    stats::RunRecord record;
+    record.bench = bench_;
+    record.workload = core::ToString(config.workload);
+    record.dirty_policy = ToString(config.dirty);
+    record.ref_policy = ToString(config.ref);
+    record.memory_mb = config.memory_mb;
+    record.rep = rep;
+    record.seed = config.seed;
+    record.refs_issued = result.refs_issued;
+    record.page_ins = result.page_ins;
+    record.page_outs = result.page_outs;
+    record.elapsed_seconds = result.elapsed_seconds;
+    record.AddMetric("n_ds", static_cast<double>(result.frequencies.n_ds));
+    record.AddMetric("n_zfod",
+                     static_cast<double>(result.frequencies.n_zfod));
+    record.AddMetric("n_ef", static_cast<double>(result.frequencies.n_ef));
+    record.AddMetric("n_w_hit",
+                     static_cast<double>(result.frequencies.n_w_hit));
+    record.AddMetric("n_w_miss",
+                     static_cast<double>(result.frequencies.n_w_miss));
+    records_.push_back(std::move(record));
+}
+
+void
+BenchSession::Record(stats::RunRecord record)
+{
+    if (record.bench.empty()) {
+        record.bench = bench_;
+    }
+    records_.push_back(std::move(record));
+}
+
+int
+BenchSession::Finish()
+{
+    if (json_path_.empty()) {
+        return 0;
+    }
+    if (!stats::JsonWriter::WriteFile(json_path_, bench_, records_)) {
+        Warn("BenchSession: failed to write " + json_path_);
+        return 1;
+    }
+    return 0;
+}
+
+}  // namespace spur::runner

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared harness for the bench and example binaries' standard flags,
+ * replacing the per-binary hand-rolled loops:
+ *
+ *   --jobs=N   worker threads for experiment runs (default: hardware
+ *              concurrency); installed process-wide so core::RunMatrix
+ *              callers inherit it.
+ *   --json=F   write every run this session observed to F as JSON run
+ *              records ("-" = stdout) for the perf trajectory.
+ *
+ * Usage:
+ *   const Args args(argc, argv);
+ *   runner::BenchSession session("table_4_1_refbits", args);
+ *   const auto results = session.RunMatrix(configs, reps);
+ *   ... print tables ...
+ *   return session.Finish();
+ */
+#ifndef SPUR_RUNNER_SESSION_H_
+#define SPUR_RUNNER_SESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/args.h"
+#include "src/core/experiment.h"
+#include "src/runner/runner.h"
+#include "src/stats/run_record.h"
+
+namespace spur::runner {
+
+/** Per-binary session: parses the standard flags, collects run records. */
+class BenchSession
+{
+  public:
+    /**
+     * Reads --jobs/--json from @p args and installs the job count as the
+     * process-wide default (SetDefaultJobs).
+     */
+    BenchSession(std::string bench_name, const Args& args);
+
+    /** The effective worker count for this session (never 0). */
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Parallel experiment matrix (see runner::RunMatrix) on this
+     * session's job count; every cell is recorded for --json in
+     * deterministic (config, rep) order.
+     */
+    std::vector<std::vector<core::RunResult>> RunMatrix(
+        const std::vector<core::RunConfig>& configs, uint32_t reps,
+        uint64_t shuffle_seed = 42);
+
+    /**
+     * Runs each config exactly once (seed verbatim) in parallel and
+     * returns results in input order; every run is recorded.
+     */
+    std::vector<core::RunResult> RunAll(
+        const std::vector<core::RunConfig>& configs);
+
+    /** Records one standard run observation. */
+    void Record(const core::RunConfig& config, uint32_t rep,
+                const core::RunResult& result);
+
+    /** Records a bespoke observation (benches with custom run loops). */
+    void Record(stats::RunRecord record);
+
+    /** Collected records, in recording order. */
+    const std::vector<stats::RunRecord>& records() const
+    {
+        return records_;
+    }
+
+    /**
+     * Writes the --json file if one was requested.  Returns the
+     * process exit code (non-zero if the write failed).
+     */
+    int Finish();
+
+  private:
+    std::string bench_;
+    std::string json_path_;
+    unsigned jobs_;
+    std::vector<stats::RunRecord> records_;
+};
+
+}  // namespace spur::runner
+
+#endif  // SPUR_RUNNER_SESSION_H_

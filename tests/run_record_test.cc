@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the machine-readable run records (src/stats/run_record.h):
+ * JSON escaping, document shape, file output, and the BenchSession
+ * harness that collects records behind the --jobs/--json flags.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/args.h"
+#include "src/runner/session.h"
+#include "src/runner/thread_pool.h"
+#include "src/stats/run_record.h"
+
+namespace spur::stats {
+namespace {
+
+TEST(JsonWriterTest, EscapesSpecialCharacters)
+{
+    EXPECT_EQ(JsonWriter::Escape("plain"), "plain");
+    EXPECT_EQ(JsonWriter::Escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(JsonWriter::Escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(JsonWriter::Escape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(JsonWriter::Escape(std::string("a\x01z", 3)), "a\\u0001z");
+}
+
+TEST(JsonWriterTest, RecordRendersFlatObject)
+{
+    RunRecord record;
+    record.bench = "bench_x";
+    record.workload = "SLC";
+    record.dirty_policy = "SPUR";
+    record.ref_policy = "MISS";
+    record.memory_mb = 8;
+    record.rep = 2;
+    record.seed = 1000020;
+    record.refs_issued = 300000;
+    record.page_ins = 1234;
+    record.page_outs = 567;
+    record.elapsed_seconds = 12.5;
+    record.AddMetric("n_ds", 42.0);
+    const std::string json = JsonWriter::ToJson(record);
+    EXPECT_NE(json.find("\"bench\": \"bench_x\""), std::string::npos);
+    EXPECT_NE(json.find("\"workload\": \"SLC\""), std::string::npos);
+    EXPECT_NE(json.find("\"memory_mb\": 8"), std::string::npos);
+    EXPECT_NE(json.find("\"rep\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"seed\": 1000020"), std::string::npos);
+    EXPECT_NE(json.find("\"page_ins\": 1234"), std::string::npos);
+    EXPECT_NE(json.find("\"elapsed_seconds\": 12.5"), std::string::npos);
+    EXPECT_NE(json.find("\"n_ds\": 42"), std::string::npos);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull)
+{
+    RunRecord record;
+    record.elapsed_seconds = std::numeric_limits<double>::infinity();
+    record.AddMetric("bad", std::numeric_limits<double>::quiet_NaN());
+    const std::string json = JsonWriter::ToJson(record);
+    EXPECT_NE(json.find("\"elapsed_seconds\": null"), std::string::npos);
+    EXPECT_NE(json.find("\"bad\": null"), std::string::npos);
+    EXPECT_EQ(json.find("inf"), std::string::npos);
+    EXPECT_EQ(json.find("nan"), std::string::npos);
+}
+
+TEST(JsonWriterTest, DocumentWrapsRecordsArray)
+{
+    const std::string empty = JsonWriter::ToJson("b", {});
+    EXPECT_EQ(empty, "{\"bench\": \"b\", \"records\": [\n]}\n");
+
+    std::vector<RunRecord> records(2);
+    records[0].bench = "b";
+    records[1].bench = "b";
+    const std::string two = JsonWriter::ToJson("b", records);
+    // Two objects, comma-separated, inside the records array.
+    size_t count = 0;
+    for (size_t pos = 0;
+         (pos = two.find("\"bench\": \"b\"", pos)) != std::string::npos;
+         ++pos) {
+        ++count;
+    }
+    EXPECT_EQ(count, 3u);  // Document header + one per record.
+}
+
+TEST(JsonWriterTest, WritesFile)
+{
+    const std::string path = ::testing::TempDir() + "run_record_test.json";
+    RunRecord record;
+    record.bench = "file_test";
+    ASSERT_TRUE(JsonWriter::WriteFile(path, "file_test", {record}));
+    FILE* file = std::fopen(path.c_str(), "r");
+    ASSERT_NE(file, nullptr);
+    char buffer[512] = {};
+    const size_t read = std::fread(buffer, 1, sizeof(buffer) - 1, file);
+    std::fclose(file);
+    std::remove(path.c_str());
+    const std::string contents(buffer, read);
+    EXPECT_NE(contents.find("\"bench\": \"file_test\""),
+              std::string::npos);
+}
+
+TEST(JsonWriterTest, WriteFileFailsOnBadPath)
+{
+    EXPECT_FALSE(
+        JsonWriter::WriteFile("/nonexistent-dir/x.json", "b", {}));
+}
+
+}  // namespace
+}  // namespace spur::stats
+
+namespace spur::runner {
+namespace {
+
+Args
+MakeArgs(std::vector<std::string> words)
+{
+    static std::vector<std::string> storage;
+    storage = std::move(words);
+    static std::vector<char*> argv;
+    argv.clear();
+    for (std::string& word : storage) {
+        argv.push_back(word.data());
+    }
+    return Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(BenchSessionTest, ParsesJobsFlag)
+{
+    const Args args = MakeArgs({"bench", "--jobs=3"});
+    BenchSession session("t", args);
+    EXPECT_EQ(session.jobs(), 3u);
+    EXPECT_EQ(DefaultJobs(), 3u);
+    SetDefaultJobs(0);
+}
+
+TEST(BenchSessionTest, DefaultsToHardwareJobs)
+{
+    const Args args = MakeArgs({"bench"});
+    BenchSession session("t", args);
+    EXPECT_EQ(session.jobs(), HardwareJobs());
+    SetDefaultJobs(0);
+}
+
+TEST(BenchSessionTest, MatrixRunsAreRecordedInConfigOrder)
+{
+    const Args args = MakeArgs({"bench", "--jobs=2"});
+    BenchSession session("t", args);
+    core::RunConfig config;
+    config.workload = core::WorkloadId::kSlc;
+    config.refs = 100'000;
+    std::vector<core::RunConfig> configs(2, config);
+    configs[1].memory_mb = 5;
+    session.RunMatrix(configs, /*reps=*/2, /*shuffle_seed=*/7);
+    ASSERT_EQ(session.records().size(), 4u);
+    EXPECT_EQ(session.records()[0].rep, 0u);
+    EXPECT_EQ(session.records()[1].rep, 1u);
+    EXPECT_EQ(session.records()[2].memory_mb, 5u);
+    EXPECT_EQ(session.records()[0].seed, CellSeed(config.seed, 0));
+    EXPECT_EQ(session.records()[1].seed, CellSeed(config.seed, 1));
+    EXPECT_EQ(session.records()[0].bench, "t");
+    EXPECT_GT(session.records()[0].refs_issued, 0u);
+    SetDefaultJobs(0);
+}
+
+TEST(BenchSessionTest, FinishWritesJson)
+{
+    const std::string path = ::testing::TempDir() + "session_test.json";
+    const Args args = MakeArgs({"bench", "--json=" + path, "--jobs=1"});
+    BenchSession session("session_test", args);
+    stats::RunRecord record;
+    record.AddMetric("custom", 1.0);
+    session.Record(std::move(record));
+    EXPECT_EQ(session.Finish(), 0);
+    FILE* file = std::fopen(path.c_str(), "r");
+    ASSERT_NE(file, nullptr);
+    std::fclose(file);
+    std::remove(path.c_str());
+    // The bench name was stamped onto the anonymous record.
+    EXPECT_EQ(session.records()[0].bench, "session_test");
+    SetDefaultJobs(0);
+}
+
+}  // namespace
+}  // namespace spur::runner
