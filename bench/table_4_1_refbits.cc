@@ -10,6 +10,7 @@
  *        --csv, --seed=S, --jobs=N, --json=FILE
  */
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "src/common/args.h"
@@ -17,6 +18,23 @@
 #include "src/core/experiment.h"
 #include "src/runner/session.h"
 #include "src/stats/summary.h"
+
+namespace {
+
+/** "(NN%)" cell contents for @p value relative to @p base. */
+std::string
+PctOf(double value, double base)
+{
+    // Built up with += (not a single operator+ chain): GCC 12's
+    // -Wrestrict misfires on `const char* + string&&` inlined through
+    // char_traits (GCC PR 105329).
+    std::string out = "(";
+    out += spur::Table::Num(100.0 * value / (base > 0 ? base : 1), 0);
+    out += "%)";
+    return out;
+}
+
+}  // namespace
 
 int
 main(int argc, char** argv)
@@ -73,15 +91,9 @@ main(int argc, char** argv)
                       p == 0 ? std::to_string(configs[i].memory_mb) : "",
                       policy_name,
                       Table::Num(static_cast<uint64_t>(page_ins[p].Mean())),
-                      "(" + Table::Num(100.0 * page_ins[p].Mean() /
-                                           (miss_pi > 0 ? miss_pi : 1),
-                                       0) +
-                          "%)",
+                      PctOf(page_ins[p].Mean(), miss_pi),
                       Table::Num(elapsed[p].Mean(), 0),
-                      "(" + Table::Num(100.0 * elapsed[p].Mean() /
-                                           (miss_el > 0 ? miss_el : 1),
-                                       0) +
-                          "%)"});
+                      PctOf(elapsed[p].Mean(), miss_el)});
         }
         t.AddSeparator();
     }

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Compile-time switch for the invariant-audit hooks.
+ *
+ * The audit passes themselves (checker.h) always compile and are always
+ * callable — tests exercise them in every build.  What this flag controls
+ * is whether the *hot-path hooks* sprinkled through core::SpurSystem,
+ * core::MpSpurSystem, core::RunOnce and runner::RunMatrix run: call sites
+ * are written `if constexpr (check::kAuditEnabled)` so a release build
+ * (`-DSPUR_AUDIT=OFF`, the default) folds them away to literally nothing.
+ *
+ * Enable with `cmake -DSPUR_AUDIT=ON` or the `audit` CMake preset.
+ */
+#ifndef SPUR_CHECK_AUDIT_H_
+#define SPUR_CHECK_AUDIT_H_
+
+#include <cstdint>
+
+namespace spur::check {
+
+#if defined(SPUR_AUDIT) && SPUR_AUDIT
+inline constexpr bool kAuditEnabled = true;
+#else
+inline constexpr bool kAuditEnabled = false;
+#endif
+
+/**
+ * Accesses between periodic in-run audits.  Full-state audits walk every
+ * cache line and PTE, so running one per access would dominate runtime
+ * even in audit builds; one per interval still catches corruption within
+ * a bounded window while keeping audit runs usable.
+ */
+inline constexpr uint64_t kAuditAccessInterval = 1u << 16;
+
+}  // namespace spur::check
+
+#endif  // SPUR_CHECK_AUDIT_H_

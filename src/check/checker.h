@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The InvariantChecker: a registry of audit passes that cross-validate
+ * simulator state against the paper's state-machine invariants.
+ *
+ * A *pass* is a named function over an AuditContext — a read-only view of
+ * one machine's caches, page table, frame table, backing store and policy
+ * selection.  Passes record what they find in an AuditReport; they never
+ * mutate state and never terminate the process themselves (the caller
+ * decides, via AuditReport::RaiseIfFailed, whether a violation is fatal).
+ *
+ * The default checker (InvariantChecker::Default()) carries every built-in
+ * pass from invariants.h.  Tests register bespoke passes on private
+ * checker instances; the audit hooks in core/ and runner/ use the default.
+ */
+#ifndef SPUR_CHECK_CHECKER_H_
+#define SPUR_CHECK_CHECKER_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/cache/cache.h"
+#include "src/check/report.h"
+#include "src/common/types.h"
+#include "src/mem/backing_store.h"
+#include "src/mem/frame_table.h"
+#include "src/policy/dirty_policy.h"
+#include "src/policy/ref_policy.h"
+#include "src/pt/page_table.h"
+#include "src/sim/config.h"
+#include "src/sim/events.h"
+#include "src/vm/region.h"
+
+namespace spur::check {
+
+/**
+ * Read-only view of one machine's auditable state.  Uniprocessors put
+ * their single cache in `caches`; the multiprocessor lists all of them
+ * (which additionally arms the cross-cache coherency pass).  Optional
+ * members may be null; passes needing them skip silently.
+ */
+struct AuditContext {
+    const sim::MachineConfig* config = nullptr;
+    std::vector<const cache::VirtualCache*> caches;
+    const pt::PageTable* table = nullptr;
+    const mem::FrameTable* frames = nullptr;
+    const mem::BackingStore* store = nullptr;   ///< Optional.
+    const vm::RegionMap* regions = nullptr;     ///< Optional.
+    const sim::EventCounts* events = nullptr;   ///< Optional.
+    policy::DirtyPolicyKind dirty = policy::DirtyPolicyKind::kSpur;
+    policy::RefPolicyKind ref = policy::RefPolicyKind::kMiss;
+
+    /** "DIRTY/REF" label used in violation records. */
+    std::string PolicyLabel() const;
+};
+
+/** A registry of named audit passes, run together over one context. */
+class InvariantChecker
+{
+  public:
+    using Pass = std::function<void(const AuditContext&, AuditReport&)>;
+
+    InvariantChecker() = default;
+
+    /** Registers @p pass under @p name (names must be unique). */
+    void Register(std::string name, Pass pass);
+
+    /** Number of registered passes. */
+    size_t NumPasses() const { return passes_.size(); }
+
+    /** Registered pass names, in registration order. */
+    std::vector<std::string> PassNames() const;
+
+    /** Runs every registered pass over @p context. */
+    AuditReport Run(const AuditContext& context) const;
+
+    /** Runs only the pass named @p name (fatal when unknown). */
+    AuditReport RunOne(const std::string& name,
+                       const AuditContext& context) const;
+
+    /** A fresh checker holding every built-in pass (invariants.h). */
+    static InvariantChecker WithBuiltinPasses();
+
+    /** The shared default checker used by the audit hooks. */
+    static const InvariantChecker& Default();
+
+  private:
+    std::vector<std::pair<std::string, Pass>> passes_;
+};
+
+}  // namespace spur::check
+
+#endif  // SPUR_CHECK_CHECKER_H_

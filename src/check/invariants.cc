@@ -1,0 +1,363 @@
+#include "src/check/invariants.h"
+
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace spur::check {
+
+namespace {
+
+/** Formats a hex address for violation details. */
+std::string
+Hex(uint64_t value)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "0x%llx",
+                  static_cast<unsigned long long>(value));
+    return buffer;
+}
+
+/** Shared per-line iteration: calls @p fn for every valid line whose
+ *  block lies outside the PTE array, with the owning vpn resolved. */
+template <typename Fn>
+void
+ForEachUserLine(const AuditContext& context, Fn&& fn)
+{
+    const unsigned page_shift = context.config->PageShift();
+    for (size_t c = 0; c < context.caches.size(); ++c) {
+        const cache::VirtualCache& vcache = *context.caches[c];
+        for (uint64_t index = 0; index < vcache.NumLines(); ++index) {
+            const cache::Line& line = vcache.LineAt(index);
+            if (!line.valid()) {
+                continue;
+            }
+            const GlobalAddr addr = vcache.BlockAddrOf(index, line);
+            if (pt::PageTable::IsPteAddr(addr)) {
+                continue;
+            }
+            fn(static_cast<unsigned>(c), addr, addr >> page_shift, line);
+        }
+    }
+}
+
+}  // namespace
+
+bool
+UsesProtectionEmulation(policy::DirtyPolicyKind kind)
+{
+    return kind == policy::DirtyPolicyKind::kFault ||
+           kind == policy::DirtyPolicyKind::kFlush ||
+           kind == policy::DirtyPolicyKind::kSpurProt;
+}
+
+bool
+PolicyPageDirty(policy::DirtyPolicyKind kind, const pt::Pte& pte)
+{
+    return UsesProtectionEmulation(kind) ? pte.soft_dirty() : pte.dirty();
+}
+
+void
+CheckCacheResidency(const AuditContext& context, AuditReport& report)
+{
+    const std::string policy = context.PolicyLabel();
+    ForEachUserLine(context, [&](unsigned cpu, GlobalAddr addr,
+                                 GlobalVpn vpn, const cache::Line& line) {
+        (void)line;
+        const pt::Pte* pte = context.table->Find(vpn);
+        if (pte == nullptr || !pte->valid()) {
+            report.Add(Severity::kError, policy, vpn,
+                       "cache " + std::to_string(cpu) + " holds block " +
+                           Hex(addr) +
+                           " of a non-resident page (reclaim missed a "
+                           "flush)");
+        }
+    });
+}
+
+void
+CheckCacheDirtyCoherence(const AuditContext& context, AuditReport& report)
+{
+    const std::string policy = context.PolicyLabel();
+    ForEachUserLine(context, [&](unsigned cpu, GlobalAddr addr,
+                                 GlobalVpn vpn, const cache::Line& line) {
+        const pt::Pte* pte = context.table->Find(vpn);
+        if (pte == nullptr || !pte->valid()) {
+            return;  // cache-resident reports this one.
+        }
+        // The cached P bit is a copy of the PTE D bit taken at fill or
+        // refresh time; it may lag (stale) but must never run ahead: a
+        // set P with a clear D means a write went unrecorded, which is
+        // exactly the data loss the paper's machinery exists to prevent.
+        if (line.page_dirty && !pte->dirty()) {
+            report.Add(Severity::kError, policy, vpn,
+                       "cache " + std::to_string(cpu) + " block " +
+                           Hex(addr) +
+                           " caches page-dirty=1 but the PTE D bit is "
+                           "clear");
+        }
+        // A modified block (B set) means the page took a write while this
+        // block was resident, so the policy's dirty record must exist by
+        // the time the write completed (PAPER.md Section 3: the fault or
+        // check happens *before* the store retires).
+        if (line.block_dirty && !PolicyPageDirty(context.dirty, *pte)) {
+            report.Add(Severity::kError, policy, vpn,
+                       "cache " + std::to_string(cpu) + " block " +
+                           Hex(addr) +
+                           " is block-dirty but the page is clean under " +
+                           policy::ToString(context.dirty));
+        }
+    });
+}
+
+void
+CheckProtectionEmulation(const AuditContext& context, AuditReport& report)
+{
+    if (!UsesProtectionEmulation(context.dirty)) {
+        return;  // Hardware dirty bits: nothing emulated, nothing to audit.
+    }
+    const std::string policy = context.PolicyLabel();
+
+    // PTE side: a page that is writable by intent but still clean must be
+    // mapped read-only — a read-write mapping on a clean page means the
+    // first write would NOT fault and the modification would be lost
+    // (PAPER.md Section 3, the FAULT/FLUSH emulation contract).
+    context.table->ForEachPte([&](GlobalVpn vpn, const pt::Pte& pte) {
+        if (!pte.valid() || !pte.writable_intent() || pte.soft_dirty()) {
+            return;
+        }
+        if (pte.protection() == Protection::kReadWrite) {
+            report.Add(Severity::kError, policy, vpn,
+                       "clean page is mapped read-write; the dirty "
+                       "emulation would miss its first write");
+        }
+    });
+
+    // Cache side: a cached read-write PR copy is only legal once the PTE
+    // itself was upgraded (the upgrade happens inside the fault handler,
+    // before any line's PR is refreshed).
+    ForEachUserLine(context, [&](unsigned cpu, GlobalAddr addr,
+                                 GlobalVpn vpn, const cache::Line& line) {
+        if (line.prot != Protection::kReadWrite) {
+            return;
+        }
+        const pt::Pte* pte = context.table->Find(vpn);
+        if (pte == nullptr || !pte->valid()) {
+            return;  // cache-resident reports this one.
+        }
+        if (pte->protection() != Protection::kReadWrite) {
+            report.Add(Severity::kError, policy, vpn,
+                       "cache " + std::to_string(cpu) + " block " +
+                           Hex(addr) +
+                           " caches read-write protection ahead of the "
+                           "PTE");
+        }
+    });
+}
+
+void
+CheckFrameResidency(const AuditContext& context, AuditReport& report)
+{
+    const std::string policy = context.PolicyLabel();
+    const mem::FrameTable& frames = *context.frames;
+
+    // Forward: every bound frame's page must have a valid PTE pointing
+    // back at exactly that frame, and no two frames may claim one page.
+    std::unordered_map<GlobalVpn, FrameNum> frame_of;
+    for (FrameNum f = frames.FirstPageable(); f < frames.NumTotal(); ++f) {
+        const GlobalVpn vpn = frames.VpnOf(f);
+        if (vpn == mem::kNoVpn) {
+            continue;
+        }
+        const auto [it, inserted] = frame_of.emplace(vpn, f);
+        if (!inserted) {
+            report.Add(Severity::kError, policy, vpn,
+                       "page bound to two frames (" +
+                           std::to_string(it->second) + " and " +
+                           std::to_string(f) + ")");
+        }
+        const pt::Pte* pte = context.table->Find(vpn);
+        if (pte == nullptr || !pte->valid()) {
+            report.Add(Severity::kError, policy, vpn,
+                       "frame " + std::to_string(f) +
+                           " is bound but the page has no valid PTE");
+        } else if (pte->pfn() != f) {
+            report.Add(Severity::kError, policy, vpn,
+                       "frame " + std::to_string(f) +
+                           " is bound but the PTE points at frame " +
+                           std::to_string(pte->pfn()));
+        }
+    }
+
+    // Reverse: every valid PTE's frame must reverse-map to its page and
+    // lie in the pageable range.
+    context.table->ForEachPte([&](GlobalVpn vpn, const pt::Pte& pte) {
+        if (!pte.valid()) {
+            return;
+        }
+        const FrameNum f = pte.pfn();
+        if (f < frames.FirstPageable() || f >= frames.NumTotal()) {
+            report.Add(Severity::kError, policy, vpn,
+                       "valid PTE names out-of-range frame " +
+                           std::to_string(f));
+            return;
+        }
+        if (frames.VpnOf(f) != vpn) {
+            report.Add(Severity::kError, policy, vpn,
+                       "valid PTE's frame " + std::to_string(f) +
+                           " reverse-maps to a different page");
+        }
+    });
+}
+
+void
+CheckFrameFreeList(const AuditContext& context, AuditReport& report)
+{
+    const std::string policy = context.PolicyLabel();
+    const mem::FrameTable& frames = *context.frames;
+
+    std::vector<bool> on_free_list(frames.NumTotal(), false);
+    for (const FrameNum f : frames.FreeList()) {
+        if (f < frames.FirstPageable() || f >= frames.NumTotal()) {
+            report.Add(Severity::kError, policy, kNoPage,
+                       "free list holds out-of-range frame " +
+                           std::to_string(f));
+            continue;
+        }
+        if (on_free_list[f]) {
+            report.Add(Severity::kError, policy, kNoPage,
+                       "frame " + std::to_string(f) +
+                           " appears on the free list twice");
+        }
+        on_free_list[f] = true;
+        if (frames.IsAllocated(f)) {
+            report.Add(Severity::kError, policy, kNoPage,
+                       "frame " + std::to_string(f) +
+                           " is both free and allocated");
+        }
+        if (frames.VpnOf(f) != mem::kNoVpn) {
+            report.Add(Severity::kError, policy, frames.VpnOf(f),
+                       "free frame " + std::to_string(f) +
+                           " is still bound to a page");
+        }
+    }
+    // Conservation: every pageable frame is either free or allocated.
+    for (FrameNum f = frames.FirstPageable(); f < frames.NumTotal(); ++f) {
+        if (!on_free_list[f] && !frames.IsAllocated(f)) {
+            report.Add(Severity::kError, policy, kNoPage,
+                       "frame " + std::to_string(f) +
+                           " is neither free nor allocated (leaked)");
+        }
+    }
+}
+
+void
+CheckBackingStoreCounts(const AuditContext& context, AuditReport& report)
+{
+    if (context.store == nullptr || context.events == nullptr) {
+        return;
+    }
+    const std::string policy = context.PolicyLabel();
+    const uint64_t event_outs =
+        context.events->Get(sim::Event::kPageOutDirty);
+    if (event_outs != context.store->NumPageOuts()) {
+        report.Add(Severity::kError, policy, kNoPage,
+                   "page-out events (" + std::to_string(event_outs) +
+                       ") disagree with backing-store writes (" +
+                       std::to_string(context.store->NumPageOuts()) + ")");
+    }
+    const uint64_t event_ins = context.events->Get(sim::Event::kPageIn);
+    if (event_ins != context.store->NumPageIns()) {
+        report.Add(Severity::kError, policy, kNoPage,
+                   "page-in events (" + std::to_string(event_ins) +
+                       ") disagree with backing-store reads (" +
+                       std::to_string(context.store->NumPageIns()) + ")");
+    }
+}
+
+void
+CheckRefFlushHygiene(const AuditContext& context, AuditReport& report)
+{
+    if (context.ref != policy::RefPolicyKind::kRef) {
+        return;  // Only REF promises flush-on-clear.
+    }
+    const std::string policy = context.PolicyLabel();
+    // REF clears a reference bit by flushing the page from every cache,
+    // so the next touch misses and re-sets the bit (PAPER.md Section 4).
+    // A resident block on a clear-R page means a reference will hit in
+    // the cache without ever informing the PTE — the replacement daemon
+    // would evict a genuinely active page.
+    ForEachUserLine(context, [&](unsigned cpu, GlobalAddr addr,
+                                 GlobalVpn vpn, const cache::Line& line) {
+        (void)line;
+        const pt::Pte* pte = context.table->Find(vpn);
+        if (pte == nullptr || !pte->valid() || pte->referenced()) {
+            return;
+        }
+        report.Add(Severity::kError, policy, vpn,
+                   "cache " + std::to_string(cpu) + " still holds block " +
+                       Hex(addr) +
+                       " of a page whose reference bit was cleared");
+    });
+}
+
+void
+CheckMpCoherency(const AuditContext& context, AuditReport& report)
+{
+    if (context.caches.size() < 2) {
+        return;  // Uniprocessor: the protocol degenerates, nothing to audit.
+    }
+    const std::string policy = context.PolicyLabel();
+
+    struct BlockState {
+        unsigned copies = 0;
+        unsigned owners = 0;
+        unsigned exclusive = 0;
+        unsigned first_cpu = 0;
+    };
+    std::unordered_map<GlobalAddr, BlockState> blocks;
+    for (size_t c = 0; c < context.caches.size(); ++c) {
+        const cache::VirtualCache& vcache = *context.caches[c];
+        for (uint64_t index = 0; index < vcache.NumLines(); ++index) {
+            const cache::Line& line = vcache.LineAt(index);
+            if (!line.valid()) {
+                continue;
+            }
+            BlockState& state = blocks[vcache.BlockAddrOf(index, line)];
+            if (state.copies == 0) {
+                state.first_cpu = static_cast<unsigned>(c);
+            }
+            ++state.copies;
+            if (line.state == cache::CoherencyState::kOwnedShared ||
+                line.state == cache::CoherencyState::kOwnedExclusive) {
+                ++state.owners;
+            }
+            if (line.state == cache::CoherencyState::kOwnedExclusive) {
+                ++state.exclusive;
+            }
+        }
+    }
+    const unsigned page_shift = context.config->PageShift();
+    for (const auto& [addr, state] : blocks) {
+        const GlobalVpn vpn = pt::PageTable::IsPteAddr(addr)
+                                  ? kNoPage
+                                  : (addr >> page_shift);
+        if (state.owners > 1) {
+            report.Add(Severity::kError, policy, vpn,
+                       "block " + Hex(addr) + " has " +
+                           std::to_string(state.owners) +
+                           " owners (Berkeley Ownership allows one)");
+        }
+        if (state.exclusive > 0 && state.copies > 1) {
+            report.Add(Severity::kError, policy, vpn,
+                       "block " + Hex(addr) +
+                           " is OwnedExclusive in cache " +
+                           std::to_string(state.first_cpu) + " yet " +
+                           std::to_string(state.copies - 1) +
+                           " peer copies exist");
+        }
+    }
+}
+
+}  // namespace spur::check

@@ -1,10 +1,18 @@
 /**
  * @file
  * Small bit-manipulation helpers used across the simulator.
+ *
+ * Every helper here is total over its parameter types: the edge cases
+ * that would be undefined behavior on a bare shift (shift counts >= 64)
+ * are given defined results, and preconditions that cannot be made total
+ * (zero input to FloorLog2, non-power-of-two alignment) are asserted.
+ * All helpers are constexpr, so a violated precondition in a constant
+ * expression is a compile error, not silent wraparound.
  */
 #ifndef SPUR_COMMON_BITS_H_
 #define SPUR_COMMON_BITS_H_
 
+#include <cassert>
 #include <cstdint>
 
 namespace spur {
@@ -16,10 +24,11 @@ IsPowerOfTwo(uint64_t value)
     return value != 0 && (value & (value - 1)) == 0;
 }
 
-/** Returns floor(log2(value)); @p value must be nonzero. */
+/** Returns floor(log2(value)); @p value must be nonzero (asserted). */
 constexpr unsigned
 FloorLog2(uint64_t value)
 {
+    assert(value != 0 && "FloorLog2(0) is undefined");
     unsigned result = 0;
     while (value >>= 1) {
         ++result;
@@ -27,27 +36,44 @@ FloorLog2(uint64_t value)
     return result;
 }
 
-/** Extracts bits [lo, lo+width) of @p value. */
+/**
+ * Extracts bits [lo, lo+width) of @p value.  Bits beyond position 63
+ * read as zero, so any (lo, width) pair is well-defined: lo >= 64
+ * yields 0, width >= 64 clamps to the bits that exist.  A bare
+ * `value >> lo` with lo >= 64 would be undefined behavior.
+ */
 constexpr uint64_t
 ExtractBits(uint64_t value, unsigned lo, unsigned width)
 {
-    return (value >> lo) & ((width >= 64) ? ~uint64_t{0}
-                                          : ((uint64_t{1} << width) - 1));
+    if (lo >= 64 || width == 0) {
+        return 0;
+    }
+    const uint64_t shifted = value >> lo;
+    if (width >= 64) {
+        return shifted;
+    }
+    return shifted & ((uint64_t{1} << width) - 1);
 }
 
-/** Returns @p value rounded up to the next multiple of @p align
- *  (a power of two). */
+/**
+ * Returns @p value rounded up to the next multiple of @p align, which
+ * must be a power of two (asserted).  If the rounded result does not
+ * fit in 64 bits the addition wraps (well-defined for unsigned, but a
+ * caller bug); every representable result is exact.
+ */
 constexpr uint64_t
 AlignUp(uint64_t value, uint64_t align)
 {
-    return (value + align - 1) & ~(align - 1);
+    assert(IsPowerOfTwo(align) && "AlignUp: align must be a power of two");
+    return (value + (align - 1)) & ~(align - 1);
 }
 
-/** Returns @p value rounded down to a multiple of @p align
- *  (a power of two). */
+/** Returns @p value rounded down to a multiple of @p align, which must
+ *  be a power of two (asserted). */
 constexpr uint64_t
 AlignDown(uint64_t value, uint64_t align)
 {
+    assert(IsPowerOfTwo(align) && "AlignDown: align must be a power of two");
     return value & ~(align - 1);
 }
 

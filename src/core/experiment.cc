@@ -1,5 +1,6 @@
 #include "src/core/experiment.h"
 
+#include "src/check/audit.h"
 #include "src/common/log.h"
 #include "src/runner/runner.h"
 #include "src/workload/workloads.h"
@@ -70,6 +71,12 @@ RunOnce(const RunConfig& config)
         (config.refs != 0) ? config.refs : DefaultRefs(config.workload);
     workload::Driver driver(system, SpecFor(config), refs, config.seed);
     driver.Run();
+
+    // End-of-run audit: the cell's final state must satisfy every
+    // invariant before its numbers enter any table.
+    if constexpr (check::kAuditEnabled) {
+        system.Audit().RaiseIfFailed("core::RunOnce (end of run)");
+    }
 
     RunResult result;
     result.events = system.events();

@@ -69,6 +69,9 @@ MpSpurSystem::DestroyProcess(Pid pid)
     }
     process_regions_.erase(it);
     segmap_.DestroyProcess(pid);
+    if constexpr (check::kAuditEnabled) {
+        Audit().RaiseIfFailed("MpSpurSystem::DestroyProcess");
+    }
 }
 
 void
@@ -92,6 +95,13 @@ MpSpurSystem::MapRegion(Pid pid, ProcessAddr base, uint64_t bytes,
 void
 MpSpurSystem::Access(unsigned cpu, const MemRef& ref)
 {
+    if constexpr (check::kAuditEnabled) {
+        if (--audit_countdown_ == 0) {
+            audit_countdown_ = check::kAuditAccessInterval;
+            Audit().RaiseIfFailed("MpSpurSystem::Access (periodic)");
+        }
+    }
+
     const GlobalAddr gva = segmap_.ToGlobal(ref.pid, ref.addr);
 
     switch (ref.type) {
@@ -186,6 +196,25 @@ MpSpurSystem::AccessMiss(unsigned cpu, GlobalAddr gva, AccessType type)
         events_.Add(sim::Event::kWriteMissFill);
         cache::VirtualCache::MarkWritten(line);
     }
+}
+
+check::AuditReport
+MpSpurSystem::Audit() const
+{
+    check::AuditContext context;
+    context.config = &config_;
+    context.caches.reserve(caches_.size());
+    for (const auto& vcache : caches_) {
+        context.caches.push_back(vcache.get());
+    }
+    context.table = &table_;
+    context.frames = &vm_->frames();
+    context.store = &vm_->store();
+    context.regions = &vm_->regions();
+    context.events = &events_;
+    context.dirty = dirty_->kind();
+    context.ref = ref_->kind();
+    return check::InvariantChecker::Default().Run(context);
 }
 
 pt::Pte&

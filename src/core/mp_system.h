@@ -25,6 +25,8 @@
 #include <vector>
 
 #include "src/cache/bus.h"
+#include "src/check/audit.h"
+#include "src/check/checker.h"
 #include "src/core/host.h"
 #include "src/cache/cache.h"
 #include "src/cache/flusher.h"
@@ -111,6 +113,15 @@ class MpSpurSystem
     }
 
     /**
+     * Runs every registered invariant pass (src/check/) over the whole
+     * machine — all caches at once, which additionally arms the
+     * cross-cache Berkeley Ownership audit.  Audit builds (SPUR_AUDIT=ON)
+     * invoke it automatically every check::kAuditAccessInterval accesses
+     * and at process teardown.
+     */
+    check::AuditReport Audit() const;
+
+    /**
      * A WorkloadHost view of one processor: synthetic processes and the
      * job driver built for the uniprocessor API can run pinned to a CPU
      * of the multiprocessor through this adapter.
@@ -178,6 +189,9 @@ class MpSpurSystem
     std::unordered_map<Pid, std::unordered_map<ProcessAddr, GlobalVpn>>
         process_regions_;
     Cycles block_fetch_cycles_;
+
+    /// Accesses until the next periodic audit (audit builds only).
+    uint64_t audit_countdown_ = check::kAuditAccessInterval;
 
     void AccessMiss(unsigned cpu, GlobalAddr gva, AccessType type);
     pt::Pte& ResidentPte(GlobalAddr gva);

@@ -85,6 +85,13 @@ SpurSystem::UnmapRegion(Pid pid, ProcessAddr base)
 void
 SpurSystem::Access(const MemRef& ref)
 {
+    if constexpr (check::kAuditEnabled) {
+        if (--audit_countdown_ == 0) {
+            audit_countdown_ = check::kAuditAccessInterval;
+            Audit().RaiseIfFailed("SpurSystem::Access (periodic)");
+        }
+    }
+
     const GlobalAddr gva = segmap_.ToGlobal(ref.pid, ref.addr);
 
     switch (ref.type) {
@@ -184,6 +191,25 @@ SpurSystem::OnContextSwitch()
 {
     events_.Add(sim::Event::kContextSwitch);
     timing_.Charge(sim::TimeBucket::kKernel, config_.t_context_switch);
+    if constexpr (check::kAuditEnabled) {
+        Audit().RaiseIfFailed("SpurSystem::OnContextSwitch");
+    }
+}
+
+check::AuditReport
+SpurSystem::Audit() const
+{
+    check::AuditContext context;
+    context.config = &config_;
+    context.caches = {&vcache_};
+    context.table = &table_;
+    context.frames = &vm_->frames();
+    context.store = &vm_->store();
+    context.regions = &vm_->regions();
+    context.events = &events_;
+    context.dirty = dirty_->kind();
+    context.ref = ref_->kind();
+    return check::InvariantChecker::Default().Run(context);
 }
 
 pt::Pte&

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "src/cache/cache.h"
+#include "src/check/audit.h"
+#include "src/check/checker.h"
 #include "src/core/host.h"
 #include "src/common/types.h"
 #include "src/policy/dirty_policy.h"
@@ -128,6 +130,15 @@ class SpurSystem : public WorkloadHost
         return segmap_.ToGlobal(pid, addr);
     }
 
+    /**
+     * Runs every registered invariant pass (src/check/) against the
+     * current machine state.  Always available; audit builds
+     * (SPUR_AUDIT=ON) additionally invoke it automatically at context
+     * switches and every check::kAuditAccessInterval accesses, aborting
+     * on any violation.
+     */
+    check::AuditReport Audit() const;
+
   private:
     sim::MachineConfig config_;
     sim::EventCounts events_;
@@ -147,6 +158,9 @@ class SpurSystem : public WorkloadHost
 
     /// Cached cost of fetching one block from memory.
     Cycles block_fetch_cycles_;
+
+    /// Accesses until the next periodic audit (audit builds only).
+    uint64_t audit_countdown_ = check::kAuditAccessInterval;
 
     /** Handles the miss path for @p gva; @p type as in Access(). */
     void AccessMiss(GlobalAddr gva, AccessType type);

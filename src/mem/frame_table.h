@@ -59,7 +59,22 @@ class FrameTable
     /** First allocatable frame number (frames below are wired). */
     FrameNum FirstPageable() const { return wired_; }
 
+    /** True when @p frame is currently allocated (audit accessor). */
+    bool IsAllocated(FrameNum frame) const
+    {
+        return frame < total_ && allocated_[frame];
+    }
+
+    /** Read-only view of the free list (audit accessor; order is the
+     *  allocation stack, back() is handed out next). */
+    const std::vector<FrameNum>& FreeList() const { return free_; }
+
   private:
+    // The public API rejects every inconsistent call sequence, so the
+    // audit tests need a backdoor to inject the corruption the
+    // frame-freelist pass exists to catch (defined in tests/check_test.cc).
+    friend struct FrameTableTestAccess;
+
     uint32_t total_;
     uint32_t wired_;
     uint32_t pageable_;

@@ -32,4 +32,28 @@ PageTable::Ensure(GlobalVpn vpn)
     return (*page)[vpn % kPtesPerPage];
 }
 
+void
+PageTable::ForEachPte(
+    const std::function<void(GlobalVpn, const Pte&)>& fn) const
+{
+    for (const auto& [second_level, page] : pages_) {
+        const GlobalVpn base = second_level * kPtesPerPage;
+        for (uint64_t i = 0; i < kPtesPerPage; ++i) {
+            fn(base + i, (*page)[i]);
+        }
+    }
+}
+
+size_t
+PageTable::NumValidPtes() const
+{
+    size_t valid = 0;
+    ForEachPte([&valid](GlobalVpn, const Pte& pte) {
+        if (pte.valid()) {
+            ++valid;
+        }
+    });
+    return valid;
+}
+
 }  // namespace spur::pt

@@ -21,6 +21,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 
@@ -86,6 +87,17 @@ class PageTable
     /** Number of first-level page-table pages materialized so far
      *  (these occupy wired kernel frames in the prototype's accounting). */
     size_t NumTablePages() const { return pages_.size(); }
+
+    /**
+     * Visits every materialized PTE (valid or not) as (vpn, pte).  The
+     * invariant-audit passes (src/check/) walk the table through this;
+     * iteration order is unspecified.
+     */
+    void ForEachPte(
+        const std::function<void(GlobalVpn, const Pte&)>& fn) const;
+
+    /** Number of *valid* (resident) PTEs across all table pages. */
+    size_t NumValidPtes() const;
 
   private:
     using TablePage = std::array<Pte, kPtesPerPage>;

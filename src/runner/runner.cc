@@ -7,6 +7,8 @@
 #include <mutex>
 #include <utility>
 
+#include "src/check/audit.h"
+#include "src/check/dominance.h"
 #include "src/common/random.h"
 #include "src/runner/thread_pool.h"
 
@@ -51,6 +53,24 @@ ShuffledCells(size_t num_configs, uint32_t reps, uint64_t shuffle_seed)
         std::swap(cells[i - 1], cells[rng.NextBelow(i)]);
     }
     return cells;
+}
+
+/**
+ * Post-matrix audit (audit builds only): once every cell of the grid has
+ * finished, the cross-policy dominance invariants are checkable — MIN is
+ * a lower bound on dirty faults, reference bits never increase page-ins.
+ */
+void
+AuditMatrix(const std::vector<core::RunConfig>& configs,
+            const std::vector<std::vector<core::RunResult>>& results)
+{
+    if constexpr (check::kAuditEnabled) {
+        check::AuditDominance(configs, results)
+            .RaiseIfFailed("runner::RunMatrix (post-matrix)");
+    } else {
+        (void)configs;
+        (void)results;
+    }
 }
 
 }  // namespace
@@ -134,6 +154,7 @@ RunMatrix(const std::vector<core::RunConfig>& configs, uint32_t reps,
             }
             results[id.config_index][id.rep] = std::move(cell.result);
         }
+        AuditMatrix(configs, results);
         return results;
     }
 
@@ -198,6 +219,7 @@ RunMatrix(const std::vector<core::RunConfig>& configs, uint32_t reps,
     if (first_error) {
         std::rethrow_exception(first_error);
     }
+    AuditMatrix(configs, results);
     return results;
 }
 

@@ -24,7 +24,13 @@ NumberToJson(double value)
 std::string
 Quoted(const std::string& s)
 {
-    return "\"" + JsonWriter::Escape(s) + "\"";
+    // Built up with += (not a single operator+ chain): GCC 12's -Wrestrict
+    // misfires on `const char* + string&&` inlined through char_traits
+    // (GCC PR 105329).
+    std::string out = "\"";
+    out += JsonWriter::Escape(s);
+    out += '"';
+    return out;
 }
 
 }  // namespace

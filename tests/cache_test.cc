@@ -93,7 +93,7 @@ TEST(CacheTest, InvalidateBlock)
 {
     VirtualCache vcache(Config());
     const GlobalAddr addr = 0x4000;
-    Line& line = vcache.Fill(addr, Protection::kReadWrite, false, nullptr);
+    vcache.Fill(addr, Protection::kReadWrite, false, nullptr);
     EXPECT_FALSE(vcache.InvalidateBlock(addr));  // Clean: no writeback.
     EXPECT_EQ(vcache.Lookup(addr), nullptr);
 

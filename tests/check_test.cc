@@ -1,0 +1,671 @@
+/**
+ * @file
+ * Tests for the invariant-audit subsystem (src/check/).
+ *
+ * Strategy: every built-in pass gets a pair of proofs —
+ *   (a) it stays SILENT on healthy state (hand-built and full-system), and
+ *   (b) it FIRES on deliberately corrupted state, injected either through
+ *       the normal mutators (cache lines and PTEs are directly writable)
+ *       or through the FrameTableTestAccess backdoor for states the
+ *       FrameTable API correctly refuses to construct.
+ * The dominance audits get the same treatment with fabricated matrices.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/check/checker.h"
+#include "src/check/dominance.h"
+#include "src/check/invariants.h"
+#include "src/check/report.h"
+#include "src/common/random.h"
+#include "src/core/experiment.h"
+#include "src/core/mp_system.h"
+#include "src/core/system.h"
+#include "src/workload/process.h"
+
+namespace spur::mem {
+
+/** Friend backdoor: injects the free-list corruption the public API
+ *  (correctly) panics on, so the frame-freelist pass can be exercised. */
+struct FrameTableTestAccess {
+    static std::vector<FrameNum>& FreeList(FrameTable& table)
+    {
+        return table.free_;
+    }
+    static void SetAllocated(FrameTable& table, FrameNum frame, bool value)
+    {
+        table.allocated_[frame] = value;
+    }
+    static void SetVpn(FrameTable& table, FrameNum frame, GlobalVpn vpn)
+    {
+        table.vpn_of_[frame] = vpn;
+    }
+};
+
+}  // namespace spur::mem
+
+namespace spur::check {
+namespace {
+
+using policy::DirtyPolicyKind;
+using policy::RefPolicyKind;
+using workload::kHeapBase;
+
+// ---------------------------------------------------------------------------
+// Hand-built state: one cache, page table, frame table, backing store.
+// ---------------------------------------------------------------------------
+
+class PassTest : public testing::Test
+{
+  protected:
+    PassTest()
+        : config_(sim::MachineConfig::Prototype(8)),
+          vcache_(config_),
+          frames_(/*total_frames=*/32, /*wired_frames=*/2)
+    {
+        context_.config = &config_;
+        context_.caches = {&vcache_};
+        context_.table = &table_;
+        context_.frames = &frames_;
+        context_.store = &store_;
+        context_.events = &events_;
+        context_.dirty = DirtyPolicyKind::kSpur;
+        context_.ref = RefPolicyKind::kMiss;
+    }
+
+    /** Makes page @p vpn resident the healthy way: frame allocated and
+     *  bound, PTE valid and pointing back. */
+    pt::Pte& MakeResident(GlobalVpn vpn,
+                          Protection prot = Protection::kReadOnly)
+    {
+        const FrameNum frame = frames_.Allocate();
+        EXPECT_NE(frame, kInvalidFrame);
+        frames_.Bind(frame, vpn);
+        pt::Pte& pte = table_.Ensure(vpn);
+        pte.set_valid(true);
+        pte.set_pfn(frame);
+        pte.set_protection(prot);
+        pte.set_cacheable(true);
+        pte.set_referenced(true);
+        return pte;
+    }
+
+    GlobalAddr AddrOf(GlobalVpn vpn) const
+    {
+        return vpn << config_.PageShift();
+    }
+
+    /** Caches the first block of @p vpn with PR/P copied from @p pte. */
+    cache::Line& CacheBlock(GlobalVpn vpn, const pt::Pte& pte)
+    {
+        return vcache_.Fill(AddrOf(vpn), pte.protection(), pte.dirty(),
+                            nullptr);
+    }
+
+    /** Runs one named pass and returns its violation count. */
+    size_t Fires(const char* pass) const
+    {
+        return InvariantChecker::Default()
+            .RunOne(pass, context_)
+            .CountFor(pass);
+    }
+
+    sim::MachineConfig config_;
+    cache::VirtualCache vcache_;
+    pt::PageTable table_;
+    mem::FrameTable frames_;
+    mem::BackingStore store_;
+    sim::EventCounts events_;
+    AuditContext context_;
+};
+
+TEST_F(PassTest, HealthyStateIsSilentUnderEveryPass)
+{
+    // A clean read-only page and a legitimately dirty read-write page.
+    const pt::Pte& clean = MakeResident(100, Protection::kReadOnly);
+    CacheBlock(100, clean);
+    pt::Pte& dirty = MakeResident(101, Protection::kReadWrite);
+    dirty.set_dirty(true);
+    cache::Line& line = CacheBlock(101, dirty);
+    cache::VirtualCache::MarkWritten(line);
+
+    const AuditReport report = InvariantChecker::Default().Run(context_);
+    EXPECT_TRUE(report.ok());
+    EXPECT_TRUE(report.violations().empty()) << report.Summary();
+    EXPECT_EQ(report.passes().size(),
+              InvariantChecker::Default().NumPasses());
+}
+
+TEST_F(PassTest, CacheResidentFiresOnBlockOfNonResidentPage)
+{
+    const pt::Pte& pte = MakeResident(100);
+    CacheBlock(100, pte);
+    EXPECT_EQ(Fires(kPassCacheResident), 0u);
+
+    // Cache a block of page 200, whose PTE is invalid (never mapped).
+    vcache_.Fill(AddrOf(200), Protection::kReadOnly, false, nullptr);
+    EXPECT_EQ(Fires(kPassCacheResident), 1u);
+    EXPECT_FALSE(InvariantChecker::Default().Run(context_).ok());
+}
+
+TEST_F(PassTest, CachePteDirtyFiresWhenCachedPRunsAheadOfD)
+{
+    pt::Pte& pte = MakeResident(100, Protection::kReadWrite);
+    cache::Line& line = CacheBlock(100, pte);
+    EXPECT_EQ(Fires(kPassCachePteDirty), 0u);
+
+    line.page_dirty = true;  // P set while the PTE's D bit is clear.
+    EXPECT_EQ(Fires(kPassCachePteDirty), 1u);
+
+    pte.set_dirty(true);  // Recording the write repairs the invariant.
+    EXPECT_EQ(Fires(kPassCachePteDirty), 0u);
+}
+
+TEST_F(PassTest, CachePteDirtyFiresOnUnrecordedBlockWrite)
+{
+    pt::Pte& pte = MakeResident(100, Protection::kReadWrite);
+    cache::Line& line = CacheBlock(100, pte);
+    line.block_dirty = true;  // Modified block, page recorded clean.
+
+    // SPUR's notion of "recorded" is the hardware D bit...
+    context_.dirty = DirtyPolicyKind::kSpur;
+    EXPECT_EQ(Fires(kPassCachePteDirty), 1u);
+    // ...FAULT's is the software dirty bit, so D alone does not help...
+    context_.dirty = DirtyPolicyKind::kFault;
+    EXPECT_EQ(Fires(kPassCachePteDirty), 1u);
+    pte.set_dirty(true);
+    EXPECT_EQ(Fires(kPassCachePteDirty), 1u);
+    // ...but the software bit does.
+    pte.set_soft_dirty(true);
+    EXPECT_EQ(Fires(kPassCachePteDirty), 0u);
+}
+
+TEST_F(PassTest, ProtectionEmulationFiresOnWritableCleanPage)
+{
+    pt::Pte& pte = MakeResident(100, Protection::kReadWrite);
+    pte.set_writable_intent(true);  // Writable by intent, still clean.
+
+    // Under a hardware-dirty-bit policy this state is legal...
+    context_.dirty = DirtyPolicyKind::kSpur;
+    EXPECT_EQ(Fires(kPassProtectionEmulation), 0u);
+    // ...under the emulating policies the first write would be missed.
+    for (const DirtyPolicyKind kind :
+         {DirtyPolicyKind::kFault, DirtyPolicyKind::kFlush,
+          DirtyPolicyKind::kSpurProt}) {
+        context_.dirty = kind;
+        EXPECT_EQ(Fires(kPassProtectionEmulation), 1u)
+            << policy::ToString(kind);
+    }
+
+    // The emulation contract: clean writable pages are mapped read-only.
+    context_.dirty = DirtyPolicyKind::kFault;
+    pte.set_protection(Protection::kReadOnly);
+    EXPECT_EQ(Fires(kPassProtectionEmulation), 0u);
+    // Taking the dirty fault upgrades protection and sets the soft bit.
+    pte.set_soft_dirty(true);
+    pte.set_protection(Protection::kReadWrite);
+    EXPECT_EQ(Fires(kPassProtectionEmulation), 0u);
+}
+
+TEST_F(PassTest, ProtectionEmulationFiresOnStaleCachedProtection)
+{
+    context_.dirty = DirtyPolicyKind::kFlush;
+    pt::Pte& pte = MakeResident(100, Protection::kReadOnly);
+    pte.set_writable_intent(true);
+    CacheBlock(100, pte);
+    EXPECT_EQ(Fires(kPassProtectionEmulation), 0u);
+
+    // A cached read-write PR while the PTE still says read-only means a
+    // write would hit without faulting — the emulation's blind spot.
+    vcache_.Lookup(AddrOf(100))->prot = Protection::kReadWrite;
+    EXPECT_EQ(Fires(kPassProtectionEmulation), 1u);
+}
+
+TEST_F(PassTest, FrameTableFiresOnBoundFrameWithoutValidPte)
+{
+    const FrameNum frame = frames_.Allocate();
+    frames_.Bind(frame, 300);  // Page 300 never got a valid PTE.
+    table_.Ensure(300);        // Materialized but invalid.
+    EXPECT_GE(Fires(kPassFrameTable), 1u);
+}
+
+TEST_F(PassTest, FrameTableFiresOnPfnMismatch)
+{
+    pt::Pte& pte = MakeResident(100);
+    EXPECT_EQ(Fires(kPassFrameTable), 0u);
+    pte.set_pfn(pte.pfn() + 1);  // PTE now points at the wrong frame.
+    EXPECT_GE(Fires(kPassFrameTable), 1u);
+}
+
+TEST_F(PassTest, FrameTableFiresOnOutOfRangePfn)
+{
+    pt::Pte& pte = table_.Ensure(500);
+    pte.set_valid(true);
+    pte.set_pfn(4000);  // Far beyond the 32-frame machine.
+    EXPECT_EQ(Fires(kPassFrameTable), 1u);
+}
+
+TEST_F(PassTest, FrameTableFiresOnDoubleBinding)
+{
+    MakeResident(100);
+    const FrameNum second = frames_.Allocate();
+    frames_.Bind(second, 100);  // Two frames now claim page 100.
+    EXPECT_GE(Fires(kPassFrameTable), 1u);
+}
+
+TEST_F(PassTest, FrameFreeListFiresOnInjectedCorruption)
+{
+    using Access = mem::FrameTableTestAccess;
+    EXPECT_EQ(Fires(kPassFrameFreeList), 0u);
+
+    // Leaked: silently drop a frame from the free list — now neither
+    // free nor allocated.
+    Access::FreeList(frames_).pop_back();
+    EXPECT_EQ(Fires(kPassFrameFreeList), 1u);
+}
+
+TEST_F(PassTest, FrameFreeListFiresOnEachCorruptionKind)
+{
+    using Access = mem::FrameTableTestAccess;
+
+    {
+        mem::FrameTable frames(32, 2);
+        AuditContext context = context_;
+        context.frames = &frames;
+        // Free frame marked allocated: "both free and allocated".
+        Access::SetAllocated(frames, Access::FreeList(frames).back(), true);
+        EXPECT_EQ(InvariantChecker::Default()
+                      .RunOne(kPassFrameFreeList, context)
+                      .CountFor(kPassFrameFreeList),
+                  1u);
+    }
+    {
+        mem::FrameTable frames(32, 2);
+        AuditContext context = context_;
+        context.frames = &frames;
+        // Free frame still bound to a page.
+        Access::SetVpn(frames, Access::FreeList(frames).back(), 42);
+        EXPECT_EQ(InvariantChecker::Default()
+                      .RunOne(kPassFrameFreeList, context)
+                      .CountFor(kPassFrameFreeList),
+                  1u);
+    }
+    {
+        mem::FrameTable frames(32, 2);
+        AuditContext context = context_;
+        context.frames = &frames;
+        // The same frame listed free twice.
+        Access::FreeList(frames).push_back(
+            Access::FreeList(frames).front());
+        EXPECT_EQ(InvariantChecker::Default()
+                      .RunOne(kPassFrameFreeList, context)
+                      .CountFor(kPassFrameFreeList),
+                  1u);
+    }
+    {
+        mem::FrameTable frames(32, 2);
+        AuditContext context = context_;
+        context.frames = &frames;
+        // An out-of-range frame number on the free list.
+        Access::FreeList(frames).push_back(999);
+        EXPECT_EQ(InvariantChecker::Default()
+                      .RunOne(kPassFrameFreeList, context)
+                      .CountFor(kPassFrameFreeList),
+                  1u);
+    }
+}
+
+TEST_F(PassTest, BackingStoreFiresOnCounterMismatch)
+{
+    // Healthy: event counters and the store's I/O counters move together.
+    store_.PageOut(100);
+    events_.Add(sim::Event::kPageOutDirty);
+    store_.PageIn(100);
+    events_.Add(sim::Event::kPageIn);
+    EXPECT_EQ(Fires(kPassBackingStore), 0u);
+
+    // A page-in event with no corresponding store read.
+    events_.Add(sim::Event::kPageIn);
+    EXPECT_EQ(Fires(kPassBackingStore), 1u);
+
+    // Both directions wrong: two violations.
+    events_.Add(sim::Event::kPageOutDirty);
+    EXPECT_EQ(Fires(kPassBackingStore), 2u);
+}
+
+TEST_F(PassTest, RefFlushFiresOnResidentBlockOfClearedPage)
+{
+    context_.ref = RefPolicyKind::kRef;
+    pt::Pte& pte = MakeResident(100);
+    CacheBlock(100, pte);
+    EXPECT_EQ(Fires(kPassRefFlush), 0u);  // R is set: fine.
+
+    // Clearing R without flushing breaks REF's contract (Section 4): the
+    // next reference would hit in the cache and never re-set the bit.
+    pte.set_referenced(false);
+    EXPECT_EQ(Fires(kPassRefFlush), 1u);
+
+    // MISS and NOREF make no flush promise, so the pass stays silent.
+    context_.ref = RefPolicyKind::kMiss;
+    EXPECT_EQ(Fires(kPassRefFlush), 0u);
+    context_.ref = RefPolicyKind::kNoRef;
+    EXPECT_EQ(Fires(kPassRefFlush), 0u);
+}
+
+TEST_F(PassTest, MpCoherencyFiresOnOwnershipViolations)
+{
+    cache::VirtualCache peer(config_);
+    context_.caches = {&vcache_, &peer};
+
+    pt::Pte& pte = MakeResident(100, Protection::kReadWrite);
+
+    // Two clean shared copies: legal.
+    CacheBlock(100, pte);
+    peer.Fill(AddrOf(100), pte.protection(), pte.dirty(), nullptr);
+    EXPECT_EQ(Fires(kPassMpCoherency), 0u);
+
+    // An exclusive owner with a peer copy still resident: one violation
+    // (the peer copy is clean, so there is one owner but a stale sharer).
+    cache::VirtualCache::MarkWritten(*vcache_.Lookup(AddrOf(100)));
+    pte.set_dirty(true);
+    EXPECT_EQ(Fires(kPassMpCoherency), 1u);
+
+    // Both caches claiming ownership: two owners AND exclusive-with-peers.
+    cache::VirtualCache::MarkWritten(*peer.Lookup(AddrOf(100)));
+    EXPECT_GE(Fires(kPassMpCoherency), 2u);
+}
+
+TEST_F(PassTest, MpCoherencySkipsUniprocessors)
+{
+    pt::Pte& pte = MakeResident(100, Protection::kReadWrite);
+    pte.set_dirty(true);
+    cache::VirtualCache::MarkWritten(CacheBlock(100, pte));
+    // A lone cache is trivially coherent — even "exclusive" states.
+    EXPECT_EQ(Fires(kPassMpCoherency), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Checker and report plumbing.
+// ---------------------------------------------------------------------------
+
+TEST(InvariantCheckerTest, DefaultCarriesEveryBuiltinPass)
+{
+    const std::vector<std::string> names =
+        InvariantChecker::Default().PassNames();
+    const std::vector<std::string> expected = {
+        kPassCacheResident, kPassCachePteDirty, kPassProtectionEmulation,
+        kPassFrameTable,    kPassFrameFreeList, kPassBackingStore,
+        kPassRefFlush,      kPassMpCoherency,
+    };
+    EXPECT_EQ(names, expected);
+    EXPECT_EQ(InvariantChecker::WithBuiltinPasses().NumPasses(),
+              names.size());
+}
+
+TEST(InvariantCheckerTest, CustomPassesRunInRegistrationOrder)
+{
+    InvariantChecker checker;
+    checker.Register("first", [](const AuditContext&, AuditReport& report) {
+        report.Add(Severity::kWarning, "P", kNoPage, "saw it");
+    });
+    checker.Register("second",
+                     [](const AuditContext&, AuditReport&) {});
+    AuditContext context;
+    const AuditReport report = checker.Run(context);
+    EXPECT_EQ(report.passes(),
+              (std::vector<std::string>{"first", "second"}));
+    EXPECT_TRUE(report.ok());  // Warnings alone do not fail a report.
+    EXPECT_EQ(report.NumWarnings(), 1u);
+    EXPECT_EQ(report.CountFor("first"), 1u);
+    EXPECT_EQ(report.CountFor("second"), 0u);
+}
+
+TEST(AuditReportTest, SummaryNamesInvariantPolicyAndPage)
+{
+    AuditReport report;
+    report.BeginPass("cache-pte-dirty");
+    report.Add(Severity::kError, "FAULT/MISS", 123, "P ahead of D");
+    const std::string summary = report.Summary();
+    EXPECT_NE(summary.find("cache-pte-dirty"), std::string::npos);
+    EXPECT_NE(summary.find("FAULT/MISS"), std::string::npos);
+    EXPECT_NE(summary.find("0x7b"), std::string::npos);  // Page 123 in hex.
+    EXPECT_NE(summary.find("P ahead of D"), std::string::npos);
+    EXPECT_FALSE(report.ok());
+    EXPECT_EQ(report.NumErrors(), 1u);
+}
+
+TEST(AuditReportTest, MergeCombinesPassesAndCounts)
+{
+    AuditReport a;
+    a.BeginPass("one");
+    a.Add(Severity::kError, "P", kNoPage, "x");
+    AuditReport b;
+    b.BeginPass("two");
+    b.Add(Severity::kWarning, "P", kNoPage, "y");
+    a.Merge(b);
+    EXPECT_EQ(a.passes().size(), 2u);
+    EXPECT_EQ(a.NumErrors(), 1u);
+    EXPECT_EQ(a.NumWarnings(), 1u);
+    EXPECT_EQ(a.violations().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-policy dominance audits (fabricated matrices).
+// ---------------------------------------------------------------------------
+
+core::RunConfig
+Cell(DirtyPolicyKind dirty, RefPolicyKind ref, uint64_t seed = 1)
+{
+    core::RunConfig config;
+    config.workload = core::WorkloadId::kSlc;
+    config.memory_mb = 6;
+    config.dirty = dirty;
+    config.ref = ref;
+    config.refs = 1000;
+    config.seed = seed;
+    return config;
+}
+
+core::RunResult
+Result(uint64_t dirty_faults, uint64_t zfod, uint64_t page_ins)
+{
+    core::RunResult result;
+    result.events.Add(sim::Event::kDirtyFault, dirty_faults);
+    result.events.Add(sim::Event::kDirtyFaultZfod, zfod);
+    result.page_ins = page_ins;
+    return result;
+}
+
+TEST(DominanceTest, IntrinsicFaultsExcludeZeroFill)
+{
+    EXPECT_EQ(IntrinsicDirtyFaults(Result(10, 6, 0)), 4u);
+}
+
+TEST(DominanceTest, SilentWhenMinIsALowerBound)
+{
+    const std::vector<core::RunConfig> configs = {
+        Cell(DirtyPolicyKind::kMin, RefPolicyKind::kMiss),
+        Cell(DirtyPolicyKind::kSpur, RefPolicyKind::kMiss),
+    };
+    const std::vector<std::vector<core::RunResult>> results = {
+        {Result(5, 0, 100)},
+        {Result(7, 0, 100)},
+    };
+    const AuditReport report = AuditDominance(configs, results);
+    EXPECT_TRUE(report.ok());
+    EXPECT_TRUE(report.violations().empty()) << report.Summary();
+}
+
+TEST(DominanceTest, FiresWhenMinExceedsAnAlternative)
+{
+    const std::vector<core::RunConfig> configs = {
+        Cell(DirtyPolicyKind::kMin, RefPolicyKind::kMiss),
+        Cell(DirtyPolicyKind::kFault, RefPolicyKind::kMiss),
+    };
+    const std::vector<std::vector<core::RunResult>> results = {
+        {Result(9, 0, 100)},
+        {Result(7, 0, 100)},
+    };
+    const AuditReport report = AuditDominance(configs, results);
+    EXPECT_FALSE(report.ok());
+    EXPECT_EQ(report.CountFor(kPassMinDominance), 1u);
+}
+
+TEST(DominanceTest, ComparesIntrinsicNotRawFaultCounts)
+{
+    // MIN's raw count is higher, but its zero-fill subset is excluded
+    // (Section 3.2's N_zfod), so the comparison still holds.
+    const std::vector<core::RunConfig> configs = {
+        Cell(DirtyPolicyKind::kMin, RefPolicyKind::kMiss),
+        Cell(DirtyPolicyKind::kSpur, RefPolicyKind::kMiss),
+    };
+    const std::vector<std::vector<core::RunResult>> results = {
+        {Result(10, 6, 100)},  // Intrinsic: 4.
+        {Result(5, 0, 100)},   // Intrinsic: 5.
+    };
+    EXPECT_TRUE(AuditDominance(configs, results).ok());
+}
+
+TEST(DominanceTest, SkipsCellsWithoutAMatchedPartner)
+{
+    // Different seeds: not the same cell, so no comparison is made even
+    // though the counts would violate dominance.
+    const std::vector<core::RunConfig> configs = {
+        Cell(DirtyPolicyKind::kMin, RefPolicyKind::kMiss, /*seed=*/1),
+        Cell(DirtyPolicyKind::kSpur, RefPolicyKind::kMiss, /*seed=*/2),
+    };
+    const std::vector<std::vector<core::RunResult>> results = {
+        {Result(9, 0, 100)},
+        {Result(7, 0, 100)},
+    };
+    EXPECT_TRUE(AuditDominance(configs, results).violations().empty());
+}
+
+TEST(DominanceTest, NorefBelowMissIsAWarningNotAnError)
+{
+    const std::vector<core::RunConfig> configs = {
+        Cell(DirtyPolicyKind::kSpur, RefPolicyKind::kMiss),
+        Cell(DirtyPolicyKind::kSpur, RefPolicyKind::kNoRef),
+    };
+    const std::vector<std::vector<core::RunResult>> results = {
+        {Result(0, 0, 200)},
+        {Result(0, 0, 150)},  // NOREF paging in *less* than MISS.
+    };
+    const AuditReport report = AuditDominance(configs, results);
+    EXPECT_TRUE(report.ok());  // Warning severity: does not fail.
+    EXPECT_EQ(report.NumWarnings(), 1u);
+    EXPECT_EQ(report.CountFor(kPassNorefPageIns), 1u);
+
+    // The expected direction is silent.
+    const std::vector<std::vector<core::RunResult>> expected = {
+        {Result(0, 0, 200)},
+        {Result(0, 0, 260)},
+    };
+    EXPECT_TRUE(AuditDominance(configs, expected).violations().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Full-system integration: healthy machines audit clean under every
+// policy pair, uniprocessor and multiprocessor.
+// ---------------------------------------------------------------------------
+
+class SystemAuditTest
+    : public testing::TestWithParam<
+          std::tuple<DirtyPolicyKind, RefPolicyKind>>
+{
+};
+
+TEST_P(SystemAuditTest, RandomWorkloadAuditsClean)
+{
+    const auto [dirty, ref] = GetParam();
+    sim::MachineConfig config = sim::MachineConfig::Prototype(5);
+    core::SpurSystem system(config, dirty, ref);
+    Rng rng(static_cast<uint64_t>(dirty) * 131 +
+            static_cast<uint64_t>(ref) * 17 + 5);
+
+    const Pid pid = system.CreateProcess();
+    const uint64_t page = config.page_bytes;
+    system.MapRegion(pid, kHeapBase, 512 * page, vm::PageKind::kHeap);
+
+    for (int op = 0; op < 30'000; ++op) {
+        const ProcessAddr addr =
+            kHeapBase + static_cast<ProcessAddr>(
+                            rng.NextBelow(512) * page +
+                            rng.NextBelow(128) * 32);
+        const double kind = rng.NextDouble();
+        system.Access(pid, addr,
+                      kind < 0.3 ? AccessType::kWrite : AccessType::kRead);
+        if (op % 10'000 == 9'999) {
+            const AuditReport report = system.Audit();
+            ASSERT_TRUE(report.ok()) << report.Summary();
+            ASSERT_TRUE(report.violations().empty()) << report.Summary();
+        }
+    }
+    const AuditReport report = system.Audit();
+    EXPECT_TRUE(report.ok()) << report.Summary();
+    EXPECT_TRUE(report.violations().empty()) << report.Summary();
+    EXPECT_EQ(report.passes().size(),
+              InvariantChecker::Default().NumPasses());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, SystemAuditTest,
+    testing::Combine(testing::Values(DirtyPolicyKind::kMin,
+                                     DirtyPolicyKind::kFault,
+                                     DirtyPolicyKind::kFlush,
+                                     DirtyPolicyKind::kSpur,
+                                     DirtyPolicyKind::kWrite,
+                                     DirtyPolicyKind::kSpurProt,
+                                     DirtyPolicyKind::kWriteHw),
+                     testing::Values(RefPolicyKind::kMiss,
+                                     RefPolicyKind::kRef,
+                                     RefPolicyKind::kNoRef)),
+    [](const testing::TestParamInfo<SystemAuditTest::ParamType>& info) {
+        std::string name = policy::ToString(std::get<0>(info.param));
+        name += '_';
+        name += policy::ToString(std::get<1>(info.param));
+        for (char& c : name) {
+            if (c == '-') {
+                c = '_';
+            }
+        }
+        return name;
+    });
+
+TEST(MpSystemAuditTest, MultiprocessorWorkloadAuditsClean)
+{
+    sim::MachineConfig config = sim::MachineConfig::Prototype(8);
+    core::MpSpurSystem system(config, /*num_cpus=*/4,
+                              DirtyPolicyKind::kSpur, RefPolicyKind::kMiss);
+    Rng rng(97);
+
+    const Pid pid = system.CreateProcess();
+    const uint64_t page = config.page_bytes;
+    system.MapRegion(pid, kHeapBase, 256 * page, vm::PageKind::kHeap);
+
+    for (int op = 0; op < 40'000; ++op) {
+        const auto cpu = static_cast<unsigned>(rng.NextBelow(4));
+        const ProcessAddr addr =
+            kHeapBase + static_cast<ProcessAddr>(
+                            rng.NextBelow(256) * page +
+                            rng.NextBelow(128) * 32);
+        const double kind = rng.NextDouble();
+        system.Access(cpu, MemRef{pid, addr,
+                                  kind < 0.3 ? AccessType::kWrite
+                                             : AccessType::kRead});
+        if (op % 10'000 == 9'999) {
+            const AuditReport report = system.Audit();
+            ASSERT_TRUE(report.ok()) << report.Summary();
+        }
+    }
+    const AuditReport report = system.Audit();
+    EXPECT_TRUE(report.ok()) << report.Summary();
+    EXPECT_TRUE(report.violations().empty()) << report.Summary();
+}
+
+}  // namespace
+}  // namespace spur::check

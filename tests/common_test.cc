@@ -51,6 +51,25 @@ TEST(BitsTest, ExtractBits)
     EXPECT_EQ(ExtractBits(0b1010, 1, 2), 0b01u);
 }
 
+// Shift counts at or beyond the 64-bit boundary are UB on a bare shift;
+// ExtractBits must give them defined results instead.  These run under
+// UBSan in the asan preset, so a regression aborts the test.
+TEST(BitsTest, ExtractBitsEdgeCasesAreDefined)
+{
+    // lo at or past the top bit: the field reads as zero.
+    EXPECT_EQ(ExtractBits(~uint64_t{0}, 64, 8), 0u);
+    EXPECT_EQ(ExtractBits(~uint64_t{0}, 200, 64), 0u);
+    // lo + width past the top: clamps to the bits that exist.
+    EXPECT_EQ(ExtractBits(~uint64_t{0}, 60, 64), 0xFu);
+    EXPECT_EQ(ExtractBits(uint64_t{1} << 63, 63, 8), 1u);
+    // Zero-width field is empty.
+    EXPECT_EQ(ExtractBits(~uint64_t{0}, 0, 0), 0u);
+    EXPECT_EQ(ExtractBits(~uint64_t{0}, 63, 0), 0u);
+    // Everything above is also constant-foldable (no UB in constexpr).
+    static_assert(ExtractBits(~uint64_t{0}, 64, 8) == 0);
+    static_assert(ExtractBits(~uint64_t{0}, 60, 64) == 0xF);
+}
+
 TEST(BitsTest, AlignUpDown)
 {
     EXPECT_EQ(AlignUp(0, 32), 0u);
@@ -60,6 +79,19 @@ TEST(BitsTest, AlignUpDown)
     EXPECT_EQ(AlignDown(33, 32), 32u);
     EXPECT_EQ(AlignDown(4095, 4096), 0u);
     EXPECT_EQ(AlignDown(4096, 4096), 4096u);
+}
+
+TEST(BitsTest, AlignAtTopOfAddressSpace)
+{
+    // The largest representable multiple of the alignment round-trips
+    // exactly; align == 1 is the identity everywhere.
+    const uint64_t top = ~uint64_t{0} - 4095;  // 2^64 - 4096
+    EXPECT_EQ(AlignUp(top, 4096), top);
+    EXPECT_EQ(AlignUp(top - 1, 4096), top);
+    EXPECT_EQ(AlignDown(~uint64_t{0}, 4096), top);
+    EXPECT_EQ(AlignUp(~uint64_t{0}, 1), ~uint64_t{0});
+    EXPECT_EQ(AlignDown(~uint64_t{0}, 1), ~uint64_t{0});
+    EXPECT_EQ(AlignDown(~uint64_t{0}, uint64_t{1} << 63), uint64_t{1} << 63);
 }
 
 // ---------------------------------------------------------------------------

@@ -99,7 +99,8 @@ TEST_F(MpSystemTest, DirtyFaultHappensOnceAcrossProcessors)
     // the same page sees the PTE already dirty (at worst a dirty-bit
     // miss, never a second fault).
     Build(2);
-    const uint64_t block = system_->config().block_bytes;
+    const auto block =
+        static_cast<ProcessAddr>(system_->config().block_bytes);
     system_->Access(0, MemRef{pid_, kHeapBase, AccessType::kWrite});
     system_->Access(1, MemRef{pid_, kHeapBase + block, AccessType::kWrite});
     EXPECT_EQ(system_->events().Get(sim::Event::kDirtyFault), 1u);
@@ -108,7 +109,8 @@ TEST_F(MpSystemTest, DirtyFaultHappensOnceAcrossProcessors)
 TEST_F(MpSystemTest, StaleCachedDirtyBitOnPeerIsADirtyBitMiss)
 {
     Build(2);
-    const uint64_t block = system_->config().block_bytes;
+    const auto block =
+        static_cast<ProcessAddr>(system_->config().block_bytes);
     // CPU 1 reads a block while the page is clean: its line caches P=0.
     system_->Access(1, MemRef{pid_, kHeapBase + block, AccessType::kRead});
     // CPU 0 dirties the page via another block.
