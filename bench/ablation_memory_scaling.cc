@@ -10,8 +10,9 @@
  * elapsed-time penalty shrinks as paging vanishes while its savings
  * (no ref faults, no clears) stay, so the curves cross.
  *
- * Flags: --refs=M (millions), --reps=N (default 1), --seed=S, --jobs=N,
- *        --json=FILE
+ * Flags: --refs=M (millions), --reps=N (default 1), --seed=S, plus the
+ *        standard session flags --jobs=N, --json=FILE, --shard=K/N,
+ *        --telemetry, --costs=FILE (src/runner/session.h)
  */
 #include <cstdio>
 #include <vector>
@@ -66,10 +67,12 @@ main(int argc, char** argv)
     for (size_t i = 0; i < configs.size(); i += 2) {
         stats::Summary elapsed[2], page_ins[2];
         for (size_t p = 0; p < 2; ++p) {
-            for (const core::RunResult& r : results[i + p]) {
-                elapsed[p].Add(r.elapsed_seconds);
-                page_ins[p].Add(static_cast<double>(r.page_ins));
-            }
+            elapsed[p] = stats::Summary::Over(
+                results[i + p],
+                [](const core::RunResult& r) { return r.elapsed_seconds; });
+            page_ins[p] = stats::Summary::Over(
+                results[i + p],
+                [](const core::RunResult& r) { return r.page_ins; });
         }
         const double penalty =
             100.0 * (elapsed[1].Mean() - elapsed[0].Mean()) /

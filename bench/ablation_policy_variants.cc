@@ -14,7 +14,9 @@
  * Mechanistic runs (each policy actually executes); w-hit-driven terms
  * are also reported at prototype scale via the analytic model.
  *
- * Flags: --refs=M (millions, default 6), --jobs=N, --json=FILE
+ * Flags: --refs=M (millions, default 6), plus the standard session
+ *        flags --jobs=N, --json=FILE, --shard=K/N, --telemetry,
+ *        --costs=FILE (src/runner/session.h)
  */
 #include <cstdio>
 #include <vector>

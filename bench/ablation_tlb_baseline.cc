@@ -14,7 +14,8 @@
  * provide faster access times than physical address caches".
  *
  * Flags: --refs=M (millions, default 6), --mem=MB (default 8), --seed=S,
- *        --jobs=N, --json=FILE
+ *        plus the standard session flags --jobs=N, --json=FILE,
+ *        --shard=K/N, --telemetry, --costs=FILE (src/runner/session.h)
  */
 #include <cstdio>
 

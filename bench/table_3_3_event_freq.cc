@@ -7,7 +7,9 @@
  * prototype measurements were taken.
  *
  * Flags: --reps=N (default 1), --refs=M (override run length, millions),
- *        --csv, --seed=S, --jobs=N, --json=FILE
+ *        --csv, --seed=S, plus the standard session flags --jobs=N,
+ *        --json=FILE, --shard=K/N, --telemetry, --costs=FILE
+ *        (src/runner/session.h)
  */
 #include <cstdio>
 #include <vector>
@@ -53,15 +55,22 @@ main(int argc, char** argv)
                  "N_w-hit (M)", "N_w-miss (M)", "t_elapsed (s)"});
     const char* last_workload = nullptr;
     for (size_t i = 0; i < configs.size(); ++i) {
-        stats::Summary ds, zfod, ef, whit, wmiss, elapsed;
-        for (const core::RunResult& r : results[i]) {
-            ds.Add(static_cast<double>(r.frequencies.n_ds));
-            zfod.Add(static_cast<double>(r.frequencies.n_zfod));
-            ef.Add(static_cast<double>(r.frequencies.n_ef));
-            whit.Add(static_cast<double>(r.frequencies.n_w_hit));
-            wmiss.Add(static_cast<double>(r.frequencies.n_w_miss));
-            elapsed.Add(r.elapsed_seconds);
-        }
+        using core::RunResult;
+        const auto ds = stats::Summary::Over(
+            results[i], [](const RunResult& r) { return r.frequencies.n_ds; });
+        const auto zfod = stats::Summary::Over(
+            results[i],
+            [](const RunResult& r) { return r.frequencies.n_zfod; });
+        const auto ef = stats::Summary::Over(
+            results[i], [](const RunResult& r) { return r.frequencies.n_ef; });
+        const auto whit = stats::Summary::Over(
+            results[i],
+            [](const RunResult& r) { return r.frequencies.n_w_hit; });
+        const auto wmiss = stats::Summary::Over(
+            results[i],
+            [](const RunResult& r) { return r.frequencies.n_w_miss; });
+        const auto elapsed = stats::Summary::Over(
+            results[i], [](const RunResult& r) { return r.elapsed_seconds; });
         const char* name = ToString(configs[i].workload);
         const double scale = core::RefCompression(configs[i].workload);
         if (last_workload != nullptr && name != last_workload) {

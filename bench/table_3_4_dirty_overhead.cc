@@ -13,7 +13,8 @@
  * analytic model.
  *
  * Flags: --reps=N, --refs=M (millions), --mechanistic, --csv, --seed=S,
- *        --jobs=N, --json=FILE
+ *        plus the standard session flags --jobs=N, --json=FILE,
+ *        --shard=K/N, --telemetry, --costs=FILE (src/runner/session.h)
  */
 #include <cstdio>
 #include <vector>
@@ -152,35 +153,43 @@ main(int argc, char** argv)
                 }
                 const auto results = session.RunMatrix(configs, reps);
                 for (size_t p = 0; p < std::size(kOrder); ++p) {
-                    stats::Summary sum;
-                    for (const core::RunResult& r : results[p]) {
-                        const double fault_s = r.bucket_seconds[
-                            static_cast<size_t>(sim::TimeBucket::kFault)];
-                        const double flush_s = r.bucket_seconds[
-                            static_cast<size_t>(sim::TimeBucket::kFlush)];
-                        const double aux_s = r.bucket_seconds[
-                            static_cast<size_t>(sim::TimeBucket::kDirtyAux)];
-                        const double cycle_ns = model_config.cpu_cycle_ns;
-                        double total =
-                            (fault_s + flush_s + aux_s) * 1e9 / cycle_ns;
-                        // Remove costs that are not dirty-bit overhead:
-                        // ref faults, zero-fill faults, page-fault
-                        // software, and the VM's reclaim flushes.
-                        total -= static_cast<double>(
-                            r.events.Get(sim::Event::kRefFault) *
-                            model_config.t_fault);
-                        total -= static_cast<double>(
-                            r.events.Get(sim::Event::kDirtyFaultZfod) *
-                            model_config.t_fault);
-                        total -= static_cast<double>(
-                            r.events.Get(sim::Event::kPageFault) *
-                            model_config.t_pagefault_sw);
-                        total -= static_cast<double>(
-                            r.events.Get(sim::Event::kPageFlush) *
-                            model_config.t_flush_page);
-                        sum.Add(total);
-                    }
-                    cycles[p] = sum.Mean();
+                    cycles[p] =
+                        stats::Summary::Over(
+                            results[p],
+                            [&](const core::RunResult& r) {
+                                const double fault_s = r.bucket_seconds[
+                                    static_cast<size_t>(
+                                        sim::TimeBucket::kFault)];
+                                const double flush_s = r.bucket_seconds[
+                                    static_cast<size_t>(
+                                        sim::TimeBucket::kFlush)];
+                                const double aux_s = r.bucket_seconds[
+                                    static_cast<size_t>(
+                                        sim::TimeBucket::kDirtyAux)];
+                                const double cycle_ns =
+                                    model_config.cpu_cycle_ns;
+                                double total = (fault_s + flush_s + aux_s) *
+                                               1e9 / cycle_ns;
+                                // Remove costs that are not dirty-bit
+                                // overhead: ref faults, zero-fill faults,
+                                // page-fault software, and the VM's
+                                // reclaim flushes.
+                                total -= static_cast<double>(
+                                    r.events.Get(sim::Event::kRefFault) *
+                                    model_config.t_fault);
+                                total -= static_cast<double>(
+                                    r.events.Get(
+                                        sim::Event::kDirtyFaultZfod) *
+                                    model_config.t_fault);
+                                total -= static_cast<double>(
+                                    r.events.Get(sim::Event::kPageFault) *
+                                    model_config.t_pagefault_sw);
+                                total -= static_cast<double>(
+                                    r.events.Get(sim::Event::kPageFlush) *
+                                    model_config.t_flush_page);
+                                return total;
+                            })
+                            .Mean();
                 }
             }
 

@@ -10,8 +10,9 @@
  * dirty bits saved), and the extra paging I/O that would occur without
  * dirty bits.
  *
- * Flags: --refs=M (millions, per host), --csv, --seed=S, --jobs=N,
- *        --json=FILE
+ * Flags: --refs=M (millions, per host), --csv, --seed=S, plus the
+ *        standard session flags --jobs=N, --json=FILE, --shard=K/N,
+ *        --telemetry, --costs=FILE (src/runner/session.h)
  */
 #include <cstdio>
 #include <string>

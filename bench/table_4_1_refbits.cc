@@ -7,7 +7,9 @@
  * each with the percentage relative to MISS at the same point.
  *
  * Flags: --reps=N (default 3; the paper used 5), --refs=M (millions),
- *        --csv, --seed=S, --jobs=N, --json=FILE
+ *        --csv, --seed=S, plus the standard session flags --jobs=N,
+ *        --json=FILE, --shard=K/N, --telemetry, --costs=FILE
+ *        (src/runner/session.h)
  */
 #include <cstdio>
 #include <string>
@@ -72,28 +74,41 @@ main(int argc, char** argv)
 
     Table t("Table 4.1: Reference Bit Results (elapsed time in scaled "
             "seconds; percentages relative to MISS)");
-    t.SetHeader({"Workload", "Memory (MB)", "Policy", "Page-Ins", "",
-                 "Elapsed (s)", ""});
+    const bool show_ci = reps >= 2;
+    if (show_ci) {
+        t.SetHeader({"Workload", "Memory (MB)", "Policy", "Page-Ins", "",
+                     "Elapsed (s)", "", "±95% CI (s)"});
+    } else {
+        t.SetHeader({"Workload", "Memory (MB)", "Policy", "Page-Ins", "",
+                     "Elapsed (s)", ""});
+    }
 
     for (size_t i = 0; i < configs.size(); i += 3) {
         stats::Summary page_ins[3], elapsed[3];
         for (size_t p = 0; p < 3; ++p) {
-            for (const core::RunResult& r : results[i + p]) {
-                page_ins[p].Add(static_cast<double>(r.page_ins));
-                elapsed[p].Add(r.elapsed_seconds);
-            }
+            page_ins[p] = stats::Summary::Over(
+                results[i + p],
+                [](const core::RunResult& r) { return r.page_ins; });
+            elapsed[p] = stats::Summary::Over(
+                results[i + p],
+                [](const core::RunResult& r) { return r.elapsed_seconds; });
         }
         const double miss_pi = page_ins[0].Mean();
         const double miss_el = elapsed[0].Mean();
         for (size_t p = 0; p < 3; ++p) {
             const char* policy_name = ToString(order[p]);
-            t.AddRow({p == 0 ? ToString(configs[i].workload) : "",
-                      p == 0 ? std::to_string(configs[i].memory_mb) : "",
-                      policy_name,
-                      Table::Num(static_cast<uint64_t>(page_ins[p].Mean())),
-                      PctOf(page_ins[p].Mean(), miss_pi),
-                      Table::Num(elapsed[p].Mean(), 0),
-                      PctOf(elapsed[p].Mean(), miss_el)});
+            std::vector<std::string> row{
+                p == 0 ? ToString(configs[i].workload) : "",
+                p == 0 ? std::to_string(configs[i].memory_mb) : "",
+                policy_name,
+                Table::Num(static_cast<uint64_t>(page_ins[p].Mean())),
+                PctOf(page_ins[p].Mean(), miss_pi),
+                Table::Num(elapsed[p].Mean(), 0),
+                PctOf(elapsed[p].Mean(), miss_el)};
+            if (show_ci) {
+                row.push_back(Table::Num(elapsed[p].Ci95(), 1));
+            }
+            t.AddRow(row);
         }
         t.AddSeparator();
     }

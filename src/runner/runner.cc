@@ -9,8 +9,10 @@
 
 #include "src/check/audit.h"
 #include "src/check/dominance.h"
+#include "src/common/log.h"
 #include "src/common/random.h"
 #include "src/runner/thread_pool.h"
+#include "src/sweep/telemetry.h"
 
 namespace spur::runner {
 
@@ -27,30 +29,55 @@ EffectiveJobs(unsigned jobs, size_t count)
         std::min<size_t>(jobs, std::max<size_t>(count, 1)));
 }
 
-/** One cell's identity in the shuffled execution order. */
-struct CellId {
-    size_t config_index;
-    uint32_t rep;
-};
-
 /**
- * The shuffled (config, rep) list of the paper's Section 4.2 randomized
- * experiment design.  The shuffle depends only on @p shuffle_seed and
- * the matrix shape, never on the job count.
+ * The cells this shard owns, in execution order: the shuffled list
+ * filtered to the shard and, when a cost table is supplied, reordered
+ * longest-first (stable, so unknown-cost cells keep their shuffled
+ * relative order behind every measured one).
  */
 std::vector<CellId>
-ShuffledCells(size_t num_configs, uint32_t reps, uint64_t shuffle_seed)
+ShardCells(const std::vector<core::RunConfig>& configs, uint32_t reps,
+           const MatrixOptions& options)
 {
-    std::vector<CellId> cells;
-    cells.reserve(num_configs * reps);
-    for (size_t i = 0; i < num_configs; ++i) {
-        for (uint32_t r = 0; r < reps; ++r) {
-            cells.push_back(CellId{i, r});
-        }
+    const uint32_t shard_count = std::max(options.shard_count, 1u);
+    if (options.shard_index >= shard_count) {
+        Fatal("RunMatrix: shard index " +
+              std::to_string(options.shard_index) +
+              " out of range for count " + std::to_string(shard_count));
     }
-    Rng rng(shuffle_seed);
-    for (size_t i = cells.size(); i > 1; --i) {
-        std::swap(cells[i - 1], cells[rng.NextBelow(i)]);
+    std::vector<CellId> cells =
+        MatrixOrder(configs.size(), reps, options.shuffle_seed);
+    if (shard_count > 1) {
+        std::vector<CellId> mine;
+        mine.reserve(cells.size() / shard_count + 1);
+        for (size_t ordinal = 0; ordinal < cells.size(); ++ordinal) {
+            if ((options.shard_offset + ordinal) % shard_count ==
+                options.shard_index) {
+                mine.push_back(cells[ordinal]);
+            }
+        }
+        cells = std::move(mine);
+    }
+    if (options.cost) {
+        std::vector<double> costs(cells.size());
+        for (size_t i = 0; i < cells.size(); ++i) {
+            costs[i] = options.cost(configs[cells[i].config_index],
+                                    cells[i].rep);
+        }
+        std::vector<size_t> order(cells.size());
+        for (size_t i = 0; i < order.size(); ++i) {
+            order[i] = i;
+        }
+        std::stable_sort(order.begin(), order.end(),
+                         [&costs](size_t a, size_t b) {
+                             return costs[a] > costs[b];
+                         });
+        std::vector<CellId> sorted;
+        sorted.reserve(cells.size());
+        for (const size_t i : order) {
+            sorted.push_back(cells[i]);
+        }
+        cells = std::move(sorted);
     }
     return cells;
 }
@@ -81,6 +108,23 @@ CellSeed(uint64_t config_seed, uint32_t rep)
     // Distinct, reproducible seed per repetition; must never change, or
     // every recorded result in the perf trajectory shifts.
     return config_seed * 1000003 + rep * 7919 + 17;
+}
+
+std::vector<CellId>
+MatrixOrder(size_t num_configs, uint32_t reps, uint64_t shuffle_seed)
+{
+    std::vector<CellId> cells;
+    cells.reserve(num_configs * reps);
+    for (size_t i = 0; i < num_configs; ++i) {
+        for (uint32_t r = 0; r < reps; ++r) {
+            cells.push_back(CellId{i, r});
+        }
+    }
+    Rng rng(shuffle_seed);
+    for (size_t i = cells.size(); i > 1; --i) {
+        std::swap(cells[i - 1], cells[rng.NextBelow(i)]);
+    }
+    return cells;
 }
 
 void
@@ -131,16 +175,19 @@ ParallelFor(size_t count, unsigned jobs,
 
 std::vector<std::vector<core::RunResult>>
 RunMatrix(const std::vector<core::RunConfig>& configs, uint32_t reps,
-          uint64_t shuffle_seed, unsigned jobs, const CellCallback& progress)
+          const MatrixOptions& options, const CellCallback& progress)
 {
-    const std::vector<CellId> cells =
-        ShuffledCells(configs.size(), reps, shuffle_seed);
+    const std::vector<CellId> cells = ShardCells(configs, reps, options);
+    // The cross-policy dominance audit needs the complete grid; a shard
+    // holds only its slice, so the audit runs on full runs alone (the
+    // shard-union CI job still covers sharded sweeps end to end).
+    const bool full_matrix = options.shard_count <= 1;
     std::vector<std::vector<core::RunResult>> results(configs.size());
     for (auto& group : results) {
         group.resize(reps);
     }
 
-    jobs = EffectiveJobs(jobs, cells.size());
+    const unsigned jobs = EffectiveJobs(options.jobs, cells.size());
     if (jobs <= 1) {
         for (const CellId& id : cells) {
             Cell cell;
@@ -148,13 +195,19 @@ RunMatrix(const std::vector<core::RunConfig>& configs, uint32_t reps,
             cell.rep = id.rep;
             cell.config = configs[id.config_index];
             cell.config.seed = CellSeed(cell.config.seed, id.rep);
+            const sweep::Stopwatch stopwatch;
             cell.result = core::RunOnce(cell.config);
+            cell.wall_seconds = stopwatch.Seconds();
+            cell.peak_rss_bytes = sweep::PeakRssBytes();
+            cell.worker = CurrentWorkerIndex();
+            results[id.config_index][id.rep] = cell.result;
             if (progress) {
                 progress(cell);
             }
-            results[id.config_index][id.rep] = std::move(cell.result);
         }
-        AuditMatrix(configs, results);
+        if (full_matrix) {
+            AuditMatrix(configs, results);
+        }
         return results;
     }
 
@@ -178,7 +231,11 @@ RunMatrix(const std::vector<core::RunConfig>& configs, uint32_t reps,
             d.cell.config = configs[id.config_index];
             d.cell.config.seed = CellSeed(d.cell.config.seed, id.rep);
             try {
+                const sweep::Stopwatch stopwatch;
                 d.cell.result = core::RunOnce(d.cell.config);
+                d.cell.wall_seconds = stopwatch.Seconds();
+                d.cell.peak_rss_bytes = sweep::PeakRssBytes();
+                d.cell.worker = CurrentWorkerIndex();
             } catch (...) {
                 d.error = std::current_exception();
             }
@@ -219,8 +276,20 @@ RunMatrix(const std::vector<core::RunConfig>& configs, uint32_t reps,
     if (first_error) {
         std::rethrow_exception(first_error);
     }
-    AuditMatrix(configs, results);
+    if (full_matrix) {
+        AuditMatrix(configs, results);
+    }
     return results;
+}
+
+std::vector<std::vector<core::RunResult>>
+RunMatrix(const std::vector<core::RunConfig>& configs, uint32_t reps,
+          uint64_t shuffle_seed, unsigned jobs, const CellCallback& progress)
+{
+    MatrixOptions options;
+    options.shuffle_seed = shuffle_seed;
+    options.jobs = jobs;
+    return RunMatrix(configs, reps, options, progress);
 }
 
 std::vector<core::RunResult>

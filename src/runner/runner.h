@@ -26,12 +26,22 @@
 
 namespace spur::runner {
 
+/** One cell's identity in the matrix execution order. */
+struct CellId {
+    size_t config_index = 0;  ///< Index into the input config vector.
+    uint32_t rep = 0;         ///< Repetition number in [0, reps).
+};
+
 /** Identity and outcome of one completed matrix cell. */
 struct Cell {
     size_t config_index = 0;  ///< Index into the input config vector.
     uint32_t rep = 0;         ///< Repetition number in [0, reps).
     core::RunConfig config;   ///< The executed config (derived seed).
     core::RunResult result;
+    // Telemetry sampled around the cell's execution (sweep layer).
+    double wall_seconds = 0.0;    ///< Wall-clock duration of RunOnce.
+    uint64_t peak_rss_bytes = 0;  ///< Process peak RSS at completion.
+    uint32_t worker = 0;          ///< 0-based worker-thread index.
 };
 
 /** Fired once per completed cell, on the calling thread. */
@@ -42,6 +52,47 @@ using CellCallback = std::function<void(const Cell&)>;
  * sequential and parallel execution agree bit-for-bit.
  */
 uint64_t CellSeed(uint64_t config_seed, uint32_t rep);
+
+/**
+ * The shuffled (config, rep) execution order of the paper's Section 4.2
+ * randomized experiment design.  Depends only on the matrix shape and
+ * @p shuffle_seed — never on the job count or sharding — so every
+ * process of a distributed sweep agrees on each cell's ordinal, which
+ * is what shard assignment (src/sweep/shard.h) keys on.
+ */
+std::vector<CellId> MatrixOrder(size_t num_configs, uint32_t reps,
+                                uint64_t shuffle_seed);
+
+/** Execution options for the sharded / cost-aware matrix runner. */
+struct MatrixOptions {
+    uint64_t shuffle_seed = 42;
+    unsigned jobs = 0;        ///< 0 = DefaultJobs(), 1 = run inline.
+    /// Run only cells whose ordinal o in the shuffled order satisfies
+    /// (shard_offset + o) % shard_count == shard_index.  The offset
+    /// lets a session spread consecutive RunMatrix calls evenly over
+    /// shards by carrying its running cell count across calls.
+    uint32_t shard_index = 0;
+    uint32_t shard_count = 1;
+    uint64_t shard_offset = 0;
+    /// Optional measured-cost hint (seconds; negative = unknown).  When
+    /// set, this shard's cells execute longest-first — better pool
+    /// utilization on heterogeneous sweeps — with unknown-cost cells
+    /// keeping their shuffled order after all known ones.  Scheduling
+    /// order never changes results (cells are seeded by identity).
+    std::function<double(const core::RunConfig& config, uint32_t rep)> cost;
+};
+
+/**
+ * The sharded / cost-aware form of RunMatrix: executes the cells this
+ * shard owns and leaves every other cell of the result matrix
+ * default-constructed.  The union of all shards' executed cells is
+ * bit-identical to a single full run (tests/sweep_test.cc).  Progress
+ * fires once per *executed* cell, on the calling thread, with
+ * telemetry filled in.
+ */
+std::vector<std::vector<core::RunResult>> RunMatrix(
+    const std::vector<core::RunConfig>& configs, uint32_t reps,
+    const MatrixOptions& options, const CellCallback& progress = nullptr);
 
 /**
  * Runs @p fn(i) for every i in [0, count) on up to @p jobs threads

@@ -1,47 +1,131 @@
 #include "src/runner/session.h"
 
+#include <map>
 #include <utility>
 
 #include "src/common/log.h"
 #include "src/runner/thread_pool.h"
+#include "src/sweep/merge.h"
+#include "src/sweep/telemetry.h"
 
 namespace spur::runner {
 
 BenchSession::BenchSession(std::string bench_name, const Args& args)
   : bench_(std::move(bench_name)),
-    json_path_(args.GetString("json"))
+    json_path_(args.GetString("json")),
+    telemetry_(args.Has("telemetry"))
 {
     const int64_t requested = args.GetInt("jobs", 0);
     jobs_ = (requested > 0) ? static_cast<unsigned>(requested)
                             : HardwareJobs();
     // Library-level callers (core::RunMatrix) inherit the flag too.
     SetDefaultJobs(jobs_);
+
+    const std::string shard_text = args.GetString("shard");
+    if (!shard_text.empty()) {
+        const std::optional<sweep::ShardSpec> shard =
+            sweep::ShardSpec::Parse(shard_text);
+        if (!shard) {
+            Fatal("--shard must be K/N with 0 <= K < N, got '" +
+                  shard_text + "'");
+        }
+        shard_ = *shard;
+    }
+
+    const std::string costs_path = args.GetString("costs");
+    if (!costs_path.empty()) {
+        std::string error;
+        const std::optional<sweep::SweepDocument> document =
+            sweep::LoadSweepFile(costs_path, &error);
+        if (!document) {
+            Fatal("--costs: " + error);
+        }
+        costs_ = sweep::CostTable::FromDocument(*document);
+        if (costs_.empty()) {
+            Warn("--costs: " + costs_path +
+                 " holds no telemetry (produce it with --telemetry); "
+                 "keeping shuffled order");
+        }
+    }
 }
 
 std::vector<std::vector<core::RunResult>>
 BenchSession::RunMatrix(const std::vector<core::RunConfig>& configs,
                         uint32_t reps, uint64_t shuffle_seed)
 {
-    auto results = runner::RunMatrix(configs, reps, shuffle_seed, jobs_);
-    // Record in (config, rep) order — not completion order — so the JSON
-    // document is byte-stable across job counts.
+    MatrixOptions options;
+    options.shuffle_seed = shuffle_seed;
+    options.jobs = jobs_;
+    options.shard_index = shard_.index;
+    options.shard_count = shard_.count;
+    options.shard_offset = total_cells_;
+    if (!costs_.empty()) {
+        options.cost = [this](const core::RunConfig& config, uint32_t rep) {
+            return costs_.Lookup(config, rep);
+        };
+    }
+
+    // Collect the executed cells (this shard's slice, with telemetry),
+    // then record them in (config, rep) order — not completion order —
+    // so the JSON document is byte-stable across job counts.
+    std::map<std::pair<size_t, uint32_t>, Cell> cells;
+    auto results = runner::RunMatrix(
+        configs, reps, options,
+        [&cells](const Cell& cell) {
+            cells.emplace(std::make_pair(cell.config_index, cell.rep),
+                          cell);
+        });
     for (size_t i = 0; i < configs.size(); ++i) {
         for (uint32_t r = 0; r < reps; ++r) {
-            core::RunConfig run = configs[i];
-            run.seed = CellSeed(run.seed, r);
-            Record(run, r, results[i][r]);
+            const auto it = cells.find({i, r});
+            if (it == cells.end()) {
+                continue;  // Another shard's cell.
+            }
+            const Cell& cell = it->second;
+            Record(cell.config, r, cell.result);
+            AttachTelemetry(cell.wall_seconds, cell.peak_rss_bytes,
+                            cell.worker);
         }
     }
+    total_cells_ += static_cast<uint64_t>(configs.size()) * reps;
+    ran_cells_ += cells.size();
     return results;
 }
 
 std::vector<core::RunResult>
 BenchSession::RunAll(const std::vector<core::RunConfig>& configs)
 {
-    auto results = runner::RunAll(configs, jobs_);
+    std::vector<size_t> mine;
+    mine.reserve(configs.size());
     for (size_t i = 0; i < configs.size(); ++i) {
-        Record(configs[i], 0, results[i]);
+        if (shard_.Contains(total_cells_ + i)) {
+            mine.push_back(i);
+        }
     }
+    std::vector<core::RunResult> results(configs.size());
+    struct Telemetry {
+        double wall_seconds = 0.0;
+        uint64_t peak_rss_bytes = 0;
+        uint32_t worker = 0;
+    };
+    std::vector<Telemetry> telemetry(mine.size());
+    ParallelFor(mine.size(), jobs_, [&](size_t slot) {
+        const size_t i = mine[slot];
+        const sweep::Stopwatch stopwatch;
+        results[i] = core::RunOnce(configs[i]);
+        telemetry[slot].wall_seconds = stopwatch.Seconds();
+        telemetry[slot].peak_rss_bytes = sweep::PeakRssBytes();
+        telemetry[slot].worker = CurrentWorkerIndex();
+    });
+    for (size_t slot = 0; slot < mine.size(); ++slot) {
+        const size_t i = mine[slot];
+        Record(configs[i], 0, results[i]);
+        AttachTelemetry(telemetry[slot].wall_seconds,
+                        telemetry[slot].peak_rss_bytes,
+                        telemetry[slot].worker);
+    }
+    total_cells_ += configs.size();
+    ran_cells_ += mine.size();
     return results;
 }
 
@@ -81,13 +165,33 @@ BenchSession::Record(stats::RunRecord record)
     records_.push_back(std::move(record));
 }
 
+void
+BenchSession::AttachTelemetry(double wall_seconds, uint64_t peak_rss_bytes,
+                              uint32_t worker)
+{
+    if (!telemetry_ || records_.empty()) {
+        return;
+    }
+    stats::CellTelemetry telemetry;
+    telemetry.wall_seconds = wall_seconds;
+    telemetry.peak_rss_bytes = peak_rss_bytes;
+    telemetry.worker = worker;
+    records_.back().telemetry = telemetry;
+}
+
 int
 BenchSession::Finish()
 {
     if (json_path_.empty()) {
         return 0;
     }
-    if (!stats::JsonWriter::WriteFile(json_path_, bench_, records_)) {
+    stats::DocumentMeta meta;
+    meta.bench = bench_;
+    meta.shard_index = shard_.index;
+    meta.shard_count = shard_.count;
+    meta.total_cells = total_cells_;
+    meta.ran_cells = ran_cells_;
+    if (!stats::JsonWriter::WriteFile(json_path_, meta, records_)) {
         Warn("BenchSession: failed to write " + json_path_);
         return 1;
     }

@@ -3,11 +3,24 @@
  * Shared harness for the bench and example binaries' standard flags,
  * replacing the per-binary hand-rolled loops:
  *
- *   --jobs=N   worker threads for experiment runs (default: hardware
- *              concurrency); installed process-wide so core::RunMatrix
- *              callers inherit it.
- *   --json=F   write every run this session observed to F as JSON run
- *              records ("-" = stdout) for the perf trajectory.
+ *   --jobs=N      worker threads for experiment runs (default: hardware
+ *                 concurrency); installed process-wide so
+ *                 core::RunMatrix callers inherit it.
+ *   --json=F      write every run this session observed to F as JSON
+ *                 run records ("-" = stdout) for the perf trajectory.
+ *   --shard=K/N   run only this process's slice of every matrix: cell
+ *                 ordinal o (counted across the whole session, so
+ *                 consecutive RunMatrix/RunAll calls balance) belongs
+ *                 to shard K iff o % N == K.  Per-cell seeding makes
+ *                 the union of the N shard outputs bit-identical to a
+ *                 full run; merge the JSON with `spur_sweep merge`.
+ *   --telemetry   stamp each recorded cell with wall-clock duration,
+ *                 peak RSS and worker-thread index.  Off by default so
+ *                 the JSON stays byte-identical across job counts,
+ *                 shardings and machines.
+ *   --costs=F     prior sweep JSON (produced with --telemetry) whose
+ *                 measured durations drive longest-first scheduling;
+ *                 changes utilization, never results.
  *
  * Usage:
  *   const Args args(argc, argv);
@@ -27,6 +40,8 @@
 #include "src/core/experiment.h"
 #include "src/runner/runner.h"
 #include "src/stats/run_record.h"
+#include "src/sweep/cost.h"
+#include "src/sweep/shard.h"
 
 namespace spur::runner {
 
@@ -35,18 +50,34 @@ class BenchSession
 {
   public:
     /**
-     * Reads --jobs/--json from @p args and installs the job count as the
-     * process-wide default (SetDefaultJobs).
+     * Reads the standard flags from @p args and installs the job count
+     * as the process-wide default (SetDefaultJobs).  A malformed
+     * --shard or unreadable --costs file is a Fatal() user error.
      */
     BenchSession(std::string bench_name, const Args& args);
 
     /** The effective worker count for this session (never 0). */
     unsigned jobs() const { return jobs_; }
 
+    /** The slice of the sweep this process runs (0/1 = everything). */
+    const sweep::ShardSpec& shard() const { return shard_; }
+
+    /** True when --telemetry was requested. */
+    bool telemetry_enabled() const { return telemetry_; }
+
+    /** Sharded work units seen (cells of every matrix so far). */
+    uint64_t total_cells() const { return total_cells_; }
+
+    /** Sharded work units this process actually executed. */
+    uint64_t ran_cells() const { return ran_cells_; }
+
     /**
      * Parallel experiment matrix (see runner::RunMatrix) on this
-     * session's job count; every cell is recorded for --json in
-     * deterministic (config, rep) order.
+     * session's job count, shard and cost table; every cell this shard
+     * executes is recorded for --json in deterministic (config, rep)
+     * order.  Under --shard, skipped cells stay default-constructed in
+     * the returned matrix — printed tables are partial; the JSON
+     * records are the artifact shards exist for.
      */
     std::vector<std::vector<core::RunResult>> RunMatrix(
         const std::vector<core::RunConfig>& configs, uint32_t reps,
@@ -54,7 +85,8 @@ class BenchSession
 
     /**
      * Runs each config exactly once (seed verbatim) in parallel and
-     * returns results in input order; every run is recorded.
+     * returns results in input order; this shard's runs are recorded.
+     * Sharding treats the input order as the work-unit order.
      */
     std::vector<core::RunResult> RunAll(
         const std::vector<core::RunConfig>& configs);
@@ -73,15 +105,25 @@ class BenchSession
     }
 
     /**
-     * Writes the --json file if one was requested.  Returns the
+     * Writes the --json file if one was requested, stamped with the
+     * schema version and this session's shard header.  Returns the
      * process exit code (non-zero if the write failed).
      */
     int Finish();
 
   private:
+    /** Attaches --telemetry data to the most recent record. */
+    void AttachTelemetry(double wall_seconds, uint64_t peak_rss_bytes,
+                         uint32_t worker);
+
     std::string bench_;
     std::string json_path_;
     unsigned jobs_;
+    sweep::ShardSpec shard_;
+    bool telemetry_ = false;
+    sweep::CostTable costs_;
+    uint64_t total_cells_ = 0;
+    uint64_t ran_cells_ = 0;
     std::vector<stats::RunRecord> records_;
 };
 

@@ -7,6 +7,7 @@ namespace spur::runner {
 
 namespace {
 std::atomic<unsigned> g_default_jobs{0};
+thread_local unsigned t_worker_index = 0;
 }  // namespace
 
 ThreadPool::ThreadPool(unsigned threads)
@@ -16,7 +17,7 @@ ThreadPool::ThreadPool(unsigned threads)
     }
     workers_.reserve(threads);
     for (unsigned i = 0; i < threads; ++i) {
-        workers_.emplace_back([this] { WorkerLoop(); });
+        workers_.emplace_back([this, i] { WorkerLoop(i); });
     }
 }
 
@@ -43,8 +44,9 @@ ThreadPool::Submit(std::function<void()> task)
 }
 
 void
-ThreadPool::WorkerLoop()
+ThreadPool::WorkerLoop(unsigned worker_index)
 {
+    t_worker_index = worker_index;
     for (;;) {
         std::function<void()> task;
         {
@@ -79,6 +81,12 @@ DefaultJobs()
 {
     const unsigned jobs = g_default_jobs.load(std::memory_order_relaxed);
     return (jobs > 0) ? jobs : HardwareJobs();
+}
+
+unsigned
+CurrentWorkerIndex()
+{
+    return t_worker_index;
 }
 
 }  // namespace spur::runner

@@ -85,15 +85,32 @@ JsonWriter::ToJson(const RunRecord& record)
         first = false;
         out += Quoted(name) + ": " + NumberToJson(value);
     }
-    out += "}}";
+    out += "}";
+    if (record.telemetry) {
+        out += ", \"telemetry\": {\"wall_seconds\": ";
+        out += NumberToJson(record.telemetry->wall_seconds);
+        out += ", \"peak_rss_bytes\": ";
+        out += std::to_string(record.telemetry->peak_rss_bytes);
+        out += ", \"worker\": ";
+        out += std::to_string(record.telemetry->worker);
+        out += "}";
+    }
+    out += "}";
     return out;
 }
 
 std::string
-JsonWriter::ToJson(const std::string& bench,
+JsonWriter::ToJson(const DocumentMeta& meta,
                    const std::vector<RunRecord>& records)
 {
-    std::string out = "{\"bench\": " + Quoted(bench) + ", \"records\": [";
+    std::string out = "{\"schema_version\": ";
+    out += std::to_string(kSchemaVersion);
+    out += ", \"bench\": " + Quoted(meta.bench);
+    out += ", \"shard\": {\"index\": " + std::to_string(meta.shard_index);
+    out += ", \"count\": " + std::to_string(meta.shard_count);
+    out += ", \"total_cells\": " + std::to_string(meta.total_cells);
+    out += ", \"ran_cells\": " + std::to_string(meta.ran_cells);
+    out += "}, \"records\": [";
     for (size_t i = 0; i < records.size(); ++i) {
         out += (i == 0) ? "\n  " : ",\n  ";
         out += ToJson(records[i]);
@@ -102,11 +119,20 @@ JsonWriter::ToJson(const std::string& bench,
     return out;
 }
 
+std::string
+JsonWriter::ToJson(const std::string& bench,
+                   const std::vector<RunRecord>& records)
+{
+    DocumentMeta meta;
+    meta.bench = bench;
+    return ToJson(meta, records);
+}
+
 bool
-JsonWriter::WriteFile(const std::string& path, const std::string& bench,
+JsonWriter::WriteFile(const std::string& path, const DocumentMeta& meta,
                       const std::vector<RunRecord>& records)
 {
-    const std::string document = ToJson(bench, records);
+    const std::string document = ToJson(meta, records);
     if (path == "-") {
         return std::fwrite(document.data(), 1, document.size(), stdout) ==
                document.size();
@@ -118,6 +144,15 @@ JsonWriter::WriteFile(const std::string& path, const std::string& bench,
     const bool ok = std::fwrite(document.data(), 1, document.size(),
                                 file) == document.size();
     return (std::fclose(file) == 0) && ok;
+}
+
+bool
+JsonWriter::WriteFile(const std::string& path, const std::string& bench,
+                      const std::vector<RunRecord>& records)
+{
+    DocumentMeta meta;
+    meta.bench = bench;
+    return WriteFile(path, meta, records);
 }
 
 }  // namespace spur::stats

@@ -6,17 +6,37 @@
  * print-only tables, so the perf trajectory can be tracked by tooling.
  * A RunRecord is one observation — typically one (config, repetition)
  * cell of the experiment matrix — flattened to plain fields plus an
- * ordered list of bench-specific named metrics.
+ * ordered list of bench-specific named metrics and, when requested
+ * (--telemetry), the cell's wall-clock cost.
+ *
+ * Documents are stamped with kSchemaVersion and a shard header (which
+ * slice of the sweep this file holds; see src/sweep/) so the spur_sweep
+ * tool can validate files and merge per-shard outputs deterministically.
  */
 #ifndef SPUR_STATS_RUN_RECORD_H_
 #define SPUR_STATS_RUN_RECORD_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 namespace spur::stats {
+
+/**
+ * Version of the JSON document layout.  Bump on any change to the
+ * document or record shape; spur_sweep rejects versions it does not
+ * know (tests/sweep_test.cc round-trips the current shape).
+ */
+inline constexpr int kSchemaVersion = 1;
+
+/** Wall-clock telemetry of one executed cell (omitted unless enabled). */
+struct CellTelemetry {
+    double wall_seconds = 0.0;    ///< Wall-clock duration of the cell.
+    uint64_t peak_rss_bytes = 0;  ///< Process peak RSS when it finished.
+    uint32_t worker = 0;          ///< 0-based worker-thread index.
+};
 
 /** One machine-readable run observation. */
 struct RunRecord {
@@ -33,12 +53,26 @@ struct RunRecord {
     double elapsed_seconds = 0.0;
     /// Bench-specific extras, kept ordered for byte-stable output.
     std::vector<std::pair<std::string, double>> metrics;
+    /// Per-cell wall-clock telemetry; only set under --telemetry, so the
+    /// default JSON stays byte-identical across job counts and machines.
+    std::optional<CellTelemetry> telemetry;
 
     /** Appends one named metric. */
     void AddMetric(const std::string& name, double value)
     {
         metrics.emplace_back(name, value);
     }
+};
+
+/** Document-level header: producing bench plus sweep shard accounting. */
+struct DocumentMeta {
+    std::string bench;
+    uint32_t shard_index = 0;   ///< This file's shard (0-based).
+    uint32_t shard_count = 1;   ///< Total shards of the sweep (1 = full).
+    /// Work units (matrix cells) in the *whole* sweep, and how many this
+    /// document ran; 0/0 when the producer did not track cells.
+    uint64_t total_cells = 0;
+    uint64_t ran_cells = 0;
 };
 
 /** Serializes RunRecords as a JSON document. */
@@ -53,8 +87,13 @@ class JsonWriter
 
     /**
      * Renders the whole document:
-     * {"bench": NAME, "records": [ ... ]}.
+     * {"schema_version": V, "bench": NAME, "shard": {...},
+     *  "records": [ ... ]}.
      */
+    static std::string ToJson(const DocumentMeta& meta,
+                              const std::vector<RunRecord>& records);
+
+    /** Convenience overload: full (unsharded, untracked) document. */
     static std::string ToJson(const std::string& bench,
                               const std::vector<RunRecord>& records);
 
@@ -62,6 +101,10 @@ class JsonWriter
      * Writes the document to @p path ("-" = stdout).  Returns false on
      * I/O failure.
      */
+    static bool WriteFile(const std::string& path, const DocumentMeta& meta,
+                          const std::vector<RunRecord>& records);
+
+    /** Convenience overload: full (unsharded, untracked) document. */
     static bool WriteFile(const std::string& path, const std::string& bench,
                           const std::vector<RunRecord>& records);
 };

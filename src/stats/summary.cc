@@ -38,13 +38,40 @@ Summary::StdDev() const
     return std::sqrt(sq / static_cast<double>(values_.size() - 1));
 }
 
+namespace {
+
+/** Two-sided 95% Student-t critical value for @p df degrees of freedom. */
+double
+T95(size_t df)
+{
+    // t-table, df = 1..30; beyond that the normal approximation is
+    // within half a percent.
+    static constexpr double kTable[] = {
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+        2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+        2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060,  2.056, 2.052, 2.048, 2.045, 2.042,
+    };
+    constexpr size_t kTableSize = sizeof(kTable) / sizeof(kTable[0]);
+    if (df == 0) {
+        return 0.0;
+    }
+    if (df <= kTableSize) {
+        return kTable[df - 1];
+    }
+    return 1.96;
+}
+
+}  // namespace
+
 double
 Summary::Ci95() const
 {
     if (values_.size() < 2) {
         return 0.0;
     }
-    return 1.96 * StdDev() / std::sqrt(static_cast<double>(values_.size()));
+    return T95(values_.size() - 1) * StdDev() /
+           std::sqrt(static_cast<double>(values_.size()));
 }
 
 double

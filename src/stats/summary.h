@@ -20,6 +20,23 @@ class Summary
     /** Adds one observation. */
     void Add(double value);
 
+    /**
+     * Summarizes a projection over a range — the one-liner that replaces
+     * the ad-hoc mean/stddev loops the benches used to hand-roll:
+     *
+     *   const auto s = Summary::Over(results[i],
+     *       [](const core::RunResult& r) { return r.page_ins; });
+     */
+    template <typename Range, typename Projection>
+    static Summary Over(const Range& range, Projection&& projection)
+    {
+        Summary summary;
+        for (const auto& item : range) {
+            summary.Add(static_cast<double>(projection(item)));
+        }
+        return summary;
+    }
+
     /** Number of observations. */
     size_t Count() const { return values_.size(); }
 
@@ -29,8 +46,10 @@ class Summary
     /** Sample standard deviation (0 when fewer than 2 samples). */
     double StdDev() const;
 
-    /** Half-width of the ~95% confidence interval on the mean, using the
-     *  normal approximation (0 when fewer than 2 samples). */
+    /** Half-width of the 95% confidence interval on the mean: Student-t
+     *  critical values for small samples (the paper's 5 repetitions give
+     *  t = 2.776, not 1.96), normal approximation beyond the table
+     *  (0 when fewer than 2 samples). */
     double Ci95() const;
 
     /** Smallest observation (0 when empty). */

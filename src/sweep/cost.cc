@@ -1,0 +1,61 @@
+#include "src/sweep/cost.h"
+
+#include <algorithm>
+
+namespace spur::sweep {
+
+namespace {
+constexpr char kSep = '\x1f';
+}  // namespace
+
+CostTable
+CostTable::FromDocument(const SweepDocument& document)
+{
+    CostTable table;
+    for (const stats::RunRecord& record : document.records) {
+        if (!record.telemetry || record.telemetry->wall_seconds <= 0.0) {
+            continue;
+        }
+        table.Add(record.workload, record.dirty_policy, record.ref_policy,
+                  record.memory_mb, record.rep,
+                  record.telemetry->wall_seconds);
+    }
+    return table;
+}
+
+void
+CostTable::Add(const std::string& workload, const std::string& dirty,
+               const std::string& ref, uint32_t memory_mb, uint32_t rep,
+               double seconds)
+{
+    double& slot = costs_[Key(workload, dirty, ref, memory_mb, rep)];
+    slot = std::max(slot, seconds);
+}
+
+double
+CostTable::Lookup(const core::RunConfig& config, uint32_t rep) const
+{
+    const auto it = costs_.find(Key(core::ToString(config.workload),
+                                    ToString(config.dirty),
+                                    ToString(config.ref), config.memory_mb,
+                                    rep));
+    return (it != costs_.end()) ? it->second : -1.0;
+}
+
+std::string
+CostTable::Key(const std::string& workload, const std::string& dirty,
+               const std::string& ref, uint32_t memory_mb, uint32_t rep)
+{
+    std::string key = workload;
+    key += kSep;
+    key += dirty;
+    key += kSep;
+    key += ref;
+    key += kSep;
+    key += std::to_string(memory_mb);
+    key += kSep;
+    key += std::to_string(rep);
+    return key;
+}
+
+}  // namespace spur::sweep

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Measured per-cell cost table for longest-first scheduling.
+ *
+ * A sweep run with --telemetry records every cell's wall-clock
+ * duration.  Feeding that file back via --costs=FILE builds a CostTable
+ * keyed by the cell's experiment identity (workload, policies, memory
+ * size, repetition — deliberately not the seed, so a table survives a
+ * --seed change), and runner::RunMatrix sorts its shard's cells
+ * longest-first by these hints.  Scheduling order never feeds into
+ * results (every cell is seeded from its identity alone), so the hints
+ * change pool utilization, not a single output byte — asserted in
+ * tests/sweep_test.cc and CI.
+ */
+#ifndef SPUR_SWEEP_COST_H_
+#define SPUR_SWEEP_COST_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/core/experiment.h"
+#include "src/sweep/merge.h"
+
+namespace spur::sweep {
+
+/** Expected wall-clock seconds per cell, from measured telemetry. */
+class CostTable
+{
+  public:
+    CostTable() = default;
+
+    /**
+     * Builds a table from a sweep document's telemetry.  Records
+     * without telemetry (or with zero duration) are skipped; identity
+     * collisions keep the largest measurement (conservative for
+     * longest-first ordering).
+     */
+    static CostTable FromDocument(const SweepDocument& document);
+
+    /** Registers one measurement (keeps the max on collision). */
+    void Add(const std::string& workload, const std::string& dirty,
+             const std::string& ref, uint32_t memory_mb, uint32_t rep,
+             double seconds);
+
+    /**
+     * Expected duration for one matrix cell, or a negative value when
+     * the table holds no measurement for it (unknown cells keep their
+     * shuffled position, after all known ones).
+     */
+    double Lookup(const core::RunConfig& config, uint32_t rep) const;
+
+    bool empty() const { return costs_.empty(); }
+    size_t size() const { return costs_.size(); }
+
+  private:
+    static std::string Key(const std::string& workload,
+                           const std::string& dirty, const std::string& ref,
+                           uint32_t memory_mb, uint32_t rep);
+
+    std::map<std::string, double> costs_;
+};
+
+}  // namespace spur::sweep
+
+#endif  // SPUR_SWEEP_COST_H_

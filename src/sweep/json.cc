@@ -1,0 +1,420 @@
+#include "src/sweep/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace spur::sweep {
+
+namespace {
+
+/** Nesting depth cap: deeper input is malformed, not a sweep document. */
+constexpr int kMaxDepth = 64;
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string& text)
+      : text_(text)
+    {
+    }
+
+    std::optional<JsonValue> Parse(std::string* error)
+    {
+        std::optional<JsonValue> value = ParseValue(0);
+        if (value) {
+            SkipWhitespace();
+            if (pos_ != text_.size()) {
+                value.reset();
+                error_ = "trailing garbage";
+            }
+        }
+        if (!value && error != nullptr) {
+            *error = error_ + " at byte " + std::to_string(pos_);
+        }
+        return value;
+    }
+
+  private:
+    void SkipWhitespace()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+                break;
+            }
+            ++pos_;
+        }
+    }
+
+    bool Fail(const std::string& message)
+    {
+        if (error_.empty()) {
+            error_ = message;
+        }
+        return false;
+    }
+
+    bool Consume(char expected)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != expected) {
+            return Fail(std::string("expected '") + expected + "'");
+        }
+        ++pos_;
+        return true;
+    }
+
+    bool ConsumeKeyword(const char* keyword)
+    {
+        for (const char* k = keyword; *k != '\0'; ++k, ++pos_) {
+            if (pos_ >= text_.size() || text_[pos_] != *k) {
+                return Fail(std::string("invalid token (expected '") +
+                            keyword + "')");
+            }
+        }
+        return true;
+    }
+
+    std::optional<std::string> ParseString()
+    {
+        if (!Consume('"')) {
+            return std::nullopt;
+        }
+        std::string out;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"') {
+                return out;
+            }
+            if (static_cast<unsigned char>(c) < 0x20) {
+                Fail("unescaped control character in string");
+                return std::nullopt;
+            }
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) {
+                break;
+            }
+            const char escape = text_[pos_++];
+            switch (escape) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size()) {
+                    Fail("truncated \\u escape");
+                    return std::nullopt;
+                }
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9') {
+                        code |= static_cast<unsigned>(h - '0');
+                    } else if (h >= 'a' && h <= 'f') {
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    } else if (h >= 'A' && h <= 'F') {
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    } else {
+                        Fail("bad hex digit in \\u escape");
+                        return std::nullopt;
+                    }
+                }
+                // JsonWriter only emits \u00XX (control characters);
+                // reading anything wider would need UTF-8 encoding.
+                if (code > 0xFF) {
+                    Fail("\\u escape above \\u00ff unsupported");
+                    return std::nullopt;
+                }
+                out += static_cast<char>(code);
+                break;
+              }
+              default:
+                Fail("bad escape character");
+                return std::nullopt;
+            }
+        }
+        Fail("unterminated string");
+        return std::nullopt;
+    }
+
+    std::optional<JsonValue> ParseNumber()
+    {
+        const size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-') {
+            ++pos_;
+        }
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+            }
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-')) {
+                ++pos_;
+            }
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+            }
+        }
+        const std::string raw = text_.substr(start, pos_ - start);
+        // Validate with strtod: catches "-", "1.", ".5", "1e" etc.
+        const char* begin = raw.c_str();
+        char* end = nullptr;
+        std::strtod(begin, &end);
+        if (raw.empty() || end != begin + raw.size()) {
+            Fail("malformed number");
+            return std::nullopt;
+        }
+        return JsonValue::Number(raw);
+    }
+
+    std::optional<JsonValue> ParseValue(int depth)
+    {
+        if (depth > kMaxDepth) {
+            Fail("nesting too deep");
+            return std::nullopt;
+        }
+        SkipWhitespace();
+        if (pos_ >= text_.size()) {
+            Fail("unexpected end of input");
+            return std::nullopt;
+        }
+        const char c = text_[pos_];
+        switch (c) {
+          case '{': return ParseObject(depth);
+          case '[': return ParseArray(depth);
+          case '"': {
+            std::optional<std::string> s = ParseString();
+            if (!s) {
+                return std::nullopt;
+            }
+            return JsonValue::String(*std::move(s));
+          }
+          case 't':
+            if (!ConsumeKeyword("true")) {
+                return std::nullopt;
+            }
+            return JsonValue::Bool(true);
+          case 'f':
+            if (!ConsumeKeyword("false")) {
+                return std::nullopt;
+            }
+            return JsonValue::Bool(false);
+          case 'n':
+            if (!ConsumeKeyword("null")) {
+                return std::nullopt;
+            }
+            return JsonValue::Null();
+          default:
+            if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+                return ParseNumber();
+            }
+            Fail("unexpected character");
+            return std::nullopt;
+        }
+    }
+
+    std::optional<JsonValue> ParseArray(int depth)
+    {
+        if (!Consume('[')) {
+            return std::nullopt;
+        }
+        std::vector<JsonValue> items;
+        SkipWhitespace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return JsonValue::Array(std::move(items));
+        }
+        for (;;) {
+            std::optional<JsonValue> item = ParseValue(depth + 1);
+            if (!item) {
+                return std::nullopt;
+            }
+            items.push_back(*std::move(item));
+            SkipWhitespace();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (!Consume(']')) {
+                return std::nullopt;
+            }
+            return JsonValue::Array(std::move(items));
+        }
+    }
+
+    std::optional<JsonValue> ParseObject(int depth)
+    {
+        if (!Consume('{')) {
+            return std::nullopt;
+        }
+        std::vector<std::pair<std::string, JsonValue>> members;
+        SkipWhitespace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return JsonValue::Object(std::move(members));
+        }
+        for (;;) {
+            SkipWhitespace();
+            std::optional<std::string> key = ParseString();
+            if (!key) {
+                return std::nullopt;
+            }
+            SkipWhitespace();
+            if (!Consume(':')) {
+                return std::nullopt;
+            }
+            std::optional<JsonValue> value = ParseValue(depth + 1);
+            if (!value) {
+                return std::nullopt;
+            }
+            members.emplace_back(*std::move(key), *std::move(value));
+            SkipWhitespace();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (!Consume('}')) {
+                return std::nullopt;
+            }
+            return JsonValue::Object(std::move(members));
+        }
+    }
+
+    const std::string& text_;
+    size_t pos_ = 0;
+    std::string error_;
+};
+
+}  // namespace
+
+double
+JsonValue::AsDouble() const
+{
+    if (IsNull()) {
+        return std::numeric_limits<double>::quiet_NaN();
+    }
+    if (!IsNumber()) {
+        return 0.0;
+    }
+    return std::strtod(text_.c_str(), nullptr);
+}
+
+std::optional<uint64_t>
+JsonValue::AsUint64() const
+{
+    if (!IsNumber() || text_.empty()) {
+        return std::nullopt;
+    }
+    for (const char c : text_) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+            return std::nullopt;  // Sign, fraction or exponent: not exact.
+        }
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long value =
+        std::strtoull(text_.c_str(), &end, 10);
+    if (errno != 0 || end != text_.c_str() + text_.size()) {
+        return std::nullopt;
+    }
+    return static_cast<uint64_t>(value);
+}
+
+const JsonValue*
+JsonValue::Find(const std::string& key) const
+{
+    for (const auto& [name, value] : members_) {
+        if (name == key) {
+            return &value;
+        }
+    }
+    return nullptr;
+}
+
+const std::string&
+JsonValue::empty_string()
+{
+    static const std::string empty;
+    return empty;
+}
+
+JsonValue
+JsonValue::Null()
+{
+    return JsonValue();
+}
+
+JsonValue
+JsonValue::Bool(bool value)
+{
+    JsonValue v;
+    v.kind_ = Kind::kBool;
+    v.bool_ = value;
+    return v;
+}
+
+JsonValue
+JsonValue::Number(std::string raw)
+{
+    JsonValue v;
+    v.kind_ = Kind::kNumber;
+    v.text_ = std::move(raw);
+    return v;
+}
+
+JsonValue
+JsonValue::String(std::string text)
+{
+    JsonValue v;
+    v.kind_ = Kind::kString;
+    v.text_ = std::move(text);
+    return v;
+}
+
+JsonValue
+JsonValue::Array(std::vector<JsonValue> items)
+{
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    v.items_ = std::move(items);
+    return v;
+}
+
+JsonValue
+JsonValue::Object(std::vector<std::pair<std::string, JsonValue>> members)
+{
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    v.members_ = std::move(members);
+    return v;
+}
+
+std::optional<JsonValue>
+ParseJson(const std::string& text, std::string* error)
+{
+    return Parser(text).Parse(error);
+}
+
+}  // namespace spur::sweep

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reading, validating and merging sweep JSON documents (the files
+ * stats::JsonWriter emits behind --json).
+ *
+ * Merge contract (DESIGN.md §12, enforced here and exercised by CI):
+ * shard files of one sweep must agree on bench name, schema version,
+ * shard count and total cell count; their shard indices must cover
+ * 0..N-1 exactly once; and their ran-cell counts must sum to the total
+ * (more = duplicated cells, fewer = missing cells).  Records are merged
+ * into a canonical order (sorted by cell identity, then payload), so
+ * merging the N shard files of a sweep yields the byte-identical
+ * document to merging the single-process full run.  Records whose
+ * telemetry-stripped payload is identical collapse to one — that is how
+ * bespoke (non-matrix) records every shard recomputes deterministically
+ * merge — while records that share a cell identity but disagree on
+ * payload are rejected as incompatible runs.
+ */
+#ifndef SPUR_SWEEP_MERGE_H_
+#define SPUR_SWEEP_MERGE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/stats/run_record.h"
+
+namespace spur::sweep {
+
+/** One parsed sweep document: header plus records. */
+struct SweepDocument {
+    int schema_version = stats::kSchemaVersion;
+    stats::DocumentMeta meta;
+    std::vector<stats::RunRecord> records;
+};
+
+/**
+ * Parses and schema-validates one sweep document.  Rejects unknown
+ * schema versions, missing or mistyped fields, and unknown keys (an
+ * unknown key would be silently dropped by a merge — data loss).
+ * Returns nullopt and sets *error (if non-null) on failure.
+ */
+std::optional<SweepDocument> ParseSweepDocument(const std::string& json,
+                                                std::string* error);
+
+/** Reads @p path ("-" = stdin) and parses it as a sweep document. */
+std::optional<SweepDocument> LoadSweepFile(const std::string& path,
+                                           std::string* error);
+
+/**
+ * The record's cell identity: workload, policies, memory size,
+ * repetition and seed.  Two records of one sweep with equal identity
+ * must be the same cell.
+ */
+std::string RecordIdentity(const stats::RunRecord& record);
+
+/**
+ * The record's full payload with telemetry stripped — the unit of
+ * bit-identity for the shard-union contract (telemetry legitimately
+ * differs between machines).
+ */
+std::string RecordPayload(const stats::RunRecord& record);
+
+struct MergeOptions {
+    /// Drop telemetry from the merged records, so documents produced
+    /// with --telemetry can be byte-compared across shardings.
+    bool strip_telemetry = false;
+};
+
+/**
+ * Merges shard documents into one canonical full document (a single
+ * input canonicalizes record order in place).  Returns nullopt and sets
+ * *error on any contract violation listed in the file comment.
+ */
+std::optional<SweepDocument> MergeDocuments(
+    std::vector<SweepDocument> documents, const MergeOptions& options,
+    std::string* error);
+
+/** Serializes @p document in stats::JsonWriter's format. */
+std::string ToJson(const SweepDocument& document);
+
+}  // namespace spur::sweep
+
+#endif  // SPUR_SWEEP_MERGE_H_

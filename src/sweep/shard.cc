@@ -1,0 +1,50 @@
+#include "src/sweep/shard.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace spur::sweep {
+
+namespace {
+
+/** Parses a full decimal uint32 from @p s; nullopt on anything else. */
+std::optional<uint32_t>
+ParseU32(const std::string& s)
+{
+    if (s.empty() || s.size() > 9) {
+        return std::nullopt;
+    }
+    uint32_t value = 0;
+    for (const char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+            return std::nullopt;
+        }
+        value = value * 10 + static_cast<uint32_t>(c - '0');
+    }
+    return value;
+}
+
+}  // namespace
+
+std::string
+ShardSpec::ToString() const
+{
+    return std::to_string(index) + "/" + std::to_string(count);
+}
+
+std::optional<ShardSpec>
+ShardSpec::Parse(const std::string& text)
+{
+    const size_t slash = text.find('/');
+    if (slash == std::string::npos) {
+        return std::nullopt;
+    }
+    const std::optional<uint32_t> index = ParseU32(text.substr(0, slash));
+    const std::optional<uint32_t> count = ParseU32(text.substr(slash + 1));
+    if (!index || !count || *count == 0 || *index >= *count) {
+        return std::nullopt;
+    }
+    return ShardSpec{*index, *count};
+}
+
+}  // namespace spur::sweep

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Deterministic shard assignment for distributed sweeps.
+ *
+ * A ShardSpec names one slice ("K/N") of an embarrassingly parallel
+ * sweep: work unit i belongs to shard K of N iff i % N == K, where i is
+ * the unit's position in the sweep's deterministic execution order (the
+ * shuffled cell list for runner::RunMatrix, input order for RunAll).
+ * Because every cell derives its seed from its identity alone
+ * (runner::CellSeed), the union of the N shard outputs is bit-identical
+ * to a single full run — that contract is what makes cross-process and
+ * cross-machine splitting safe (tested in tests/sweep_test.cc).
+ */
+#ifndef SPUR_SWEEP_SHARD_H_
+#define SPUR_SWEEP_SHARD_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace spur::sweep {
+
+/** One slice of a sweep: shard @c index of @c count. */
+struct ShardSpec {
+    uint32_t index = 0;  ///< In [0, count).
+    uint32_t count = 1;  ///< Total shards; 1 = the full sweep.
+
+    /** True when this spec selects every work unit. */
+    bool IsFull() const { return count <= 1; }
+
+    /** True when work unit @p ordinal belongs to this shard. */
+    bool Contains(uint64_t ordinal) const
+    {
+        return ordinal % ((count > 0) ? count : 1) == index;
+    }
+
+    /** "K/N" — the same syntax Parse accepts. */
+    std::string ToString() const;
+
+    /**
+     * Parses "K/N" with 0 <= K < N and N >= 1 (e.g. "0/4").  Returns
+     * nullopt on any other input, including stray characters.
+     */
+    static std::optional<ShardSpec> Parse(const std::string& text);
+};
+
+}  // namespace spur::sweep
+
+#endif  // SPUR_SWEEP_SHARD_H_

@@ -1,0 +1,29 @@
+#include "src/sweep/telemetry.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace spur::sweep {
+
+uint64_t
+PeakRssBytes()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) != 0) {
+        return 0;
+    }
+#if defined(__APPLE__)
+    // macOS reports ru_maxrss in bytes.
+    return static_cast<uint64_t>(usage.ru_maxrss);
+#else
+    // Linux and the BSDs report kilobytes.
+    return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+#endif
+#else
+    return 0;  // Portable fallback: telemetry reports "not measured".
+#endif
+}
+
+}  // namespace spur::sweep

@@ -139,7 +139,8 @@ TEST(SummaryTest, MeanAndDeviation)
     EXPECT_NEAR(s.StdDev(), 2.138, 0.001);  // Sample (n-1) deviation.
     EXPECT_DOUBLE_EQ(s.Min(), 2.0);
     EXPECT_DOUBLE_EQ(s.Max(), 9.0);
-    EXPECT_NEAR(s.Ci95(), 1.96 * 2.138 / std::sqrt(8.0), 0.001);
+    // 8 samples: 7 degrees of freedom, Student-t critical value 2.365.
+    EXPECT_NEAR(s.Ci95(), 2.365 * 2.138 / std::sqrt(8.0), 0.001);
 }
 
 TEST(SummaryTest, SingleSampleHasNoSpread)

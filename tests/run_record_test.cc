@@ -70,7 +70,11 @@ TEST(JsonWriterTest, NonFiniteNumbersBecomeNull)
 TEST(JsonWriterTest, DocumentWrapsRecordsArray)
 {
     const std::string empty = JsonWriter::ToJson("b", {});
-    EXPECT_EQ(empty, "{\"bench\": \"b\", \"records\": [\n]}\n");
+    EXPECT_EQ(empty,
+              "{\"schema_version\": 1, \"bench\": \"b\", "
+              "\"shard\": {\"index\": 0, \"count\": 1, "
+              "\"total_cells\": 0, \"ran_cells\": 0}, "
+              "\"records\": [\n]}\n");
 
     std::vector<RunRecord> records(2);
     records[0].bench = "b";

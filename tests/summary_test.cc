@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the summary statistics (src/stats/summary.h): moments, the
+ * Student-t 95% confidence interval, and the Over projection helper the
+ * benches use instead of hand-rolled accumulation loops.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/stats/summary.h"
+
+namespace spur::stats {
+namespace {
+
+TEST(SummaryTest, EmptyAndSingletonAreDegenerate)
+{
+    Summary empty;
+    EXPECT_EQ(empty.Count(), 0u);
+    EXPECT_EQ(empty.Mean(), 0.0);
+    EXPECT_EQ(empty.StdDev(), 0.0);
+    EXPECT_EQ(empty.Ci95(), 0.0);
+    EXPECT_EQ(empty.Min(), 0.0);
+    EXPECT_EQ(empty.Max(), 0.0);
+
+    Summary one;
+    one.Add(7.0);
+    EXPECT_EQ(one.Mean(), 7.0);
+    EXPECT_EQ(one.StdDev(), 0.0);  // Sample deviation needs 2 points.
+    EXPECT_EQ(one.Ci95(), 0.0);
+}
+
+TEST(SummaryTest, MomentsMatchHandComputation)
+{
+    Summary s;
+    for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+        s.Add(v);
+    }
+    EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+    // Sum of squared deviations is 32; sample variance 32/7.
+    EXPECT_NEAR(s.StdDev(), 2.13808993529939, 1e-12);
+    EXPECT_EQ(s.Min(), 2.0);
+    EXPECT_EQ(s.Max(), 9.0);
+}
+
+TEST(SummaryTest, Ci95UsesStudentTForSmallSamples)
+{
+    // The paper's five repetitions: 4 degrees of freedom, t = 2.776 —
+    // over 40% wider than the 1.96 normal approximation would claim.
+    Summary five;
+    for (const double v : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+        five.Add(v);
+    }
+    const double stderr5 =
+        five.StdDev() / std::sqrt(5.0);  // ~0.7071
+    EXPECT_NEAR(five.Ci95(), 2.776 * stderr5, 1e-12);
+
+    // Two samples: df = 1, the famously huge t = 12.706.
+    Summary two;
+    two.Add(0.0);
+    two.Add(1.0);
+    EXPECT_NEAR(two.Ci95(), 12.706 * two.StdDev() / std::sqrt(2.0), 1e-12);
+}
+
+TEST(SummaryTest, Ci95FallsBackToNormalForLargeSamples)
+{
+    Summary s;
+    for (int i = 0; i < 100; ++i) {
+        s.Add(static_cast<double>(i % 10));
+    }
+    EXPECT_NEAR(s.Ci95(), 1.96 * s.StdDev() / 10.0, 1e-12);
+}
+
+TEST(SummaryTest, OverProjectsARange)
+{
+    struct Point {
+        int x;
+        double y;
+    };
+    const std::vector<Point> points{{1, 0.5}, {3, 1.5}, {5, 2.5}};
+    const Summary xs =
+        Summary::Over(points, [](const Point& p) { return p.x; });
+    EXPECT_EQ(xs.Count(), 3u);
+    EXPECT_DOUBLE_EQ(xs.Mean(), 3.0);
+    const Summary ys =
+        Summary::Over(points, [](const Point& p) { return p.y; });
+    EXPECT_DOUBLE_EQ(ys.Mean(), 1.5);
+    EXPECT_DOUBLE_EQ(ys.Min(), 0.5);
+}
+
+}  // namespace
+}  // namespace spur::stats

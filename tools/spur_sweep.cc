@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Merge/validate tool for distributed sweep output (DESIGN.md §12).
+ *
+ *   spur_sweep validate FILE...
+ *       Schema-checks each sweep JSON document (as written behind
+ *       --json) and prints a one-line summary per file.  Exit 1 if any
+ *       file fails.
+ *
+ *   spur_sweep merge [--out=FILE] [--strip-telemetry] FILE...
+ *       Merges the shard files of one sweep into a single canonical
+ *       document (see src/sweep/merge.h for the contract) and writes it
+ *       to --out (default "-" = stdout).  A single input file is
+ *       canonicalized in place, which is how CI byte-compares a merged
+ *       N-shard sweep against a full single-process run.
+ */
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/stats/run_record.h"
+#include "src/sweep/merge.h"
+
+namespace {
+
+using spur::sweep::LoadSweepFile;
+using spur::sweep::MergeDocuments;
+using spur::sweep::MergeOptions;
+using spur::sweep::SweepDocument;
+
+int
+Usage()
+{
+    std::cerr
+        << "usage: spur_sweep validate FILE...\n"
+           "       spur_sweep merge [--out=FILE] [--strip-telemetry] "
+           "FILE...\n"
+           "\n"
+           "validate  schema-check sweep JSON documents (--json output)\n"
+           "merge     merge the shard files of one sweep into one\n"
+           "          canonical document (FILE may be '-' for stdin)\n";
+    return 2;
+}
+
+int
+Validate(const std::vector<std::string>& paths)
+{
+    int failures = 0;
+    for (const std::string& path : paths) {
+        std::string error;
+        const std::optional<SweepDocument> document =
+            LoadSweepFile(path, &error);
+        if (!document) {
+            std::cerr << "spur_sweep: " << path << ": " << error << "\n";
+            ++failures;
+            continue;
+        }
+        std::cout << path << ": ok (schema v" << document->schema_version
+                  << ", bench " << document->meta.bench << ", shard "
+                  << document->meta.shard_index << "/"
+                  << document->meta.shard_count << ", "
+                  << document->records.size() << " records)\n";
+    }
+    return (failures > 0) ? 1 : 0;
+}
+
+int
+Merge(const std::vector<std::string>& args)
+{
+    std::string out_path = "-";
+    MergeOptions options;
+    std::vector<std::string> paths;
+    for (const std::string& arg : args) {
+        if (arg.rfind("--out=", 0) == 0) {
+            out_path = arg.substr(6);
+        } else if (arg == "--strip-telemetry") {
+            options.strip_telemetry = true;
+        } else if (arg.rfind("--", 0) == 0 && arg != "-") {
+            std::cerr << "spur_sweep: unknown merge option '" << arg
+                      << "'\n";
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty()) {
+        return Usage();
+    }
+
+    std::vector<SweepDocument> documents;
+    documents.reserve(paths.size());
+    for (const std::string& path : paths) {
+        std::string error;
+        std::optional<SweepDocument> document = LoadSweepFile(path, &error);
+        if (!document) {
+            std::cerr << "spur_sweep: " << path << ": " << error << "\n";
+            return 1;
+        }
+        documents.push_back(std::move(*document));
+    }
+
+    std::string error;
+    const std::optional<SweepDocument> merged =
+        MergeDocuments(std::move(documents), options, &error);
+    if (!merged) {
+        std::cerr << "spur_sweep: merge failed: " << error << "\n";
+        return 1;
+    }
+
+    const std::string json = spur::sweep::ToJson(*merged);
+    if (out_path == "-") {
+        std::cout << json;
+        return 0;
+    }
+    std::ofstream out(out_path, std::ios::binary);
+    out << json;
+    out.flush();
+    if (!out) {
+        std::cerr << "spur_sweep: failed to write " << out_path << "\n";
+        return 1;
+    }
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty()) {
+        return Usage();
+    }
+    const std::string mode = args.front();
+    const std::vector<std::string> rest(args.begin() + 1, args.end());
+    if (mode == "validate") {
+        if (rest.empty()) {
+            return Usage();
+        }
+        return Validate(rest);
+    }
+    if (mode == "merge") {
+        return Merge(rest);
+    }
+    return Usage();
+}
