@@ -2,23 +2,26 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace spur {
 
 namespace {
 // Serializes all log output: worker threads in the parallel runner may
 // Warn()/Inform() concurrently, and interleaved fprintf bytes would
-// garble the stream.  g_verbose is read under the same lock.
-std::mutex g_log_mutex;
-bool g_verbose = true;
+// garble the stream.  g_verbose is guarded by the same mutex — under
+// clang -Wthread-safety an unlocked access is a compile error.
+Mutex g_log_mutex;
+bool g_verbose SPUR_GUARDED_BY(g_log_mutex) = true;
 }  // namespace
 
 void
 Fatal(const std::string& message)
 {
     {
-        std::lock_guard<std::mutex> lock(g_log_mutex);
+        MutexLock lock(g_log_mutex);
         std::fprintf(stderr, "fatal: %s\n", message.c_str());
     }
     std::exit(1);
@@ -28,7 +31,7 @@ void
 Panic(const std::string& message)
 {
     {
-        std::lock_guard<std::mutex> lock(g_log_mutex);
+        MutexLock lock(g_log_mutex);
         std::fprintf(stderr, "panic: %s\n", message.c_str());
     }
     std::abort();
@@ -37,14 +40,14 @@ Panic(const std::string& message)
 void
 Warn(const std::string& message)
 {
-    std::lock_guard<std::mutex> lock(g_log_mutex);
+    MutexLock lock(g_log_mutex);
     std::fprintf(stderr, "warn: %s\n", message.c_str());
 }
 
 void
 Inform(const std::string& message)
 {
-    std::lock_guard<std::mutex> lock(g_log_mutex);
+    MutexLock lock(g_log_mutex);
     if (g_verbose) {
         std::fprintf(stderr, "info: %s\n", message.c_str());
     }
@@ -53,7 +56,7 @@ Inform(const std::string& message)
 void
 SetVerbose(bool verbose)
 {
-    std::lock_guard<std::mutex> lock(g_log_mutex);
+    MutexLock lock(g_log_mutex);
     g_verbose = verbose;
 }
 

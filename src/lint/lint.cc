@@ -1,0 +1,637 @@
+#include "src/lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "src/sweep/json.h"
+
+namespace spur::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source preprocessing
+// ---------------------------------------------------------------------------
+
+/** Splits @p content into lines (newline characters removed). */
+std::vector<std::string>
+SplitLines(const std::string& content)
+{
+    std::vector<std::string> lines;
+    std::string current;
+    for (const char c : content) {
+        if (c == '\n') {
+            lines.push_back(std::move(current));
+            current.clear();
+        } else if (c != '\r') {
+            current.push_back(c);
+        }
+    }
+    if (!current.empty()) {
+        lines.push_back(std::move(current));
+    }
+    return lines;
+}
+
+/**
+ * Removes // and block comments from @p lines (block state carries
+ * across lines), leaving string and character literals intact so the
+ * schema_version literal rule still sees them.  Doc comments routinely
+ * *mention* forbidden constructs ("unlike std::mt19937 ..."), which
+ * must not trip token rules.  String state resets at end of line
+ * (ordinary literals cannot span lines), which also self-heals the
+ * mis-detection a digit separator like 1'000'000 causes.
+ */
+std::vector<std::string>
+StripComments(const std::vector<std::string>& lines)
+{
+    enum class State : uint8_t { kCode, kString, kChar, kBlockComment };
+    State state = State::kCode;
+    std::vector<std::string> out;
+    out.reserve(lines.size());
+    for (const std::string& line : lines) {
+        std::string code;
+        code.reserve(line.size());
+        if (state != State::kBlockComment) {
+            state = State::kCode;
+        }
+        for (size_t i = 0; i < line.size(); ++i) {
+            const char c = line[i];
+            const char next = (i + 1 < line.size()) ? line[i + 1] : '\0';
+            switch (state) {
+                case State::kCode:
+                    if (c == '/' && next == '/') {
+                        i = line.size();  // Rest of the line is comment.
+                    } else if (c == '/' && next == '*') {
+                        state = State::kBlockComment;
+                        ++i;
+                    } else {
+                        if (c == '"') {
+                            state = State::kString;
+                        } else if (c == '\'') {
+                            state = State::kChar;
+                        }
+                        code.push_back(c);
+                    }
+                    break;
+                case State::kString:
+                case State::kChar:
+                    code.push_back(c);
+                    if (c == '\\' && next != '\0') {
+                        code.push_back(next);
+                        ++i;
+                    } else if ((state == State::kString && c == '"') ||
+                               (state == State::kChar && c == '\'')) {
+                        state = State::kCode;
+                    }
+                    break;
+                case State::kBlockComment:
+                    if (c == '*' && next == '/') {
+                        state = State::kCode;
+                        ++i;
+                    }
+                    break;
+            }
+        }
+        out.push_back(std::move(code));
+    }
+    return out;
+}
+
+bool
+IsIdentChar(char c)
+{
+    return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_';
+}
+
+/**
+ * True when @p text contains @p token starting at a word boundary (the
+ * preceding character is not part of an identifier).  @p token may end
+ * in punctuation — "time(" matches a bare call but not elapsed_time(.
+ * When found, *column (if non-null) receives the 0-based offset.
+ */
+bool
+HasToken(const std::string& text, const std::string& token,
+         size_t* column = nullptr)
+{
+    size_t pos = 0;
+    while ((pos = text.find(token, pos)) != std::string::npos) {
+        if (pos == 0 || !IsIdentChar(text[pos - 1])) {
+            if (column != nullptr) {
+                *column = pos;
+            }
+            return true;
+        }
+        ++pos;
+    }
+    return false;
+}
+
+/** True when the site carries a spur-lint: allow(rule) justification. */
+bool
+IsSuppressed(const std::vector<std::string>& raw_lines, size_t index,
+             const std::string& rule)
+{
+    const std::string marker = "spur-lint: allow(" + rule + ")";
+    if (raw_lines[index].find(marker) != std::string::npos) {
+        return true;
+    }
+    return index > 0 &&
+           raw_lines[index - 1].find(marker) != std::string::npos;
+}
+
+bool
+StartsWith(const std::string& text, const std::string& prefix)
+{
+    return text.rfind(prefix, 0) == 0;
+}
+
+bool
+EndsWith(const std::string& text, const std::string& suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Rule table
+// ---------------------------------------------------------------------------
+
+/** One token-scan rule: forbidden tokens outside whitelisted paths. */
+struct TokenRule {
+    const char* name;
+    const char* summary;
+    std::vector<const char*> tokens;
+    /// Normalized path prefixes where the tokens are legitimate.
+    std::vector<const char*> allowed_prefixes;
+    const char* message;
+};
+
+const std::vector<TokenRule>&
+TokenRules()
+{
+    // NOTE: this table spells the forbidden tokens out as literals, so
+    // src/lint/ itself is exempted from scanning (see RuleExempt).
+    static const std::vector<TokenRule> rules = {
+        {"no-rand",
+         "platform RNG primitives are forbidden; use the seeded spur::Rng",
+         {"rand(", "srand(", "random_device", "random_shuffle", "mt19937"},
+         {},
+         "platform RNG breaks cross-machine reproducibility; use the "
+         "seeded spur::Rng (src/common/random.h)"},
+        {"no-wallclock",
+         "wall-clock reads are confined to the telemetry/cost layer",
+         {"time(", "clock(", "system_clock", "steady_clock",
+          "high_resolution_clock", "gettimeofday", "clock_gettime",
+          "localtime", "gmtime", "strftime", "asctime", "ctime("},
+         {"src/sweep/telemetry.", "src/sweep/cost."},
+         "wall-clock read outside the telemetry/cost whitelist; results "
+         "must depend only on config and seed"},
+        {"no-locale",
+         "locale-dependent formatting is forbidden",
+         {"setlocale", "std::locale", "imbue(", "localeconv"},
+         {},
+         "locale-dependent formatting; output bytes must be identical on "
+         "every machine"},
+    };
+    return rules;
+}
+
+/** True when no rule applies to @p path at all. */
+bool
+RuleExempt(const std::string& path)
+{
+    // The lint layer itself names every forbidden token in its rule
+    // table and its tests; scanning it would only flag the scanner.
+    return StartsWith(path, "src/lint/") ||
+           StartsWith(path, "tests/lint_test.");
+}
+
+bool
+PathAllowed(const std::string& path,
+            const std::vector<const char*>& prefixes)
+{
+    for (const char* prefix : prefixes) {
+        if (StartsWith(path, prefix)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------------
+// Special rules
+// ---------------------------------------------------------------------------
+
+constexpr char kUnorderedRule[] = "no-unordered-output";
+constexpr char kSchemaRule[] = "schema-version-once";
+constexpr char kSessionRule[] = "bench-session";
+
+/** Headers whose inclusion marks a file as feeding JSON/table output. */
+const std::vector<const char*>&
+OutputHeaders()
+{
+    static const std::vector<const char*> headers = {
+        "src/stats/run_record.h",
+        "src/common/table.h",
+        "src/runner/session.h",
+        "src/sweep/",
+    };
+    return headers;
+}
+
+/** True when @p path / @p code feeds JSON or table output. */
+bool
+FeedsOutput(const std::string& path, const std::vector<std::string>& code)
+{
+    if (StartsWith(path, "src/stats/") || StartsWith(path, "src/sweep/") ||
+        StartsWith(path, "tools/")) {
+        return true;
+    }
+    for (const std::string& line : code) {
+        if (line.find("#include") == std::string::npos) {
+            continue;
+        }
+        for (const char* header : OutputHeaders()) {
+            if (line.find(header) != std::string::npos) {
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+/**
+ * True when @p code holds a kSchemaVersion *definition* (the token
+ * followed by a single '='), as opposed to a use of the constant.
+ */
+bool
+IsSchemaVersionDefinition(const std::string& code)
+{
+    size_t pos = 0;
+    const std::string token = "kSchemaVersion";
+    while ((pos = code.find(token, pos)) != std::string::npos) {
+        const bool boundary = pos == 0 || !IsIdentChar(code[pos - 1]);
+        size_t after = pos + token.size();
+        while (after < code.size() &&
+               (code[after] == ' ' || code[after] == '\t')) {
+            ++after;
+        }
+        if (boundary && after < code.size() && code[after] == '=' &&
+            (after + 1 >= code.size() || code[after + 1] != '=')) {
+            return true;
+        }
+        ++pos;
+    }
+    return false;
+}
+
+/** The single file allowed to define kSchemaVersion. */
+constexpr char kSchemaHome[] = "src/stats/run_record.h";
+
+/** Files allowed to spell the "schema_version" JSON key literal. */
+const std::vector<const char*>&
+SchemaLiteralWhitelist()
+{
+    static const std::vector<const char*> allowed = {
+        "src/stats/run_record.cc",  // The writer.
+        "src/sweep/merge.cc",       // The parser/validator.
+        "tests/",                   // Round-trip and golden tests.
+    };
+    return allowed;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+std::vector<RuleInfo>
+Rules()
+{
+    std::vector<RuleInfo> rules;
+    for (const TokenRule& rule : TokenRules()) {
+        rules.push_back({rule.name, rule.summary});
+    }
+    rules.push_back({kUnorderedRule,
+                     "no unordered containers in files that feed JSON or "
+                     "table output (iteration order is unspecified)"});
+    rules.push_back({kSchemaRule,
+                     "kSchemaVersion is defined exactly once, in " +
+                         std::string(kSchemaHome)});
+    rules.push_back({kSessionRule,
+                     "every bench main() records through "
+                     "runner::BenchSession, not raw stdout"});
+    return rules;
+}
+
+std::string
+NormalizePath(const std::string& path)
+{
+    static const char* kRoots[] = {"src/", "tools/", "bench/", "examples/",
+                                   "tests/"};
+    size_t best = std::string::npos;
+    for (const char* root : kRoots) {
+        size_t pos = 0;
+        while ((pos = path.find(root, pos)) != std::string::npos) {
+            if ((pos == 0 || path[pos - 1] == '/') &&
+                (best == std::string::npos || pos > best)) {
+                best = pos;
+            }
+            ++pos;
+        }
+    }
+    if (best == std::string::npos || best == 0) {
+        return path;
+    }
+    return path.substr(best);
+}
+
+void
+Linter::AddFile(const std::string& path, std::string content)
+{
+    files_.push_back({NormalizePath(path), std::move(content)});
+}
+
+bool
+Linter::AlreadyAdded(const std::string& normalized) const
+{
+    for (const SourceFile& file : files_) {
+        if (file.path == normalized) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+Linter::AddFileFromDisk(const std::string& path, std::string* error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error != nullptr) {
+            *error = "cannot read " + path;
+        }
+        return false;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    AddFile(path, content.str());
+    return true;
+}
+
+bool
+Linter::AddTree(const std::string& dir, std::string* error)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) {
+        if (error != nullptr) {
+            *error = dir + " is not a directory";
+        }
+        return false;
+    }
+    std::vector<std::string> paths;
+    fs::recursive_directory_iterator it(dir, ec);
+    const fs::recursive_directory_iterator end;
+    for (; it != end; it.increment(ec)) {
+        if (ec) {
+            if (error != nullptr) {
+                *error = dir + ": " + ec.message();
+            }
+            return false;
+        }
+        const fs::path& path = it->path();
+        const std::string name = path.filename().string();
+        if (it->is_directory()) {
+            // Skip build trees, hidden dirs and the seeded-violation
+            // corpus (fixtures are linted as explicit files).
+            if (StartsWith(name, "build") || StartsWith(name, ".") ||
+                name == "lint_fixtures") {
+                it.disable_recursion_pending();
+            }
+            continue;
+        }
+        if (EndsWith(name, ".cc") || EndsWith(name, ".h")) {
+            paths.push_back(path.string());
+        }
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const std::string& path : paths) {
+        if (AlreadyAdded(NormalizePath(path))) {
+            continue;
+        }
+        if (!AddFileFromDisk(path, error)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+Linter::AddCompileCommands(const std::string& path, std::string* error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error != nullptr) {
+            *error = "cannot read " + path;
+        }
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::optional<sweep::JsonValue> document =
+        sweep::ParseJson(buffer.str(), error);
+    if (!document) {
+        if (error != nullptr) {
+            *error = path + ": " + *error;
+        }
+        return false;
+    }
+    if (!document->IsArray()) {
+        if (error != nullptr) {
+            *error = path + ": expected a JSON array of commands";
+        }
+        return false;
+    }
+    std::vector<std::string> paths;
+    for (const sweep::JsonValue& entry : document->items()) {
+        const sweep::JsonValue* file = entry.Find("file");
+        if (file == nullptr || !file->IsString()) {
+            continue;
+        }
+        paths.push_back(file->AsString());
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const std::string& source : paths) {
+        if (AlreadyAdded(NormalizePath(source))) {
+            continue;
+        }
+        if (!AddFileFromDisk(source, error)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<Violation>
+Linter::Run() const
+{
+    std::vector<Violation> violations;
+    size_t schema_definitions_in_home = 0;
+    bool schema_home_seen = false;
+
+    for (const SourceFile& file : files_) {
+        if (RuleExempt(file.path)) {
+            continue;
+        }
+        const std::vector<std::string> raw = SplitLines(file.content);
+        const std::vector<std::string> code = StripComments(raw);
+
+        // Token rules.
+        for (const TokenRule& rule : TokenRules()) {
+            if (PathAllowed(file.path, rule.allowed_prefixes)) {
+                continue;
+            }
+            for (size_t i = 0; i < code.size(); ++i) {
+                for (const char* token : rule.tokens) {
+                    if (!HasToken(code[i], token)) {
+                        continue;
+                    }
+                    if (IsSuppressed(raw, i, rule.name)) {
+                        break;
+                    }
+                    violations.push_back(
+                        {file.path, i + 1, rule.name,
+                         std::string("'") + token + "': " + rule.message});
+                    break;  // One finding per rule per line.
+                }
+            }
+        }
+
+        // no-unordered-output.
+        if (FeedsOutput(file.path, code)) {
+            for (size_t i = 0; i < code.size(); ++i) {
+                if (!HasToken(code[i], "unordered_map") &&
+                    !HasToken(code[i], "unordered_set")) {
+                    continue;
+                }
+                if (IsSuppressed(raw, i, kUnorderedRule)) {
+                    continue;
+                }
+                violations.push_back(
+                    {file.path, i + 1, kUnorderedRule,
+                     "unordered container in output-feeding code; "
+                     "iteration order is unspecified, so JSON/table bytes "
+                     "would vary by platform — use std::map or a sorted "
+                     "vector"});
+            }
+        }
+
+        // schema-version-once.
+        const bool is_schema_home = file.path == kSchemaHome;
+        schema_home_seen = schema_home_seen || is_schema_home;
+        for (size_t i = 0; i < code.size(); ++i) {
+            if (IsSchemaVersionDefinition(code[i])) {
+                if (is_schema_home) {
+                    ++schema_definitions_in_home;
+                    if (schema_definitions_in_home > 1 &&
+                        !IsSuppressed(raw, i, kSchemaRule)) {
+                        violations.push_back(
+                            {file.path, i + 1, kSchemaRule,
+                             "duplicate kSchemaVersion definition; the "
+                             "schema version must have exactly one "
+                             "definition site"});
+                    }
+                } else if (!IsSuppressed(raw, i, kSchemaRule)) {
+                    violations.push_back(
+                        {file.path, i + 1, kSchemaRule,
+                         std::string("kSchemaVersion defined outside ") +
+                             kSchemaHome +
+                             "; a second definition site lets the writer "
+                             "and validator drift apart"});
+                }
+            }
+            if (code[i].find("\"schema_version\"") != std::string::npos &&
+                !PathAllowed(file.path, SchemaLiteralWhitelist()) &&
+                !IsSuppressed(raw, i, kSchemaRule)) {
+                violations.push_back(
+                    {file.path, i + 1, kSchemaRule,
+                     "\"schema_version\" key spelled outside the "
+                     "writer/parser; route document headers through "
+                     "stats::JsonWriter and sweep::ParseSweepDocument"});
+            }
+        }
+
+        // bench-session.
+        if (StartsWith(file.path, "bench/") && EndsWith(file.path, ".cc")) {
+            bool uses_session = false;
+            for (const std::string& line : code) {
+                if (HasToken(line, "BenchSession")) {
+                    uses_session = true;
+                    break;
+                }
+            }
+            if (!uses_session) {
+                for (size_t i = 0; i < code.size(); ++i) {
+                    if (!HasToken(code[i], "main(")) {
+                        continue;
+                    }
+                    if (IsSuppressed(raw, i, kSessionRule)) {
+                        continue;
+                    }
+                    violations.push_back(
+                        {file.path, i + 1, kSessionRule,
+                         "bench defines main() without recording through "
+                         "runner::BenchSession (src/runner/session.h); "
+                         "raw-stdout benches are invisible to --json, "
+                         "--shard and spur_sweep"});
+                }
+            }
+        }
+    }
+
+    if (schema_home_seen && schema_definitions_in_home == 0) {
+        violations.push_back(
+            {kSchemaHome, 0, kSchemaRule,
+             "kSchemaVersion definition missing from its single allowed "
+             "definition site"});
+    }
+
+    std::sort(violations.begin(), violations.end(),
+              [](const Violation& a, const Violation& b) {
+                  if (a.file != b.file) {
+                      return a.file < b.file;
+                  }
+                  if (a.line != b.line) {
+                      return a.line < b.line;
+                  }
+                  return a.rule < b.rule;
+              });
+    return violations;
+}
+
+std::string
+FormatViolation(const Violation& violation)
+{
+    // Built up with += (not operator+ chains): GCC 12's -Wrestrict
+    // misfires on `const char* + string&&` (GCC PR 105329).
+    std::string out = violation.file;
+    if (violation.line > 0) {
+        out += ":";
+        out += std::to_string(violation.line);
+    }
+    out += ": [";
+    out += violation.rule;
+    out += "] ";
+    out += violation.message;
+    return out;
+}
+
+}  // namespace spur::lint

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * spur_lint — source-wide enforcement of the project's determinism
+ * rules (DESIGN.md §13).
+ *
+ * The repo's core contract is that every output byte is a pure function
+ * of the configuration and seed: shard unions must byte-match full runs
+ * (DESIGN.md §12) and parallel runs must byte-match sequential ones
+ * (§9).  The rules here reject the constructs that historically break
+ * that contract — wall-clock reads, platform RNGs, locale-dependent
+ * formatting, iteration over unordered containers in output-feeding
+ * code — plus two structural rules (a single schema_version definition
+ * site, benches recording through BenchSession).
+ *
+ * Rules are table-driven (see kTokenRules in lint.cc), violations carry
+ * file:line, and any finding can be suppressed at the site with a
+ * justification comment on the same or the preceding line:
+ *
+ *     legacy_call();  // spur-lint: allow(no-wallclock) — measures only
+ *
+ * The tools/spur_lint CLI drives this library from explicit paths,
+ * directory trees and/or a compile_commands.json file list, and exits
+ * nonzero on violations so CI can gate on it.  tests/lint_test.cc runs
+ * every rule against seeded fixture files and asserts the real tree is
+ * clean.
+ */
+#ifndef SPUR_LINT_LINT_H_
+#define SPUR_LINT_LINT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace spur::lint {
+
+/** One rule violation at a source location. */
+struct Violation {
+    std::string file;   ///< Repo-relative path (see NormalizePath).
+    size_t line = 0;    ///< 1-based line; 0 = file/tree-level finding.
+    std::string rule;   ///< Rule name, e.g. "no-rand".
+    std::string message;
+};
+
+/** Name and one-line summary of one rule (for --list-rules). */
+struct RuleInfo {
+    std::string name;
+    std::string summary;
+};
+
+/** Every rule, in evaluation order. */
+std::vector<RuleInfo> Rules();
+
+/**
+ * Normalizes an on-disk path to its repo-relative form by keeping
+ * everything from the last path component that starts one of the
+ * project's top-level source dirs (src/, tools/, bench/, examples/,
+ * tests/).  Absolute build-tree paths (compile_commands.json entries)
+ * and fixture paths like tests/lint_fixtures/bench/x.cc thus map onto
+ * the path space the rule whitelists are written against.
+ */
+std::string NormalizePath(const std::string& path);
+
+/** Collects source files, then runs every rule over the set. */
+class Linter
+{
+  public:
+    /** Registers @p content as the file @p path (normalized). */
+    void AddFile(const std::string& path, std::string content);
+
+    /** Reads @p path from disk.  False + *error on I/O failure. */
+    bool AddFileFromDisk(const std::string& path, std::string* error);
+
+    /**
+     * Recursively adds every *.h / *.cc under @p dir, in sorted order.
+     * Skips hidden directories, build trees (build*) and the seeded
+     * violation corpus (lint_fixtures); those fixtures are linted by
+     * passing them as explicit files.  False + *error if @p dir is not
+     * a readable directory.
+     */
+    bool AddTree(const std::string& dir, std::string* error);
+
+    /**
+     * Adds every "file" entry of a compile_commands.json document
+     * (CMAKE_EXPORT_COMPILE_COMMANDS=ON).  Entries already registered
+     * — e.g. via AddTree — are skipped.  False + *error on parse or
+     * I/O failure.
+     */
+    bool AddCompileCommands(const std::string& path, std::string* error);
+
+    /** Number of registered files. */
+    size_t file_count() const { return files_.size(); }
+
+    /** Runs every rule; violations sorted by (file, line, rule). */
+    std::vector<Violation> Run() const;
+
+  private:
+    struct SourceFile {
+        std::string path;  ///< Normalized.
+        std::string content;
+    };
+
+    bool AlreadyAdded(const std::string& normalized) const;
+
+    std::vector<SourceFile> files_;
+};
+
+/** Renders @p violation as "file:line: [rule] message". */
+std::string FormatViolation(const Violation& violation);
+
+}  // namespace spur::lint
+
+#endif  // SPUR_LINT_LINT_H_

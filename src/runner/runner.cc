@@ -1,16 +1,16 @@
 #include "src/runner/runner.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <utility>
 
 #include "src/check/audit.h"
 #include "src/check/dominance.h"
 #include "src/common/log.h"
+#include "src/common/mutex.h"
 #include "src/common/random.h"
+#include "src/common/thread_annotations.h"
 #include "src/runner/thread_pool.h"
 #include "src/sweep/telemetry.h"
 
@@ -145,9 +145,13 @@ ParallelFor(size_t count, unsigned jobs,
             }
         }
     } else {
-        std::mutex mutex;
-        std::condition_variable finished_cv;
-        size_t finished = 0;
+        // Completion gate shared with the workers; the counter's guard
+        // is machine-checked via the annotation (DESIGN.md §13).
+        struct Gate {
+            Mutex mutex;
+            CondVar all_done;
+            size_t finished SPUR_GUARDED_BY(mutex) = 0;
+        } gate;
         ThreadPool pool(jobs);
         for (size_t i = 0; i < count; ++i) {
             pool.Submit([&, i] {
@@ -157,14 +161,18 @@ ParallelFor(size_t count, unsigned jobs,
                     errors[i] = std::current_exception();
                 }
                 {
-                    std::lock_guard<std::mutex> lock(mutex);
-                    ++finished;
+                    MutexLock lock(gate.mutex);
+                    ++gate.finished;
                 }
-                finished_cv.notify_one();
+                gate.all_done.NotifyOne();
             });
         }
-        std::unique_lock<std::mutex> lock(mutex);
-        finished_cv.wait(lock, [&] { return finished == count; });
+        {
+            MutexLock lock(gate.mutex);
+            while (gate.finished != count) {
+                gate.all_done.Wait(gate.mutex);
+            }
+        }
     }
     for (const std::exception_ptr& error : errors) {
         if (error) {
@@ -218,9 +226,13 @@ RunMatrix(const std::vector<core::RunConfig>& configs, uint32_t reps,
         Cell cell;
         std::exception_ptr error;
     };
-    std::mutex mutex;
-    std::condition_variable done_cv;
-    std::deque<Done> done;
+    // Completion queue shared with the workers; the deque's guard is
+    // machine-checked via the annotation (DESIGN.md §13).
+    struct DoneQueue {
+        Mutex mutex;
+        CondVar ready;
+        std::deque<Done> cells SPUR_GUARDED_BY(mutex);
+    } completed;
 
     ThreadPool pool(jobs);
     for (const CellId& id : cells) {
@@ -240,10 +252,10 @@ RunMatrix(const std::vector<core::RunConfig>& configs, uint32_t reps,
                 d.error = std::current_exception();
             }
             {
-                std::lock_guard<std::mutex> lock(mutex);
-                done.push_back(std::move(d));
+                MutexLock lock(completed.mutex);
+                completed.cells.push_back(std::move(d));
             }
-            done_cv.notify_one();
+            completed.ready.NotifyOne();
         });
     }
 
@@ -254,10 +266,12 @@ RunMatrix(const std::vector<core::RunConfig>& configs, uint32_t reps,
     for (size_t drained = 0; drained < cells.size(); ++drained) {
         Done d;
         {
-            std::unique_lock<std::mutex> lock(mutex);
-            done_cv.wait(lock, [&] { return !done.empty(); });
-            d = std::move(done.front());
-            done.pop_front();
+            MutexLock lock(completed.mutex);
+            while (completed.cells.empty()) {
+                completed.ready.Wait(completed.mutex);
+            }
+            d = std::move(completed.cells.front());
+            completed.cells.pop_front();
         }
         if (d.error) {
             const std::pair<size_t, uint32_t> at{d.cell.config_index,

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/log.h"
+#include "src/common/mutex.h"
 #include "src/runner/thread_pool.h"
 #include "src/sweep/merge.h"
 #include "src/sweep/telemetry.h"
@@ -153,7 +154,7 @@ BenchSession::Record(const core::RunConfig& config, uint32_t rep,
                      static_cast<double>(result.frequencies.n_w_hit));
     record.AddMetric("n_w_miss",
                      static_cast<double>(result.frequencies.n_w_miss));
-    records_.push_back(std::move(record));
+    Record(std::move(record));
 }
 
 void
@@ -162,20 +163,32 @@ BenchSession::Record(stats::RunRecord record)
     if (record.bench.empty()) {
         record.bench = bench_;
     }
+    MutexLock lock(mutex_);
     records_.push_back(std::move(record));
+}
+
+std::vector<stats::RunRecord>
+BenchSession::records() const
+{
+    MutexLock lock(mutex_);
+    return records_;
 }
 
 void
 BenchSession::AttachTelemetry(double wall_seconds, uint64_t peak_rss_bytes,
                               uint32_t worker)
 {
-    if (!telemetry_ || records_.empty()) {
+    if (!telemetry_) {
         return;
     }
     stats::CellTelemetry telemetry;
     telemetry.wall_seconds = wall_seconds;
     telemetry.peak_rss_bytes = peak_rss_bytes;
     telemetry.worker = worker;
+    MutexLock lock(mutex_);
+    if (records_.empty()) {
+        return;
+    }
     records_.back().telemetry = telemetry;
 }
 
@@ -191,7 +204,8 @@ BenchSession::Finish()
     meta.shard_count = shard_.count;
     meta.total_cells = total_cells_;
     meta.ran_cells = ran_cells_;
-    if (!stats::JsonWriter::WriteFile(json_path_, meta, records_)) {
+    const std::vector<stats::RunRecord> records = this->records();
+    if (!stats::JsonWriter::WriteFile(json_path_, meta, records)) {
         Warn("BenchSession: failed to write " + json_path_);
         return 1;
     }

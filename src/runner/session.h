@@ -37,6 +37,8 @@
 #include <vector>
 
 #include "src/common/args.h"
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/core/experiment.h"
 #include "src/runner/runner.h"
 #include "src/stats/run_record.h"
@@ -91,30 +93,34 @@ class BenchSession
     std::vector<core::RunResult> RunAll(
         const std::vector<core::RunConfig>& configs);
 
-    /** Records one standard run observation. */
+    /**
+     * Records one standard run observation.  Thread-safe: bespoke
+     * benches may record from parallel loops (the record sink is
+     * guarded by an annotated mutex, DESIGN.md §13), though recording
+     * order — and therefore --json byte order — is deterministic only
+     * when records are appended from one thread, as RunMatrix/RunAll
+     * do.
+     */
     void Record(const core::RunConfig& config, uint32_t rep,
-                const core::RunResult& result);
+                const core::RunResult& result) SPUR_EXCLUDES(mutex_);
 
     /** Records a bespoke observation (benches with custom run loops). */
-    void Record(stats::RunRecord record);
+    void Record(stats::RunRecord record) SPUR_EXCLUDES(mutex_);
 
-    /** Collected records, in recording order. */
-    const std::vector<stats::RunRecord>& records() const
-    {
-        return records_;
-    }
+    /** Snapshot of the collected records, in recording order. */
+    std::vector<stats::RunRecord> records() const SPUR_EXCLUDES(mutex_);
 
     /**
      * Writes the --json file if one was requested, stamped with the
      * schema version and this session's shard header.  Returns the
      * process exit code (non-zero if the write failed).
      */
-    int Finish();
+    int Finish() SPUR_EXCLUDES(mutex_);
 
   private:
     /** Attaches --telemetry data to the most recent record. */
     void AttachTelemetry(double wall_seconds, uint64_t peak_rss_bytes,
-                         uint32_t worker);
+                         uint32_t worker) SPUR_EXCLUDES(mutex_);
 
     std::string bench_;
     std::string json_path_;
@@ -122,9 +128,14 @@ class BenchSession
     sweep::ShardSpec shard_;
     bool telemetry_ = false;
     sweep::CostTable costs_;
+    // Session-thread state: only touched between runs, on the thread
+    // that owns the session (sharding carries offsets across calls).
     uint64_t total_cells_ = 0;
     uint64_t ran_cells_ = 0;
-    std::vector<stats::RunRecord> records_;
+    // The record sink is shared with whatever thread calls Record();
+    // the guard is machine-checked (src/common/thread_annotations.h).
+    mutable Mutex mutex_;
+    std::vector<stats::RunRecord> records_ SPUR_GUARDED_BY(mutex_);
 };
 
 }  // namespace spur::runner

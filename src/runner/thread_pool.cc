@@ -3,6 +3,8 @@
 #include <atomic>
 #include <utility>
 
+#include "src/common/mutex.h"
+
 namespace spur::runner {
 
 namespace {
@@ -24,10 +26,10 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
     }
-    ready_.notify_all();
+    ready_.NotifyAll();
     for (std::thread& worker : workers_) {
         worker.join();
     }
@@ -37,10 +39,10 @@ void
 ThreadPool::Submit(std::function<void()> task)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         queue_.push_back(std::move(task));
     }
-    ready_.notify_one();
+    ready_.NotifyOne();
 }
 
 void
@@ -50,9 +52,10 @@ ThreadPool::WorkerLoop(unsigned worker_index)
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            ready_.wait(lock,
-                        [this] { return stopping_ || !queue_.empty(); });
+            MutexLock lock(mutex_);
+            while (!HasWork()) {
+                ready_.Wait(mutex_);
+            }
             if (queue_.empty()) {
                 return;  // stopping_ and nothing left to drain.
             }

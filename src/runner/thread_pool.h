@@ -7,16 +7,21 @@
  * (see runner.h, which layers deterministic experiment orchestration on
  * top).  A task that throws is considered a caller bug at this layer;
  * Runner wraps every task so exceptions never reach the pool.
+ *
+ * The queue and stop flag carry thread-safety annotations
+ * (src/common/thread_annotations.h): under clang -Wthread-safety,
+ * touching them without holding mutex_ is a compile error.
  */
 #ifndef SPUR_RUNNER_THREAD_POOL_H_
 #define SPUR_RUNNER_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace spur::runner {
 
@@ -42,10 +47,16 @@ class ThreadPool
   private:
     void WorkerLoop(unsigned worker_index);
 
-    std::mutex mutex_;
-    std::condition_variable ready_;
-    std::deque<std::function<void()>> queue_;
-    bool stopping_ = false;
+    /** True when a worker should stop sleeping on ready_. */
+    bool HasWork() const SPUR_REQUIRES(mutex_)
+    {
+        return stopping_ || !queue_.empty();
+    }
+
+    Mutex mutex_;
+    CondVar ready_;
+    std::deque<std::function<void()>> queue_ SPUR_GUARDED_BY(mutex_);
+    bool stopping_ SPUR_GUARDED_BY(mutex_) = false;
     std::vector<std::thread> workers_;
 };
 

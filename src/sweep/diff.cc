@@ -1,0 +1,178 @@
+#include "src/sweep/diff.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace spur::sweep {
+
+namespace {
+
+/** Telemetry cost of one cell, max-merged over duplicate identities. */
+struct CellCost {
+    double wall_seconds = 0.0;
+    uint64_t peak_rss_bytes = 0;
+    bool has_telemetry = false;
+};
+
+/**
+ * Indexes a document's records by cell identity.  A std::map keeps the
+ * comparison and the report in sorted identity order.  Duplicate
+ * identities (bespoke records each shard recomputes) keep the max cost,
+ * mirroring CostTable's collision rule.
+ */
+std::map<std::string, CellCost>
+IndexByIdentity(const SweepDocument& document)
+{
+    std::map<std::string, CellCost> cells;
+    for (const stats::RunRecord& record : document.records) {
+        CellCost& cost = cells[RecordIdentity(record)];
+        if (!record.telemetry.has_value()) {
+            continue;
+        }
+        cost.has_telemetry = true;
+        cost.wall_seconds =
+            std::max(cost.wall_seconds, record.telemetry->wall_seconds);
+        cost.peak_rss_bytes =
+            std::max(cost.peak_rss_bytes, record.telemetry->peak_rss_bytes);
+    }
+    return cells;
+}
+
+/** True when @p now exceeds @p base by more than @p threshold. */
+bool
+Regressed(double base, double now, double threshold)
+{
+    return base > 0.0 && now > base * (1.0 + threshold);
+}
+
+std::string
+Seconds(double value)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+    return buffer;
+}
+
+std::string
+Mebibytes(uint64_t bytes)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.1f",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+    return buffer;
+}
+
+std::string
+GrowthPercent(double base, double now)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%+.1f%%",
+                  (base > 0.0) ? (now / base - 1.0) * 100.0 : 0.0);
+    return buffer;
+}
+
+}  // namespace
+
+TelemetryDiff
+DiffTelemetry(const SweepDocument& base, const SweepDocument& current,
+              const DiffOptions& options)
+{
+    const std::map<std::string, CellCost> base_cells = IndexByIdentity(base);
+    const std::map<std::string, CellCost> new_cells =
+        IndexByIdentity(current);
+
+    TelemetryDiff diff;
+    for (const auto& [identity, base_cost] : base_cells) {
+        const auto it = new_cells.find(identity);
+        if (it == new_cells.end()) {
+            ++diff.base_only;
+            continue;
+        }
+        const CellCost& new_cost = it->second;
+        if (!base_cost.has_telemetry || !new_cost.has_telemetry) {
+            ++diff.missing_telemetry;
+            continue;
+        }
+        ++diff.compared;
+        diff.base_total_wall_seconds += base_cost.wall_seconds;
+        diff.new_total_wall_seconds += new_cost.wall_seconds;
+
+        CellDelta delta;
+        delta.identity = identity;
+        delta.base_wall_seconds = base_cost.wall_seconds;
+        delta.new_wall_seconds = new_cost.wall_seconds;
+        delta.base_peak_rss_bytes = base_cost.peak_rss_bytes;
+        delta.new_peak_rss_bytes = new_cost.peak_rss_bytes;
+        delta.wall_regressed =
+            base_cost.wall_seconds >= options.min_wall_seconds &&
+            Regressed(base_cost.wall_seconds, new_cost.wall_seconds,
+                      options.threshold);
+        delta.rss_regressed = Regressed(
+            static_cast<double>(base_cost.peak_rss_bytes),
+            static_cast<double>(new_cost.peak_rss_bytes), options.threshold);
+        if (delta.wall_regressed || delta.rss_regressed) {
+            diff.regressions.push_back(std::move(delta));
+        }
+    }
+    for (const auto& entry : new_cells) {
+        if (base_cells.find(entry.first) == base_cells.end()) {
+            ++diff.new_only;
+        }
+    }
+    // Map iteration already yields sorted identities.
+    return diff;
+}
+
+bool
+HasRegressions(const TelemetryDiff& diff)
+{
+    return !diff.regressions.empty();
+}
+
+std::string
+FormatDiffReport(const TelemetryDiff& diff, const DiffOptions& options)
+{
+    std::string out;
+    for (const CellDelta& delta : diff.regressions) {
+        out += "REGRESSION ";
+        out += delta.identity;
+        out += ":";
+        if (delta.wall_regressed) {
+            out += " wall ";
+            out += Seconds(delta.base_wall_seconds);
+            out += "s -> ";
+            out += Seconds(delta.new_wall_seconds);
+            out += "s (";
+            out += GrowthPercent(delta.base_wall_seconds,
+                                 delta.new_wall_seconds);
+            out += ")";
+        }
+        if (delta.rss_regressed) {
+            out += " rss ";
+            out += Mebibytes(delta.base_peak_rss_bytes);
+            out += "MiB -> ";
+            out += Mebibytes(delta.new_peak_rss_bytes);
+            out += "MiB (";
+            out += GrowthPercent(
+                static_cast<double>(delta.base_peak_rss_bytes),
+                static_cast<double>(delta.new_peak_rss_bytes));
+            out += ")";
+        }
+        out += "\n";
+    }
+
+    char summary[256];
+    std::snprintf(summary, sizeof(summary),
+                  "diff-telemetry: %zu regression(s) at threshold +%.0f%% "
+                  "(%zu cells compared, %zu base-only, %zu new-only, "
+                  "%zu without telemetry); total wall %.3fs -> %.3fs\n",
+                  diff.regressions.size(), options.threshold * 100.0,
+                  diff.compared, diff.base_only, diff.new_only,
+                  diff.missing_telemetry, diff.base_total_wall_seconds,
+                  diff.new_total_wall_seconds);
+    out += summary;
+    return out;
+}
+
+}  // namespace spur::sweep

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Telemetry trend comparison between two sweep documents.
+ *
+ * `spur_sweep diff-telemetry BASE.json NEW.json` matches records by
+ * cell identity (see RecordIdentity) and compares their --telemetry
+ * cost: wall-clock seconds and peak RSS.  Cells whose cost grew by more
+ * than the threshold are reported as regressions, so CI can track the
+ * simulator's own performance trajectory run over run.
+ *
+ * Telemetry is machine- and load-dependent, so the diff is advisory by
+ * design: the CI step that runs it is non-fatal, thresholds default to
+ * a generous +25%, and cells below a noise floor are skipped (a 2 ms
+ * cell doubling is scheduler jitter, not a regression).  Result bytes
+ * (the records' payload) are never compared here — that is the merge
+ * layer's byte-identity contract, which stays strict.
+ */
+#ifndef SPUR_SWEEP_DIFF_H_
+#define SPUR_SWEEP_DIFF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sweep/merge.h"
+
+namespace spur::sweep {
+
+/** Thresholds for flagging a cell as regressed. */
+struct DiffOptions {
+    /// Fractional growth that counts as a regression: 0.25 flags cells
+    /// whose new cost exceeds base cost by more than 25%.
+    double threshold = 0.25;
+    /// Cells whose *base* wall time is below this many seconds are
+    /// never wall-flagged — too small to measure reliably.
+    double min_wall_seconds = 0.01;
+};
+
+/** Cost comparison of one cell present in both documents. */
+struct CellDelta {
+    std::string identity;  ///< RecordIdentity of the cell.
+    double base_wall_seconds = 0.0;
+    double new_wall_seconds = 0.0;
+    uint64_t base_peak_rss_bytes = 0;
+    uint64_t new_peak_rss_bytes = 0;
+    bool wall_regressed = false;
+    bool rss_regressed = false;
+};
+
+/** Outcome of comparing NEW against BASE. */
+struct TelemetryDiff {
+    /// Cells over threshold, sorted by identity.
+    std::vector<CellDelta> regressions;
+    size_t compared = 0;           ///< Cells with telemetry on both sides.
+    size_t base_only = 0;          ///< Cells present only in BASE.
+    size_t new_only = 0;           ///< Cells present only in NEW.
+    size_t missing_telemetry = 0;  ///< Matched cells lacking telemetry.
+    double base_total_wall_seconds = 0.0;  ///< Sum over compared cells.
+    double new_total_wall_seconds = 0.0;   ///< Sum over compared cells.
+};
+
+/**
+ * Matches @p current's records against @p base by cell identity and
+ * compares telemetry.  Duplicate identities within one document keep
+ * the max cost (mirrors CostTable's collision rule).
+ */
+TelemetryDiff DiffTelemetry(const SweepDocument& base,
+                            const SweepDocument& current,
+                            const DiffOptions& options);
+
+/** True when the diff holds at least one regressed cell. */
+bool HasRegressions(const TelemetryDiff& diff);
+
+/**
+ * Renders the diff as a deterministic human-readable report: one line
+ * per regression (sorted), then a summary line.  Byte-stable for a
+ * given diff, so CI logs can themselves be compared.
+ */
+std::string FormatDiffReport(const TelemetryDiff& diff,
+                             const DiffOptions& options);
+
+}  // namespace spur::sweep
+
+#endif  // SPUR_SWEEP_DIFF_H_

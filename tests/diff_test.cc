@@ -1,0 +1,211 @@
+// Tests for telemetry trend comparison (src/sweep/diff.h), the engine
+// behind `spur_sweep diff-telemetry BASE NEW`.
+#include "src/sweep/diff.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/stats/run_record.h"
+#include "src/sweep/merge.h"
+
+namespace {
+
+using spur::stats::CellTelemetry;
+using spur::stats::RunRecord;
+using spur::sweep::CellDelta;
+using spur::sweep::DiffOptions;
+using spur::sweep::DiffTelemetry;
+using spur::sweep::FormatDiffReport;
+using spur::sweep::HasRegressions;
+using spur::sweep::SweepDocument;
+using spur::sweep::TelemetryDiff;
+
+RunRecord
+MakeRecord(const std::string& workload, uint32_t rep, double wall_seconds,
+           uint64_t peak_rss_bytes)
+{
+    RunRecord record;
+    record.bench = "bench";
+    record.workload = workload;
+    record.dirty_policy = "writeback";
+    record.ref_policy = "clock";
+    record.memory_mb = 16;
+    record.rep = rep;
+    record.seed = 42 + rep;
+    CellTelemetry telemetry;
+    telemetry.wall_seconds = wall_seconds;
+    telemetry.peak_rss_bytes = peak_rss_bytes;
+    record.telemetry = telemetry;
+    return record;
+}
+
+SweepDocument
+MakeDocument(std::vector<RunRecord> records)
+{
+    SweepDocument document;
+    document.meta.bench = "bench";
+    document.records = std::move(records);
+    return document;
+}
+
+constexpr uint64_t kMiB = 1024 * 1024;
+
+TEST(DiffTest, FlagsWallClockRegressionOverThreshold)
+{
+    const SweepDocument base =
+        MakeDocument({MakeRecord("lisp", 0, 1.0, 10 * kMiB)});
+    const SweepDocument now =
+        MakeDocument({MakeRecord("lisp", 0, 1.5, 10 * kMiB)});
+    const TelemetryDiff diff = DiffTelemetry(base, now, DiffOptions{});
+    ASSERT_TRUE(HasRegressions(diff));
+    ASSERT_EQ(diff.regressions.size(), 1u);
+    const CellDelta& delta = diff.regressions[0];
+    EXPECT_TRUE(delta.wall_regressed);
+    EXPECT_FALSE(delta.rss_regressed);
+    EXPECT_DOUBLE_EQ(delta.base_wall_seconds, 1.0);
+    EXPECT_DOUBLE_EQ(delta.new_wall_seconds, 1.5);
+    EXPECT_EQ(diff.compared, 1u);
+}
+
+TEST(DiffTest, FlagsRssRegressionIndependently)
+{
+    const SweepDocument base =
+        MakeDocument({MakeRecord("lisp", 0, 1.0, 10 * kMiB)});
+    const SweepDocument now =
+        MakeDocument({MakeRecord("lisp", 0, 1.0, 20 * kMiB)});
+    const TelemetryDiff diff = DiffTelemetry(base, now, DiffOptions{});
+    ASSERT_EQ(diff.regressions.size(), 1u);
+    EXPECT_FALSE(diff.regressions[0].wall_regressed);
+    EXPECT_TRUE(diff.regressions[0].rss_regressed);
+}
+
+TEST(DiffTest, GrowthWithinThresholdPasses)
+{
+    const SweepDocument base =
+        MakeDocument({MakeRecord("lisp", 0, 1.0, 10 * kMiB)});
+    // +20% wall and +10% RSS against the default +25% threshold.
+    const SweepDocument now =
+        MakeDocument({MakeRecord("lisp", 0, 1.2, 11 * kMiB)});
+    const TelemetryDiff diff = DiffTelemetry(base, now, DiffOptions{});
+    EXPECT_FALSE(HasRegressions(diff));
+    EXPECT_EQ(diff.compared, 1u);
+}
+
+TEST(DiffTest, ImprovementIsNeverARegression)
+{
+    const SweepDocument base =
+        MakeDocument({MakeRecord("lisp", 0, 2.0, 20 * kMiB)});
+    const SweepDocument now =
+        MakeDocument({MakeRecord("lisp", 0, 0.5, 5 * kMiB)});
+    EXPECT_FALSE(HasRegressions(DiffTelemetry(base, now, DiffOptions{})));
+}
+
+TEST(DiffTest, NoiseFloorSuppressesTinyCells)
+{
+    // 2 ms doubling to 4 ms is scheduler jitter, not a regression.
+    const SweepDocument base =
+        MakeDocument({MakeRecord("lisp", 0, 0.002, 10 * kMiB)});
+    const SweepDocument now =
+        MakeDocument({MakeRecord("lisp", 0, 0.004, 10 * kMiB)});
+    const TelemetryDiff diff = DiffTelemetry(base, now, DiffOptions{});
+    EXPECT_FALSE(HasRegressions(diff));
+    EXPECT_EQ(diff.compared, 1u);
+}
+
+TEST(DiffTest, CustomThresholdTightensTheGate)
+{
+    const SweepDocument base =
+        MakeDocument({MakeRecord("lisp", 0, 1.0, 10 * kMiB)});
+    const SweepDocument now =
+        MakeDocument({MakeRecord("lisp", 0, 1.2, 10 * kMiB)});
+    DiffOptions tight;
+    tight.threshold = 0.10;
+    EXPECT_TRUE(HasRegressions(DiffTelemetry(base, now, tight)));
+}
+
+TEST(DiffTest, UnmatchedAndUntelemeteredCellsAreCounted)
+{
+    RunRecord no_telemetry = MakeRecord("mixed", 0, 1.0, kMiB);
+    no_telemetry.telemetry.reset();
+
+    const SweepDocument base = MakeDocument({
+        MakeRecord("lisp", 0, 1.0, 10 * kMiB),  // matched, compared
+        MakeRecord("lisp", 1, 1.0, 10 * kMiB),  // base-only
+        no_telemetry,                           // matched, no telemetry
+    });
+    RunRecord no_telemetry_new = no_telemetry;
+    const SweepDocument now = MakeDocument({
+        MakeRecord("lisp", 0, 1.0, 10 * kMiB),
+        MakeRecord("lisp", 2, 1.0, 10 * kMiB),  // new-only
+        no_telemetry_new,
+    });
+    const TelemetryDiff diff = DiffTelemetry(base, now, DiffOptions{});
+    EXPECT_EQ(diff.compared, 1u);
+    EXPECT_EQ(diff.base_only, 1u);
+    EXPECT_EQ(diff.new_only, 1u);
+    EXPECT_EQ(diff.missing_telemetry, 1u);
+    EXPECT_FALSE(HasRegressions(diff));
+}
+
+TEST(DiffTest, DuplicateIdentitiesKeepMaxCost)
+{
+    // Bespoke records recomputed by every shard share an identity; the
+    // diff keeps the max cost, mirroring CostTable's collision rule.
+    const SweepDocument base = MakeDocument({
+        MakeRecord("lisp", 0, 1.0, 10 * kMiB),
+        MakeRecord("lisp", 0, 3.0, 12 * kMiB),
+    });
+    const SweepDocument now =
+        MakeDocument({MakeRecord("lisp", 0, 3.1, 12 * kMiB)});
+    const TelemetryDiff diff = DiffTelemetry(base, now, DiffOptions{});
+    EXPECT_FALSE(HasRegressions(diff));  // 3.1 vs max(1.0, 3.0) = +3%.
+    ASSERT_EQ(diff.compared, 1u);
+    EXPECT_DOUBLE_EQ(diff.base_total_wall_seconds, 3.0);
+}
+
+TEST(DiffTest, RegressionsSortByIdentity)
+{
+    const SweepDocument base = MakeDocument({
+        MakeRecord("zsh", 0, 1.0, 10 * kMiB),
+        MakeRecord("awk", 0, 1.0, 10 * kMiB),
+    });
+    const SweepDocument now = MakeDocument({
+        MakeRecord("zsh", 0, 2.0, 10 * kMiB),
+        MakeRecord("awk", 0, 2.0, 10 * kMiB),
+    });
+    const TelemetryDiff diff = DiffTelemetry(base, now, DiffOptions{});
+    ASSERT_EQ(diff.regressions.size(), 2u);
+    EXPECT_LT(diff.regressions[0].identity, diff.regressions[1].identity);
+}
+
+TEST(DiffTest, ReportIsDeterministicAndSummarized)
+{
+    const SweepDocument base =
+        MakeDocument({MakeRecord("lisp", 0, 1.0, 10 * kMiB)});
+    const SweepDocument now =
+        MakeDocument({MakeRecord("lisp", 0, 2.0, 10 * kMiB)});
+    const DiffOptions options;
+    const TelemetryDiff diff = DiffTelemetry(base, now, options);
+    const std::string report = FormatDiffReport(diff, options);
+    EXPECT_EQ(report, FormatDiffReport(diff, options));
+    EXPECT_NE(report.find("REGRESSION"), std::string::npos);
+    EXPECT_NE(report.find("1.000s -> 2.000s"), std::string::npos);
+    EXPECT_NE(report.find("+100.0%"), std::string::npos);
+    EXPECT_NE(report.find("1 regression(s) at threshold +25%"),
+              std::string::npos);
+    EXPECT_EQ(report.back(), '\n');
+}
+
+TEST(DiffTest, EmptyDocumentsDiffClean)
+{
+    const TelemetryDiff diff =
+        DiffTelemetry(MakeDocument({}), MakeDocument({}), DiffOptions{});
+    EXPECT_FALSE(HasRegressions(diff));
+    EXPECT_EQ(diff.compared, 0u);
+    const std::string report = FormatDiffReport(diff, DiffOptions{});
+    EXPECT_NE(report.find("0 regression(s)"), std::string::npos);
+}
+
+}  // namespace

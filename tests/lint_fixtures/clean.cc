@@ -1,0 +1,11 @@
+// Clean fixture for tests/lint_test.cc: deterministic code, plus
+// comments that merely *mention* rand() and std::chrono::system_clock —
+// mentions in comments must not trip the token rules.
+#include <cstdint>
+
+uint64_t
+NextState(uint64_t state)
+{
+    /* A fixed-point LCG step; nothing like rand() or setlocale here. */
+    return state * 6364136223846793005ull + 1442695040888963407ull;
+}

@@ -1,0 +1,9 @@
+// Seeded violation corpus for tests/lint_test.cc — this file must trip
+// exactly one spur_lint rule: no-locale.
+#include <clocale>
+
+void
+UseUserLocale()
+{
+    setlocale(LC_ALL, "");
+}

@@ -1,0 +1,7 @@
+// Seeded violation corpus for tests/lint_test.cc — this file must trip
+// exactly one spur_lint rule: no-rand.
+int
+NoisySeed()
+{
+    return rand();
+}

@@ -1,0 +1,4 @@
+// Seeded violation corpus for tests/lint_test.cc — this file must trip
+// exactly one spur_lint rule: schema-version-once (a definition outside
+// src/stats/run_record.h).
+inline constexpr int kSchemaVersion = 2;

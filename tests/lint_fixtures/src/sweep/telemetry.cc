@@ -1,0 +1,12 @@
+// Clean fixture for tests/lint_test.cc: wall-clock reads are legitimate
+// here — the path normalizes to src/sweep/telemetry.cc, which is on the
+// no-wallclock whitelist (telemetry measures the simulator itself and
+// never feeds result bytes).
+#include <chrono>
+
+double
+MonotonicSeconds()
+{
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now.time_since_epoch()).count();
+}

@@ -1,0 +1,8 @@
+// Clean fixture for tests/lint_test.cc: a justified suppression comment
+// on the preceding line silences the finding.
+int
+JustifiedNoise()
+{
+    // spur-lint: allow(no-rand) — fixture proving suppressions work
+    return rand();
+}

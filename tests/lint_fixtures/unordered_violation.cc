@@ -1,0 +1,11 @@
+// Seeded violation corpus for tests/lint_test.cc — this file must trip
+// exactly one spur_lint rule: no-unordered-output.  Including the table
+// header marks it as output-feeding.  (Fixtures are linted, never
+// compiled, so the missing container include does not matter.)
+#include "src/common/table.h"
+
+int
+CountEntries(const std::unordered_map<int, int>& histogram)
+{
+    return static_cast<int>(histogram.size());
+}

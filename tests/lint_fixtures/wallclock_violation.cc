@@ -1,0 +1,10 @@
+// Seeded violation corpus for tests/lint_test.cc — this file must trip
+// exactly one spur_lint rule: no-wallclock.
+#include <chrono>
+
+double
+Now()
+{
+    const auto now = std::chrono::system_clock::now();
+    return std::chrono::duration<double>(now.time_since_epoch()).count();
+}

@@ -1,0 +1,268 @@
+// Tests for the spur_lint determinism checker (src/lint/).
+//
+// The seeded corpus under tests/lint_fixtures/ holds one file per rule
+// with exactly one violation, plus clean files proving the whitelists,
+// the suppression comments and comment-stripping work.  A final test
+// runs the linter over the real tree — the CI gate in executable form.
+//
+// NOTE: this file's path is rule-exempt (see RuleExempt in lint.cc), so
+// it may spell forbidden tokens when building inline file contents.
+#include "src/lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace {
+
+using spur::lint::FormatViolation;
+using spur::lint::Linter;
+using spur::lint::NormalizePath;
+using spur::lint::RuleInfo;
+using spur::lint::Rules;
+using spur::lint::Violation;
+
+std::string
+FixturePath(const std::string& name)
+{
+    return std::string(SPUR_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::vector<Violation>
+LintFixture(const std::string& name)
+{
+    Linter linter;
+    std::string error;
+    EXPECT_TRUE(linter.AddFileFromDisk(FixturePath(name), &error)) << error;
+    return linter.Run();
+}
+
+struct SeededFixture {
+    const char* fixture;
+    const char* rule;
+};
+
+constexpr SeededFixture kSeeded[] = {
+    {"rand_violation.cc", "no-rand"},
+    {"wallclock_violation.cc", "no-wallclock"},
+    {"locale_violation.cc", "no-locale"},
+    {"unordered_violation.cc", "no-unordered-output"},
+    {"schema_violation.cc", "schema-version-once"},
+    {"bench/no_session.cc", "bench-session"},
+};
+
+TEST(LintTest, EveryRuleCatchesItsSeededFixture)
+{
+    for (const SeededFixture& seeded : kSeeded) {
+        const std::vector<Violation> violations = LintFixture(seeded.fixture);
+        ASSERT_EQ(violations.size(), 1u)
+            << seeded.fixture << " should hold exactly one violation";
+        EXPECT_EQ(violations[0].rule, seeded.rule) << seeded.fixture;
+        EXPECT_GT(violations[0].line, 0u) << seeded.fixture;
+        EXPECT_EQ(violations[0].file,
+                  NormalizePath(FixturePath(seeded.fixture)));
+        EXPECT_FALSE(violations[0].message.empty());
+    }
+}
+
+TEST(LintTest, SeededCorpusCoversEveryRule)
+{
+    std::set<std::string> covered;
+    for (const SeededFixture& seeded : kSeeded) {
+        covered.insert(seeded.rule);
+    }
+    for (const RuleInfo& rule : Rules()) {
+        EXPECT_EQ(covered.count(rule.name), 1u)
+            << "rule '" << rule.name << "' has no seeded fixture";
+    }
+    EXPECT_EQ(covered.size(), Rules().size());
+}
+
+TEST(LintTest, CleanFixturesPass)
+{
+    for (const char* fixture :
+         {"clean.cc", "suppressed_ok.cc", "src/sweep/telemetry.cc"}) {
+        const std::vector<Violation> violations = LintFixture(fixture);
+        for (const Violation& violation : violations) {
+            ADD_FAILURE() << fixture << ": " << FormatViolation(violation);
+        }
+    }
+}
+
+TEST(LintTest, WholeCorpusInOneRunStaysSorted)
+{
+    Linter linter;
+    std::string error;
+    for (const SeededFixture& seeded : kSeeded) {
+        ASSERT_TRUE(
+            linter.AddFileFromDisk(FixturePath(seeded.fixture), &error))
+            << error;
+    }
+    const std::vector<Violation> violations = linter.Run();
+    EXPECT_EQ(violations.size(), 6u);
+    for (size_t i = 1; i < violations.size(); ++i) {
+        EXPECT_LE(violations[i - 1].file, violations[i].file);
+    }
+}
+
+TEST(LintTest, MissingSchemaDefinitionIsATreeLevelFinding)
+{
+    Linter linter;
+    linter.AddFile("src/stats/run_record.h", "struct RunRecord {};\n");
+    const std::vector<Violation> violations = linter.Run();
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].rule, "schema-version-once");
+    EXPECT_EQ(violations[0].line, 0u);
+    EXPECT_EQ(violations[0].file, "src/stats/run_record.h");
+}
+
+TEST(LintTest, DuplicateSchemaDefinitionInHomeIsFlagged)
+{
+    Linter linter;
+    linter.AddFile("src/stats/run_record.h",
+                   "inline constexpr int kSchemaVersion = 1;\n"
+                   "inline constexpr int kSchemaVersion = 2;\n");
+    const std::vector<Violation> violations = linter.Run();
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].rule, "schema-version-once");
+    EXPECT_EQ(violations[0].line, 2u);
+}
+
+TEST(LintTest, SchemaVersionUseIsNotADefinition)
+{
+    Linter linter;
+    linter.AddFile("src/core/uses.cc",
+                   "bool Ok(int v) { return v == kSchemaVersion; }\n"
+                   "int Copy() { return stats::kSchemaVersion + 0; }\n");
+    EXPECT_TRUE(linter.Run().empty());
+}
+
+TEST(LintTest, UnorderedContainersAreFineOutsideOutputCode)
+{
+    // No output-feeding path prefix and no output header include: the
+    // container only shapes in-memory state, so iteration order never
+    // reaches a result byte.
+    Linter linter;
+    linter.AddFile("src/core/scratch.cc",
+                   "#include <unordered_set>\n"
+                   "size_t Count(const std::unordered_set<int>& s)\n"
+                   "{ return s.size(); }\n");
+    EXPECT_TRUE(linter.Run().empty());
+}
+
+TEST(LintTest, TokenMatchingRespectsWordBoundaries)
+{
+    // elapsed_time( must not match the time( token; a member named
+    // mt19937_state must still match mt19937 at its boundary.
+    Linter linter;
+    linter.AddFile("src/core/boundaries.cc",
+                   "double elapsed_time(int ticks);\n"
+                   "int runtime_clocks(int x);\n");
+    EXPECT_TRUE(linter.Run().empty());
+}
+
+TEST(LintTest, SuppressionOnSameLineWorks)
+{
+    Linter linter;
+    linter.AddFile("src/core/same_line.cc",
+                   "int x = rand();  // spur-lint: allow(no-rand) legacy\n");
+    EXPECT_TRUE(linter.Run().empty());
+}
+
+TEST(LintTest, SuppressionNamesOneRuleOnly)
+{
+    // An allow(no-rand) comment must not silence a no-wallclock finding
+    // on the same line.
+    Linter linter;
+    linter.AddFile("src/core/wrong_rule.cc",
+                   "int x = time(nullptr);  // spur-lint: allow(no-rand)\n");
+    const std::vector<Violation> violations = linter.Run();
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].rule, "no-wallclock");
+}
+
+TEST(LintTest, NormalizePathKeepsRepoRelativeSuffix)
+{
+    EXPECT_EQ(NormalizePath("/root/repo/src/common/log.cc"),
+              "src/common/log.cc");
+    EXPECT_EQ(NormalizePath("/abs/build/../tools/spur_lint.cc"),
+              "tools/spur_lint.cc");
+    EXPECT_EQ(NormalizePath("tests/lint_fixtures/bench/no_session.cc"),
+              "bench/no_session.cc");
+    EXPECT_EQ(NormalizePath("tests/lint_fixtures/src/sweep/telemetry.cc"),
+              "src/sweep/telemetry.cc");
+    // No top-level marker: returned unchanged.
+    EXPECT_EQ(NormalizePath("README.md"), "README.md");
+}
+
+TEST(LintTest, FormatViolationRendersFileLineRule)
+{
+    EXPECT_EQ(FormatViolation({"src/a.cc", 12, "no-rand", "boom"}),
+              "src/a.cc:12: [no-rand] boom");
+    EXPECT_EQ(FormatViolation({"src/a.cc", 0, "schema-version-once", "gone"}),
+              "src/a.cc: [schema-version-once] gone");
+}
+
+TEST(LintTest, AddCompileCommandsPullsFileEntries)
+{
+    // Build a minimal compile_commands.json pointing at two fixtures.
+    const std::string json_path =
+        ::testing::TempDir() + "/lint_compile_commands.json";
+    {
+        std::ofstream out(json_path);
+        ASSERT_TRUE(out.is_open());
+        out << "[\n"
+            << "  {\"directory\": \"/tmp\", \"command\": \"c++ a.cc\",\n"
+            << "   \"file\": \"" << FixturePath("rand_violation.cc")
+            << "\"},\n"
+            << "  {\"directory\": \"/tmp\", \"command\": \"c++ b.cc\",\n"
+            << "   \"file\": \"" << FixturePath("clean.cc") << "\"}\n"
+            << "]\n";
+    }
+    Linter linter;
+    std::string error;
+    ASSERT_TRUE(linter.AddCompileCommands(json_path, &error)) << error;
+    EXPECT_EQ(linter.file_count(), 2u);
+    const std::vector<Violation> violations = linter.Run();
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].rule, "no-rand");
+}
+
+TEST(LintTest, AddTreeSkipsFixturesAndDeduplicates)
+{
+    Linter linter;
+    std::string error;
+    const std::string tests_dir = std::string(SPUR_SOURCE_ROOT) + "/tests";
+    ASSERT_TRUE(linter.AddTree(tests_dir, &error)) << error;
+    const size_t after_tree = linter.file_count();
+    EXPECT_GT(after_tree, 0u);
+    // lint_fixtures is pruned from tree walks.
+    for (const Violation& violation : linter.Run()) {
+        ADD_FAILURE() << FormatViolation(violation);
+    }
+    // Adding the same tree again is a no-op (paths dedup on normalize).
+    ASSERT_TRUE(linter.AddTree(tests_dir, &error)) << error;
+    EXPECT_EQ(linter.file_count(), after_tree);
+}
+
+TEST(LintTest, RealTreeIsClean)
+{
+    // The CI gate, as a unit test: the entire repo must lint clean.
+    Linter linter;
+    std::string error;
+    for (const char* dir :
+         {"src", "tools", "bench", "examples", "tests"}) {
+        const std::string path =
+            std::string(SPUR_SOURCE_ROOT) + "/" + dir;
+        ASSERT_TRUE(linter.AddTree(path, &error)) << error;
+    }
+    EXPECT_GT(linter.file_count(), 100u);
+    for (const Violation& violation : linter.Run()) {
+        ADD_FAILURE() << FormatViolation(violation);
+    }
+}
+
+}  // namespace

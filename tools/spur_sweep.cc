@@ -13,22 +13,36 @@
  *       to --out (default "-" = stdout).  A single input file is
  *       canonicalized in place, which is how CI byte-compares a merged
  *       N-shard sweep against a full single-process run.
+ *
+ *   spur_sweep diff-telemetry [--threshold=F] [--min-wall=S] BASE NEW
+ *       Compares per-cell --telemetry cost (wall clock, peak RSS)
+ *       between two sweep documents and reports cells that regressed
+ *       by more than the threshold (default +25%).  Exit 1 when any
+ *       cell regressed — advisory in CI (non-fatal step), since
+ *       telemetry is machine-dependent.  See src/sweep/diff.h.
  */
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "src/stats/run_record.h"
+#include "src/sweep/diff.h"
 #include "src/sweep/merge.h"
 
 namespace {
 
+using spur::sweep::DiffOptions;
+using spur::sweep::DiffTelemetry;
+using spur::sweep::FormatDiffReport;
+using spur::sweep::HasRegressions;
 using spur::sweep::LoadSweepFile;
 using spur::sweep::MergeDocuments;
 using spur::sweep::MergeOptions;
 using spur::sweep::SweepDocument;
+using spur::sweep::TelemetryDiff;
 
 int
 Usage()
@@ -37,10 +51,16 @@ Usage()
         << "usage: spur_sweep validate FILE...\n"
            "       spur_sweep merge [--out=FILE] [--strip-telemetry] "
            "FILE...\n"
+           "       spur_sweep diff-telemetry [--threshold=F] "
+           "[--min-wall=S] BASE NEW\n"
            "\n"
-           "validate  schema-check sweep JSON documents (--json output)\n"
-           "merge     merge the shard files of one sweep into one\n"
-           "          canonical document (FILE may be '-' for stdin)\n";
+           "validate        schema-check sweep JSON documents (--json "
+           "output)\n"
+           "merge           merge the shard files of one sweep into one\n"
+           "                canonical document (FILE may be '-' for "
+           "stdin)\n"
+           "diff-telemetry  compare per-cell wall-clock/RSS telemetry\n"
+           "                between two documents; exit 1 on regressions\n";
     return 2;
 }
 
@@ -124,6 +144,68 @@ Merge(const std::vector<std::string>& args)
     return 0;
 }
 
+/** Parses a positive double CLI value; false on garbage. */
+bool
+ParsePositiveDouble(const std::string& text, double* out)
+{
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || !(value > 0.0)) {
+        return false;
+    }
+    *out = value;
+    return true;
+}
+
+int
+Diff(const std::vector<std::string>& args)
+{
+    DiffOptions options;
+    std::vector<std::string> paths;
+    for (const std::string& arg : args) {
+        if (arg.rfind("--threshold=", 0) == 0) {
+            if (!ParsePositiveDouble(arg.substr(12), &options.threshold)) {
+                std::cerr << "spur_sweep: bad --threshold value in '" << arg
+                          << "'\n";
+                return 2;
+            }
+        } else if (arg.rfind("--min-wall=", 0) == 0) {
+            if (!ParsePositiveDouble(arg.substr(11),
+                                     &options.min_wall_seconds)) {
+                std::cerr << "spur_sweep: bad --min-wall value in '" << arg
+                          << "'\n";
+                return 2;
+            }
+        } else if (arg.rfind("--", 0) == 0 && arg != "-") {
+            std::cerr << "spur_sweep: unknown diff-telemetry option '"
+                      << arg << "'\n";
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.size() != 2) {
+        return Usage();
+    }
+
+    std::vector<SweepDocument> documents;
+    documents.reserve(2);
+    for (const std::string& path : paths) {
+        std::string error;
+        std::optional<SweepDocument> document = LoadSweepFile(path, &error);
+        if (!document) {
+            std::cerr << "spur_sweep: " << path << ": " << error << "\n";
+            return 2;
+        }
+        documents.push_back(std::move(*document));
+    }
+
+    const TelemetryDiff diff =
+        DiffTelemetry(documents[0], documents[1], options);
+    std::cout << FormatDiffReport(diff, options);
+    return HasRegressions(diff) ? 1 : 0;
+}
+
 }  // namespace
 
 int
@@ -143,6 +225,9 @@ main(int argc, char** argv)
     }
     if (mode == "merge") {
         return Merge(rest);
+    }
+    if (mode == "diff-telemetry") {
+        return Diff(rest);
     }
     return Usage();
 }
