@@ -16,7 +16,8 @@
  *
  * Flags: --refs=M (millions, default 6), plus the standard session
  *        flags --jobs=N, --json=FILE, --shard=K/N, --telemetry,
- *        --costs=FILE (src/runner/session.h)
+ *        --costs=FILE,
+ *        --stream=FILE, --resume=FILE (src/runner/session.h)
  */
 #include <cstdio>
 #include <vector>

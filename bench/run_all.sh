@@ -2,7 +2,7 @@
 # Regenerates every paper table/figure and ablation into stdout.
 #
 # Usage: bench/run_all.sh [build_dir] [--json-dir=DIR] [--shard=K/N]
-#                         [extra flags...]
+#                         [--stream-dir=DIR] [extra flags...]
 #        bench/run_all.sh [build_dir] --merge-dir=DIR
 #
 # The optional build_dir (default: build) must come first.  Every other
@@ -25,17 +25,28 @@
 #
 # which runs `spur_sweep merge` over every DIR/<bench>.shard_*.json
 # group and writes the canonical merged DIR/<bench>.json files.
+#
+# --stream-dir=DIR additionally gives each bench --stream so every
+# record lands crash-tolerantly in DIR/<bench><shard suffix>.stream as
+# it completes; a killed suite is recovered per file with
+# `spur_sweep recover` and finished with --resume (DESIGN.md §14).
+# Like sharding, the micro benches are excluded (google-benchmark has
+# no record stream).
 set -euo pipefail
 
 BUILD="build"
 JSON_DIR=""
 MERGE_DIR=""
+STREAM_DIR=""
 SHARD=""
 ARGS=()
 for arg in "$@"; do
     case "$arg" in
         --json-dir=*)
             JSON_DIR="${arg#--json-dir=}"
+            ;;
+        --stream-dir=*)
+            STREAM_DIR="${arg#--stream-dir=}"
             ;;
         --merge-dir=*)
             MERGE_DIR="${arg#--merge-dir=}"
@@ -87,6 +98,10 @@ if [[ -n "$JSON_DIR" ]]; then
     mkdir -p "$JSON_DIR"
 fi
 
+if [[ -n "$STREAM_DIR" ]]; then
+    mkdir -p "$STREAM_DIR"
+fi
+
 SHARD_SUFFIX=""
 SHARD_INDEX=""
 if [[ -n "$SHARD" ]]; then
@@ -111,6 +126,9 @@ for b in "$BUILD"/bench/*; do
         else
             EXTRA+=("--json=$JSON_DIR/$name$SHARD_SUFFIX.json")
         fi
+    fi
+    if [[ -n "$STREAM_DIR" && "$name" != micro_* ]]; then
+        EXTRA+=("--stream=$STREAM_DIR/$name$SHARD_SUFFIX.stream")
     fi
     "$b" ${ARGS[@]+"${ARGS[@]}"} ${EXTRA[@]+"${EXTRA[@]}"}
     echo

@@ -8,8 +8,8 @@
  *
  * Flags: --reps=N (default 1), --refs=M (override run length, millions),
  *        --csv, --seed=S, plus the standard session flags --jobs=N,
- *        --json=FILE, --shard=K/N, --telemetry, --costs=FILE
- *        (src/runner/session.h)
+ *        --json=FILE, --shard=K/N, --telemetry, --costs=FILE,
+ *        --stream=FILE, --resume=FILE (src/runner/session.h)
  */
 #include <cstdio>
 #include <vector>

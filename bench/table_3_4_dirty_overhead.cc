@@ -14,7 +14,8 @@
  *
  * Flags: --reps=N, --refs=M (millions), --mechanistic, --csv, --seed=S,
  *        plus the standard session flags --jobs=N, --json=FILE,
- *        --shard=K/N, --telemetry, --costs=FILE (src/runner/session.h)
+ *        --shard=K/N, --telemetry, --costs=FILE,
+ *        --stream=FILE, --resume=FILE (src/runner/session.h)
  */
 #include <cstdio>
 #include <vector>

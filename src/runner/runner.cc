@@ -185,11 +185,37 @@ std::vector<std::vector<core::RunResult>>
 RunMatrix(const std::vector<core::RunConfig>& configs, uint32_t reps,
           const MatrixOptions& options, const CellCallback& progress)
 {
-    const std::vector<CellId> cells = ShardCells(configs, reps, options);
+    std::vector<CellId> cells = ShardCells(configs, reps, options);
+    // The resume hook filters owned cells before any scheduling; skipped
+    // cells surface through progress so the caller can substitute their
+    // previously recorded results.
+    bool any_skipped = false;
+    if (options.skip) {
+        std::vector<CellId> to_run;
+        to_run.reserve(cells.size());
+        for (const CellId& id : cells) {
+            Cell cell;
+            cell.config_index = id.config_index;
+            cell.rep = id.rep;
+            cell.config = configs[id.config_index];
+            cell.config.seed = CellSeed(cell.config.seed, id.rep);
+            if (options.skip(cell.config, id.rep)) {
+                any_skipped = true;
+                cell.executed = false;
+                if (progress) {
+                    progress(cell);
+                }
+            } else {
+                to_run.push_back(id);
+            }
+        }
+        cells = std::move(to_run);
+    }
     // The cross-policy dominance audit needs the complete grid; a shard
-    // holds only its slice, so the audit runs on full runs alone (the
-    // shard-union CI job still covers sharded sweeps end to end).
-    const bool full_matrix = options.shard_count <= 1;
+    // holds only its slice and a resumed run skips cells, so the audit
+    // runs on full in-process runs alone (the shard-union CI job still
+    // covers sharded sweeps end to end).
+    const bool full_matrix = options.shard_count <= 1 && !any_skipped;
     std::vector<std::vector<core::RunResult>> results(configs.size());
     for (auto& group : results) {
         group.resize(reps);

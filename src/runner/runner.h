@@ -38,6 +38,10 @@ struct Cell {
     uint32_t rep = 0;         ///< Repetition number in [0, reps).
     core::RunConfig config;   ///< The executed config (derived seed).
     core::RunResult result;
+    /// False when MatrixOptions::skip elided the run (e.g. the cell was
+    /// satisfied from a --resume file): identity and config are filled
+    /// in, result and telemetry stay default.
+    bool executed = true;
     // Telemetry sampled around the cell's execution (sweep layer).
     double wall_seconds = 0.0;    ///< Wall-clock duration of RunOnce.
     uint64_t peak_rss_bytes = 0;  ///< Process peak RSS at completion.
@@ -80,6 +84,13 @@ struct MatrixOptions {
     /// keeping their shuffled order after all known ones.  Scheduling
     /// order never changes results (cells are seeded by identity).
     std::function<double(const core::RunConfig& config, uint32_t rep)> cost;
+    /// Optional resume hook, called once per owned cell — with the
+    /// derived per-cell seed — before it is scheduled; true = do not
+    /// run it.  Skipped cells still fire progress, with Cell::executed
+    /// false, so callers can substitute previously recorded results.
+    /// Skipping any cell disables the full-matrix dominance audit: the
+    /// in-process grid is incomplete, exactly as under sharding.
+    std::function<bool(const core::RunConfig& config, uint32_t rep)> skip;
 };
 
 /**
@@ -87,8 +98,9 @@ struct MatrixOptions {
  * shard owns and leaves every other cell of the result matrix
  * default-constructed.  The union of all shards' executed cells is
  * bit-identical to a single full run (tests/sweep_test.cc).  Progress
- * fires once per *executed* cell, on the calling thread, with
- * telemetry filled in.
+ * fires once per *owned* cell, on the calling thread: executed cells
+ * carry their result and telemetry, cells elided by MatrixOptions::skip
+ * arrive with Cell::executed false.
  */
 std::vector<std::vector<core::RunResult>> RunMatrix(
     const std::vector<core::RunConfig>& configs, uint32_t reps,

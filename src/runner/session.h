@@ -21,6 +21,18 @@
  *   --costs=F     prior sweep JSON (produced with --telemetry) whose
  *                 measured durations drive longest-first scheduling;
  *                 changes utilization, never results.
+ *   --stream=F    append every record to F as an fsync'd frame the
+ *                 moment it is recorded (src/sweep/stream.h), with a
+ *                 verified trailer at Finish() — so a crashed or killed
+ *                 run keeps every finished cell.  Turn a trailerless
+ *                 file back into a document with `spur_sweep recover`.
+ *   --resume=F    sweep JSON document (a recovered stream, or an
+ *                 earlier --json file) whose records satisfy matching
+ *                 cells without re-running them; only the missing cells
+ *                 execute, and the final output is byte-identical to an
+ *                 uninterrupted run.  F must come from the same bench
+ *                 with the same shard flags (same precedent as shards:
+ *                 the sweep shape is part of the contract).
  *
  * Usage:
  *   const Args args(argc, argv);
@@ -33,6 +45,7 @@
 #define SPUR_RUNNER_SESSION_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -44,6 +57,7 @@
 #include "src/stats/run_record.h"
 #include "src/sweep/cost.h"
 #include "src/sweep/shard.h"
+#include "src/sweep/stream.h"
 
 namespace spur::runner {
 
@@ -54,7 +68,9 @@ class BenchSession
     /**
      * Reads the standard flags from @p args and installs the job count
      * as the process-wide default (SetDefaultJobs).  A malformed
-     * --shard or unreadable --costs file is a Fatal() user error.
+     * --shard, an unreadable --costs/--resume file, a --resume file
+     * from a different bench or sharding, or an unwritable --stream
+     * path is a Fatal() user error.
      */
     BenchSession(std::string bench_name, const Args& args);
 
@@ -70,16 +86,20 @@ class BenchSession
     /** Sharded work units seen (cells of every matrix so far). */
     uint64_t total_cells() const { return total_cells_; }
 
-    /** Sharded work units this process actually executed. */
+    /** Sharded work units this process executed or resumed. */
     uint64_t ran_cells() const { return ran_cells_; }
+
+    /** Of ran_cells(), how many --resume satisfied without re-running. */
+    uint64_t resumed_cells() const { return resumed_cells_; }
 
     /**
      * Parallel experiment matrix (see runner::RunMatrix) on this
-     * session's job count, shard and cost table; every cell this shard
-     * executes is recorded for --json in deterministic (config, rep)
-     * order.  Under --shard, skipped cells stay default-constructed in
-     * the returned matrix — printed tables are partial; the JSON
-     * records are the artifact shards exist for.
+     * session's job count, shard, cost table and resume set; every cell
+     * this shard executes or resumes is recorded for --json/--stream in
+     * deterministic (config, rep) order.  Under --shard or --resume,
+     * cells not run in-process stay default-constructed in the returned
+     * matrix — printed tables are partial; the JSON records are the
+     * artifact those modes exist for.
      */
     std::vector<std::vector<core::RunResult>> RunMatrix(
         const std::vector<core::RunConfig>& configs, uint32_t reps,
@@ -88,7 +108,8 @@ class BenchSession
     /**
      * Runs each config exactly once (seed verbatim) in parallel and
      * returns results in input order; this shard's runs are recorded.
-     * Sharding treats the input order as the work-unit order.
+     * Sharding treats the input order as the work-unit order, and
+     * --resume satisfies matching cells here too.
      */
     std::vector<core::RunResult> RunAll(
         const std::vector<core::RunConfig>& configs);
@@ -97,9 +118,9 @@ class BenchSession
      * Records one standard run observation.  Thread-safe: bespoke
      * benches may record from parallel loops (the record sink is
      * guarded by an annotated mutex, DESIGN.md §13), though recording
-     * order — and therefore --json byte order — is deterministic only
-     * when records are appended from one thread, as RunMatrix/RunAll
-     * do.
+     * order — and therefore --json/--stream byte order — is
+     * deterministic only when records are appended from one thread, as
+     * RunMatrix/RunAll do.
      */
     void Record(const core::RunConfig& config, uint32_t rep,
                 const core::RunResult& result) SPUR_EXCLUDES(mutex_);
@@ -111,16 +132,34 @@ class BenchSession
     std::vector<stats::RunRecord> records() const SPUR_EXCLUDES(mutex_);
 
     /**
-     * Writes the --json file if one was requested, stamped with the
-     * schema version and this session's shard header.  Returns the
-     * process exit code (non-zero if the write failed).
+     * Writes the --json file if one was requested and finishes the
+     * --stream trailer if one is open, both stamped with the schema
+     * version and this session's shard header.  Returns the process
+     * exit code (non-zero if any write failed, including a record
+     * frame that failed to append mid-run).
      */
     int Finish() SPUR_EXCLUDES(mutex_);
 
   private:
-    /** Attaches --telemetry data to the most recent record. */
-    void AttachTelemetry(double wall_seconds, uint64_t peak_rss_bytes,
-                         uint32_t worker) SPUR_EXCLUDES(mutex_);
+    /** Builds the standard record for one executed cell. */
+    stats::RunRecord MakeRecord(const core::RunConfig& config, uint32_t rep,
+                                const core::RunResult& result) const;
+
+    /** The cell identity key --resume matches records by. */
+    std::string CellIdentity(const core::RunConfig& config,
+                             uint32_t rep) const;
+
+    /**
+     * Commits one matrix cell: the resumed record for a skipped cell,
+     * or a fresh record (plus telemetry when enabled) for an executed
+     * one.  Called in ascending (config, rep) order as each ordered
+     * prefix completes, so --stream gains a durable record the moment a
+     * cell's predecessors are all done.
+     */
+    void CommitCell(const Cell& cell) SPUR_EXCLUDES(mutex_);
+
+    /** The record sink: buffers for --json, appends to --stream. */
+    void Commit(stats::RunRecord record) SPUR_EXCLUDES(mutex_);
 
     std::string bench_;
     std::string json_path_;
@@ -128,14 +167,22 @@ class BenchSession
     sweep::ShardSpec shard_;
     bool telemetry_ = false;
     sweep::CostTable costs_;
-    // Session-thread state: only touched between runs, on the thread
-    // that owns the session (sharding carries offsets across calls).
+    // Session-thread state: mutated on the owning thread between runs
+    // (sharding carries offsets across calls).  resumed_cells_ is also
+    // bumped from RunAll's in-order committer, serialized by its local
+    // drain mutex and read only after the parallel region joins.
     uint64_t total_cells_ = 0;
     uint64_t ran_cells_ = 0;
+    uint64_t resumed_cells_ = 0;
+    /// --resume records keyed by cell identity.  std::map, not
+    /// unordered: resumed records feed the output byte stream.
+    std::map<std::string, stats::RunRecord> resume_;
     // The record sink is shared with whatever thread calls Record();
     // the guard is machine-checked (src/common/thread_annotations.h).
     mutable Mutex mutex_;
     std::vector<stats::RunRecord> records_ SPUR_GUARDED_BY(mutex_);
+    sweep::StreamWriter stream_ SPUR_GUARDED_BY(mutex_);
+    bool stream_failed_ SPUR_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace spur::runner

@@ -78,9 +78,11 @@ ParseTelemetry(const JsonValue& value, stats::CellTelemetry* out,
     return true;
 }
 
+}  // namespace
+
 bool
-ParseRecord(const JsonValue& value, stats::RunRecord* out,
-            std::string* error)
+ParseRunRecord(const JsonValue& value, stats::RunRecord* out,
+               std::string* error)
 {
     if (!value.IsObject()) {
         return Fail(error, "record must be an object");
@@ -217,7 +219,33 @@ ParseShardHeader(const JsonValue& value, stats::DocumentMeta* meta,
     return true;
 }
 
-}  // namespace
+bool
+ValidateShardAccounting(const SweepDocument& document, std::string* error)
+{
+    const stats::DocumentMeta& meta = document.meta;
+    if (meta.total_cells == 0) {
+        return true;  // Bespoke-only sessions track no matrix cells.
+    }
+    // Cell ordinal o belongs to shard K of N iff o % N == K, so the
+    // slice of a total_cells-cell session is:
+    const uint64_t slice =
+        (meta.total_cells > meta.shard_index)
+            ? (meta.total_cells - meta.shard_index - 1) / meta.shard_count +
+                  1
+            : 0;
+    if (meta.ran_cells != slice) {
+        return Fail(error,
+                    "shard " + std::to_string(meta.shard_index) + "/" +
+                        std::to_string(meta.shard_count) + " of " +
+                        std::to_string(meta.total_cells) +
+                        " cells must have run " + std::to_string(slice) +
+                        ", claims " + std::to_string(meta.ran_cells) +
+                        (meta.ran_cells < slice
+                             ? " (crashed shard? recover + --resume it)"
+                             : " (duplicated cells?)"));
+    }
+    return true;
+}
 
 std::optional<SweepDocument>
 ParseSweepDocument(const std::string& json, std::string* error)
@@ -267,8 +295,8 @@ ParseSweepDocument(const std::string& json, std::string* error)
             for (size_t i = 0; i < field.items().size(); ++i) {
                 stats::RunRecord record;
                 std::string record_error;
-                if (!ParseRecord(field.items()[i], &record,
-                                 &record_error)) {
+                if (!ParseRunRecord(field.items()[i], &record,
+                                    &record_error)) {
                     Fail(error, "record " + std::to_string(i) + ": " +
                                     record_error);
                     return std::nullopt;

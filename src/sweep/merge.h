@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/stats/run_record.h"
+#include "src/sweep/json.h"
 
 namespace spur::sweep {
 
@@ -46,6 +47,38 @@ std::optional<SweepDocument> ParseSweepDocument(const std::string& json,
 /** Reads @p path ("-" = stdin) and parses it as a sweep document. */
 std::optional<SweepDocument> LoadSweepFile(const std::string& path,
                                            std::string* error);
+
+/**
+ * Parses one record object — an element of a document's "records" array
+ * or a stream record frame (src/sweep/stream.h) — with the same strict
+ * schema validation ParseSweepDocument applies: unknown, missing,
+ * duplicate or mistyped fields are errors.  False + *error on failure.
+ */
+bool ParseRunRecord(const JsonValue& value, stats::RunRecord* out,
+                    std::string* error);
+
+/**
+ * Parses a shard-header object ({"index", "count", "total_cells",
+ * "ran_cells"}) into @p meta, range-checking index < count and
+ * ran_cells <= total_cells.  Shared by the document parser and the
+ * stream trailer reader.  False + *error on failure.
+ */
+bool ParseShardHeader(const JsonValue& value, stats::DocumentMeta* meta,
+                      std::string* error);
+
+/**
+ * Standalone shard-accounting check (`spur_sweep validate`): when
+ * total_cells > 0, ran_cells must equal the size of this shard's slice
+ * of the matrix, |{o < total_cells : o mod count == index}| — the count
+ * BenchSession writes after running (or resuming) its whole slice.
+ * Documents violating this historically passed `validate` and only
+ * failed at merge time; this catches them standalone.  Not part of
+ * ParseSweepDocument: partial documents (recovered streams, hand-cut
+ * fixtures) are parseable, just not valid sweep outputs.  False +
+ * *error on violation.
+ */
+bool ValidateShardAccounting(const SweepDocument& document,
+                             std::string* error);
 
 /**
  * The record's cell identity: workload, policies, memory size,

@@ -1,0 +1,551 @@
+#include "src/sweep/stream.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "src/sweep/json.h"
+
+namespace spur::sweep {
+
+namespace {
+
+// FNV-1a 64 (public domain): deterministic, dependency-free content
+// digest for the trailer.  Each record payload is mixed followed by a
+// '\n' separator so payload boundaries cannot alias.
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+/** Frame payloads larger than this are corruption, not sweep records. */
+constexpr uint64_t kMaxFramePayload = 1ULL << 30;
+
+uint64_t
+FnvMixPayload(uint64_t digest, const std::string& payload)
+{
+    for (const char c : payload) {
+        digest ^= static_cast<unsigned char>(c);
+        digest *= kFnvPrime;
+    }
+    digest ^= static_cast<unsigned char>('\n');
+    digest *= kFnvPrime;
+    return digest;
+}
+
+std::string
+DigestHex(uint64_t digest)
+{
+    char buffer[24];
+    std::snprintf(buffer, sizeof(buffer), "%016llx",
+                  static_cast<unsigned long long>(digest));
+    return buffer;
+}
+
+bool
+Fail(std::string* error, const std::string& message)
+{
+    if (error != nullptr) {
+        *error = message;
+    }
+    return false;
+}
+
+/** write(2) until every byte landed (EINTR-safe). */
+bool
+WriteAll(int fd, const std::string& data)
+{
+    size_t written = 0;
+    while (written < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + written, data.size() - written);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            return false;
+        }
+        written += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// Frame scanning (reader side)
+// ---------------------------------------------------------------------------
+
+enum class FrameStatus : uint8_t {
+    kOk,
+    kTruncated,  ///< Bytes ran out mid-frame: a crash artifact.
+    kCorrupt,    ///< Malformed despite enough bytes: never truncation.
+};
+
+struct Frame {
+    char tag = '\0';
+    std::string payload;
+    size_t end = 0;  ///< Offset of the first byte after the frame.
+};
+
+FrameStatus
+NextFrame(const std::string& bytes, size_t pos, Frame* out,
+          std::string* why)
+{
+    const char tag = bytes[pos];
+    if (tag != 'H' && tag != 'R' && tag != 'T') {
+        *why = "unknown frame tag";
+        return FrameStatus::kCorrupt;
+    }
+    size_t p = pos + 1;
+    if (p >= bytes.size()) {
+        return FrameStatus::kTruncated;
+    }
+    if (bytes[p] != ' ') {
+        *why = "missing space after frame tag";
+        return FrameStatus::kCorrupt;
+    }
+    ++p;
+    uint64_t length = 0;
+    size_t digits = 0;
+    while (p < bytes.size() && bytes[p] >= '0' && bytes[p] <= '9') {
+        length = length * 10 + static_cast<uint64_t>(bytes[p] - '0');
+        if (length > kMaxFramePayload) {
+            *why = "frame length out of range";
+            return FrameStatus::kCorrupt;
+        }
+        ++digits;
+        ++p;
+    }
+    if (p >= bytes.size()) {
+        return FrameStatus::kTruncated;
+    }
+    if (digits == 0 || bytes[p] != '\n') {
+        *why = "malformed frame length";
+        return FrameStatus::kCorrupt;
+    }
+    ++p;
+    if (p + length + 1 > bytes.size()) {
+        return FrameStatus::kTruncated;
+    }
+    if (bytes[p + length] != '\n') {
+        *why = "frame payload not newline-terminated";
+        return FrameStatus::kCorrupt;
+    }
+    out->tag = tag;
+    out->payload = bytes.substr(p, length);
+    out->end = p + length + 1;
+    return FrameStatus::kOk;
+}
+
+/** Reads one exact non-negative integer member, or fails. */
+bool
+HeaderUint(const JsonValue& object, const char* key, uint64_t* out,
+           std::string* why)
+{
+    const JsonValue* field = object.Find(key);
+    if (field == nullptr) {
+        return Fail(why, std::string("missing '") + key + "'");
+    }
+    const std::optional<uint64_t> value = field->AsUint64();
+    if (!value) {
+        return Fail(why, std::string("'") + key +
+                             "' must be a non-negative integer");
+    }
+    *out = *value;
+    return true;
+}
+
+/**
+ * Parses the header frame payload:
+ * {"stream_version": 1, "bench": NAME, "shard": {"index": K, "count": N}}.
+ */
+bool
+ParseStreamHeader(const std::string& payload, stats::DocumentMeta* meta,
+                  std::string* why)
+{
+    std::string parse_error;
+    const std::optional<JsonValue> root = ParseJson(payload, &parse_error);
+    if (!root || !root->IsObject()) {
+        return Fail(why, root ? "header is not an object" : parse_error);
+    }
+    if (root->members().size() != 3) {
+        return Fail(why, "header must have exactly stream_version, bench "
+                         "and shard");
+    }
+    uint64_t version = 0;
+    if (!HeaderUint(*root, "stream_version", &version, why)) {
+        return false;
+    }
+    if (version != static_cast<uint64_t>(kStreamVersion)) {
+        return Fail(why, "unknown stream_version " +
+                             std::to_string(version) + " (expected " +
+                             std::to_string(kStreamVersion) + ")");
+    }
+    const JsonValue* bench = root->Find("bench");
+    if (bench == nullptr || !bench->IsString()) {
+        return Fail(why, "'bench' must be a string");
+    }
+    const JsonValue* shard = root->Find("shard");
+    if (shard == nullptr || !shard->IsObject() ||
+        shard->members().size() != 2) {
+        return Fail(why, "'shard' must be an object with index and count");
+    }
+    uint64_t index = 0;
+    uint64_t count = 0;
+    if (!HeaderUint(*shard, "index", &index, why) ||
+        !HeaderUint(*shard, "count", &count, why)) {
+        return false;
+    }
+    if (count == 0 || index >= count || count > UINT32_MAX) {
+        return Fail(why, "shard index " + std::to_string(index) +
+                             " out of range for count " +
+                             std::to_string(count));
+    }
+    meta->bench = bench->AsString();
+    meta->shard_index = static_cast<uint32_t>(index);
+    meta->shard_count = static_cast<uint32_t>(count);
+    return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// StreamWriter
+// ---------------------------------------------------------------------------
+
+StreamWriter::~StreamWriter()
+{
+    Close();
+}
+
+void
+StreamWriter::Close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+StreamWriter::WriteFrame(char tag, const std::string& payload,
+                         std::string* error)
+{
+    std::string frame;
+    frame.reserve(payload.size() + 16);
+    frame += tag;
+    frame += ' ';
+    frame += std::to_string(payload.size());
+    frame += '\n';
+    frame += payload;
+    frame += '\n';
+    if (!WriteAll(fd_, frame) || ::fsync(fd_) != 0) {
+        Fail(error, std::string("stream write failed: ") +
+                        std::strerror(errno));
+        Close();
+        return false;
+    }
+    return true;
+}
+
+bool
+StreamWriter::Open(const std::string& path, const std::string& bench,
+                   uint32_t shard_index, uint32_t shard_count,
+                   std::string* error)
+{
+    if (fd_ >= 0) {
+        return Fail(error, "stream already open");
+    }
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                 0644);
+    if (fd_ < 0) {
+        return Fail(error,
+                    path + ": cannot open: " + std::strerror(errno));
+    }
+    appended_ = 0;
+    digest_ = kFnvOffset;
+    if (!WriteAll(fd_, kStreamMagic)) {
+        Fail(error, path + ": write failed: " + std::strerror(errno));
+        Close();
+        return false;
+    }
+    std::string header = "{\"stream_version\": ";
+    header += std::to_string(kStreamVersion);
+    header += ", \"bench\": \"";
+    header += stats::JsonWriter::Escape(bench);
+    header += "\", \"shard\": {\"index\": ";
+    header += std::to_string(shard_index);
+    header += ", \"count\": ";
+    header += std::to_string(shard_count);
+    header += "}}";
+    return WriteFrame('H', header, error);
+}
+
+bool
+StreamWriter::Append(const stats::RunRecord& record, std::string* error)
+{
+    if (fd_ < 0) {
+        return Fail(error, "stream is not open");
+    }
+    const std::string payload = stats::JsonWriter::ToJson(record);
+    if (!WriteFrame('R', payload, error)) {
+        return false;
+    }
+    digest_ = FnvMixPayload(digest_, payload);
+    ++appended_;
+    return true;
+}
+
+bool
+StreamWriter::Finish(const stats::DocumentMeta& meta, std::string* error)
+{
+    if (fd_ < 0) {
+        return Fail(error, "stream is not open");
+    }
+    std::string trailer = "{\"records\": ";
+    trailer += std::to_string(appended_);
+    trailer += ", \"schema_version\": ";
+    trailer += std::to_string(stats::kSchemaVersion);
+    trailer += ", \"shard\": {\"index\": ";
+    trailer += std::to_string(meta.shard_index);
+    trailer += ", \"count\": ";
+    trailer += std::to_string(meta.shard_count);
+    trailer += ", \"total_cells\": ";
+    trailer += std::to_string(meta.total_cells);
+    trailer += ", \"ran_cells\": ";
+    trailer += std::to_string(meta.ran_cells);
+    trailer += "}, \"digest\": \"";
+    trailer += DigestHex(digest_);
+    trailer += "\"}";
+    const bool ok = WriteFrame('T', trailer, error);
+    Close();
+    return ok;
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+std::optional<RecoveredStream>
+RecoverStreamBytes(const std::string& bytes, std::string* error)
+{
+    const std::string magic = kStreamMagic;
+    RecoveredStream out;
+    if (bytes.size() < magic.size()) {
+        if (magic.compare(0, bytes.size(), bytes) != 0) {
+            Fail(error, "not a SPUR stream (bad magic)");
+            return std::nullopt;
+        }
+        out.dropped_bytes = bytes.size();
+        out.note = "stream cut inside the magic line; nothing recovered";
+        return out;
+    }
+    if (bytes.compare(0, magic.size(), magic) != 0) {
+        Fail(error, "not a SPUR stream (bad magic)");
+        return std::nullopt;
+    }
+    size_t pos = magic.size();
+
+    // Header frame.
+    Frame frame;
+    std::string why;
+    if (pos >= bytes.size()) {
+        out.note = "stream cut before the header frame; nothing recovered";
+        return out;
+    }
+    switch (NextFrame(bytes, pos, &frame, &why)) {
+      case FrameStatus::kTruncated:
+        out.dropped_bytes = bytes.size() - pos;
+        out.note = "stream cut inside the header frame; nothing recovered";
+        return out;
+      case FrameStatus::kCorrupt:
+        Fail(error, "corrupt stream: " + why + " at byte " +
+                        std::to_string(pos));
+        return std::nullopt;
+      case FrameStatus::kOk:
+        break;
+    }
+    if (frame.tag != 'H') {
+        Fail(error, "corrupt stream: first frame is not a header");
+        return std::nullopt;
+    }
+    if (!ParseStreamHeader(frame.payload, &out.document.meta, &why)) {
+        Fail(error, "corrupt stream header: " + why);
+        return std::nullopt;
+    }
+    pos = frame.end;
+
+    uint64_t digest = kFnvOffset;
+    while (pos < bytes.size()) {
+        const size_t frame_start = pos;
+        switch (NextFrame(bytes, pos, &frame, &why)) {
+          case FrameStatus::kTruncated:
+            out.dropped_bytes = bytes.size() - frame_start;
+            out.note = "truncated stream: recovered " +
+                       std::to_string(out.document.records.size()) +
+                       " record(s), dropped " +
+                       std::to_string(out.dropped_bytes) +
+                       " torn tail byte(s)";
+            return out;
+          case FrameStatus::kCorrupt:
+            Fail(error, "corrupt stream: " + why + " at byte " +
+                            std::to_string(frame_start));
+            return std::nullopt;
+          case FrameStatus::kOk:
+            break;
+        }
+        if (frame.tag == 'H') {
+            Fail(error, "corrupt stream: duplicate header frame at byte " +
+                            std::to_string(frame_start));
+            return std::nullopt;
+        }
+        if (frame.tag == 'R') {
+            std::string parse_error;
+            const std::optional<JsonValue> value =
+                ParseJson(frame.payload, &parse_error);
+            if (!value) {
+                Fail(error, "corrupt record frame at byte " +
+                                std::to_string(frame_start) + ": " +
+                                parse_error);
+                return std::nullopt;
+            }
+            stats::RunRecord record;
+            if (!ParseRunRecord(*value, &record, &parse_error)) {
+                Fail(error, "corrupt record frame at byte " +
+                                std::to_string(frame_start) + ": " +
+                                parse_error);
+                return std::nullopt;
+            }
+            if (stats::JsonWriter::ToJson(record) != frame.payload) {
+                Fail(error,
+                     "record frame at byte " + std::to_string(frame_start) +
+                         " does not round-trip (corrupt or foreign "
+                         "producer)");
+                return std::nullopt;
+            }
+            digest = FnvMixPayload(digest, frame.payload);
+            out.document.records.push_back(std::move(record));
+            pos = frame.end;
+            continue;
+        }
+
+        // Trailer frame: verify and require it to be final.
+        std::string parse_error;
+        const std::optional<JsonValue> root =
+            ParseJson(frame.payload, &parse_error);
+        if (!root || !root->IsObject()) {
+            Fail(error, "corrupt trailer: " +
+                            (root ? std::string("not an object")
+                                  : parse_error));
+            return std::nullopt;
+        }
+        if (root->members().size() != 4) {
+            Fail(error, "corrupt trailer: must have exactly records, "
+                        "schema_version, shard and digest");
+            return std::nullopt;
+        }
+        uint64_t count = 0;
+        uint64_t version = 0;
+        if (!HeaderUint(*root, "records", &count, &why) ||
+            !HeaderUint(*root, "schema_version", &version, &why)) {
+            Fail(error, "corrupt trailer: " + why);
+            return std::nullopt;
+        }
+        if (version != static_cast<uint64_t>(stats::kSchemaVersion)) {
+            Fail(error, "trailer claims unknown schema_version " +
+                            std::to_string(version));
+            return std::nullopt;
+        }
+        if (count != out.document.records.size()) {
+            Fail(error, "trailer record count disagrees: trailer claims " +
+                            std::to_string(count) + ", stream holds " +
+                            std::to_string(out.document.records.size()));
+            return std::nullopt;
+        }
+        const JsonValue* shard = root->Find("shard");
+        stats::DocumentMeta trailer_meta;
+        if (shard == nullptr ||
+            !ParseShardHeader(*shard, &trailer_meta, &parse_error)) {
+            Fail(error, "corrupt trailer: " +
+                            (shard ? parse_error
+                                   : std::string("missing 'shard'")));
+            return std::nullopt;
+        }
+        if (trailer_meta.shard_index != out.document.meta.shard_index ||
+            trailer_meta.shard_count != out.document.meta.shard_count) {
+            Fail(error, "trailer shard " +
+                            std::to_string(trailer_meta.shard_index) + "/" +
+                            std::to_string(trailer_meta.shard_count) +
+                            " disagrees with header shard " +
+                            std::to_string(out.document.meta.shard_index) +
+                            "/" +
+                            std::to_string(out.document.meta.shard_count));
+            return std::nullopt;
+        }
+        if (out.document.records.size() < trailer_meta.ran_cells) {
+            Fail(error, "trailer claims more ran_cells than the stream "
+                        "holds records");
+            return std::nullopt;
+        }
+        const JsonValue* digest_field = root->Find("digest");
+        if (digest_field == nullptr || !digest_field->IsString()) {
+            Fail(error, "corrupt trailer: 'digest' must be a string");
+            return std::nullopt;
+        }
+        if (digest_field->AsString() != DigestHex(digest)) {
+            Fail(error, "content digest mismatch: trailer has " +
+                            digest_field->AsString() + ", records hash "
+                            "to " + DigestHex(digest) +
+                            " (corrupt records?)");
+            return std::nullopt;
+        }
+        if (frame.end != bytes.size()) {
+            Fail(error, "trailing bytes after the trailer frame");
+            return std::nullopt;
+        }
+        out.document.meta.shard_index = trailer_meta.shard_index;
+        out.document.meta.shard_count = trailer_meta.shard_count;
+        out.document.meta.total_cells = trailer_meta.total_cells;
+        out.document.meta.ran_cells = trailer_meta.ran_cells;
+        out.complete = true;
+        out.note = "complete stream: " +
+                   std::to_string(out.document.records.size()) +
+                   " record(s), trailer verified";
+        return out;
+    }
+    out.note = "truncated stream (no trailer): recovered " +
+               std::to_string(out.document.records.size()) + " record(s)";
+    return out;
+}
+
+std::optional<RecoveredStream>
+RecoverStreamFile(const std::string& path, std::string* error)
+{
+    FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+        Fail(error, path + ": cannot open");
+        return std::nullopt;
+    }
+    std::string contents;
+    char buffer[1 << 16];
+    size_t read = 0;
+    while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+        contents.append(buffer, read);
+    }
+    const bool io_error = (std::ferror(file) != 0);
+    std::fclose(file);
+    if (io_error) {
+        Fail(error, path + ": read error");
+        return std::nullopt;
+    }
+    std::string recover_error;
+    std::optional<RecoveredStream> recovered =
+        RecoverStreamBytes(contents, &recover_error);
+    if (!recovered) {
+        Fail(error, path + ": " + recover_error);
+    }
+    return recovered;
+}
+
+}  // namespace spur::sweep

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Deterministic seeded fuzzer for the sweep-pipeline readers: the JSON
+ * parser (src/sweep/json.h), the document parser (src/sweep/merge.h)
+ * and the stream reader (src/sweep/stream.h).
+ *
+ * Structure-aware mutations of valid documents and streams assert the
+ * crash-interruptible-format contract: the parsers never crash on
+ * arbitrary bytes, and every input is either rejected with a diagnostic
+ * or accepted into a value whose re-serialization is a parse fixpoint
+ * (serialize(parse(x)) parses back byte-identically).
+ *
+ * Everything is seeded through spur::Rng, so a failure reproduces from
+ * its iteration number alone.  The default iteration count keeps the
+ * default ctest suite fast; the `fuzz`-labelled ctest case re-runs the
+ * suite with SPUR_FUZZ_ITERATIONS=10000.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/stats/run_record.h"
+#include "src/sweep/json.h"
+#include "src/sweep/merge.h"
+#include "src/sweep/stream.h"
+
+namespace spur::sweep {
+namespace {
+
+/** Iterations per fuzz test; the `fuzz` ctest label raises it to 10k. */
+uint64_t
+Iterations()
+{
+    const char* env = std::getenv("SPUR_FUZZ_ITERATIONS");
+    if (env != nullptr) {
+        const long long parsed = std::atoll(env);
+        if (parsed > 0) {
+            return static_cast<uint64_t>(parsed);
+        }
+    }
+    return 300;
+}
+
+/** A representative document: sharded, metrics, telemetry, escapes. */
+std::string
+CorpusDocument()
+{
+    stats::RunRecord record;
+    record.bench = "fuzz \"bench\"\n";
+    record.workload = "SLC";
+    record.dirty_policy = "SPUR";
+    record.ref_policy = "MISS";
+    record.memory_mb = 8;
+    record.rep = 2;
+    record.seed = 18446744073709551615ULL;
+    record.refs_issued = 120000;
+    record.page_ins = 7;
+    record.page_outs = 0;
+    record.elapsed_seconds = 1.5;
+    record.AddMetric("n_ds", 3.0);
+    record.AddMetric("frac", 0.333333333333333315);
+    stats::RunRecord second = record;
+    second.rep = 3;
+    second.elapsed_seconds = 0.0;
+    stats::CellTelemetry telemetry;
+    telemetry.wall_seconds = 0.25;
+    telemetry.peak_rss_bytes = 1u << 20;
+    telemetry.worker = 1;
+    second.telemetry = telemetry;
+    stats::DocumentMeta meta;
+    meta.bench = "fuzz \"bench\"\n";
+    meta.shard_index = 1;
+    meta.shard_count = 3;
+    meta.total_cells = 12;
+    meta.ran_cells = 2;
+    return stats::JsonWriter::ToJson(meta, {record, second});
+}
+
+/** A complete stream holding the corpus records, built frame by frame. */
+std::string
+CorpusStream()
+{
+    // Composed by hand (no file I/O in the hot fuzz path); the framing
+    // here matches StreamWriter's and the golden files pin that.
+    stats::RunRecord record;
+    record.bench = "fuzz";
+    record.workload = "SLC";
+    record.dirty_policy = "SPUR";
+    record.ref_policy = "MISS";
+    record.memory_mb = 8;
+    record.rep = 0;
+    record.seed = 9;
+    record.refs_issued = 100;
+    record.page_ins = 1;
+    record.page_outs = 0;
+    record.elapsed_seconds = 0.5;
+    record.AddMetric("n_ds", 1.0);
+    const std::string payload = stats::JsonWriter::ToJson(record);
+
+    std::string bytes = kStreamMagic;
+    const std::string header =
+        "{\"stream_version\": 1, \"bench\": \"fuzz\", "
+        "\"shard\": {\"index\": 0, \"count\": 1}}";
+    bytes += "H " + std::to_string(header.size()) + "\n" + header + "\n";
+    bytes += "R " + std::to_string(payload.size()) + "\n" + payload + "\n";
+
+    // FNV-1a64 over payload + '\n', matching the writer.
+    uint64_t digest = 14695981039346656037ULL;
+    for (const char c : payload + "\n") {
+        digest ^= static_cast<unsigned char>(c);
+        digest *= 1099511628211ULL;
+    }
+    char hex[24];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(digest));
+    const std::string trailer =
+        "{\"records\": 1, \"schema_version\": 1, \"shard\": {\"index\": 0, "
+        "\"count\": 1, \"total_cells\": 1, \"ran_cells\": 1}, \"digest\": "
+        "\"" +
+        std::string(hex) + "\"}";
+    bytes += "T " + std::to_string(trailer.size()) + "\n" + trailer + "\n";
+    return bytes;
+}
+
+/** Applies one random byte-level or structural mutation. */
+std::string
+Mutate(std::string input, Rng& rng)
+{
+    if (input.empty()) {
+        return input;
+    }
+    switch (rng.NextBelow(8)) {
+      case 0: {  // Flip one byte to an arbitrary value.
+        input[rng.NextBelow(input.size())] =
+            static_cast<char>(rng.NextBelow(256));
+        return input;
+      }
+      case 1:  // Truncate.
+        return input.substr(0, rng.NextBelow(input.size()));
+      case 2: {  // Insert a random byte.
+        input.insert(input.begin() + static_cast<long>(
+                                         rng.NextBelow(input.size() + 1)),
+                     static_cast<char>(rng.NextBelow(256)));
+        return input;
+      }
+      case 3: {  // Delete a short range.
+        const size_t at = rng.NextBelow(input.size());
+        input.erase(at, rng.NextBelow(8) + 1);
+        return input;
+      }
+      case 4: {  // Duplicate a short range (repeats frames/members).
+        const size_t at = rng.NextBelow(input.size());
+        const size_t len =
+            std::min<size_t>(rng.NextBelow(32) + 1, input.size() - at);
+        input.insert(at, input.substr(at, len));
+        return input;
+      }
+      case 5: {  // Tweak a digit: numbers/lengths drift by one.
+        for (size_t probe = 0; probe < 32; ++probe) {
+            const size_t at = rng.NextBelow(input.size());
+            if (input[at] >= '0' && input[at] <= '9') {
+                input[at] = static_cast<char>('0' + rng.NextBelow(10));
+                return input;
+            }
+        }
+        return input;
+      }
+      case 6: {  // Swap two structural characters.
+        const size_t a = rng.NextBelow(input.size());
+        const size_t b = rng.NextBelow(input.size());
+        std::swap(input[a], input[b]);
+        return input;
+      }
+      default: {  // Splice: overwrite a range with bytes from elsewhere.
+        const size_t from = rng.NextBelow(input.size());
+        const size_t to = rng.NextBelow(input.size());
+        const size_t len = std::min<size_t>(rng.NextBelow(16) + 1,
+                                            input.size() -
+                                                std::max(from, to));
+        const std::string chunk = input.substr(from, len);
+        input.replace(to, len, chunk);
+        return input;
+      }
+    }
+}
+
+TEST(JsonFuzzTest, ParserNeverCrashesAndAcceptedInputsAreFixpoints)
+{
+    const std::string corpus = CorpusDocument();
+    Rng rng(0x5eed0001);
+    const uint64_t iterations = Iterations();
+    uint64_t accepted = 0;
+    for (uint64_t i = 0; i < iterations; ++i) {
+        std::string input = corpus;
+        const uint64_t rounds = 1 + rng.NextBelow(4);
+        for (uint64_t round = 0; round < rounds; ++round) {
+            input = Mutate(std::move(input), rng);
+        }
+        std::string error;
+        const std::optional<JsonValue> value = ParseJson(input, &error);
+        if (!value) {
+            EXPECT_FALSE(error.empty()) << "iteration " << i;
+            continue;
+        }
+        ++accepted;
+        // Accepted inputs must round-trip through the document layer:
+        // if the mutant is still a valid sweep document, serializing it
+        // must be a parse fixpoint (raw tokens and member order kept).
+        std::string doc_error;
+        const std::optional<SweepDocument> document =
+            ParseSweepDocument(input, &doc_error);
+        if (!document) {
+            EXPECT_FALSE(doc_error.empty()) << "iteration " << i;
+            continue;
+        }
+        const std::string serialized = ToJson(*document);
+        const std::optional<SweepDocument> again =
+            ParseSweepDocument(serialized, &doc_error);
+        ASSERT_TRUE(again.has_value())
+            << "iteration " << i << ": " << doc_error;
+        EXPECT_EQ(ToJson(*again), serialized) << "iteration " << i;
+    }
+    // The mutator must not be so destructive that nothing parses.
+    EXPECT_GT(accepted, 0u);
+}
+
+TEST(JsonFuzzTest, UnmutatedCorpusRoundTripsByteIdentically)
+{
+    const std::string corpus = CorpusDocument();
+    std::string error;
+    const std::optional<SweepDocument> document =
+        ParseSweepDocument(corpus, &error);
+    ASSERT_TRUE(document.has_value()) << error;
+    EXPECT_EQ(ToJson(*document), corpus);
+}
+
+TEST(StreamFuzzTest, RecoverNeverCrashesAndNeverFailsSilently)
+{
+    const std::string corpus = CorpusStream();
+    {
+        // The unmutated corpus is a complete, verified stream.
+        std::string error;
+        const std::optional<RecoveredStream> recovered =
+            RecoverStreamBytes(corpus, &error);
+        ASSERT_TRUE(recovered.has_value()) << error;
+        EXPECT_TRUE(recovered->complete);
+        EXPECT_EQ(recovered->document.records.size(), 1u);
+    }
+    Rng rng(0x5eed0002);
+    const uint64_t iterations = Iterations();
+    for (uint64_t i = 0; i < iterations; ++i) {
+        std::string input = corpus;
+        const uint64_t rounds = 1 + rng.NextBelow(4);
+        for (uint64_t round = 0; round < rounds; ++round) {
+            input = Mutate(std::move(input), rng);
+        }
+        std::string error;
+        const std::optional<RecoveredStream> recovered =
+            RecoverStreamBytes(input, &error);
+        if (!recovered) {
+            EXPECT_FALSE(error.empty()) << "iteration " << i;
+            continue;
+        }
+        // Whatever recovers must be a valid (possibly partial) sweep
+        // document, or --resume could not consume it.
+        std::string doc_error;
+        const std::optional<SweepDocument> document =
+            ParseSweepDocument(ToJson(recovered->document), &doc_error);
+        ASSERT_TRUE(document.has_value())
+            << "iteration " << i << ": " << doc_error;
+        EXPECT_EQ(document->records.size(),
+                  recovered->document.records.size())
+            << "iteration " << i;
+    }
+}
+
+TEST(StreamFuzzTest, EveryPrefixOfCorpusStreamRecovers)
+{
+    const std::string corpus = CorpusStream();
+    for (size_t cut = 0; cut < corpus.size(); ++cut) {
+        std::string error;
+        const std::optional<RecoveredStream> recovered =
+            RecoverStreamBytes(corpus.substr(0, cut), &error);
+        ASSERT_TRUE(recovered.has_value())
+            << "cut at byte " << cut << ": " << error;
+        EXPECT_FALSE(recovered->complete) << "cut at byte " << cut;
+    }
+}
+
+}  // namespace
+}  // namespace spur::sweep

@@ -510,6 +510,56 @@ TEST(SweepDocumentTest, RejectsRecordSchemaViolations)
     EXPECT_NE(error.find("missing field 'seed'"), std::string::npos);
 }
 
+// ---- Standalone shard accounting (spur_sweep validate) ----------------
+
+TEST(ValidateShardAccountingTest, AcceptsConsistentDocuments)
+{
+    std::string error;
+    SweepDocument document;
+    // Bespoke-only session: no matrix cells tracked.
+    EXPECT_TRUE(ValidateShardAccounting(document, &error)) << error;
+
+    // Full run: every cell ran.
+    document.meta.total_cells = 9;
+    document.meta.ran_cells = 9;
+    EXPECT_TRUE(ValidateShardAccounting(document, &error)) << error;
+
+    // Shard 1/3 of 12 cells owns ordinals 1, 4, 7, 10.
+    document.meta.shard_index = 1;
+    document.meta.shard_count = 3;
+    document.meta.total_cells = 12;
+    document.meta.ran_cells = 4;
+    EXPECT_TRUE(ValidateShardAccounting(document, &error)) << error;
+
+    // A shard past the matrix tail owns nothing.
+    document.meta.shard_index = 2;
+    document.meta.shard_count = 3;
+    document.meta.total_cells = 2;
+    document.meta.ran_cells = 0;
+    EXPECT_TRUE(ValidateShardAccounting(document, &error)) << error;
+}
+
+TEST(ValidateShardAccountingTest, RejectsCellCountMismatch)
+{
+    // Regression: such a document passed `spur_sweep validate` and only
+    // failed later at merge time ("missing cells").  A crashed shard
+    // whose stream was recovered but never resumed looks exactly like
+    // this once given a nonzero total.
+    SweepDocument document;
+    document.meta.shard_index = 1;
+    document.meta.shard_count = 3;
+    document.meta.total_cells = 12;
+    document.meta.ran_cells = 2;  // Slice is 4.
+    std::string error;
+    EXPECT_FALSE(ValidateShardAccounting(document, &error));
+    EXPECT_NE(error.find("must have run 4"), std::string::npos) << error;
+
+    // Too many cells is just as wrong (duplicated work units).
+    document.meta.ran_cells = 5;
+    EXPECT_FALSE(ValidateShardAccounting(document, &error));
+    EXPECT_NE(error.find("claims 5"), std::string::npos) << error;
+}
+
 // ---- Merge ------------------------------------------------------------
 
 SweepDocument

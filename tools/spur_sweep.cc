@@ -20,6 +20,15 @@
  *       by more than the threshold (default +25%).  Exit 1 when any
  *       cell regressed — advisory in CI (non-fatal step), since
  *       telemetry is machine-dependent.  See src/sweep/diff.h.
+ *
+ *   spur_sweep recover [--out=FILE] STREAM
+ *       Turns a --stream file (src/sweep/stream.h) into a sweep JSON
+ *       document on --out (default "-" = stdout).  A truncated stream —
+ *       the file a killed run leaves behind — recovers every complete
+ *       record as a partial document suitable for --resume; a stream
+ *       with a verified trailer recovers the exact --json document.
+ *       Corruption (anything truncation cannot explain) is a hard
+ *       error, exit 1.
  */
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +40,7 @@
 #include "src/stats/run_record.h"
 #include "src/sweep/diff.h"
 #include "src/sweep/merge.h"
+#include "src/sweep/stream.h"
 
 namespace {
 
@@ -41,8 +51,11 @@ using spur::sweep::HasRegressions;
 using spur::sweep::LoadSweepFile;
 using spur::sweep::MergeDocuments;
 using spur::sweep::MergeOptions;
+using spur::sweep::RecoveredStream;
+using spur::sweep::RecoverStreamFile;
 using spur::sweep::SweepDocument;
 using spur::sweep::TelemetryDiff;
+using spur::sweep::ValidateShardAccounting;
 
 int
 Usage()
@@ -53,14 +66,18 @@ Usage()
            "FILE...\n"
            "       spur_sweep diff-telemetry [--threshold=F] "
            "[--min-wall=S] BASE NEW\n"
+           "       spur_sweep recover [--out=FILE] STREAM\n"
            "\n"
            "validate        schema-check sweep JSON documents (--json "
            "output)\n"
+           "                and their shard cell accounting\n"
            "merge           merge the shard files of one sweep into one\n"
            "                canonical document (FILE may be '-' for "
            "stdin)\n"
            "diff-telemetry  compare per-cell wall-clock/RSS telemetry\n"
-           "                between two documents; exit 1 on regressions\n";
+           "                between two documents; exit 1 on regressions\n"
+           "recover         turn a --stream file (possibly truncated by\n"
+           "                a crash) into a sweep document for --resume\n";
     return 2;
 }
 
@@ -73,6 +90,11 @@ Validate(const std::vector<std::string>& paths)
         const std::optional<SweepDocument> document =
             LoadSweepFile(path, &error);
         if (!document) {
+            std::cerr << "spur_sweep: " << path << ": " << error << "\n";
+            ++failures;
+            continue;
+        }
+        if (!ValidateShardAccounting(*document, &error)) {
             std::cerr << "spur_sweep: " << path << ": " << error << "\n";
             ++failures;
             continue;
@@ -206,6 +228,51 @@ Diff(const std::vector<std::string>& args)
     return HasRegressions(diff) ? 1 : 0;
 }
 
+int
+Recover(const std::vector<std::string>& args)
+{
+    std::string out_path = "-";
+    std::vector<std::string> paths;
+    for (const std::string& arg : args) {
+        if (arg.rfind("--out=", 0) == 0) {
+            out_path = arg.substr(6);
+        } else if (arg.rfind("--", 0) == 0 && arg != "-") {
+            std::cerr << "spur_sweep: unknown recover option '" << arg
+                      << "'\n";
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.size() != 1) {
+        return Usage();
+    }
+
+    std::string error;
+    const std::optional<RecoveredStream> recovered =
+        RecoverStreamFile(paths[0], &error);
+    if (!recovered) {
+        std::cerr << "spur_sweep: " << error << "\n";
+        return 1;
+    }
+    std::cerr << "spur_sweep: " << paths[0] << ": " << recovered->note
+              << "\n";
+
+    const std::string json = spur::sweep::ToJson(recovered->document);
+    if (out_path == "-") {
+        std::cout << json;
+        return 0;
+    }
+    std::ofstream out(out_path, std::ios::binary);
+    out << json;
+    out.flush();
+    if (!out) {
+        std::cerr << "spur_sweep: failed to write " << out_path << "\n";
+        return 1;
+    }
+    return 0;
+}
+
 }  // namespace
 
 int
@@ -228,6 +295,9 @@ main(int argc, char** argv)
     }
     if (mode == "diff-telemetry") {
         return Diff(rest);
+    }
+    if (mode == "recover") {
+        return Recover(rest);
     }
     return Usage();
 }
