@@ -58,7 +58,7 @@ main(int argc, char** argv)
                     (rng.NextBelow(160) * config.page_bytes) |
                     (rng.NextBelow(config.BlocksPerPage()) *
                      config.block_bytes);
-                cache::Line& line = vcache.Fill(
+                cache::LineRef line = vcache.Fill(
                     addr, Protection::kReadWrite, true, nullptr);
                 if (rng.Chance(0.33)) {
                     cache::VirtualCache::MarkWritten(line);

@@ -62,8 +62,8 @@ main(int argc, char** argv)
     sim::MachineConfig config = sim::MachineConfig::Prototype(8);
     cache::VirtualCache vcache(config);
     const GlobalAddr addr = 0x12340;
-    cache::Line& line = vcache.Fill(addr, pte.protection(), pte.dirty(),
-                                    nullptr);
+    const cache::Line line =
+        vcache.Fill(addr, pte.protection(), pte.dirty(), nullptr).Get();
     Table c("Cache line filled from the PTE (copy-on-fill)");
     c.SetHeader({"field", "value"});
     c.AddRow({"VTag", Table::Num(uint64_t{line.tag})});

@@ -31,6 +31,7 @@ BM_CacheLookupHit(benchmark::State& state)
         const GlobalAddr addr = rng.NextBelow(config.cache_bytes);
         benchmark::DoNotOptimize(vcache.Lookup(addr));
     }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_CacheLookupHit);
 
@@ -46,6 +47,7 @@ BM_CacheLookupMiss(benchmark::State& state)
             config.cache_bytes + rng.NextBelow(1 << 30);
         benchmark::DoNotOptimize(vcache.Lookup(addr));
     }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_CacheLookupMiss);
 
@@ -58,9 +60,11 @@ BM_CacheFill(benchmark::State& state)
     cache::Eviction eviction;
     for (auto _ : state) {
         const GlobalAddr addr = rng.NextBelow(uint64_t{1} << 32);
-        benchmark::DoNotOptimize(
-            &vcache.Fill(addr, Protection::kReadWrite, false, &eviction));
+        cache::LineRef line =
+            vcache.Fill(addr, Protection::kReadWrite, false, &eviction);
+        benchmark::DoNotOptimize(line);
     }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_CacheFill);
 
@@ -80,6 +84,7 @@ BM_FlushPageChecked(benchmark::State& state)
         state.ResumeTiming();
         benchmark::DoNotOptimize(vcache.FlushPageChecked(page));
     }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_FlushPageChecked);
 
@@ -99,6 +104,7 @@ BM_FlushPageIndexed(benchmark::State& state)
         state.ResumeTiming();
         benchmark::DoNotOptimize(vcache.FlushPageIndexed(page));
     }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_FlushPageIndexed);
 

@@ -23,17 +23,17 @@ SnoopBus::Read(GlobalAddr addr, unsigned requester)
         if (port == requester) {
             continue;
         }
-        Line* line = caches_[port]->Lookup(addr);
-        if (line == nullptr) {
+        LineRef line = caches_[port]->Lookup(addr);
+        if (!line) {
             continue;
         }
-        if (line->state == CoherencyState::kOwnedExclusive ||
-            line->state == CoherencyState::kOwnedShared) {
+        if (line.state() == CoherencyState::kOwnedExclusive ||
+            line.state() == CoherencyState::kOwnedShared) {
             // The owner supplies the block and admits sharers; it keeps
             // ownership (and the writeback responsibility).
             result.supplied_by_cache = true;
             events_.Add(sim::Event::kBusCacheToCache);
-            line->state = CoherencyState::kOwnedShared;
+            line.set_state(CoherencyState::kOwnedShared);
         }
         // UnOwned peers are unaffected by a read.
     }
@@ -49,12 +49,12 @@ SnoopBus::ReadOwned(GlobalAddr addr, unsigned requester)
         if (port == requester) {
             continue;
         }
-        Line* line = caches_[port]->Lookup(addr);
-        if (line == nullptr) {
+        LineRef line = caches_[port]->Lookup(addr);
+        if (!line) {
             continue;
         }
-        if (line->state == CoherencyState::kOwnedExclusive ||
-            line->state == CoherencyState::kOwnedShared) {
+        if (line.state() == CoherencyState::kOwnedExclusive ||
+            line.state() == CoherencyState::kOwnedShared) {
             // The owner supplies the latest data directly to the new
             // owner; no memory update is needed (ownership transfers).
             result.supplied_by_cache = true;
@@ -62,7 +62,7 @@ SnoopBus::ReadOwned(GlobalAddr addr, unsigned requester)
         }
         ++result.invalidations;
         events_.Add(sim::Event::kBusInvalidation);
-        *line = Line{};
+        line.Invalidate();
     }
     return result;
 }
@@ -76,12 +76,12 @@ SnoopBus::Upgrade(GlobalAddr addr, unsigned requester)
         if (port == requester) {
             continue;
         }
-        Line* line = caches_[port]->Lookup(addr);
-        if (line == nullptr) {
+        LineRef line = caches_[port]->Lookup(addr);
+        if (!line) {
             continue;
         }
-        if (line->state == CoherencyState::kOwnedExclusive ||
-            line->state == CoherencyState::kOwnedShared) {
+        if (line.state() == CoherencyState::kOwnedExclusive ||
+            line.state() == CoherencyState::kOwnedShared) {
             // The requester holds an UnOwned copy while a peer owns the
             // dirty block: ownership (and the latest data) transfers over
             // the bus as part of the upgrade.
@@ -90,7 +90,7 @@ SnoopBus::Upgrade(GlobalAddr addr, unsigned requester)
         }
         ++result.invalidations;
         events_.Add(sim::Event::kBusInvalidation);
-        *line = Line{};
+        line.Invalidate();
     }
     return result;
 }

@@ -1,5 +1,7 @@
 #include "src/cache/cache.h"
 
+#include <algorithm>
+
 #include "src/common/bits.h"
 
 namespace spur::cache {
@@ -22,39 +24,42 @@ VirtualCache::VirtualCache(const sim::MachineConfig& config)
       index_mask_(config.NumBlocks() - 1),
       page_shift_(config.PageShift()),
       blocks_per_page_(static_cast<uint32_t>(config.BlocksPerPage())),
-      lines_(config.NumBlocks())
+      tags_(config.NumBlocks(), 0),
+      meta_(config.NumBlocks(), 0)
 {
 }
 
-Line&
+LineRef
 VirtualCache::Fill(GlobalAddr addr, Protection prot, bool page_dirty,
                    Eviction* eviction)
 {
     const uint64_t index = IndexOf(addr);
-    Line& line = lines_[index];
+    const uint8_t old_meta = meta_[index];
     if (eviction != nullptr) {
-        eviction->happened = line.valid();
-        eviction->writeback = line.valid() && line.block_dirty;
-        eviction->block_addr =
-            line.valid() ? BlockAddrOf(index, line) : 0;
+        const bool valid = (old_meta & meta::kStateMask) != 0;
+        eviction->happened = valid;
+        eviction->writeback =
+            valid && (old_meta & meta::kBlockDirtyBit) != 0;
+        eviction->block_addr = valid ? BlockAddrOf(index, tags_[index]) : 0;
     }
-    line.tag = TagOf(addr);
-    line.prot = prot;
-    line.page_dirty = page_dirty;
-    line.block_dirty = false;
-    line.state = CoherencyState::kUnOwned;
-    return line;
+    tags_[index] = TagOf(addr);
+    meta_[index] = static_cast<uint8_t>(
+        static_cast<uint8_t>(CoherencyState::kUnOwned) |
+        ((static_cast<uint8_t>(prot) << meta::kProtShift) &
+         meta::kProtMask) |
+        (page_dirty ? meta::kPageDirtyBit : 0));
+    return LineRef(&tags_[index], &meta_[index]);
 }
 
 bool
 VirtualCache::InvalidateBlock(GlobalAddr addr)
 {
-    Line* line = Lookup(addr);
-    if (line == nullptr) {
+    LineRef line = Lookup(addr);
+    if (!line) {
         return false;
     }
-    const bool writeback = line->block_dirty;
-    *line = Line{};
+    const bool writeback = line.block_dirty();
+    line.Invalidate();
     return writeback;
 }
 
@@ -64,16 +69,45 @@ VirtualCache::FlushPageImpl(GlobalAddr addr)
 {
     FlushResult result;
     const GlobalAddr page_base = AlignDown(addr, uint64_t{1} << page_shift_);
+    if (blocks_per_page_ > tags_.size()) {
+        // A page larger than the whole cache: its blocks alias slots, so
+        // walk block addresses individually (the pre-SoA behaviour).
+        for (uint32_t i = 0; i < blocks_per_page_; ++i) {
+            const GlobalAddr block_addr =
+                page_base + (static_cast<GlobalAddr>(i) << block_shift_);
+            const uint64_t index = IndexOf(block_addr);
+            ++result.slots_examined;
+            if ((meta_[index] & meta::kStateMask) == 0) {
+                continue;
+            }
+            const bool belongs = tags_[index] == TagOf(block_addr);
+            if (kTagChecked && !belongs) {
+                continue;
+            }
+            if (!belongs) {
+                ++result.foreign_flushed;
+            }
+            ++result.blocks_flushed;
+            if ((meta_[index] & meta::kBlockDirtyBit) != 0) {
+                ++result.writebacks;
+            }
+            meta_[index] = 0;
+            tags_[index] = 0;
+        }
+        return result;
+    }
+    // The page is page-aligned and no larger than the cache, so its
+    // blocks occupy one contiguous, non-wrapping run of slots and share a
+    // single tag value: the flush is a linear scan of the metadata bytes.
+    const uint64_t first = IndexOf(page_base);
+    const uint64_t page_tag = TagOf(page_base);
     for (uint32_t i = 0; i < blocks_per_page_; ++i) {
-        const GlobalAddr block_addr =
-            page_base + (static_cast<GlobalAddr>(i) << block_shift_);
-        const uint64_t index = IndexOf(block_addr);
-        Line& line = lines_[index];
+        const uint64_t index = first + i;
         ++result.slots_examined;
-        if (!line.valid()) {
+        if ((meta_[index] & meta::kStateMask) == 0) {
             continue;
         }
-        const bool belongs = line.tag == TagOf(block_addr);
+        const bool belongs = tags_[index] == page_tag;
         if (kTagChecked && !belongs) {
             continue;
         }
@@ -81,10 +115,11 @@ VirtualCache::FlushPageImpl(GlobalAddr addr)
             ++result.foreign_flushed;
         }
         ++result.blocks_flushed;
-        if (line.block_dirty) {
+        if ((meta_[index] & meta::kBlockDirtyBit) != 0) {
             ++result.writebacks;
         }
-        line = Line{};
+        meta_[index] = 0;
+        tags_[index] = 0;
     }
     return result;
 }
@@ -104,17 +139,16 @@ VirtualCache::FlushPageIndexed(GlobalAddr addr)
 void
 VirtualCache::Reset()
 {
-    for (Line& line : lines_) {
-        line = Line{};
-    }
+    std::fill(tags_.begin(), tags_.end(), 0);
+    std::fill(meta_.begin(), meta_.end(), 0);
 }
 
 uint64_t
 VirtualCache::NumValid() const
 {
     uint64_t count = 0;
-    for (const Line& line : lines_) {
-        count += line.valid() ? 1 : 0;
+    for (const uint8_t m : meta_) {
+        count += (m & meta::kStateMask) != 0 ? 1 : 0;
     }
     return count;
 }

@@ -14,12 +14,22 @@
  * by the paper.  The cache is a metadata model: block data contents are
  * never simulated because no experiment depends on them.
  *
+ * Storage is structure-of-arrays: one vector of VTags and one vector of
+ * packed per-line metadata bytes holding CS | PR | P | B.  The whole
+ * metadata array for the prototype cache is 4 KB, so the per-reference
+ * valid/tag check and the page-flush scans run against L1-resident
+ * state.  The `Line` struct survives as a value-type snapshot of one
+ * line (tests, invariant passes); live lines are reached through the
+ * `LineRef` proxy, which preserves Figure 3.2(b) field semantics over
+ * the packed byte.
+ *
  * On the uniprocessor configuration the Berkeley Ownership protocol
  * [Katz85] degenerates to: fills enter UnOwned, writes promote to
  * OwnedExclusive (dirty).  The multiprocessor configuration connects
  * several of these caches over the snooping bus in bus.h, which drives
  * the full protocol state machine.
  */
+// spur:hot-path
 #ifndef SPUR_CACHE_CACHE_H_
 #define SPUR_CACHE_CACHE_H_
 
@@ -43,7 +53,12 @@ enum class CoherencyState : uint8_t {
 /** Returns a short name for a coherency state. */
 const char* ToString(CoherencyState state);
 
-/** One cache line (block frame) of tag state. */
+/**
+ * One cache line (block frame) of tag state, as a value snapshot.
+ * Live lines are stored packed (see LineRef); this struct is the
+ * unpacked view used by tests, the invariant passes, and anything that
+ * wants to hold line state independent of the cache arrays.
+ */
 struct Line {
     uint64_t tag = 0;                ///< VTag: address bits above the index.
     Protection prot = Protection::kNone;  ///< PR: cached page protection.
@@ -52,6 +67,179 @@ struct Line {
     bool block_dirty = false;        ///< B: block modified while cached.
 
     bool valid() const { return state != CoherencyState::kInvalid; }
+};
+
+/** Packed layout of the per-line metadata byte. */
+namespace meta {
+inline constexpr uint8_t kStateMask = 0x03;   ///< CS, bits 0-1.
+inline constexpr unsigned kProtShift = 2;     ///< PR, bits 2-3.
+inline constexpr uint8_t kProtMask = 0x0C;
+inline constexpr uint8_t kPageDirtyBit = 0x10;   ///< P, bit 4.
+inline constexpr uint8_t kBlockDirtyBit = 0x20;  ///< B, bit 5.
+
+/** Packs a Line's non-tag fields into one byte. */
+inline uint8_t
+Pack(const Line& line)
+{
+    return static_cast<uint8_t>(
+        (static_cast<uint8_t>(line.state) & kStateMask) |
+        ((static_cast<uint8_t>(line.prot) << kProtShift) & kProtMask) |
+        (line.page_dirty ? kPageDirtyBit : 0) |
+        (line.block_dirty ? kBlockDirtyBit : 0));
+}
+
+/** Unpacks a metadata byte (+ tag) back into a Line snapshot. */
+inline Line
+Unpack(uint64_t tag, uint8_t m)
+{
+    Line line;
+    line.tag = tag;
+    line.state = static_cast<CoherencyState>(m & kStateMask);
+    line.prot = static_cast<Protection>((m & kProtMask) >> kProtShift);
+    line.page_dirty = (m & kPageDirtyBit) != 0;
+    line.block_dirty = (m & kBlockDirtyBit) != 0;
+    return line;
+}
+}  // namespace meta
+
+/**
+ * Read-only proxy for one live line in the SoA arrays.  Null (falsy)
+ * when a lookup missed.  Accessors mirror the Line fields exactly.
+ */
+class ConstLineRef
+{
+  public:
+    ConstLineRef() = default;
+    ConstLineRef(const uint64_t* tag, const uint8_t* m)
+        : tag_(tag), meta_(m)
+    {
+    }
+
+    explicit operator bool() const { return meta_ != nullptr; }
+
+    uint64_t tag() const { return *tag_; }
+    CoherencyState state() const
+    {
+        return static_cast<CoherencyState>(*meta_ & meta::kStateMask);
+    }
+    Protection prot() const
+    {
+        return static_cast<Protection>((*meta_ & meta::kProtMask) >>
+                                       meta::kProtShift);
+    }
+    bool page_dirty() const { return (*meta_ & meta::kPageDirtyBit) != 0; }
+    bool block_dirty() const { return (*meta_ & meta::kBlockDirtyBit) != 0; }
+    bool valid() const { return (*meta_ & meta::kStateMask) != 0; }
+
+    /** Unpacked snapshot of the line. */
+    Line Get() const { return meta::Unpack(*tag_, *meta_); }
+
+  protected:
+    const uint64_t* tag_ = nullptr;
+    const uint8_t* meta_ = nullptr;
+};
+
+/** Mutable proxy for one live line (what Lookup()/Fill() hand out). */
+class LineRef : public ConstLineRef
+{
+  public:
+    LineRef() = default;
+    LineRef(uint64_t* tag, uint8_t* m) : ConstLineRef(tag, m) {}
+
+    void set_tag(uint64_t tag) { *mutable_tag() = tag; }
+    void set_state(CoherencyState state)
+    {
+        *mutable_meta() = static_cast<uint8_t>(
+            (*meta_ & ~meta::kStateMask) |
+            (static_cast<uint8_t>(state) & meta::kStateMask));
+    }
+    void set_prot(Protection prot)
+    {
+        *mutable_meta() = static_cast<uint8_t>(
+            (*meta_ & ~meta::kProtMask) |
+            ((static_cast<uint8_t>(prot) << meta::kProtShift) &
+             meta::kProtMask));
+    }
+    void set_page_dirty(bool dirty)
+    {
+        *mutable_meta() = static_cast<uint8_t>(
+            dirty ? (*meta_ | meta::kPageDirtyBit)
+                  : (*meta_ & ~meta::kPageDirtyBit));
+    }
+    void set_block_dirty(bool dirty)
+    {
+        *mutable_meta() = static_cast<uint8_t>(
+            dirty ? (*meta_ | meta::kBlockDirtyBit)
+                  : (*meta_ & ~meta::kBlockDirtyBit));
+    }
+
+    /** Sets B and promotes CS to OwnedExclusive.  OwnedExclusive is both
+     *  state bits set, so the whole transition is one OR into the packed
+     *  byte (the hardware's write-hit fast path). */
+    void MarkWritten()
+    {
+        *mutable_meta() = static_cast<uint8_t>(
+            *meta_ | meta::kBlockDirtyBit |
+            static_cast<uint8_t>(CoherencyState::kOwnedExclusive));
+    }
+
+    /**
+     * MarkWritten() iff @p is_write, as one unconditional
+     * read-modify-write (a no-op OR when false).  Batch loops use this
+     * so the hit path carries no data-dependent write branch.
+     */
+    void MarkWrittenIf(bool is_write)
+    {
+        const uint8_t bits = static_cast<uint8_t>(
+            (meta::kBlockDirtyBit |
+             static_cast<uint8_t>(CoherencyState::kOwnedExclusive)) &
+            -static_cast<int>(is_write));
+        *mutable_meta() = static_cast<uint8_t>(*meta_ | bits);
+    }
+
+    /** Overwrites the whole line from a snapshot. */
+    void Set(const Line& line)
+    {
+        *mutable_tag() = line.tag;
+        *mutable_meta() = meta::Pack(line);
+    }
+
+    /** Resets the line to the default (invalid) state, tag included —
+     *  the packed equivalent of `line = Line{}`. */
+    void Invalidate()
+    {
+        *mutable_tag() = 0;
+        *mutable_meta() = 0;
+    }
+
+  private:
+    // The base class holds const pointers so ConstLineRef conversion is
+    // free; a LineRef is only ever built from mutable storage.
+    uint64_t* mutable_tag() { return const_cast<uint64_t*>(tag_); }
+    uint8_t* mutable_meta() { return const_cast<uint8_t*>(meta_); }
+};
+
+/**
+ * Owns storage for one free-standing line and hands out LineRefs to it.
+ * For tests and callers that exercised policies against stack-allocated
+ * `cache::Line` values under the old array-of-structs layout.
+ */
+class LineBuf
+{
+  public:
+    LineBuf() = default;
+    explicit LineBuf(const Line& line)
+        : tag_(line.tag), meta_(meta::Pack(line))
+    {
+    }
+
+    LineRef ref() { return LineRef(&tag_, &meta_); }
+    ConstLineRef cref() const { return ConstLineRef(&tag_, &meta_); }
+    Line Get() const { return meta::Unpack(tag_, meta_); }
+
+  private:
+    uint64_t tag_ = 0;
+    uint8_t meta_ = 0;
 };
 
 /** Result of evicting a line during Fill(). */
@@ -79,18 +267,39 @@ class VirtualCache : public PageFlusher
     VirtualCache(const VirtualCache&) = delete;
     VirtualCache& operator=(const VirtualCache&) = delete;
 
-    /** Returns the line holding @p addr, or nullptr on miss. */
-    Line* Lookup(GlobalAddr addr)
+    /** Returns a ref to the line holding @p addr, or a null ref on miss. */
+    LineRef Lookup(GlobalAddr addr)
     {
-        Line& line = lines_[IndexOf(addr)];
-        return (line.valid() && line.tag == TagOf(addr)) ? &line : nullptr;
+        const uint64_t index = IndexOf(addr);
+        return ((meta_[index] & meta::kStateMask) != 0 &&
+                tags_[index] == TagOf(addr))
+                   ? LineRef(&tags_[index], &meta_[index])
+                   : LineRef();
+    }
+
+    /**
+     * Lookup with a precomputed slot @p index and expected @p tag.
+     * Batch loops use this to overlap the metadata load with the
+     * segment-map resolution: when the segment shift sits above the
+     * index bits, the index depends only on the process address, so the
+     * array accesses can issue before the global tag is known.
+     */
+    LineRef LookupAt(uint64_t index, uint64_t tag)
+    {
+        return ((meta_[index] & meta::kStateMask) != 0 &&
+                tags_[index] == tag)
+                   ? LineRef(&tags_[index], &meta_[index])
+                   : LineRef();
     }
 
     /** Const lookup. */
-    const Line* Lookup(GlobalAddr addr) const
+    ConstLineRef Lookup(GlobalAddr addr) const
     {
-        const Line& line = lines_[IndexOf(addr)];
-        return (line.valid() && line.tag == TagOf(addr)) ? &line : nullptr;
+        const uint64_t index = IndexOf(addr);
+        return ((meta_[index] & meta::kStateMask) != 0 &&
+                tags_[index] == TagOf(addr))
+                   ? ConstLineRef(&tags_[index], &meta_[index])
+                   : ConstLineRef();
     }
 
     /**
@@ -98,18 +307,14 @@ class VirtualCache : public PageFlusher
      * (@p prot, @p page_dirty).  Fills enter UnOwned (clean).  Any valid
      * line previously in the slot is described in @p eviction.
      */
-    Line& Fill(GlobalAddr addr, Protection prot, bool page_dirty,
-               Eviction* eviction);
+    LineRef Fill(GlobalAddr addr, Protection prot, bool page_dirty,
+                 Eviction* eviction);
 
     /**
      * Marks the line as written: sets B, promotes CS to OwnedExclusive.
      * @p line must be a live line returned by Lookup()/Fill().
      */
-    static void MarkWritten(Line& line)
-    {
-        line.block_dirty = true;
-        line.state = CoherencyState::kOwnedExclusive;
-    }
+    static void MarkWritten(LineRef line) { line.MarkWritten(); }
 
     /** Invalidates the block containing @p addr if present.
      *  Returns true when a dirty block was written back. */
@@ -134,13 +339,23 @@ class VirtualCache : public PageFlusher
     void Reset();
 
     /** Number of lines. */
-    uint64_t NumLines() const { return lines_.size(); }
+    uint64_t NumLines() const { return tags_.size(); }
 
     /** Number of currently valid lines. */
     uint64_t NumValid() const;
 
-    /** Direct slot access for tests and the page daemon's flush path. */
-    const Line& LineAt(uint64_t index) const { return lines_[index]; }
+    /** Snapshot of the slot at @p index (tests, audit passes, the page
+     *  daemon's flush path). */
+    Line LineAt(uint64_t index) const
+    {
+        return meta::Unpack(tags_[index], meta_[index]);
+    }
+
+    /** Mutable ref to the slot at @p index (tests and the snoop bus). */
+    LineRef SlotAt(uint64_t index)
+    {
+        return LineRef(&tags_[index], &meta_[index]);
+    }
 
     /** Cache index of @p addr. */
     uint64_t IndexOf(GlobalAddr addr) const
@@ -155,14 +370,55 @@ class VirtualCache : public PageFlusher
     }
 
     /** Reconstructs the block base address of the line at @p index. */
+    GlobalAddr BlockAddrOf(uint64_t index, uint64_t tag) const
+    {
+        return (tag << (block_shift_ + index_bits_)) |
+               (index << block_shift_);
+    }
+
+    /** Convenience overload for snapshot-holding callers. */
     GlobalAddr BlockAddrOf(uint64_t index, const Line& line) const
     {
-        return (line.tag << (block_shift_ + index_bits_)) |
-               (index << block_shift_);
+        return BlockAddrOf(index, line.tag);
     }
 
     /** Blocks per page (the number of slots a page flush touches). */
     uint32_t BlocksPerPage() const { return blocks_per_page_; }
+
+    /** log2 of the block size (for callers computing block numbers). */
+    unsigned BlockShift() const { return block_shift_; }
+
+    /**
+     * Raw SoA view for the batch hot loop.  The metadata store in the
+     * write fast path is a byte store, which (char aliasing) would force
+     * the compiler to re-load member pointers and geometry from `this`
+     * on every loop iteration; callers copy this POD into locals once
+     * instead.  The pointers stay valid and stable for the cache's
+     * lifetime; Fill()/flush/invalidate mutate array *contents* only.
+     */
+    struct HotView {
+        uint64_t* tags;       ///< tags_.data()
+        uint8_t* meta;        ///< meta_.data()
+        uint64_t index_mask;  ///< index = (addr >> block_shift) & mask
+        unsigned block_shift;
+        unsigned tag_shift;   ///< tag = addr >> tag_shift
+
+        /** Same result as VirtualCache::Lookup on the owning cache. */
+        LineRef Lookup(uint64_t index, uint64_t tag) const
+        {
+            return ((meta[index] & meta::kStateMask) != 0 &&
+                    tags[index] == tag)
+                       ? LineRef(&tags[index], &meta[index])
+                       : LineRef();
+        }
+    };
+
+    /** The hot-loop view (see HotView). */
+    HotView hot_view()
+    {
+        return HotView{tags_.data(), meta_.data(), index_mask_,
+                       block_shift_, block_shift_ + index_bits_};
+    }
 
   private:
     unsigned block_shift_;
@@ -170,7 +426,11 @@ class VirtualCache : public PageFlusher
     uint64_t index_mask_;
     unsigned page_shift_;
     uint32_t blocks_per_page_;
-    std::vector<Line> lines_;
+    // Structure-of-arrays line storage: tags_[i] + meta_[i] together are
+    // slot i.  Invariant: an invalid slot always has meta_[i] == 0 (its
+    // tag is also zeroed on invalidation so snapshots equal Line{}).
+    std::vector<uint64_t> tags_;
+    std::vector<uint8_t> meta_;
 
     template <bool kTagChecked>
     FlushResult FlushPageImpl(GlobalAddr addr);

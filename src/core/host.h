@@ -11,6 +11,7 @@
 #ifndef SPUR_CORE_HOST_H_
 #define SPUR_CORE_HOST_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "src/common/types.h"
@@ -41,6 +42,21 @@ class WorkloadHost
 
     /** Executes one memory reference. */
     virtual void Access(const MemRef& ref) = 0;
+
+    /**
+     * Executes @p n references in issue order.  Semantically identical to
+     * calling Access() on each element of @p refs in sequence — hosts may
+     * override it only to amortize per-call dispatch, never to reorder.
+     * The default is exactly that per-reference loop, so hosts that do
+     * not care (the TLB baseline, the multiprocessor ports, test fakes)
+     * inherit unchanged behaviour.
+     */
+    virtual void AccessBatch(const MemRef* refs, size_t n)
+    {
+        for (size_t i = 0; i < n; ++i) {
+            Access(refs[i]);
+        }
+    }
 
     /** Accounts a context switch. */
     virtual void OnContextSwitch() = 0;

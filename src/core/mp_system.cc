@@ -117,18 +117,18 @@ MpSpurSystem::Access(unsigned cpu, const MemRef& ref)
     }
 
     cache::VirtualCache& vcache = *caches_[cpu];
-    cache::Line* line = vcache.Lookup(gva);
-    if (line != nullptr) {
+    cache::LineRef line = vcache.Lookup(gva);
+    if (line) {
         timing_.Charge(sim::TimeBucket::kExecute, config_.t_cache_hit);
         if (ref.type != AccessType::kWrite) {
             return;
         }
-        if (!line->block_dirty) {
+        if (!line.block_dirty()) {
             events_.Add(sim::Event::kWriteHitCleanBlock);
         }
-        if (!dirty_->WriteHitFastPath(*line)) {
+        if (!dirty_->WriteHitFastPath(line)) {
             const policy::DirtyCost cost =
-                dirty_->OnWriteHit(*line, gva, ResidentPte(gva), events_);
+                dirty_->OnWriteHit(line, gva, ResidentPte(gva), events_);
             ChargeDirty(cost);
             if (cost.line_invalidated) {
                 AccessMiss(cpu, gva, ref.type);
@@ -136,11 +136,11 @@ MpSpurSystem::Access(unsigned cpu, const MemRef& ref)
             }
         }
         // Coherency: gain exclusive ownership before the store.
-        if (line->state != cache::CoherencyState::kOwnedExclusive) {
+        if (line.state() != cache::CoherencyState::kOwnedExclusive) {
             bus_.Upgrade(gva, cpu);
             timing_.Charge(sim::TimeBucket::kMissStall, 1);
         }
-        cache::VirtualCache::MarkWritten(*line);
+        cache::VirtualCache::MarkWritten(line);
         return;
     }
 
@@ -184,7 +184,7 @@ MpSpurSystem::AccessMiss(unsigned cpu, GlobalAddr gva, AccessType type)
 
     cache::VirtualCache& vcache = *caches_[cpu];
     cache::Eviction eviction;
-    cache::Line& line =
+    cache::LineRef line =
         vcache.Fill(gva, pte->protection(), pte->dirty(), &eviction);
     if (eviction.writeback) {
         events_.Add(sim::Event::kWriteback);

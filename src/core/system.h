@@ -88,9 +88,23 @@ class SpurSystem : public WorkloadHost
     }
 
     // ---- The hot path ----------------------------------------------------
+    //
+    // Access()/AccessBatch() dispatch through member-function pointers to
+    // a per-(dirty, ref, observer) template instantiation: the policy
+    // logic (policy_ops.h) and the event-sink observer check are resolved
+    // at compile time, so the per-reference loop runs with no virtual
+    // policy calls.  The pointers are selected once at construction and
+    // re-selected when an observer is (de)attached.
 
     /** Executes one memory reference through the whole memory system. */
-    void Access(const MemRef& ref) override;
+    void Access(const MemRef& ref) override { (this->*access_fn_)(ref); }
+
+    /** Executes @p n references in issue order (identical semantics to a
+     *  per-reference Access() loop; one dispatch for the whole run). */
+    void AccessBatch(const MemRef* refs, size_t n) override
+    {
+        (this->*batch_fn_)(refs, n);
+    }
 
     /** Convenience overload. */
     void Access(Pid pid, ProcessAddr addr, AccessType type)
@@ -122,6 +136,9 @@ class SpurSystem : public WorkloadHost
     void AttachPerfCounters(sim::PerfCounters* counters)
     {
         events_.SetObserver(counters);
+        // The observer state is baked into the dispatched instantiation
+        // (branchless unobserved event adds), so re-select.
+        SelectDispatch();
     }
 
     /** The global virtual address a reference resolves to (for tests). */
@@ -162,8 +179,45 @@ class SpurSystem : public WorkloadHost
     /// Accesses until the next periodic audit (audit builds only).
     uint64_t audit_countdown_ = check::kAuditAccessInterval;
 
+    // ---- Devirtualized dispatch -----------------------------------------
+
+    using AccessFn = void (SpurSystem::*)(const MemRef&);
+    using AccessBatchFn = void (SpurSystem::*)(const MemRef*, size_t);
+
+    /// Selected (dirty, ref, observer) instantiations of the hot path.
+    AccessFn access_fn_ = nullptr;
+    AccessBatchFn batch_fn_ = nullptr;
+
+    /** Points access_fn_/batch_fn_ at the instantiation matching the
+     *  current policies and observer state. */
+    void SelectDispatch();
+
+    template <policy::DirtyPolicyKind D>
+    void SelectDispatchRef(bool observed);
+
+    template <policy::DirtyPolicyKind D, policy::RefPolicyKind R>
+    void SetDispatchFns(bool observed);
+
+    /** One reference through the compile-time-policy path. */
+    template <policy::DirtyPolicyKind D, policy::RefPolicyKind R,
+              bool kObserved>
+    void AccessImpl(const MemRef& ref);
+
+    /** Per-reference loop over AccessImpl with one dispatch. */
+    template <policy::DirtyPolicyKind D, policy::RefPolicyKind R,
+              bool kObserved>
+    void AccessBatchImpl(const MemRef* refs, size_t n);
+
     /** Handles the miss path for @p gva; @p type as in Access(). */
-    void AccessMiss(GlobalAddr gva, AccessType type);
+    template <policy::DirtyPolicyKind D, policy::RefPolicyKind R,
+              bool kObserved>
+    void AccessMissImpl(GlobalAddr gva, AccessType type);
+
+    /** The non-fast-path tail of a write hit: policy hook, cost
+     *  charging, and the FLUSH re-execute-as-miss case. */
+    template <policy::DirtyPolicyKind D, policy::RefPolicyKind R,
+              bool kObserved>
+    void WriteHitSlow(cache::LineRef line, GlobalAddr gva);
 
     /** Returns the PTE backing a *hit* line (must exist and be valid). */
     pt::Pte& ResidentPte(GlobalAddr gva);

@@ -172,14 +172,14 @@ TlbSystem::Access(const MemRef& ref)
         (static_cast<PhysAddr>(pte.pfn()) << config_.PageShift()) |
         (gva & (config_.page_bytes - 1));
 
-    cache::Line* line = pcache_.Lookup(pa);
-    if (line != nullptr) {
+    cache::LineRef line = pcache_.Lookup(pa);
+    if (line) {
         timing_.Charge(sim::TimeBucket::kExecute, config_.t_cache_hit);
         if (is_write) {
-            if (!line->block_dirty) {
+            if (!line.block_dirty()) {
                 events_.Add(sim::Event::kWriteHitCleanBlock);
             }
-            cache::VirtualCache::MarkWritten(*line);
+            cache::VirtualCache::MarkWritten(line);
         }
         return;
     }
@@ -196,7 +196,7 @@ TlbSystem::Access(const MemRef& ref)
         break;
     }
     cache::Eviction eviction;
-    cache::Line& filled =
+    cache::LineRef filled =
         pcache_.Fill(pa, pte.protection(), pte.dirty(), &eviction);
     if (eviction.writeback) {
         events_.Add(sim::Event::kWriteback);

@@ -231,6 +231,46 @@ PathAllowed(const std::string& path,
 constexpr char kUnorderedRule[] = "no-unordered-output";
 constexpr char kSchemaRule[] = "schema-version-once";
 constexpr char kSessionRule[] = "bench-session";
+constexpr char kHotPathRule[] = "no-virtual-in-hot-path";
+
+/** Marker comment opting a file into the hot-path rule. */
+constexpr char kHotPathMarker[] = "spur:hot-path";
+
+/** True when any RAW line carries the hot-path marker (it lives in a
+ *  comment, which StripComments would remove). */
+bool
+HasHotPathMarker(const std::vector<std::string>& raw_lines)
+{
+    for (const std::string& line : raw_lines) {
+        if (line.find(kHotPathMarker) != std::string::npos) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/**
+ * True when @p text contains @p word with identifier boundaries on BOTH
+ * sides.  HasToken() only checks the preceding character (its tokens
+ * end in punctuation); a keyword scan must also reject suffixes, so
+ * `virtual` does not match `virtual_base` or VirtualCache.
+ */
+bool
+HasWord(const std::string& text, const std::string& word)
+{
+    size_t pos = 0;
+    while ((pos = text.find(word, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
+        const size_t after = pos + word.size();
+        const bool right_ok =
+            after >= text.size() || !IsIdentChar(text[after]);
+        if (left_ok && right_ok) {
+            return true;
+        }
+        ++pos;
+    }
+    return false;
+}
 
 /** Headers whose inclusion marks a file as feeding JSON/table output. */
 const std::vector<const char*>&
@@ -329,6 +369,9 @@ Rules()
     rules.push_back({kSessionRule,
                      "every bench main() records through "
                      "runner::BenchSession, not raw stdout"});
+    rules.push_back({kHotPathRule,
+                     "no virtual members in files marked // spur:hot-path "
+                     "(the per-reference path is devirtualized)"});
     return rules;
 }
 
@@ -567,6 +610,29 @@ Linter::Run() const
                      "\"schema_version\" key spelled outside the "
                      "writer/parser; route document headers through "
                      "stats::JsonWriter and sweep::ParseSweepDocument"});
+            }
+        }
+
+        // no-virtual-in-hot-path: files that opt in with the marker
+        // comment went through devirtualization (compile-time policy
+        // templates, member-fn-pointer dispatch); a virtual member
+        // reintroduced there silently re-inserts an indirect call into
+        // the per-reference loop.
+        if (HasHotPathMarker(raw)) {
+            for (size_t i = 0; i < code.size(); ++i) {
+                if (!HasWord(code[i], "virtual")) {
+                    continue;
+                }
+                if (IsSuppressed(raw, i, kHotPathRule)) {
+                    continue;
+                }
+                violations.push_back(
+                    {file.path, i + 1, kHotPathRule,
+                     "'virtual' in a file marked // spur:hot-path; the "
+                     "hot path is devirtualized (compile-time policy "
+                     "templates, DESIGN.md §15) — dispatch statically, "
+                     "move the type out of the marked file, or justify "
+                     "the site with spur-lint: allow(...)"});
             }
         }
 

@@ -4,6 +4,7 @@
 #include <cctype>
 
 #include "src/common/log.h"
+#include "src/policy/policy_ops.h"
 
 namespace spur::policy {
 
@@ -42,519 +43,54 @@ ParseDirtyPolicy(const std::string& name)
 namespace {
 
 /**
- * Records a necessary dirty fault in @p events, classifying the zero-fill
- * subset (Section 3.2 excludes those as non-intrinsic) and consuming the
- * page's zero-fill marker.
+ * Virtual-dispatch adapter over the compile-time ops in policy_ops.h.
+ * Events pass through sim::EventCounts::Add (observer mirror preserved);
+ * the devirtualized hot path instantiates DirtyOps<K> directly instead.
  */
-void
-CountNecessaryFault(pt::Pte& pte, sim::EventCounts& events)
-{
-    events.Add(sim::Event::kDirtyFault);
-    if (pte.zfod_clean()) {
-        events.Add(sim::Event::kDirtyFaultZfod);
-        pte.set_zfod_clean(false);
-    }
-}
-
-/** Shared state for the concrete policies. */
-class DirtyPolicyBase : public DirtyPolicy
+template <DirtyPolicyKind K>
+class DirtyPolicyImpl final : public DirtyPolicy
 {
   public:
-    DirtyPolicyBase(cache::PageFlusher& flusher,
+    DirtyPolicyImpl(cache::PageFlusher& flusher,
                     const sim::MachineConfig& config)
         : flusher_(flusher), config_(config)
     {
     }
 
-  protected:
-    cache::PageFlusher& flusher_;
-    const sim::MachineConfig& config_;
-};
-
-// ---------------------------------------------------------------------------
-// MIN: the oracle lower bound.  Only the intrinsic necessary faults are
-// charged; dirty state is tracked with zero checking overhead.
-// ---------------------------------------------------------------------------
-class MinPolicy final : public DirtyPolicyBase
-{
-  public:
-    using DirtyPolicyBase::DirtyPolicyBase;
-
-    DirtyPolicyKind kind() const override { return DirtyPolicyKind::kMin; }
-
-    bool WriteHitFastPath(const cache::Line& line) const override
-    {
-        return line.page_dirty;
-    }
+    DirtyPolicyKind kind() const override { return K; }
 
     Protection ResidentProtection(bool writable) const override
     {
-        return writable ? Protection::kReadWrite : Protection::kReadOnly;
+        return DirtyOps<K>::ResidentProtection(writable);
     }
 
-    DirtyCost OnWriteHit(cache::Line& line, GlobalAddr addr, pt::Pte& pte,
+    bool WriteHitFastPath(cache::ConstLineRef line) const override
+    {
+        return DirtyOps<K>::WriteHitFastPath(line);
+    }
+
+    DirtyCost OnWriteHit(cache::LineRef line, GlobalAddr addr, pt::Pte& pte,
                          sim::EventCounts& events) override
     {
-        (void)addr;
-        if (line.prot != Protection::kReadWrite) {
-            Panic("MIN: write to a read-only page");
-        }
-        DirtyCost cost;
-        if (!line.page_dirty) {
-            if (!pte.dirty()) {
-                CountNecessaryFault(pte, events);
-                pte.set_dirty(true);
-                cost.fault_cycles = config_.t_fault;
-            }
-            line.page_dirty = true;  // Oracle refresh: free.
-        }
-        return cost;
+        return DirtyOps<K>::OnWriteHit(line, addr, pte, events, flusher_,
+                                       config_);
     }
 
     DirtyCost OnWriteMiss(GlobalAddr addr, pt::Pte& pte,
                           sim::EventCounts& events) override
     {
-        (void)addr;
-        DirtyCost cost;
-        if (!pte.dirty()) {
-            CountNecessaryFault(pte, events);
-            pte.set_dirty(true);
-            cost.fault_cycles = config_.t_fault;
-        }
-        return cost;
+        return DirtyOps<K>::OnWriteMiss(addr, pte, events, flusher_,
+                                        config_);
     }
 
     bool IsPageDirty(const pt::Pte& pte) const override
     {
-        return pte.dirty();
-    }
-};
-
-// ---------------------------------------------------------------------------
-// FAULT: emulate dirty bits with protection.  Writable clean pages are
-// mapped read-only; the first write faults, the handler sets the software
-// dirty bit and upgrades the PTE to read-write.  Blocks cached while the
-// page was read-only keep their stale protection, so writes to them fault
-// too — the *excess faults* of Figure 3.1.
-// ---------------------------------------------------------------------------
-class FaultPolicy : public DirtyPolicyBase
-{
-  public:
-    using DirtyPolicyBase::DirtyPolicyBase;
-
-    DirtyPolicyKind kind() const override { return DirtyPolicyKind::kFault; }
-
-    bool WriteHitFastPath(const cache::Line& line) const override
-    {
-        return line.prot == Protection::kReadWrite;
-    }
-
-    Protection ResidentProtection(bool writable) const override
-    {
-        // The emulation's whole trick: writable pages start read-only.
-        (void)writable;
-        return Protection::kReadOnly;
-    }
-
-    DirtyCost OnWriteHit(cache::Line& line, GlobalAddr addr, pt::Pte& pte,
-                         sim::EventCounts& events) override
-    {
-        DirtyCost cost;
-        if (line.prot == Protection::kReadWrite) {
-            return cost;  // Fast path: no check beyond the normal one.
-        }
-        if (!pte.writable_intent()) {
-            Panic("FAULT: write to a genuinely read-only page");
-        }
-        cost.fault_cycles = config_.t_fault;
-        if (!pte.soft_dirty()) {
-            // Necessary fault: really the first write to the page.
-            CountNecessaryFault(pte, events);
-            pte.set_soft_dirty(true);
-            pte.set_protection(Protection::kReadWrite);
-            AfterNecessaryFault(line, addr, &cost);
-        } else {
-            // Excess fault: the PTE is already read-write; only this
-            // block's cached protection is stale.
-            events.Add(sim::Event::kExcessFault);
-            line.prot = Protection::kReadWrite;
-        }
-        return cost;
-    }
-
-    DirtyCost OnWriteMiss(GlobalAddr addr, pt::Pte& pte,
-                          sim::EventCounts& events) override
-    {
-        DirtyCost cost;
-        if (pte.protection() == Protection::kReadWrite) {
-            return cost;
-        }
-        if (!pte.writable_intent()) {
-            Panic("FAULT: write miss on a genuinely read-only page");
-        }
-        // Write misses always translate first, so the fault is detected on
-        // the PTE itself and is always a necessary fault.
-        CountNecessaryFault(pte, events);
-        pte.set_soft_dirty(true);
-        pte.set_protection(Protection::kReadWrite);
-        cost.fault_cycles = config_.t_fault;
-        OnMissFault(addr, &cost);
-        return cost;
-    }
-
-    bool IsPageDirty(const pt::Pte& pte) const override
-    {
-        return pte.soft_dirty();
-    }
-
-  protected:
-    /** Hook: what to do with the stale faulting line (FLUSH overrides). */
-    virtual void AfterNecessaryFault(cache::Line& line, GlobalAddr addr,
-                                     DirtyCost* cost)
-    {
-        (void)addr;
-        (void)cost;
-        // The handler refreshes the single faulting block's protection so
-        // the retried write proceeds (equivalent to flushing that one
-        // block and refilling it; the refill is inside the 1000-cycle
-        // handler estimate).
-        line.prot = Protection::kReadWrite;
-    }
-
-    /** Hook: extra work on a write-miss necessary fault. */
-    virtual void OnMissFault(GlobalAddr addr, DirtyCost* cost)
-    {
-        (void)addr;
-        (void)cost;
-    }
-};
-
-// ---------------------------------------------------------------------------
-// FLUSH: FAULT, plus flush the whole page from the cache inside the fault
-// handler so no stale read-only blocks survive — excess faults cannot
-// happen, at the price of t_flush per necessary fault.
-// ---------------------------------------------------------------------------
-class FlushPolicy final : public FaultPolicy
-{
-  public:
-    FlushPolicy(cache::PageFlusher& flusher, const sim::MachineConfig& config)
-        : FaultPolicy(flusher, config)
-    {
-    }
-
-    DirtyPolicyKind kind() const override { return DirtyPolicyKind::kFlush; }
-
-  protected:
-    void AfterNecessaryFault(cache::Line& line, GlobalAddr addr,
-                             DirtyCost* cost) override
-    {
-        (void)line;
-        FlushPage(addr, cost);
-        // The written line itself was flushed: the access must re-execute
-        // as a miss (and will refill with read-write protection).
-        cost->line_invalidated = true;
-    }
-
-    void OnMissFault(GlobalAddr addr, DirtyCost* cost) override
-    {
-        // Other blocks of this page may be cached with stale protection.
-        FlushPage(addr, cost);
+        return DirtyOps<K>::IsPageDirty(pte);
     }
 
   private:
-    void FlushPage(GlobalAddr addr, DirtyCost* cost)
-    {
-        flusher_.FlushPageChecked(addr);
-        // The paper prices the tag-checked flush at a flat ~500 cycles
-        // (128 slots, ~10% needing writeback); we charge the flat cost
-        // per cache the flush must visit (all of them on a
-        // multiprocessor) and let the flushed blocks' re-fetch misses
-        // surface naturally.
-        cost->flush_cycles =
-            config_.t_flush_page * flusher_.NumFlushTargets();
-    }
-};
-
-// ---------------------------------------------------------------------------
-// SPUR: an explicit hardware dirty bit, cached per block.  A write that
-// finds the cached page-dirty bit clear checks the PTE: if the PTE is also
-// clean this is the first write (fault); if not, the cached copy is merely
-// stale and a 25-cycle dirty-bit miss refreshes it.
-// ---------------------------------------------------------------------------
-class SpurPolicy final : public DirtyPolicyBase
-{
-  public:
-    using DirtyPolicyBase::DirtyPolicyBase;
-
-    DirtyPolicyKind kind() const override { return DirtyPolicyKind::kSpur; }
-
-    bool WriteHitFastPath(const cache::Line& line) const override
-    {
-        return line.prot == Protection::kReadWrite && line.page_dirty;
-    }
-
-    Protection ResidentProtection(bool writable) const override
-    {
-        return writable ? Protection::kReadWrite : Protection::kReadOnly;
-    }
-
-    DirtyCost OnWriteHit(cache::Line& line, GlobalAddr addr, pt::Pte& pte,
-                         sim::EventCounts& events) override
-    {
-        (void)addr;
-        if (line.prot != Protection::kReadWrite) {
-            Panic("SPUR: write to a read-only page");
-        }
-        DirtyCost cost;
-        if (line.page_dirty) {
-            return cost;  // Common case: proceed without delay.
-        }
-        if (pte.dirty()) {
-            // Stale cached copy: refresh via a dirty-bit miss.
-            events.Add(sim::Event::kDirtyBitMiss);
-            cost.aux_cycles = config_.t_dirty_miss;
-        } else {
-            // First write to the page: fault to software, then refresh
-            // the cached copy (the fault is followed by the same forced
-            // miss, hence t_ds + t_dm in the paper's O(SPUR)).
-            CountNecessaryFault(pte, events);
-            pte.set_dirty(true);
-            cost.fault_cycles = config_.t_fault;
-            cost.aux_cycles = config_.t_dirty_miss;
-        }
-        line.page_dirty = true;
-        return cost;
-    }
-
-    DirtyCost OnWriteMiss(GlobalAddr addr, pt::Pte& pte,
-                          sim::EventCounts& events) override
-    {
-        (void)addr;
-        DirtyCost cost;
-        if (!pte.dirty()) {
-            CountNecessaryFault(pte, events);
-            pte.set_dirty(true);
-            cost.fault_cycles = config_.t_fault;
-        }
-        return cost;
-    }
-
-    bool IsPageDirty(const pt::Pte& pte) const override
-    {
-        return pte.dirty();
-    }
-};
-
-// ---------------------------------------------------------------------------
-// WRITE: Sun-3 style.  The PTE dirty bit is checked on the first write to
-// each cache *block*: free on write misses (the PTE is already in hand for
-// translation), t_dc on write hits to clean blocks.  Never any excess
-// faults, but the check rate is the block modification rate.
-// ---------------------------------------------------------------------------
-class WritePolicy final : public DirtyPolicyBase
-{
-  public:
-    using DirtyPolicyBase::DirtyPolicyBase;
-
-    DirtyPolicyKind kind() const override { return DirtyPolicyKind::kWrite; }
-
-    bool WriteHitFastPath(const cache::Line& line) const override
-    {
-        return line.block_dirty;
-    }
-
-    Protection ResidentProtection(bool writable) const override
-    {
-        return writable ? Protection::kReadWrite : Protection::kReadOnly;
-    }
-
-    DirtyCost OnWriteHit(cache::Line& line, GlobalAddr addr, pt::Pte& pte,
-                         sim::EventCounts& events) override
-    {
-        (void)addr;
-        if (line.prot != Protection::kReadWrite) {
-            Panic("WRITE: write to a read-only page");
-        }
-        DirtyCost cost;
-        if (line.block_dirty) {
-            return cost;  // Not the first write to this block.
-        }
-        events.Add(sim::Event::kDirtyCheck);
-        cost.aux_cycles = config_.t_dirty_check;
-        if (!pte.dirty()) {
-            CountNecessaryFault(pte, events);
-            pte.set_dirty(true);
-            cost.fault_cycles = config_.t_fault;
-        }
-        return cost;
-    }
-
-    DirtyCost OnWriteMiss(GlobalAddr addr, pt::Pte& pte,
-                          sim::EventCounts& events) override
-    {
-        (void)addr;
-        DirtyCost cost;
-        // The controller examined the PTE during translation anyway, so
-        // this check is free.
-        if (!pte.dirty()) {
-            CountNecessaryFault(pte, events);
-            pte.set_dirty(true);
-            cost.fault_cycles = config_.t_fault;
-        }
-        return cost;
-    }
-
-    bool IsPageDirty(const pt::Pte& pte) const override
-    {
-        return pte.dirty();
-    }
-};
-
-// ---------------------------------------------------------------------------
-// SPUR-PROT: the generalized SPUR scheme of Section 3.1 applied to the
-// protection field.  Writable clean pages are mapped read-only (like
-// FAULT), but a write that hits a stale read-only cached copy checks the
-// PTE first: if the PTE is already read-write the hardware refreshes the
-// cached copy with a "protection bit miss" (cost t_dm) instead of
-// faulting.  Saves the extra cache-tag bit; performance is identical to
-// SPUR's, which the test suite verifies property-style.
-// ---------------------------------------------------------------------------
-class SpurProtPolicy final : public DirtyPolicyBase
-{
-  public:
-    using DirtyPolicyBase::DirtyPolicyBase;
-
-    DirtyPolicyKind kind() const override
-    {
-        return DirtyPolicyKind::kSpurProt;
-    }
-
-    bool WriteHitFastPath(const cache::Line& line) const override
-    {
-        return line.prot == Protection::kReadWrite;
-    }
-
-    Protection ResidentProtection(bool writable) const override
-    {
-        (void)writable;
-        return Protection::kReadOnly;  // Clean writable pages start RO.
-    }
-
-    DirtyCost OnWriteHit(cache::Line& line, GlobalAddr addr, pt::Pte& pte,
-                         sim::EventCounts& events) override
-    {
-        (void)addr;
-        DirtyCost cost;
-        if (line.prot == Protection::kReadWrite) {
-            return cost;
-        }
-        if (!pte.writable_intent()) {
-            Panic("SPUR-PROT: write to a genuinely read-only page");
-        }
-        if (pte.protection() == Protection::kReadWrite) {
-            // Stale cached protection: protection bit miss.
-            events.Add(sim::Event::kDirtyBitMiss);
-            cost.aux_cycles = config_.t_dirty_miss;
-        } else {
-            // First write to the page: fault, then the forced refresh.
-            CountNecessaryFault(pte, events);
-            pte.set_soft_dirty(true);
-            pte.set_protection(Protection::kReadWrite);
-            cost.fault_cycles = config_.t_fault;
-            cost.aux_cycles = config_.t_dirty_miss;
-        }
-        line.prot = Protection::kReadWrite;
-        return cost;
-    }
-
-    DirtyCost OnWriteMiss(GlobalAddr addr, pt::Pte& pte,
-                          sim::EventCounts& events) override
-    {
-        (void)addr;
-        DirtyCost cost;
-        if (pte.protection() != Protection::kReadWrite) {
-            if (!pte.writable_intent()) {
-                Panic("SPUR-PROT: write miss on a read-only page");
-            }
-            CountNecessaryFault(pte, events);
-            pte.set_soft_dirty(true);
-            pte.set_protection(Protection::kReadWrite);
-            cost.fault_cycles = config_.t_fault;
-        }
-        return cost;
-    }
-
-    bool IsPageDirty(const pt::Pte& pte) const override
-    {
-        return pte.soft_dirty();
-    }
-};
-
-// ---------------------------------------------------------------------------
-// WRITE-HW: the Sun-3's real mechanism.  On the first write to each cache
-// block the hardware checks the page's dirty state in the memory
-// management unit and *updates it itself* — no software fault ever.  The
-// per-block check cost t_dc remains, which is still enough to make it
-// uncompetitive (Section 3.2's t_dc sweep).
-// ---------------------------------------------------------------------------
-class WriteHwPolicy final : public DirtyPolicyBase
-{
-  public:
-    using DirtyPolicyBase::DirtyPolicyBase;
-
-    DirtyPolicyKind kind() const override
-    {
-        return DirtyPolicyKind::kWriteHw;
-    }
-
-    bool WriteHitFastPath(const cache::Line& line) const override
-    {
-        return line.block_dirty;
-    }
-
-    Protection ResidentProtection(bool writable) const override
-    {
-        return writable ? Protection::kReadWrite : Protection::kReadOnly;
-    }
-
-    DirtyCost OnWriteHit(cache::Line& line, GlobalAddr addr, pt::Pte& pte,
-                         sim::EventCounts& events) override
-    {
-        (void)addr;
-        if (line.prot != Protection::kReadWrite) {
-            Panic("WRITE-HW: write to a read-only page");
-        }
-        DirtyCost cost;
-        if (line.block_dirty) {
-            return cost;
-        }
-        events.Add(sim::Event::kDirtyCheck);
-        cost.aux_cycles = config_.t_dirty_check;
-        if (!pte.dirty()) {
-            // The hardware sets the bit silently: the clean-to-dirty
-            // transition is recorded for the Table 3.3 bookkeeping but
-            // costs no fault.
-            CountNecessaryFault(pte, events);
-            pte.set_dirty(true);
-        }
-        return cost;
-    }
-
-    DirtyCost OnWriteMiss(GlobalAddr addr, pt::Pte& pte,
-                          sim::EventCounts& events) override
-    {
-        (void)addr;
-        if (!pte.dirty()) {
-            CountNecessaryFault(pte, events);
-            pte.set_dirty(true);
-        }
-        return DirtyCost{};  // The PTE was in hand: free.
-    }
-
-    bool IsPageDirty(const pt::Pte& pte) const override
-    {
-        return pte.dirty();
-    }
+    cache::PageFlusher& flusher_;
+    const sim::MachineConfig& config_;
 };
 
 }  // namespace
@@ -565,19 +101,26 @@ MakeDirtyPolicy(DirtyPolicyKind kind, cache::PageFlusher& flusher,
 {
     switch (kind) {
       case DirtyPolicyKind::kMin:
-        return std::make_unique<MinPolicy>(flusher, config);
+        return std::make_unique<DirtyPolicyImpl<DirtyPolicyKind::kMin>>(
+            flusher, config);
       case DirtyPolicyKind::kFault:
-        return std::make_unique<FaultPolicy>(flusher, config);
+        return std::make_unique<DirtyPolicyImpl<DirtyPolicyKind::kFault>>(
+            flusher, config);
       case DirtyPolicyKind::kFlush:
-        return std::make_unique<FlushPolicy>(flusher, config);
+        return std::make_unique<DirtyPolicyImpl<DirtyPolicyKind::kFlush>>(
+            flusher, config);
       case DirtyPolicyKind::kSpur:
-        return std::make_unique<SpurPolicy>(flusher, config);
+        return std::make_unique<DirtyPolicyImpl<DirtyPolicyKind::kSpur>>(
+            flusher, config);
       case DirtyPolicyKind::kWrite:
-        return std::make_unique<WritePolicy>(flusher, config);
+        return std::make_unique<DirtyPolicyImpl<DirtyPolicyKind::kWrite>>(
+            flusher, config);
       case DirtyPolicyKind::kSpurProt:
-        return std::make_unique<SpurProtPolicy>(flusher, config);
+        return std::make_unique<DirtyPolicyImpl<DirtyPolicyKind::kSpurProt>>(
+            flusher, config);
       case DirtyPolicyKind::kWriteHw:
-        return std::make_unique<WriteHwPolicy>(flusher, config);
+        return std::make_unique<DirtyPolicyImpl<DirtyPolicyKind::kWriteHw>>(
+            flusher, config);
     }
     Panic("MakeDirtyPolicy: bad kind");
 }

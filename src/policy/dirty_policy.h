@@ -106,10 +106,10 @@ class DirtyPolicy
      * OnWriteHit call entirely on this fast path — exactly the "proceed
      * without delay" case of the hardware.
      */
-    virtual bool WriteHitFastPath(const cache::Line& line) const = 0;
+    virtual bool WriteHitFastPath(cache::ConstLineRef line) const = 0;
 
     /** Handles a write that hit on @p line (slow path only). */
-    virtual DirtyCost OnWriteHit(cache::Line& line, GlobalAddr addr,
+    virtual DirtyCost OnWriteHit(cache::LineRef line, GlobalAddr addr,
                                  pt::Pte& pte, sim::EventCounts& events) = 0;
 
     /** Handles a write miss after translation (before the fill). */

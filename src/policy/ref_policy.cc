@@ -4,6 +4,7 @@
 #include <cctype>
 
 #include "src/common/log.h"
+#include "src/policy/policy_ops.h"
 
 namespace spur::policy {
 
@@ -32,119 +33,42 @@ ParseRefPolicy(const std::string& name)
 
 namespace {
 
-/** Shared state for the concrete policies. */
-class RefPolicyBase : public RefPolicy
+/**
+ * Virtual-dispatch adapter over the compile-time ops in policy_ops.h;
+ * see DirtyPolicyImpl in dirty_policy.cc for the pattern.
+ */
+template <RefPolicyKind K>
+class RefPolicyImpl final : public RefPolicy
 {
   public:
-    RefPolicyBase(cache::PageFlusher& flusher,
+    RefPolicyImpl(cache::PageFlusher& flusher,
                   const sim::MachineConfig& config)
         : flusher_(flusher), config_(config)
     {
     }
 
-  protected:
+    RefPolicyKind kind() const override { return K; }
+
+    RefCost OnCacheMiss(pt::Pte& pte, sim::EventCounts& events) override
+    {
+        return RefOps<K>::OnCacheMiss(pte, events, config_);
+    }
+
+    bool ReadRefBit(const pt::Pte& pte) const override
+    {
+        return RefOps<K>::ReadRefBit(pte);
+    }
+
+    RefCost ClearRefBit(pt::Pte& pte, GlobalAddr page_addr,
+                        sim::EventCounts& events) override
+    {
+        return RefOps<K>::ClearRefBit(pte, page_addr, events, flusher_,
+                                      config_);
+    }
+
+  private:
     cache::PageFlusher& flusher_;
     const sim::MachineConfig& config_;
-};
-
-// ---------------------------------------------------------------------------
-// MISS: the miss-bit approximation SPUR implements.
-// ---------------------------------------------------------------------------
-class MissRefPolicy : public RefPolicyBase
-{
-  public:
-    using RefPolicyBase::RefPolicyBase;
-
-    RefPolicyKind kind() const override { return RefPolicyKind::kMiss; }
-
-    RefCost OnCacheMiss(pt::Pte& pte, sim::EventCounts& events) override
-    {
-        RefCost cost;
-        if (!pte.referenced()) {
-            events.Add(sim::Event::kRefFault);
-            pte.set_referenced(true);
-            cost.fault_cycles = config_.t_fault;
-        }
-        return cost;
-    }
-
-    bool ReadRefBit(const pt::Pte& pte) const override
-    {
-        return pte.referenced();
-    }
-
-    RefCost ClearRefBit(pt::Pte& pte, GlobalAddr page_addr,
-                        sim::EventCounts& events) override
-    {
-        (void)page_addr;
-        RefCost cost;
-        events.Add(sim::Event::kRefClear);
-        pte.set_referenced(false);
-        cost.kernel_cycles = config_.t_ref_clear;
-        return cost;
-    }
-};
-
-// ---------------------------------------------------------------------------
-// REF: true reference bits via flush-on-clear.
-// ---------------------------------------------------------------------------
-class TrueRefPolicy final : public MissRefPolicy
-{
-  public:
-    using MissRefPolicy::MissRefPolicy;
-
-    RefPolicyKind kind() const override { return RefPolicyKind::kRef; }
-
-    RefCost ClearRefBit(pt::Pte& pte, GlobalAddr page_addr,
-                        sim::EventCounts& events) override
-    {
-        RefCost cost = MissRefPolicy::ClearRefBit(pte, page_addr, events);
-        // Flush the page so any further use must miss and re-set the bit.
-        // The flushed blocks' re-fetch misses then surface naturally in
-        // the simulation, which is the "disrupts the cache" effect the
-        // paper describes.
-        events.Add(sim::Event::kRefClearFlush);
-        flusher_.FlushPageChecked(page_addr);
-        // On a multiprocessor every cache must be visited.
-        cost.flush_cycles =
-            config_.t_flush_page * flusher_.NumFlushTargets();
-        return cost;
-    }
-};
-
-// ---------------------------------------------------------------------------
-// NOREF: no reference information at all.
-// ---------------------------------------------------------------------------
-class NoRefPolicy final : public RefPolicyBase
-{
-  public:
-    using RefPolicyBase::RefPolicyBase;
-
-    RefPolicyKind kind() const override { return RefPolicyKind::kNoRef; }
-
-    RefCost OnCacheMiss(pt::Pte& pte, sim::EventCounts& events) override
-    {
-        // The hardware bit is left permanently set (the VM sets it at
-        // page-in), so no reference fault can occur and nothing is spent.
-        (void)pte;
-        (void)events;
-        return RefCost{};
-    }
-
-    bool ReadRefBit(const pt::Pte& pte) const override
-    {
-        (void)pte;
-        return false;  // The machine-dependent read always says "unused".
-    }
-
-    RefCost ClearRefBit(pt::Pte& pte, GlobalAddr page_addr,
-                        sim::EventCounts& events) override
-    {
-        (void)pte;
-        (void)page_addr;
-        (void)events;
-        return RefCost{};  // Clearing has no effect and costs nothing.
-    }
 };
 
 }  // namespace
@@ -155,11 +79,14 @@ MakeRefPolicy(RefPolicyKind kind, cache::PageFlusher& flusher,
 {
     switch (kind) {
       case RefPolicyKind::kMiss:
-        return std::make_unique<MissRefPolicy>(flusher, config);
+        return std::make_unique<RefPolicyImpl<RefPolicyKind::kMiss>>(
+            flusher, config);
       case RefPolicyKind::kRef:
-        return std::make_unique<TrueRefPolicy>(flusher, config);
+        return std::make_unique<RefPolicyImpl<RefPolicyKind::kRef>>(
+            flusher, config);
       case RefPolicyKind::kNoRef:
-        return std::make_unique<NoRefPolicy>(flusher, config);
+        return std::make_unique<RefPolicyImpl<RefPolicyKind::kNoRef>>(
+            flusher, config);
     }
     Panic("MakeRefPolicy: bad kind");
 }

@@ -2,44 +2,87 @@
 
 namespace spur::pt {
 
-const Pte*
-PageTable::Find(GlobalVpn vpn) const
+namespace {
+
+/** Fibonacci mix so nearby second-level indices land in distinct slots. */
+inline uint64_t
+MixIndex(uint64_t index)
 {
-    const auto it = pages_.find(SecondLevelIndex(vpn));
-    if (it == pages_.end()) {
-        return nullptr;
-    }
-    return &(*it->second)[vpn % kPtesPerPage];
+    return index * uint64_t{0x9E3779B97F4A7C15};
 }
 
-Pte*
-PageTable::FindMutable(GlobalVpn vpn)
+}  // namespace
+
+PageTable::Slot&
+PageTable::Probe(std::vector<Slot>& slots, uint64_t index)
 {
-    const auto it = pages_.find(SecondLevelIndex(vpn));
-    if (it == pages_.end()) {
+    const uint64_t mask = slots.size() - 1;
+    uint64_t i = MixIndex(index) & mask;
+    while (slots[i].page != nullptr && slots[i].index != index) {
+        i = (i + 1) & mask;
+    }
+    return slots[i];
+}
+
+void
+PageTable::Grow()
+{
+    std::vector<Slot> grown(slots_.size() * 2);
+    for (const Slot& slot : slots_) {
+        if (slot.page != nullptr) {
+            Probe(grown, slot.index) = slot;
+        }
+    }
+    slots_ = std::move(grown);
+}
+
+const Pte*
+PageTable::FindSlow(GlobalVpn vpn) const
+{
+    const uint64_t index = SecondLevelIndex(vpn);
+    // Probe() only mutates through insertion; a const find never inserts
+    // (empty slots have page == nullptr and terminate the walk).
+    const Slot& slot =
+        Probe(const_cast<std::vector<Slot>&>(slots_), index);
+    if (slot.page == nullptr) {
         return nullptr;
     }
-    return &(*it->second)[vpn % kPtesPerPage];
+    mru_index_ = index;
+    mru_page_ = slot.page;
+    return &(*slot.page)[vpn % kPtesPerPage];
 }
 
 Pte&
-PageTable::Ensure(GlobalVpn vpn)
+PageTable::EnsureSlow(GlobalVpn vpn)
 {
-    auto& page = pages_[SecondLevelIndex(vpn)];
-    if (!page) {
-        page = std::make_unique<TablePage>();
+    const uint64_t index = SecondLevelIndex(vpn);
+    Slot* slot = &Probe(slots_, index);
+    if (slot->page == nullptr) {
+        if ((count_ + 1) * 2 > slots_.size()) {
+            Grow();
+            slot = &Probe(slots_, index);
+        }
+        owned_.push_back(std::make_unique<TablePage>());
+        slot->index = index;
+        slot->page = owned_.back().get();
+        ++count_;
     }
-    return (*page)[vpn % kPtesPerPage];
+    mru_index_ = index;
+    mru_page_ = slot->page;
+    return (*slot->page)[vpn % kPtesPerPage];
 }
 
 void
 PageTable::ForEachPte(
     const std::function<void(GlobalVpn, const Pte&)>& fn) const
 {
-    for (const auto& [second_level, page] : pages_) {
-        const GlobalVpn base = second_level * kPtesPerPage;
+    for (const Slot& slot : slots_) {
+        if (slot.page == nullptr) {
+            continue;
+        }
+        const GlobalVpn base = slot.index * kPtesPerPage;
         for (uint64_t i = 0; i < kPtesPerPage; ++i) {
-            fn(base + i, (*page)[i]);
+            fn(base + i, (*slot.page)[i]);
         }
     }
 }

@@ -23,7 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
 #include "src/common/types.h"
 #include "src/pt/pte.h"
@@ -56,13 +56,34 @@ class PageTable
      * Returns the PTE for @p vpn, or nullptr when no first-level table
      * page covers it yet (the OS has never mapped anything nearby).
      */
-    const Pte* Find(GlobalVpn vpn) const;
+    const Pte* Find(GlobalVpn vpn) const
+    {
+        const uint64_t index = SecondLevelIndex(vpn);
+        if (index == mru_index_) {
+            return &(*mru_page_)[vpn % kPtesPerPage];
+        }
+        return FindSlow(vpn);
+    }
 
     /** Mutable variant of Find(). */
-    Pte* FindMutable(GlobalVpn vpn);
+    Pte* FindMutable(GlobalVpn vpn)
+    {
+        const uint64_t index = SecondLevelIndex(vpn);
+        if (index == mru_index_) {
+            return &(*mru_page_)[vpn % kPtesPerPage];
+        }
+        return const_cast<Pte*>(FindSlow(vpn));
+    }
 
     /** Returns the PTE for @p vpn, creating its table page on demand. */
-    Pte& Ensure(GlobalVpn vpn);
+    Pte& Ensure(GlobalVpn vpn)
+    {
+        const uint64_t index = SecondLevelIndex(vpn);
+        if (index == mru_index_) {
+            return (*mru_page_)[vpn % kPtesPerPage];
+        }
+        return EnsureSlow(vpn);
+    }
 
     /** Global virtual address of the first-level PTE for @p vpn
      *  (the shift-and-concatenate circuit). */
@@ -86,7 +107,7 @@ class PageTable
 
     /** Number of first-level page-table pages materialized so far
      *  (these occupy wired kernel frames in the prototype's accounting). */
-    size_t NumTablePages() const { return pages_.size(); }
+    size_t NumTablePages() const { return count_; }
 
     /**
      * Visits every materialized PTE (valid or not) as (vpn, pte).  The
@@ -101,7 +122,47 @@ class PageTable
 
   private:
     using TablePage = std::array<Pte, kPtesPerPage>;
-    std::unordered_map<uint64_t, std::unique_ptr<TablePage>> pages_;
+
+    /**
+     * One open-addressing slot of the second-level index.  Empty slots
+     * have page == nullptr (any index value); the table never deletes.
+     */
+    struct Slot {
+        uint64_t index = 0;
+        TablePage* page = nullptr;
+    };
+
+    /** Table lookup behind the MRU fast path (updates the MRU slot on a
+     *  hit). */
+    const Pte* FindSlow(GlobalVpn vpn) const;
+
+    /** Table lookup/creation behind the MRU fast path. */
+    Pte& EnsureSlow(GlobalVpn vpn);
+
+    /** Slot for @p index in @p slots (match or first empty). */
+    static Slot& Probe(std::vector<Slot>& slots, uint64_t index);
+
+    /** Doubles the slot array and re-inserts every page. */
+    void Grow();
+
+    // Second-level table: a flat power-of-2 open-addressing map from
+    // second-level index to table page.  The simulator walks it on every
+    // cache miss (in-cache translation), so probes must stay a single
+    // cache line in the common case — a chained std::unordered_map costs
+    // a hash-bucket pointer chase per miss.  Table pages are owned
+    // separately and never move or die until the PageTable does.
+    std::vector<Slot> slots_ = std::vector<Slot>(kInitialSlots);
+    std::vector<std::unique_ptr<TablePage>> owned_;
+    size_t count_ = 0;
+
+    static constexpr size_t kInitialSlots = 64;
+
+    // One-entry MRU cache over the slot table: cache misses cluster
+    // within a first-level table page (1024 vpns), so most
+    // Ensure()/Find() calls skip even the flat probe.  The sentinel
+    // index is unreachable (it would need a vpn >= 2^60).
+    mutable uint64_t mru_index_ = ~uint64_t{0};
+    mutable TablePage* mru_page_ = nullptr;
 };
 
 }  // namespace spur::pt

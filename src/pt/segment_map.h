@@ -74,6 +74,18 @@ class SegmentMap
     /** The global segment behind @p pid's register @p reg. */
     uint32_t SegmentOf(Pid pid, unsigned reg) const;
 
+    /**
+     * All four segment registers of @p pid at once.  Hot batch loops
+     * cache this per process so each reference resolves its segment from
+     * a 16-byte register file instead of re-chasing the per-process map.
+     * The reference stays valid until the process is destroyed.
+     */
+    const std::array<uint32_t, kSegmentsPerProcess>&
+    RegistersOf(Pid pid) const
+    {
+        return maps_[pid];
+    }
+
     /** Allocates a fresh global segment number (also used internally). */
     uint32_t AllocateGlobalSegment() { return next_segment_++; }
 

@@ -99,8 +99,23 @@ class EventCounts
         }
     }
 
+    /**
+     * Increment with the observer hoisted out: the caller has already
+     * established (at dispatch-selection time) that no observer is
+     * attached, so this is a single branchless array add.  Only the
+     * devirtualized hot path may use it; everything else goes through
+     * Add(), which preserves the mirror unconditionally.
+     */
+    void AddUnobserved(Event event, uint64_t n = 1)
+    {
+        counts_[static_cast<size_t>(event)] += n;
+    }
+
     /** Attaches (or detaches with nullptr) a mirror observer. */
     void SetObserver(EventObserver* observer) { observer_ = observer; }
+
+    /** True when a mirror observer is attached. */
+    bool HasObserver() const { return observer_ != nullptr; }
 
     /** Returns the current count of @p event. */
     uint64_t Get(Event event) const
@@ -127,6 +142,34 @@ class EventCounts
   private:
     std::array<uint64_t, kNumEvents> counts_;
     EventObserver* observer_ = nullptr;
+};
+
+/**
+ * Compile-time event sink over EventCounts: when @p kObserved is false
+ * the observer check disappears from every Add in the instantiation
+ * (the hot path's "branchless when no observer attached" contract);
+ * when true, events flow through EventCounts::Add so the PerfCounters
+ * mirror sees exactly what the ground truth sees.  The devirtualized
+ * system re-selects its dispatch when an observer is (de)attached, so
+ * the kObserved=false instantiation can never run with one present.
+ */
+template <bool kObserved>
+class EventSink
+{
+  public:
+    explicit EventSink(EventCounts& counts) : counts_(counts) {}
+
+    void Add(Event event, uint64_t n = 1)
+    {
+        if constexpr (kObserved) {
+            counts_.Add(event, n);
+        } else {
+            counts_.AddUnobserved(event, n);
+        }
+    }
+
+  private:
+    EventCounts& counts_;
 };
 
 }  // namespace spur::sim

@@ -12,7 +12,16 @@ namespace {
 struct CellCost {
     double wall_seconds = 0.0;
     uint64_t peak_rss_bytes = 0;
+    uint64_t refs_issued = 0;
     bool has_telemetry = false;
+
+    /// Simulated references per wall second; 0 when unmeasurable.
+    double RefsPerSecond() const
+    {
+        return (wall_seconds > 0.0)
+                   ? static_cast<double>(refs_issued) / wall_seconds
+                   : 0.0;
+    }
 };
 
 /**
@@ -35,6 +44,7 @@ IndexByIdentity(const SweepDocument& document)
             std::max(cost.wall_seconds, record.telemetry->wall_seconds);
         cost.peak_rss_bytes =
             std::max(cost.peak_rss_bytes, record.telemetry->peak_rss_bytes);
+        cost.refs_issued = std::max(cost.refs_issued, record.refs_issued);
     }
     return cells;
 }
@@ -60,6 +70,14 @@ Mebibytes(uint64_t bytes)
     char buffer[32];
     std::snprintf(buffer, sizeof(buffer), "%.1f",
                   static_cast<double>(bytes) / (1024.0 * 1024.0));
+    return buffer;
+}
+
+std::string
+RefsPerSecond(double value)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
     return buffer;
 }
 
@@ -111,7 +129,20 @@ DiffTelemetry(const SweepDocument& base, const SweepDocument& current,
         delta.rss_regressed = Regressed(
             static_cast<double>(base_cost.peak_rss_bytes),
             static_cast<double>(new_cost.peak_rss_bytes), options.threshold);
-        if (delta.wall_regressed || delta.rss_regressed) {
+        delta.base_refs_per_second = base_cost.RefsPerSecond();
+        delta.new_refs_per_second = new_cost.RefsPerSecond();
+        // Throughput (fatal) check: the same min_wall_seconds noise
+        // floor applies — a sub-floor cell's refs/sec is scheduler
+        // jitter, not a measurement.
+        delta.throughput_regressed =
+            options.throughput_threshold > 0.0 &&
+            base_cost.wall_seconds >= options.min_wall_seconds &&
+            delta.base_refs_per_second > 0.0 &&
+            delta.new_refs_per_second <
+                delta.base_refs_per_second *
+                    (1.0 - options.throughput_threshold);
+        if (delta.wall_regressed || delta.rss_regressed ||
+            delta.throughput_regressed) {
             diff.regressions.push_back(std::move(delta));
         }
     }
@@ -130,14 +161,35 @@ HasRegressions(const TelemetryDiff& diff)
     return !diff.regressions.empty();
 }
 
+bool
+HasFatalRegressions(const TelemetryDiff& diff)
+{
+    for (const CellDelta& delta : diff.regressions) {
+        if (delta.throughput_regressed) {
+            return true;
+        }
+    }
+    return false;
+}
+
 std::string
 FormatDiffReport(const TelemetryDiff& diff, const DiffOptions& options)
 {
     std::string out;
     for (const CellDelta& delta : diff.regressions) {
-        out += "REGRESSION ";
+        out += delta.throughput_regressed ? "FATAL " : "REGRESSION ";
         out += delta.identity;
         out += ":";
+        if (delta.throughput_regressed) {
+            out += " throughput ";
+            out += RefsPerSecond(delta.base_refs_per_second);
+            out += " refs/s -> ";
+            out += RefsPerSecond(delta.new_refs_per_second);
+            out += " refs/s (";
+            out += GrowthPercent(delta.base_refs_per_second,
+                                 delta.new_refs_per_second);
+            out += ")";
+        }
         if (delta.wall_regressed) {
             out += " wall ";
             out += Seconds(delta.base_wall_seconds);
@@ -172,6 +224,18 @@ FormatDiffReport(const TelemetryDiff& diff, const DiffOptions& options)
                   diff.missing_telemetry, diff.base_total_wall_seconds,
                   diff.new_total_wall_seconds);
     out += summary;
+    if (options.throughput_threshold > 0.0) {
+        size_t fatal = 0;
+        for (const CellDelta& delta : diff.regressions) {
+            fatal += delta.throughput_regressed ? 1 : 0;
+        }
+        char gate[128];
+        std::snprintf(gate, sizeof(gate),
+                      "throughput gate: %zu fatal cell(s) below -%.0f%% "
+                      "refs/s\n",
+                      fatal, options.throughput_threshold * 100.0);
+        out += gate;
+    }
     return out;
 }
 

@@ -35,6 +35,14 @@ struct DiffOptions {
     /// Cells whose *base* wall time is below this many seconds are
     /// never wall-flagged — too small to measure reliably.
     double min_wall_seconds = 0.01;
+    /// Fractional *throughput* (refs/sec) drop that counts as a FATAL
+    /// regression: 0.3 flags cells whose refs/sec fell more than 30%
+    /// below base.  0 disables the check.  Unlike wall/RSS growth —
+    /// advisory by design — a throughput drop beyond this bound plus
+    /// the min_wall_seconds noise floor is the CI perf gate's failure
+    /// signal (simulated refs per wall second is the end-to-end metric
+    /// the hot-path work optimizes).
+    double throughput_threshold = 0.0;
 };
 
 /** Cost comparison of one cell present in both documents. */
@@ -44,8 +52,11 @@ struct CellDelta {
     double new_wall_seconds = 0.0;
     uint64_t base_peak_rss_bytes = 0;
     uint64_t new_peak_rss_bytes = 0;
+    double base_refs_per_second = 0.0;  ///< refs_issued / wall_seconds.
+    double new_refs_per_second = 0.0;
     bool wall_regressed = false;
     bool rss_regressed = false;
+    bool throughput_regressed = false;  ///< Fatal (see DiffOptions).
 };
 
 /** Outcome of comparing NEW against BASE. */
@@ -71,6 +82,10 @@ TelemetryDiff DiffTelemetry(const SweepDocument& base,
 
 /** True when the diff holds at least one regressed cell. */
 bool HasRegressions(const TelemetryDiff& diff);
+
+/** True when the diff holds at least one FATAL (throughput) regression.
+ *  Always false unless DiffOptions::throughput_threshold was set. */
+bool HasFatalRegressions(const TelemetryDiff& diff);
 
 /**
  * Renders the diff as a deterministic human-readable report: one line

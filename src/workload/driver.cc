@@ -14,6 +14,7 @@ Driver::Driver(core::WorkloadHost& system, WorkloadSpec spec,
       rng_(seed),
       slice_refs_(std::max(1u, slice_refs))
 {
+    batch_.resize(slice_refs_);
     if (spec_.jobs.empty()) {
         Fatal("Driver: workload has no jobs");
     }
@@ -65,16 +66,18 @@ Driver::RunRefs(uint64_t refs)
             refs_issued_ = std::max(refs_issued_ + 1, next);
             continue;
         }
-        // Round-robin: one quantum for the process at the cursor.
+        // Round-robin: one quantum for the process at the cursor.  The
+        // quantum's references are generated up front and issued through
+        // one AccessBatch() dispatch; the generator is pure, so the
+        // stream and the access order match the old per-reference loop
+        // exactly.
         next_slot_ = (next_slot_ >= live_.size()) ? 0 : next_slot_;
         SyntheticProcess& proc = *live_[next_slot_].process;
         const uint64_t quantum =
             std::min<uint64_t>(slice_refs_, stop - refs_issued_);
-        uint64_t issued = 0;
-        while (issued < quantum && !proc.Done()) {
-            proc.Step();
-            ++issued;
-        }
+        const size_t issued =
+            proc.NextBatch(batch_.data(), static_cast<size_t>(quantum));
+        system_.AccessBatch(batch_.data(), issued);
         refs_issued_ += issued;
         ++next_slot_;
         system_.OnContextSwitch();

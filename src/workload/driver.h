@@ -99,6 +99,8 @@ class Driver
 
     std::vector<Instance> live_;
     std::vector<Pending> pending_;
+    /// Reusable quantum buffer for batched reference issue.
+    std::vector<MemRef> batch_;
     /// Per-job owner process holding shared text/data segments, or
     /// kNoOwner when the job shares nothing (or not yet spawned).
     static constexpr Pid kNoOwner = ~Pid{0};

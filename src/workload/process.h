@@ -68,6 +68,22 @@ class SyntheticProcess
     /** Generates and returns the next memory reference. */
     MemRef Next();
 
+    /**
+     * Fills @p out with up to @p max references and returns how many were
+     * generated (short only when the process finishes).  Exactly the
+     * stream a sequence of Next() calls would produce: the generator is
+     * pure (rng + cursors, no feedback from the system), so batching
+     * cannot change it.
+     */
+    size_t NextBatch(MemRef* out, size_t max)
+    {
+        size_t n = 0;
+        while (n < max && !Done()) {
+            out[n++] = Next();
+        }
+        return n;
+    }
+
     /** Issues the next reference directly into the system. */
     void Step() { system_.Access(Next()); }
 

@@ -30,12 +30,25 @@ struct XlateResult {
     bool evicted_dirty = false;  ///< PTE fill displaced a dirty block.
 };
 
-/** The cache controller's translation engine. */
+/**
+ * The cache controller's translation engine.
+ *
+ * Header-inline: Translate() runs once per cache miss — the simulator's
+ * second-hottest path — and inlining it into the miss handler lets the
+ * PTE-block probe overlap the surrounding miss bookkeeping.
+ */
 class Translator
 {
   public:
     Translator(cache::VirtualCache& vcache, pt::PageTable& table,
-               const sim::MachineConfig& config);
+               const sim::MachineConfig& config)
+        : vcache_(vcache),
+          table_(table),
+          pte_hit_cycles_(config.t_xlate_hit),
+          block_fetch_cycles_(config.BlockFetchCycles()),
+          page_shift_(config.PageShift())
+    {
+    }
 
     Translator(const Translator&) = delete;
     Translator& operator=(const Translator&) = delete;
@@ -49,7 +62,15 @@ class Translator
      * returned PTE is the authoritative one: the caller must check
      * `valid()` and raise a page fault when clear.
      */
-    XlateResult Translate(GlobalAddr addr, sim::EventCounts& events);
+    XlateResult Translate(GlobalAddr addr, sim::EventCounts& events)
+    {
+        XlateResult result;
+        const GlobalVpn vpn = addr >> page_shift_;
+        result.cycles = TouchPteBlock(vpn, events, &result.pte_hit,
+                                      &result.evicted_dirty);
+        result.pte = &table_.Ensure(vpn);
+        return result;
+    }
 
     /**
      * Probes the PTE through the cache *without* the full miss sequence —
@@ -57,7 +78,13 @@ class Translator
      * Returns the cycle cost (t_xlate_hit on a cached PTE, plus a memory
      * fetch when it is not).
      */
-    Cycles ProbePteCost(GlobalAddr addr, sim::EventCounts& events);
+    Cycles ProbePteCost(GlobalAddr addr, sim::EventCounts& events)
+    {
+        bool pte_hit = false;
+        bool evicted_dirty = false;
+        const GlobalVpn vpn = addr >> page_shift_;
+        return TouchPteBlock(vpn, events, &pte_hit, &evicted_dirty);
+    }
 
   private:
     cache::VirtualCache& vcache_;
@@ -68,7 +95,34 @@ class Translator
 
     /** Ensures the PTE block for @p vpn is cached; returns cost. */
     Cycles TouchPteBlock(GlobalVpn vpn, sim::EventCounts& events,
-                         bool* pte_hit, bool* evicted_dirty);
+                         bool* pte_hit, bool* evicted_dirty)
+    {
+        const GlobalAddr pte_va = pt::PageTable::PteVa(vpn);
+        if (vcache_.Lookup(pte_va)) {
+            events.Add(sim::Event::kXlatePteHit);
+            *pte_hit = true;
+            return pte_hit_cycles_;
+        }
+        // First-level PTE not cached: consult the wired second-level
+        // table (physical access, no recursion possible) and fetch the
+        // PTE block.
+        events.Add(sim::Event::kXlatePteMiss);
+        events.Add(sim::Event::kXlateL2Access);
+        *pte_hit = false;
+        cache::Eviction eviction;
+        // Page-table pages are wired kernel data: their lines carry
+        // kernel read-write protection and a set page-dirty bit so
+        // stores to PTEs (bit updates by fault handlers) never re-enter
+        // the dirty machinery.
+        vcache_.Fill(pte_va, Protection::kReadWrite, /*page_dirty=*/true,
+                     &eviction);
+        if (eviction.writeback) {
+            events.Add(sim::Event::kWriteback);
+            *evicted_dirty = true;
+        }
+        return pte_hit_cycles_ + block_fetch_cycles_ +
+               (eviction.writeback ? block_fetch_cycles_ : 0);
+    }
 };
 
 }  // namespace spur::xlate

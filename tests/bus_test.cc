@@ -29,13 +29,13 @@ class BusTest : public testing::Test
     }
 
     /** Puts @p addr into cache @p port with @p state. */
-    Line& Install(unsigned port, GlobalAddr addr, CoherencyState state)
+    LineRef Install(unsigned port, GlobalAddr addr, CoherencyState state)
     {
-        Line& line = caches_[port]->Fill(addr, Protection::kReadWrite,
-                                         false, nullptr);
-        line.state = state;
-        line.block_dirty = (state == CoherencyState::kOwnedExclusive ||
-                            state == CoherencyState::kOwnedShared);
+        LineRef line = caches_[port]->Fill(addr, Protection::kReadWrite,
+                                           false, nullptr);
+        line.set_state(state);
+        line.set_block_dirty(state == CoherencyState::kOwnedExclusive ||
+                             state == CoherencyState::kOwnedShared);
         return line;
     }
 
@@ -59,7 +59,7 @@ TEST_F(BusTest, ReadIsSuppliedByOwnerWhoDropsToOwnedShared)
     const BusResult result = bus_.Read(0x1000, 0);
     EXPECT_TRUE(result.supplied_by_cache);
     EXPECT_EQ(result.invalidations, 0u);
-    EXPECT_EQ(caches_[1]->Lookup(0x1000)->state,
+    EXPECT_EQ(caches_[1]->Lookup(0x1000).state(),
               CoherencyState::kOwnedShared);
     EXPECT_EQ(events_.Get(sim::Event::kBusCacheToCache), 1u);
 }
@@ -69,7 +69,7 @@ TEST_F(BusTest, ReadLeavesUnOwnedPeersAlone)
     Install(1, 0x1000, CoherencyState::kUnOwned);
     const BusResult result = bus_.Read(0x1000, 0);
     EXPECT_FALSE(result.supplied_by_cache);  // Memory supplies.
-    EXPECT_EQ(caches_[1]->Lookup(0x1000)->state,
+    EXPECT_EQ(caches_[1]->Lookup(0x1000).state(),
               CoherencyState::kUnOwned);
 }
 
@@ -80,8 +80,8 @@ TEST_F(BusTest, ReadOwnedInvalidatesEveryCopy)
     const BusResult result = bus_.ReadOwned(0x1000, 0);
     EXPECT_TRUE(result.supplied_by_cache);
     EXPECT_EQ(result.invalidations, 2u);
-    EXPECT_EQ(caches_[1]->Lookup(0x1000), nullptr);
-    EXPECT_EQ(caches_[2]->Lookup(0x1000), nullptr);
+    EXPECT_FALSE(caches_[1]->Lookup(0x1000));
+    EXPECT_FALSE(caches_[2]->Lookup(0x1000));
     EXPECT_EQ(events_.Get(sim::Event::kBusInvalidation), 2u);
 }
 
@@ -104,7 +104,7 @@ TEST_F(BusTest, UpgradeTransfersOwnershipFromDirtyPeer)
     const BusResult result = bus_.Upgrade(0x1000, 0);
     EXPECT_TRUE(result.supplied_by_cache);
     EXPECT_EQ(result.invalidations, 1u);
-    EXPECT_EQ(caches_[1]->Lookup(0x1000), nullptr);
+    EXPECT_FALSE(caches_[1]->Lookup(0x1000));
 }
 
 TEST_F(BusTest, TransactionsIgnoreOtherAddresses)
@@ -112,7 +112,7 @@ TEST_F(BusTest, TransactionsIgnoreOtherAddresses)
     Install(1, 0x2000, CoherencyState::kOwnedExclusive);
     const BusResult result = bus_.ReadOwned(0x1000, 0);
     EXPECT_EQ(result.invalidations, 0u);
-    EXPECT_NE(caches_[1]->Lookup(0x2000), nullptr);
+    EXPECT_TRUE(caches_[1]->Lookup(0x2000));
 }
 
 TEST_F(BusTest, RequesterIsNeverSnooped)
@@ -120,7 +120,7 @@ TEST_F(BusTest, RequesterIsNeverSnooped)
     Install(0, 0x1000, CoherencyState::kOwnedExclusive);
     const BusResult result = bus_.Read(0x1000, 0);
     EXPECT_FALSE(result.supplied_by_cache);
-    EXPECT_NE(caches_[0]->Lookup(0x1000), nullptr);
+    EXPECT_TRUE(caches_[0]->Lookup(0x1000));
 }
 
 TEST_F(BusTest, PortNumbering)

@@ -34,17 +34,19 @@ TEST(CacheTest, MissThenFillThenHit)
 {
     VirtualCache vcache(Config());
     const GlobalAddr addr = 0xABCDE0;
-    EXPECT_EQ(vcache.Lookup(addr), nullptr);
-    Line& line = vcache.Fill(addr, Protection::kReadOnly, false, nullptr);
-    EXPECT_EQ(line.prot, Protection::kReadOnly);
-    EXPECT_FALSE(line.page_dirty);
-    EXPECT_FALSE(line.block_dirty);
-    EXPECT_EQ(line.state, CoherencyState::kUnOwned);
-    EXPECT_EQ(vcache.Lookup(addr), &line);
-    // Any address within the same block hits.
-    EXPECT_EQ(vcache.Lookup(addr + 31), &line);
+    EXPECT_FALSE(vcache.Lookup(addr));
+    LineRef line = vcache.Fill(addr, Protection::kReadOnly, false, nullptr);
+    EXPECT_EQ(line.prot(), Protection::kReadOnly);
+    EXPECT_FALSE(line.page_dirty());
+    EXPECT_FALSE(line.block_dirty());
+    EXPECT_EQ(line.state(), CoherencyState::kUnOwned);
+    EXPECT_TRUE(vcache.Lookup(addr));
+    EXPECT_EQ(vcache.Lookup(addr).tag(), line.tag());
+    // Any address within the same block hits (the same slot).
+    EXPECT_TRUE(vcache.Lookup(addr + 31));
+    EXPECT_EQ(vcache.IndexOf(addr + 31), vcache.IndexOf(addr));
     // The next block does not.
-    EXPECT_EQ(vcache.Lookup(addr + 32), nullptr);
+    EXPECT_FALSE(vcache.Lookup(addr + 32));
 }
 
 TEST(CacheTest, DirectMappedConflictEvicts)
@@ -59,8 +61,8 @@ TEST(CacheTest, DirectMappedConflictEvicts)
     EXPECT_TRUE(eviction.happened);
     EXPECT_FALSE(eviction.writeback);  // Victim was clean.
     EXPECT_EQ(eviction.block_addr, a);
-    EXPECT_EQ(vcache.Lookup(a), nullptr);
-    EXPECT_NE(vcache.Lookup(b), nullptr);
+    EXPECT_FALSE(vcache.Lookup(a));
+    EXPECT_TRUE(vcache.Lookup(b));
 }
 
 TEST(CacheTest, DirtyVictimReportsWriteback)
@@ -68,10 +70,10 @@ TEST(CacheTest, DirtyVictimReportsWriteback)
     const sim::MachineConfig config = Config();
     VirtualCache vcache(config);
     const GlobalAddr a = 0x2000;
-    Line& line = vcache.Fill(a, Protection::kReadWrite, false, nullptr);
+    LineRef line = vcache.Fill(a, Protection::kReadWrite, false, nullptr);
     VirtualCache::MarkWritten(line);
-    EXPECT_TRUE(line.block_dirty);
-    EXPECT_EQ(line.state, CoherencyState::kOwnedExclusive);
+    EXPECT_TRUE(line.block_dirty());
+    EXPECT_EQ(line.state(), CoherencyState::kOwnedExclusive);
     Eviction eviction;
     vcache.Fill(a + config.cache_bytes, Protection::kReadWrite, false,
                 &eviction);
@@ -82,11 +84,11 @@ TEST(CacheTest, DirtyVictimReportsWriteback)
 TEST(CacheTest, FillCopiesPteState)
 {
     VirtualCache vcache(Config());
-    Line& line = vcache.Fill(0x3000, Protection::kReadWrite,
-                             /*page_dirty=*/true, nullptr);
-    EXPECT_EQ(line.prot, Protection::kReadWrite);
-    EXPECT_TRUE(line.page_dirty);
-    EXPECT_FALSE(line.block_dirty);  // Block dirty is about *this* copy.
+    LineRef line = vcache.Fill(0x3000, Protection::kReadWrite,
+                               /*page_dirty=*/true, nullptr);
+    EXPECT_EQ(line.prot(), Protection::kReadWrite);
+    EXPECT_TRUE(line.page_dirty());
+    EXPECT_FALSE(line.block_dirty());  // Block dirty is about *this* copy.
 }
 
 TEST(CacheTest, InvalidateBlock)
@@ -95,9 +97,9 @@ TEST(CacheTest, InvalidateBlock)
     const GlobalAddr addr = 0x4000;
     vcache.Fill(addr, Protection::kReadWrite, false, nullptr);
     EXPECT_FALSE(vcache.InvalidateBlock(addr));  // Clean: no writeback.
-    EXPECT_EQ(vcache.Lookup(addr), nullptr);
+    EXPECT_FALSE(vcache.Lookup(addr));
 
-    Line& again = vcache.Fill(addr, Protection::kReadWrite, false, nullptr);
+    LineRef again = vcache.Fill(addr, Protection::kReadWrite, false, nullptr);
     VirtualCache::MarkWritten(again);
     EXPECT_TRUE(vcache.InvalidateBlock(addr));  // Dirty: writeback.
     EXPECT_FALSE(vcache.InvalidateBlock(addr));  // Already gone.
@@ -136,9 +138,9 @@ TEST(CacheFlushTest, CheckedFlushRemovesOnlyThePage)
     EXPECT_EQ(result.slots_examined, config.BlocksPerPage());
     EXPECT_EQ(result.blocks_flushed, 9u);  // Block 3 was already evicted.
     EXPECT_EQ(result.foreign_flushed, 0u);
-    EXPECT_NE(vcache.Lookup(foreign), nullptr);  // Untouched.
+    EXPECT_TRUE(vcache.Lookup(foreign));  // Untouched.
     for (int i = 0; i < 10; ++i) {
-        EXPECT_EQ(vcache.Lookup(page + i * config.block_bytes), nullptr);
+        EXPECT_FALSE(vcache.Lookup(page + i * config.block_bytes));
     }
 }
 
@@ -154,7 +156,7 @@ TEST(CacheFlushTest, IndexedFlushHitsInnocentBlocks)
     const FlushResult result = vcache.FlushPageIndexed(page);
     EXPECT_EQ(result.blocks_flushed, 1u);
     EXPECT_EQ(result.foreign_flushed, 1u);  // The innocent block died.
-    EXPECT_EQ(vcache.Lookup(foreign), nullptr);
+    EXPECT_FALSE(vcache.Lookup(foreign));
 }
 
 TEST(CacheFlushTest, FlushCountsWritebacks)
@@ -163,8 +165,8 @@ TEST(CacheFlushTest, FlushCountsWritebacks)
     VirtualCache vcache(config);
     const GlobalAddr page = 8 * config.page_bytes;
     for (int i = 0; i < 4; ++i) {
-        Line& line = vcache.Fill(page + i * config.block_bytes,
-                                 Protection::kReadWrite, false, nullptr);
+        LineRef line = vcache.Fill(page + i * config.block_bytes,
+                                   Protection::kReadWrite, false, nullptr);
         if (i % 2 == 0) {
             VirtualCache::MarkWritten(line);
         }
@@ -226,7 +228,7 @@ TEST_P(CacheGeometryTest, RandomFillLookupConsistency)
         const GlobalAddr addr =
             rng.NextBelow(uint64_t{1} << 34) & ~(config.block_bytes - 1);
         vcache.Fill(addr, Protection::kReadWrite, false, nullptr);
-        ASSERT_NE(vcache.Lookup(addr), nullptr);
+        ASSERT_TRUE(vcache.Lookup(addr));
         const uint64_t index = vcache.IndexOf(addr);
         ASSERT_EQ(vcache.BlockAddrOf(index, vcache.LineAt(index)), addr);
     }
@@ -256,7 +258,7 @@ TEST_P(CacheGeometryTest, CheckedPageFlushNeverTouchesForeignBlocks)
         // Nothing from page A survives.
         for (GlobalAddr a = page_a; a < page_a + config.page_bytes;
              a += config.block_bytes) {
-            EXPECT_EQ(vcache.Lookup(a), nullptr);
+            EXPECT_FALSE(vcache.Lookup(a));
         }
     }
 }

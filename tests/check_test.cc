@@ -100,7 +100,7 @@ class PassTest : public testing::Test
     }
 
     /** Caches the first block of @p vpn with PR/P copied from @p pte. */
-    cache::Line& CacheBlock(GlobalVpn vpn, const pt::Pte& pte)
+    cache::LineRef CacheBlock(GlobalVpn vpn, const pt::Pte& pte)
     {
         return vcache_.Fill(AddrOf(vpn), pte.protection(), pte.dirty(),
                             nullptr);
@@ -130,7 +130,7 @@ TEST_F(PassTest, HealthyStateIsSilentUnderEveryPass)
     CacheBlock(100, clean);
     pt::Pte& dirty = MakeResident(101, Protection::kReadWrite);
     dirty.set_dirty(true);
-    cache::Line& line = CacheBlock(101, dirty);
+    cache::LineRef line = CacheBlock(101, dirty);
     cache::VirtualCache::MarkWritten(line);
 
     const AuditReport report = InvariantChecker::Default().Run(context_);
@@ -155,10 +155,10 @@ TEST_F(PassTest, CacheResidentFiresOnBlockOfNonResidentPage)
 TEST_F(PassTest, CachePteDirtyFiresWhenCachedPRunsAheadOfD)
 {
     pt::Pte& pte = MakeResident(100, Protection::kReadWrite);
-    cache::Line& line = CacheBlock(100, pte);
+    cache::LineRef line = CacheBlock(100, pte);
     EXPECT_EQ(Fires(kPassCachePteDirty), 0u);
 
-    line.page_dirty = true;  // P set while the PTE's D bit is clear.
+    line.set_page_dirty(true);  // P set while the PTE's D bit is clear.
     EXPECT_EQ(Fires(kPassCachePteDirty), 1u);
 
     pte.set_dirty(true);  // Recording the write repairs the invariant.
@@ -168,8 +168,8 @@ TEST_F(PassTest, CachePteDirtyFiresWhenCachedPRunsAheadOfD)
 TEST_F(PassTest, CachePteDirtyFiresOnUnrecordedBlockWrite)
 {
     pt::Pte& pte = MakeResident(100, Protection::kReadWrite);
-    cache::Line& line = CacheBlock(100, pte);
-    line.block_dirty = true;  // Modified block, page recorded clean.
+    cache::LineRef line = CacheBlock(100, pte);
+    line.set_block_dirty(true);  // Modified block, page recorded clean.
 
     // SPUR's notion of "recorded" is the hardware D bit...
     context_.dirty = DirtyPolicyKind::kSpur;
@@ -221,7 +221,7 @@ TEST_F(PassTest, ProtectionEmulationFiresOnStaleCachedProtection)
 
     // A cached read-write PR while the PTE still says read-only means a
     // write would hit without faulting — the emulation's blind spot.
-    vcache_.Lookup(AddrOf(100))->prot = Protection::kReadWrite;
+    vcache_.Lookup(AddrOf(100)).set_prot(Protection::kReadWrite);
     EXPECT_EQ(Fires(kPassProtectionEmulation), 1u);
 }
 
@@ -370,12 +370,12 @@ TEST_F(PassTest, MpCoherencyFiresOnOwnershipViolations)
 
     // An exclusive owner with a peer copy still resident: one violation
     // (the peer copy is clean, so there is one owner but a stale sharer).
-    cache::VirtualCache::MarkWritten(*vcache_.Lookup(AddrOf(100)));
+    cache::VirtualCache::MarkWritten(vcache_.Lookup(AddrOf(100)));
     pte.set_dirty(true);
     EXPECT_EQ(Fires(kPassMpCoherency), 1u);
 
     // Both caches claiming ownership: two owners AND exclusive-with-peers.
-    cache::VirtualCache::MarkWritten(*peer.Lookup(AddrOf(100)));
+    cache::VirtualCache::MarkWritten(peer.Lookup(AddrOf(100)));
     EXPECT_GE(Fires(kPassMpCoherency), 2u);
 }
 

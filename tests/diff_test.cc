@@ -18,13 +18,14 @@ using spur::sweep::CellDelta;
 using spur::sweep::DiffOptions;
 using spur::sweep::DiffTelemetry;
 using spur::sweep::FormatDiffReport;
+using spur::sweep::HasFatalRegressions;
 using spur::sweep::HasRegressions;
 using spur::sweep::SweepDocument;
 using spur::sweep::TelemetryDiff;
 
 RunRecord
 MakeRecord(const std::string& workload, uint32_t rep, double wall_seconds,
-           uint64_t peak_rss_bytes)
+           uint64_t peak_rss_bytes, uint64_t refs_issued = 0)
 {
     RunRecord record;
     record.bench = "bench";
@@ -34,6 +35,7 @@ MakeRecord(const std::string& workload, uint32_t rep, double wall_seconds,
     record.memory_mb = 16;
     record.rep = rep;
     record.seed = 42 + rep;
+    record.refs_issued = refs_issued;
     CellTelemetry telemetry;
     telemetry.wall_seconds = wall_seconds;
     telemetry.peak_rss_bytes = peak_rss_bytes;
@@ -196,6 +198,90 @@ TEST(DiffTest, ReportIsDeterministicAndSummarized)
     EXPECT_NE(report.find("1 regression(s) at threshold +25%"),
               std::string::npos);
     EXPECT_EQ(report.back(), '\n');
+}
+
+TEST(DiffTest, ThroughputGateIsOffByDefault)
+{
+    // A 2x slowdown at the same refs count halves refs/s, but without
+    // throughput_threshold set the only finding is the advisory wall
+    // regression.
+    const SweepDocument base =
+        MakeDocument({MakeRecord("lisp", 0, 1.0, 10 * kMiB, 1000000)});
+    const SweepDocument now =
+        MakeDocument({MakeRecord("lisp", 0, 2.0, 10 * kMiB, 1000000)});
+    const TelemetryDiff diff = DiffTelemetry(base, now, DiffOptions{});
+    ASSERT_EQ(diff.regressions.size(), 1u);
+    EXPECT_TRUE(diff.regressions[0].wall_regressed);
+    EXPECT_FALSE(diff.regressions[0].throughput_regressed);
+    EXPECT_FALSE(HasFatalRegressions(diff));
+}
+
+TEST(DiffTest, ThroughputDropBeyondGateIsFatal)
+{
+    const SweepDocument base =
+        MakeDocument({MakeRecord("lisp", 0, 1.0, 10 * kMiB, 1000000)});
+    const SweepDocument now =
+        MakeDocument({MakeRecord("lisp", 0, 2.0, 10 * kMiB, 1000000)});
+    DiffOptions gate;
+    gate.throughput_threshold = 0.30;  // -50% refs/s trips a -30% gate.
+    const TelemetryDiff diff = DiffTelemetry(base, now, gate);
+    ASSERT_EQ(diff.regressions.size(), 1u);
+    const CellDelta& delta = diff.regressions[0];
+    EXPECT_TRUE(delta.throughput_regressed);
+    EXPECT_DOUBLE_EQ(delta.base_refs_per_second, 1000000.0);
+    EXPECT_DOUBLE_EQ(delta.new_refs_per_second, 500000.0);
+    EXPECT_TRUE(HasFatalRegressions(diff));
+    const std::string report = FormatDiffReport(diff, gate);
+    EXPECT_NE(report.find("FATAL"), std::string::npos);
+    EXPECT_NE(report.find("1000000 refs/s -> 500000 refs/s"),
+              std::string::npos);
+    EXPECT_NE(report.find("-50.0%"), std::string::npos);
+    EXPECT_NE(report.find("throughput gate: 1 fatal cell(s) below -30%"),
+              std::string::npos);
+}
+
+TEST(DiffTest, ThroughputDropWithinGatePasses)
+{
+    // -20% refs/s against a -30% gate: not fatal, and the wall growth
+    // (+25% exactly) does not exceed the advisory threshold either.
+    const SweepDocument base =
+        MakeDocument({MakeRecord("lisp", 0, 1.0, 10 * kMiB, 1000000)});
+    const SweepDocument now =
+        MakeDocument({MakeRecord("lisp", 0, 1.25, 10 * kMiB, 1000000)});
+    DiffOptions gate;
+    gate.throughput_threshold = 0.30;
+    const TelemetryDiff diff = DiffTelemetry(base, now, gate);
+    EXPECT_FALSE(HasFatalRegressions(diff));
+    EXPECT_FALSE(HasRegressions(diff));
+}
+
+TEST(DiffTest, ThroughputGateRespectsNoiseFloor)
+{
+    // A sub-floor base cell (2 ms) never trips the gate, however large
+    // the relative drop.
+    const SweepDocument base =
+        MakeDocument({MakeRecord("lisp", 0, 0.002, 10 * kMiB, 1000)});
+    const SweepDocument now =
+        MakeDocument({MakeRecord("lisp", 0, 0.2, 10 * kMiB, 1000)});
+    DiffOptions gate;
+    gate.throughput_threshold = 0.30;
+    const TelemetryDiff diff = DiffTelemetry(base, now, gate);
+    EXPECT_FALSE(HasFatalRegressions(diff));
+}
+
+TEST(DiffTest, ThroughputGateSkipsCellsWithoutRefs)
+{
+    // Records that never report refs_issued (refs/s = 0) cannot be
+    // throughput-compared; the gate must not divide by zero or flag.
+    const SweepDocument base =
+        MakeDocument({MakeRecord("lisp", 0, 1.0, 10 * kMiB, 0)});
+    const SweepDocument now =
+        MakeDocument({MakeRecord("lisp", 0, 2.0, 10 * kMiB, 0)});
+    DiffOptions gate;
+    gate.throughput_threshold = 0.30;
+    const TelemetryDiff diff = DiffTelemetry(base, now, gate);
+    EXPECT_FALSE(HasFatalRegressions(diff));
+    EXPECT_TRUE(HasRegressions(diff));  // Wall still advisory-flagged.
 }
 
 TEST(DiffTest, EmptyDocumentsDiffClean)

@@ -1,0 +1,19 @@
+// Clean fixture for tests/lint_test.cc: a marked hot-path file stays
+// clean when every virtual site is either absent, only mentioned in
+// comments, part of a longer identifier, or justified with allow().
+
+// spur:hot-path
+
+// Identifiers merely containing the keyword are fine (boundary check).
+class VirtualCacheView
+{
+  public:
+    int virtual_index = 0;  // suffix boundary: not the keyword
+};
+
+class Destructible
+{
+  public:
+    // spur-lint: allow(no-virtual-in-hot-path) — cold teardown only
+    virtual ~Destructible() = default;
+};

@@ -1,0 +1,15 @@
+// Seeded violation corpus for tests/lint_test.cc — this file must trip
+// exactly one spur_lint rule: no-virtual-in-hot-path.
+//
+// The marker below opts this file into the devirtualized-hot-path
+// contract; the virtual member then violates it.  Mentions of the
+// keyword in comments (like this one: virtual) must NOT count — only
+// the code token does.
+
+// spur:hot-path
+
+class Policy
+{
+  public:
+    virtual int Charge(int cycles) { return cycles; }
+};

@@ -52,6 +52,7 @@ constexpr SeededFixture kSeeded[] = {
     {"unordered_violation.cc", "no-unordered-output"},
     {"schema_violation.cc", "schema-version-once"},
     {"bench/no_session.cc", "bench-session"},
+    {"hot_path_virtual.cc", "no-virtual-in-hot-path"},
 };
 
 TEST(LintTest, EveryRuleCatchesItsSeededFixture)
@@ -84,7 +85,8 @@ TEST(LintTest, SeededCorpusCoversEveryRule)
 TEST(LintTest, CleanFixturesPass)
 {
     for (const char* fixture :
-         {"clean.cc", "suppressed_ok.cc", "src/sweep/telemetry.cc"}) {
+         {"clean.cc", "suppressed_ok.cc", "hot_path_ok.cc",
+          "src/sweep/telemetry.cc"}) {
         const std::vector<Violation> violations = LintFixture(fixture);
         for (const Violation& violation : violations) {
             ADD_FAILURE() << fixture << ": " << FormatViolation(violation);
@@ -102,7 +104,7 @@ TEST(LintTest, WholeCorpusInOneRunStaysSorted)
             << error;
     }
     const std::vector<Violation> violations = linter.Run();
-    EXPECT_EQ(violations.size(), 6u);
+    EXPECT_EQ(violations.size(), 7u);
     for (size_t i = 1; i < violations.size(); ++i) {
         EXPECT_LE(violations[i - 1].file, violations[i].file);
     }
@@ -162,6 +164,42 @@ TEST(LintTest, TokenMatchingRespectsWordBoundaries)
                    "double elapsed_time(int ticks);\n"
                    "int runtime_clocks(int x);\n");
     EXPECT_TRUE(linter.Run().empty());
+}
+
+TEST(LintTest, HotPathRuleNeedsTheMarker)
+{
+    // Without the // spur:hot-path marker the keyword is unrestricted.
+    Linter linter;
+    linter.AddFile("src/core/unmarked.h",
+                   "class Sink {\n"
+                   "  public:\n"
+                   "    virtual void Emit(int) = 0;\n"
+                   "};\n");
+    EXPECT_TRUE(linter.Run().empty());
+}
+
+TEST(LintTest, HotPathRuleIgnoresCommentsAndIdentifiers)
+{
+    // In a marked file, the keyword inside comments is stripped before
+    // the scan, and identifiers containing it have no word boundary.
+    Linter linter;
+    linter.AddFile("src/core/marked.h",
+                   "// spur:hot-path\n"
+                   "// the loop is devirtualized; virtual would hurt\n"
+                   "class VirtualCacheView { int virtual_index; };\n");
+    EXPECT_TRUE(linter.Run().empty());
+}
+
+TEST(LintTest, HotPathRuleFlagsKeywordInMarkedFile)
+{
+    Linter linter;
+    linter.AddFile("src/core/marked_bad.h",
+                   "// spur:hot-path\n"
+                   "struct S { virtual ~S() = default; };\n");
+    const std::vector<Violation> violations = linter.Run();
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].rule, "no-virtual-in-hot-path");
+    EXPECT_EQ(violations[0].line, 2u);
 }
 
 TEST(LintTest, SuppressionOnSameLineWorks)

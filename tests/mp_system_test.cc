@@ -56,9 +56,9 @@ TEST_F(MpSystemTest, ReadSharingSuppliesFromOwningCache)
     const auto& ev = system_->events();
     EXPECT_EQ(ev.Get(sim::Event::kBusCacheToCache), 1u);
     const GlobalAddr gva = system_->ToGlobal(pid_, kHeapBase);
-    EXPECT_EQ(system_->vcache(0).Lookup(gva)->state,
+    EXPECT_EQ(system_->vcache(0).Lookup(gva).state(),
               cache::CoherencyState::kOwnedShared);
-    EXPECT_EQ(system_->vcache(1).Lookup(gva)->state,
+    EXPECT_EQ(system_->vcache(1).Lookup(gva).state(),
               cache::CoherencyState::kUnOwned);
 }
 
@@ -69,9 +69,9 @@ TEST_F(MpSystemTest, WriteInvalidatesPeerCopies)
     system_->Access(1, MemRef{pid_, kHeapBase, AccessType::kRead});
     system_->Access(2, MemRef{pid_, kHeapBase, AccessType::kWrite});
     const GlobalAddr gva = system_->ToGlobal(pid_, kHeapBase);
-    EXPECT_EQ(system_->vcache(0).Lookup(gva), nullptr);
-    EXPECT_EQ(system_->vcache(1).Lookup(gva), nullptr);
-    EXPECT_EQ(system_->vcache(2).Lookup(gva)->state,
+    EXPECT_FALSE(system_->vcache(0).Lookup(gva));
+    EXPECT_FALSE(system_->vcache(1).Lookup(gva));
+    EXPECT_EQ(system_->vcache(2).Lookup(gva).state(),
               cache::CoherencyState::kOwnedExclusive);
     EXPECT_GE(system_->events().Get(sim::Event::kBusInvalidation), 2u);
 }
@@ -87,8 +87,8 @@ TEST_F(MpSystemTest, WriteHitOnSharedLineUpgrades)
     const auto& ev = system_->events();
     EXPECT_EQ(ev.Get(sim::Event::kBusUpgrade), 1u);
     const GlobalAddr gva = system_->ToGlobal(pid_, kHeapBase);
-    EXPECT_EQ(system_->vcache(1).Lookup(gva), nullptr);
-    EXPECT_EQ(system_->vcache(0).Lookup(gva)->state,
+    EXPECT_FALSE(system_->vcache(1).Lookup(gva));
+    EXPECT_EQ(system_->vcache(0).Lookup(gva).state(),
               cache::CoherencyState::kOwnedExclusive);
 }
 
@@ -134,7 +134,7 @@ TEST_F(MpSystemTest, AllCachesFlusherVisitsEveryCache)
     system_->DestroyProcess(pid_);
     const GlobalAddr gva = system_->ToGlobal(pid_, kHeapBase);
     for (unsigned cpu = 0; cpu < 4; ++cpu) {
-        EXPECT_EQ(system_->vcache(cpu).Lookup(gva), nullptr) << cpu;
+        EXPECT_FALSE(system_->vcache(cpu).Lookup(gva)) << cpu;
     }
 }
 

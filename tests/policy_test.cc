@@ -88,15 +88,16 @@ TEST_P(DirtyPolicyTest, FastPathHoldsAfterPageDirtyAndBlockWritten)
     // Once the page is dirty and the line refreshed, subsequent writes to
     // the same block take the hardware fast path under every policy.
     pt::Pte pte = CleanWritablePte();
-    cache::Line line = LineFrom(pte);
-    const DirtyCost first = policy_->OnWriteHit(line, 0x1000, pte, events_);
+    cache::LineBuf line(LineFrom(pte));
+    const DirtyCost first =
+        policy_->OnWriteHit(line.ref(), 0x1000, pte, events_);
     (void)first;
     if (policy_->kind() == DirtyPolicyKind::kFlush) {
         // FLUSH invalidated the line; refill from the updated PTE.
-        line = LineFrom(pte);
+        line = cache::LineBuf(LineFrom(pte));
     }
-    cache::VirtualCache::MarkWritten(line);
-    EXPECT_TRUE(policy_->WriteHitFastPath(line));
+    cache::VirtualCache::MarkWritten(line.ref());
+    EXPECT_TRUE(policy_->WriteHitFastPath(line.cref()));
 }
 
 TEST_P(DirtyPolicyTest, DirtyPageFillsTakeTheFastPathImmediately)
@@ -106,11 +107,11 @@ TEST_P(DirtyPolicyTest, DirtyPageFillsTakeTheFastPathImmediately)
     // WRITE policy is the exception: it checks once per block regardless.
     pt::Pte pte = CleanWritablePte();
     policy_->OnWriteMiss(0x1000, pte, events_);  // Dirties the page.
-    cache::Line line = LineFrom(pte);
+    cache::LineBuf line(LineFrom(pte));
     if (policy_->kind() == DirtyPolicyKind::kWrite) {
-        EXPECT_FALSE(policy_->WriteHitFastPath(line));
+        EXPECT_FALSE(policy_->WriteHitFastPath(line.cref()));
     } else {
-        EXPECT_TRUE(policy_->WriteHitFastPath(line));
+        EXPECT_TRUE(policy_->WriteHitFastPath(line.cref()));
     }
 }
 
@@ -161,19 +162,23 @@ TEST_F(PolicyFixture, FaultExcessFaultOnStaleLine)
     pte.set_protection(Protection::kReadOnly);
 
     // Two blocks cached while the page was read-only.
-    cache::Line line_a{0, Protection::kReadOnly,
-                       cache::CoherencyState::kUnOwned, false, false};
-    cache::Line line_b = line_a;
+    cache::LineBuf line_a(cache::Line{0, Protection::kReadOnly,
+                                      cache::CoherencyState::kUnOwned,
+                                      false, false});
+    cache::LineBuf line_b = line_a;
 
-    const DirtyCost first = policy->OnWriteHit(line_a, 0x0, pte, events_);
+    const DirtyCost first =
+        policy->OnWriteHit(line_a.ref(), 0x0, pte, events_);
     EXPECT_EQ(first.fault_cycles, config_.t_fault);
     EXPECT_EQ(events_.Get(sim::Event::kDirtyFault), 1u);
     EXPECT_EQ(events_.Get(sim::Event::kExcessFault), 0u);
     EXPECT_EQ(pte.protection(), Protection::kReadWrite);
-    EXPECT_EQ(line_a.prot, Protection::kReadWrite);  // Handler refreshed.
+    // Handler refreshed.
+    EXPECT_EQ(line_a.Get().prot, Protection::kReadWrite);
 
     // The second previously cached block still faults: the excess fault.
-    const DirtyCost second = policy->OnWriteHit(line_b, 0x20, pte, events_);
+    const DirtyCost second =
+        policy->OnWriteHit(line_b.ref(), 0x20, pte, events_);
     EXPECT_EQ(second.fault_cycles, config_.t_fault);
     EXPECT_EQ(events_.Get(sim::Event::kExcessFault), 1u);
     EXPECT_EQ(events_.Get(sim::Event::kDirtyFault), 1u);  // Unchanged.
@@ -204,19 +209,17 @@ TEST_F(PolicyFixture, FlushPreventsExcessFaults)
     // Cache two blocks of the page (read-only copies).
     const GlobalAddr page = 0x10000;
     vcache_.Fill(page, Protection::kReadOnly, false, nullptr);
-    cache::Line* line_b = &vcache_.Fill(page + 32, Protection::kReadOnly,
-                                        false, nullptr);
-    (void)line_b;
-    cache::Line* line_a = vcache_.Lookup(page);
-    ASSERT_NE(line_a, nullptr);
+    vcache_.Fill(page + 32, Protection::kReadOnly, false, nullptr);
+    cache::LineRef line_a = vcache_.Lookup(page);
+    ASSERT_TRUE(line_a);
 
-    const DirtyCost cost = policy->OnWriteHit(*line_a, page, pte, events_);
+    const DirtyCost cost = policy->OnWriteHit(line_a, page, pte, events_);
     EXPECT_EQ(cost.fault_cycles, config_.t_fault);
     EXPECT_EQ(cost.flush_cycles, config_.t_flush_page);
     EXPECT_TRUE(cost.line_invalidated);
     // Every block of the page is gone: no stale copies can remain.
-    EXPECT_EQ(vcache_.Lookup(page), nullptr);
-    EXPECT_EQ(vcache_.Lookup(page + 32), nullptr);
+    EXPECT_FALSE(vcache_.Lookup(page));
+    EXPECT_FALSE(vcache_.Lookup(page + 32));
     EXPECT_EQ(events_.Get(sim::Event::kExcessFault), 0u);
 }
 
@@ -231,7 +234,7 @@ TEST_F(PolicyFixture, FlushOnWriteMissAlsoFlushes)
     vcache_.Fill(page + 64, Protection::kReadOnly, false, nullptr);
     const DirtyCost cost = policy->OnWriteMiss(page, pte, events_);
     EXPECT_EQ(cost.flush_cycles, config_.t_flush_page);
-    EXPECT_EQ(vcache_.Lookup(page + 64), nullptr);
+    EXPECT_FALSE(vcache_.Lookup(page + 64));
 }
 
 TEST_F(PolicyFixture, SpurDirtyBitMissRefreshesStaleCopy)
@@ -243,16 +246,18 @@ TEST_F(PolicyFixture, SpurDirtyBitMissRefreshesStaleCopy)
     pte.set_protection(Protection::kReadWrite);
     pte.set_dirty(true);  // Page already dirty...
 
-    cache::Line line{0, Protection::kReadWrite,
-                     cache::CoherencyState::kUnOwned, /*page_dirty=*/false,
-                     /*block_dirty=*/false};  // ...but this copy is stale.
+    // ...but this copy is stale.
+    cache::LineBuf line(cache::Line{0, Protection::kReadWrite,
+                                    cache::CoherencyState::kUnOwned,
+                                    /*page_dirty=*/false,
+                                    /*block_dirty=*/false});
 
-    const DirtyCost cost = policy->OnWriteHit(line, 0x0, pte, events_);
+    const DirtyCost cost = policy->OnWriteHit(line.ref(), 0x0, pte, events_);
     EXPECT_EQ(cost.fault_cycles, 0u);
     EXPECT_EQ(cost.aux_cycles, config_.t_dirty_miss);
     EXPECT_EQ(events_.Get(sim::Event::kDirtyBitMiss), 1u);
     EXPECT_EQ(events_.Get(sim::Event::kDirtyFault), 0u);
-    EXPECT_TRUE(line.page_dirty);
+    EXPECT_TRUE(line.Get().page_dirty);
 }
 
 TEST_F(PolicyFixture, SpurNecessaryFaultCostsFaultPlusDirtyMiss)
@@ -264,13 +269,14 @@ TEST_F(PolicyFixture, SpurNecessaryFaultCostsFaultPlusDirtyMiss)
     pte.set_valid(true);
     pte.set_writable_intent(true);
     pte.set_protection(Protection::kReadWrite);
-    cache::Line line{0, Protection::kReadWrite,
-                     cache::CoherencyState::kUnOwned, false, false};
-    const DirtyCost cost = policy->OnWriteHit(line, 0x0, pte, events_);
+    cache::LineBuf line(cache::Line{0, Protection::kReadWrite,
+                                    cache::CoherencyState::kUnOwned,
+                                    false, false});
+    const DirtyCost cost = policy->OnWriteHit(line.ref(), 0x0, pte, events_);
     EXPECT_EQ(cost.fault_cycles, config_.t_fault);
     EXPECT_EQ(cost.aux_cycles, config_.t_dirty_miss);
     EXPECT_TRUE(pte.dirty());
-    EXPECT_TRUE(line.page_dirty);
+    EXPECT_TRUE(line.Get().page_dirty);
 }
 
 TEST_F(PolicyFixture, WriteChecksOncePerBlock)
@@ -282,15 +288,16 @@ TEST_F(PolicyFixture, WriteChecksOncePerBlock)
     pte.set_protection(Protection::kReadWrite);
     pte.set_dirty(true);  // Page already dirty: checks still happen.
 
-    cache::Line line{0, Protection::kReadWrite,
-                     cache::CoherencyState::kUnOwned, true, false};
-    const DirtyCost cost = policy->OnWriteHit(line, 0x0, pte, events_);
+    cache::LineBuf line(cache::Line{0, Protection::kReadWrite,
+                                    cache::CoherencyState::kUnOwned,
+                                    true, false});
+    const DirtyCost cost = policy->OnWriteHit(line.ref(), 0x0, pte, events_);
     EXPECT_EQ(cost.aux_cycles, config_.t_dirty_check);
     EXPECT_EQ(cost.fault_cycles, 0u);  // Page already dirty: no fault.
     EXPECT_EQ(events_.Get(sim::Event::kDirtyCheck), 1u);
     // Once the block is written, no further checks.
-    cache::VirtualCache::MarkWritten(line);
-    EXPECT_TRUE(policy->WriteHitFastPath(line));
+    cache::VirtualCache::MarkWritten(line.ref());
+    EXPECT_TRUE(policy->WriteHitFastPath(line.cref()));
 }
 
 TEST_F(PolicyFixture, WriteMissCheckIsFree)
@@ -316,14 +323,15 @@ TEST_F(PolicyFixture, MinChargesOnlyNecessaryFaults)
     pte.set_writable_intent(true);
     pte.set_protection(Protection::kReadWrite);
     pte.set_dirty(true);
-    cache::Line line{0, Protection::kReadWrite,
-                     cache::CoherencyState::kUnOwned, false, false};
+    cache::LineBuf line(cache::Line{0, Protection::kReadWrite,
+                                    cache::CoherencyState::kUnOwned,
+                                    false, false});
     // Stale cached copy under MIN refreshes for free.
-    const DirtyCost cost = policy->OnWriteHit(line, 0x0, pte, events_);
+    const DirtyCost cost = policy->OnWriteHit(line.ref(), 0x0, pte, events_);
     EXPECT_EQ(cost.fault_cycles, 0u);
     EXPECT_EQ(cost.aux_cycles, 0u);
     EXPECT_EQ(events_.Get(sim::Event::kDirtyBitMiss), 0u);
-    EXPECT_TRUE(line.page_dirty);
+    EXPECT_TRUE(line.Get().page_dirty);
 }
 
 TEST_F(PolicyFixture, ParseRejectsUnknownNames)
@@ -375,8 +383,8 @@ TEST_F(RefPolicyTest, MissPolicyClearDoesNotFlush)
     EXPECT_FALSE(pte.referenced());
     EXPECT_EQ(cost.flush_cycles, 0u);
     EXPECT_EQ(cost.kernel_cycles, config_.t_ref_clear);
-    EXPECT_NE(vcache_.Lookup(page), nullptr);  // Still cached: the MISS
-                                               // policy's inaccuracy.
+    EXPECT_TRUE(vcache_.Lookup(page));  // Still cached: the MISS
+                                        // policy's inaccuracy.
     EXPECT_TRUE(policy->ReadRefBit(pt::Pte{pte.raw() | pt::Pte::kRefBit}));
 }
 
@@ -390,8 +398,8 @@ TEST_F(RefPolicyTest, TrueRefPolicyFlushesOnClear)
     vcache_.Fill(page + 32, Protection::kReadWrite, false, nullptr);
     const RefCost cost = policy->ClearRefBit(pte, page, events_);
     EXPECT_EQ(cost.flush_cycles, config_.t_flush_page);
-    EXPECT_EQ(vcache_.Lookup(page), nullptr);
-    EXPECT_EQ(vcache_.Lookup(page + 32), nullptr);
+    EXPECT_FALSE(vcache_.Lookup(page));
+    EXPECT_FALSE(vcache_.Lookup(page + 32));
     EXPECT_EQ(events_.Get(sim::Event::kRefClearFlush), 1u);
     // The next access must miss and re-set the bit: true reference bits.
 }

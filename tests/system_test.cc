@@ -140,15 +140,14 @@ TEST_F(SystemTest, FlushPolicyRedoesWriteAsMiss)
     EXPECT_EQ(ev.Get(sim::Event::kDirtyFault), 1u);
     EXPECT_EQ(ev.Get(sim::Event::kWriteMissFill), 1u);
     // The block is present, dirty, and read-write after the redo.
-    const cache::Line* line =
+    const cache::ConstLineRef line =
         system_->vcache().Lookup(system_->ToGlobal(pid_, kHeapBase));
-    ASSERT_NE(line, nullptr);
-    EXPECT_TRUE(line->block_dirty);
-    EXPECT_EQ(line->prot, Protection::kReadWrite);
+    ASSERT_TRUE(line);
+    EXPECT_TRUE(line.block_dirty());
+    EXPECT_EQ(line.prot(), Protection::kReadWrite);
     // The other previously cached block was flushed: no excess possible.
-    EXPECT_EQ(system_->vcache().Lookup(
-                  system_->ToGlobal(pid_, kHeapBase + block)),
-              nullptr);
+    EXPECT_FALSE(system_->vcache().Lookup(
+        system_->ToGlobal(pid_, kHeapBase + block)));
     // Writing it refetches with read-write protection and no fault.
     system_->Access(pid_, kHeapBase + block, AccessType::kWrite);
     EXPECT_EQ(ev.Get(sim::Event::kExcessFault), 0u);

@@ -193,9 +193,9 @@ TEST_F(VmTest, UnmapFlushesCacheLines)
     vm_->HandlePageFault(7000ull << 12);
     const GlobalAddr addr = 7000ull << 12;
     vcache_->Fill(addr, Protection::kReadWrite, false, nullptr);
-    ASSERT_NE(vcache_->Lookup(addr), nullptr);
+    ASSERT_TRUE(vcache_->Lookup(addr));
     vm_->UnmapRegion(7000);
-    EXPECT_EQ(vcache_->Lookup(addr), nullptr);
+    EXPECT_FALSE(vcache_->Lookup(addr));
 }
 
 TEST_F(VmTest, DaemonReclaimsUnreferencedPages)
@@ -276,7 +276,7 @@ TEST_F(VmTest, ReclaimFlushesTheVirtualCache)
     const pt::Pte* pte = table_->Find(40000);
     ASSERT_NE(pte, nullptr);
     if (!pte->valid()) {  // It was reclaimed, as expected under pressure.
-        EXPECT_EQ(vcache_->Lookup(40000ull << 12), nullptr);
+        EXPECT_FALSE(vcache_->Lookup(40000ull << 12));
     }
     EXPECT_GT(events_->Get(sim::Event::kPageFlush), 0u);
 }

@@ -89,13 +89,13 @@ TEST_F(XlateTest, PteBlocksCompeteForCacheSpace)
     // A data address with the same cache index as the PTE block but a
     // different tag.
     const GlobalAddr conflicting = (pte_va & (config_.cache_bytes - 1));
-    cache::Line& line = vcache_.Fill(conflicting, Protection::kReadWrite,
-                                     true, nullptr);
+    cache::LineRef line = vcache_.Fill(conflicting, Protection::kReadWrite,
+                                       true, nullptr);
     cache::VirtualCache::MarkWritten(line);
     const XlateResult result = xlate_.Translate(0x0, events_);
     EXPECT_TRUE(result.evicted_dirty);
     EXPECT_EQ(events_.Get(sim::Event::kWriteback), 1u);
-    EXPECT_EQ(vcache_.Lookup(conflicting), nullptr);
+    EXPECT_FALSE(vcache_.Lookup(conflicting));
     // The PTE fill charged the writeback too.
     EXPECT_EQ(result.cycles, config_.t_xlate_hit +
                                  2 * Cycles{config_.BlockFetchCycles()});
@@ -116,11 +116,11 @@ TEST_F(XlateTest, PteLineIsKernelProtectedAndPageDirty)
     // page-dirty bit set, so stores to PTEs never recurse into the
     // dirty-bit machinery.
     xlate_.Translate(0x4000, events_);
-    const cache::Line* line =
+    const cache::LineRef line =
         vcache_.Lookup(pt::PageTable::PteVa(0x4000 >> 12));
-    ASSERT_NE(line, nullptr);
-    EXPECT_EQ(line->prot, Protection::kReadWrite);
-    EXPECT_TRUE(line->page_dirty);
+    ASSERT_TRUE(line);
+    EXPECT_EQ(line.prot(), Protection::kReadWrite);
+    EXPECT_TRUE(line.page_dirty());
 }
 
 }  // namespace

@@ -47,6 +47,7 @@ namespace {
 using spur::sweep::DiffOptions;
 using spur::sweep::DiffTelemetry;
 using spur::sweep::FormatDiffReport;
+using spur::sweep::HasFatalRegressions;
 using spur::sweep::HasRegressions;
 using spur::sweep::LoadSweepFile;
 using spur::sweep::MergeDocuments;
@@ -65,7 +66,7 @@ Usage()
            "       spur_sweep merge [--out=FILE] [--strip-telemetry] "
            "FILE...\n"
            "       spur_sweep diff-telemetry [--threshold=F] "
-           "[--min-wall=S] BASE NEW\n"
+           "[--min-wall=S] [--fail-throughput=F] BASE NEW\n"
            "       spur_sweep recover [--out=FILE] STREAM\n"
            "\n"
            "validate        schema-check sweep JSON documents (--json "
@@ -75,7 +76,11 @@ Usage()
            "                canonical document (FILE may be '-' for "
            "stdin)\n"
            "diff-telemetry  compare per-cell wall-clock/RSS telemetry\n"
-           "                between two documents; exit 1 on regressions\n"
+           "                between two documents; exit 1 on regressions.\n"
+           "                With --fail-throughput=F, wall/RSS findings\n"
+           "                turn advisory (exit 0) and only cells whose\n"
+           "                refs/s dropped more than the fraction F below\n"
+           "                base are fatal (exit 1) — the CI perf gate\n"
            "recover         turn a --stream file (possibly truncated by\n"
            "                a crash) into a sweep document for --resume\n";
     return 2;
@@ -198,6 +203,13 @@ Diff(const std::vector<std::string>& args)
                           << "'\n";
                 return 2;
             }
+        } else if (arg.rfind("--fail-throughput=", 0) == 0) {
+            if (!ParsePositiveDouble(arg.substr(18),
+                                     &options.throughput_threshold)) {
+                std::cerr << "spur_sweep: bad --fail-throughput value in '"
+                          << arg << "'\n";
+                return 2;
+            }
         } else if (arg.rfind("--", 0) == 0 && arg != "-") {
             std::cerr << "spur_sweep: unknown diff-telemetry option '"
                       << arg << "'\n";
@@ -225,6 +237,11 @@ Diff(const std::vector<std::string>& args)
     const TelemetryDiff diff =
         DiffTelemetry(documents[0], documents[1], options);
     std::cout << FormatDiffReport(diff, options);
+    // In gate mode only throughput drops fail the run — wall/RSS stay
+    // advisory (printed above).  Without the gate, any regression fails.
+    if (options.throughput_threshold > 0.0) {
+        return HasFatalRegressions(diff) ? 1 : 0;
+    }
     return HasRegressions(diff) ? 1 : 0;
 }
 
