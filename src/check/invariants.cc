@@ -58,6 +58,8 @@ PolicyPageDirty(policy::DirtyPolicyKind kind, const pt::Pte& pte)
     return UsesProtectionEmulation(kind) ? pte.soft_dirty() : pte.dirty();
 }
 
+// Runtime face of model invariant M8 (src/model/invariants.h): no
+// cached copy of a non-resident page.
 void
 CheckCacheResidency(const AuditContext& context, AuditReport& report)
 {
@@ -76,6 +78,8 @@ CheckCacheResidency(const AuditContext& context, AuditReport& report)
     });
 }
 
+// Runtime face of model invariants M5 (P never ahead of D) and M4 (no
+// lost dirty bit) — src/model/invariants.h.
 void
 CheckCacheDirtyCoherence(const AuditContext& context, AuditReport& report)
 {
@@ -111,6 +115,7 @@ CheckCacheDirtyCoherence(const AuditContext& context, AuditReport& report)
     });
 }
 
+// Runtime face of model invariant M6 (src/model/invariants.h).
 void
 CheckProtectionEmulation(const AuditContext& context, AuditReport& report)
 {
@@ -276,6 +281,7 @@ CheckBackingStoreCounts(const AuditContext& context, AuditReport& report)
     }
 }
 
+// Runtime face of model invariant M7 (src/model/invariants.h).
 void
 CheckRefFlushHygiene(const AuditContext& context, AuditReport& report)
 {
@@ -302,6 +308,9 @@ CheckRefFlushHygiene(const AuditContext& context, AuditReport& report)
     });
 }
 
+// Runtime face of model invariants M1 (one owner), M2 (exclusive
+// means alone) and M3 (a dirty block has an owner) —
+// src/model/invariants.h.
 void
 CheckMpCoherency(const AuditContext& context, AuditReport& report)
 {
@@ -317,12 +326,28 @@ CheckMpCoherency(const AuditContext& context, AuditReport& report)
         unsigned first_cpu = 0;
     };
     std::unordered_map<GlobalAddr, BlockState> blocks;
+    const unsigned page_shift = context.config->PageShift();
     for (size_t c = 0; c < context.caches.size(); ++c) {
         const cache::VirtualCache& vcache = *context.caches[c];
         for (uint64_t index = 0; index < vcache.NumLines(); ++index) {
             const cache::Line& line = vcache.LineAt(index);
             if (!line.valid()) {
                 continue;
+            }
+            // M3: only an owner may hold modified data — a block-dirty
+            // UnOwned copy is data the bus would never write back.
+            if (line.block_dirty &&
+                line.state != cache::CoherencyState::kOwnedShared &&
+                line.state != cache::CoherencyState::kOwnedExclusive) {
+                const GlobalAddr dirty_addr = vcache.BlockAddrOf(index, line);
+                report.Add(Severity::kError, policy,
+                           pt::PageTable::IsPteAddr(dirty_addr)
+                               ? kNoPage
+                               : (dirty_addr >> page_shift),
+                           "cache " + std::to_string(c) + " block " +
+                               Hex(dirty_addr) +
+                               " is block-dirty without ownership (the "
+                               "writeback would be lost)");
             }
             BlockState& state = blocks[vcache.BlockAddrOf(index, line)];
             if (state.copies == 0) {
@@ -338,7 +363,6 @@ CheckMpCoherency(const AuditContext& context, AuditReport& report)
             }
         }
     }
-    const unsigned page_shift = context.config->PageShift();
     for (const auto& [addr, state] : blocks) {
         const GlobalVpn vpn = pt::PageTable::IsPteAddr(addr)
                                   ? kNoPage

@@ -1,5 +1,6 @@
 #include "src/common/args.h"
 
+#include <cerrno>
 #include <cstdlib>
 
 namespace spur {
@@ -56,6 +57,60 @@ Args::GetDouble(const std::string& name, double fallback) const
         return fallback;
     }
     return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool
+MatchFlag(const std::string& arg, const std::string& name,
+          std::string* value)
+{
+    if (arg.size() < name.size() + 2 || arg.compare(0, 2, "--") != 0 ||
+        arg.compare(2, name.size(), name) != 0) {
+        return false;
+    }
+    const size_t after = 2 + name.size();
+    if (arg.size() == after) {
+        value->clear();
+        return true;
+    }
+    if (arg[after] != '=') {
+        return false;
+    }
+    *value = arg.substr(after + 1);
+    return true;
+}
+
+bool
+IsFlagArg(const std::string& arg)
+{
+    return arg.size() > 1 && arg.rfind("--", 0) == 0;
+}
+
+bool
+ParsePositiveDouble(const std::string& text, double* out)
+{
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || !(value > 0.0)) {
+        return false;
+    }
+    *out = value;
+    return true;
+}
+
+bool
+ParseUnsigned(const std::string& text, uint64_t* out)
+{
+    if (text.empty() || text[0] == '-') {
+        return false;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(text.c_str(), &end, 0);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+        return false;
+    }
+    *out = value;
+    return true;
 }
 
 }  // namespace spur

@@ -47,6 +47,33 @@ class Args
     std::vector<std::string> positional_;
 };
 
+// ---------------------------------------------------------------------------
+// Flag helpers for the subcommand tools (spur_sweep, spur_lint,
+// spur_model).  Those tools mix flags with positional file arguments, so
+// the Args class is a poor fit: its "--name value" form would swallow
+// positionals.  They instead scan their argument list and classify each
+// entry with the helpers below.
+// ---------------------------------------------------------------------------
+
+/**
+ * True iff @p arg is "--<name>=..." or exactly "--<name>".  On a match,
+ * *value receives the text after '=' (empty for the bare form).
+ */
+bool MatchFlag(const std::string& arg, const std::string& name,
+               std::string* value);
+
+/** True iff @p arg is a flag ("--...") rather than a positional; the
+ *  bare "-" stdin convention is a positional. */
+bool IsFlagArg(const std::string& arg);
+
+/** Parses a strictly positive floating-point value; false on garbage,
+ *  trailing junk, or a non-positive result. */
+bool ParsePositiveDouble(const std::string& text, double* out);
+
+/** Parses a non-negative decimal/hex/octal integer; false on garbage,
+ *  trailing junk, or overflow. */
+bool ParseUnsigned(const std::string& text, uint64_t* out);
+
 }  // namespace spur
 
 #endif  // SPUR_COMMON_ARGS_H_

@@ -217,6 +217,32 @@ MpSpurSystem::Audit() const
     return check::InvariantChecker::Default().Run(context);
 }
 
+void
+MpSpurSystem::ClearRefBit(GlobalAddr gva)
+{
+    pt::Pte* pte = table_.FindMutable(gva >> config_.PageShift());
+    if (pte == nullptr || !pte->valid()) {
+        Panic("MpSpurSystem::ClearRefBit: page not resident");
+    }
+    const GlobalAddr page_addr = gva & ~(config_.page_bytes - 1);
+    const policy::RefCost cost =
+        ref_->ClearRefBit(*pte, page_addr, events_);
+    timing_.Charge(sim::TimeBucket::kKernel, cost.kernel_cycles);
+    timing_.Charge(sim::TimeBucket::kFlush, cost.flush_cycles);
+}
+
+void
+MpSpurSystem::FlushPage(GlobalAddr gva)
+{
+    const GlobalAddr page_addr = gva & ~(config_.page_bytes - 1);
+    const cache::FlushResult result = flusher_.FlushPageChecked(page_addr);
+    events_.Add(sim::Event::kPageFlush);
+    events_.Add(sim::Event::kBlockFlush, result.blocks_flushed);
+    events_.Add(sim::Event::kWriteback, result.writebacks);
+    timing_.Charge(sim::TimeBucket::kFlush,
+                   config_.t_flush_page * flusher_.NumFlushTargets());
+}
+
 pt::Pte&
 MpSpurSystem::ResidentPte(GlobalAddr gva)
 {

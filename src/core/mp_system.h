@@ -121,6 +121,25 @@ class MpSpurSystem
      */
     check::AuditReport Audit() const;
 
+    // ---- Model-checking hooks (src/model/ conformance driver) -----------
+
+    /** The PTE covering @p gva, or nullptr when none exists yet. */
+    const pt::Pte* FindPte(GlobalAddr gva) const
+    {
+        return table_.Find(gva >> config_.PageShift());
+    }
+
+    /**
+     * Clears the reference bit of @p gva's (resident) page exactly the
+     * way the page daemon's front hand does: through the reference
+     * policy (REF flushes every cache), with its cycles charged.
+     */
+    void ClearRefBit(GlobalAddr gva);
+
+    /** Flushes @p gva's page from every cache (tag-checked), with the
+     *  kernel flush-path event and cycle accounting. */
+    void FlushPage(GlobalAddr gva);
+
     /**
      * A WorkloadHost view of one processor: synthetic processes and the
      * job driver built for the uniprocessor API can run pinned to a CPU

@@ -291,6 +291,7 @@ SpurSystem::AccessBatchImpl(const MemRef* refs, size_t n)
                 (ref.addr >> hv.block_shift) & hv.index_mask;
             const uint64_t tag = gva >> hv.tag_shift;
             const uint8_t m = hv.meta[index];
+            // spur-lint: allow(no-raw-meta-bits) — the SoA hot loop
             if ((m & cache::meta::kStateMask) != 0 &&
                 hv.tags[index] == tag) {
                 ++hits;
@@ -302,6 +303,7 @@ SpurSystem::AccessBatchImpl(const MemRef* refs, size_t n)
                 // dirty policy) takes a branch.
                 const bool is_write = (ref.type == AccessType::kWrite);
                 clean_write_hits += static_cast<uint64_t>(
+                    // spur-lint: allow(no-raw-meta-bits) — hot loop
                     is_write && (m & cache::meta::kBlockDirtyBit) == 0);
                 cache::LineRef line(&hv.tags[index], &hv.meta[index]);
                 if (is_write &&
@@ -310,6 +312,7 @@ SpurSystem::AccessBatchImpl(const MemRef* refs, size_t n)
                     continue;
                 }
                 hv.meta[index] = static_cast<uint8_t>(
+                    // spur-lint: allow(no-raw-meta-bits) — hot loop
                     m | ((cache::meta::kBlockDirtyBit |
                           static_cast<uint8_t>(
                               cache::CoherencyState::kOwnedExclusive)) &
@@ -411,6 +414,31 @@ SpurSystem::Audit() const
     context.dirty = dirty_->kind();
     context.ref = ref_->kind();
     return check::InvariantChecker::Default().Run(context);
+}
+
+void
+SpurSystem::ClearRefBit(GlobalAddr gva)
+{
+    pt::Pte* pte = table_.FindMutable(gva >> config_.PageShift());
+    if (pte == nullptr || !pte->valid()) {
+        Panic("SpurSystem::ClearRefBit: page not resident");
+    }
+    const GlobalAddr page_addr = gva & ~(config_.page_bytes - 1);
+    const policy::RefCost cost =
+        ref_->ClearRefBit(*pte, page_addr, events_);
+    timing_.Charge(sim::TimeBucket::kKernel, cost.kernel_cycles);
+    timing_.Charge(sim::TimeBucket::kFlush, cost.flush_cycles);
+}
+
+void
+SpurSystem::FlushPage(GlobalAddr gva)
+{
+    const GlobalAddr page_addr = gva & ~(config_.page_bytes - 1);
+    const cache::FlushResult result = vcache_.FlushPageChecked(page_addr);
+    events_.Add(sim::Event::kPageFlush);
+    events_.Add(sim::Event::kBlockFlush, result.blocks_flushed);
+    events_.Add(sim::Event::kWriteback, result.writebacks);
+    timing_.Charge(sim::TimeBucket::kFlush, config_.t_flush_page);
 }
 
 pt::Pte&

@@ -156,6 +156,25 @@ class SpurSystem : public WorkloadHost
      */
     check::AuditReport Audit() const;
 
+    // ---- Model-checking hooks (src/model/ conformance driver) -----------
+
+    /** The PTE covering @p gva, or nullptr when none exists yet. */
+    const pt::Pte* FindPte(GlobalAddr gva) const
+    {
+        return table_.Find(gva >> config_.PageShift());
+    }
+
+    /**
+     * Clears the reference bit of @p gva's (resident) page exactly the
+     * way the page daemon's front hand does: through the reference
+     * policy, with its kernel/flush cycles charged.
+     */
+    void ClearRefBit(GlobalAddr gva);
+
+    /** Flushes @p gva's page from the cache (tag-checked), with the
+     *  kernel flush-path event and cycle accounting. */
+    void FlushPage(GlobalAddr gva);
+
   private:
     sim::MachineConfig config_;
     sim::EventCounts events_;

@@ -198,6 +198,16 @@ TokenRules()
          {},
          "locale-dependent formatting; output bytes must be identical on "
          "every machine"},
+        {"no-raw-meta-bits",
+         "packed cache-line meta bytes are decoded only by the "
+         "LineRef/meta accessors in src/cache/cache.h",
+         {"meta::kStateMask", "meta::kProtMask", "meta::kProtShift",
+          "meta::kPageDirtyBit", "meta::kBlockDirtyBit"},
+         {"src/cache/cache."},
+         "raw meta-bit constant outside the cache layer; the packed "
+         "layout is an implementation detail of src/cache/cache.h — go "
+         "through LineRef/ConstLineRef, or justify the site with "
+         "spur-lint: allow(no-raw-meta-bits)"},
     };
     return rules;
 }

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Differential conformance: drives the *real* transition code — the
+ * SoA cache, the snoop bus, the policies and the VM, through the
+ * public SpurSystem/MpSpurSystem surface — over every reachable
+ * (state, stimulus) pair the spec explorer enumerates, and asserts the
+ * implementation's successor abstracts to exactly the spec's successor.
+ * This turns the spec table into an executable contract over the
+ * hot-path rewrite.
+ *
+ * Concretization: one process, one writable heap page; the tracked
+ * blocks are two adjacent blocks of that page (chosen so their cache
+ * indexes dodge the page-table lines translation fills — see
+ * conform.cc), and each Evict stimulus is realized as a read of the
+ * block's cache-size-aligned alias (same cache index, different tag),
+ * exactly the conflict miss the abstraction models.
+ * Replaying a node's shortest stimulus trace on a fresh machine
+ * reconstructs its representative state; symmetry of the machine over
+ * processor ids extends the per-representative check to the whole
+ * orbit.
+ */
+#ifndef SPUR_MODEL_CONFORM_H_
+#define SPUR_MODEL_CONFORM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/model/explore.h"
+#include "src/model/spec.h"
+
+namespace spur::model {
+
+/** Which real transition code conform drives. */
+enum class Implementation : uint8_t {
+    /** SpurSystem::AccessBatch — the devirtualized SoA batch hot path
+     *  (procs must be 1). */
+    kUniprocessorBatch,
+    /** MpSpurSystem::Access — the snoop-bus multiprocessor (procs
+     *  1..kMaxProcs; 1 exercises the degenerate-bus configuration). */
+    kMultiprocessor,
+};
+
+const char* ToString(Implementation impl);
+
+struct ConformResult {
+    bool ok = false;
+    /** Empty when ok; otherwise the divergence plus stimulus trace. */
+    std::string problem;
+    uint64_t states_replayed = 0;
+    uint64_t pairs_checked = 0;
+};
+
+/**
+ * Explores @p config's spec state space, then checks every reachable
+ * (state, stimulus) pair against @p impl.  Any spec-side failure
+ * (invariant violation, hole) is reported the same way.
+ */
+ConformResult Conform(const ModelConfig& config, Implementation impl);
+
+}  // namespace spur::model
+
+#endif  // SPUR_MODEL_CONFORM_H_

@@ -1,0 +1,173 @@
+#include "src/model/explore.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace spur::model {
+
+namespace {
+
+std::string
+FormatViolations(const std::vector<InvariantViolation>& violations)
+{
+    std::string out;
+    for (const InvariantViolation& v : violations) {
+        if (!out.empty()) {
+            out += "; ";
+        }
+        out += v.id;
+        out += ": ";
+        out += v.detail;
+    }
+    return out;
+}
+
+/** A trace ending in a violated step: the path to the offending state
+ *  plus (optionally) one more stimulus that exposed the problem. */
+std::string
+FormatCounterexample(const ExploreResult& result, size_t index,
+                     const Stimulus* final_stimulus,
+                     const char* final_rule, const ProtoState* final_state,
+                     const std::string& diagnosis)
+{
+    std::string out = diagnosis;
+    out += "\ncounterexample (shortest stimulus trace):\n";
+    out += FormatTrace(result, index);
+    if (final_stimulus != nullptr) {
+        out += "     -- " + ToString(*final_stimulus);
+        if (final_rule != nullptr) {
+            out += std::string(" (") + final_rule + ")";
+        }
+        out += " -->\n";
+        if (final_state != nullptr) {
+            out += "  *  " + ToString(*final_state) + "\n";
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+ExploreResult
+Explore(const ModelConfig& config)
+{
+    ExploreResult result;
+    const ProtoState initial = InitialState(config);
+
+    std::map<uint64_t, int32_t> visited;
+    std::deque<int32_t> frontier;
+
+    result.states.push_back(ExploredState{initial, -1, Stimulus{}, nullptr, 0});
+    visited[CanonicalKey(initial)] = 0;
+    frontier.push_back(0);
+
+    const std::vector<InvariantViolation> initial_violations =
+        CheckState(initial, config);
+    if (!initial_violations.empty()) {
+        result.problem = FormatCounterexample(
+            result, 0, nullptr, nullptr, nullptr,
+            "invariant violation in the initial state: " +
+                FormatViolations(initial_violations));
+        return result;
+    }
+
+    while (!frontier.empty()) {
+        const int32_t index = frontier.front();
+        frontier.pop_front();
+        // states grows during the loop; copy instead of holding a ref.
+        const ProtoState state = result.states[index].state;
+        const unsigned depth = result.states[index].depth;
+
+        for (const Stimulus& stimulus : EnumerateStimuli(state)) {
+            SpecStepResult step;
+            std::string error;
+            if (!SpecStep(state, stimulus, config, &step, &error)) {
+                result.problem = FormatCounterexample(
+                    result, static_cast<size_t>(index), &stimulus, nullptr,
+                    nullptr, error);
+                return result;
+            }
+            ++result.transitions;
+            ++result.rule_fires[step.rule->id];
+
+            const std::vector<InvariantViolation> transition_violations =
+                CheckTransition(state, stimulus, step.next, config);
+            if (!transition_violations.empty()) {
+                result.problem = FormatCounterexample(
+                    result, static_cast<size_t>(index), &stimulus,
+                    step.rule->id, &step.next,
+                    "transition invariant violation: " +
+                        FormatViolations(transition_violations));
+                return result;
+            }
+            const std::vector<InvariantViolation> state_violations =
+                CheckState(step.next, config);
+            if (!state_violations.empty()) {
+                result.problem = FormatCounterexample(
+                    result, static_cast<size_t>(index), &stimulus,
+                    step.rule->id, &step.next,
+                    "invariant violation: " +
+                        FormatViolations(state_violations));
+                return result;
+            }
+
+            const uint64_t key = CanonicalKey(step.next);
+            if (visited.find(key) != visited.end()) {
+                continue;
+            }
+            const int32_t next_index =
+                static_cast<int32_t>(result.states.size());
+            visited[key] = next_index;
+            result.states.push_back(ExploredState{
+                step.next, index, stimulus, step.rule->id, depth + 1});
+            if (depth + 1 > result.max_depth) {
+                result.max_depth = depth + 1;
+            }
+            frontier.push_back(next_index);
+        }
+    }
+
+    result.ok = true;
+    return result;
+}
+
+std::vector<Stimulus>
+TraceTo(const ExploreResult& result, size_t index)
+{
+    std::vector<Stimulus> trace;
+    for (int32_t i = static_cast<int32_t>(index);
+         result.states[static_cast<size_t>(i)].parent >= 0;
+         i = result.states[static_cast<size_t>(i)].parent) {
+        trace.push_back(result.states[static_cast<size_t>(i)].via);
+    }
+    std::reverse(trace.begin(), trace.end());
+    return trace;
+}
+
+std::string
+FormatTrace(const ExploreResult& result, size_t index)
+{
+    std::vector<size_t> path;
+    for (int32_t i = static_cast<int32_t>(index); i >= 0;
+         i = result.states[static_cast<size_t>(i)].parent) {
+        path.push_back(static_cast<size_t>(i));
+    }
+    std::reverse(path.begin(), path.end());
+
+    std::string out;
+    for (size_t step = 0; step < path.size(); ++step) {
+        const ExploredState& node = result.states[path[step]];
+        if (step > 0) {
+            out += "     -- " + ToString(node.via);
+            if (node.rule != nullptr) {
+                out += std::string(" (") + node.rule + ")";
+            }
+            out += " -->\n";
+        }
+        out += "  " + std::to_string(step) + ". " + ToString(node.state) +
+               "\n";
+    }
+    return out;
+}
+
+}  // namespace spur::model

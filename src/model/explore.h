@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Murphi-style explicit-state breadth-first exploration of the spec
+ * table, with symmetry reduction over processor ids (CanonicalKey).
+ * Every reachable state is checked against the M1..M8 state invariants,
+ * every transition against M9/M10 and spec totality/determinism; the
+ * first violation stops the search and is reported with a shortest
+ * stimulus trace from the initial state (BFS order makes it minimal
+ * up to symmetry).
+ *
+ * The explorer keeps one *representative* concrete state per canonical
+ * key plus its parent link; expanding representatives only is sound
+ * because the rules, stimuli and invariants are symmetric under
+ * processor permutation.  The retained graph doubles as the worklist
+ * for differential conformance (conform.h): replaying a node's trace
+ * on the real machine reconstructs exactly that representative.
+ */
+#ifndef SPUR_MODEL_EXPLORE_H_
+#define SPUR_MODEL_EXPLORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/model/invariants.h"
+#include "src/model/spec.h"
+
+namespace spur::model {
+
+/** One reachable representative and its shortest-path parent link. */
+struct ExploredState {
+    ProtoState state;
+    int32_t parent = -1;  ///< Index into ExploreResult::states; -1 = root.
+    Stimulus via;         ///< Stimulus that produced it from the parent.
+    const char* rule = nullptr;  ///< Id of the rule that fired (null = root).
+    unsigned depth = 0;
+};
+
+struct ExploreResult {
+    bool ok = false;
+    /** Empty when ok; otherwise the violation plus counterexample trace. */
+    std::string problem;
+    /** Reachable canonical states, in BFS order (index 0 = initial). */
+    std::vector<ExploredState> states;
+    uint64_t transitions = 0;
+    unsigned max_depth = 0;
+    /** Rule id -> number of (canonical state, stimulus) pairs it fired on. */
+    std::map<std::string, uint64_t> rule_fires;
+};
+
+/** Exhaustively explores @p config's state space. */
+ExploreResult Explore(const ModelConfig& config);
+
+/** The stimulus sequence from the initial state to states[index]. */
+std::vector<Stimulus> TraceTo(const ExploreResult& result, size_t index);
+
+/**
+ * Renders the trace to states[index] as a numbered stimulus sequence
+ * with intermediate states and rule ids — the counterexample format.
+ */
+std::string FormatTrace(const ExploreResult& result, size_t index);
+
+}  // namespace spur::model
+
+#endif  // SPUR_MODEL_EXPLORE_H_

@@ -1,0 +1,193 @@
+#include "src/model/invariants.h"
+
+namespace spur::model {
+
+namespace {
+
+using cache::CoherencyState;
+using policy::DirtyPolicyKind;
+using policy::RefPolicyKind;
+
+bool
+IsOwned(const LineState& line)
+{
+    return line.cs == CoherencyState::kOwnedShared ||
+           line.cs == CoherencyState::kOwnedExclusive;
+}
+
+bool
+UsesProtectionEmulation(DirtyPolicyKind dirty)
+{
+    return dirty == DirtyPolicyKind::kFault ||
+           dirty == DirtyPolicyKind::kFlush ||
+           dirty == DirtyPolicyKind::kSpurProt;
+}
+
+void
+Add(std::vector<InvariantViolation>& out, const char* id,
+    std::string detail)
+{
+    out.push_back(InvariantViolation{id, std::move(detail)});
+}
+
+std::string
+LineName(unsigned cpu, unsigned block)
+{
+    return "cpu " + std::to_string(cpu) + " block " +
+           std::to_string(block);
+}
+
+}  // namespace
+
+std::vector<InvariantViolation>
+CheckState(const ProtoState& state, const ModelConfig& config)
+{
+    std::vector<InvariantViolation> out;
+
+    // Ownership (M1/M2) is a per-block property; the dirty/ref page
+    // invariants (M4/M6/M7) range over every tracked block.
+    unsigned total_copies = 0;
+    bool any_block_dirty = false;
+    for (unsigned b = 0; b < kTrackedBlocks; ++b) {
+        unsigned owners = 0;
+        unsigned copies = 0;
+        bool exclusive = false;
+        for (unsigned i = 0; i < state.procs; ++i) {
+            const LineState& line = state.line[i][b];
+            if (line.valid()) {
+                ++copies;
+            }
+            if (IsOwned(line)) {
+                ++owners;
+            }
+            if (line.cs == CoherencyState::kOwnedExclusive) {
+                exclusive = true;
+            }
+            if (line.block_dirty) {
+                any_block_dirty = true;
+            }
+
+            // M3 dirty-implies-owner.
+            if (line.block_dirty && !IsOwned(line)) {
+                Add(out, "M3",
+                    LineName(i, b) +
+                        " holds a block-dirty copy without ownership");
+            }
+            // M5 p-not-ahead.
+            if (line.page_dirty && !state.pte.dirty) {
+                Add(out, "M5",
+                    LineName(i, b) +
+                        " caches P=1 while the PTE's D bit is clear");
+            }
+            // M8 normalization (invalid line side).
+            if (!line.valid() && !(line == LineState{})) {
+                Add(out, "M8",
+                    LineName(i, b) +
+                        " is an invalid line with non-zero fields");
+            }
+        }
+        if (owners > 1) {
+            Add(out, "M1",
+                std::to_string(owners) +
+                    " simultaneous owners of block " + std::to_string(b));
+        }
+        if (exclusive && copies > 1) {
+            Add(out, "M2",
+                "an OwnedExclusive copy of block " + std::to_string(b) +
+                    " coexists with " + std::to_string(copies - 1) +
+                    " other copies");
+        }
+        total_copies += copies;
+    }
+
+    // M4 no-lost-dirty.
+    if (any_block_dirty && !SpecPageDirty(config.dirty, state.pte)) {
+        Add(out, "M4",
+            "a block-dirty copy exists but the PTE does not record the "
+            "page dirty");
+    }
+
+    // M6 protection-emulation.
+    if (UsesProtectionEmulation(config.dirty) && state.pte.resident) {
+        const bool pte_rw = state.pte.prot == Protection::kReadWrite;
+        if (pte_rw != state.pte.soft_dirty) {
+            Add(out, "M6",
+                std::string("PTE protection ") +
+                    (pte_rw ? "read-write" : "read-only") +
+                    " disagrees with SD=" +
+                    (state.pte.soft_dirty ? "1" : "0"));
+        }
+        for (unsigned i = 0; i < state.procs; ++i) {
+            for (unsigned b = 0; b < kTrackedBlocks; ++b) {
+                const LineState& line = state.line[i][b];
+                if (line.valid() &&
+                    line.prot == Protection::kReadWrite && !pte_rw) {
+                    Add(out, "M6",
+                        LineName(i, b) +
+                            " caches read-write protection while the "
+                            "PTE is read-only");
+                }
+                if (config.dirty == DirtyPolicyKind::kFlush &&
+                    state.pte.soft_dirty && line.valid() &&
+                    line.prot != Protection::kReadWrite) {
+                    Add(out, "M6",
+                        "FLUSH: " + LineName(i, b) +
+                            " keeps a stale read-only copy after the "
+                            "page went dirty (would excess-fault)");
+                }
+            }
+        }
+    }
+
+    // M7 ref-flush-hygiene.
+    if (config.ref == RefPolicyKind::kRef && state.pte.resident &&
+        !state.pte.referenced && total_copies > 0) {
+        Add(out, "M7",
+            "REF: the page is unreferenced yet still cached (" +
+                std::to_string(total_copies) + " copies)");
+    }
+
+    // M8 normalization (non-resident page side).
+    if (!state.pte.resident) {
+        if (!(state.pte == PteState{})) {
+            Add(out, "M8", "non-resident PTE has non-zero fields");
+        }
+        if (total_copies > 0) {
+            Add(out, "M8",
+                "a non-resident page has " +
+                    std::to_string(total_copies) + " cached copies");
+        }
+    }
+
+    return out;
+}
+
+std::vector<InvariantViolation>
+CheckTransition(const ProtoState& before, const Stimulus& stimulus,
+                const ProtoState& after, const ModelConfig&)
+{
+    std::vector<InvariantViolation> out;
+
+    // M9 dirty-monotone.
+    if (before.pte.resident && !after.pte.resident) {
+        Add(out, "M9", "residency fell during a step");
+    }
+    if (before.pte.dirty && !after.pte.dirty) {
+        Add(out, "M9", "the hardware D bit fell during a step");
+    }
+    if (before.pte.soft_dirty && !after.pte.soft_dirty) {
+        Add(out, "M9", "the software SD bit fell during a step");
+    }
+
+    // M10 ref-monotone.
+    if (before.pte.referenced && !after.pte.referenced &&
+        stimulus.kind != StimulusKind::kClearRef) {
+        Add(out, "M10",
+            "R fell on " + ToString(stimulus) +
+                " (only clear-ref may clear it)");
+    }
+
+    return out;
+}
+
+}  // namespace spur::model

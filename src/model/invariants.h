@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The safety properties the explorer checks on every reachable state and
+ * transition.  Each invariant has a stable id (M1..M10); the runtime
+ * audit passes in src/check/invariants.cc cross-reference these ids, so
+ * a model-checker property and its (weaker, workload-dependent) runtime
+ * shadow can be matched up.
+ *
+ *   M1  one-owner            — at most one cache holds the block in an
+ *                              Owned* state.
+ *   M2  exclusive-alone      — an OwnedExclusive copy is the only copy.
+ *   M3  dirty-implies-owner  — a block-dirty (B) copy is in an Owned*
+ *                              state: only owners write back, so a dirty
+ *                              UnOwned copy would lose the data.
+ *   M4  no-lost-dirty        — whenever any cached copy has B set, the
+ *                              PTE already records the page dirty (D or
+ *                              SD per policy), so dropping every copy
+ *                              can never lose the modification.
+ *   M5  p-not-ahead          — a cached P bit is never set while the
+ *                              PTE's hardware D bit is clear (the cache
+ *                              only copies P from D on fill/refresh).
+ *   M6  protection-emulation — FAULT/FLUSH/SPUR-PROT: the PTE is
+ *                              read-write iff SD is set, and a cached
+ *                              read-write protection implies the PTE's;
+ *                              FLUSH additionally guarantees no stale
+ *                              read-only copy survives once SD is set
+ *                              (its flush purges them — the no-excess-
+ *                              fault property of Table 3.1).
+ *   M7  ref-flush-hygiene    — REF policy: a resident page with R clear
+ *                              has no cached copies, so the next use
+ *                              must miss and re-set R (Section 4.1).
+ *   M8  normalization        — invalid lines and non-resident pages
+ *                              have every other field zero (the SoA
+ *                              zero-on-invalidate contract).
+ *   M9  dirty-monotone       — (transition) residency, D and SD never
+ *                              fall: the model has no reclaim stimulus.
+ *   M10 ref-monotone         — (transition) R falls only on a ClearRef
+ *                              stimulus: the reference bit is monotone
+ *                              within a clock epoch.
+ */
+#ifndef SPUR_MODEL_INVARIANTS_H_
+#define SPUR_MODEL_INVARIANTS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/model/spec.h"
+
+namespace spur::model {
+
+struct InvariantViolation {
+    const char* id;      ///< Stable invariant id, e.g. "M4".
+    std::string detail;  ///< Human-readable description of the breach.
+};
+
+/** Checks the per-state invariants M1..M8 on @p state. */
+std::vector<InvariantViolation> CheckState(const ProtoState& state,
+                                           const ModelConfig& config);
+
+/** Checks the transition invariants M9/M10 across one step. */
+std::vector<InvariantViolation> CheckTransition(const ProtoState& before,
+                                                const Stimulus& stimulus,
+                                                const ProtoState& after,
+                                                const ModelConfig& config);
+
+}  // namespace spur::model
+
+#endif  // SPUR_MODEL_INVARIANTS_H_

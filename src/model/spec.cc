@@ -1,0 +1,637 @@
+#include "src/model/spec.h"
+
+#include <algorithm>
+#include <array>
+#include <functional>
+
+namespace spur::model {
+
+namespace {
+
+using cache::CoherencyState;
+using policy::DirtyPolicyKind;
+using policy::RefPolicyKind;
+
+bool
+IsEmulation(DirtyPolicyKind dirty)
+{
+    return dirty == DirtyPolicyKind::kFault ||
+           dirty == DirtyPolicyKind::kFlush ||
+           dirty == DirtyPolicyKind::kSpurProt;
+}
+
+/** The hardware's write-hit fast path ("proceed without delay"):
+ *  which cached checks must pass, per Table 3.1 mechanism. */
+bool
+FastPath(DirtyPolicyKind dirty, const LineState& line)
+{
+    switch (dirty) {
+        case DirtyPolicyKind::kMin:
+            return line.page_dirty;
+        case DirtyPolicyKind::kFault:
+        case DirtyPolicyKind::kFlush:
+        case DirtyPolicyKind::kSpurProt:
+            return line.prot == Protection::kReadWrite;
+        case DirtyPolicyKind::kSpur:
+            return line.prot == Protection::kReadWrite && line.page_dirty;
+        case DirtyPolicyKind::kWrite:
+        case DirtyPolicyKind::kWriteHw:
+            return line.block_dirty;
+    }
+    return false;
+}
+
+/** The slow path's refresh of the cached copy once the PTE records the
+ *  page dirty (the dirty-bit-miss / excess-fault / stale-protection
+ *  refresh; WRITE's PTE check refreshes nothing cached). */
+void
+RefreshLine(DirtyPolicyKind dirty, LineState& line)
+{
+    switch (dirty) {
+        case DirtyPolicyKind::kMin:
+        case DirtyPolicyKind::kSpur:
+            line.page_dirty = true;
+            break;
+        case DirtyPolicyKind::kFault:
+        case DirtyPolicyKind::kFlush:
+        case DirtyPolicyKind::kSpurProt:
+            line.prot = Protection::kReadWrite;
+            break;
+        case DirtyPolicyKind::kWrite:
+        case DirtyPolicyKind::kWriteHw:
+            break;
+    }
+}
+
+/** The necessary fault's PTE update: record the page dirty (D or
+ *  SD + protection upgrade) and consume the zero-fill marker. */
+void
+RecordPageDirty(DirtyPolicyKind dirty, PteState& pte)
+{
+    if (IsEmulation(dirty)) {
+        pte.soft_dirty = true;
+        pte.prot = Protection::kReadWrite;
+    } else {
+        pte.dirty = true;
+    }
+    pte.zfod = false;
+}
+
+/** Bus Read of one block: the owner (if any) supplies and drops to
+ *  OwnedShared; UnOwned peers are untouched. */
+void
+BusRead(ProtoState& s, unsigned requester, unsigned block)
+{
+    for (unsigned j = 0; j < s.procs; ++j) {
+        if (j == requester) {
+            continue;
+        }
+        if (s.line[j][block].cs == CoherencyState::kOwnedShared ||
+            s.line[j][block].cs == CoherencyState::kOwnedExclusive) {
+            s.line[j][block].cs = CoherencyState::kOwnedShared;
+        }
+    }
+}
+
+/** Bus ReadOwned / Upgrade of one block: every peer copy is invalidated
+ *  (a dirty owner supplies the data on the way out). */
+void
+InvalidatePeers(ProtoState& s, unsigned requester, unsigned block)
+{
+    for (unsigned j = 0; j < s.procs; ++j) {
+        if (j != requester) {
+            s.line[j][block] = LineState{};
+        }
+    }
+}
+
+/** Fill: the block enters UnOwned with PR and P copied from the PTE
+ *  (P from the hardware D bit — Figure 3.2). */
+void
+FillLine(ProtoState& s, unsigned cpu, unsigned block)
+{
+    s.line[cpu][block] = LineState{CoherencyState::kUnOwned, s.pte.prot,
+                                   s.pte.dirty, false};
+}
+
+/** Kernel page flush: every cache drops every block of the page
+ *  (writebacks implied). */
+void
+FlushAllCaches(ProtoState& s)
+{
+    for (unsigned j = 0; j < s.procs; ++j) {
+        for (unsigned b = 0; b < kTrackedBlocks; ++b) {
+            s.line[j][b] = LineState{};
+        }
+    }
+}
+
+/** Page-fault-in of the (writable, anonymous) page on first touch. */
+void
+FaultInIfNeeded(ProtoState& s, DirtyPolicyKind dirty)
+{
+    if (s.pte.resident) {
+        return;
+    }
+    s.pte.resident = true;
+    s.pte.prot = SpecResidentProtection(dirty);
+    s.pte.dirty = false;
+    s.pte.soft_dirty = false;
+    s.pte.referenced = true;  // The faulting access references it.
+    s.pte.zfod = true;        // Fresh anonymous page, zero-filled.
+}
+
+/** The miss-path reference-bit check: MISS/REF fault R back on when it
+ *  is clear; NOREF never checks (its hardware bit stays set). */
+void
+RefOnMiss(RefPolicyKind ref, PteState& pte)
+{
+    if (ref != RefPolicyKind::kNoRef) {
+        pte.referenced = true;
+    }
+}
+
+/** The write's completion: gain exclusive ownership (Upgrade
+ *  invalidates every peer copy unless already exclusive), then
+ *  MarkWritten sets B and promotes CS to OwnedExclusive. */
+void
+CompleteWriteHit(ProtoState& s, unsigned cpu, unsigned block)
+{
+    if (s.line[cpu][block].cs != CoherencyState::kOwnedExclusive) {
+        InvalidatePeers(s, cpu, block);
+    }
+    s.line[cpu][block].cs = CoherencyState::kOwnedExclusive;
+    s.line[cpu][block].block_dirty = true;
+}
+
+/** The write-miss tail shared by write-miss and the FLUSH re-execute:
+ *  dirty-policy write-miss hook, ReadOwned, fill, MarkWritten. */
+void
+WriteMissTail(ProtoState& s, unsigned cpu, unsigned block,
+              const ModelConfig& config)
+{
+    if (!SpecPageDirty(config.dirty, s.pte)) {
+        RecordPageDirty(config.dirty, s.pte);
+        if (config.dirty == DirtyPolicyKind::kFlush) {
+            // FLUSH purges the page everywhere before refilling, so no
+            // stale read-only block of it can survive anywhere.
+            FlushAllCaches(s);
+        }
+    }
+    InvalidatePeers(s, cpu, block);  // Bus ReadOwned.
+    FillLine(s, cpu, block);
+    s.line[cpu][block].cs = CoherencyState::kOwnedExclusive;  // MarkWritten
+    s.line[cpu][block].block_dirty = true;
+}
+
+// ---------------------------------------------------------------------------
+// Guards and applications (one pair per rule; see SpecRules()).
+// ---------------------------------------------------------------------------
+
+bool
+GuardHit(const ProtoState& s, const Stimulus& st, const ModelConfig&)
+{
+    return s.line[st.cpu][st.block].valid();
+}
+
+bool
+GuardMissed(const ProtoState& s, const Stimulus& st, const ModelConfig& c)
+{
+    return !GuardHit(s, st, c);
+}
+
+ProtoState
+ApplyIdentity(const ProtoState& s, const Stimulus&, const ModelConfig&)
+{
+    return s;
+}
+
+ProtoState
+ApplyReadMiss(const ProtoState& s, const Stimulus& st, const ModelConfig& c)
+{
+    ProtoState next = s;
+    FaultInIfNeeded(next, c.dirty);
+    RefOnMiss(c.ref, next.pte);
+    BusRead(next, st.cpu, st.block);
+    FillLine(next, st.cpu, st.block);
+    return next;
+}
+
+bool
+GuardWriteHitFast(const ProtoState& s, const Stimulus& st,
+                  const ModelConfig& c)
+{
+    return s.line[st.cpu][st.block].valid() &&
+           FastPath(c.dirty, s.line[st.cpu][st.block]);
+}
+
+ProtoState
+ApplyWriteHitFast(const ProtoState& s, const Stimulus& st,
+                  const ModelConfig&)
+{
+    ProtoState next = s;
+    CompleteWriteHit(next, st.cpu, st.block);
+    return next;
+}
+
+bool
+GuardWriteHitRefresh(const ProtoState& s, const Stimulus& st,
+                     const ModelConfig& c)
+{
+    return s.line[st.cpu][st.block].valid() &&
+           !FastPath(c.dirty, s.line[st.cpu][st.block]) &&
+           SpecPageDirty(c.dirty, s.pte);
+}
+
+ProtoState
+ApplyWriteHitRefresh(const ProtoState& s, const Stimulus& st,
+                     const ModelConfig& c)
+{
+    ProtoState next = s;
+    RefreshLine(c.dirty, next.line[st.cpu][st.block]);
+    CompleteWriteHit(next, st.cpu, st.block);
+    return next;
+}
+
+bool
+GuardWriteHitFirstFault(const ProtoState& s, const Stimulus& st,
+                        const ModelConfig& c)
+{
+    return s.line[st.cpu][st.block].valid() &&
+           !FastPath(c.dirty, s.line[st.cpu][st.block]) &&
+           !SpecPageDirty(c.dirty, s.pte) &&
+           c.dirty != DirtyPolicyKind::kFlush;
+}
+
+ProtoState
+ApplyWriteHitFirstFault(const ProtoState& s, const Stimulus& st,
+                        const ModelConfig& c)
+{
+    ProtoState next = s;
+    RecordPageDirty(c.dirty, next.pte);
+    RefreshLine(c.dirty, next.line[st.cpu][st.block]);
+    CompleteWriteHit(next, st.cpu, st.block);
+    return next;
+}
+
+bool
+GuardWriteHitFlushFault(const ProtoState& s, const Stimulus& st,
+                        const ModelConfig& c)
+{
+    return s.line[st.cpu][st.block].valid() &&
+           !FastPath(c.dirty, s.line[st.cpu][st.block]) &&
+           !SpecPageDirty(c.dirty, s.pte) &&
+           c.dirty == DirtyPolicyKind::kFlush;
+}
+
+ProtoState
+ApplyWriteHitFlushFault(const ProtoState& s, const Stimulus& st,
+                        const ModelConfig& c)
+{
+    // FLUSH's necessary fault purges the page from every cache — the
+    // written line included — so the store re-executes as a write miss
+    // and refills under the upgraded protection.
+    ProtoState next = s;
+    RecordPageDirty(c.dirty, next.pte);
+    FlushAllCaches(next);
+    RefOnMiss(c.ref, next.pte);  // The re-executed miss checks R.
+    WriteMissTail(next, st.cpu, st.block, c);
+    return next;
+}
+
+ProtoState
+ApplyWriteMiss(const ProtoState& s, const Stimulus& st,
+               const ModelConfig& c)
+{
+    ProtoState next = s;
+    FaultInIfNeeded(next, c.dirty);
+    RefOnMiss(c.ref, next.pte);
+    WriteMissTail(next, st.cpu, st.block, c);
+    return next;
+}
+
+ProtoState
+ApplyEvict(const ProtoState& s, const Stimulus& st, const ModelConfig&)
+{
+    ProtoState next = s;
+    next.line[st.cpu][st.block] = LineState{};  // Writeback if B; gone.
+    return next;
+}
+
+bool
+GuardTrue(const ProtoState&, const Stimulus&, const ModelConfig&)
+{
+    return true;
+}
+
+ProtoState
+ApplyFlushPage(const ProtoState& s, const Stimulus&, const ModelConfig&)
+{
+    ProtoState next = s;
+    FlushAllCaches(next);
+    return next;
+}
+
+bool
+GuardRefMiss(const ProtoState&, const Stimulus&, const ModelConfig& c)
+{
+    return c.ref == RefPolicyKind::kMiss;
+}
+
+bool
+GuardRefRef(const ProtoState&, const Stimulus&, const ModelConfig& c)
+{
+    return c.ref == RefPolicyKind::kRef;
+}
+
+bool
+GuardRefNoRef(const ProtoState&, const Stimulus&, const ModelConfig& c)
+{
+    return c.ref == RefPolicyKind::kNoRef;
+}
+
+ProtoState
+ApplyClearRef(const ProtoState& s, const Stimulus&, const ModelConfig&)
+{
+    ProtoState next = s;
+    next.pte.referenced = false;
+    return next;
+}
+
+ProtoState
+ApplyClearRefFlush(const ProtoState& s, const Stimulus& st,
+                   const ModelConfig& c)
+{
+    ProtoState next = ApplyClearRef(s, st, c);
+    FlushAllCaches(next);  // Guarantees the next use misses and re-sets R.
+    return next;
+}
+
+uint64_t
+EncodeLine(const LineState& line)
+{
+    return static_cast<uint64_t>(line.cs) |
+           (static_cast<uint64_t>(line.prot) << 2) |
+           (line.page_dirty ? uint64_t{1} << 4 : 0u) |
+           (line.block_dirty ? uint64_t{1} << 5 : 0u);
+}
+
+/** 12-bit code for one processor's pair of tracked lines. */
+uint64_t
+EncodeProc(const LineState lines[kTrackedBlocks])
+{
+    return EncodeLine(lines[0]) | (EncodeLine(lines[1]) << 6);
+}
+
+uint64_t
+EncodePte(const PteState& pte)
+{
+    return (pte.resident ? 1u : 0u) |
+           (static_cast<uint64_t>(pte.prot) << 1) |
+           (pte.dirty ? uint64_t{1} << 3 : 0u) |
+           (pte.soft_dirty ? uint64_t{1} << 4 : 0u) |
+           (pte.referenced ? uint64_t{1} << 5 : 0u) |
+           (pte.zfod ? uint64_t{1} << 6 : 0u);
+}
+
+void
+AppendLine(std::string& out, const LineState& line)
+{
+    if (!line.valid()) {
+        out += "I";
+        return;
+    }
+    out += cache::ToString(line.cs);
+    out += line.prot == Protection::kReadWrite ? " rw" : " ro";
+    if (line.page_dirty) {
+        out += " P";
+    }
+    if (line.block_dirty) {
+        out += " B";
+    }
+}
+
+}  // namespace
+
+bool
+ProtoState::operator==(const ProtoState& other) const
+{
+    if (procs != other.procs || !(pte == other.pte)) {
+        return false;
+    }
+    for (unsigned i = 0; i < procs; ++i) {
+        for (unsigned b = 0; b < kTrackedBlocks; ++b) {
+            if (!(line[i][b] == other.line[i][b])) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+const std::vector<Rule>&
+SpecRules()
+{
+    static const std::vector<Rule> rules = {
+        {"read-hit", StimulusKind::kRead,
+         "read/ifetch hits; no state changes", GuardHit, ApplyIdentity},
+        {"read-miss", StimulusKind::kRead,
+         "read/ifetch misses: fault the page in if needed, check R, bus "
+         "Read (owner supplies and drops to OwnedShared), fill UnOwned",
+         GuardMissed, ApplyReadMiss},
+        {"write-hit-fast", StimulusKind::kWrite,
+         "write hits and the cached checks pass: Upgrade unless already "
+         "exclusive, MarkWritten", GuardWriteHitFast, ApplyWriteHitFast},
+        {"write-hit-refresh", StimulusKind::kWrite,
+         "write hits a stale cached copy while the PTE already records "
+         "the page dirty: refresh the copy (dirty-bit miss / excess "
+         "fault / protection miss), Upgrade, MarkWritten",
+         GuardWriteHitRefresh, ApplyWriteHitRefresh},
+        {"write-hit-first-fault", StimulusKind::kWrite,
+         "first write to the page hits: necessary fault records D/SD, "
+         "refresh the cached copy, Upgrade, MarkWritten",
+         GuardWriteHitFirstFault, ApplyWriteHitFirstFault},
+        {"write-hit-flush-fault", StimulusKind::kWrite,
+         "FLUSH only: the necessary fault purges the page from every "
+         "cache and the store re-executes as a write miss",
+         GuardWriteHitFlushFault, ApplyWriteHitFlushFault},
+        {"write-miss", StimulusKind::kWrite,
+         "write misses: fault the page in if needed, check R, dirty "
+         "policy write-miss hook, bus ReadOwned invalidates every peer "
+         "copy, fill, MarkWritten", GuardMissed, ApplyWriteMiss},
+        {"evict", StimulusKind::kEvict,
+         "a conflicting fill displaces the block (writeback if B)",
+         GuardHit, ApplyEvict},
+        {"evict-idle", StimulusKind::kEvict,
+         "conflict miss while the block is not cached: nothing to evict",
+         GuardMissed, ApplyIdentity},
+        {"flush-page", StimulusKind::kFlushPage,
+         "kernel page flush: every cache drops every block of the page",
+         GuardTrue, ApplyFlushPage},
+        {"clear-ref", StimulusKind::kClearRef,
+         "MISS: the daemon clears R; cached blocks stay resident",
+         GuardRefMiss, ApplyClearRef},
+        {"clear-ref-flush", StimulusKind::kClearRef,
+         "REF: clearing R also flushes the page from every cache",
+         GuardRefRef, ApplyClearRefFlush},
+        {"clear-ref-noop", StimulusKind::kClearRef,
+         "NOREF: the hardware bit stays set; clearing is a no-op",
+         GuardRefNoRef, ApplyIdentity},
+    };
+    return rules;
+}
+
+bool
+SpecStep(const ProtoState& state, const Stimulus& stimulus,
+         const ModelConfig& config, SpecStepResult* result,
+         std::string* error)
+{
+    const Rule* enabled = nullptr;
+    for (const Rule& rule : SpecRules()) {
+        if (rule.kind != stimulus.kind ||
+            !rule.guard(state, stimulus, config)) {
+            continue;
+        }
+        if (enabled != nullptr) {
+            if (error != nullptr) {
+                *error = std::string("spec ambiguity: rules '") +
+                         enabled->id + "' and '" + rule.id +
+                         "' both enabled for " + ToString(stimulus) +
+                         " in " + ToString(state);
+            }
+            return false;
+        }
+        enabled = &rule;
+    }
+    if (enabled == nullptr) {
+        if (error != nullptr) {
+            *error = "spec hole: no rule enabled for " +
+                     ToString(stimulus) + " in " + ToString(state);
+        }
+        return false;
+    }
+    result->rule = enabled;
+    result->next = enabled->apply(state, stimulus, config);
+    return true;
+}
+
+ProtoState
+InitialState(const ModelConfig& config)
+{
+    ProtoState state;
+    state.procs = config.procs;
+    return state;
+}
+
+std::vector<Stimulus>
+EnumerateStimuli(const ProtoState& state)
+{
+    std::vector<Stimulus> stimuli;
+    stimuli.reserve(3 * kTrackedBlocks * state.procs + 2);
+    for (unsigned cpu = 0; cpu < state.procs; ++cpu) {
+        for (unsigned block = 0; block < kTrackedBlocks; ++block) {
+            stimuli.push_back({StimulusKind::kRead, cpu, block});
+            stimuli.push_back({StimulusKind::kWrite, cpu, block});
+            stimuli.push_back({StimulusKind::kEvict, cpu, block});
+        }
+    }
+    if (state.pte.resident) {
+        // The kernel's page operations only ever target resident pages
+        // (the daemon walks bound frames; flushes precede reclaim).
+        stimuli.push_back({StimulusKind::kFlushPage, 0, 0});
+        stimuli.push_back({StimulusKind::kClearRef, 0, 0});
+    }
+    return stimuli;
+}
+
+uint64_t
+CanonicalKey(const ProtoState& state)
+{
+    std::array<uint64_t, kMaxProcs> procs = {0, 0, 0};
+    for (unsigned i = 0; i < state.procs; ++i) {
+        procs[i] = EncodeProc(state.line[i]);
+    }
+    // Descending insertion sort over at most kMaxProcs = 3 entries.
+    for (unsigned i = 1; i < state.procs; ++i) {
+        for (unsigned j = i; j > 0 && procs[j] > procs[j - 1]; --j) {
+            std::swap(procs[j], procs[j - 1]);
+        }
+    }
+    return EncodePte(state.pte) | (procs[0] << 7) | (procs[1] << 19) |
+           (procs[2] << 31);
+}
+
+std::string
+ToString(const ProtoState& state)
+{
+    std::string out = "[";
+    for (unsigned i = 0; i < state.procs; ++i) {
+        if (i > 0) {
+            out += " | ";
+        }
+        for (unsigned b = 0; b < kTrackedBlocks; ++b) {
+            if (b > 0) {
+                out += ", ";
+            }
+            AppendLine(out, state.line[i][b]);
+        }
+    }
+    out += "] pte{";
+    if (!state.pte.resident) {
+        out += "not-resident";
+    } else {
+        out += state.pte.prot == Protection::kReadWrite ? "rw" : "ro";
+        if (state.pte.dirty) {
+            out += " D";
+        }
+        if (state.pte.soft_dirty) {
+            out += " SD";
+        }
+        if (state.pte.referenced) {
+            out += " R";
+        }
+        if (state.pte.zfod) {
+            out += " Z";
+        }
+    }
+    out += "}";
+    return out;
+}
+
+std::string
+ToString(const Stimulus& stimulus)
+{
+    switch (stimulus.kind) {
+        case StimulusKind::kRead:
+            return "read@" + std::to_string(stimulus.cpu) + ".b" +
+                   std::to_string(stimulus.block);
+        case StimulusKind::kWrite:
+            return "write@" + std::to_string(stimulus.cpu) + ".b" +
+                   std::to_string(stimulus.block);
+        case StimulusKind::kEvict:
+            return "evict@" + std::to_string(stimulus.cpu) + ".b" +
+                   std::to_string(stimulus.block);
+        case StimulusKind::kFlushPage:
+            return "flush-page";
+        case StimulusKind::kClearRef:
+            return "clear-ref";
+    }
+    return "?";
+}
+
+Protection
+SpecResidentProtection(policy::DirtyPolicyKind dirty)
+{
+    // FAULT/FLUSH/SPUR-PROT under-protect writable clean pages so the
+    // first write faults; the others install the real protection.
+    return IsEmulation(dirty) ? Protection::kReadOnly
+                              : Protection::kReadWrite;
+}
+
+bool
+SpecPageDirty(policy::DirtyPolicyKind dirty, const PteState& pte)
+{
+    return IsEmulation(dirty) ? pte.soft_dirty : pte.dirty;
+}
+
+}  // namespace spur::model

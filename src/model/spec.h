@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The protocol specification the model checker explores: an abstract,
+ * declarative encoding of how one cache block and its page behave under
+ * the Berkeley Ownership protocol [Katz85] combined with the paper's
+ * dirty-bit (Section 3) and reference-bit (Section 4) policies.
+ *
+ * The abstraction tracks *two* cache blocks of one writable page — two
+ * blocks rather than one because the paper's central phenomenon, cached
+ * PTE state going stale, is a cross-block effect: a line's P/PR copy
+ * goes stale when a *different* block's write dirties the page.  With a
+ * single tracked block the dirty-bit-miss, excess-fault and
+ * FLUSH-purge rules would be spec dead code.  Tracked state:
+ *
+ *   - per processor and per tracked block, the Figure 3.2(b) line
+ *     fields: CS (coherency state), PR (cached protection), P (cached
+ *     page dirty), B (block dirty);
+ *   - one shared PTE: residency, PR, D (hardware dirty), SD (software
+ *     dirty), R (referenced), Z (zero-fill-clean marker);
+ *   - the pending bus transaction.  The simulated bus is *atomic* — a
+ *     Read/ReadOwned/Upgrade is a synchronous call that settles before
+ *     the issuing access completes — so this component collapses to
+ *     "none" and every spec rule fuses a transaction's request and
+ *     completion.  DESIGN.md §16 records this modelling decision.
+ *
+ * Transitions are a table of named, guarded rules (SpecRules()): for
+ * every reachable (state, stimulus) pair exactly one rule must be
+ * enabled, which SpecStep() enforces — an unmatched pair is a hole in
+ * the spec, two matched rules an ambiguity; the explorer reports either
+ * as a counterexample.  The rules are written from the paper's and
+ * DESIGN.md's description of the mechanisms, deliberately *not* by
+ * calling the implementation (src/policy/policy_ops.h, src/cache/bus.cc,
+ * src/core/): the differential conformance mode (conform.h) exists to
+ * prove the two encodings agree.
+ */
+#ifndef SPUR_MODEL_SPEC_H_
+#define SPUR_MODEL_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cache/cache.h"
+#include "src/common/types.h"
+#include "src/policy/dirty_policy.h"
+#include "src/policy/ref_policy.h"
+
+namespace spur::model {
+
+/** Largest processor count the model supports (conform drives N=1..3). */
+inline constexpr unsigned kMaxProcs = 3;
+
+/** Cache blocks of the page the model tracks (see the header comment). */
+inline constexpr unsigned kTrackedBlocks = 2;
+
+/** Abstract cache-line state for the tracked block on one processor.
+ *  Mirrors the SoA normalization invariant: an Invalid line has every
+ *  other field zero (cache.h zeroes tag and meta on invalidation). */
+struct LineState {
+    cache::CoherencyState cs = cache::CoherencyState::kInvalid;
+    Protection prot = Protection::kNone;
+    bool page_dirty = false;   ///< P
+    bool block_dirty = false;  ///< B
+
+    bool valid() const { return cs != cache::CoherencyState::kInvalid; }
+    bool operator==(const LineState&) const = default;
+};
+
+/** Abstract PTE state for the tracked (writable, anonymous) page.
+ *  A non-resident page has every field zero. */
+struct PteState {
+    bool resident = false;
+    Protection prot = Protection::kNone;
+    bool dirty = false;       ///< D (hardware dirty bit).
+    bool soft_dirty = false;  ///< SD (Sprite software dirty bit).
+    bool referenced = false;  ///< R
+    bool zfod = false;        ///< Zero-fill-clean marker.
+
+    bool operator==(const PteState&) const = default;
+};
+
+/** One abstract protocol state: N processors × two lines plus the PTE. */
+struct ProtoState {
+    unsigned procs = 1;
+    LineState line[kMaxProcs][kTrackedBlocks];
+    PteState pte;
+
+    bool operator==(const ProtoState& other) const;
+};
+
+/** The stimuli the explorer drives states with. */
+enum class StimulusKind : uint8_t {
+    kRead,       ///< Load/ifetch of one tracked block on one processor.
+    kWrite,      ///< Store to one tracked block on one processor.
+    kEvict,      ///< Conflict miss displaces one block on one processor.
+    kFlushPage,  ///< Kernel page flush through every cache.
+    kClearRef,   ///< Page-daemon front hand clears the reference bit.
+};
+
+struct Stimulus {
+    StimulusKind kind = StimulusKind::kRead;
+    unsigned cpu = 0;    ///< Ignored for the global kinds.
+    unsigned block = 0;  ///< Tracked block index; ditto.
+
+    bool operator==(const Stimulus&) const = default;
+};
+
+/** One model configuration: processor count and the policy pair. */
+struct ModelConfig {
+    unsigned procs = 1;
+    policy::DirtyPolicyKind dirty = policy::DirtyPolicyKind::kSpur;
+    policy::RefPolicyKind ref = policy::RefPolicyKind::kMiss;
+};
+
+/**
+ * One declarative transition rule.  For a (state, stimulus) pair the
+ * rule fires when the stimulus kind matches and the guard holds; apply
+ * returns the successor.  Rule ids are stable — DESIGN.md §16 documents
+ * them and tests/bus_test.cc cross-references them.
+ */
+struct Rule {
+    const char* id;
+    StimulusKind kind;
+    const char* description;
+    bool (*guard)(const ProtoState&, const Stimulus&, const ModelConfig&);
+    ProtoState (*apply)(const ProtoState&, const Stimulus&,
+                        const ModelConfig&);
+};
+
+/** The spec table, in evaluation order. */
+const std::vector<Rule>& SpecRules();
+
+/** Result of applying the spec to one (state, stimulus) pair. */
+struct SpecStepResult {
+    const Rule* rule = nullptr;  ///< The unique enabled rule.
+    ProtoState next;
+};
+
+/**
+ * Applies the spec table.  Returns the unique enabled rule and the
+ * successor; false + *error when no rule or more than one rule is
+ * enabled (a spec hole / ambiguity — itself a checkable defect).
+ */
+bool SpecStep(const ProtoState& state, const Stimulus& stimulus,
+              const ModelConfig& config, SpecStepResult* result,
+              std::string* error);
+
+/** The initial state: page never touched, every cache cold. */
+ProtoState InitialState(const ModelConfig& config);
+
+/**
+ * Every stimulus applicable to @p state: Read/Write/Evict per
+ * (processor, tracked block), plus FlushPage and ClearRef once the page
+ * is resident (the kernel only operates on resident pages).
+ */
+std::vector<Stimulus> EnumerateStimuli(const ProtoState& state);
+
+/**
+ * Canonical encoding of @p state under processor symmetry: per-
+ * processor line codes sorted descending, so states differing only by a
+ * permutation of processor ids collapse to one key.  Invariants and
+ * stimuli are symmetric in the processor id, which makes exploring one
+ * representative per key sound.  (Tracked blocks are NOT symmetric-
+ * reduced: they are interchangeable in the spec, but keeping both
+ * orders costs little and keeps traces concrete.)
+ */
+uint64_t CanonicalKey(const ProtoState& state);
+
+/** Compact rendering, e.g. "[UO ro, OE rw P B | I, I] pte{rw D R}". */
+std::string ToString(const ProtoState& state);
+std::string ToString(const Stimulus& stimulus);
+
+/** The protection the VM installs when the page faults in (writable
+ *  page): read-only under the protection-emulating policies. */
+Protection SpecResidentProtection(policy::DirtyPolicyKind dirty);
+
+/** The policy's record of "this page was modified" (D or SD). */
+bool SpecPageDirty(policy::DirtyPolicyKind dirty, const PteState& pte);
+
+}  // namespace spur::model
+
+#endif  // SPUR_MODEL_SPEC_H_

@@ -107,6 +107,54 @@ TEST_F(BusTest, UpgradeTransfersOwnershipFromDirtyPeer)
     EXPECT_FALSE(caches_[1]->Lookup(0x1000));
 }
 
+TEST_F(BusTest, EvictionOfOwnedSharedLeavesPeersAndFallsBackToMemory)
+{
+    // Spec rule `evict` (src/model/spec.cc): displacing the owner
+    // writes the dirty block back and leaves UnOwned peers untouched —
+    // ownership is not handed over, so the next read is a memory
+    // supply (rule `read-miss` with no owner on the bus).
+    Install(1, 0x1000, CoherencyState::kOwnedShared);
+    Install(2, 0x1000, CoherencyState::kUnOwned);
+
+    // A conflicting fill one cache-size above displaces cache 1's copy.
+    Eviction eviction;
+    caches_[1]->Fill(0x1000 + config_.cache_bytes, Protection::kReadWrite,
+                     false, &eviction);
+    EXPECT_TRUE(eviction.happened);
+    EXPECT_TRUE(eviction.writeback);  // The owner's copy was dirty.
+    EXPECT_FALSE(caches_[1]->Lookup(0x1000));
+    EXPECT_EQ(caches_[2]->Lookup(0x1000).state(),
+              CoherencyState::kUnOwned);
+
+    const BusResult result = bus_.Read(0x1000, 0);
+    EXPECT_FALSE(result.supplied_by_cache);  // Memory, not cache 2.
+    EXPECT_EQ(result.invalidations, 0u);
+    EXPECT_EQ(caches_[2]->Lookup(0x1000).state(),
+              CoherencyState::kUnOwned);
+}
+
+TEST_F(BusTest, WriteHitOnUnOwnedSharedCopyUpgradesAndInvalidatesPeers)
+{
+    // Spec rules `write-hit-fast`/`write-hit-refresh` (src/model/
+    // spec.cc): a write hit on a non-exclusive copy issues Upgrade,
+    // every peer copy dies, and MarkWritten leaves the writer
+    // OwnedExclusive with B set.
+    LineRef writer = caches_[0]->Fill(0x1000, Protection::kReadWrite,
+                                      true, nullptr);
+    Install(1, 0x1000, CoherencyState::kUnOwned);
+    Install(2, 0x1000, CoherencyState::kUnOwned);
+    ASSERT_EQ(writer.state(), CoherencyState::kUnOwned);
+
+    const BusResult result = bus_.Upgrade(0x1000, 0);
+    VirtualCache::MarkWritten(writer);
+
+    EXPECT_EQ(result.invalidations, 2u);
+    EXPECT_FALSE(caches_[1]->Lookup(0x1000));
+    EXPECT_FALSE(caches_[2]->Lookup(0x1000));
+    EXPECT_EQ(writer.state(), CoherencyState::kOwnedExclusive);
+    EXPECT_TRUE(writer.block_dirty());
+}
+
 TEST_F(BusTest, TransactionsIgnoreOtherAddresses)
 {
     Install(1, 0x2000, CoherencyState::kOwnedExclusive);

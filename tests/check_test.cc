@@ -379,6 +379,25 @@ TEST_F(PassTest, MpCoherencyFiresOnOwnershipViolations)
     EXPECT_GE(Fires(kPassMpCoherency), 2u);
 }
 
+TEST_F(PassTest, MpCoherencyFiresOnDirtyBlockWithoutOwner)
+{
+    // Model invariant M3 (src/model/invariants.h): modified data must
+    // sit with an owner, or the bus never writes it back.  The model
+    // checker proves the protocol cannot reach this state; the runtime
+    // pass guards the same line against implementation bugs.
+    cache::VirtualCache peer(config_);
+    context_.caches = {&vcache_, &peer};
+
+    pt::Pte& pte = MakeResident(100, Protection::kReadWrite);
+    pte.set_dirty(true);
+    cache::LineRef line = CacheBlock(100, pte);
+    EXPECT_EQ(Fires(kPassMpCoherency), 0u);
+
+    // Corrupt: dirty data in an UnOwned copy.
+    line.set_block_dirty(true);
+    EXPECT_EQ(Fires(kPassMpCoherency), 1u);
+}
+
 TEST_F(PassTest, MpCoherencySkipsUniprocessors)
 {
     pt::Pte& pte = MakeResident(100, Protection::kReadWrite);

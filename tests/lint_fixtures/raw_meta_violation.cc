@@ -1,0 +1,14 @@
+// Seeded violation: decodes a packed cache-line meta byte with the raw
+// bit constants outside src/cache/cache.* — the layout is private to
+// the cache layer; callers go through LineRef/ConstLineRef.
+#include <cstdint>
+
+namespace meta {
+inline constexpr uint8_t kStateMask = 0x03;
+}
+
+bool
+IsCached(uint8_t meta_byte)
+{
+    return (meta_byte & meta::kStateMask) != 0;
+}

@@ -53,6 +53,7 @@ constexpr SeededFixture kSeeded[] = {
     {"schema_violation.cc", "schema-version-once"},
     {"bench/no_session.cc", "bench-session"},
     {"hot_path_virtual.cc", "no-virtual-in-hot-path"},
+    {"raw_meta_violation.cc", "no-raw-meta-bits"},
 };
 
 TEST(LintTest, EveryRuleCatchesItsSeededFixture)
@@ -104,7 +105,7 @@ TEST(LintTest, WholeCorpusInOneRunStaysSorted)
             << error;
     }
     const std::vector<Violation> violations = linter.Run();
-    EXPECT_EQ(violations.size(), 7u);
+    EXPECT_EQ(violations.size(), std::size(kSeeded));
     for (size_t i = 1; i < violations.size(); ++i) {
         EXPECT_LE(violations[i - 1].file, violations[i].file);
     }

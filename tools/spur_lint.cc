@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/args.h"
 #include "src/lint/lint.h"
 
 namespace {
@@ -53,13 +54,14 @@ main(int argc, char** argv)
 
     std::string compile_commands;
     std::vector<std::string> paths;
+    std::string value;
     bool list_rules = false;
     for (const std::string& arg : args) {
-        if (arg.rfind("--compile-commands=", 0) == 0) {
-            compile_commands = arg.substr(std::string("--compile-commands=").size());
+        if (spur::MatchFlag(arg, "compile-commands", &value)) {
+            compile_commands = value;
         } else if (arg == "--list-rules") {
             list_rules = true;
-        } else if (arg.rfind("--", 0) == 0) {
+        } else if (spur::IsFlagArg(arg)) {
             std::fprintf(stderr, "spur_lint: unknown option '%s'\n",
                          arg.c_str());
             return Usage();

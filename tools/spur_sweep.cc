@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/args.h"
 #include "src/stats/run_record.h"
 #include "src/sweep/diff.h"
 #include "src/sweep/merge.h"
@@ -44,6 +45,9 @@
 
 namespace {
 
+using spur::IsFlagArg;
+using spur::MatchFlag;
+using spur::ParsePositiveDouble;
 using spur::sweep::DiffOptions;
 using spur::sweep::DiffTelemetry;
 using spur::sweep::FormatDiffReport;
@@ -119,12 +123,13 @@ Merge(const std::vector<std::string>& args)
     std::string out_path = "-";
     MergeOptions options;
     std::vector<std::string> paths;
+    std::string value;
     for (const std::string& arg : args) {
-        if (arg.rfind("--out=", 0) == 0) {
-            out_path = arg.substr(6);
+        if (MatchFlag(arg, "out", &value)) {
+            out_path = value;
         } else if (arg == "--strip-telemetry") {
             options.strip_telemetry = true;
-        } else if (arg.rfind("--", 0) == 0 && arg != "-") {
+        } else if (IsFlagArg(arg)) {
             std::cerr << "spur_sweep: unknown merge option '" << arg
                       << "'\n";
             return 2;
@@ -171,46 +176,33 @@ Merge(const std::vector<std::string>& args)
     return 0;
 }
 
-/** Parses a positive double CLI value; false on garbage. */
-bool
-ParsePositiveDouble(const std::string& text, double* out)
-{
-    char* end = nullptr;
-    const double value = std::strtod(text.c_str(), &end);
-    if (end == text.c_str() || *end != '\0' || !(value > 0.0)) {
-        return false;
-    }
-    *out = value;
-    return true;
-}
-
 int
 Diff(const std::vector<std::string>& args)
 {
     DiffOptions options;
     std::vector<std::string> paths;
+    std::string value;
     for (const std::string& arg : args) {
-        if (arg.rfind("--threshold=", 0) == 0) {
-            if (!ParsePositiveDouble(arg.substr(12), &options.threshold)) {
+        if (MatchFlag(arg, "threshold", &value)) {
+            if (!ParsePositiveDouble(value, &options.threshold)) {
                 std::cerr << "spur_sweep: bad --threshold value in '" << arg
                           << "'\n";
                 return 2;
             }
-        } else if (arg.rfind("--min-wall=", 0) == 0) {
-            if (!ParsePositiveDouble(arg.substr(11),
-                                     &options.min_wall_seconds)) {
+        } else if (MatchFlag(arg, "min-wall", &value)) {
+            if (!ParsePositiveDouble(value, &options.min_wall_seconds)) {
                 std::cerr << "spur_sweep: bad --min-wall value in '" << arg
                           << "'\n";
                 return 2;
             }
-        } else if (arg.rfind("--fail-throughput=", 0) == 0) {
-            if (!ParsePositiveDouble(arg.substr(18),
+        } else if (MatchFlag(arg, "fail-throughput", &value)) {
+            if (!ParsePositiveDouble(value,
                                      &options.throughput_threshold)) {
                 std::cerr << "spur_sweep: bad --fail-throughput value in '"
                           << arg << "'\n";
                 return 2;
             }
-        } else if (arg.rfind("--", 0) == 0 && arg != "-") {
+        } else if (IsFlagArg(arg)) {
             std::cerr << "spur_sweep: unknown diff-telemetry option '"
                       << arg << "'\n";
             return 2;
@@ -250,10 +242,11 @@ Recover(const std::vector<std::string>& args)
 {
     std::string out_path = "-";
     std::vector<std::string> paths;
+    std::string value;
     for (const std::string& arg : args) {
-        if (arg.rfind("--out=", 0) == 0) {
-            out_path = arg.substr(6);
-        } else if (arg.rfind("--", 0) == 0 && arg != "-") {
+        if (MatchFlag(arg, "out", &value)) {
+            out_path = value;
+        } else if (IsFlagArg(arg)) {
             std::cerr << "spur_sweep: unknown recover option '" << arg
                       << "'\n";
             return 2;
