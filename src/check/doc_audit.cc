@@ -1,0 +1,178 @@
+#include "src/check/doc_audit.h"
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/check/dominance.h"
+#include "src/policy/dirty_policy.h"
+#include "src/policy/ref_policy.h"
+
+namespace spur::check {
+
+namespace {
+
+std::optional<double>
+Metric(const stats::RunRecord& record, const char* name)
+{
+    for (const auto& [metric, value] : record.metrics) {
+        if (metric == name) {
+            return value;
+        }
+    }
+    return std::nullopt;
+}
+
+/** Intrinsic dirty faults from the recorded metrics (N_ds - N_zfod). */
+std::optional<double>
+RecordedIntrinsicFaults(const stats::RunRecord& record)
+{
+    const std::optional<double> n_ds = Metric(record, "n_ds");
+    const std::optional<double> n_zfod = Metric(record, "n_zfod");
+    if (!n_ds || !n_zfod) {
+        return std::nullopt;
+    }
+    return *n_ds - *n_zfod;
+}
+
+/**
+ * Cell-matching key with the dirty policy removed (MIN dominance); the
+ * ref policy stays in.  The '\x1f' separator cannot appear in the
+ * components (policy/workload names and decimal integers).
+ */
+std::string
+DirtyKey(const stats::RunRecord& record)
+{
+    std::string key = record.bench;
+    key += '\x1f';
+    key += record.workload;
+    key += '\x1f';
+    key += record.ref_policy;
+    key += '\x1f';
+    key += std::to_string(record.memory_mb);
+    key += '\x1f';
+    key += std::to_string(record.rep);
+    key += '\x1f';
+    key += std::to_string(record.seed);
+    return key;
+}
+
+/** Matching key for NOREF-vs-MISS (ref policy removed, dirty kept). */
+std::string
+RefKey(const stats::RunRecord& record)
+{
+    std::string key = record.bench;
+    key += '\x1f';
+    key += record.workload;
+    key += '\x1f';
+    key += record.dirty_policy;
+    key += '\x1f';
+    key += std::to_string(record.memory_mb);
+    key += '\x1f';
+    key += std::to_string(record.rep);
+    key += '\x1f';
+    key += std::to_string(record.seed);
+    return key;
+}
+
+std::string
+CellLabel(const stats::RunRecord& record)
+{
+    std::string label = record.workload;
+    label += '/';
+    label += std::to_string(record.memory_mb);
+    label += "MB seed=";
+    label += std::to_string(record.seed);
+    label += " rep=";
+    label += std::to_string(record.rep);
+    label += " (bench ";
+    label += record.bench;
+    label += ')';
+    return label;
+}
+
+std::string
+PolicyPair(const stats::RunRecord& record)
+{
+    std::string label = record.dirty_policy;
+    label += '/';
+    label += record.ref_policy;
+    return label;
+}
+
+}  // namespace
+
+AuditReport
+AuditSweepRecords(const std::vector<stats::RunRecord>& records)
+{
+    AuditReport report;
+    const std::string min_name =
+        policy::ToString(policy::DirtyPolicyKind::kMin);
+    const std::string miss_name =
+        policy::ToString(policy::RefPolicyKind::kMiss);
+    const std::string noref_name =
+        policy::ToString(policy::RefPolicyKind::kNoRef);
+
+    // ---- MIN <= every real dirty-bit alternative -----------------------
+    report.BeginPass(kPassMinDominance);
+    std::map<std::string, const stats::RunRecord*> min_cell;
+    for (const stats::RunRecord& record : records) {
+        if (record.dirty_policy == min_name &&
+            RecordedIntrinsicFaults(record)) {
+            min_cell[DirtyKey(record)] = &record;
+        }
+    }
+    for (const stats::RunRecord& record : records) {
+        if (record.dirty_policy == min_name) {
+            continue;
+        }
+        const std::optional<double> faults =
+            RecordedIntrinsicFaults(record);
+        if (!faults) {
+            continue;  // Bespoke record without the standard metrics.
+        }
+        const auto it = min_cell.find(DirtyKey(record));
+        if (it == min_cell.end()) {
+            continue;  // No matched MIN run to compare against.
+        }
+        const double min_faults = *RecordedIntrinsicFaults(*it->second);
+        if (min_faults > *faults) {
+            report.Add(
+                Severity::kError, PolicyPair(record), kNoPage,
+                "MIN took " + std::to_string(min_faults) +
+                    " intrinsic dirty faults but " + record.dirty_policy +
+                    " took only " + std::to_string(*faults) + " on " +
+                    CellLabel(record) + " (MIN must be a lower bound)");
+        }
+    }
+
+    // ---- NOREF page-ins >= MISS page-ins -------------------------------
+    report.BeginPass(kPassNorefPageIns);
+    std::map<std::string, const stats::RunRecord*> miss_cell;
+    for (const stats::RunRecord& record : records) {
+        if (record.ref_policy == miss_name) {
+            miss_cell[RefKey(record)] = &record;
+        }
+    }
+    for (const stats::RunRecord& record : records) {
+        if (record.ref_policy != noref_name) {
+            continue;
+        }
+        const auto it = miss_cell.find(RefKey(record));
+        if (it == miss_cell.end()) {
+            continue;
+        }
+        if (record.page_ins < it->second->page_ins) {
+            report.Add(
+                Severity::kWarning, PolicyPair(record), kNoPage,
+                "NOREF paged in " + std::to_string(record.page_ins) +
+                    " but MISS paged in " +
+                    std::to_string(it->second->page_ins) + " on " +
+                    CellLabel(record) +
+                    " (NOREF should page at least as much)");
+        }
+    }
+    return report;
+}
+
+}  // namespace spur::check

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Dominance audits over recorded sweep documents.
+ *
+ * The in-process matrix audit (src/check/dominance.h) needs the full
+ * result grid, so sharded sweeps (shard_count > 1) and resumed runs
+ * historically skipped it — the only audit gap in the pipeline.  This
+ * closes it: the same MIN / NOREF dominance passes, re-derived from the
+ * records of a *merged* document (`spur_sweep audit`), where the full
+ * grid exists again regardless of how many shards produced it.
+ *
+ * Records carry everything the comparisons need: the n_ds / n_zfod
+ * metrics BenchSession writes for every matrix cell (intrinsic dirty
+ * faults = n_ds - n_zfod) and the page_ins field.  Cells match on the
+ * record identity fields minus the policy under test; records missing
+ * the metrics (bespoke bench output) are skipped, not failed.
+ */
+#ifndef SPUR_CHECK_DOC_AUDIT_H_
+#define SPUR_CHECK_DOC_AUDIT_H_
+
+#include <vector>
+
+#include "src/check/report.h"
+#include "src/stats/run_record.h"
+
+namespace spur::check {
+
+/**
+ * Runs the MIN-dominance (error) and NOREF-page-ins (warning) passes
+ * over @p records, pairing cells that agree on every identity field
+ * except the policy under comparison.  Uses the same pass names as the
+ * in-process audit (kPassMinDominance, kPassNorefPageIns).
+ */
+AuditReport AuditSweepRecords(
+    const std::vector<stats::RunRecord>& records);
+
+}  // namespace spur::check
+
+#endif  // SPUR_CHECK_DOC_AUDIT_H_

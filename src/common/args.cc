@@ -1,5 +1,6 @@
 #include "src/common/args.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 
@@ -111,6 +112,53 @@ ParseUnsigned(const std::string& text, uint64_t* out)
     }
     *out = value;
     return true;
+}
+
+std::string
+FormatToolUsage(const std::string& tool, const std::string& overview,
+                const std::vector<ToolCommand>& commands)
+{
+    std::string text = "usage: ";
+    const std::string continuation(7, ' ');  // Aligns under "usage: ".
+    for (size_t i = 0; i < commands.size(); ++i) {
+        if (i > 0) {
+            text += continuation;
+        }
+        text += tool;
+        text += ' ';
+        text += commands[i].synopsis;
+        text += '\n';
+    }
+    if (!overview.empty()) {
+        text += '\n';
+        text += overview;
+        text += '\n';
+    }
+    // Flag docs align on one column across the whole tool.
+    size_t widest = 0;
+    for (const ToolCommand& command : commands) {
+        for (const ToolFlag& flag : command.flags) {
+            widest = std::max(widest, flag.name.size());
+        }
+    }
+    for (const ToolCommand& command : commands) {
+        text += '\n';
+        text += tool;
+        text += ' ';
+        text += command.synopsis;
+        text += '\n';
+        text += "  ";
+        text += command.summary;
+        text += '\n';
+        for (const ToolFlag& flag : command.flags) {
+            text += "    ";
+            text += flag.name;
+            text += std::string(widest - flag.name.size() + 2, ' ');
+            text += flag.doc;
+            text += '\n';
+        }
+    }
+    return text;
 }
 
 }  // namespace spur

@@ -74,6 +74,35 @@ bool ParsePositiveDouble(const std::string& text, double* out);
  *  trailing junk, or overflow. */
 bool ParseUnsigned(const std::string& text, uint64_t* out);
 
+// ---------------------------------------------------------------------------
+// Unified --help / usage rendering.  Every subcommand tool (spur_sweep,
+// spur_lint, spur_model, spur_serve) declares its commands as data and
+// renders them through FormatToolUsage, so flag docs line up the same
+// way in every tool instead of each hand-wrapping its own string.
+// ---------------------------------------------------------------------------
+
+/** One documented flag of a subcommand. */
+struct ToolFlag {
+    std::string name;  ///< As typed, e.g. "--out=FILE".
+    std::string doc;   ///< One-line description.
+};
+
+/** One subcommand of a tool. */
+struct ToolCommand {
+    std::string synopsis;  ///< E.g. "merge [options] FILE...".
+    std::string summary;   ///< One-or-two-line description.
+    std::vector<ToolFlag> flags;
+};
+
+/**
+ * Renders the standard usage text: a "usage:" block listing every
+ * synopsis, the overview, then one section per command with its
+ * summary and aligned flag docs.
+ */
+std::string FormatToolUsage(const std::string& tool,
+                            const std::string& overview,
+                            const std::vector<ToolCommand>& commands);
+
 }  // namespace spur
 
 #endif  // SPUR_COMMON_ARGS_H_

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Client side of the sweep service (DESIGN.md §17): submit a request,
+ * stream the reply into a resumable save file, recover the document.
+ *
+ * The reply is a SPUR-STREAM/1 file arriving over the socket, so the
+ * save file IS a stream file at every instant: a client killed at any
+ * byte leaves a torn-but-recoverable prefix, and resubmitting with the
+ * same save path truncates the torn tail, tells the server how many
+ * record frames it already holds, and appends only the missing bytes.
+ * A completed save file recovers (via the existing RecoverStreamBytes
+ * path) to the exact document an offline --json run would have written.
+ */
+#ifndef SPUR_SERVE_CLIENT_H_
+#define SPUR_SERVE_CLIENT_H_
+
+#include <optional>
+#include <string>
+
+#include "src/serve/request.h"
+#include "src/sweep/merge.h"
+
+namespace spur::serve {
+
+/** Client connection configuration. */
+struct SubmitOptions {
+    std::string socket_path;
+    /// Longest silent gap tolerated while waiting for reply bytes; a
+    /// busy server streams records as they finish, so this bounds
+    /// per-cell latency, not total request time.
+    int timeout_ms = 60000;
+};
+
+/** What one submission attempt produced. */
+struct SubmitResult {
+    /// False when the server rejected the request; reject_reason then
+    /// carries the server's explanation.  (Also true for a request
+    /// satisfied entirely from a complete save file, no server needed.)
+    bool accepted = false;
+    /// True when the reply stream completed with a verified trailer;
+    /// document is then the full sweep document.
+    bool complete = false;
+    std::string reject_reason;
+    /// Record frames held after this attempt (resume position).
+    uint64_t records = 0;
+    sweep::SweepDocument document;
+};
+
+/**
+ * Submits @p request, streaming the reply into @p save_path (empty =
+ * in-memory only, not resumable).  An existing save file is recovered
+ * first: if complete, the request is satisfied locally without
+ * touching the server; otherwise its torn tail is truncated and the
+ * reply resumes after the records it already holds.  Returns nullopt +
+ * *error on hard failures — connection refused, protocol violations, a
+ * corrupt save file, I/O errors.  A torn reply (server died, timeout)
+ * is NOT a hard failure: the result has accepted && !complete and the
+ * save file keeps every byte received, ready to resume.
+ */
+std::optional<SubmitResult> SubmitRequest(const SweepRequest& request,
+                                          const SubmitOptions& options,
+                                          const std::string& save_path,
+                                          std::string* error);
+
+}  // namespace spur::serve
+
+#endif  // SPUR_SERVE_CLIENT_H_

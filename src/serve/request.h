@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Sweep requests: the unit of work the sweep service executes
+ * (DESIGN.md §17).
+ *
+ * A SweepRequest names a sweep (the bench field of every record it
+ * produces) and lists the matrix cells to run — the same
+ * (configs × reps) shape runner::BenchSession executes behind --json.
+ * The request schema is versioned (kRequestVersion) and strictly
+ * parsed: unknown keys, mistyped fields and unknown policy names are
+ * rejected with a reason instead of terminating the process, because
+ * the daemon must survive malformed requests from any client.
+ *
+ * ExecuteSweepRequest is the one executor both the daemon and the
+ * offline `spur_serve exec` reference path share, which is what makes a
+ * served reply byte-identical to an offline --json run: same cell
+ * seeding (runner::CellSeed), same shuffled execution order cost-sorted
+ * longest-first, same ascending (config, rep) record commit order, and
+ * the exact record field set BenchSession::MakeRecord writes.
+ */
+#ifndef SPUR_SERVE_REQUEST_H_
+#define SPUR_SERVE_REQUEST_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/stats/run_record.h"
+#include "src/sweep/merge.h"
+
+namespace spur::serve {
+
+/** Version of the request schema; bump on any shape change. */
+inline constexpr int kRequestVersion = 1;
+
+/** One sweep request: a named experiment matrix. */
+struct SweepRequest {
+    std::string name;           ///< Bench name stamped on every record.
+    uint32_t reps = 1;          ///< Repetitions per config.
+    uint64_t shuffle_seed = 42; ///< Execution-order shuffle seed.
+    std::vector<core::RunConfig> configs;
+};
+
+/** Matrix cells the request executes (configs × reps). */
+uint64_t TotalCells(const SweepRequest& request);
+
+/**
+ * Parses a request document:
+ *   {"request_version": 1, "name": N, "reps": R, "shuffle_seed": S,
+ *    "cells": [{"workload": W, "memory_mb": M, "dirty": D, "ref": F,
+ *               "refs": B, "seed": X, "intensity": I,
+ *               "page_in_us": P}, ...]}
+ * reps/shuffle_seed and all cell fields except workload are optional
+ * (core::RunConfig defaults).  Unknown keys, bad types, unknown policy
+ * or workload names and out-of-range values are errors — never fatal.
+ */
+std::optional<SweepRequest> ParseSweepRequest(const std::string& json,
+                                              std::string* error);
+
+/** ParseSweepRequest over an already-parsed JSON value. */
+bool ParseSweepRequestValue(const sweep::JsonValue& value,
+                            SweepRequest* out, std::string* error);
+
+/** Reads @p path ("-" = stdin) and parses it as a request. */
+std::optional<SweepRequest> LoadRequestFile(const std::string& path,
+                                            std::string* error);
+
+/**
+ * Canonical serialization: every field explicit, so
+ * ParseSweepRequest(ToJson(r)) reproduces @p request exactly.
+ */
+std::string ToJson(const SweepRequest& request);
+
+/**
+ * The standard record for one executed cell — field for field what
+ * runner::BenchSession::MakeRecord writes, which the reply
+ * byte-identity contract depends on.  @p config carries the derived
+ * per-cell seed (runner::CellSeed), exactly as BenchSession records it.
+ */
+stats::RunRecord MakeRequestRecord(const std::string& name,
+                                   const core::RunConfig& config,
+                                   uint32_t rep,
+                                   const core::RunResult& result);
+
+/** Hooks the daemon threads scheduling, output and cancellation through. */
+struct ExecuteHooks {
+    /// Schedules one cell task.  Unset = a private pool per call; the
+    /// daemon passes the shared runner::ThreadPool's Submit so cells
+    /// from every connection multiplex over one worker set.
+    std::function<void(std::function<void()>)> submit;
+    /// Measured-cost hint (seconds, negative = unknown) driving
+    /// longest-first execution order; never affects result bytes.
+    std::function<double(const core::RunConfig&, uint32_t)> cost;
+    /// Fired once per cell in ascending (config, rep) order with the
+    /// cell's finished record; return false to cancel the rest (the
+    /// daemon returns false when the reply socket write fails).
+    std::function<bool(const stats::RunRecord&)> commit;
+    /// Polled between cells while the committer waits; true = cancel
+    /// (the daemon polls for client disconnect here).
+    std::function<bool()> cancelled;
+};
+
+/** What one execution produced. */
+struct ExecuteOutcome {
+    /// The request's sweep document: the committed records under the
+    /// meta an offline --json run would write.  Partial on cancel
+    /// (ran_cells then counts only the committed prefix).
+    sweep::SweepDocument document;
+    bool completed = false;  ///< Every cell ran and was committed.
+    uint64_t committed = 0;  ///< Cells committed (a prefix of the matrix).
+};
+
+/**
+ * Executes @p request and commits each cell's record in ascending
+ * (config, rep) order.  @p jobs sizes the private pool when
+ * hooks.submit is unset (0 = DefaultJobs).  On cancellation —
+ * hooks.cancelled turning true, hooks.commit returning false, or a
+ * cell throwing — cells not yet started are skipped (their queue slots
+ * drain as no-ops) and the call still waits for every in-flight cell
+ * before returning, so hooks never outlive the call.
+ */
+ExecuteOutcome ExecuteSweepRequest(const SweepRequest& request,
+                                   unsigned jobs,
+                                   const ExecuteHooks& hooks);
+
+}  // namespace spur::serve
+
+#endif  // SPUR_SERVE_REQUEST_H_

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The sweep service daemon (DESIGN.md §17).
+ *
+ * SweepServer accepts SPUR-SERVE/1 connections on a Unix-domain socket,
+ * admits or rejects each request against a bounded cell queue, executes
+ * admitted requests over one shared runner::ThreadPool (cells from
+ * every connection multiplex over the same workers, longest-first when
+ * a cost table is loaded), and streams each reply incrementally as
+ * SPUR-STREAM/1 frames so a torn client can reconnect and resume.
+ *
+ * Admission / backpressure (checked atomically per request):
+ *   - draining                          -> reject "draining"
+ *   - more than max_clients connections -> reject "too many clients"
+ *   - request bigger than the queue     -> reject "exceeds queue capacity"
+ *   - queue + request over capacity     -> reject "queue full"
+ *   - resume offset beyond the request  -> reject "beyond the request"
+ * Rejections carry their reason in an E frame and never block, so the
+ * daemon survives saturation without deadlocking: queued cells drain,
+ * capacity frees, later requests are admitted again.
+ *
+ * Lifecycle: Start() binds and listens, Run() serves until
+ * RequestDrain() (async-signal-safe; the SIGTERM/SIGINT handlers in
+ * tools/spur_serve.cc call it) — then the listener closes, in-flight
+ * replies finish streaming, and Run() returns.  A client that
+ * disconnects mid-reply cancels its remaining cells: queued ones become
+ * no-ops, freeing queue capacity for other clients.
+ */
+#ifndef SPUR_SERVE_SERVER_H_
+#define SPUR_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
+#include "src/runner/thread_pool.h"
+#include "src/sweep/cost.h"
+
+namespace spur::serve {
+
+/** Daemon configuration. */
+struct ServeOptions {
+    std::string socket_path;
+    unsigned jobs = 0;  ///< Shared-pool workers; 0 = DefaultJobs().
+    /// Cells admitted but not yet executed, across all clients; a
+    /// request that would push past this is rejected with a reason.
+    uint64_t max_queued_cells = 4096;
+    /// Concurrent connections; the one over the limit is rejected.
+    unsigned max_clients = 32;
+    /// How long a connected client may take to send its request frame.
+    int request_timeout_ms = 10000;
+    /// Measured durations driving longest-first cell scheduling
+    /// (--costs; empty = shuffled order).  Never affects reply bytes.
+    sweep::CostTable costs;
+};
+
+/** The daemon.  Construct, Start(), then Run() on the serving thread. */
+class SweepServer
+{
+  public:
+    explicit SweepServer(ServeOptions options);
+    ~SweepServer();
+
+    SweepServer(const SweepServer&) = delete;
+    SweepServer& operator=(const SweepServer&) = delete;
+
+    /**
+     * Binds the socket (replacing any stale file at the path), starts
+     * listening and spins up the shared pool.  False + *error on
+     * failure; the server is then unusable.
+     */
+    bool Start(std::string* error);
+
+    /**
+     * Accepts and serves connections until RequestDrain().  Returns the
+     * process exit code: 0 after a clean drain (every in-flight reply
+     * finished streaming first).
+     */
+    int Run();
+
+    /**
+     * Requests a graceful drain: stop accepting, finish in-flight
+     * replies, make Run() return.  Async-signal-safe (a single write to
+     * a self-pipe), so signal handlers may call it directly.
+     */
+    void RequestDrain();
+
+    /** Cells admitted but not yet finished executing (tests). */
+    uint64_t queued_cells() const SPUR_EXCLUDES(mutex_);
+
+  private:
+    struct Admission {
+        bool ok = false;
+        std::string reason;
+    };
+
+    /** One connection, on its own thread: read, admit, execute, stream. */
+    void ServeConnection(int fd) SPUR_EXCLUDES(mutex_);
+    void HandleRequest(int fd) SPUR_EXCLUDES(mutex_);
+
+    /** The atomic admission decision for one parsed request. */
+    Admission Admit(uint64_t cells, uint64_t have_records)
+        SPUR_EXCLUDES(mutex_);
+
+    ServeOptions options_;
+    int listen_fd_ = -1;
+    int drain_pipe_[2] = {-1, -1};
+    std::unique_ptr<runner::ThreadPool> pool_;
+
+    mutable Mutex mutex_;
+    bool draining_ SPUR_GUARDED_BY(mutex_) = false;
+    unsigned active_clients_ SPUR_GUARDED_BY(mutex_) = 0;
+    uint64_t queued_cells_ SPUR_GUARDED_BY(mutex_) = 0;
+
+    /// Connection threads; only the Run() thread touches this.
+    std::vector<std::thread> connections_;
+};
+
+}  // namespace spur::serve
+
+#endif  // SPUR_SERVE_SERVER_H_

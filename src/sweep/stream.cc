@@ -23,18 +23,6 @@ constexpr uint64_t kFnvPrime = 1099511628211ULL;
 /** Frame payloads larger than this are corruption, not sweep records. */
 constexpr uint64_t kMaxFramePayload = 1ULL << 30;
 
-uint64_t
-FnvMixPayload(uint64_t digest, const std::string& payload)
-{
-    for (const char c : payload) {
-        digest ^= static_cast<unsigned char>(c);
-        digest *= kFnvPrime;
-    }
-    digest ^= static_cast<unsigned char>('\n');
-    digest *= kFnvPrime;
-    return digest;
-}
-
 std::string
 DigestHex(uint64_t digest)
 {
@@ -211,6 +199,80 @@ ParseStreamHeader(const std::string& payload, stats::DocumentMeta* meta,
 }  // namespace
 
 // ---------------------------------------------------------------------------
+// Frame encoding (shared with src/serve/)
+// ---------------------------------------------------------------------------
+
+std::string
+EncodeStreamFrame(char tag, const std::string& payload)
+{
+    std::string frame;
+    frame.reserve(payload.size() + 16);
+    frame += tag;
+    frame += ' ';
+    frame += std::to_string(payload.size());
+    frame += '\n';
+    frame += payload;
+    frame += '\n';
+    return frame;
+}
+
+std::string
+EncodeStreamHeaderPayload(const std::string& bench, uint32_t shard_index,
+                          uint32_t shard_count)
+{
+    std::string header = "{\"stream_version\": ";
+    header += std::to_string(kStreamVersion);
+    header += ", \"bench\": \"";
+    header += stats::JsonWriter::Escape(bench);
+    header += "\", \"shard\": {\"index\": ";
+    header += std::to_string(shard_index);
+    header += ", \"count\": ";
+    header += std::to_string(shard_count);
+    header += "}}";
+    return header;
+}
+
+std::string
+EncodeStreamTrailerPayload(const stats::DocumentMeta& meta,
+                           uint64_t records, uint64_t digest)
+{
+    std::string trailer = "{\"records\": ";
+    trailer += std::to_string(records);
+    trailer += ", \"schema_version\": ";
+    trailer += std::to_string(stats::kSchemaVersion);
+    trailer += ", \"shard\": {\"index\": ";
+    trailer += std::to_string(meta.shard_index);
+    trailer += ", \"count\": ";
+    trailer += std::to_string(meta.shard_count);
+    trailer += ", \"total_cells\": ";
+    trailer += std::to_string(meta.total_cells);
+    trailer += ", \"ran_cells\": ";
+    trailer += std::to_string(meta.ran_cells);
+    trailer += "}, \"digest\": \"";
+    trailer += DigestHex(digest);
+    trailer += "\"}";
+    return trailer;
+}
+
+uint64_t
+StreamDigestInit()
+{
+    return kFnvOffset;
+}
+
+uint64_t
+StreamDigestMix(uint64_t digest, const std::string& payload)
+{
+    for (const char c : payload) {
+        digest ^= static_cast<unsigned char>(c);
+        digest *= kFnvPrime;
+    }
+    digest ^= static_cast<unsigned char>('\n');
+    digest *= kFnvPrime;
+    return digest;
+}
+
+// ---------------------------------------------------------------------------
 // StreamWriter
 // ---------------------------------------------------------------------------
 
@@ -232,14 +294,7 @@ bool
 StreamWriter::WriteFrame(char tag, const std::string& payload,
                          std::string* error)
 {
-    std::string frame;
-    frame.reserve(payload.size() + 16);
-    frame += tag;
-    frame += ' ';
-    frame += std::to_string(payload.size());
-    frame += '\n';
-    frame += payload;
-    frame += '\n';
+    const std::string frame = EncodeStreamFrame(tag, payload);
     if (!WriteAll(fd_, frame) || ::fsync(fd_) != 0) {
         Fail(error, std::string("stream write failed: ") +
                         std::strerror(errno));
@@ -264,22 +319,15 @@ StreamWriter::Open(const std::string& path, const std::string& bench,
                     path + ": cannot open: " + std::strerror(errno));
     }
     appended_ = 0;
-    digest_ = kFnvOffset;
+    digest_ = StreamDigestInit();
     if (!WriteAll(fd_, kStreamMagic)) {
         Fail(error, path + ": write failed: " + std::strerror(errno));
         Close();
         return false;
     }
-    std::string header = "{\"stream_version\": ";
-    header += std::to_string(kStreamVersion);
-    header += ", \"bench\": \"";
-    header += stats::JsonWriter::Escape(bench);
-    header += "\", \"shard\": {\"index\": ";
-    header += std::to_string(shard_index);
-    header += ", \"count\": ";
-    header += std::to_string(shard_count);
-    header += "}}";
-    return WriteFrame('H', header, error);
+    return WriteFrame(
+        'H', EncodeStreamHeaderPayload(bench, shard_index, shard_count),
+        error);
 }
 
 bool
@@ -292,7 +340,7 @@ StreamWriter::Append(const stats::RunRecord& record, std::string* error)
     if (!WriteFrame('R', payload, error)) {
         return false;
     }
-    digest_ = FnvMixPayload(digest_, payload);
+    digest_ = StreamDigestMix(digest_, payload);
     ++appended_;
     return true;
 }
@@ -303,22 +351,8 @@ StreamWriter::Finish(const stats::DocumentMeta& meta, std::string* error)
     if (fd_ < 0) {
         return Fail(error, "stream is not open");
     }
-    std::string trailer = "{\"records\": ";
-    trailer += std::to_string(appended_);
-    trailer += ", \"schema_version\": ";
-    trailer += std::to_string(stats::kSchemaVersion);
-    trailer += ", \"shard\": {\"index\": ";
-    trailer += std::to_string(meta.shard_index);
-    trailer += ", \"count\": ";
-    trailer += std::to_string(meta.shard_count);
-    trailer += ", \"total_cells\": ";
-    trailer += std::to_string(meta.total_cells);
-    trailer += ", \"ran_cells\": ";
-    trailer += std::to_string(meta.ran_cells);
-    trailer += "}, \"digest\": \"";
-    trailer += DigestHex(digest_);
-    trailer += "\"}";
-    const bool ok = WriteFrame('T', trailer, error);
+    const bool ok = WriteFrame(
+        'T', EncodeStreamTrailerPayload(meta, appended_, digest_), error);
     Close();
     return ok;
 }
@@ -424,7 +458,7 @@ RecoverStreamBytes(const std::string& bytes, std::string* error)
                          "producer)");
                 return std::nullopt;
             }
-            digest = FnvMixPayload(digest, frame.payload);
+            digest = StreamDigestMix(digest, frame.payload);
             out.document.records.push_back(std::move(record));
             pos = frame.end;
             continue;

@@ -49,6 +49,34 @@ inline constexpr int kStreamVersion = 1;
 /** First line of every stream file. */
 inline constexpr char kStreamMagic[] = "SPUR-STREAM/1\n";
 
+// ---------------------------------------------------------------------------
+// Frame encoding, shared by StreamWriter (fsync'd files) and the sweep
+// service (src/serve/), whose reply to a client is exactly the bytes a
+// local --stream run would have written — the byte-identity contract
+// rests on both producers calling these functions.
+// ---------------------------------------------------------------------------
+
+/** Renders one frame: "<tag> <len>\n<payload>\n". */
+std::string EncodeStreamFrame(char tag, const std::string& payload);
+
+/** The header-frame payload (stream version, bench, shard K/N). */
+std::string EncodeStreamHeaderPayload(const std::string& bench,
+                                      uint32_t shard_index,
+                                      uint32_t shard_count);
+
+/**
+ * The trailer-frame payload: record count, schema version, the full
+ * shard header from @p meta, and the content digest in hex.
+ */
+std::string EncodeStreamTrailerPayload(const stats::DocumentMeta& meta,
+                                       uint64_t records, uint64_t digest);
+
+/** Initial value of the rolling content digest (FNV-1a 64 offset). */
+uint64_t StreamDigestInit();
+
+/** Mixes one record payload (plus frame separator) into the digest. */
+uint64_t StreamDigestMix(uint64_t digest, const std::string& payload);
+
 /**
  * Appends records to a stream file as they are recorded.  Every write
  * (the header at Open, each record frame, the trailer at Finish) is

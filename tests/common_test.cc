@@ -321,5 +321,53 @@ TEST(ArgsTest, DoubleValues)
     EXPECT_DOUBLE_EQ(args.GetDouble("x", 0), 1.25);
 }
 
+// ---------------------------------------------------------------------------
+// FormatToolUsage — the one renderer behind every tool's --help.
+// ---------------------------------------------------------------------------
+
+TEST(ToolUsageTest, RendersSynopsesOverviewAndAlignedFlags)
+{
+    const std::vector<ToolCommand> commands = {
+        {"go [--fast] TARGET",
+         "run the thing",
+         {{"--fast", "skip checks"}, {"--dry-run=N", "pretend N times"}}},
+        {"stop",
+         "halt the thing",
+         {{"--now", "no grace period"}}},
+    };
+    const std::string text =
+        FormatToolUsage("demo", "A demo tool.", commands);
+
+    // The usage block lists every synopsis, continuation-aligned.
+    EXPECT_EQ(text.rfind("usage: demo go [--fast] TARGET\n", 0), 0u);
+    EXPECT_NE(text.find("\n       demo stop\n"), std::string::npos);
+    EXPECT_NE(text.find("\nA demo tool.\n"), std::string::npos);
+    // Each command section carries its summary...
+    EXPECT_NE(text.find("\n  run the thing\n"), std::string::npos);
+    EXPECT_NE(text.find("\n  halt the thing\n"), std::string::npos);
+    // ...and flag docs align on one column across the whole tool: the
+    // widest flag is "--dry-run=N" (11 chars), so every doc starts at
+    // 4 (indent) + 11 + 2 = column 17.
+    EXPECT_NE(text.find("    --fast       skip checks\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("    --dry-run=N  pretend N times\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("    --now        no grace period\n"),
+              std::string::npos);
+}
+
+TEST(ToolUsageTest, FlaglessCommandRendersWithoutFlagBlock)
+{
+    const std::vector<ToolCommand> commands = {
+        {"version", "print the version", {}},
+    };
+    const std::string text = FormatToolUsage("demo", "", commands);
+    EXPECT_EQ(text,
+              "usage: demo version\n"
+              "\n"
+              "demo version\n"
+              "  print the version\n");
+}
+
 }  // namespace
 }  // namespace spur

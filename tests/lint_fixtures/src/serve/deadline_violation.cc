@@ -1,0 +1,18 @@
+// Seeded fixture: serve code reading the monotonic clock WITHOUT the
+// scoped allow marker must still fire no-wallclock.  Connection
+// deadlines are the only sanctioned use in src/serve/, and only behind
+// the marker (see src/serve/proto.cc).
+#include <chrono>
+
+namespace spur::serve {
+
+long
+NowMs()
+{
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               now.time_since_epoch())
+        .count();
+}
+
+}  // namespace spur::serve

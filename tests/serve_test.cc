@@ -1,0 +1,615 @@
+/**
+ * @file
+ * Tests for the sweep service (src/serve/, DESIGN.md §17): strict
+ * request parsing, the shared executor's byte-identity with
+ * runner::BenchSession, an in-process daemon round trip whose save file
+ * byte-equals an offline --stream file, concurrent clients, the
+ * every-byte-offset torn-connection resume harness, deterministic
+ * admission rejects, queue saturation, and graceful drain.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/args.h"
+#include "src/core/experiment.h"
+#include "src/runner/runner.h"
+#include "src/runner/session.h"
+#include "src/runner/thread_pool.h"
+#include "src/serve/client.h"
+#include "src/serve/request.h"
+#include "src/serve/server.h"
+#include "src/stats/run_record.h"
+#include "src/sweep/merge.h"
+#include "src/sweep/stream.h"
+
+namespace spur::serve {
+namespace {
+
+Args
+MakeArgs(std::vector<std::string> words)
+{
+    static std::vector<std::string> storage;
+    storage = std::move(words);
+    static std::vector<char*> argv;
+    argv.clear();
+    for (std::string& word : storage) {
+        argv.push_back(word.data());
+    }
+    return Args(static_cast<int>(argv.size()), argv.data());
+}
+
+std::string
+ReadFile(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    return contents.str();
+}
+
+void
+WriteFile(const std::string& path, const std::string& contents)
+{
+    std::ofstream out(path, std::ios::binary);
+    out << contents;
+    ASSERT_TRUE(out.good()) << path;
+}
+
+std::string
+TempPath(const std::string& name)
+{
+    return testing::TempDir() + name;
+}
+
+/**
+ * A small matrix (2 configs x 2 reps) sized so the every-byte-offset
+ * resume harness stays in test-suite time, with distinct identities.
+ */
+SweepRequest
+TinyRequest(const std::string& name)
+{
+    SweepRequest request;
+    request.name = name;
+    request.reps = 2;
+    request.shuffle_seed = 7;
+    core::RunConfig base;
+    base.workload = core::WorkloadId::kSlc;
+    base.memory_mb = 8;
+    base.refs = 1'500;
+    base.seed = 5;
+    request.configs.assign(2, base);
+    request.configs[1].ref = policy::RefPolicyKind::kNoRef;
+    return request;
+}
+
+/** The --json bytes the request's offline reference run produces. */
+std::string
+OfflineDocument(const SweepRequest& request)
+{
+    const ExecuteOutcome outcome =
+        ExecuteSweepRequest(request, /*jobs=*/1, ExecuteHooks{});
+    EXPECT_TRUE(outcome.completed);
+    return sweep::ToJson(outcome.document);
+}
+
+/** The --json bytes a session would write, without touching disk. */
+std::string
+SessionDocument(const runner::BenchSession& session,
+                const std::string& bench)
+{
+    stats::DocumentMeta meta;
+    meta.bench = bench;
+    meta.shard_index = session.shard().index;
+    meta.shard_count = session.shard().count;
+    meta.total_cells = session.total_cells();
+    meta.ran_cells = session.ran_cells();
+    return stats::JsonWriter::ToJson(meta, session.records());
+}
+
+/** Start/RequestDrain/Run/join wrapper so tests cannot leak a server. */
+class TestServer
+{
+  public:
+    explicit TestServer(ServeOptions options)
+        : server_(std::move(options))
+    {
+    }
+
+    ~TestServer() { Stop(); }
+
+    bool Start(std::string* error)
+    {
+        if (!server_.Start(error)) {
+            return false;
+        }
+        thread_ = std::thread([this] { exit_code_ = server_.Run(); });
+        return true;
+    }
+
+    int Stop()
+    {
+        if (thread_.joinable()) {
+            server_.RequestDrain();
+            thread_.join();
+        }
+        return exit_code_;
+    }
+
+    SweepServer& server() { return server_; }
+
+  private:
+    SweepServer server_;
+    std::thread thread_;
+    int exit_code_ = -1;
+};
+
+// ---- Request parsing --------------------------------------------------
+
+TEST(RequestParseTest, ToJsonRoundTrips)
+{
+    SweepRequest request = TinyRequest("round");
+    request.configs[0].intensity = 0.5;
+    request.configs[0].page_in_us = 120.0;
+    request.configs[1].dirty = policy::DirtyPolicyKind::kWriteHw;
+    std::string error;
+    const std::optional<SweepRequest> parsed =
+        ParseSweepRequest(ToJson(request), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(ToJson(*parsed), ToJson(request));
+    EXPECT_EQ(parsed->name, "round");
+    EXPECT_EQ(parsed->reps, 2u);
+    EXPECT_EQ(parsed->shuffle_seed, 7u);
+    EXPECT_EQ(TotalCells(*parsed), 4u);
+}
+
+TEST(RequestParseTest, MinimalCellUsesDefaults)
+{
+    std::string error;
+    const std::optional<SweepRequest> parsed = ParseSweepRequest(
+        "{\"request_version\": 1, \"name\": \"m\","
+        " \"cells\": [{\"workload\": \"SLC\"}]}",
+        &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->reps, 1u);
+    ASSERT_EQ(parsed->configs.size(), 1u);
+    const core::RunConfig defaults;
+    EXPECT_EQ(parsed->configs[0].memory_mb, defaults.memory_mb);
+    EXPECT_EQ(parsed->configs[0].dirty, defaults.dirty);
+    EXPECT_EQ(parsed->configs[0].ref, defaults.ref);
+}
+
+TEST(RequestParseTest, RejectsMalformedRequests)
+{
+    const struct {
+        const char* json;
+        const char* needle;
+    } cases[] = {
+        {"nonsense", "invalid"},
+        {"{\"name\": \"x\", \"cells\": [{\"workload\": \"SLC\"}]}",
+         "request_version"},
+        {"{\"request_version\": 2, \"name\": \"x\","
+         " \"cells\": [{\"workload\": \"SLC\"}]}",
+         "request_version"},
+        {"{\"request_version\": 1, \"cells\": [{\"workload\": \"SLC\"}]}",
+         "name"},
+        {"{\"request_version\": 1, \"name\": \"x\", \"cells\": []}",
+         "cells"},
+        {"{\"request_version\": 1, \"name\": \"x\", \"reps\": 0,"
+         " \"cells\": [{\"workload\": \"SLC\"}]}",
+         "reps"},
+        {"{\"request_version\": 1, \"name\": \"x\", \"bogus\": 1,"
+         " \"cells\": [{\"workload\": \"SLC\"}]}",
+         "bogus"},
+        {"{\"request_version\": 1, \"name\": \"x\","
+         " \"cells\": [{\"workload\": \"SLC\", \"dirty\": \"TURBO\"}]}",
+         "TURBO"},
+        {"{\"request_version\": 1, \"name\": \"x\","
+         " \"cells\": [{\"workload\": \"SLC\", \"surprise\": 1}]}",
+         "surprise"},
+        {"{\"request_version\": 1, \"name\": \"x\","
+         " \"cells\": [{\"memory_mb\": 8}]}",
+         "workload"},
+    };
+    for (const auto& test : cases) {
+        std::string error;
+        EXPECT_FALSE(ParseSweepRequest(test.json, &error).has_value())
+            << test.json;
+        EXPECT_NE(error.find(test.needle), std::string::npos)
+            << test.json << " -> " << error;
+    }
+}
+
+// ---- The shared executor ----------------------------------------------
+
+TEST(ExecuteTest, DocumentIsIndependentOfJobCount)
+{
+    const SweepRequest request = TinyRequest("jobs");
+    const ExecuteOutcome one =
+        ExecuteSweepRequest(request, 1, ExecuteHooks{});
+    const ExecuteOutcome three =
+        ExecuteSweepRequest(request, 3, ExecuteHooks{});
+    ASSERT_TRUE(one.completed);
+    ASSERT_TRUE(three.completed);
+    EXPECT_EQ(sweep::ToJson(one.document), sweep::ToJson(three.document));
+}
+
+TEST(ExecuteTest, CostOrderingNeverChangesBytes)
+{
+    const SweepRequest request = TinyRequest("cost");
+    ExecuteHooks hooks;
+    // An adversarial cost: reverse of the natural order.
+    hooks.cost = [](const core::RunConfig& config, uint32_t rep) {
+        return 100.0 - static_cast<double>(config.seed) -
+               static_cast<double>(rep);
+    };
+    const ExecuteOutcome costed = ExecuteSweepRequest(request, 2, hooks);
+    ASSERT_TRUE(costed.completed);
+    EXPECT_EQ(sweep::ToJson(costed.document), OfflineDocument(request));
+}
+
+/** The service contract's anchor: the executor reproduces, byte for
+ *  byte, what runner::BenchSession writes behind --json for the same
+ *  matrix. */
+TEST(ExecuteTest, DocumentByteEqualsBenchSessionJson)
+{
+    const SweepRequest request = TinyRequest("t");
+    runner::BenchSession session("t", MakeArgs({"bench", "--jobs=2"}));
+    session.RunMatrix(request.configs, request.reps,
+                      request.shuffle_seed);
+    EXPECT_EQ(OfflineDocument(request), SessionDocument(session, "t"));
+    runner::SetDefaultJobs(0);
+}
+
+TEST(ExecuteTest, CommitReturningFalseCancelsRemainingCells)
+{
+    const SweepRequest request = TinyRequest("cancel");
+    ExecuteHooks hooks;
+    uint64_t commits = 0;
+    hooks.commit = [&commits](const stats::RunRecord&) {
+        return ++commits < 2;  // Accept one record, cancel on the second.
+    };
+    const ExecuteOutcome outcome = ExecuteSweepRequest(request, 2, hooks);
+    EXPECT_FALSE(outcome.completed);
+    EXPECT_EQ(outcome.committed, 1u);
+    EXPECT_EQ(outcome.document.records.size(), 1u);
+    EXPECT_EQ(outcome.document.meta.ran_cells, 1u);
+    EXPECT_EQ(outcome.document.meta.total_cells, 4u);
+}
+
+// ---- Daemon round trip ------------------------------------------------
+
+TEST(ServeTest, ReplyByteEqualsOfflineRun)
+{
+    const SweepRequest request = TinyRequest("t");
+    ServeOptions options;
+    options.socket_path = TempPath("serve_rt.sock");
+    options.jobs = 2;
+    TestServer server(options);
+    std::string error;
+    ASSERT_TRUE(server.Start(&error)) << error;
+
+    SubmitOptions client;
+    client.socket_path = options.socket_path;
+    const std::string save_path = TempPath("serve_rt.save");
+    std::remove(save_path.c_str());
+    const std::optional<SubmitResult> result =
+        SubmitRequest(request, client, save_path, &error);
+    ASSERT_TRUE(result.has_value()) << error;
+    EXPECT_TRUE(result->accepted) << result->reject_reason;
+    ASSERT_TRUE(result->complete);
+    EXPECT_EQ(result->records, 4u);
+    EXPECT_EQ(sweep::ToJson(result->document), OfflineDocument(request));
+    EXPECT_EQ(server.Stop(), 0);
+    EXPECT_EQ(server.server().queued_cells(), 0u);
+
+    // The save file is not merely recoverable: it is byte-identical to
+    // the --stream file an offline session writes for the same matrix.
+    const std::string stream_path = TempPath("serve_rt.stream");
+    runner::BenchSession session(
+        "t", MakeArgs({"bench", "--jobs=1", "--stream=" + stream_path}));
+    session.RunMatrix(request.configs, request.reps,
+                      request.shuffle_seed);
+    ASSERT_EQ(session.Finish(), 0);
+    EXPECT_EQ(ReadFile(save_path), ReadFile(stream_path));
+    std::remove(save_path.c_str());
+    std::remove(stream_path.c_str());
+    runner::SetDefaultJobs(0);
+}
+
+TEST(ServeTest, CompleteSaveFileIsServedLocally)
+{
+    const SweepRequest request = TinyRequest("t");
+    const std::string save_path = TempPath("serve_local.save");
+    const std::string stream_path = TempPath("serve_local.stream");
+    runner::BenchSession session(
+        "t", MakeArgs({"bench", "--jobs=1", "--stream=" + stream_path}));
+    session.RunMatrix(request.configs, request.reps,
+                      request.shuffle_seed);
+    ASSERT_EQ(session.Finish(), 0);
+    WriteFile(save_path, ReadFile(stream_path));
+    std::remove(stream_path.c_str());
+    runner::SetDefaultJobs(0);
+
+    // No server is listening anywhere — the complete save file alone
+    // must satisfy the request.
+    SubmitOptions client;
+    client.socket_path = TempPath("serve_local_nonexistent.sock");
+    std::string error;
+    const std::optional<SubmitResult> result =
+        SubmitRequest(request, client, save_path, &error);
+    ASSERT_TRUE(result.has_value()) << error;
+    EXPECT_TRUE(result->accepted);
+    EXPECT_TRUE(result->complete);
+    EXPECT_EQ(sweep::ToJson(result->document), OfflineDocument(request));
+    std::remove(save_path.c_str());
+}
+
+TEST(ServeTest, ConcurrentClientsEachGetByteIdenticalReplies)
+{
+    constexpr int kClients = 4;
+    ServeOptions options;
+    options.socket_path = TempPath("serve_many.sock");
+    options.jobs = 2;
+    TestServer server(options);
+    std::string error;
+    ASSERT_TRUE(server.Start(&error)) << error;
+
+    // Distinct requests (different base seeds) so replies differ.
+    std::vector<SweepRequest> requests;
+    for (int i = 0; i < kClients; ++i) {
+        std::string name = "c";
+        name += std::to_string(i);
+        SweepRequest request = TinyRequest(name);
+        for (core::RunConfig& config : request.configs) {
+            config.seed += static_cast<uint64_t>(i);
+        }
+        requests.push_back(std::move(request));
+    }
+
+    std::vector<std::optional<SubmitResult>> results(kClients);
+    std::vector<std::string> errors(kClients);
+    std::vector<std::thread> clients;
+    for (int i = 0; i < kClients; ++i) {
+        clients.emplace_back([&, i] {
+            SubmitOptions client;
+            client.socket_path = options.socket_path;
+            const std::string save_path =
+                TempPath("serve_many_" + std::to_string(i) + ".save");
+            std::remove(save_path.c_str());
+            results[i] = SubmitRequest(requests[i], client, save_path,
+                                       &errors[i]);
+            std::remove(save_path.c_str());
+        });
+    }
+    for (std::thread& client : clients) {
+        client.join();
+    }
+    EXPECT_EQ(server.Stop(), 0);
+
+    for (int i = 0; i < kClients; ++i) {
+        ASSERT_TRUE(results[i].has_value()) << i << ": " << errors[i];
+        EXPECT_TRUE(results[i]->accepted) << results[i]->reject_reason;
+        ASSERT_TRUE(results[i]->complete) << i;
+        EXPECT_EQ(sweep::ToJson(results[i]->document),
+                  OfflineDocument(requests[i]))
+            << i;
+    }
+}
+
+// ---- Torn connections -------------------------------------------------
+
+/**
+ * The crash-tolerance guarantee extended over the wire: a client torn
+ * at EVERY byte offset of the reply resumes via `wait` semantics and
+ * ends with a save file byte-identical to the uninterrupted one.
+ */
+TEST(ServeFaultInjectionTest, EveryTornOffsetResumesByteIdentically)
+{
+    const SweepRequest request = TinyRequest("t");
+    ServeOptions options;
+    options.socket_path = TempPath("serve_torn.sock");
+    options.jobs = 2;
+    TestServer server(options);
+    std::string error;
+    ASSERT_TRUE(server.Start(&error)) << error;
+
+    SubmitOptions client;
+    client.socket_path = options.socket_path;
+    const std::string save_path = TempPath("serve_torn.save");
+    std::remove(save_path.c_str());
+    const std::optional<SubmitResult> full =
+        SubmitRequest(request, client, save_path, &error);
+    ASSERT_TRUE(full.has_value()) << error;
+    ASSERT_TRUE(full->complete);
+    const std::string reply = ReadFile(save_path);
+    ASSERT_GT(reply.size(), 100u);
+
+    for (size_t cut = 0; cut < reply.size(); cut += 7) {
+        WriteFile(save_path, reply.substr(0, cut));
+        std::string resume_error;
+        const std::optional<SubmitResult> resumed =
+            SubmitRequest(request, client, save_path, &resume_error);
+        ASSERT_TRUE(resumed.has_value())
+            << "cut at byte " << cut << ": " << resume_error;
+        EXPECT_TRUE(resumed->accepted) << resumed->reject_reason;
+        ASSERT_TRUE(resumed->complete) << "cut at byte " << cut;
+        ASSERT_EQ(ReadFile(save_path), reply) << "cut at byte " << cut;
+    }
+    // The stride above keeps suite time down; pin the classic worst
+    // cases exactly: empty, mid-magic, and one byte short of complete.
+    for (const size_t cut :
+         {size_t{0}, size_t{3}, reply.size() - 1}) {
+        WriteFile(save_path, reply.substr(0, cut));
+        std::string resume_error;
+        const std::optional<SubmitResult> resumed =
+            SubmitRequest(request, client, save_path, &resume_error);
+        ASSERT_TRUE(resumed.has_value())
+            << "cut at byte " << cut << ": " << resume_error;
+        ASSERT_TRUE(resumed->complete) << "cut at byte " << cut;
+        ASSERT_EQ(ReadFile(save_path), reply) << "cut at byte " << cut;
+    }
+    std::remove(save_path.c_str());
+    EXPECT_EQ(server.Stop(), 0);
+}
+
+// ---- Admission --------------------------------------------------------
+
+TEST(ServeAdmissionTest, OversizedRequestIsRejectedWithReason)
+{
+    ServeOptions options;
+    options.socket_path = TempPath("serve_big.sock");
+    options.jobs = 1;
+    options.max_queued_cells = 2;
+    TestServer server(options);
+    std::string error;
+    ASSERT_TRUE(server.Start(&error)) << error;
+
+    SubmitOptions client;
+    client.socket_path = options.socket_path;
+    const std::optional<SubmitResult> result =
+        SubmitRequest(TinyRequest("big"), client, /*save_path=*/"",
+                      &error);
+    ASSERT_TRUE(result.has_value()) << error;
+    EXPECT_FALSE(result->accepted);
+    EXPECT_NE(result->reject_reason.find("queue capacity"),
+              std::string::npos)
+        << result->reject_reason;
+    EXPECT_EQ(server.Stop(), 0);
+}
+
+TEST(ServeAdmissionTest, ResumeBeyondTheRequestIsRejected)
+{
+    // Build a torn 4-record save file, then shrink the request to a
+    // single cell: the claimed resume position exceeds the request.
+    const SweepRequest request = TinyRequest("t");
+    ServeOptions options;
+    options.socket_path = TempPath("serve_beyond.sock");
+    options.jobs = 1;
+    TestServer server(options);
+    std::string error;
+    ASSERT_TRUE(server.Start(&error)) << error;
+
+    SubmitOptions client;
+    client.socket_path = options.socket_path;
+    const std::string save_path = TempPath("serve_beyond.save");
+    std::remove(save_path.c_str());
+    const std::optional<SubmitResult> full =
+        SubmitRequest(request, client, save_path, &error);
+    ASSERT_TRUE(full.has_value()) << error;
+    ASSERT_TRUE(full->complete);
+    const std::string reply = ReadFile(save_path);
+    // Drop the trailer frame so the file holds 4 records but is torn.
+    const size_t trailer = reply.rfind("\nT ");
+    ASSERT_NE(trailer, std::string::npos);
+    WriteFile(save_path, reply.substr(0, trailer + 1));
+
+    SweepRequest shrunk = request;
+    shrunk.configs.resize(1);
+    shrunk.reps = 1;
+    const std::optional<SubmitResult> result =
+        SubmitRequest(shrunk, client, save_path, &error);
+    ASSERT_TRUE(result.has_value()) << error;
+    EXPECT_FALSE(result->accepted);
+    EXPECT_NE(result->reject_reason.find("beyond the request"),
+              std::string::npos)
+        << result->reject_reason;
+    std::remove(save_path.c_str());
+    EXPECT_EQ(server.Stop(), 0);
+}
+
+TEST(ServeAdmissionTest, SaturationRejectsButNeverDeadlocks)
+{
+    constexpr int kClients = 5;
+    ServeOptions options;
+    options.socket_path = TempPath("serve_sat.sock");
+    options.jobs = 2;
+    options.max_queued_cells = 4;  // One tiny request at a time.
+    TestServer server(options);
+    std::string error;
+    ASSERT_TRUE(server.Start(&error)) << error;
+
+    std::vector<SweepRequest> requests;
+    for (int i = 0; i < kClients; ++i) {
+        std::string name = "s";
+        name += std::to_string(i);
+        SweepRequest request = TinyRequest(name);
+        for (core::RunConfig& config : request.configs) {
+            config.seed += static_cast<uint64_t>(i);
+        }
+        requests.push_back(std::move(request));
+    }
+    std::vector<std::optional<SubmitResult>> results(kClients);
+    std::vector<std::string> errors(kClients);
+    std::vector<std::thread> clients;
+    for (int i = 0; i < kClients; ++i) {
+        clients.emplace_back([&, i] {
+            SubmitOptions client;
+            client.socket_path = options.socket_path;
+            results[i] = SubmitRequest(requests[i], client,
+                                       /*save_path=*/"", &errors[i]);
+        });
+    }
+    for (std::thread& client : clients) {
+        client.join();
+    }
+
+    int completed = 0;
+    for (int i = 0; i < kClients; ++i) {
+        ASSERT_TRUE(results[i].has_value()) << i << ": " << errors[i];
+        if (results[i]->accepted) {
+            ASSERT_TRUE(results[i]->complete) << i;
+            EXPECT_EQ(sweep::ToJson(results[i]->document),
+                      OfflineDocument(requests[i]))
+                << i;
+            ++completed;
+        } else {
+            EXPECT_FALSE(results[i]->reject_reason.empty()) << i;
+        }
+    }
+    EXPECT_GE(completed, 1);  // Saturation must not starve everyone.
+
+    // Capacity must have drained: one more request completes normally.
+    SubmitOptions client;
+    client.socket_path = options.socket_path;
+    const std::optional<SubmitResult> after =
+        SubmitRequest(TinyRequest("after"), client, /*save_path=*/"",
+                      &error);
+    ASSERT_TRUE(after.has_value()) << error;
+    EXPECT_TRUE(after->accepted) << after->reject_reason;
+    EXPECT_TRUE(after->complete);
+    EXPECT_EQ(server.Stop(), 0);
+    EXPECT_EQ(server.server().queued_cells(), 0u);
+}
+
+// ---- Drain ------------------------------------------------------------
+
+TEST(ServeDrainTest, DrainStopsAcceptingAndRunReturnsZero)
+{
+    ServeOptions options;
+    options.socket_path = TempPath("serve_drain.sock");
+    options.jobs = 1;
+    TestServer server(options);
+    std::string error;
+    ASSERT_TRUE(server.Start(&error)) << error;
+    EXPECT_EQ(server.Stop(), 0);
+
+    // The listener is gone: a fresh submit is a hard connect error.
+    SubmitOptions client;
+    client.socket_path = options.socket_path;
+    const std::optional<SubmitResult> result =
+        SubmitRequest(TinyRequest("late"), client, /*save_path=*/"",
+                      &error);
+    EXPECT_FALSE(result.has_value());
+    EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace spur::serve

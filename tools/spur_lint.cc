@@ -20,6 +20,7 @@
  */
 #include <cstdio>
 #include <filesystem>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -31,14 +32,20 @@ namespace {
 int
 Usage()
 {
-    std::fprintf(
-        stderr,
-        "usage: spur_lint [--compile-commands=FILE] [PATH...]\n"
-        "       spur_lint --list-rules\n"
-        "\n"
-        "Enforces the project's determinism rules (DESIGN.md par. 13)\n"
-        "over source files, directory trees, and/or the file list of a\n"
-        "compile_commands.json.  Exits 1 on violations.\n");
+    const std::vector<spur::ToolCommand> commands = {
+        {"[--compile-commands=FILE] [PATH...]",
+         "lint source files, directory trees, and/or the file list of a "
+         "compile_commands.json; exit 1 on violations",
+         {{"--compile-commands=FILE",
+           "lint every \"file\" entry of the compile database"}}},
+        {"--list-rules",
+         "print every rule name with its one-line summary",
+         {}},
+    };
+    std::cerr << spur::FormatToolUsage(
+        "spur_lint",
+        "Enforces the project's determinism rules (DESIGN.md §13).",
+        commands);
     return 2;
 }
 

@@ -22,6 +22,7 @@
  *       with the offending stimulus trace.
  */
 #include <cstdio>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -43,28 +44,28 @@ using spur::model::ModelConfig;
 int
 Usage()
 {
-    std::fprintf(
-        stderr,
-        "usage: spur_model explore [--procs=N] [--policy=NAME] "
-        "[--ref=NAME]\n"
-        "       spur_model conform [--procs=N] [--policy=NAME] "
-        "[--ref=NAME] [--impl=uni|mp]\n"
-        "\n"
-        "explore  enumerate the reachable protocol state space and check\n"
-        "         the M1..M10 invariants plus spec totality/determinism\n"
-        "conform  additionally drive the real cache/bus/system code over\n"
-        "         every reachable (state, stimulus) pair and require the\n"
-        "         implementation successor to equal the spec successor\n"
-        "\n"
-        "--procs=N    processors, 1..3 (default 2)\n"
-        "--policy=P   dirty policy (MIN/FAULT/FLUSH/SPUR/WRITE/\n"
-        "             SPUR-PROT/WRITE-HW) or 'all' (default)\n"
-        "--ref=R      reference policy (MISS/REF/NOREF) or 'all' "
-        "(default)\n"
-        "--impl=I     conform only: 'uni' (SpurSystem batch path, needs\n"
-        "             --procs=1), 'mp' (MpSpurSystem), default both "
-        "where\n"
-        "             applicable\n");
+    const std::vector<spur::ToolCommand> commands = {
+        {"explore [--procs=N] [--policy=NAME] [--ref=NAME]",
+         "enumerate the reachable protocol state space and check the "
+         "M1..M10 invariants plus spec totality/determinism",
+         {{"--procs=N", "processors, 1..3 (default 2)"},
+          {"--policy=P",
+           "dirty policy (MIN/FAULT/FLUSH/SPUR/WRITE/SPUR-PROT/WRITE-HW) "
+           "or 'all' (default)"},
+          {"--ref=R",
+           "reference policy (MISS/REF/NOREF) or 'all' (default)"}}},
+        {"conform [--procs=N] [--policy=NAME] [--ref=NAME] "
+         "[--impl=uni|mp]",
+         "additionally drive the real cache/bus/system code over every "
+         "reachable (state, stimulus) pair and require the "
+         "implementation successor to equal the spec successor",
+         {{"--impl=I",
+           "'uni' (SpurSystem batch path, needs --procs=1), 'mp' "
+           "(MpSpurSystem), default both where applicable"}}},
+    };
+    std::cerr << spur::FormatToolUsage(
+        "spur_model",
+        "Exhaustive protocol model checker (DESIGN.md §16).", commands);
     return 2;
 }
 

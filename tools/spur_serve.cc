@@ -1,0 +1,235 @@
+/**
+ * @file
+ * The sweep service daemon and its offline reference path
+ * (DESIGN.md §17).
+ *
+ *   spur_serve serve --socket=PATH [options]
+ *       Long-lived daemon: accepts SPUR-SERVE/1 requests on a
+ *       Unix-domain socket, executes them over one shared worker pool,
+ *       streams each reply incrementally as SPUR-STREAM/1 frames.
+ *       SIGTERM/SIGINT drain gracefully: stop accepting, finish
+ *       in-flight replies, exit 0.
+ *
+ *   spur_serve exec [--json=FILE] [--jobs=N] REQUEST
+ *       Executes a request file offline through the exact executor the
+ *       daemon uses and writes the sweep document — the byte-identity
+ *       reference a served reply is compared against (CI cmp's the two).
+ */
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/common/args.h"
+#include "src/serve/client.h"
+#include "src/serve/request.h"
+#include "src/serve/server.h"
+#include "src/sweep/merge.h"
+
+namespace {
+
+using spur::IsFlagArg;
+using spur::MatchFlag;
+using spur::ParseUnsigned;
+using spur::ToolCommand;
+using spur::serve::ExecuteHooks;
+using spur::serve::ExecuteOutcome;
+using spur::serve::ExecuteSweepRequest;
+using spur::serve::LoadRequestFile;
+using spur::serve::ServeOptions;
+using spur::serve::SweepRequest;
+using spur::serve::SweepServer;
+
+int
+Usage()
+{
+    const std::vector<ToolCommand> commands = {
+        {"serve --socket=PATH [options]",
+         "run the sweep service daemon; SIGTERM/SIGINT drain "
+         "gracefully",
+         {{"--socket=PATH", "Unix-domain socket to listen on"},
+          {"--jobs=N", "shared worker-pool threads (default: hardware)"},
+          {"--costs=FILE",
+           "telemetry sweep JSON driving longest-first scheduling"},
+          {"--max-queued-cells=N",
+           "admission bound on queued cells (default 4096)"},
+          {"--max-clients=N",
+           "concurrent connection limit (default 32)"},
+          {"--request-timeout-ms=N",
+           "how long a client may take to send its request"}}},
+        {"exec [--json=FILE] [--jobs=N] REQUEST",
+         "execute a request file offline (the byte-identity reference "
+         "for served replies)",
+         {{"--json=FILE", "write the sweep document here (default '-')"},
+          {"--jobs=N", "worker threads (default: hardware)"}}},
+    };
+    std::cerr << spur::FormatToolUsage(
+        "spur_serve",
+        "Sweep service: serve concurrent sweep requests over a "
+        "Unix-domain socket,\nstreaming each reply as a resumable "
+        "SPUR-STREAM/1 file (DESIGN.md §17).",
+        commands);
+    return 2;
+}
+
+SweepServer* g_server = nullptr;
+
+extern "C" void
+HandleDrainSignal(int)
+{
+    // RequestDrain is a single write(2) on a self-pipe: signal-safe.
+    if (g_server != nullptr) {
+        g_server->RequestDrain();
+    }
+}
+
+int
+Serve(const std::vector<std::string>& args)
+{
+    ServeOptions options;
+    std::string value;
+    uint64_t number = 0;
+    for (const std::string& arg : args) {
+        if (MatchFlag(arg, "socket", &value)) {
+            options.socket_path = value;
+        } else if (MatchFlag(arg, "jobs", &value)) {
+            if (!ParseUnsigned(value, &number) || number == 0) {
+                std::cerr << "spur_serve: bad --jobs value in '" << arg
+                          << "'\n";
+                return 2;
+            }
+            options.jobs = static_cast<unsigned>(number);
+        } else if (MatchFlag(arg, "costs", &value)) {
+            std::string error;
+            const std::optional<spur::sweep::SweepDocument> document =
+                spur::sweep::LoadSweepFile(value, &error);
+            if (!document) {
+                std::cerr << "spur_serve: --costs: " << error << "\n";
+                return 2;
+            }
+            options.costs =
+                spur::sweep::CostTable::FromDocument(*document);
+        } else if (MatchFlag(arg, "max-queued-cells", &value)) {
+            if (!ParseUnsigned(value, &number) || number == 0) {
+                std::cerr << "spur_serve: bad --max-queued-cells value\n";
+                return 2;
+            }
+            options.max_queued_cells = number;
+        } else if (MatchFlag(arg, "max-clients", &value)) {
+            if (!ParseUnsigned(value, &number) || number == 0) {
+                std::cerr << "spur_serve: bad --max-clients value\n";
+                return 2;
+            }
+            options.max_clients = static_cast<unsigned>(number);
+        } else if (MatchFlag(arg, "request-timeout-ms", &value)) {
+            if (!ParseUnsigned(value, &number) || number == 0 ||
+                number > (1u << 30)) {
+                std::cerr << "spur_serve: bad --request-timeout-ms value\n";
+                return 2;
+            }
+            options.request_timeout_ms = static_cast<int>(number);
+        } else {
+            std::cerr << "spur_serve: unknown serve option '" << arg
+                      << "'\n";
+            return 2;
+        }
+    }
+    if (options.socket_path.empty()) {
+        return Usage();
+    }
+
+    SweepServer server(std::move(options));
+    std::string error;
+    if (!server.Start(&error)) {
+        std::cerr << "spur_serve: " << error << "\n";
+        return 1;
+    }
+    g_server = &server;
+    std::signal(SIGTERM, HandleDrainSignal);
+    std::signal(SIGINT, HandleDrainSignal);
+    std::cerr << "spur_serve: listening\n";
+    const int code = server.Run();
+    g_server = nullptr;
+    std::cerr << "spur_serve: drained\n";
+    return code;
+}
+
+int
+Exec(const std::vector<std::string>& args)
+{
+    std::string json_path = "-";
+    unsigned jobs = 0;
+    std::vector<std::string> paths;
+    std::string value;
+    for (const std::string& arg : args) {
+        if (MatchFlag(arg, "json", &value)) {
+            json_path = value;
+        } else if (MatchFlag(arg, "jobs", &value)) {
+            uint64_t number = 0;
+            if (!ParseUnsigned(value, &number) || number == 0) {
+                std::cerr << "spur_serve: bad --jobs value in '" << arg
+                          << "'\n";
+                return 2;
+            }
+            jobs = static_cast<unsigned>(number);
+        } else if (IsFlagArg(arg)) {
+            std::cerr << "spur_serve: unknown exec option '" << arg
+                      << "'\n";
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.size() != 1) {
+        return Usage();
+    }
+
+    std::string error;
+    const std::optional<SweepRequest> request =
+        LoadRequestFile(paths[0], &error);
+    if (!request) {
+        std::cerr << "spur_serve: " << error << "\n";
+        return 1;
+    }
+    const ExecuteOutcome outcome =
+        ExecuteSweepRequest(*request, jobs, ExecuteHooks{});
+    if (!outcome.completed) {
+        std::cerr << "spur_serve: execution did not complete\n";
+        return 1;
+    }
+    const std::string json = spur::sweep::ToJson(outcome.document);
+    if (json_path == "-") {
+        std::cout << json;
+        return 0;
+    }
+    std::ofstream out(json_path, std::ios::binary);
+    out << json;
+    out.flush();
+    if (!out) {
+        std::cerr << "spur_serve: failed to write " << json_path << "\n";
+        return 1;
+    }
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty()) {
+        return Usage();
+    }
+    const std::string mode = args.front();
+    const std::vector<std::string> rest(args.begin() + 1, args.end());
+    if (mode == "serve") {
+        return Serve(rest);
+    }
+    if (mode == "exec") {
+        return Exec(rest);
+    }
+    return Usage();
+}

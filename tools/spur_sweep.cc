@@ -29,6 +29,26 @@
  *       with a verified trailer recovers the exact --json document.
  *       Corruption (anything truncation cannot explain) is a hard
  *       error, exit 1.
+ *
+ *   spur_sweep submit --socket=PATH --save=FILE [--out=FILE] REQUEST
+ *   spur_sweep wait   --socket=PATH --save=FILE [--out=FILE] REQUEST
+ *       Client side of the sweep service (DESIGN.md §17).  submit sends
+ *       the request to a spur_serve daemon and streams the reply into
+ *       --save; on a complete reply it writes the recovered document to
+ *       --out and exits 0.  A rejected request exits 3 (reason on
+ *       stderr); a torn connection exits 4, leaving --save holding every
+ *       byte received so far.  wait is the resume path: it requires
+ *       --save to exist (from an earlier torn submit) and re-submits
+ *       with that prefix, so the daemon skips the records the client
+ *       already holds.  A save file that already carries a verified
+ *       trailer completes locally without contacting the daemon.
+ *
+ *   spur_sweep audit [--strict] FILE...
+ *       Re-runs the MIN / NOREF dominance audits over the records of a
+ *       (merged) sweep document — the post-hoc audit for sharded sweeps,
+ *       which cannot run the in-process matrix audit.  Multiple FILEs
+ *       are merged first.  Exit 1 on errors; with --strict, also on
+ *       warnings.
  */
 #include <cstdio>
 #include <cstdlib>
@@ -37,7 +57,10 @@
 #include <string>
 #include <vector>
 
+#include "src/check/doc_audit.h"
 #include "src/common/args.h"
+#include "src/serve/client.h"
+#include "src/serve/request.h"
 #include "src/stats/run_record.h"
 #include "src/sweep/diff.h"
 #include "src/sweep/merge.h"
@@ -48,6 +71,8 @@ namespace {
 using spur::IsFlagArg;
 using spur::MatchFlag;
 using spur::ParsePositiveDouble;
+using spur::ParseUnsigned;
+using spur::ToolCommand;
 using spur::sweep::DiffOptions;
 using spur::sweep::DiffTelemetry;
 using spur::sweep::FormatDiffReport;
@@ -65,28 +90,50 @@ using spur::sweep::ValidateShardAccounting;
 int
 Usage()
 {
-    std::cerr
-        << "usage: spur_sweep validate FILE...\n"
-           "       spur_sweep merge [--out=FILE] [--strip-telemetry] "
-           "FILE...\n"
-           "       spur_sweep diff-telemetry [--threshold=F] "
-           "[--min-wall=S] [--fail-throughput=F] BASE NEW\n"
-           "       spur_sweep recover [--out=FILE] STREAM\n"
-           "\n"
-           "validate        schema-check sweep JSON documents (--json "
-           "output)\n"
-           "                and their shard cell accounting\n"
-           "merge           merge the shard files of one sweep into one\n"
-           "                canonical document (FILE may be '-' for "
-           "stdin)\n"
-           "diff-telemetry  compare per-cell wall-clock/RSS telemetry\n"
-           "                between two documents; exit 1 on regressions.\n"
-           "                With --fail-throughput=F, wall/RSS findings\n"
-           "                turn advisory (exit 0) and only cells whose\n"
-           "                refs/s dropped more than the fraction F below\n"
-           "                base are fatal (exit 1) — the CI perf gate\n"
-           "recover         turn a --stream file (possibly truncated by\n"
-           "                a crash) into a sweep document for --resume\n";
+    const std::vector<ToolCommand> commands = {
+        {"validate FILE...",
+         "schema-check sweep JSON documents (--json output) and their "
+         "shard cell accounting",
+         {}},
+        {"merge [options] FILE...",
+         "merge the shard files of one sweep into one canonical "
+         "document (FILE may be '-' for stdin)",
+         {{"--out=FILE", "write the merged document here (default '-')"},
+          {"--strip-telemetry", "drop telemetry blocks while merging"}}},
+        {"diff-telemetry [options] BASE NEW",
+         "compare per-cell wall-clock/RSS telemetry between two "
+         "documents; exit 1 on regressions",
+         {{"--threshold=F", "regression fraction (default 0.25)"},
+          {"--min-wall=S", "ignore cells faster than S seconds"},
+          {"--fail-throughput=F",
+           "CI perf gate: wall/RSS turn advisory; fail only when refs/s "
+           "drops more than F below base"}}},
+        {"recover [--out=FILE] STREAM",
+         "turn a --stream file (possibly truncated by a crash) into a "
+         "sweep document for --resume",
+         {{"--out=FILE", "write the document here (default '-')"}}},
+        {"submit --socket=PATH --save=FILE [options] REQUEST",
+         "send a sweep request to a spur_serve daemon, streaming the "
+         "reply into --save; exit 0 complete, 3 rejected, 4 torn",
+         {{"--socket=PATH", "daemon Unix-domain socket"},
+          {"--save=FILE", "resumable reply stream (kept on tear)"},
+          {"--out=FILE", "write the completed document here"},
+          {"--timeout-ms=N", "per-read reply timeout (default 60000)"}}},
+        {"wait --socket=PATH --save=FILE [options] REQUEST",
+         "resume a torn submit: re-send with the records already in "
+         "--save so the daemon skips them; same flags and exits",
+         {}},
+        {"audit [--strict] FILE...",
+         "re-run MIN/NOREF dominance audits over (merged) document "
+         "records; exit 1 on errors",
+         {{"--strict", "also exit 1 on warnings"}}},
+    };
+    std::cerr << spur::FormatToolUsage(
+        "spur_sweep",
+        "Sweep document tool: validate, merge and audit distributed "
+        "sweep output,\nrecover crashed --stream files, and talk to the "
+        "spur_serve sweep service.",
+        commands);
     return 2;
 }
 
@@ -283,6 +330,161 @@ Recover(const std::vector<std::string>& args)
     return 0;
 }
 
+/** Writes @p json to @p out_path ('-' = stdout); returns the exit code. */
+int
+WriteDocument(const std::string& json, const std::string& out_path)
+{
+    if (out_path == "-") {
+        std::cout << json;
+        return 0;
+    }
+    std::ofstream out(out_path, std::ios::binary);
+    out << json;
+    out.flush();
+    if (!out) {
+        std::cerr << "spur_sweep: failed to write " << out_path << "\n";
+        return 1;
+    }
+    return 0;
+}
+
+/**
+ * Shared body of submit and wait — the only difference is that wait
+ * (@p resume true) requires the save file to already exist, making a
+ * typo'd --save an error instead of a silent from-scratch run.
+ */
+int
+Submit(const std::vector<std::string>& args, bool resume)
+{
+    const char* verb = resume ? "wait" : "submit";
+    spur::serve::SubmitOptions options;
+    std::string save_path;
+    std::string out_path;
+    std::vector<std::string> paths;
+    std::string value;
+    for (const std::string& arg : args) {
+        if (MatchFlag(arg, "socket", &value)) {
+            options.socket_path = value;
+        } else if (MatchFlag(arg, "save", &value)) {
+            save_path = value;
+        } else if (MatchFlag(arg, "out", &value)) {
+            out_path = value;
+        } else if (MatchFlag(arg, "timeout-ms", &value)) {
+            uint64_t number = 0;
+            if (!ParseUnsigned(value, &number) || number == 0 ||
+                number > (1u << 30)) {
+                std::cerr << "spur_sweep: bad --timeout-ms value in '"
+                          << arg << "'\n";
+                return 2;
+            }
+            options.timeout_ms = static_cast<int>(number);
+        } else if (IsFlagArg(arg)) {
+            std::cerr << "spur_sweep: unknown " << verb << " option '"
+                      << arg << "'\n";
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.size() != 1 || options.socket_path.empty() ||
+        save_path.empty()) {
+        return Usage();
+    }
+    if (resume) {
+        std::ifstream probe(save_path, std::ios::binary);
+        if (!probe) {
+            std::cerr << "spur_sweep: wait: no save file at " << save_path
+                      << " (nothing to resume)\n";
+            return 1;
+        }
+    }
+
+    std::string error;
+    const std::optional<spur::serve::SweepRequest> request =
+        spur::serve::LoadRequestFile(paths[0], &error);
+    if (!request) {
+        std::cerr << "spur_sweep: " << error << "\n";
+        return 1;
+    }
+    const std::optional<spur::serve::SubmitResult> result =
+        spur::serve::SubmitRequest(*request, options, save_path, &error);
+    if (!result) {
+        std::cerr << "spur_sweep: " << verb << ": " << error << "\n";
+        return 1;
+    }
+    if (!result->accepted) {
+        std::cerr << "spur_sweep: request rejected: "
+                  << result->reject_reason << "\n";
+        return 3;
+    }
+    if (!result->complete) {
+        std::cerr << "spur_sweep: connection torn after "
+                  << result->records << " records; " << save_path
+                  << " holds the prefix (resume with 'spur_sweep wait')\n";
+        return 4;
+    }
+    std::cerr << "spur_sweep: complete (" << result->records
+              << " records)\n";
+    if (out_path.empty()) {
+        return 0;
+    }
+    return WriteDocument(spur::sweep::ToJson(result->document), out_path);
+}
+
+int
+Audit(const std::vector<std::string>& args)
+{
+    bool strict = false;
+    std::vector<std::string> paths;
+    for (const std::string& arg : args) {
+        if (arg == "--strict") {
+            strict = true;
+        } else if (IsFlagArg(arg)) {
+            std::cerr << "spur_sweep: unknown audit option '" << arg
+                      << "'\n";
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty()) {
+        return Usage();
+    }
+
+    std::vector<SweepDocument> documents;
+    documents.reserve(paths.size());
+    for (const std::string& path : paths) {
+        std::string error;
+        std::optional<SweepDocument> document = LoadSweepFile(path, &error);
+        if (!document) {
+            std::cerr << "spur_sweep: " << path << ": " << error << "\n";
+            return 1;
+        }
+        documents.push_back(std::move(*document));
+    }
+    std::optional<SweepDocument> merged = std::move(documents[0]);
+    if (documents.size() > 1) {
+        std::string error;
+        merged = MergeDocuments(std::move(documents), MergeOptions{},
+                                &error);
+        if (!merged) {
+            std::cerr << "spur_sweep: merge failed: " << error << "\n";
+            return 1;
+        }
+    }
+
+    const spur::check::AuditReport report =
+        spur::check::AuditSweepRecords(merged->records);
+    std::cout << report.Summary();
+    if (report.NumErrors() > 0) {
+        return 1;
+    }
+    if (strict && report.NumWarnings() > 0) {
+        return 1;
+    }
+    return 0;
+}
+
 }  // namespace
 
 int
@@ -308,6 +510,15 @@ main(int argc, char** argv)
     }
     if (mode == "recover") {
         return Recover(rest);
+    }
+    if (mode == "submit") {
+        return Submit(rest, /*resume=*/false);
+    }
+    if (mode == "wait") {
+        return Submit(rest, /*resume=*/true);
+    }
+    if (mode == "audit") {
+        return Audit(rest);
     }
     return Usage();
 }
