@@ -41,7 +41,7 @@ constexpr size_t kBufRefs = 1 << 16;
 /// only the process's private RNG, so the stream is independent of the
 /// policy cell under test.
 std::vector<MemRef>
-MakeRefStream(core::WorkloadHost& host)
+MakeRefStream(workload::WorkloadHost& host)
 {
     workload::ProcessProfile profile;
     workload::SyntheticProcess proc(host, profile, /*seed=*/42);
@@ -70,7 +70,7 @@ RunFullSystem(benchmark::State& state, policy::DirtyPolicyKind dirty,
     if (attach_counters) {
         system.AttachPerfCounters(&counters);
     }
-    core::WorkloadHost& host = system;
+    workload::WorkloadHost& host = system;
 
     std::vector<MemRef> refs = MakeRefStream(host);
     workload::ProcessProfile profile;

@@ -1,14 +1,14 @@
-#include "src/check/doc_audit.h"
+#include "src/audit/doc_audit.h"
 
 #include <map>
 #include <optional>
 #include <string>
 
-#include "src/check/dominance.h"
+#include "src/audit/dominance.h"
 #include "src/policy/dirty_policy.h"
 #include "src/policy/ref_policy.h"
 
-namespace spur::check {
+namespace spur::audit {
 
 namespace {
 
@@ -138,7 +138,7 @@ AuditSweepRecords(const std::vector<stats::RunRecord>& records)
         const double min_faults = *RecordedIntrinsicFaults(*it->second);
         if (min_faults > *faults) {
             report.Add(
-                Severity::kError, PolicyPair(record), kNoPage,
+                Severity::kError, PolicyPair(record), check::kNoPage,
                 "MIN took " + std::to_string(min_faults) +
                     " intrinsic dirty faults but " + record.dirty_policy +
                     " took only " + std::to_string(*faults) + " on " +
@@ -164,7 +164,7 @@ AuditSweepRecords(const std::vector<stats::RunRecord>& records)
         }
         if (record.page_ins < it->second->page_ins) {
             report.Add(
-                Severity::kWarning, PolicyPair(record), kNoPage,
+                Severity::kWarning, PolicyPair(record), check::kNoPage,
                 "NOREF paged in " + std::to_string(record.page_ins) +
                     " but MISS paged in " +
                     std::to_string(it->second->page_ins) + " on " +
@@ -175,4 +175,4 @@ AuditSweepRecords(const std::vector<stats::RunRecord>& records)
     return report;
 }
 
-}  // namespace spur::check
+}  // namespace spur::audit

@@ -2,7 +2,7 @@
  * @file
  * Dominance audits over recorded sweep documents.
  *
- * The in-process matrix audit (src/check/dominance.h) needs the full
+ * The in-process matrix audit (src/audit/dominance.h) needs the full
  * result grid, so sharded sweeps (shard_count > 1) and resumed runs
  * historically skipped it — the only audit gap in the pipeline.  This
  * closes it: the same MIN / NOREF dominance passes, re-derived from the
@@ -15,15 +15,17 @@
  * record identity fields minus the policy under test; records missing
  * the metrics (bespoke bench output) are skipped, not failed.
  */
-#ifndef SPUR_CHECK_DOC_AUDIT_H_
-#define SPUR_CHECK_DOC_AUDIT_H_
+#ifndef SPUR_AUDIT_DOC_AUDIT_H_
+#define SPUR_AUDIT_DOC_AUDIT_H_
 
 #include <vector>
 
 #include "src/check/report.h"
 #include "src/stats/run_record.h"
 
-namespace spur::check {
+namespace spur::audit {
+
+using check::AuditReport;
 
 /**
  * Runs the MIN-dominance (error) and NOREF-page-ins (warning) passes
@@ -34,6 +36,6 @@ namespace spur::check {
 AuditReport AuditSweepRecords(
     const std::vector<stats::RunRecord>& records);
 
-}  // namespace spur::check
+}  // namespace spur::audit
 
-#endif  // SPUR_CHECK_DOC_AUDIT_H_
+#endif  // SPUR_AUDIT_DOC_AUDIT_H_

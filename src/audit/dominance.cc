@@ -1,11 +1,11 @@
-#include "src/check/dominance.h"
+#include "src/audit/dominance.h"
 
 #include <algorithm>
 #include <map>
 #include <string>
 #include <tuple>
 
-namespace spur::check {
+namespace spur::audit {
 
 namespace {
 
@@ -97,7 +97,7 @@ AuditDominance(const std::vector<core::RunConfig>& configs,
                 IntrinsicDirtyFaults(other_runs[r]);
             if (min_faults > other_faults) {
                 report.Add(
-                    Severity::kError, PolicyPair(configs[i]), kNoPage,
+                    Severity::kError, PolicyPair(configs[i]), check::kNoPage,
                     "MIN took " + std::to_string(min_faults) +
                         " intrinsic dirty faults but " +
                         policy::ToString(configs[i].dirty) + " took only " +
@@ -130,7 +130,7 @@ AuditDominance(const std::vector<core::RunConfig>& configs,
         for (size_t r = 0; r < reps; ++r) {
             if (noref_runs[r].page_ins < miss_runs[r].page_ins) {
                 report.Add(
-                    Severity::kWarning, PolicyPair(configs[i]), kNoPage,
+                    Severity::kWarning, PolicyPair(configs[i]), check::kNoPage,
                     "NOREF paged in " +
                         std::to_string(noref_runs[r].page_ins) +
                         " vs MISS's " +
@@ -144,4 +144,4 @@ AuditDominance(const std::vector<core::RunConfig>& configs,
     return report;
 }
 
-}  // namespace spur::check
+}  // namespace spur::audit

@@ -20,15 +20,21 @@
  * runner::RunMatrix invokes this automatically after every matrix in
  * audit builds (SPUR_AUDIT=ON).
  */
-#ifndef SPUR_CHECK_DOMINANCE_H_
-#define SPUR_CHECK_DOMINANCE_H_
+#ifndef SPUR_AUDIT_DOMINANCE_H_
+#define SPUR_AUDIT_DOMINANCE_H_
 
 #include <vector>
 
 #include "src/check/report.h"
 #include "src/core/experiment.h"
 
-namespace spur::check {
+namespace spur::audit {
+
+// Result-level audits report through the same severity/report types as
+// the machine-state checker (src/check/report.h), so spur_sweep can
+// render both the same way.
+using check::AuditReport;
+using check::Severity;
 
 // Pass names used in dominance violations.
 inline constexpr const char* kPassMinDominance = "min-dominance";
@@ -47,6 +53,6 @@ AuditReport AuditDominance(
     const std::vector<core::RunConfig>& configs,
     const std::vector<std::vector<core::RunResult>>& results);
 
-}  // namespace spur::check
+}  // namespace spur::audit
 
-#endif  // SPUR_CHECK_DOMINANCE_H_
+#endif  // SPUR_AUDIT_DOMINANCE_H_

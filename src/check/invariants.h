@@ -26,7 +26,8 @@
  * |                        | block; an exclusive owner has no peers.        |
  *
  * Cross-policy dominance checks over finished experiment matrices live in
- * dominance.h (they need run results, not machine state).
+ * src/audit/dominance.h (they need run results, not machine state, and
+ * so sit above src/core in the layer graph — see LAYERS.toml).
  */
 #ifndef SPUR_CHECK_INVARIANTS_H_
 #define SPUR_CHECK_INVARIANTS_H_

@@ -2,7 +2,6 @@
 
 #include "src/check/audit.h"
 #include "src/common/log.h"
-#include "src/runner/runner.h"
 #include "src/workload/workloads.h"
 
 namespace spur::core {
@@ -90,26 +89,6 @@ RunOnce(const RunConfig& config)
             system.timing().Seconds(static_cast<sim::TimeBucket>(i));
     }
     return result;
-}
-
-std::vector<std::vector<RunResult>>
-RunMatrix(const std::vector<RunConfig>& configs, uint32_t reps,
-          uint64_t shuffle_seed,
-          const std::function<void(const RunConfig&, const RunResult&)>&
-              progress)
-{
-    // The matrix itself lives in src/runner/ now: cells run on the
-    // process-wide default job count (the --jobs flag), with the same
-    // shuffle and per-repetition seed derivation as the original
-    // sequential loop, so results are bit-identical at any job count.
-    runner::CellCallback callback;
-    if (progress) {
-        callback = [&progress](const runner::Cell& cell) {
-            progress(cell.config, cell.result);
-        };
-    }
-    return runner::RunMatrix(configs, reps, shuffle_seed, /*jobs=*/0,
-                             callback);
 }
 
 }  // namespace spur::core

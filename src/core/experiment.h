@@ -93,25 +93,11 @@ struct RunResult {
 /** Executes one run to completion. */
 RunResult RunOnce(const RunConfig& config);
 
-/**
- * Runs @p configs repeatedly (@p reps times each with distinct seeds) in
- * a randomized order, as the paper's randomized experiment design did.
- * Results are returned grouped per input config, in input order;
- * result[i][r] is repetition r of configs[i].
- *
- * Cells execute on the process-wide default job count (the --jobs flag;
- * see src/runner/).  Per-cell seeding makes the results bit-identical
- * regardless of the job count; use runner::RunMatrix directly to pick a
- * job count explicitly.
- *
- * @param progress  optional callback fired after each completed run, on
- *                  the calling thread.
- */
-std::vector<std::vector<RunResult>> RunMatrix(
-    const std::vector<RunConfig>& configs, uint32_t reps,
-    uint64_t shuffle_seed = 42,
-    const std::function<void(const RunConfig&, const RunResult&)>& progress =
-        nullptr);
+// Matrix execution (randomized order, repetitions, parallel cells)
+// lives one layer up in runner::RunMatrix (src/runner/runner.h): the
+// experiment layer defines what a run *is*, the runner decides how many
+// execute at once.  Keeping the orchestration out of src/core keeps the
+// subsystem graph acyclic (LAYERS.toml).
 
 }  // namespace spur::core
 

@@ -27,7 +27,7 @@
 #include "src/cache/bus.h"
 #include "src/check/audit.h"
 #include "src/check/checker.h"
-#include "src/core/host.h"
+#include "src/workload/host.h"
 #include "src/cache/cache.h"
 #include "src/cache/flusher.h"
 #include "src/common/types.h"
@@ -145,7 +145,7 @@ class MpSpurSystem
      * job driver built for the uniprocessor API can run pinned to a CPU
      * of the multiprocessor through this adapter.
      */
-    class CpuPort : public WorkloadHost
+    class CpuPort : public workload::WorkloadHost
     {
       public:
         CpuPort(MpSpurSystem& system, unsigned cpu)

@@ -22,7 +22,7 @@
 #include "src/cache/cache.h"
 #include "src/check/audit.h"
 #include "src/check/checker.h"
-#include "src/core/host.h"
+#include "src/workload/host.h"
 #include "src/common/types.h"
 #include "src/policy/dirty_policy.h"
 #include "src/policy/ref_policy.h"
@@ -38,7 +38,7 @@
 namespace spur::core {
 
 /** One simulated SPUR workstation. */
-class SpurSystem : public WorkloadHost
+class SpurSystem : public workload::WorkloadHost
 {
   public:
     /**

@@ -30,7 +30,7 @@
 #include <unordered_map>
 
 #include "src/cache/cache.h"
-#include "src/core/host.h"
+#include "src/workload/host.h"
 #include "src/cache/flusher.h"
 #include "src/common/types.h"
 #include "src/policy/dirty_policy.h"
@@ -46,7 +46,7 @@
 namespace spur::core {
 
 /** The TLB + physical-cache baseline machine. */
-class TlbSystem : public WorkloadHost
+class TlbSystem : public workload::WorkloadHost
 {
   public:
     explicit TlbSystem(const sim::MachineConfig& config,

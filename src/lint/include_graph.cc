@@ -1,0 +1,410 @@
+#include "src/lint/include_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace spur::lint {
+
+namespace {
+
+std::string
+Trim(const std::string& text)
+{
+    size_t first = 0;
+    while (first < text.size() &&
+           (text[first] == ' ' || text[first] == '\t')) {
+        ++first;
+    }
+    size_t last = text.size();
+    while (last > first &&
+           (text[last - 1] == ' ' || text[last - 1] == '\t')) {
+        --last;
+    }
+    return text.substr(first, last - first);
+}
+
+/** Strips a # comment that is not inside a quoted string. */
+std::string
+StripTomlComment(const std::string& line)
+{
+    bool in_string = false;
+    for (size_t i = 0; i < line.size(); ++i) {
+        if (line[i] == '"') {
+            in_string = !in_string;
+        } else if (line[i] == '#' && !in_string) {
+            return line.substr(0, i);
+        }
+    }
+    return line;
+}
+
+}  // namespace
+
+bool
+LayerManifest::Declares(const std::string& subsystem) const
+{
+    return deps.count(subsystem) != 0;
+}
+
+bool
+LayerManifest::Unconstrained(const std::string& subsystem) const
+{
+    const auto it = deps.find(subsystem);
+    if (it == deps.end()) {
+        return false;
+    }
+    return std::find(it->second.begin(), it->second.end(), "*") !=
+           it->second.end();
+}
+
+std::set<std::string>
+LayerManifest::Closure(const std::string& subsystem) const
+{
+    std::set<std::string> closure = {subsystem};
+    std::deque<std::string> frontier = {subsystem};
+    while (!frontier.empty()) {
+        const std::string current = frontier.front();
+        frontier.pop_front();
+        const auto it = deps.find(current);
+        if (it == deps.end()) {
+            continue;
+        }
+        for (const std::string& dep : it->second) {
+            if (closure.insert(dep).second) {
+                frontier.push_back(dep);
+            }
+        }
+    }
+    return closure;
+}
+
+bool
+ParseLayerManifest(const std::string& content, LayerManifest* out,
+                   std::string* error)
+{
+    LayerManifest manifest;
+    const std::vector<std::string> lines = SplitLines(content);
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const std::string line = Trim(StripTomlComment(lines[i]));
+        if (line.empty()) {
+            continue;
+        }
+        if (line.front() == '[' && line.back() == ']') {
+            continue;  // Section header ([layers]).
+        }
+        const size_t eq = line.find('=');
+        if (eq == std::string::npos) {
+            if (error != nullptr) {
+                *error = "line " + std::to_string(i + 1) +
+                         ": expected `name = [\"dep\", ...]`";
+            }
+            return false;
+        }
+        const std::string name = Trim(line.substr(0, eq));
+        const std::string value = Trim(line.substr(eq + 1));
+        if (name.empty() || value.size() < 2 || value.front() != '[' ||
+            value.back() != ']') {
+            if (error != nullptr) {
+                *error = "line " + std::to_string(i + 1) +
+                         ": expected `name = [\"dep\", ...]`";
+            }
+            return false;
+        }
+        std::vector<std::string> entry_deps;
+        size_t pos = 1;
+        while (true) {
+            const size_t open = value.find('"', pos);
+            if (open == std::string::npos) {
+                break;
+            }
+            const size_t close = value.find('"', open + 1);
+            if (close == std::string::npos) {
+                if (error != nullptr) {
+                    *error = "line " + std::to_string(i + 1) +
+                             ": unterminated string";
+                }
+                return false;
+            }
+            entry_deps.push_back(value.substr(open + 1, close - open - 1));
+            pos = close + 1;
+        }
+        std::sort(entry_deps.begin(), entry_deps.end());
+        if (!manifest.deps.emplace(name, std::move(entry_deps)).second) {
+            if (error != nullptr) {
+                *error = "line " + std::to_string(i + 1) +
+                         ": duplicate subsystem '" + name + "'";
+            }
+            return false;
+        }
+    }
+    *out = std::move(manifest);
+    return true;
+}
+
+bool
+LoadLayerManifest(const std::string& path, LayerManifest* out,
+                  std::string* error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error != nullptr) {
+            *error = "cannot read " + path;
+        }
+        return false;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    if (!ParseLayerManifest(content.str(), out, error)) {
+        if (error != nullptr) {
+            *error = path + ": " + *error;
+        }
+        return false;
+    }
+    return true;
+}
+
+std::string
+SubsystemOf(const std::string& path)
+{
+    if (path.rfind("src/", 0) == 0) {
+        const size_t end = path.find('/', 4);
+        if (end == std::string::npos) {
+            return "";  // A file directly under src/ has no subsystem.
+        }
+        return path.substr(4, end - 4);
+    }
+    for (const char* shell : {"tools/", "bench/", "examples/", "tests/"}) {
+        if (path.rfind(shell, 0) == 0) {
+            return std::string(shell, std::string(shell).size() - 1);
+        }
+    }
+    return "";
+}
+
+void
+IncludeGraph::AddFile(const std::string& path,
+                      const std::vector<IncludeDirective>& includes)
+{
+    files_[path] = includes;
+}
+
+std::vector<Violation>
+IncludeGraph::CheckLayers(const LayerManifest& manifest) const
+{
+    std::vector<Violation> violations;
+    std::set<std::string> undeclared_reported;
+    std::map<std::string, std::set<std::string>> closures;
+
+    for (const auto& [file, includes] : files_) {
+        const std::string subsystem = SubsystemOf(file);
+        if (subsystem.empty()) {
+            continue;
+        }
+        if (!manifest.Declares(subsystem)) {
+            if (undeclared_reported.insert(subsystem).second) {
+                violations.push_back(
+                    {file, 0, kLayeringRule,
+                     "subsystem '" + subsystem +
+                         "' is not declared in LAYERS.toml; add an entry "
+                         "listing its direct dependencies"});
+            }
+            continue;
+        }
+        if (manifest.Unconstrained(subsystem)) {
+            continue;
+        }
+        auto closure_it = closures.find(subsystem);
+        if (closure_it == closures.end()) {
+            closure_it =
+                closures.emplace(subsystem, manifest.Closure(subsystem))
+                    .first;
+        }
+        const std::set<std::string>& closure = closure_it->second;
+
+        // BFS over the file-level graph: the first time a forbidden
+        // subsystem is reached, the path that got there is a shortest
+        // witnessing chain.  One finding per (file, forbidden subsystem).
+        struct Step {
+            std::string path;
+            std::vector<std::string> chain;  ///< Including path itself.
+            size_t first_hop_line = 0;
+        };
+        std::set<std::string> visited = {file};
+        std::set<std::string> flagged;
+        std::deque<Step> frontier = {{file, {file}, 0}};
+        while (!frontier.empty()) {
+            const Step step = frontier.front();
+            frontier.pop_front();
+            const auto file_it = files_.find(step.path);
+            if (file_it == files_.end()) {
+                continue;  // Unregistered leaf (nothing to expand).
+            }
+            for (const IncludeDirective& include : file_it->second) {
+                const std::string target = SubsystemOf(include.path);
+                if (target.empty() || !visited.insert(include.path).second) {
+                    continue;
+                }
+                Step next{include.path, step.chain, step.first_hop_line};
+                next.chain.push_back(include.path);
+                if (next.first_hop_line == 0) {
+                    next.first_hop_line = include.line;
+                }
+                if (target == subsystem || closure.count(target) != 0) {
+                    frontier.push_back(std::move(next));
+                    continue;
+                }
+                if (!flagged.insert(target).second) {
+                    continue;
+                }
+                std::string chain_text = next.chain.front();
+                for (size_t i = 1; i < next.chain.size(); ++i) {
+                    chain_text += " -> " + next.chain[i];
+                }
+                const std::string reason =
+                    manifest.Declares(target)
+                        ? "' which is outside '" + subsystem +
+                              "'s allowed closure in LAYERS.toml"
+                        : "' which LAYERS.toml does not declare";
+                violations.push_back(
+                    {file, next.first_hop_line, kLayeringRule,
+                     "include chain reaches subsystem '" + target +
+                         reason + ": " + chain_text});
+            }
+        }
+    }
+    return violations;
+}
+
+std::map<std::string, std::map<std::string, std::string>>
+IncludeGraph::SubsystemEdges() const
+{
+    std::map<std::string, std::map<std::string, std::string>> edges;
+    for (const auto& [file, includes] : files_) {
+        const std::string from = SubsystemOf(file);
+        if (from.empty()) {
+            continue;
+        }
+        for (const IncludeDirective& include : includes) {
+            const std::string to = SubsystemOf(include.path);
+            if (to.empty() || to == from) {
+                continue;
+            }
+            edges[from].emplace(to, file + " includes " + include.path);
+        }
+    }
+    return edges;
+}
+
+std::vector<Violation>
+IncludeGraph::CheckCycles() const
+{
+    const auto edges = SubsystemEdges();
+
+    // Iterative DFS with an explicit stack; a back edge into the gray
+    // set closes a cycle.  Deterministic: roots and neighbors visit in
+    // sorted order, and each cycle reports once under a canonical
+    // rotation (smallest member first).
+    std::vector<Violation> violations;
+    std::set<std::string> done;
+    std::set<std::string> reported;
+    for (const auto& [root, unused] : edges) {
+        (void)unused;
+        if (done.count(root) != 0) {
+            continue;
+        }
+        std::vector<std::string> path;
+        std::set<std::string> on_path;
+        // Each frame: (node, next neighbor iterator position).
+        std::vector<std::pair<std::string, size_t>> stack = {{root, 0}};
+        while (!stack.empty()) {
+            auto& [node, next_index] = stack.back();
+            const auto node_edges = edges.find(node);
+            if (next_index == 0) {
+                path.push_back(node);
+                on_path.insert(node);
+            }
+            bool descended = false;
+            if (node_edges != edges.end()) {
+                size_t index = 0;
+                for (const auto& [neighbor, witness] : node_edges->second) {
+                    (void)witness;
+                    if (index++ < next_index) {
+                        continue;
+                    }
+                    ++next_index;
+                    if (on_path.count(neighbor) != 0) {
+                        // Cycle: neighbor ... node -> neighbor.
+                        std::vector<std::string> cycle;
+                        bool in_cycle = false;
+                        for (const std::string& member : path) {
+                            in_cycle = in_cycle || member == neighbor;
+                            if (in_cycle) {
+                                cycle.push_back(member);
+                            }
+                        }
+                        const auto smallest = std::min_element(
+                            cycle.begin(), cycle.end());
+                        std::rotate(cycle.begin(), smallest, cycle.end());
+                        std::string key;
+                        std::string text;
+                        for (const std::string& member : cycle) {
+                            key += member + ">";
+                            text += member + " -> ";
+                        }
+                        text += cycle.front();
+                        if (reported.insert(key).second) {
+                            std::string witnesses;
+                            for (size_t i = 0; i < cycle.size(); ++i) {
+                                const std::string& a = cycle[i];
+                                const std::string& b =
+                                    cycle[(i + 1) % cycle.size()];
+                                witnesses += "; " + edges.at(a).at(b);
+                            }
+                            const std::string& first_witness =
+                                edges.at(cycle.front())
+                                    .at(cycle[1 % cycle.size()]);
+                            const std::string anchor = first_witness.substr(
+                                0, first_witness.find(" includes "));
+                            violations.push_back(
+                                {anchor, 0, kLayeringRule,
+                                 "subsystem include cycle: " + text +
+                                     witnesses});
+                        }
+                        continue;
+                    }
+                    if (done.count(neighbor) == 0) {
+                        stack.push_back({neighbor, 0});
+                        descended = true;
+                        break;
+                    }
+                }
+            }
+            if (!descended) {
+                done.insert(node);
+                on_path.erase(node);
+                path.pop_back();
+                stack.pop_back();
+            }
+        }
+    }
+    return violations;
+}
+
+std::string
+IncludeGraph::ToDot() const
+{
+    std::string dot = "digraph spur_subsystems {\n";
+    for (const auto& [from, targets] : SubsystemEdges()) {
+        for (const auto& [to, witness] : targets) {
+            (void)witness;
+            dot += "    \"" + from + "\" -> \"" + to + "\";\n";
+        }
+    }
+    dot += "}\n";
+    return dot;
+}
+
+}  // namespace spur::lint

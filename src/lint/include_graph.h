@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The layering pass: the observed #include graph checked against the
+ * checked-in subsystem manifest (LAYERS.toml at the repo root).
+ *
+ * A subsystem is the second path component of a src/ file
+ * (src/cache/... -> "cache") or the top-level directory for the shells
+ * (tools/, bench/, examples/, tests/).  The manifest lists each
+ * subsystem's *direct* dependencies; the allowed reach is the
+ * transitive closure of that list, so the check is: every file's
+ * transitive include reach stays inside its subsystem's closure.
+ * Violations carry the shortest witnessing include chain, found by BFS
+ * over the file-level graph, and anchor at the first-hop #include line
+ * so they can be suppressed like any other finding.
+ *
+ * Two findings need no manifest semantics at all and are always
+ * errors: a subsystem missing from the manifest, and an observed cycle
+ * in the subsystem graph (even one whose edges are all individually
+ * declared — a cyclic layering is no layering).
+ */
+#ifndef SPUR_LINT_INCLUDE_GRAPH_H_
+#define SPUR_LINT_INCLUDE_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/lint/cxx_scan.h"
+#include "src/lint/lint.h"
+
+namespace spur::lint {
+
+/** Rule name of every layering finding. */
+inline constexpr char kLayeringRule[] = "layering";
+
+/** One-line summary for --list-rules / DESIGN.md. */
+inline constexpr char kLayeringSummary[] =
+    "every file's transitive include reach stays inside its subsystem's "
+    "LAYERS.toml closure; the subsystem graph is acyclic";
+
+/** The parsed LAYERS.toml: subsystem -> direct dependencies. */
+struct LayerManifest {
+    /// Sorted subsystem -> sorted direct deps ("*" = unconstrained).
+    std::map<std::string, std::vector<std::string>> deps;
+
+    bool empty() const { return deps.empty(); }
+    bool Declares(const std::string& subsystem) const;
+    bool Unconstrained(const std::string& subsystem) const;
+
+    /** Transitive closure of @p subsystem's deps (itself included). */
+    std::set<std::string> Closure(const std::string& subsystem) const;
+};
+
+/**
+ * Parses the [layers] manifest format: `name = ["dep", ...]` entries,
+ * full- and end-of-line # comments, one entry per line.  False +
+ * *error on malformed input.
+ */
+bool ParseLayerManifest(const std::string& content, LayerManifest* out,
+                        std::string* error);
+
+/** ParseLayerManifest over a file.  False + *error on I/O failure. */
+bool LoadLayerManifest(const std::string& path, LayerManifest* out,
+                       std::string* error);
+
+/** Subsystem of a normalized path ("" when it has none). */
+std::string SubsystemOf(const std::string& path);
+
+/** The observed file-level include graph of one linter run. */
+class IncludeGraph
+{
+  public:
+    /** Registers @p path (normalized) with its include directives. */
+    void AddFile(const std::string& path,
+                 const std::vector<IncludeDirective>& includes);
+
+    /**
+     * The reachability check described in the file comment.  One
+     * violation per (file, forbidden subsystem), carrying the shortest
+     * include chain; plus one per subsystem missing from the manifest.
+     */
+    std::vector<Violation> CheckLayers(const LayerManifest& manifest) const;
+
+    /** One violation per strongly-connected component of the observed
+     *  subsystem graph (manifest-independent). */
+    std::vector<Violation> CheckCycles() const;
+
+    /** The observed subsystem graph in DOT form, edges sorted. */
+    std::string ToDot() const;
+
+  private:
+    /// Subsystem -> subsystem -> one witnessing "file includes path".
+    std::map<std::string, std::map<std::string, std::string>>
+    SubsystemEdges() const;
+
+    std::map<std::string, std::vector<IncludeDirective>> files_;
+};
+
+}  // namespace spur::lint
+
+#endif  // SPUR_LINT_INCLUDE_GRAPH_H_

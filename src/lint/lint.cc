@@ -1,148 +1,30 @@
+/**
+ * @file
+ * The linter orchestrator: file collection, the parallel per-file scan
+ * phase, and the sequential cross-file passes (layering, lock-order,
+ * exhaustive-switch, suppression hygiene).  Per-file rules live in
+ * rules.cc, the token/scope model in cxx_scan.cc.
+ */
 #include "src/lint/lint.h"
 
 #include <algorithm>
-#include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <utility>
 
+#include "src/lint/include_graph.h"
+#include "src/lint/lock_order.h"
+#include "src/lint/rules.h"
+#include "src/runner/thread_pool.h"
+#include "src/stats/run_record.h"
 #include "src/sweep/json.h"
 
 namespace spur::lint {
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// Source preprocessing
-// ---------------------------------------------------------------------------
-
-/** Splits @p content into lines (newline characters removed). */
-std::vector<std::string>
-SplitLines(const std::string& content)
-{
-    std::vector<std::string> lines;
-    std::string current;
-    for (const char c : content) {
-        if (c == '\n') {
-            lines.push_back(std::move(current));
-            current.clear();
-        } else if (c != '\r') {
-            current.push_back(c);
-        }
-    }
-    if (!current.empty()) {
-        lines.push_back(std::move(current));
-    }
-    return lines;
-}
-
-/**
- * Removes // and block comments from @p lines (block state carries
- * across lines), leaving string and character literals intact so the
- * schema_version literal rule still sees them.  Doc comments routinely
- * *mention* forbidden constructs ("unlike std::mt19937 ..."), which
- * must not trip token rules.  String state resets at end of line
- * (ordinary literals cannot span lines), which also self-heals the
- * mis-detection a digit separator like 1'000'000 causes.
- */
-std::vector<std::string>
-StripComments(const std::vector<std::string>& lines)
-{
-    enum class State : uint8_t { kCode, kString, kChar, kBlockComment };
-    State state = State::kCode;
-    std::vector<std::string> out;
-    out.reserve(lines.size());
-    for (const std::string& line : lines) {
-        std::string code;
-        code.reserve(line.size());
-        if (state != State::kBlockComment) {
-            state = State::kCode;
-        }
-        for (size_t i = 0; i < line.size(); ++i) {
-            const char c = line[i];
-            const char next = (i + 1 < line.size()) ? line[i + 1] : '\0';
-            switch (state) {
-                case State::kCode:
-                    if (c == '/' && next == '/') {
-                        i = line.size();  // Rest of the line is comment.
-                    } else if (c == '/' && next == '*') {
-                        state = State::kBlockComment;
-                        ++i;
-                    } else {
-                        if (c == '"') {
-                            state = State::kString;
-                        } else if (c == '\'') {
-                            state = State::kChar;
-                        }
-                        code.push_back(c);
-                    }
-                    break;
-                case State::kString:
-                case State::kChar:
-                    code.push_back(c);
-                    if (c == '\\' && next != '\0') {
-                        code.push_back(next);
-                        ++i;
-                    } else if ((state == State::kString && c == '"') ||
-                               (state == State::kChar && c == '\'')) {
-                        state = State::kCode;
-                    }
-                    break;
-                case State::kBlockComment:
-                    if (c == '*' && next == '/') {
-                        state = State::kCode;
-                        ++i;
-                    }
-                    break;
-            }
-        }
-        out.push_back(std::move(code));
-    }
-    return out;
-}
-
-bool
-IsIdentChar(char c)
-{
-    return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_';
-}
-
-/**
- * True when @p text contains @p token starting at a word boundary (the
- * preceding character is not part of an identifier).  @p token may end
- * in punctuation — "time(" matches a bare call but not elapsed_time(.
- * When found, *column (if non-null) receives the 0-based offset.
- */
-bool
-HasToken(const std::string& text, const std::string& token,
-         size_t* column = nullptr)
-{
-    size_t pos = 0;
-    while ((pos = text.find(token, pos)) != std::string::npos) {
-        if (pos == 0 || !IsIdentChar(text[pos - 1])) {
-            if (column != nullptr) {
-                *column = pos;
-            }
-            return true;
-        }
-        ++pos;
-    }
-    return false;
-}
-
-/** True when the site carries a spur-lint: allow(rule) justification. */
-bool
-IsSuppressed(const std::vector<std::string>& raw_lines, size_t index,
-             const std::string& rule)
-{
-    const std::string marker = "spur-lint: allow(" + rule + ")";
-    if (raw_lines[index].find(marker) != std::string::npos) {
-        return true;
-    }
-    return index > 0 &&
-           raw_lines[index - 1].find(marker) != std::string::npos;
-}
 
 bool
 StartsWith(const std::string& text, const std::string& prefix)
@@ -158,232 +40,11 @@ EndsWith(const std::string& text, const std::string& suffix)
                         suffix) == 0;
 }
 
-// ---------------------------------------------------------------------------
-// Rule table
-// ---------------------------------------------------------------------------
-
-/** One token-scan rule: forbidden tokens outside whitelisted paths. */
-struct TokenRule {
-    const char* name;
-    const char* summary;
-    std::vector<const char*> tokens;
-    /// Normalized path prefixes where the tokens are legitimate.
-    std::vector<const char*> allowed_prefixes;
-    const char* message;
-};
-
-const std::vector<TokenRule>&
-TokenRules()
-{
-    // NOTE: this table spells the forbidden tokens out as literals, so
-    // src/lint/ itself is exempted from scanning (see RuleExempt).
-    static const std::vector<TokenRule> rules = {
-        {"no-rand",
-         "platform RNG primitives are forbidden; use the seeded spur::Rng",
-         {"rand(", "srand(", "random_device", "random_shuffle", "mt19937"},
-         {},
-         "platform RNG breaks cross-machine reproducibility; use the "
-         "seeded spur::Rng (src/common/random.h)"},
-        {"no-wallclock",
-         "wall-clock reads are confined to the telemetry/cost layer",
-         {"time(", "clock(", "system_clock", "steady_clock",
-          "high_resolution_clock", "gettimeofday", "clock_gettime",
-          "localtime", "gmtime", "strftime", "asctime", "ctime("},
-         {"src/sweep/telemetry.", "src/sweep/cost."},
-         "wall-clock read outside the telemetry/cost whitelist; results "
-         "must depend only on config and seed"},
-        {"no-locale",
-         "locale-dependent formatting is forbidden",
-         {"setlocale", "std::locale", "imbue(", "localeconv"},
-         {},
-         "locale-dependent formatting; output bytes must be identical on "
-         "every machine"},
-        {"no-raw-meta-bits",
-         "packed cache-line meta bytes are decoded only by the "
-         "LineRef/meta accessors in src/cache/cache.h",
-         {"meta::kStateMask", "meta::kProtMask", "meta::kProtShift",
-          "meta::kPageDirtyBit", "meta::kBlockDirtyBit"},
-         {"src/cache/cache."},
-         "raw meta-bit constant outside the cache layer; the packed "
-         "layout is an implementation detail of src/cache/cache.h — go "
-         "through LineRef/ConstLineRef, or justify the site with "
-         "spur-lint: allow(no-raw-meta-bits)"},
-    };
-    return rules;
-}
-
-/** True when no rule applies to @p path at all. */
-bool
-RuleExempt(const std::string& path)
-{
-    // The lint layer itself names every forbidden token in its rule
-    // table and its tests; scanning it would only flag the scanner.
-    return StartsWith(path, "src/lint/") ||
-           StartsWith(path, "tests/lint_test.");
-}
-
-bool
-PathAllowed(const std::string& path,
-            const std::vector<const char*>& prefixes)
-{
-    for (const char* prefix : prefixes) {
-        if (StartsWith(path, prefix)) {
-            return true;
-        }
-    }
-    return false;
-}
-
-// ---------------------------------------------------------------------------
-// Special rules
-// ---------------------------------------------------------------------------
-
-constexpr char kUnorderedRule[] = "no-unordered-output";
-constexpr char kSchemaRule[] = "schema-version-once";
-constexpr char kSessionRule[] = "bench-session";
-constexpr char kHotPathRule[] = "no-virtual-in-hot-path";
-
-/** Marker comment opting a file into the hot-path rule. */
-constexpr char kHotPathMarker[] = "spur:hot-path";
-
-/** True when any RAW line carries the hot-path marker (it lives in a
- *  comment, which StripComments would remove). */
-bool
-HasHotPathMarker(const std::vector<std::string>& raw_lines)
-{
-    for (const std::string& line : raw_lines) {
-        if (line.find(kHotPathMarker) != std::string::npos) {
-            return true;
-        }
-    }
-    return false;
-}
-
-/**
- * True when @p text contains @p word with identifier boundaries on BOTH
- * sides.  HasToken() only checks the preceding character (its tokens
- * end in punctuation); a keyword scan must also reject suffixes, so
- * `virtual` does not match `virtual_base` or VirtualCache.
- */
-bool
-HasWord(const std::string& text, const std::string& word)
-{
-    size_t pos = 0;
-    while ((pos = text.find(word, pos)) != std::string::npos) {
-        const bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
-        const size_t after = pos + word.size();
-        const bool right_ok =
-            after >= text.size() || !IsIdentChar(text[after]);
-        if (left_ok && right_ok) {
-            return true;
-        }
-        ++pos;
-    }
-    return false;
-}
-
-/** Headers whose inclusion marks a file as feeding JSON/table output. */
-const std::vector<const char*>&
-OutputHeaders()
-{
-    static const std::vector<const char*> headers = {
-        "src/stats/run_record.h",
-        "src/common/table.h",
-        "src/runner/session.h",
-        "src/sweep/",
-    };
-    return headers;
-}
-
-/** True when @p path / @p code feeds JSON or table output. */
-bool
-FeedsOutput(const std::string& path, const std::vector<std::string>& code)
-{
-    if (StartsWith(path, "src/stats/") || StartsWith(path, "src/sweep/") ||
-        StartsWith(path, "tools/")) {
-        return true;
-    }
-    for (const std::string& line : code) {
-        if (line.find("#include") == std::string::npos) {
-            continue;
-        }
-        for (const char* header : OutputHeaders()) {
-            if (line.find(header) != std::string::npos) {
-                return true;
-            }
-        }
-    }
-    return false;
-}
-
-/**
- * True when @p code holds a kSchemaVersion *definition* (the token
- * followed by a single '='), as opposed to a use of the constant.
- */
-bool
-IsSchemaVersionDefinition(const std::string& code)
-{
-    size_t pos = 0;
-    const std::string token = "kSchemaVersion";
-    while ((pos = code.find(token, pos)) != std::string::npos) {
-        const bool boundary = pos == 0 || !IsIdentChar(code[pos - 1]);
-        size_t after = pos + token.size();
-        while (after < code.size() &&
-               (code[after] == ' ' || code[after] == '\t')) {
-            ++after;
-        }
-        if (boundary && after < code.size() && code[after] == '=' &&
-            (after + 1 >= code.size() || code[after + 1] != '=')) {
-            return true;
-        }
-        ++pos;
-    }
-    return false;
-}
-
-/** The single file allowed to define kSchemaVersion. */
-constexpr char kSchemaHome[] = "src/stats/run_record.h";
-
-/** Files allowed to spell the "schema_version" JSON key literal. */
-const std::vector<const char*>&
-SchemaLiteralWhitelist()
-{
-    static const std::vector<const char*> allowed = {
-        "src/stats/run_record.cc",  // The writer.
-        "src/sweep/merge.cc",       // The parser/validator.
-        "src/sweep/stream.cc",      // The stream trailer writer/reader.
-        "tests/",                   // Round-trip and golden tests.
-    };
-    return allowed;
-}
-
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// Public API
+// File collection
 // ---------------------------------------------------------------------------
-
-std::vector<RuleInfo>
-Rules()
-{
-    std::vector<RuleInfo> rules;
-    for (const TokenRule& rule : TokenRules()) {
-        rules.push_back({rule.name, rule.summary});
-    }
-    rules.push_back({kUnorderedRule,
-                     "no unordered containers in files that feed JSON or "
-                     "table output (iteration order is unspecified)"});
-    rules.push_back({kSchemaRule,
-                     "kSchemaVersion is defined exactly once, in " +
-                         std::string(kSchemaHome)});
-    rules.push_back({kSessionRule,
-                     "every bench main() records through "
-                     "runner::BenchSession, not raw stdout"});
-    rules.push_back({kHotPathRule,
-                     "no virtual members in files marked // spur:hot-path "
-                     "(the per-reference path is devirtualized)"});
-    return rules;
-}
 
 std::string
 NormalizePath(const std::string& path)
@@ -534,154 +195,260 @@ Linter::AddCompileCommands(const std::string& path, std::string* error)
     return true;
 }
 
-std::vector<Violation>
-Linter::Run() const
+bool
+Linter::LoadLayerManifest(const std::string& path, std::string* error)
 {
-    std::vector<Violation> violations;
-    size_t schema_definitions_in_home = 0;
-    bool schema_home_seen = false;
-
-    for (const SourceFile& file : files_) {
-        if (RuleExempt(file.path)) {
-            continue;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error != nullptr) {
+            *error = "cannot read " + path;
         }
-        const std::vector<std::string> raw = SplitLines(file.content);
-        const std::vector<std::string> code = StripComments(raw);
+        return false;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    LayerManifest manifest;  // Parse now so errors surface at load time.
+    if (!ParseLayerManifest(content.str(), &manifest, error)) {
+        if (error != nullptr) {
+            *error = path + ": " + *error;
+        }
+        return false;
+    }
+    layer_manifest_toml_ = content.str();
+    return true;
+}
 
-        // Token rules.
-        for (const TokenRule& rule : TokenRules()) {
-            if (PathAllowed(file.path, rule.allowed_prefixes)) {
+// ---------------------------------------------------------------------------
+// Analysis
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** The exhaustive-switch pass over the merged per-file facts. */
+void
+CheckExhaustiveSwitches(std::vector<FileScan>& scans,
+                        std::vector<Violation>* violations)
+{
+    // Tree-wide enum index.  Same-named enums are fine when their
+    // enumerator sets agree (a header scanned plus re-exported facts);
+    // when they disagree the name is ambiguous and, being unable to
+    // tell which enum a switch means, the pass skips it (conservative).
+    std::map<std::string, std::vector<std::string>> enums;
+    std::set<std::string> ambiguous;
+    for (const FileScan& scan : scans) {
+        for (const EnumDef& def : scan.cxx.enums) {
+            std::vector<std::string> sorted = def.enumerators;
+            std::sort(sorted.begin(), sorted.end());
+            const auto it = enums.find(def.name);
+            if (it == enums.end()) {
+                enums.emplace(def.name, std::move(sorted));
+            } else if (it->second != sorted) {
+                ambiguous.insert(def.name);
+            }
+        }
+    }
+
+    for (FileScan& scan : scans) {
+        for (const SwitchRecord& record : scan.cxx.switches) {
+            if (record.has_default || !record.labels_parsed ||
+                record.labels.empty()) {
                 continue;
             }
-            for (size_t i = 0; i < code.size(); ++i) {
-                for (const char* token : rule.tokens) {
-                    if (!HasToken(code[i], token)) {
-                        continue;
-                    }
-                    if (IsSuppressed(raw, i, rule.name)) {
-                        break;
-                    }
-                    violations.push_back(
-                        {file.path, i + 1, rule.name,
-                         std::string("'") + token + "': " + rule.message});
-                    break;  // One finding per rule per line.
-                }
-            }
-        }
-
-        // no-unordered-output.
-        if (FeedsOutput(file.path, code)) {
-            for (size_t i = 0; i < code.size(); ++i) {
-                if (!HasToken(code[i], "unordered_map") &&
-                    !HasToken(code[i], "unordered_set")) {
-                    continue;
-                }
-                if (IsSuppressed(raw, i, kUnorderedRule)) {
-                    continue;
-                }
-                violations.push_back(
-                    {file.path, i + 1, kUnorderedRule,
-                     "unordered container in output-feeding code; "
-                     "iteration order is unspecified, so JSON/table bytes "
-                     "would vary by platform — use std::map or a sorted "
-                     "vector"});
-            }
-        }
-
-        // schema-version-once.
-        const bool is_schema_home = file.path == kSchemaHome;
-        schema_home_seen = schema_home_seen || is_schema_home;
-        for (size_t i = 0; i < code.size(); ++i) {
-            if (IsSchemaVersionDefinition(code[i])) {
-                if (is_schema_home) {
-                    ++schema_definitions_in_home;
-                    if (schema_definitions_in_home > 1 &&
-                        !IsSuppressed(raw, i, kSchemaRule)) {
-                        violations.push_back(
-                            {file.path, i + 1, kSchemaRule,
-                             "duplicate kSchemaVersion definition; the "
-                             "schema version must have exactly one "
-                             "definition site"});
-                    }
-                } else if (!IsSuppressed(raw, i, kSchemaRule)) {
-                    violations.push_back(
-                        {file.path, i + 1, kSchemaRule,
-                         std::string("kSchemaVersion defined outside ") +
-                             kSchemaHome +
-                             "; a second definition site lets the writer "
-                             "and validator drift apart"});
-                }
-            }
-            if (code[i].find("\"schema_version\"") != std::string::npos &&
-                !PathAllowed(file.path, SchemaLiteralWhitelist()) &&
-                !IsSuppressed(raw, i, kSchemaRule)) {
-                violations.push_back(
-                    {file.path, i + 1, kSchemaRule,
-                     "\"schema_version\" key spelled outside the "
-                     "writer/parser; route document headers through "
-                     "stats::JsonWriter and sweep::ParseSweepDocument"});
-            }
-        }
-
-        // no-virtual-in-hot-path: files that opt in with the marker
-        // comment went through devirtualization (compile-time policy
-        // templates, member-fn-pointer dispatch); a virtual member
-        // reintroduced there silently re-inserts an indirect call into
-        // the per-reference loop.
-        if (HasHotPathMarker(raw)) {
-            for (size_t i = 0; i < code.size(); ++i) {
-                if (!HasWord(code[i], "virtual")) {
-                    continue;
-                }
-                if (IsSuppressed(raw, i, kHotPathRule)) {
-                    continue;
-                }
-                violations.push_back(
-                    {file.path, i + 1, kHotPathRule,
-                     "'virtual' in a file marked // spur:hot-path; the "
-                     "hot path is devirtualized (compile-time policy "
-                     "templates, DESIGN.md §15) — dispatch statically, "
-                     "move the type out of the marked file, or justify "
-                     "the site with spur-lint: allow(...)"});
-            }
-        }
-
-        // bench-session.
-        if (StartsWith(file.path, "bench/") && EndsWith(file.path, ".cc")) {
-            bool uses_session = false;
-            for (const std::string& line : code) {
-                if (HasToken(line, "BenchSession")) {
-                    uses_session = true;
+            // Every label must name the same enum: the second-to-last
+            // component of the qualified label ("A::Color::kRed" and
+            // "Color::kRed" both name Color).
+            std::string enum_name;
+            std::vector<std::string> named;
+            bool consistent = true;
+            for (const std::string& label : record.labels) {
+                const size_t last_sep = label.rfind("::");
+                const std::string enumerator = label.substr(last_sep + 2);
+                const std::string qualifier = label.substr(0, last_sep);
+                const size_t prev_sep = qualifier.rfind("::");
+                const std::string name =
+                    prev_sep == std::string::npos
+                        ? qualifier
+                        : qualifier.substr(prev_sep + 2);
+                if (enum_name.empty()) {
+                    enum_name = name;
+                } else if (enum_name != name) {
+                    consistent = false;
                     break;
                 }
+                named.push_back(enumerator);
             }
-            if (!uses_session) {
-                for (size_t i = 0; i < code.size(); ++i) {
-                    if (!HasToken(code[i], "main(")) {
-                        continue;
-                    }
-                    if (IsSuppressed(raw, i, kSessionRule)) {
-                        continue;
-                    }
-                    violations.push_back(
-                        {file.path, i + 1, kSessionRule,
-                         "bench defines main() without recording through "
-                         "runner::BenchSession (src/runner/session.h); "
-                         "raw-stdout benches are invisible to --json, "
-                         "--shard and spur_sweep"});
-                }
+            if (!consistent || enum_name.empty() ||
+                ambiguous.count(enum_name) != 0) {
+                continue;
             }
+            const auto enum_it = enums.find(enum_name);
+            if (enum_it == enums.end()) {
+                continue;  // Not a scoped enum the tree defines.
+            }
+            std::sort(named.begin(), named.end());
+            std::vector<std::string> missing;
+            std::set_difference(enum_it->second.begin(),
+                                enum_it->second.end(), named.begin(),
+                                named.end(), std::back_inserter(missing));
+            if (missing.empty()) {
+                continue;
+            }
+            if (Suppress(scan, record.line, kExhaustiveSwitchRule)) {
+                continue;
+            }
+            std::string list = missing.front();
+            for (size_t i = 1; i < missing.size(); ++i) {
+                list += ", " + missing[i];
+            }
+            violations->push_back(
+                {scan.path, record.line, kExhaustiveSwitchRule,
+                 "switch over " + enum_name + " has no default and does "
+                 "not handle: " + list + " — name every enumerator so "
+                 "adding one breaks loudly, or add a default"});
+        }
+    }
+}
+
+}  // namespace
+
+LintReport
+Linter::Analyze(size_t jobs) const
+{
+    // Phase 1: per-file scans, parallel over a thread pool.  Results
+    // land in order-preserving slots, so the merge below — and with it
+    // every output byte — is identical at any job count.
+    std::vector<FileScan> scans(files_.size());
+    const auto scan_one = [&](size_t index) {
+        scans[index] =
+            ScanSourceFile(files_[index].path, files_[index].content);
+    };
+    if (jobs == 0) {
+        jobs = runner::HardwareJobs();
+    }
+    const size_t workers = std::min(jobs, files_.size());
+    if (workers > 1) {
+        runner::ThreadPool pool(static_cast<unsigned>(workers));
+        for (size_t i = 0; i < files_.size(); ++i) {
+            pool.Submit([&scan_one, i] { scan_one(i); });
+        }
+        // ~ThreadPool drains the queue and joins: a full barrier.
+    } else {
+        for (size_t i = 0; i < files_.size(); ++i) {
+            scan_one(i);
         }
     }
 
-    if (schema_home_seen && schema_definitions_in_home == 0) {
-        violations.push_back(
-            {kSchemaHome, 0, kSchemaRule,
-             "kSchemaVersion definition missing from its single allowed "
-             "definition site"});
+    // Phase 2: sequential cross-file passes over the merged facts.
+    LintReport report;
+    std::map<std::string, size_t> scan_index;
+    for (size_t i = 0; i < scans.size(); ++i) {
+        scan_index[scans[i].path] = i;
+        report.violations.insert(report.violations.end(),
+                                 scans[i].violations.begin(),
+                                 scans[i].violations.end());
+    }
+    const auto suppress = [&](const Violation& violation) {
+        if (violation.line == 0) {
+            return false;  // Tree-level findings have no site to mark.
+        }
+        const auto it = scan_index.find(violation.file);
+        return it != scan_index.end() &&
+               Suppress(scans[it->second], violation.line, violation.rule);
+    };
+
+    // schema-version-once, tree level: the home file was scanned but
+    // holds no definition.
+    for (const FileScan& scan : scans) {
+        if (scan.is_schema_home && scan.schema_definitions == 0) {
+            report.violations.push_back(
+                {scan.path, 0, kSchemaVersionRule,
+                 "kSchemaVersion definition missing from its single "
+                 "allowed definition site"});
+        }
     }
 
-    std::sort(violations.begin(), violations.end(),
+    // Layering: reachability against the manifest (when loaded), plus
+    // observed subsystem cycles, which need no manifest to be wrong.
+    IncludeGraph graph;
+    for (const FileScan& scan : scans) {
+        graph.AddFile(scan.path, scan.cxx.includes);
+    }
+    report.subsystem_dot = graph.ToDot();
+    if (!layer_manifest_toml_.empty()) {
+        LayerManifest manifest;
+        std::string error;
+        // Validated at load time; cannot fail here.
+        ParseLayerManifest(layer_manifest_toml_, &manifest, &error);
+        for (const Violation& violation : graph.CheckLayers(manifest)) {
+            if (!suppress(violation)) {
+                report.violations.push_back(violation);
+            }
+        }
+    }
+    for (const Violation& violation : graph.CheckCycles()) {
+        if (!suppress(violation)) {
+            report.violations.push_back(violation);
+        }
+    }
+
+    // Lock order: one global graph over every file's observed edges.
+    LockOrderGraph locks;
+    for (const FileScan& scan : scans) {
+        for (const LockEdge& edge : scan.cxx.lock_edges) {
+            locks.AddEdge(edge);
+        }
+    }
+    for (const Violation& violation : locks.CheckCycles()) {
+        if (!suppress(violation)) {
+            report.violations.push_back(violation);
+        }
+    }
+
+    // Exhaustive switches (needs the tree-wide enum index).
+    CheckExhaustiveSwitches(scans, &report.violations);
+
+    // Suppression hygiene, last: every pass that could mark a site
+    // used has run.  dead-allow and allow-budget findings are about
+    // the markers themselves and are deliberately not suppressible.
+    const std::set<std::string> known_rules = [] {
+        std::set<std::string> names;
+        for (const RuleInfo& rule : Rules()) {
+            names.insert(rule.name);
+        }
+        return names;
+    }();
+    std::map<std::string, std::vector<const AllowSite*>> live_by_rule;
+    for (const FileScan& scan : scans) {
+        for (const AllowSite& site : scan.allows) {
+            report.allows.push_back(site);
+            if (site.used) {
+                live_by_rule[site.rule].push_back(&site);
+                continue;
+            }
+            const std::string reason =
+                known_rules.count(site.rule) == 0
+                    ? ") names a rule that does not exist"
+                    : ") suppresses nothing on this or the next line";
+            report.violations.push_back(
+                {site.file, site.line, kDeadAllowRule,
+                 "stale suppression: allow(" + site.rule + reason +
+                     " — delete the marker"});
+        }
+    }
+    for (const auto& [rule, sites] : live_by_rule) {
+        const size_t budget = RuleBudget(rule);
+        for (size_t i = budget; i < sites.size(); ++i) {
+            report.violations.push_back(
+                {sites[i]->file, sites[i]->line, kAllowBudgetRule,
+                 "suppression site " + std::to_string(i + 1) + " of rule "
+                 "'" + rule + "' exceeds its tree-wide budget of " +
+                     std::to_string(budget) +
+                     "; widen the rule's whitelist instead of "
+                     "accumulating markers"});
+        }
+    }
+
+    std::sort(report.violations.begin(), report.violations.end(),
               [](const Violation& a, const Violation& b) {
                   if (a.file != b.file) {
                       return a.file < b.file;
@@ -691,8 +458,25 @@ Linter::Run() const
                   }
                   return a.rule < b.rule;
               });
-    return violations;
+    std::sort(report.allows.begin(), report.allows.end(),
+              [](const AllowSite& a, const AllowSite& b) {
+                  if (a.file != b.file) {
+                      return a.file < b.file;
+                  }
+                  return a.line < b.line;
+              });
+    return report;
 }
+
+std::vector<Violation>
+Linter::Run(size_t jobs) const
+{
+    return Analyze(jobs).violations;
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
 
 std::string
 FormatViolation(const Violation& violation)
@@ -708,6 +492,21 @@ FormatViolation(const Violation& violation)
     out += violation.rule;
     out += "] ";
     out += violation.message;
+    return out;
+}
+
+std::string
+FormatViolationJson(const Violation& violation)
+{
+    std::string out = "{\"file\": \"";
+    out += stats::JsonWriter::Escape(violation.file);
+    out += "\", \"line\": ";
+    out += std::to_string(violation.line);
+    out += ", \"rule\": \"";
+    out += stats::JsonWriter::Escape(violation.rule);
+    out += "\", \"message\": \"";
+    out += stats::JsonWriter::Escape(violation.message);
+    out += "\"}";
     return out;
 }
 

@@ -1,28 +1,41 @@
 /**
  * @file
- * spur_lint — source-wide enforcement of the project's determinism
- * rules (DESIGN.md §13).
+ * spur_lint — whole-tree enforcement of the project's determinism and
+ * architecture rules (DESIGN.md §13, §18).
  *
  * The repo's core contract is that every output byte is a pure function
  * of the configuration and seed: shard unions must byte-match full runs
  * (DESIGN.md §12) and parallel runs must byte-match sequential ones
- * (§9).  The rules here reject the constructs that historically break
- * that contract — wall-clock reads, platform RNGs, locale-dependent
- * formatting, iteration over unordered containers in output-feeding
- * code — plus two structural rules (a single schema_version definition
- * site, benches recording through BenchSession).
+ * (§9).  The per-file rules here reject the constructs that
+ * historically break that contract — wall-clock reads, platform RNGs,
+ * locale-dependent formatting, iteration over unordered containers in
+ * output-feeding code — plus structural rules (a single schema_version
+ * definition site, benches recording through BenchSession).
  *
- * Rules are table-driven (see kTokenRules in lint.cc), violations carry
- * file:line, and any finding can be suppressed at the site with a
+ * On top of the per-file scan sit four cross-file semantic passes built
+ * on a shared token/scope model (cxx_scan.h):
+ *
+ *   layering           include reach vs the LAYERS.toml manifest, with
+ *                      shortest witnessing chains (include_graph.h)
+ *   lock-order         static deadlock detection over the global
+ *                      lock-acquisition graph (lock_order.h)
+ *   exhaustive-switch  a defaultless switch over a scoped enum must
+ *                      name every enumerator, even in headers and
+ *                      dead configurations the compiler never sees
+ *   dead-allow /       suppression hygiene: every allow() marker must
+ *   allow-budget       suppress something, and each rule has a
+ *                      tree-wide budget of suppression sites
+ *
+ * Any line-anchored finding can be suppressed at the site with a
  * justification comment on the same or the preceding line:
  *
  *     legacy_call();  // spur-lint: allow(no-wallclock) — measures only
  *
- * The tools/spur_lint CLI drives this library from explicit paths,
- * directory trees and/or a compile_commands.json file list, and exits
- * nonzero on violations so CI can gate on it.  tests/lint_test.cc runs
- * every rule against seeded fixture files and asserts the real tree is
- * clean.
+ * The tools/spur_lint CLI (check | graph | allows subcommands) drives
+ * this library from explicit paths, directory trees and/or a
+ * compile_commands.json file list, and exits nonzero on violations so
+ * CI can gate on it.  tests/lint_test.cc runs every rule against
+ * seeded fixture files and asserts the real tree is clean.
  */
 #ifndef SPUR_LINT_LINT_H_
 #define SPUR_LINT_LINT_H_
@@ -47,18 +60,50 @@ struct RuleInfo {
     std::string summary;
 };
 
-/** Every rule, in evaluation order. */
+/**
+ * Every rule, in evaluation order — the single source the CLI help,
+ * the DESIGN.md rule table (--list-rules --markdown) and the fixture
+ * coverage test all render from.
+ */
 std::vector<RuleInfo> Rules();
+
+/**
+ * The tree-wide suppression budget of @p rule: how many live
+ * spur-lint: allow(rule) sites the tree may carry before each further
+ * site becomes an allow-budget violation.  A budget keeps suppression
+ * the exception: when legitimate sites accumulate, the rule's
+ * whitelist is wrong and should be widened instead.
+ */
+size_t RuleBudget(const std::string& rule);
+
+/** One spur-lint: allow(...) marker found in the tree. */
+struct AllowSite {
+    std::string file;  ///< Normalized path.
+    size_t line = 0;   ///< 1-based line of the marker.
+    std::string rule;  ///< The rule named inside allow(...).
+    bool used = false; ///< True once the marker suppressed a finding.
+};
 
 /**
  * Normalizes an on-disk path to its repo-relative form by keeping
  * everything from the last path component that starts one of the
  * project's top-level source dirs (src/, tools/, bench/, examples/,
  * tests/).  Absolute build-tree paths (compile_commands.json entries)
- * and fixture paths like tests/lint_fixtures/bench/x.cc thus map onto
- * the path space the rule whitelists are written against.
+ * and fixture paths like tests/lint_fixtures/src/cache/x.cc thus map
+ * onto the path space the rule whitelists and the layer manifest are
+ * written against.
  */
 std::string NormalizePath(const std::string& path);
+
+/** Everything one full analysis produced. */
+struct LintReport {
+    /// Sorted by (file, line, rule).
+    std::vector<Violation> violations;
+    /// Every allow() marker with its liveness, sorted by (file, line).
+    std::vector<AllowSite> allows;
+    /// The observed subsystem include graph in DOT form.
+    std::string subsystem_dot;
+};
 
 /** Collects source files, then runs every rule over the set. */
 class Linter
@@ -87,11 +132,28 @@ class Linter
      */
     bool AddCompileCommands(const std::string& path, std::string* error);
 
+    /**
+     * Arms the layering pass with the manifest at @p path (LAYERS.toml
+     * format).  Without a manifest, reachability is unchecked but
+     * observed subsystem cycles are still violations.  False + *error
+     * on I/O or parse failure.
+     */
+    bool LoadLayerManifest(const std::string& path, std::string* error);
+
     /** Number of registered files. */
     size_t file_count() const { return files_.size(); }
 
-    /** Runs every rule; violations sorted by (file, line, rule). */
-    std::vector<Violation> Run() const;
+    /**
+     * Runs every pass.  @p jobs > 1 scans files on a thread pool; the
+     * report is byte-identical at any job count (per-file results land
+     * in order-preserving slots, and every cross-file pass runs
+     * sequentially over the merged facts).  0 means one job per
+     * hardware thread.
+     */
+    LintReport Analyze(size_t jobs = 1) const;
+
+    /** Analyze(jobs).violations, for callers that only gate. */
+    std::vector<Violation> Run(size_t jobs = 1) const;
 
   private:
     struct SourceFile {
@@ -102,10 +164,15 @@ class Linter
     bool AlreadyAdded(const std::string& normalized) const;
 
     std::vector<SourceFile> files_;
+    std::string layer_manifest_toml_;  ///< Raw content; empty = unset.
 };
 
 /** Renders @p violation as "file:line: [rule] message". */
 std::string FormatViolation(const Violation& violation);
+
+/** Renders @p violation as one flat JSON object (stable key order:
+ *  file, line, rule, message). */
+std::string FormatViolationJson(const Violation& violation);
 
 }  // namespace spur::lint
 

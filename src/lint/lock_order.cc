@@ -1,0 +1,125 @@
+#include "src/lint/lock_order.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace spur::lint {
+
+void
+LockOrderGraph::AddEdge(const LockEdge& edge)
+{
+    for (const LockEdge& existing : edges_) {
+        if (existing.first == edge.first &&
+            existing.second == edge.second) {
+            return;  // First witness wins (files are added in order).
+        }
+    }
+    edges_.push_back(edge);
+}
+
+std::vector<Violation>
+LockOrderGraph::CheckCycles() const
+{
+    std::map<std::string, std::map<std::string, const LockEdge*>> graph;
+    for (const LockEdge& edge : edges_) {
+        graph[edge.first].emplace(edge.second, &edge);
+    }
+
+    // DFS from every node in sorted order; a back edge into the gray
+    // path closes a cycle, reported once under a canonical rotation.
+    std::vector<Violation> violations;
+    std::set<std::string> done;
+    std::set<std::string> reported;
+    for (const auto& [root, unused] : graph) {
+        (void)unused;
+        if (done.count(root) != 0) {
+            continue;
+        }
+        std::vector<std::string> path;
+        std::set<std::string> on_path;
+        std::vector<std::pair<std::string, size_t>> stack = {{root, 0}};
+        while (!stack.empty()) {
+            auto& [node, next_index] = stack.back();
+            if (next_index == 0) {
+                path.push_back(node);
+                on_path.insert(node);
+            }
+            bool descended = false;
+            const auto node_edges = graph.find(node);
+            if (node_edges != graph.end()) {
+                size_t index = 0;
+                for (const auto& [neighbor, witness] : node_edges->second) {
+                    (void)witness;
+                    if (index++ < next_index) {
+                        continue;
+                    }
+                    ++next_index;
+                    if (on_path.count(neighbor) != 0) {
+                        std::vector<std::string> cycle;
+                        bool in_cycle = false;
+                        for (const std::string& member : path) {
+                            in_cycle = in_cycle || member == neighbor;
+                            if (in_cycle) {
+                                cycle.push_back(member);
+                            }
+                        }
+                        const auto smallest =
+                            std::min_element(cycle.begin(), cycle.end());
+                        std::rotate(cycle.begin(), smallest, cycle.end());
+                        std::string key;
+                        for (const std::string& member : cycle) {
+                            key += member + ">";
+                        }
+                        if (!reported.insert(key).second) {
+                            continue;
+                        }
+                        std::string order = cycle.front();
+                        for (size_t i = 1; i < cycle.size(); ++i) {
+                            order += " -> " + cycle[i];
+                        }
+                        order += " -> " + cycle.front();
+                        std::string witnesses;
+                        for (size_t i = 0; i < cycle.size(); ++i) {
+                            const LockEdge* e =
+                                graph.at(cycle[i])
+                                    .at(cycle[(i + 1) % cycle.size()]);
+                            witnesses += "; " + e->first + " -> " +
+                                         e->second +
+                                         (e->wait ? " (wait)" : "") +
+                                         " at " + e->file + ":" +
+                                         std::to_string(e->line) +
+                                         " in " + e->function;
+                        }
+                        const LockEdge* anchor =
+                            graph.at(cycle.front())
+                                .at(cycle[1 % cycle.size()]);
+                        violations.push_back(
+                            {anchor->file, anchor->line, kLockOrderRule,
+                             "lock-order cycle " + order +
+                                 ": two code paths acquire these locks "
+                                 "in opposite orders, which deadlocks "
+                                 "under the right interleaving" +
+                                 witnesses});
+                        continue;
+                    }
+                    if (done.count(neighbor) == 0) {
+                        stack.push_back({neighbor, 0});
+                        descended = true;
+                        break;
+                    }
+                }
+            }
+            if (!descended) {
+                done.insert(node);
+                on_path.erase(node);
+                path.pop_back();
+                stack.pop_back();
+            }
+        }
+    }
+    return violations;
+}
+
+}  // namespace spur::lint

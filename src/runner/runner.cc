@@ -6,7 +6,7 @@
 #include <utility>
 
 #include "src/check/audit.h"
-#include "src/check/dominance.h"
+#include "src/audit/dominance.h"
 #include "src/common/log.h"
 #include "src/common/mutex.h"
 #include "src/common/random.h"
@@ -92,7 +92,7 @@ AuditMatrix(const std::vector<core::RunConfig>& configs,
             const std::vector<std::vector<core::RunResult>>& results)
 {
     if constexpr (check::kAuditEnabled) {
-        check::AuditDominance(configs, results)
+        audit::AuditDominance(configs, results)
             .RaiseIfFailed("runner::RunMatrix (post-matrix)");
     } else {
         (void)configs;

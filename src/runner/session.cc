@@ -20,7 +20,7 @@ BenchSession::BenchSession(std::string bench_name, const Args& args)
     const int64_t requested = args.GetInt("jobs", 0);
     jobs_ = (requested > 0) ? static_cast<unsigned>(requested)
                             : HardwareJobs();
-    // Library-level callers (core::RunMatrix) inherit the flag too.
+    // Library-level callers (runner::RunMatrix) inherit the flag too.
     SetDefaultJobs(jobs_);
 
     const std::string shard_text = args.GetString("shard");

@@ -5,7 +5,7 @@
  *
  *   --jobs=N      worker threads for experiment runs (default: hardware
  *                 concurrency); installed process-wide so
- *                 core::RunMatrix callers inherit it.
+ *                 runner::RunMatrix callers inherit it.
  *   --json=F      write every run this session observed to F as JSON
  *                 run records ("-" = stdout) for the perf trajectory.
  *   --shard=K/N   run only this process's slice of every matrix: cell

@@ -65,7 +65,7 @@ unsigned HardwareJobs();
 
 /**
  * Installs the process-wide default job count used when a runner entry
- * point is called with jobs = 0 (as core::RunMatrix does).  Passing 0
+ * point is called with jobs = 0 (as runner::RunMatrix does).  Passing 0
  * restores the hardware default.  The bench/example harness installs the
  * --jobs flag value here so library-level callers inherit it.
  */

@@ -6,7 +6,7 @@
 
 namespace spur::workload {
 
-Driver::Driver(core::WorkloadHost& system, WorkloadSpec spec,
+Driver::Driver(WorkloadHost& system, WorkloadSpec spec,
                uint64_t total_refs, uint64_t seed, uint32_t slice_refs)
     : system_(system),
       spec_(std::move(spec)),

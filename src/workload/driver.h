@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "src/common/random.h"
-#include "src/core/host.h"
+#include "src/workload/host.h"
 #include "src/workload/process.h"
 #include "src/workload/profile.h"
 
@@ -55,7 +55,7 @@ class Driver
      * @param seed         seed for process generators and scheduling.
      * @param slice_refs   references per scheduling quantum.
      */
-    Driver(core::WorkloadHost& system, WorkloadSpec spec, uint64_t total_refs,
+    Driver(WorkloadHost& system, WorkloadSpec spec, uint64_t total_refs,
            uint64_t seed, uint32_t slice_refs = 20000);
 
     ~Driver();
@@ -91,7 +91,7 @@ class Driver
         size_t job_index;
     };
 
-    core::WorkloadHost& system_;
+    WorkloadHost& system_;
     WorkloadSpec spec_;
     uint64_t total_refs_;
     Rng rng_;

@@ -8,8 +8,8 @@
  * can run the same WorkloadSpec, which is what makes cross-machine
  * comparisons (bench/ablation_tlb_baseline) meaningful.
  */
-#ifndef SPUR_CORE_HOST_H_
-#define SPUR_CORE_HOST_H_
+#ifndef SPUR_WORKLOAD_HOST_H_
+#define SPUR_WORKLOAD_HOST_H_
 
 #include <cstddef>
 #include <cstdint>
@@ -18,7 +18,7 @@
 #include "src/sim/config.h"
 #include "src/vm/region.h"
 
-namespace spur::core {
+namespace spur::workload {
 
 /** A machine that can host synthetic workloads. */
 class WorkloadHost
@@ -65,6 +65,6 @@ class WorkloadHost
     virtual const sim::MachineConfig& config() const = 0;
 };
 
-}  // namespace spur::core
+}  // namespace spur::workload
 
-#endif  // SPUR_CORE_HOST_H_
+#endif  // SPUR_WORKLOAD_HOST_H_

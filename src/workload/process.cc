@@ -6,7 +6,7 @@
 
 namespace spur::workload {
 
-SyntheticProcess::SyntheticProcess(core::WorkloadHost& system,
+SyntheticProcess::SyntheticProcess(WorkloadHost& system,
                                    const ProcessProfile& profile,
                                    uint64_t seed, const ShareSpec* share)
     : system_(system),
@@ -69,7 +69,7 @@ SyntheticProcess::SyntheticProcess(core::WorkloadHost& system,
 }
 
 void
-MapDataSegment(core::WorkloadHost& system, Pid pid,
+MapDataSegment(WorkloadHost& system, Pid pid,
                const ProcessProfile& profile)
 {
     if (profile.data_pages == 0) {

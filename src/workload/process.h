@@ -11,7 +11,7 @@
 
 #include "src/common/random.h"
 #include "src/common/types.h"
-#include "src/core/host.h"
+#include "src/workload/host.h"
 #include "src/workload/profile.h"
 
 namespace spur::workload {
@@ -45,7 +45,7 @@ struct ShareSpec {
  * is mapped read-only and the upper half (output files) read-write;
  * otherwise the whole region is file-cache.
  */
-void MapDataSegment(core::WorkloadHost& system, Pid pid,
+void MapDataSegment(WorkloadHost& system, Pid pid,
                     const ProcessProfile& profile);
 
 /** One live synthetic process. */
@@ -56,7 +56,7 @@ class SyntheticProcess
      * Creates the process in @p system and maps its regions.
      * @param seed  deterministic per-process random seed.
      */
-    SyntheticProcess(core::WorkloadHost& system, const ProcessProfile& profile,
+    SyntheticProcess(WorkloadHost& system, const ProcessProfile& profile,
                      uint64_t seed, const ShareSpec* share = nullptr);
 
     /** Tears the process down in the system (frees all its pages). */
@@ -99,7 +99,7 @@ class SyntheticProcess
     uint64_t refs_issued() const { return refs_issued_; }
 
   private:
-    core::WorkloadHost& system_;
+    WorkloadHost& system_;
     ProcessProfile profile_;
     Rng rng_;
     Pid pid_;

@@ -118,7 +118,7 @@ TraceReader::Next(MemRef* ref)
 }
 
 uint64_t
-ReplayTrace(const std::string& path, core::SpurSystem& system)
+ReplayTrace(const std::string& path, WorkloadHost& system)
 {
     TraceReader reader(path);
     // Trace pids are renamed into processes of the target system, with

@@ -21,7 +21,7 @@
 #include <string>
 
 #include "src/common/types.h"
-#include "src/core/system.h"
+#include "src/workload/host.h"
 
 namespace spur::workload {
 
@@ -74,14 +74,14 @@ class TraceReader
 };
 
 /**
- * Replays a trace against a system.
+ * Replays a trace against any WorkloadHost.
  *
  * The trace format stores no region information, so the replayer maps one
  * generously sized region of each kind for every pid it encounters (lazy,
  * on first sight), mirroring the SyntheticProcess layout.  Returns the
  * number of references replayed.
  */
-uint64_t ReplayTrace(const std::string& path, core::SpurSystem& system);
+uint64_t ReplayTrace(const std::string& path, WorkloadHost& system);
 
 }  // namespace spur::workload
 

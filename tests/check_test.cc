@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "src/check/checker.h"
-#include "src/check/dominance.h"
+#include "src/audit/dominance.h"
 #include "src/check/invariants.h"
 #include "src/check/report.h"
 #include "src/common/random.h"
@@ -51,6 +51,10 @@ struct FrameTableTestAccess {
 namespace spur::check {
 namespace {
 
+using audit::AuditDominance;
+using audit::IntrinsicDirtyFaults;
+using audit::kPassMinDominance;
+using audit::kPassNorefPageIns;
 using policy::DirtyPolicyKind;
 using policy::RefPolicyKind;
 using workload::kHeapBase;

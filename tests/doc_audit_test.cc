@@ -1,6 +1,6 @@
 /**
  * @file
- * Tests for the record-level dominance audits (src/check/doc_audit.h):
+ * Tests for the record-level dominance audits (src/audit/doc_audit.h):
  * the post-hoc MIN / NOREF passes that close the shard_count > 1 audit
  * gap by re-deriving the comparisons from a merged document's records.
  */
@@ -9,13 +9,16 @@
 #include <string>
 #include <vector>
 
-#include "src/check/doc_audit.h"
-#include "src/check/dominance.h"
+#include "src/audit/doc_audit.h"
+#include "src/audit/dominance.h"
 #include "src/check/report.h"
 #include "src/stats/run_record.h"
 
 namespace spur::check {
 namespace {
+
+using audit::AuditSweepRecords;
+using audit::kPassMinDominance;
 
 stats::RunRecord
 Record(const std::string& dirty, const std::string& ref, double n_ds,

@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "src/core/experiment.h"
+#include "src/runner/runner.h"
 #include "src/stats/summary.h"
 
 namespace spur::core {
@@ -76,11 +77,9 @@ TEST(ExperimentTest, RunMatrixGroupsByConfig)
     std::vector<RunConfig> configs(2, SmallRun());
     configs[1].ref = policy::RefPolicyKind::kNoRef;
     int progress_calls = 0;
-    const auto results = RunMatrix(
-        configs, /*reps=*/2, /*shuffle_seed=*/9,
-        [&progress_calls](const RunConfig&, const RunResult&) {
-            ++progress_calls;
-        });
+    const auto results = runner::RunMatrix(
+        configs, /*reps=*/2, /*shuffle_seed=*/9, /*jobs=*/0,
+        [&progress_calls](const runner::Cell&) { ++progress_calls; });
     ASSERT_EQ(results.size(), 2u);
     ASSERT_EQ(results[0].size(), 2u);
     ASSERT_EQ(results[1].size(), 2u);
@@ -94,7 +93,8 @@ TEST(ExperimentTest, RunMatrixGroupsByConfig)
 
 TEST(ExperimentTest, RepetitionsUseDistinctSeeds)
 {
-    const auto results = RunMatrix({SmallRun()}, /*reps=*/2);
+    const auto results =
+        runner::RunMatrix({SmallRun()}, /*reps=*/2, /*shuffle_seed=*/42);
     EXPECT_NE(results[0][0].events.TotalMisses(),
               results[0][1].events.TotalMisses());
 }

@@ -1,0 +1,27 @@
+// Seeded allow-budget violation: three LIVE no-locale suppressions
+// against a tree-wide budget of two.  Each marker genuinely
+// suppresses a finding (so dead-allow stays quiet); the third site is
+// the one past the budget and must be the single finding.
+#include <clocale>
+
+namespace spur::fixture {
+
+void
+FirstLegacySite()
+{
+    setlocale(LC_ALL, "C");  // spur-lint: allow(no-locale) legacy tool
+}
+
+void
+SecondLegacySite()
+{
+    setlocale(LC_ALL, "C");  // spur-lint: allow(no-locale) legacy tool
+}
+
+void
+ThirdLegacySite()
+{
+    setlocale(LC_ALL, "C");  // spur-lint: allow(no-locale) one too many
+}
+
+}  // namespace spur::fixture

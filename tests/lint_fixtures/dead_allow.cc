@@ -1,0 +1,13 @@
+// Seeded dead-allow violation: the marker below suppresses nothing on
+// its own or the following line, so the hygiene pass must demand its
+// deletion.
+namespace spur::fixture {
+
+// spur-lint: allow(no-rand) — stale: the rand() call moved away
+int
+Nothing()
+{
+    return 7;
+}
+
+}  // namespace spur::fixture

@@ -1,0 +1,30 @@
+// Seeded lock-order violation: two functions acquire the same two
+// global locks in opposite orders — the classic AB/BA deadlock.  The
+// scanner must emit edges g_first -> g_second and g_second -> g_first,
+// and the cycle check must report exactly one finding naming both
+// witnessing sites.
+#include "src/common/mutex.h"
+
+namespace spur::fixture {
+
+spur::Mutex g_first;
+spur::Mutex g_second;
+int g_shared = 0;
+
+void
+ForwardOrder()
+{
+    MutexLock outer(g_first);
+    MutexLock inner(g_second);
+    ++g_shared;
+}
+
+void
+ReverseOrder()
+{
+    MutexLock outer(g_second);
+    MutexLock inner(g_first);
+    --g_shared;
+}
+
+}  // namespace spur::fixture

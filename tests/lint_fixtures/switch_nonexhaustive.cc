@@ -1,0 +1,25 @@
+// Seeded exhaustive-switch violation: a defaultless switch over a
+// scoped enum that skips one enumerator.  The compiler only enforces
+// -Wswitch on code it actually compiles; the lint pass must flag this
+// even though no build target includes the file.
+namespace spur::fixture {
+
+enum class Phase {
+    kFill,
+    kDrain,
+    kSettle,
+};
+
+int
+Step(Phase phase)
+{
+    switch (phase) {
+        case Phase::kFill:
+            return 1;
+        case Phase::kDrain:
+            return -1;
+    }
+    return 0;
+}
+
+}  // namespace spur::fixture

@@ -13,13 +13,17 @@
 
 #include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 namespace {
 
+using spur::lint::AllowSite;
 using spur::lint::FormatViolation;
+using spur::lint::FormatViolationJson;
 using spur::lint::Linter;
+using spur::lint::LintReport;
 using spur::lint::NormalizePath;
 using spur::lint::RuleInfo;
 using spur::lint::Rules;
@@ -31,13 +35,50 @@ FixturePath(const std::string& name)
     return std::string(SPUR_LINT_FIXTURE_DIR) + "/" + name;
 }
 
-std::vector<Violation>
-LintFixture(const std::string& name)
+std::string
+SourceRootPath(const std::string& relative)
+{
+    return std::string(SPUR_SOURCE_ROOT) + "/" + relative;
+}
+
+/// A linter armed with the repo's real layer manifest, so fixture runs
+/// exercise the layering pass exactly as CI does.
+Linter
+MakeLinter()
 {
     Linter linter;
     std::string error;
+    EXPECT_TRUE(
+        linter.LoadLayerManifest(SourceRootPath("LAYERS.toml"), &error))
+        << error;
+    return linter;
+}
+
+std::vector<Violation>
+LintFixture(const std::string& name)
+{
+    Linter linter = MakeLinter();
+    std::string error;
     EXPECT_TRUE(linter.AddFileFromDisk(FixturePath(name), &error)) << error;
     return linter.Run();
+}
+
+/// Serializes every byte a report carries, so two reports compare as
+/// byte-identical exactly when a CLI invocation would print the same.
+std::string
+RenderReport(const LintReport& report)
+{
+    std::string out;
+    for (const Violation& violation : report.violations) {
+        out += FormatViolation(violation) + "\n";
+        out += FormatViolationJson(violation) + "\n";
+    }
+    for (const AllowSite& site : report.allows) {
+        out += site.file + ":" + std::to_string(site.line) + " allow(" +
+               site.rule + ") " + (site.used ? "live" : "dead") + "\n";
+    }
+    out += report.subsystem_dot;
+    return out;
 }
 
 struct SeededFixture {
@@ -58,6 +99,13 @@ constexpr SeededFixture kSeeded[] = {
     // legal only behind a scoped allow (src/serve/proto.cc); without
     // the marker the rule must still fire.
     {"src/serve/deadline_violation.cc", "no-wallclock"},
+    // The semantic passes: each seeded fixture trips exactly one of
+    // the cross-file rules.
+    {"src/cache/layer_breach.cc", "layering"},
+    {"lock_cycle.cc", "lock-order"},
+    {"switch_nonexhaustive.cc", "exhaustive-switch"},
+    {"dead_allow.cc", "dead-allow"},
+    {"allow_budget.cc", "allow-budget"},
 };
 
 TEST(LintTest, EveryRuleCatchesItsSeededFixture)
@@ -101,7 +149,7 @@ TEST(LintTest, CleanFixturesPass)
 
 TEST(LintTest, WholeCorpusInOneRunStaysSorted)
 {
-    Linter linter;
+    Linter linter = MakeLinter();
     std::string error;
     for (const SeededFixture& seeded : kSeeded) {
         ASSERT_TRUE(
@@ -218,13 +266,91 @@ TEST(LintTest, SuppressionOnSameLineWorks)
 TEST(LintTest, SuppressionNamesOneRuleOnly)
 {
     // An allow(no-rand) comment must not silence a no-wallclock finding
-    // on the same line.
+    // on the same line — and because it then suppresses nothing, the
+    // hygiene pass flags the marker itself as dead.
     Linter linter;
     linter.AddFile("src/core/wrong_rule.cc",
                    "int x = time(nullptr);  // spur-lint: allow(no-rand)\n");
     const std::vector<Violation> violations = linter.Run();
+    ASSERT_EQ(violations.size(), 2u);
+    EXPECT_EQ(violations[0].rule, "dead-allow");
+    EXPECT_EQ(violations[1].rule, "no-wallclock");
+}
+
+TEST(LintTest, AllowNamingUnknownRuleIsDead)
+{
+    // A typoed rule name can never suppress anything; the message must
+    // say the rule does not exist rather than just "suppresses nothing".
+    Linter linter;
+    linter.AddFile("src/core/typo.cc",
+                   "int x = 0;  // spur-lint: allow(no-randd)\n");
+    const std::vector<Violation> violations = linter.Run();
     ASSERT_EQ(violations.size(), 1u);
-    EXPECT_EQ(violations[0].rule, "no-wallclock");
+    EXPECT_EQ(violations[0].rule, "dead-allow");
+    EXPECT_NE(violations[0].message.find("does not exist"),
+              std::string::npos)
+        << violations[0].message;
+}
+
+TEST(LintTest, LayeringReportsTheFullIncludeChain)
+{
+    // The chain fixture's own include is same-subsystem; the breach is
+    // transitive through the middle header, and the finding must spell
+    // out all three hops, anchored at the first hop in each file.
+    Linter linter = MakeLinter();
+    std::string error;
+    for (const char* name :
+         {"src/cache/layer_chain.cc", "src/cache/layer_chain_mid.h"}) {
+        ASSERT_TRUE(linter.AddFileFromDisk(FixturePath(name), &error))
+            << error;
+    }
+    const std::vector<Violation> violations = linter.Run();
+    ASSERT_EQ(violations.size(), 2u);
+    EXPECT_EQ(violations[0].file, "src/cache/layer_chain.cc");
+    EXPECT_EQ(violations[0].rule, "layering");
+    EXPECT_NE(
+        violations[0].message.find(
+            "src/cache/layer_chain.cc -> src/cache/layer_chain_mid.h"
+            " -> src/runner/thread_pool.h"),
+        std::string::npos)
+        << violations[0].message;
+    EXPECT_EQ(violations[1].file, "src/cache/layer_chain_mid.h");
+    EXPECT_EQ(violations[1].rule, "layering");
+}
+
+TEST(LintTest, LockOrderCycleNamesBothWitnesses)
+{
+    const std::vector<Violation> violations = LintFixture("lock_cycle.cc");
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].rule, "lock-order");
+    EXPECT_NE(violations[0].message.find("ForwardOrder"), std::string::npos)
+        << violations[0].message;
+    EXPECT_NE(violations[0].message.find("ReverseOrder"), std::string::npos)
+        << violations[0].message;
+}
+
+TEST(LintTest, ConsistentLockOrderIsNotACycle)
+{
+    // Same two locks, same order in both functions: edges exist but no
+    // cycle, so no finding.
+    Linter linter;
+    linter.AddFile("src/core/ordered.cc",
+                   "void A() { MutexLock a(g_x); MutexLock b(g_y); }\n"
+                   "void B() { MutexLock a(g_x); MutexLock b(g_y); }\n");
+    EXPECT_TRUE(linter.Run().empty());
+}
+
+TEST(LintTest, SwitchWithDefaultOrFullCoverageIsExempt)
+{
+    Linter linter;
+    linter.AddFile(
+        "src/core/switches.cc",
+        "enum class Mode { kA, kB };\n"
+        "int F(Mode m) { switch (m) { case Mode::kA: return 1;\n"
+        "  default: return 0; } }\n"
+        "int G(Mode m) { switch (m) { case Mode::kA: return 1;\n"
+        "  case Mode::kB: return 2; } return 0; }\n");
+    EXPECT_TRUE(linter.Run().empty());
 }
 
 TEST(LintTest, NormalizePathKeepsRepoRelativeSuffix)
@@ -293,19 +419,92 @@ TEST(LintTest, AddTreeSkipsFixturesAndDeduplicates)
 
 TEST(LintTest, RealTreeIsClean)
 {
-    // The CI gate, as a unit test: the entire repo must lint clean.
-    Linter linter;
+    // The CI gate, as a unit test: the entire repo must lint clean —
+    // including the layering manifest, the lock-order graph, switch
+    // exhaustiveness and suppression hygiene.
+    Linter linter = MakeLinter();
     std::string error;
     for (const char* dir :
          {"src", "tools", "bench", "examples", "tests"}) {
-        const std::string path =
-            std::string(SPUR_SOURCE_ROOT) + "/" + dir;
-        ASSERT_TRUE(linter.AddTree(path, &error)) << error;
+        ASSERT_TRUE(linter.AddTree(SourceRootPath(dir), &error)) << error;
     }
     EXPECT_GT(linter.file_count(), 100u);
     for (const Violation& violation : linter.Run()) {
         ADD_FAILURE() << FormatViolation(violation);
     }
+}
+
+TEST(LintTest, ParallelAnalyzeIsByteIdenticalToSequential)
+{
+    // The determinism contract applied to the linter itself: the whole
+    // tree plus the seeded corpus, scanned at several job counts, must
+    // render the identical report down to the last byte.
+    Linter linter = MakeLinter();
+    std::string error;
+    for (const char* dir :
+         {"src", "tools", "bench", "examples", "tests"}) {
+        ASSERT_TRUE(linter.AddTree(SourceRootPath(dir), &error)) << error;
+    }
+    for (const SeededFixture& seeded : kSeeded) {
+        ASSERT_TRUE(
+            linter.AddFileFromDisk(FixturePath(seeded.fixture), &error))
+            << error;
+    }
+    const std::string sequential = RenderReport(linter.Analyze(1));
+    ASSERT_FALSE(sequential.empty());
+    EXPECT_EQ(sequential, RenderReport(linter.Analyze(4)));
+    EXPECT_EQ(sequential, RenderReport(linter.Analyze(0)));
+}
+
+TEST(LintTest, FormatViolationJsonEscapesAndOrdersKeys)
+{
+    EXPECT_EQ(FormatViolationJson(
+                  {"src/a.cc", 12, "no-rand", "say \"hi\""}),
+              "{\"file\": \"src/a.cc\", \"line\": 12, "
+              "\"rule\": \"no-rand\", \"message\": \"say \\\"hi\\\"\"}");
+}
+
+TEST(LintTest, SubsystemGraphMatchesGoldenDot)
+{
+    // The DOT rendering over a fixed fixture set is pinned byte-for-
+    // byte so any formatting or ordering drift in `spur_lint graph
+    // --dot` shows up as a diff here first.
+    Linter linter = MakeLinter();
+    std::string error;
+    for (const char* name :
+         {"src/cache/layer_breach.cc", "src/cache/layer_chain.cc",
+          "src/cache/layer_chain_mid.h", "lock_cycle.cc"}) {
+        ASSERT_TRUE(linter.AddFileFromDisk(FixturePath(name), &error))
+            << error;
+    }
+    const std::string golden_path =
+        SourceRootPath("tests/golden/include_graph.dot");
+    std::ifstream in(golden_path);
+    ASSERT_TRUE(in.is_open()) << golden_path;
+    std::stringstream golden;
+    golden << in.rdbuf();
+    EXPECT_EQ(linter.Analyze().subsystem_dot, golden.str());
+}
+
+TEST(LintTest, ReportInventoriesAllowSitesWithLiveness)
+{
+    // `spur_lint allows` renders from report.allows: every marker in
+    // the set, sorted, each tagged live or dead.
+    Linter linter = MakeLinter();
+    std::string error;
+    for (const char* name : {"dead_allow.cc", "suppressed_ok.cc"}) {
+        ASSERT_TRUE(linter.AddFileFromDisk(FixturePath(name), &error))
+            << error;
+    }
+    const LintReport report = linter.Analyze();
+    ASSERT_EQ(report.allows.size(), 2u);
+    EXPECT_EQ(report.allows[0].file, "tests/lint_fixtures/dead_allow.cc");
+    EXPECT_EQ(report.allows[0].rule, "no-rand");
+    EXPECT_FALSE(report.allows[0].used);
+    EXPECT_EQ(report.allows[1].file,
+              "tests/lint_fixtures/suppressed_ok.cc");
+    EXPECT_EQ(report.allows[1].rule, "no-rand");
+    EXPECT_TRUE(report.allows[1].used);
 }
 
 }  // namespace

@@ -78,18 +78,18 @@ TEST(RunnerTest, ParallelMatrixBitIdenticalToSequential)
     }
 }
 
-TEST(RunnerTest, CoreRunMatrixMatchesRunnerAtAnyJobCount)
+TEST(RunnerTest, DefaultJobCountMatchesExplicitJobCount)
 {
-    // The re-pointed core::RunMatrix (default job count) agrees with an
-    // explicit parallel run: callers inherited parallelism, not new
-    // results.
+    // jobs=0 (the process-wide default) agrees with an explicit
+    // parallel run: callers inheriting the --jobs flag get the same
+    // bytes as callers picking a count by hand.
     const auto configs = SmallMatrix();
-    const auto via_core = core::RunMatrix(configs, /*reps=*/1,
-                                          /*shuffle_seed=*/9);
-    const auto via_runner = RunMatrix(configs, /*reps=*/1,
-                                      /*shuffle_seed=*/9, /*jobs=*/3);
-    for (size_t i = 0; i < via_core.size(); ++i) {
-        ExpectIdentical(via_core[i][0], via_runner[i][0]);
+    const auto via_default = RunMatrix(configs, /*reps=*/1,
+                                       /*shuffle_seed=*/9, /*jobs=*/0);
+    const auto via_explicit = RunMatrix(configs, /*reps=*/1,
+                                        /*shuffle_seed=*/9, /*jobs=*/3);
+    for (size_t i = 0; i < via_default.size(); ++i) {
+        ExpectIdentical(via_default[i][0], via_explicit[i][0]);
     }
 }
 

@@ -1,22 +1,44 @@
 /**
  * @file
- * CLI driver for the determinism linter (src/lint/, DESIGN.md §13).
+ * CLI driver for the determinism/architecture linter (src/lint/,
+ * DESIGN.md §13 and §18).
  *
- *   spur_lint [--compile-commands=FILE] [PATH...]
- *       Lints the union of: every "file" entry of the compile database
- *       (produced by CMAKE_EXPORT_COMPILE_COMMANDS=ON), every explicit
- *       source file argument, and every *.h / *.cc found under
- *       directory arguments.  Headers are not part of the compile
- *       database, so a typical CI invocation passes both:
+ *   spur_lint check [--layers=FILE] [--compile-commands=FILE]
+ *                   [--format=text|json] [--jobs=N] [PATH...]
+ *       Runs every pass over the union of: every "file" entry of the
+ *       compile database, every explicit source file argument, and
+ *       every *.h / *.cc found under directory arguments.  Headers are
+ *       not part of the compile database, so a typical CI invocation
+ *       passes both:
  *
- *           spur_lint --compile-commands=build/compile_commands.json \
+ *           spur_lint check --compile-commands=build/compile_commands.json \
  *               src tools bench examples tests
  *
- *       Prints one "file:line: [rule] message" per violation and exits
- *       1 when there is any, 0 on a clean tree, 2 on usage/IO errors.
+ *       Prints one "file:line: [rule] message" per violation (or, with
+ *       --format=json, a JSON array with one finding object per line —
+ *       stable ordering, machine-diffable) and exits 1 when there is
+ *       any, 0 on a clean tree, 2 on usage/IO errors.  --jobs=N scans
+ *       files in parallel; output is byte-identical at any job count.
  *
- *   spur_lint --list-rules
- *       Prints every rule name with its one-line summary.
+ *   spur_lint graph [--dot] [--check-layers] [--layers=FILE] [PATH...]
+ *       The subsystem include graph: --dot prints it in DOT form
+ *       (pipe through `dot -Tsvg` to render), --check-layers exits 1
+ *       if any layering finding exists (the CI architecture gate).
+ *
+ *   spur_lint allows [PATH...]
+ *       Inventories every allow() suppression marker with its
+ *       liveness, so reviews can see the whole budget spend.
+ *
+ *   spur_lint --list-rules [--markdown]
+ *       Prints every rule name with its one-line summary; --markdown
+ *       emits the table DESIGN.md §18 embeds.
+ *
+ * The legacy flat form `spur_lint [--compile-commands=...] PATH...` is
+ * still accepted and behaves as `check`.
+ *
+ * The layer manifest defaults to ./LAYERS.toml when present; pass
+ * --layers=FILE to point elsewhere.  Without a manifest the layering
+ * pass only reports observed subsystem cycles.
  */
 #include <cstdio>
 #include <filesystem>
@@ -29,24 +51,119 @@
 
 namespace {
 
+constexpr char kDefaultManifest[] = "LAYERS.toml";
+
 int
 Usage()
 {
     const std::vector<spur::ToolCommand> commands = {
-        {"[--compile-commands=FILE] [PATH...]",
-         "lint source files, directory trees, and/or the file list of a "
-         "compile_commands.json; exit 1 on violations",
-         {{"--compile-commands=FILE",
-           "lint every \"file\" entry of the compile database"}}},
-        {"--list-rules",
-         "print every rule name with its one-line summary",
+        {"check [--layers=FILE] [--compile-commands=FILE] "
+         "[--format=text|json] [--jobs=N] [PATH...]",
+         "run every pass over source files, directory trees, and/or a "
+         "compile database file list; exit 1 on violations",
+         {{"--layers=FILE",
+           "layer manifest (default: ./LAYERS.toml when present)"},
+          {"--compile-commands=FILE",
+           "lint every \"file\" entry of the compile database"},
+          {"--format=text|json",
+           "violation rendering (json: one finding object per line, "
+           "stable ordering)"},
+          {"--jobs=N",
+           "parallel file scanning (0 = hardware threads); output is "
+           "byte-identical at any job count"}}},
+        {"graph [--dot] [--check-layers] [--layers=FILE] [PATH...]",
+         "print the observed subsystem include graph (--dot), or exit 1 "
+         "on layering findings (--check-layers)",
+         {}},
+        {"allows [PATH...]",
+         "inventory every allow() suppression marker with its liveness",
+         {}},
+        {"--list-rules [--markdown]",
+         "print every rule name with its one-line summary "
+         "(--markdown: the DESIGN.md table)",
          {}},
     };
     std::cerr << spur::FormatToolUsage(
         "spur_lint",
-        "Enforces the project's determinism rules (DESIGN.md §13).",
+        "Enforces the project's determinism and architecture rules "
+        "(DESIGN.md §13, §18).",
         commands);
     return 2;
+}
+
+struct Options {
+    std::string command = "check";
+    std::string compile_commands;
+    std::string layers;
+    std::string format = "text";
+    size_t jobs = 1;
+    bool dot = false;
+    bool check_layers = false;
+    bool list_rules = false;
+    bool markdown = false;
+    std::vector<std::string> paths;
+};
+
+bool
+ParseArgs(const std::vector<std::string>& args, Options* options)
+{
+    size_t first = 0;
+    if (!args.empty() &&
+        (args[0] == "check" || args[0] == "graph" || args[0] == "allows")) {
+        options->command = args[0];
+        first = 1;
+    }
+    std::string value;
+    for (size_t i = first; i < args.size(); ++i) {
+        const std::string& arg = args[i];
+        if (spur::MatchFlag(arg, "compile-commands", &value)) {
+            options->compile_commands = value;
+        } else if (spur::MatchFlag(arg, "layers", &value)) {
+            options->layers = value;
+        } else if (spur::MatchFlag(arg, "format", &value)) {
+            if (value != "text" && value != "json") {
+                std::fprintf(stderr,
+                             "spur_lint: --format must be text or json\n");
+                return false;
+            }
+            options->format = value;
+        } else if (spur::MatchFlag(arg, "jobs", &value)) {
+            options->jobs = static_cast<size_t>(std::stoul(value));
+        } else if (arg == "--dot") {
+            options->dot = true;
+        } else if (arg == "--check-layers") {
+            options->check_layers = true;
+        } else if (arg == "--list-rules") {
+            options->list_rules = true;
+        } else if (arg == "--markdown") {
+            options->markdown = true;
+        } else if (spur::IsFlagArg(arg)) {
+            std::fprintf(stderr, "spur_lint: unknown option '%s'\n",
+                         arg.c_str());
+            return false;
+        } else {
+            options->paths.push_back(arg);
+        }
+    }
+    return true;
+}
+
+int
+ListRules(bool markdown)
+{
+    if (markdown) {
+        std::printf("| Rule | Enforces |\n|------|----------|\n");
+        for (const spur::lint::RuleInfo& rule : spur::lint::Rules()) {
+            std::printf("| `%s` | %s |\n", rule.name.c_str(),
+                        rule.summary.c_str());
+        }
+    } else {
+        for (const spur::lint::RuleInfo& rule : spur::lint::Rules()) {
+            std::printf("%-22s %s\n", rule.name.c_str(),
+                        rule.summary.c_str());
+        }
+    }
+    return 0;
 }
 
 }  // namespace
@@ -58,44 +175,25 @@ main(int argc, char** argv)
     if (args.empty()) {
         return Usage();
     }
-
-    std::string compile_commands;
-    std::vector<std::string> paths;
-    std::string value;
-    bool list_rules = false;
-    for (const std::string& arg : args) {
-        if (spur::MatchFlag(arg, "compile-commands", &value)) {
-            compile_commands = value;
-        } else if (arg == "--list-rules") {
-            list_rules = true;
-        } else if (spur::IsFlagArg(arg)) {
-            std::fprintf(stderr, "spur_lint: unknown option '%s'\n",
-                         arg.c_str());
-            return Usage();
-        } else {
-            paths.push_back(arg);
-        }
+    Options options;
+    if (!ParseArgs(args, &options)) {
+        return Usage();
     }
-
-    if (list_rules) {
-        for (const spur::lint::RuleInfo& rule : spur::lint::Rules()) {
-            std::printf("%-22s %s\n", rule.name.c_str(),
-                        rule.summary.c_str());
-        }
-        return 0;
+    if (options.list_rules) {
+        return ListRules(options.markdown);
     }
-    if (compile_commands.empty() && paths.empty()) {
+    if (options.compile_commands.empty() && options.paths.empty()) {
         return Usage();
     }
 
     spur::lint::Linter linter;
     std::string error;
-    if (!compile_commands.empty() &&
-        !linter.AddCompileCommands(compile_commands, &error)) {
+    if (!options.compile_commands.empty() &&
+        !linter.AddCompileCommands(options.compile_commands, &error)) {
         std::fprintf(stderr, "spur_lint: %s\n", error.c_str());
         return 2;
     }
-    for (const std::string& path : paths) {
+    for (const std::string& path : options.paths) {
         std::error_code ec;
         const bool ok = std::filesystem::is_directory(path, ec)
                             ? linter.AddTree(path, &error)
@@ -105,15 +203,80 @@ main(int argc, char** argv)
             return 2;
         }
     }
-
-    const std::vector<spur::lint::Violation> violations = linter.Run();
-    for (const spur::lint::Violation& violation : violations) {
-        std::printf("%s\n",
-                    spur::lint::FormatViolation(violation).c_str());
+    std::string manifest = options.layers;
+    if (manifest.empty()) {
+        std::error_code ec;
+        if (std::filesystem::is_regular_file(kDefaultManifest, ec)) {
+            manifest = kDefaultManifest;
+        }
     }
-    if (!violations.empty()) {
+    if (!manifest.empty() &&
+        !linter.LoadLayerManifest(manifest, &error)) {
+        std::fprintf(stderr, "spur_lint: %s\n", error.c_str());
+        return 2;
+    }
+
+    const spur::lint::LintReport report = linter.Analyze(options.jobs);
+
+    if (options.command == "graph") {
+        if (options.dot) {
+            std::fputs(report.subsystem_dot.c_str(), stdout);
+        }
+        if (!options.check_layers) {
+            return 0;
+        }
+        size_t findings = 0;
+        for (const spur::lint::Violation& violation : report.violations) {
+            if (violation.rule == "layering") {
+                std::printf(
+                    "%s\n",
+                    spur::lint::FormatViolation(violation).c_str());
+                ++findings;
+            }
+        }
+        if (findings > 0) {
+            std::fprintf(stderr,
+                         "spur_lint: %zu layering finding(s) in %zu "
+                         "files\n",
+                         findings, linter.file_count());
+            return 1;
+        }
+        std::fprintf(stderr, "spur_lint: layers OK (%zu files)\n",
+                     linter.file_count());
+        return 0;
+    }
+
+    if (options.command == "allows") {
+        for (const spur::lint::AllowSite& site : report.allows) {
+            std::printf("%s:%zu: allow(%s) — %s\n", site.file.c_str(),
+                        site.line, site.rule.c_str(),
+                        site.used ? "live" : "dead");
+        }
+        std::fprintf(stderr, "spur_lint: %zu suppression site(s) in %zu "
+                     "files\n",
+                     report.allows.size(), linter.file_count());
+        return 0;
+    }
+
+    // check (default).
+    if (options.format == "json") {
+        std::printf("[");
+        for (size_t i = 0; i < report.violations.size(); ++i) {
+            std::printf(
+                "%s%s", i == 0 ? "\n" : ",\n",
+                spur::lint::FormatViolationJson(report.violations[i])
+                    .c_str());
+        }
+        std::printf("%s]\n", report.violations.empty() ? "" : "\n");
+    } else {
+        for (const spur::lint::Violation& violation : report.violations) {
+            std::printf("%s\n",
+                        spur::lint::FormatViolation(violation).c_str());
+        }
+    }
+    if (!report.violations.empty()) {
         std::fprintf(stderr, "spur_lint: %zu violation(s) in %zu files\n",
-                     violations.size(), linter.file_count());
+                     report.violations.size(), linter.file_count());
         return 1;
     }
     std::fprintf(stderr, "spur_lint: OK (%zu files clean)\n",

@@ -57,7 +57,7 @@
 #include <string>
 #include <vector>
 
-#include "src/check/doc_audit.h"
+#include "src/audit/doc_audit.h"
 #include "src/common/args.h"
 #include "src/serve/client.h"
 #include "src/serve/request.h"
@@ -474,7 +474,7 @@ Audit(const std::vector<std::string>& args)
     }
 
     const spur::check::AuditReport report =
-        spur::check::AuditSweepRecords(merged->records);
+        spur::audit::AuditSweepRecords(merged->records);
     std::cout << report.Summary();
     if (report.NumErrors() > 0) {
         return 1;
