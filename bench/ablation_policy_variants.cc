@@ -14,10 +14,13 @@
  * Mechanistic runs (each policy actually executes); w-hit-driven terms
  * are also reported at prototype scale via the analytic model.
  *
- * Flags: --refs=M (millions, default 6), plus the standard session
- *        flags --jobs=N, --json=FILE, --shard=K/N, --telemetry,
- *        --costs=FILE,
- *        --stream=FILE, --resume=FILE (src/runner/session.h)
+ * Flags: --refs=M (millions, default 6), --scenarios (append the
+ *        DESIGN.md §19 scenario-library workloads — ctx-switch,
+ *        flush-storm, server-churn, gc-sweep — to the analytic table),
+ *        plus the standard session flags --jobs=N, --json=FILE,
+ *        --shard=K/N, --telemetry, --costs=FILE, --stream=FILE,
+ *        --resume=FILE, --record-trace=FILE, --replay-trace=FILE
+ *        (src/runner/session.h)
  */
 #include <cstdio>
 #include <vector>
@@ -105,9 +108,17 @@ main(int argc, char** argv)
     hw.SetHeader({"Workload", "Memory (MB)", "FAULT", "SPUR", "WRITE",
                   "WRITE-HW"});
     const core::OverheadModel model(sim::MachineConfig::Prototype(8));
+    std::vector<core::WorkloadId> workloads = {core::WorkloadId::kSlc,
+                                               core::WorkloadId::kWorkload1};
+    if (args.Has("scenarios")) {
+        // The scenario library (DESIGN.md §19), marked by its workload
+        // names in the rows below.
+        for (const core::WorkloadId id : core::kScenarioLibrary) {
+            workloads.push_back(id);
+        }
+    }
     std::vector<core::RunConfig> configs;
-    for (const core::WorkloadId workload :
-         {core::WorkloadId::kSlc, core::WorkloadId::kWorkload1}) {
+    for (const core::WorkloadId workload : workloads) {
         for (const uint32_t mb : {5u, 8u}) {
             core::RunConfig config;
             config.workload = workload;

@@ -109,6 +109,13 @@ if [[ -n "$SHARD" ]]; then
     SHARD_SUFFIX=".shard_${SHARD_INDEX}_of_${SHARD##*/}"
 fi
 
+# The scenario library (DESIGN.md §19) — ctx-switch, flush-storm,
+# server-churn and gc-sweep — rides along on these benches as extra
+# --scenarios rows/tables (record/replay them with spur_trace or the
+# session --record-trace / --replay-trace flags).
+SCENARIO_BENCHES="ablation_policy_variants table_3_4_dirty_overhead \
+table_3_5_pageout"
+
 for b in "$BUILD"/bench/*; do
     [[ -x "$b" && -f "$b" ]] || continue
     name="$(basename "$b")"
@@ -129,6 +136,9 @@ for b in "$BUILD"/bench/*; do
     fi
     if [[ -n "$STREAM_DIR" && "$name" != micro_* ]]; then
         EXTRA+=("--stream=$STREAM_DIR/$name$SHARD_SUFFIX.stream")
+    fi
+    if [[ " $SCENARIO_BENCHES " == *" $name "* ]]; then
+        EXTRA+=("--scenarios")
     fi
     "$b" ${ARGS[@]+"${ARGS[@]}"} ${EXTRA[@]+"${EXTRA[@]}"}
     echo

@@ -13,9 +13,12 @@
  * analytic model.
  *
  * Flags: --reps=N, --refs=M (millions), --mechanistic, --csv, --seed=S,
- *        plus the standard session flags --jobs=N, --json=FILE,
- *        --shard=K/N, --telemetry, --costs=FILE,
- *        --stream=FILE, --resume=FILE (src/runner/session.h)
+ *        --scenarios (append the DESIGN.md §19 scenario-library
+ *        workloads — ctx-switch, flush-storm, server-churn, gc-sweep —
+ *        as extra rows), plus the standard session flags --jobs=N,
+ *        --json=FILE, --shard=K/N, --telemetry, --costs=FILE,
+ *        --stream=FILE, --resume=FILE, --record-trace=FILE,
+ *        --replay-trace=FILE (src/runner/session.h)
  */
 #include <cstdio>
 #include <vector>
@@ -99,9 +102,18 @@ main(int argc, char** argv)
     const sim::MachineConfig model_config = sim::MachineConfig::Prototype(8);
     const core::OverheadModel model(model_config);
 
+    // The paper's own workloads, plus — under --scenarios — the
+    // scenario library rows (marked by their workload names).
+    std::vector<core::WorkloadId> workloads = {core::WorkloadId::kSlc,
+                                               core::WorkloadId::kWorkload1};
+    if (args.Has("scenarios")) {
+        for (const core::WorkloadId id : core::kScenarioLibrary) {
+            workloads.push_back(id);
+        }
+    }
+
     const char* last_workload = nullptr;
-    for (const core::WorkloadId workload :
-         {core::WorkloadId::kSlc, core::WorkloadId::kWorkload1}) {
+    for (const core::WorkloadId workload : workloads) {
         for (const uint32_t mb : {5u, 6u, 8u}) {
             std::vector<double> cycles(std::size(kOrder), 0.0);
             if (!mechanistic) {

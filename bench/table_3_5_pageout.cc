@@ -10,10 +10,13 @@
  * dirty bits saved), and the extra paging I/O that would occur without
  * dirty bits.
  *
- * Flags: --refs=M (millions, per host), --csv, --seed=S, plus the
- *        standard session flags --jobs=N, --json=FILE, --shard=K/N,
- *        --telemetry, --costs=FILE,
- *        --stream=FILE, --resume=FILE (src/runner/session.h)
+ * Flags: --refs=M (millions, per host), --csv, --seed=S, --scenarios
+ *        (append a page-out table over the DESIGN.md §19 scenario
+ *        library — ctx-switch, flush-storm, server-churn, gc-sweep),
+ *        plus the standard session flags --jobs=N, --json=FILE,
+ *        --shard=K/N, --telemetry, --costs=FILE, --stream=FILE,
+ *        --resume=FILE, --record-trace=FILE, --replay-trace=FILE
+ *        (src/runner/session.h)
  */
 #include <cstdio>
 #include <string>
@@ -107,6 +110,54 @@ main(int argc, char** argv)
             "replaced writable pages were actually modified (>=90%% at\n"
             "12+ MB), and dropping dirty bits would add at most a few\n"
             "percent of paging I/O — dirty bits buy very little here.\n");
+    }
+
+    // The scenario library (DESIGN.md §19): the same page-out columns
+    // over the VAC-stress scripts, on one 8 MB machine each.
+    if (args.Has("scenarios")) {
+        Table s("Scenario library: page-out results (8 MB, SPUR/MISS)");
+        s.SetHeader({"Scenario", "Page-Ins", "Potentially Modified",
+                     "Not Modified", "% Not Modified",
+                     "% Additional Paging I/O"});
+        std::vector<core::RunConfig> scenario_configs;
+        for (const core::WorkloadId id : core::kScenarioLibrary) {
+            core::RunConfig config;
+            config.workload = id;
+            config.memory_mb = 8;
+            config.refs = refs;
+            config.seed = seed;
+            config.dirty = policy::DirtyPolicyKind::kSpur;
+            config.ref = policy::RefPolicyKind::kMiss;
+            scenario_configs.push_back(config);
+        }
+        const auto scenario_results = session.RunAll(scenario_configs);
+        for (size_t i = 0; i < scenario_configs.size(); ++i) {
+            const core::RunResult& r = scenario_results[i];
+            const uint64_t modified =
+                r.events.Get(sim::Event::kPageoutWritableModified);
+            const uint64_t not_modified =
+                r.events.Get(sim::Event::kPageoutWritableNotModified);
+            const uint64_t potentially = modified + not_modified;
+            const uint64_t total_io = r.page_ins + r.page_outs;
+            const double pct_not_modified =
+                (potentially > 0) ? static_cast<double>(not_modified) /
+                                        static_cast<double>(potentially)
+                                  : 0.0;
+            const double pct_additional =
+                (total_io > 0) ? static_cast<double>(not_modified) /
+                                     static_cast<double>(total_io)
+                               : 0.0;
+            s.AddRow({ToString(scenario_configs[i].workload),
+                      Table::Num(r.page_ins), Table::Num(potentially),
+                      Table::Num(not_modified),
+                      Table::Pct(pct_not_modified),
+                      Table::Pct(pct_additional, 1)});
+        }
+        if (args.Has("csv")) {
+            s.PrintCsv(stdout);
+        } else {
+            s.Print(stdout);
+        }
     }
     return session.Finish();
 }

@@ -1,9 +1,11 @@
 /**
  * @file
- * Records a reference trace from a synthetic workload, then replays it
- * against two machines with different dirty-bit policies — the classical
- * trace-driven methodology the paper could not afford at paging scale in
- * 1989, applied to its own experiment.
+ * Records one scenario's op stream into a SPUR-TRACE/1 library, then
+ * replays it through every dirty-bit policy — the classical
+ * trace-driven methodology the paper could not afford at paging scale
+ * in 1989 (Section 2), applied to its own experiment.  The generators
+ * being pure reverses that verdict: one generation pass is recorded
+ * once and feeds five policy cells byte-identically.
  *
  * Usage: example_trace_replay [trace_path] [million_refs]
  *                             [--jobs=N] [--json=FILE]
@@ -11,13 +13,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 #include "src/common/args.h"
+#include "src/common/log.h"
 #include "src/common/table.h"
 #include "src/core/system.h"
 #include "src/runner/runner.h"
 #include "src/runner/session.h"
-#include "src/workload/process.h"
 #include "src/workload/trace.h"
 #include "src/workload/workloads.h"
 
@@ -31,34 +34,50 @@ main(int argc, char** argv)
         !pos.empty() ? pos[0] : "/tmp/spur_example.trc";
     const uint64_t refs =
         (pos.size() > 1 ? std::atoll(pos[1].c_str()) : 2) * 1'000'000ull;
+    const uint64_t seed = 5;
     runner::BenchSession session("example_trace_replay", args);
 
     const sim::MachineConfig config = sim::MachineConfig::Prototype(8);
 
-    // 1. Record: run one espresso-like process, teeing its references.
+    // 1. Record: run the flush-storm scenario once on a live machine,
+    // teeing every WorkloadHost call into a trace stream.
     {
         core::SpurSystem system(config, policy::DirtyPolicyKind::kSpur,
                                 policy::RefPolicyKind::kMiss);
-        workload::ProcessProfile profile;
-        profile.name = "espresso";
-        profile.code_pages = 64;
-        profile.data_pages = 96;
-        profile.heap_pages = 400;
-        workload::SyntheticProcess process(system, profile, 5);
-        workload::TraceWriter writer(path);
-        for (uint64_t i = 0; i < refs; ++i) {
-            const MemRef ref = process.Next();
-            writer.Append(ref);
-            system.Access(ref);
+        workload::WorkloadSpec spec = workload::MakeFlushStorm();
+        const uint32_t slice_refs = spec.slice_refs;
+        workload::TraceStreamMeta meta;
+        meta.workload = "flush-storm";
+        meta.seed = seed;
+        meta.refs = refs;
+        meta.page_bytes = config.page_bytes;
+        meta.block_bytes = config.block_bytes;
+        workload::TraceEncoder encoder(meta);
+        workload::RecordingHost recorder(system, encoder);
+        workload::Driver driver(recorder, std::move(spec), refs, seed,
+                                slice_refs);
+        driver.Run();
+        recorder.StopRecording();
+        const uint64_t ops = encoder.ops();
+        const uint64_t accesses = encoder.accesses();
+        workload::TraceFileWriter writer;
+        std::string error;
+        if (!writer.Open(path, &error) ||
+            !writer.AppendStream(encoder.Finish(driver.refs_issued()),
+                                 &error) ||
+            !writer.Finish(&error)) {
+            Fatal("example_trace_replay: " + error);
         }
-        std::printf("recorded %llu references to %s\n",
-                    static_cast<unsigned long long>(writer.count()),
+        std::printf("recorded %llu ops (%llu accesses) to %s\n",
+                    static_cast<unsigned long long>(ops),
+                    static_cast<unsigned long long>(accesses),
                     path.c_str());
     }
 
-    // 2. Replay under each dirty policy; each replay opens its own read
-    // handle on the trace, so the five runs go through the pool together.
+    // 2. Replay under each dirty policy; each replay loads its own copy
+    // of the library, so the five runs are fully independent.
     struct Replay {
+        uint64_t refs_issued = 0;
         uint64_t misses = 0;
         uint64_t dirty_faults = 0;
         uint64_t excess = 0;
@@ -73,9 +92,11 @@ main(int argc, char** argv)
     runner::ParallelFor(5, session.jobs(), [&](size_t i) {
         core::SpurSystem system(config, kinds[i],
                                 policy::RefPolicyKind::kMiss);
-        workload::ReplayTrace(path, system);
+        const workload::ReplayStats stats =
+            workload::ReplayTrace(path, system);
         const auto& ev = system.events();
-        replays[i] = Replay{ev.TotalMisses(),
+        replays[i] = Replay{stats.refs_issued,
+                            ev.TotalMisses(),
                             ev.Get(sim::Event::kDirtyFault),
                             ev.Get(sim::Event::kExcessFault),
                             ev.Get(sim::Event::kDirtyBitMiss),
@@ -92,12 +113,12 @@ main(int argc, char** argv)
                   Table::Num(r.dirty_bit_misses),
                   Table::Num(r.elapsed_seconds, 3)});
         stats::RunRecord record;
-        record.workload = "espresso_trace";
+        record.workload = "flush-storm-trace";
         record.dirty_policy = ToString(kinds[i]);
         record.ref_policy = "MISS";
         record.memory_mb = 8;
-        record.seed = 5;
-        record.refs_issued = refs;
+        record.seed = seed;
+        record.refs_issued = r.refs_issued;
         record.elapsed_seconds = r.elapsed_seconds;
         record.AddMetric("misses", static_cast<double>(r.misses));
         record.AddMetric("n_ds", static_cast<double>(r.dirty_faults));

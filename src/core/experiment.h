@@ -35,10 +35,37 @@ enum class WorkloadId : uint8_t {
     kWorkload1,
     kSlc,
     kDevMachine,
+    // The scenario library (DESIGN.md §19): VAC-stress scripts beyond
+    // the paper's own workloads.
+    kCtxSwitch,    ///< Rapid process interleave (context-flush stress).
+    kFlushStorm,   ///< Short-lived dirty writers (segment/page flushes).
+    kServerChurn,  ///< Multi-tenant short-lived address spaces.
+    kGcSweep,      ///< Lisp-style linear heap walks over a zfod heap.
 };
 
 /** Returns the paper's name for a workload id. */
 const char* ToString(WorkloadId id);
+
+/** Every workload id, in declaration order (tools and servers iterate
+ *  this instead of hand-listing enumerators). */
+inline constexpr WorkloadId kAllWorkloads[] = {
+    WorkloadId::kWorkload1,   WorkloadId::kSlc,
+    WorkloadId::kDevMachine,  WorkloadId::kCtxSwitch,
+    WorkloadId::kFlushStorm,  WorkloadId::kServerChurn,
+    WorkloadId::kGcSweep,
+};
+
+/** The scenario library: the workloads beyond the paper's own (benches
+ *  append these rows under --scenarios; see bench/run_all.sh). */
+inline constexpr WorkloadId kScenarioLibrary[] = {
+    WorkloadId::kCtxSwitch,
+    WorkloadId::kFlushStorm,
+    WorkloadId::kServerChurn,
+    WorkloadId::kGcSweep,
+};
+
+class TraceRecordSession;
+class TraceReplaySource;
 
 /** Everything needed to execute one run. */
 struct RunConfig {
@@ -52,6 +79,14 @@ struct RunConfig {
     /// Page-in latency override in microseconds; <= 0 keeps the scaled
     /// default (kScaledPageInUs).
     double page_in_us = 0.0;
+    /// Injected by BenchSession --record-trace: the first cell to claim
+    /// this run's stream identity records its op stream (src/core/
+    /// run_trace.h).  Not part of the cell identity; never serialized.
+    TraceRecordSession* trace_record = nullptr;
+    /// Injected by BenchSession --replay-trace: the run is driven from
+    /// the recorded stream instead of the live generator.  Missing
+    /// identities are a Fatal user error.
+    const TraceReplaySource* trace_replay = nullptr;
 };
 
 /** Page-in latency used for scaled runs (see file comment). */
@@ -89,6 +124,12 @@ struct RunResult {
     /// Per-bucket seconds, indexed by sim::TimeBucket.
     std::array<double, sim::kNumTimeBuckets> bucket_seconds{};
 };
+
+/** The workload script a config runs (name, jobs, scheduling slice). */
+workload::WorkloadSpec SpecFor(const RunConfig& config);
+
+/** The default reference budget of a workload. */
+uint64_t DefaultRefs(WorkloadId id);
 
 /** Executes one run to completion. */
 RunResult RunOnce(const RunConfig& config);

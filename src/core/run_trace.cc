@@ -1,0 +1,91 @@
+#include "src/core/run_trace.h"
+
+#include "src/common/log.h"
+#include "src/sim/config.h"
+
+namespace spur::core {
+
+workload::TraceStreamMeta
+TraceMetaFor(const RunConfig& config)
+{
+    // The geometry fields come from the same Prototype the run builds;
+    // memory_mb scales memory_bytes only, so identities are shared
+    // across memory sizes (one recording feeds a whole memory sweep).
+    const sim::MachineConfig machine =
+        sim::MachineConfig::Prototype(config.memory_mb);
+    workload::TraceStreamMeta meta;
+    meta.workload = ToString(config.workload);
+    meta.seed = config.seed;
+    meta.refs = (config.refs != 0) ? config.refs
+                                   : DefaultRefs(config.workload);
+    meta.intensity = config.intensity;
+    meta.page_bytes = machine.page_bytes;
+    meta.block_bytes = machine.block_bytes;
+    return meta;
+}
+
+bool
+TraceRecordSession::Open(const std::string& path, std::string* error)
+{
+    MutexLock lock(mutex_);
+    return writer_.Open(path, error);
+}
+
+bool
+TraceRecordSession::Claim(const std::string& identity)
+{
+    MutexLock lock(mutex_);
+    if (!writer_.is_open()) {
+        return false;
+    }
+    return claimed_.emplace(identity, true).second;
+}
+
+void
+TraceRecordSession::Commit(const std::string& identity,
+                           const std::string& bytes)
+{
+    MutexLock lock(mutex_);
+    std::string error;
+    if (!writer_.AppendStream(bytes, &error)) {
+        Warn("--record-trace: stream '" + identity + "': " + error);
+        failed_ = true;
+    }
+}
+
+bool
+TraceRecordSession::Finish(std::string* error)
+{
+    MutexLock lock(mutex_);
+    if (failed_) {
+        // The writer already closed on the failed append; the file is a
+        // recoverable prefix, not a complete trace.
+        if (error != nullptr) {
+            *error = "a stream append failed; the trace is partial";
+        }
+        return false;
+    }
+    return writer_.Finish(error);
+}
+
+bool
+TraceRecordSession::failed() const
+{
+    MutexLock lock(mutex_);
+    return failed_;
+}
+
+uint64_t
+TraceRecordSession::streams() const
+{
+    MutexLock lock(mutex_);
+    return writer_.streams();
+}
+
+bool
+TraceReplaySource::Load(const std::string& path, std::string* error)
+{
+    return library_.Load(path, error);
+}
+
+}  // namespace spur::core

@@ -91,6 +91,41 @@ BenchSession::BenchSession(std::string bench_name, const Args& args)
             Fatal("--stream: " + error);
         }
     }
+
+    const std::string record_trace = args.GetString("record-trace");
+    const std::string replay_trace = args.GetString("replay-trace");
+    if (!record_trace.empty() && !replay_trace.empty()) {
+        Fatal("--record-trace and --replay-trace are mutually exclusive "
+              "(replaying records nothing new)");
+    }
+    if (!record_trace.empty()) {
+        trace_record_ = std::make_unique<core::TraceRecordSession>();
+        std::string error;
+        if (!trace_record_->Open(record_trace, &error)) {
+            Fatal("--record-trace: " + error);
+        }
+    }
+    if (!replay_trace.empty()) {
+        trace_replay_ = std::make_unique<core::TraceReplaySource>();
+        std::string error;
+        if (!trace_replay_->Load(replay_trace, &error)) {
+            Fatal("--replay-trace: " + error);
+        }
+    }
+}
+
+std::vector<core::RunConfig>
+BenchSession::WithTraceHooks(
+    const std::vector<core::RunConfig>& configs) const
+{
+    std::vector<core::RunConfig> hooked = configs;
+    if (trace_record_ != nullptr || trace_replay_ != nullptr) {
+        for (core::RunConfig& config : hooked) {
+            config.trace_record = trace_record_.get();
+            config.trace_replay = trace_replay_.get();
+        }
+    }
+    return hooked;
 }
 
 std::vector<std::vector<core::RunResult>>
@@ -140,7 +175,7 @@ BenchSession::RunMatrix(const std::vector<core::RunConfig>& configs,
     std::map<std::pair<size_t, uint32_t>, Cell> done;
     size_t next = 0;
     auto results = runner::RunMatrix(
-        configs, reps, options,
+        WithTraceHooks(configs), reps, options,
         [&](const Cell& cell) {
             done.emplace(std::make_pair(cell.config_index, cell.rep),
                          cell);
@@ -240,10 +275,11 @@ BenchSession::RunAll(const std::vector<core::RunConfig>& configs)
         }
     };
     commit_ready();  // Leading resumed cells stream before execution.
+    const std::vector<core::RunConfig> hooked = WithTraceHooks(configs);
     ParallelFor(run.size(), jobs_, [&](size_t slot) {
         const size_t i = run[slot];
         const sweep::Stopwatch stopwatch;
-        results[i] = core::RunOnce(configs[i]);
+        results[i] = core::RunOnce(hooked[i]);
         telemetry[slot].wall_seconds = stopwatch.Seconds();
         telemetry[slot].peak_rss_bytes = sweep::PeakRssBytes();
         telemetry[slot].worker = CurrentWorkerIndex();
@@ -386,6 +422,13 @@ BenchSession::Finish()
         const std::vector<stats::RunRecord> records = this->records();
         if (!stats::JsonWriter::WriteFile(json_path_, meta, records)) {
             Warn("BenchSession: failed to write " + json_path_);
+            exit_code = 1;
+        }
+    }
+    if (trace_record_ != nullptr) {
+        std::string error;
+        if (!trace_record_->Finish(&error)) {
+            Warn("--record-trace: " + error);
             exit_code = 1;
         }
     }

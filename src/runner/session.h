@@ -33,6 +33,19 @@
  *                 uninterrupted run.  F must come from the same bench
  *                 with the same shard flags (same precedent as shards:
  *                 the sweep shape is part of the contract).
+ *   --record-trace=F
+ *                 capture each distinct workload stream this session
+ *                 generates into F as a SPUR-TRACE/1 library
+ *                 (src/workload/trace.h): the first cell per stream
+ *                 identity records, every other cell runs plain.  The
+ *                 file is fsync'd per stream, so a killed run leaves a
+ *                 recoverable prefix (`spur_trace validate`).
+ *   --replay-trace=F
+ *                 drive every cell from the recorded op streams in F
+ *                 instead of the live generators; results — and the
+ *                 --json/--stream bytes — are byte-identical to a live
+ *                 run at any --jobs.  A cell whose stream is missing
+ *                 from F is a Fatal error, never a silent live run.
  *
  * Usage:
  *   const Args args(argc, argv);
@@ -49,10 +62,13 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "src/common/args.h"
 #include "src/common/mutex.h"
 #include "src/common/thread_annotations.h"
 #include "src/core/experiment.h"
+#include "src/core/run_trace.h"
 #include "src/runner/runner.h"
 #include "src/stats/run_record.h"
 #include "src/sweep/cost.h"
@@ -145,6 +161,11 @@ class BenchSession
     stats::RunRecord MakeRecord(const core::RunConfig& config, uint32_t rep,
                                 const core::RunResult& result) const;
 
+    /** Copies @p configs with this session's trace record/replay hooks
+     *  injected (no-op copies when neither flag was given). */
+    std::vector<core::RunConfig> WithTraceHooks(
+        const std::vector<core::RunConfig>& configs) const;
+
     /** The cell identity key --resume matches records by. */
     std::string CellIdentity(const core::RunConfig& config,
                              uint32_t rep) const;
@@ -177,6 +198,11 @@ class BenchSession
     /// --resume records keyed by cell identity.  std::map, not
     /// unordered: resumed records feed the output byte stream.
     std::map<std::string, stats::RunRecord> resume_;
+    /// --record-trace / --replay-trace state; null when not requested.
+    /// Pointers to these are injected into every RunConfig the session
+    /// executes (core::RunConfig::trace_record / trace_replay).
+    std::unique_ptr<core::TraceRecordSession> trace_record_;
+    std::unique_ptr<core::TraceReplaySource> trace_replay_;
     // The record sink is shared with whatever thread calls Record();
     // the guard is machine-checked (src/common/thread_annotations.h).
     mutable Mutex mutex_;

@@ -48,9 +48,7 @@ EqualsIgnoreCase(const std::string& a, const char* b)
 std::optional<core::WorkloadId>
 WorkloadFromName(const std::string& name)
 {
-    for (const core::WorkloadId id :
-         {core::WorkloadId::kWorkload1, core::WorkloadId::kSlc,
-          core::WorkloadId::kDevMachine}) {
+    for (const core::WorkloadId id : core::kAllWorkloads) {
         if (EqualsIgnoreCase(name, core::ToString(id))) {
             return id;
         }

@@ -42,6 +42,11 @@ struct JobSpec {
 struct WorkloadSpec {
     std::string name;
     std::vector<JobSpec> jobs;
+    /// References per scheduling quantum.  Part of the script, not the
+    /// machine: the ctx-switch scenario owes its switch rate to a small
+    /// slice.  core::RunOnce passes this into the Driver, so it is part
+    /// of a trace stream's generation identity too.
+    uint32_t slice_refs = 20000;
 };
 
 /** Drives a WorkloadSpec against a system for a fixed reference budget. */

@@ -1,163 +1,1305 @@
 #include "src/workload/trace.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
 #include <cstring>
-#include <unordered_map>
+#include <utility>
 
 #include "src/common/log.h"
-#include "src/workload/process.h"
+#include "src/vm/region.h"
 
 namespace spur::workload {
 
 namespace {
 
-constexpr char kMagic[8] = {'S', 'P', 'U', 'R', 'T', 'R', 'C', '1'};
+// FNV-1a 64, byte-compatible with the §13 stream digest: payload bytes
+// followed by a '\n' separator so payload boundaries cannot alias.
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+/** Frame payloads larger than this are corruption, not trace data. */
+constexpr uint64_t kMaxFramePayload = 1ULL << 30;
+
+/** Flush an open op batch into a B frame at this size. */
+constexpr size_t kBatchFlushBytes = 64 * 1024;
+
+/** Highest valid vm::PageKind value in an op payload. */
+constexpr uint8_t kMaxPageKind =
+    static_cast<uint8_t>(vm::PageKind::kFileCache);
+
+/** Highest valid segment-register index in a share op. */
+constexpr uint8_t kMaxSegReg = 3;
+
+// Op opcodes (see the format comment in trace.h).
+constexpr uint8_t kOpCreate = 0;
+constexpr uint8_t kOpDestroy = 1;
+constexpr uint8_t kOpMapRegion = 2;
+constexpr uint8_t kOpShare = 3;
+constexpr uint8_t kOpSwitch = 4;
+constexpr uint8_t kOpSetPid = 5;
+constexpr uint8_t kOpIFetch = 6;
+constexpr uint8_t kOpRead = 7;
+constexpr uint8_t kOpWrite = 8;
+
+uint64_t
+Mix(uint64_t digest, const std::string& payload)
+{
+    for (const char c : payload) {
+        digest ^= static_cast<unsigned char>(c);
+        digest *= kFnvPrime;
+    }
+    digest ^= static_cast<unsigned char>('\n');
+    digest *= kFnvPrime;
+    return digest;
+}
+
+std::string
+DigestHex(uint64_t digest)
+{
+    char buffer[24];
+    std::snprintf(buffer, sizeof(buffer), "%016llx",
+                  static_cast<unsigned long long>(digest));
+    return buffer;
+}
+
+std::string
+FormatUint(uint64_t value)
+{
+    char buffer[24];
+    std::snprintf(buffer, sizeof(buffer), "%llu",
+                  static_cast<unsigned long long>(value));
+    return buffer;
+}
+
+/** Canonical double rendering; Identity() and the S payload share it. */
+std::string
+FormatDouble(double value)
+{
+    char buffer[40];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    return buffer;
+}
+
+std::string
+EncodeFrame(char tag, const std::string& payload)
+{
+    std::string frame;
+    frame.reserve(payload.size() + 16);
+    frame.push_back(tag);
+    frame.push_back(' ');
+    frame += FormatUint(payload.size());
+    frame.push_back('\n');
+    frame += payload;
+    frame.push_back('\n');
+    return frame;
+}
+
+std::string
+HeaderPayload()
+{
+    return "{\"trace_version\": " + FormatUint(kTraceVersion) + "}";
+}
+
+std::string
+MetaPayload(const TraceStreamMeta& meta)
+{
+    std::string payload = "{\"workload\": \"";
+    payload += meta.workload;
+    payload += "\", \"seed\": " + FormatUint(meta.seed);
+    payload += ", \"refs\": " + FormatUint(meta.refs);
+    payload += ", \"intensity\": " + FormatDouble(meta.intensity);
+    payload += ", \"page_bytes\": " + FormatUint(meta.page_bytes);
+    payload += ", \"block_bytes\": " + FormatUint(meta.block_bytes);
+    payload += "}";
+    return payload;
+}
+
+std::string
+EndPayload(uint64_t ops, uint64_t accesses, uint64_t refs_issued,
+           uint64_t digest)
+{
+    std::string payload = "{\"ops\": " + FormatUint(ops);
+    payload += ", \"accesses\": " + FormatUint(accesses);
+    payload += ", \"refs_issued\": " + FormatUint(refs_issued);
+    payload += ", \"digest\": \"" + DigestHex(digest) + "\"}";
+    return payload;
+}
+
+std::string
+TrailerPayload(uint64_t streams, uint64_t digest)
+{
+    return "{\"streams\": " + FormatUint(streams) + ", \"digest\": \"" +
+           DigestHex(digest) + "\"}";
+}
+
+// ---------------------------------------------------------------------------
+// Strict payload scanners.  The parser accepts exactly the writer's
+// rendering — key order, spacing, no escapes, no leading zeros — so
+// every accepted payload re-serializes byte-identically (the fuzzer's
+// fix-point property) and any deviation is corruption, never a guess.
+// ---------------------------------------------------------------------------
+
+bool
+ScanLiteral(const std::string& s, size_t* pos, const char* literal)
+{
+    const size_t n = std::strlen(literal);
+    if (s.compare(*pos, n, literal) != 0) {
+        return false;
+    }
+    *pos += n;
+    return true;
+}
+
+bool
+ScanUint(const std::string& s, size_t* pos, uint64_t* out)
+{
+    size_t p = *pos;
+    uint64_t value = 0;
+    size_t digits = 0;
+    while (p < s.size() && s[p] >= '0' && s[p] <= '9') {
+        const uint64_t digit = static_cast<uint64_t>(s[p] - '0');
+        if (value > (~uint64_t{0} - digit) / 10) {
+            return false;
+        }
+        value = value * 10 + digit;
+        ++digits;
+        ++p;
+    }
+    if (digits == 0 || (digits > 1 && s[*pos] == '0')) {
+        return false;
+    }
+    *pos = p;
+    *out = value;
+    return true;
+}
+
+/** A quoted string with no escapes: printable ASCII minus '"' and '\\'. */
+bool
+ScanQuoted(const std::string& s, size_t* pos, std::string* out)
+{
+    size_t p = *pos;
+    if (p >= s.size() || s[p] != '"') {
+        return false;
+    }
+    ++p;
+    const size_t start = p;
+    while (p < s.size() && s[p] != '"') {
+        const char c = s[p];
+        if (c < 0x20 || c > 0x7e || c == '\\') {
+            return false;
+        }
+        ++p;
+    }
+    if (p >= s.size()) {
+        return false;
+    }
+    out->assign(s, start, p - start);
+    *pos = p + 1;
+    return true;
+}
+
+/** A double token that round-trips through the canonical rendering. */
+bool
+ScanDouble(const std::string& s, size_t* pos, double* out)
+{
+    size_t p = *pos;
+    const size_t start = p;
+    while (p < s.size() &&
+           (std::strchr("0123456789.eE+-", s[p]) != nullptr)) {
+        ++p;
+    }
+    if (p == start) {
+        return false;
+    }
+    const std::string token = s.substr(start, p - start);
+    char* end = nullptr;
+    errno = 0;
+    const double value = std::strtod(token.c_str(), &end);
+    if (errno != 0 || end == nullptr || *end != '\0') {
+        return false;
+    }
+    if (FormatDouble(value) != token) {
+        return false;
+    }
+    *pos = p;
+    *out = value;
+    return true;
+}
+
+bool
+ScanHexDigest(const std::string& s, size_t* pos, uint64_t* out)
+{
+    std::string hex;
+    if (!ScanQuoted(s, pos, &hex) || hex.size() != 16) {
+        return false;
+    }
+    uint64_t value = 0;
+    for (const char c : hex) {
+        uint64_t nibble = 0;
+        if (c >= '0' && c <= '9') {
+            nibble = static_cast<uint64_t>(c - '0');
+        } else if (c >= 'a' && c <= 'f') {
+            nibble = static_cast<uint64_t>(c - 'a') + 10;
+        } else {
+            return false;
+        }
+        value = (value << 4) | nibble;
+    }
+    *out = value;
+    return true;
+}
+
+bool
+ParseHeaderPayload(const std::string& payload)
+{
+    return payload == HeaderPayload();
+}
+
+bool
+ParseMetaPayload(const std::string& payload, TraceStreamMeta* meta)
+{
+    size_t pos = 0;
+    if (!ScanLiteral(payload, &pos, "{\"workload\": ") ||
+        !ScanQuoted(payload, &pos, &meta->workload) ||
+        !ScanLiteral(payload, &pos, ", \"seed\": ") ||
+        !ScanUint(payload, &pos, &meta->seed) ||
+        !ScanLiteral(payload, &pos, ", \"refs\": ") ||
+        !ScanUint(payload, &pos, &meta->refs) ||
+        !ScanLiteral(payload, &pos, ", \"intensity\": ") ||
+        !ScanDouble(payload, &pos, &meta->intensity) ||
+        !ScanLiteral(payload, &pos, ", \"page_bytes\": ") ||
+        !ScanUint(payload, &pos, &meta->page_bytes) ||
+        !ScanLiteral(payload, &pos, ", \"block_bytes\": ") ||
+        !ScanUint(payload, &pos, &meta->block_bytes) ||
+        !ScanLiteral(payload, &pos, "}")) {
+        return false;
+    }
+    return pos == payload.size();
+}
+
+bool
+ParseEndPayload(const std::string& payload, uint64_t* ops,
+                uint64_t* accesses, uint64_t* refs_issued, uint64_t* digest)
+{
+    size_t pos = 0;
+    if (!ScanLiteral(payload, &pos, "{\"ops\": ") ||
+        !ScanUint(payload, &pos, ops) ||
+        !ScanLiteral(payload, &pos, ", \"accesses\": ") ||
+        !ScanUint(payload, &pos, accesses) ||
+        !ScanLiteral(payload, &pos, ", \"refs_issued\": ") ||
+        !ScanUint(payload, &pos, refs_issued) ||
+        !ScanLiteral(payload, &pos, ", \"digest\": ") ||
+        !ScanHexDigest(payload, &pos, digest) ||
+        !ScanLiteral(payload, &pos, "}")) {
+        return false;
+    }
+    return pos == payload.size();
+}
+
+bool
+ParseTrailerPayload(const std::string& payload, uint64_t* streams,
+                    uint64_t* digest)
+{
+    size_t pos = 0;
+    if (!ScanLiteral(payload, &pos, "{\"streams\": ") ||
+        !ScanUint(payload, &pos, streams) ||
+        !ScanLiteral(payload, &pos, ", \"digest\": ") ||
+        !ScanHexDigest(payload, &pos, digest) ||
+        !ScanLiteral(payload, &pos, "}")) {
+        return false;
+    }
+    return pos == payload.size();
+}
+
+// ---------------------------------------------------------------------------
+// Varint / zigzag op coding.
+// ---------------------------------------------------------------------------
 
 void
-WriteU64(std::FILE* file, uint64_t value)
+AppendVarint(std::string* out, uint64_t value)
 {
-    unsigned char bytes[8];
-    for (int i = 0; i < 8; ++i) {
-        bytes[i] = static_cast<unsigned char>(value >> (8 * i));
+    while (value >= 0x80) {
+        out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+        value >>= 7;
     }
-    if (std::fwrite(bytes, 1, 8, file) != 8) {
-        Fatal("trace: short write");
+    out->push_back(static_cast<char>(value));
+}
+
+bool
+ReadVarint(const std::string& bytes, size_t* pos, uint64_t* out)
+{
+    uint64_t value = 0;
+    unsigned shift = 0;
+    while (*pos < bytes.size()) {
+        const uint8_t byte = static_cast<uint8_t>(bytes[*pos]);
+        ++*pos;
+        if (shift == 63 && (byte & 0x7f) > 1) {
+            return false;  // Overflows 64 bits.
+        }
+        value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0) {
+            // Reject non-canonical encodings (a trailing 0x00 group)
+            // so every accepted op stream re-encodes byte-identically.
+            if (byte == 0 && shift != 0) {
+                return false;
+            }
+            *out = value;
+            return true;
+        }
+        shift += 7;
+        if (shift > 63) {
+            return false;
+        }
     }
+    return false;
 }
 
 uint64_t
-ReadU64(std::FILE* file)
+ZigzagEncode(int64_t value)
 {
-    unsigned char bytes[8];
-    if (std::fread(bytes, 1, 8, file) != 8) {
-        Fatal("trace: truncated header");
+    return (static_cast<uint64_t>(value) << 1) ^
+           static_cast<uint64_t>(value >> 63);
+}
+
+int64_t
+ZigzagDecode(uint64_t value)
+{
+    return static_cast<int64_t>(value >> 1) ^
+           -static_cast<int64_t>(value & 1);
+}
+
+/** Summary facts ValidateOps checks against the E payload. */
+struct OpCounts {
+    uint64_t ops = 0;
+    uint64_t accesses = 0;
+    uint64_t created = 0;
+};
+
+/**
+ * Walks an op payload, enforcing well-formed varints, known opcodes,
+ * dense pid assignment and in-range field values.  What this accepts,
+ * ReplayStream can execute without further checks.
+ */
+bool
+ValidateOps(const std::string& ops, OpCounts* out, std::string* why)
+{
+    size_t pos = 0;
+    uint64_t created = 0;
+    while (pos < ops.size()) {
+        const uint8_t opcode = static_cast<uint8_t>(ops[pos]);
+        ++pos;
+        ++out->ops;
+        uint64_t value = 0;
+        switch (opcode) {
+          case kOpCreate:
+            if (!ReadVarint(ops, &pos, &value) || value != created) {
+                *why = "op stream: bad create pid";
+                return false;
+            }
+            ++created;
+            break;
+          case kOpDestroy:
+          case kOpSetPid:
+            if (!ReadVarint(ops, &pos, &value) || value >= created) {
+                *why = "op stream: pid out of range";
+                return false;
+            }
+            break;
+          case kOpMapRegion: {
+            uint64_t base = 0;
+            uint64_t bytes = 0;
+            if (!ReadVarint(ops, &pos, &value) || value >= created ||
+                !ReadVarint(ops, &pos, &base) || base > ~ProcessAddr{0} ||
+                !ReadVarint(ops, &pos, &bytes) || pos >= ops.size() ||
+                static_cast<uint8_t>(ops[pos]) > kMaxPageKind) {
+                *why = "op stream: bad map op";
+                return false;
+            }
+            ++pos;
+            break;
+          }
+          case kOpShare: {
+            uint64_t other = 0;
+            if (!ReadVarint(ops, &pos, &value) || value >= created ||
+                pos >= ops.size() ||
+                static_cast<uint8_t>(ops[pos]) > kMaxSegReg) {
+                *why = "op stream: bad share op";
+                return false;
+            }
+            ++pos;
+            if (!ReadVarint(ops, &pos, &other) || other >= created ||
+                pos >= ops.size() ||
+                static_cast<uint8_t>(ops[pos]) > kMaxSegReg) {
+                *why = "op stream: bad share op";
+                return false;
+            }
+            ++pos;
+            break;
+          }
+          case kOpSwitch:
+            break;
+          case kOpIFetch:
+          case kOpRead:
+          case kOpWrite:
+            if (!ReadVarint(ops, &pos, &value)) {
+                *why = "op stream: bad access delta";
+                return false;
+            }
+            ++out->accesses;
+            break;
+          default:
+            *why = "op stream: unknown opcode";
+            return false;
+        }
     }
-    uint64_t value = 0;
-    for (int i = 7; i >= 0; --i) {
-        value = (value << 8) | bytes[i];
+    out->created = created;
+    return true;
+}
+
+/** Only reachable on a bug: recovery validates ops before replay. */
+[[noreturn]] void
+BadOps()
+{
+    Fatal("trace: malformed op stream escaped validation");
+}
+
+bool
+Fail(std::string* error, const std::string& message)
+{
+    if (error != nullptr) {
+        *error = message;
     }
-    return value;
+    return false;
+}
+
+/** write(2) until every byte landed (EINTR-safe). */
+bool
+WriteAll(int fd, const std::string& data)
+{
+    size_t written = 0;
+    while (written < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + written, data.size() - written);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            return false;
+        }
+        written += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// Frame scanning (reader side), mirroring src/sweep/stream.cc.
+// ---------------------------------------------------------------------------
+
+enum class FrameStatus : uint8_t {
+    kOk,
+    kTruncated,  ///< Bytes ran out mid-frame: a crash artifact.
+    kCorrupt,    ///< Malformed despite enough bytes: never truncation.
+};
+
+struct Frame {
+    char tag = '\0';
+    std::string payload;
+    size_t end = 0;  ///< Offset of the first byte after the frame.
+};
+
+FrameStatus
+NextFrame(const std::string& bytes, size_t pos, Frame* out,
+          std::string* why)
+{
+    const char tag = bytes[pos];
+    if (tag != 'H' && tag != 'S' && tag != 'B' && tag != 'E' &&
+        tag != 'T') {
+        *why = "unknown frame tag";
+        return FrameStatus::kCorrupt;
+    }
+    size_t p = pos + 1;
+    if (p >= bytes.size()) {
+        return FrameStatus::kTruncated;
+    }
+    if (bytes[p] != ' ') {
+        *why = "missing space after frame tag";
+        return FrameStatus::kCorrupt;
+    }
+    ++p;
+    uint64_t length = 0;
+    size_t digits = 0;
+    while (p < bytes.size() && bytes[p] >= '0' && bytes[p] <= '9') {
+        length = length * 10 + static_cast<uint64_t>(bytes[p] - '0');
+        if (length > kMaxFramePayload) {
+            *why = "frame length out of range";
+            return FrameStatus::kCorrupt;
+        }
+        ++digits;
+        ++p;
+    }
+    if (p >= bytes.size()) {
+        return FrameStatus::kTruncated;
+    }
+    if (digits == 0 || bytes[p] != '\n') {
+        *why = "malformed frame length";
+        return FrameStatus::kCorrupt;
+    }
+    ++p;
+    if (p + length + 1 > bytes.size()) {
+        return FrameStatus::kTruncated;
+    }
+    if (bytes[p + length] != '\n') {
+        *why = "frame payload not newline-terminated";
+        return FrameStatus::kCorrupt;
+    }
+    out->tag = tag;
+    out->payload.assign(bytes, p, length);
+    out->end = p + length + 1;
+    return FrameStatus::kOk;
+}
+
+bool
+ReadFileBytes(const std::string& path, std::string* bytes,
+              std::string* error)
+{
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+        return Fail(error, "cannot open '" + path + "'");
+    }
+    char buffer[64 * 1024];
+    size_t n = 0;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+        bytes->append(buffer, n);
+    }
+    const bool ok = std::ferror(file) == 0;
+    std::fclose(file);
+    if (!ok) {
+        return Fail(error, "read error on '" + path + "'");
+    }
+    return true;
 }
 
 }  // namespace
 
-TraceWriter::TraceWriter(const std::string& path)
-    : file_(std::fopen(path.c_str(), "wb"))
+// ---------------------------------------------------------------------------
+// TraceStreamMeta
+// ---------------------------------------------------------------------------
+
+std::string
+TraceStreamMeta::Identity() const
 {
-    if (file_ == nullptr) {
-        Fatal("trace: cannot open '" + path + "' for writing");
-    }
-    if (std::fwrite(kMagic, 1, sizeof(kMagic), file_) != sizeof(kMagic)) {
-        Fatal("trace: short write");
-    }
-    WriteU64(file_, 0);  // Patched in the destructor.
+    std::string key = workload;
+    key += "|seed=" + FormatUint(seed);
+    key += "|refs=" + FormatUint(refs);
+    key += "|intensity=" + FormatDouble(intensity);
+    key += "|page=" + FormatUint(page_bytes);
+    key += "|block=" + FormatUint(block_bytes);
+    return key;
 }
 
-TraceWriter::~TraceWriter()
+// ---------------------------------------------------------------------------
+// TraceEncoder
+// ---------------------------------------------------------------------------
+
+TraceEncoder::TraceEncoder(TraceStreamMeta meta)
+    : meta_(std::move(meta)), digest_(kFnvOffset)
 {
-    std::fseek(file_, sizeof(kMagic), SEEK_SET);
-    WriteU64(file_, count_);
-    std::fclose(file_);
+    for (const char c : meta_.workload) {
+        if (c < 0x20 || c > 0x7e || c == '"' || c == '\\') {
+            Fatal("trace: workload name '" + meta_.workload +
+                  "' is not representable");
+        }
+    }
+    framed_ = EncodeFrame('S', MetaPayload(meta_));
 }
 
 void
-TraceWriter::Append(const MemRef& ref)
+TraceEncoder::Op(uint8_t opcode)
 {
-    unsigned char record[9];
-    for (int i = 0; i < 4; ++i) {
-        record[i] = static_cast<unsigned char>(ref.pid >> (8 * i));
-        record[4 + i] = static_cast<unsigned char>(ref.addr >> (8 * i));
-    }
-    record[8] = static_cast<unsigned char>(ref.type);
-    if (std::fwrite(record, 1, sizeof(record), file_) != sizeof(record)) {
-        Fatal("trace: short write");
-    }
-    ++count_;
+    batch_.push_back(static_cast<char>(opcode));
+    ++ops_;
 }
 
-TraceReader::TraceReader(const std::string& path)
-    : file_(std::fopen(path.c_str(), "rb"))
+void
+TraceEncoder::Varint(uint64_t value)
 {
-    if (file_ == nullptr) {
-        Fatal("trace: cannot open '" + path + "'");
-    }
-    char magic[8];
-    if (std::fread(magic, 1, sizeof(magic), file_) != sizeof(magic) ||
-        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-        Fatal("trace: '" + path + "' is not a SPUR trace");
-    }
-    count_ = ReadU64(file_);
+    AppendVarint(&batch_, value);
 }
 
-TraceReader::~TraceReader()
+void
+TraceEncoder::FlushBatch()
 {
-    std::fclose(file_);
+    if (batch_.empty()) {
+        return;
+    }
+    digest_ = Mix(digest_, batch_);
+    framed_ += EncodeFrame('B', batch_);
+    batch_.clear();
+}
+
+uint32_t
+TraceEncoder::TracePid(Pid host_pid) const
+{
+    for (const auto& [host, trace] : pid_map_) {
+        if (host == host_pid) {
+            return trace;
+        }
+    }
+    Fatal("trace: pid " + std::to_string(host_pid) +
+          " was not created while recording");
+}
+
+void
+TraceEncoder::OnCreateProcess(Pid host_pid)
+{
+    for (const auto& [host, trace] : pid_map_) {
+        (void)trace;
+        if (host == host_pid) {
+            Fatal("trace: host pid " + std::to_string(host_pid) +
+                  " created twice");
+        }
+    }
+    const uint32_t trace_pid = next_trace_pid_++;
+    pid_map_.emplace_back(host_pid, trace_pid);
+    Op(kOpCreate);
+    Varint(trace_pid);
+}
+
+void
+TraceEncoder::OnDestroyProcess(Pid host_pid)
+{
+    const uint32_t trace_pid = TracePid(host_pid);
+    for (size_t i = 0; i < pid_map_.size(); ++i) {
+        if (pid_map_[i].first == host_pid) {
+            pid_map_[i] = pid_map_.back();
+            pid_map_.pop_back();
+            break;
+        }
+    }
+    if (current_pid_ == trace_pid) {
+        current_pid_ = ~uint32_t{0};
+    }
+    Op(kOpDestroy);
+    Varint(trace_pid);
+}
+
+void
+TraceEncoder::OnMapRegion(Pid host_pid, ProcessAddr base, uint64_t bytes,
+                          vm::PageKind kind)
+{
+    Op(kOpMapRegion);
+    Varint(TracePid(host_pid));
+    Varint(base);
+    Varint(bytes);
+    batch_.push_back(static_cast<char>(kind));
+}
+
+void
+TraceEncoder::OnShareSegment(Pid host_pid, unsigned reg, Pid other,
+                             unsigned other_reg)
+{
+    if (reg > kMaxSegReg || other_reg > kMaxSegReg) {
+        Fatal("trace: segment register out of range");
+    }
+    Op(kOpShare);
+    Varint(TracePid(host_pid));
+    batch_.push_back(static_cast<char>(reg));
+    Varint(TracePid(other));
+    batch_.push_back(static_cast<char>(other_reg));
+}
+
+void
+TraceEncoder::OnContextSwitch()
+{
+    Op(kOpSwitch);
+    if (batch_.size() >= kBatchFlushBytes) {
+        FlushBatch();
+    }
+}
+
+void
+TraceEncoder::OnAccess(const MemRef& ref)
+{
+    const uint32_t trace_pid = TracePid(ref.pid);
+    if (trace_pid != current_pid_) {
+        Op(kOpSetPid);
+        Varint(trace_pid);
+        current_pid_ = trace_pid;
+    }
+    uint8_t opcode = kOpRead;
+    switch (ref.type) {
+      case AccessType::kIFetch:
+        opcode = kOpIFetch;
+        break;
+      case AccessType::kRead:
+        opcode = kOpRead;
+        break;
+      case AccessType::kWrite:
+        opcode = kOpWrite;
+        break;
+    }
+    Op(opcode);
+    Varint(ZigzagEncode(static_cast<int64_t>(ref.addr) -
+                        static_cast<int64_t>(last_addr_)));
+    last_addr_ = ref.addr;
+    ++accesses_;
+}
+
+std::string
+TraceEncoder::Finish(uint64_t refs_issued)
+{
+    if (finished_) {
+        Fatal("trace: TraceEncoder::Finish called twice");
+    }
+    finished_ = true;
+    FlushBatch();
+    framed_ += EncodeFrame(
+        'E', EndPayload(ops_, accesses_, refs_issued, digest_));
+    return std::move(framed_);
+}
+
+// ---------------------------------------------------------------------------
+// RecordingHost
+// ---------------------------------------------------------------------------
+
+Pid
+RecordingHost::CreateProcess()
+{
+    const Pid pid = host_.CreateProcess();
+    if (recording_) {
+        encoder_.OnCreateProcess(pid);
+    }
+    return pid;
+}
+
+void
+RecordingHost::DestroyProcess(Pid pid)
+{
+    if (recording_) {
+        encoder_.OnDestroyProcess(pid);
+    }
+    host_.DestroyProcess(pid);
+}
+
+void
+RecordingHost::MapRegion(Pid pid, ProcessAddr base, uint64_t bytes,
+                         vm::PageKind kind)
+{
+    if (recording_) {
+        encoder_.OnMapRegion(pid, base, bytes, kind);
+    }
+    host_.MapRegion(pid, base, bytes, kind);
+}
+
+void
+RecordingHost::ShareSegment(Pid pid, unsigned reg, Pid other,
+                            unsigned other_reg)
+{
+    if (recording_) {
+        encoder_.OnShareSegment(pid, reg, other, other_reg);
+    }
+    host_.ShareSegment(pid, reg, other, other_reg);
+}
+
+void
+RecordingHost::Access(const MemRef& ref)
+{
+    if (recording_) {
+        encoder_.OnAccess(ref);
+    }
+    host_.Access(ref);
+}
+
+void
+RecordingHost::AccessBatch(const MemRef* refs, size_t n)
+{
+    if (recording_) {
+        for (size_t i = 0; i < n; ++i) {
+            encoder_.OnAccess(refs[i]);
+        }
+    }
+    host_.AccessBatch(refs, n);
+}
+
+void
+RecordingHost::OnContextSwitch()
+{
+    if (recording_) {
+        encoder_.OnContextSwitch();
+    }
+    host_.OnContextSwitch();
+}
+
+const sim::MachineConfig&
+RecordingHost::config() const
+{
+    return host_.config();
+}
+
+// ---------------------------------------------------------------------------
+// TraceFileWriter
+// ---------------------------------------------------------------------------
+
+TraceFileWriter::~TraceFileWriter()
+{
+    Close();
+}
+
+void
+TraceFileWriter::Close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
 }
 
 bool
-TraceReader::Next(MemRef* ref)
+TraceFileWriter::Open(const std::string& path, std::string* error)
 {
-    if (read_ >= count_) {
-        return false;
+    if (fd_ >= 0) {
+        return Fail(error, "trace writer already open");
     }
-    unsigned char record[9];
-    if (std::fread(record, 1, sizeof(record), file_) != sizeof(record)) {
-        Fatal("trace: truncated record");
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd_ < 0) {
+        return Fail(error, "cannot open '" + path + "' for writing: " +
+                               std::strerror(errno));
     }
-    ref->pid = 0;
-    ref->addr = 0;
-    for (int i = 3; i >= 0; --i) {
-        ref->pid = (ref->pid << 8) | record[i];
-        ref->addr = (ref->addr << 8) | record[4 + i];
+    digest_ = kFnvOffset;
+    streams_ = 0;
+    const std::string head =
+        std::string(kTraceMagic) + EncodeFrame('H', HeaderPayload());
+    if (!WriteAll(fd_, head) || ::fsync(fd_) != 0) {
+        Close();
+        return Fail(error, "write failed on '" + path + "'");
     }
-    if (record[8] > static_cast<unsigned char>(AccessType::kWrite)) {
-        Fatal("trace: corrupt access type");
-    }
-    ref->type = static_cast<AccessType>(record[8]);
-    ++read_;
     return true;
 }
 
-uint64_t
-ReplayTrace(const std::string& path, WorkloadHost& system)
+bool
+TraceFileWriter::AppendStream(const std::string& stream_bytes,
+                              std::string* error)
 {
-    TraceReader reader(path);
-    // Trace pids are renamed into processes of the target system, with
-    // generously sized regions mapped lazily on first sight of a pid.
-    std::unordered_map<Pid, Pid> pid_map;
-    const uint64_t page_bytes = system.config().page_bytes;
-    auto target_pid = [&](Pid trace_pid) {
-        const auto it = pid_map.find(trace_pid);
-        if (it != pid_map.end()) {
-            return it->second;
+    if (fd_ < 0) {
+        return Fail(error, "trace writer is not open");
+    }
+    if (!WriteAll(fd_, stream_bytes) || ::fsync(fd_) != 0) {
+        Close();
+        return Fail(error, "stream append failed");
+    }
+    digest_ = Mix(digest_, stream_bytes);
+    ++streams_;
+    return true;
+}
+
+bool
+TraceFileWriter::Finish(std::string* error)
+{
+    if (fd_ < 0) {
+        return Fail(error, "trace writer is not open");
+    }
+    const std::string trailer =
+        EncodeFrame('T', TrailerPayload(streams_, digest_));
+    const bool ok = WriteAll(fd_, trailer) && ::fsync(fd_) == 0;
+    Close();
+    if (!ok) {
+        return Fail(error, "trailer write failed");
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+std::string
+EncodeTraceFile(const std::vector<std::string>& stream_frames)
+{
+    std::string bytes = kTraceMagic;
+    bytes += EncodeFrame('H', HeaderPayload());
+    uint64_t digest = kFnvOffset;
+    for (const std::string& frames : stream_frames) {
+        bytes += frames;
+        digest = Mix(digest, frames);
+    }
+    bytes += EncodeFrame('T', TrailerPayload(stream_frames.size(), digest));
+    return bytes;
+}
+
+std::optional<RecoveredTrace>
+RecoverTraceBytes(const std::string& bytes, std::string* error)
+{
+    const std::string magic = kTraceMagic;
+    if (bytes.size() < magic.size()) {
+        if (magic.compare(0, bytes.size(), bytes) != 0) {
+            Fail(error, "not a SPUR-TRACE/1 file");
+            return std::nullopt;
         }
-        const Pid pid = system.CreateProcess();
-        system.MapRegion(pid, kCodeBase, 2048 * page_bytes,
-                         vm::PageKind::kCode);
-        system.MapRegion(pid, kDataBase, 2048 * page_bytes,
-                         vm::PageKind::kData);
-        system.MapRegion(pid, kHeapBase, 8192 * page_bytes,
-                         vm::PageKind::kHeap);
-        system.MapRegion(pid, kStackBase, 256 * page_bytes,
-                         vm::PageKind::kStack);
-        pid_map.emplace(trace_pid, pid);
-        return pid;
+        RecoveredTrace result;
+        result.dropped_bytes = bytes.size();
+        result.note = "torn before the header; recovered 0 streams";
+        return result;
+    }
+    if (bytes.compare(0, magic.size(), magic) != 0) {
+        Fail(error, "not a SPUR-TRACE/1 file");
+        return std::nullopt;
+    }
+
+    RecoveredTrace result;
+    size_t pos = magic.size();
+    // recovered_end: the offset up to which the file is a sequence of
+    // complete verified streams (truncation recovery resumes here).
+    size_t recovered_end = pos;
+    std::string why;
+    uint64_t file_digest = kFnvOffset;
+
+    const auto truncated = [&](const char* where) {
+        result.complete = false;
+        result.dropped_bytes = bytes.size() - recovered_end;
+        result.note = std::string("torn ") + where + "; recovered " +
+                      FormatUint(result.streams.size()) + " stream(s), " +
+                      FormatUint(result.dropped_bytes) + " byte(s) dropped";
+        return result;
     };
 
-    uint64_t replayed = 0;
-    MemRef ref;
-    Pid last_pid = ~Pid{0};
-    while (reader.Next(&ref)) {
-        ref.pid = target_pid(ref.pid);
-        if (ref.pid != last_pid) {
-            if (last_pid != ~Pid{0}) {
-                system.OnContextSwitch();
-            }
-            last_pid = ref.pid;
+    // The H frame.
+    {
+        if (pos >= bytes.size()) {
+            return truncated("before the header");
         }
-        system.Access(ref);
-        ++replayed;
+        Frame frame;
+        const FrameStatus status = NextFrame(bytes, pos, &frame, &why);
+        if (status == FrameStatus::kTruncated) {
+            return truncated("inside the header");
+        }
+        if (status == FrameStatus::kCorrupt) {
+            Fail(error, "header frame: " + why);
+            return std::nullopt;
+        }
+        if (frame.tag != 'H' || !ParseHeaderPayload(frame.payload)) {
+            Fail(error, "bad or unsupported trace header");
+            return std::nullopt;
+        }
+        pos = frame.end;
+        recovered_end = pos;
     }
-    return replayed;
+
+    // Streams, then the trailer.
+    while (pos < bytes.size()) {
+        Frame frame;
+        FrameStatus status = NextFrame(bytes, pos, &frame, &why);
+        if (status == FrameStatus::kTruncated) {
+            return truncated("mid-stream");
+        }
+        if (status == FrameStatus::kCorrupt) {
+            Fail(error, "frame at offset " + FormatUint(pos) + ": " + why);
+            return std::nullopt;
+        }
+        if (frame.tag == 'T') {
+            uint64_t stream_count = 0;
+            uint64_t digest = 0;
+            if (!ParseTrailerPayload(frame.payload, &stream_count,
+                                     &digest)) {
+                Fail(error, "malformed trace trailer");
+                return std::nullopt;
+            }
+            if (stream_count != result.streams.size()) {
+                Fail(error,
+                     "trailer claims " + FormatUint(stream_count) +
+                         " stream(s), file holds " +
+                         FormatUint(result.streams.size()));
+                return std::nullopt;
+            }
+            if (digest != file_digest) {
+                Fail(error, "trace digest mismatch");
+                return std::nullopt;
+            }
+            if (frame.end != bytes.size()) {
+                Fail(error, "bytes after the trace trailer");
+                return std::nullopt;
+            }
+            result.complete = true;
+            result.note = "complete: " +
+                          FormatUint(result.streams.size()) + " stream(s)";
+            return result;
+        }
+        if (frame.tag != 'S') {
+            Fail(error, "expected S or T frame at offset " +
+                            FormatUint(pos));
+            return std::nullopt;
+        }
+
+        // One stream: S, B*, E.
+        TraceStream stream;
+        const size_t stream_start = pos;
+        if (!ParseMetaPayload(frame.payload, &stream.meta)) {
+            Fail(error, "malformed stream header at offset " +
+                            FormatUint(pos));
+            return std::nullopt;
+        }
+        pos = frame.end;
+        uint64_t ops_digest = kFnvOffset;
+        bool stream_done = false;
+        while (!stream_done) {
+            if (pos >= bytes.size()) {
+                return truncated("inside a stream");
+            }
+            status = NextFrame(bytes, pos, &frame, &why);
+            if (status == FrameStatus::kTruncated) {
+                return truncated("inside a stream");
+            }
+            if (status == FrameStatus::kCorrupt) {
+                Fail(error,
+                     "frame at offset " + FormatUint(pos) + ": " + why);
+                return std::nullopt;
+            }
+            if (frame.tag == 'B') {
+                ops_digest = Mix(ops_digest, frame.payload);
+                stream.ops += frame.payload;
+                pos = frame.end;
+                continue;
+            }
+            if (frame.tag != 'E') {
+                Fail(error, "expected B or E frame at offset " +
+                                FormatUint(pos));
+                return std::nullopt;
+            }
+            if (!ParseEndPayload(frame.payload, &stream.op_count,
+                                 &stream.accesses, &stream.refs_issued,
+                                 &stream.digest)) {
+                Fail(error, "malformed stream end at offset " +
+                                FormatUint(pos));
+                return std::nullopt;
+            }
+            if (stream.digest != ops_digest) {
+                Fail(error, "stream '" + stream.meta.Identity() +
+                                "': op digest mismatch");
+                return std::nullopt;
+            }
+            OpCounts counts;
+            if (!ValidateOps(stream.ops, &counts, &why)) {
+                Fail(error,
+                     "stream '" + stream.meta.Identity() + "': " + why);
+                return std::nullopt;
+            }
+            if (counts.ops != stream.op_count ||
+                counts.accesses != stream.accesses) {
+                Fail(error, "stream '" + stream.meta.Identity() +
+                                "': op counts disagree with the E frame");
+                return std::nullopt;
+            }
+            pos = frame.end;
+            stream_done = true;
+        }
+        stream.framed.assign(bytes, stream_start, pos - stream_start);
+        file_digest = Mix(file_digest, stream.framed);
+        result.streams.push_back(std::move(stream));
+        recovered_end = pos;
+    }
+    return truncated("before the trailer");
+}
+
+std::optional<RecoveredTrace>
+RecoverTraceFile(const std::string& path, std::string* error)
+{
+    std::string bytes;
+    if (!ReadFileBytes(path, &bytes, error)) {
+        return std::nullopt;
+    }
+    return RecoverTraceBytes(bytes, error);
+}
+
+// ---------------------------------------------------------------------------
+// TraceLibrary
+// ---------------------------------------------------------------------------
+
+bool
+TraceLibrary::Load(const std::string& path, std::string* error)
+{
+    std::string recover_error;
+    const std::optional<RecoveredTrace> recovered =
+        RecoverTraceFile(path, &recover_error);
+    if (!recovered) {
+        return Fail(error, path + ": " + recover_error);
+    }
+    if (!recovered->complete) {
+        return Fail(error,
+                    path + ": truncated trace (" + recovered->note +
+                        "); recover it with `spur_trace validate` first");
+    }
+    streams_ = std::move(recovered->streams);
+    return true;
+}
+
+const TraceStream*
+TraceLibrary::Find(const std::string& identity) const
+{
+    for (const TraceStream& stream : streams_) {
+        if (stream.meta.Identity() == identity) {
+            return &stream;
+        }
+    }
+    return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------------
+
+ReplayStats
+ReplayStream(const TraceStream& stream, WorkloadHost& host)
+{
+    const sim::MachineConfig& config = host.config();
+    if (config.page_bytes != stream.meta.page_bytes ||
+        config.block_bytes != stream.meta.block_bytes) {
+        Fatal("trace: stream '" + stream.meta.Identity() +
+              "' was recorded at page/block " +
+              FormatUint(stream.meta.page_bytes) + "/" +
+              FormatUint(stream.meta.block_bytes) +
+              ", host geometry is " + FormatUint(config.page_bytes) + "/" +
+              FormatUint(config.block_bytes));
+    }
+
+    ReplayStats stats;
+    stats.refs_issued = stream.refs_issued;
+    std::vector<Pid> host_pid;   // Indexed by trace pid.
+    std::vector<MemRef> batch;
+    batch.reserve(4096);
+    Pid current_pid = 0;
+    bool have_pid = false;
+    ProcessAddr last_addr = 0;
+
+    const auto flush = [&] {
+        if (!batch.empty()) {
+            host.AccessBatch(batch.data(), batch.size());
+            batch.clear();
+        }
+    };
+    const std::string& ops = stream.ops;
+    size_t pos = 0;
+    while (pos < ops.size()) {
+        const uint8_t opcode = static_cast<uint8_t>(ops[pos]);
+        ++pos;
+        uint64_t value = 0;
+        switch (opcode) {
+          case kOpCreate: {
+            flush();
+            if (!ReadVarint(ops, &pos, &value) ||
+                value != host_pid.size()) {
+                BadOps();
+            }
+            host_pid.push_back(host.CreateProcess());
+            ++stats.processes;
+            break;
+          }
+          case kOpDestroy:
+            flush();
+            if (!ReadVarint(ops, &pos, &value) ||
+                value >= host_pid.size()) {
+                BadOps();
+            }
+            host.DestroyProcess(host_pid[value]);
+            break;
+          case kOpMapRegion: {
+            flush();
+            uint64_t base = 0;
+            uint64_t map_bytes = 0;
+            if (!ReadVarint(ops, &pos, &value) ||
+                value >= host_pid.size() ||
+                !ReadVarint(ops, &pos, &base) ||
+                !ReadVarint(ops, &pos, &map_bytes) || pos >= ops.size()) {
+                BadOps();
+            }
+            const auto kind =
+                static_cast<vm::PageKind>(static_cast<uint8_t>(ops[pos]));
+            ++pos;
+            host.MapRegion(host_pid[value],
+                           static_cast<ProcessAddr>(base), map_bytes,
+                           kind);
+            break;
+          }
+          case kOpShare: {
+            flush();
+            uint64_t other = 0;
+            if (!ReadVarint(ops, &pos, &value) ||
+                value >= host_pid.size() || pos >= ops.size()) {
+                BadOps();
+            }
+            const auto reg = static_cast<uint8_t>(ops[pos]);
+            ++pos;
+            if (!ReadVarint(ops, &pos, &other) ||
+                other >= host_pid.size() || pos >= ops.size()) {
+                BadOps();
+            }
+            const auto other_reg = static_cast<uint8_t>(ops[pos]);
+            ++pos;
+            host.ShareSegment(host_pid[value], reg, host_pid[other],
+                              other_reg);
+            break;
+          }
+          case kOpSwitch:
+            flush();
+            host.OnContextSwitch();
+            ++stats.context_switches;
+            break;
+          case kOpSetPid:
+            if (!ReadVarint(ops, &pos, &value) ||
+                value >= host_pid.size()) {
+                BadOps();
+            }
+            current_pid = host_pid[value];
+            have_pid = true;
+            break;
+          case kOpIFetch:
+          case kOpRead:
+          case kOpWrite: {
+            if (!ReadVarint(ops, &pos, &value) || !have_pid) {
+                BadOps();
+            }
+            last_addr = static_cast<ProcessAddr>(
+                static_cast<int64_t>(last_addr) + ZigzagDecode(value));
+            MemRef ref;
+            ref.pid = current_pid;
+            ref.addr = last_addr;
+            ref.type = (opcode == kOpIFetch) ? AccessType::kIFetch
+                       : (opcode == kOpRead) ? AccessType::kRead
+                                             : AccessType::kWrite;
+            batch.push_back(ref);
+            if (batch.size() == batch.capacity()) {
+                flush();
+            }
+            ++stats.accesses;
+            break;
+          }
+          default:
+            BadOps();
+        }
+    }
+    flush();
+    return stats;
+}
+
+ReplayStats
+ReplayTrace(const std::string& path, WorkloadHost& host)
+{
+    TraceLibrary library;
+    std::string error;
+    if (!library.Load(path, &error)) {
+        Fatal("trace: " + error);
+    }
+    ReplayStats total;
+    for (const TraceStream& stream : library.streams()) {
+        const ReplayStats stats = ReplayStream(stream, host);
+        total.refs_issued += stats.refs_issued;
+        total.accesses += stats.accesses;
+        total.context_switches += stats.context_switches;
+        total.processes += stats.processes;
+    }
+    return total;
 }
 
 }  // namespace spur::workload

@@ -1,87 +1,350 @@
 /**
  * @file
- * Binary reference-trace recording and replay.
+ * SPUR-TRACE/1: the deterministic workload-trace substrate (DESIGN.md
+ * §19).
  *
- * The paper's Section 2 explains why the study could not use trace-driven
- * simulation (paging-scale traces were too large to collect in 1989);
- * with synthetic generators we can have both: record a generator's
- * stream once, replay it byte-identically against any machine/policy
- * configuration — the classical trace-driven methodology, supported as a
- * first-class library feature.
+ * The paper's Section 2 explains why the study could not use
+ * trace-driven simulation: paging-scale traces were unaffordable to
+ * collect in 1989.  We reverse that verdict.  Because the synthetic
+ * generators are pure (rng + cursors, no feedback from the machine), a
+ * workload's *operation stream* — every WorkloadHost call the driver
+ * makes — depends only on (spec, refs, seed, slice_refs, page geometry),
+ * never on the policies or memory size under test.  Recording that
+ * stream once therefore feeds every cell of a policy/memory matrix
+ * byte-identically, which is exactly the classical trace-driven
+ * methodology, now the *cheap* path.
  *
- * Format (little-endian, fixed 9-byte records after a 16-byte header):
- *   header:  magic "SPURTRC1" (8 bytes), record count (8 bytes)
- *   record:  pid (4 bytes), addr (4 bytes), type (1 byte)
+ * A trace is an op trace, not a bare reference trace: process creation,
+ * teardown, region maps, segment shares and context switches are all
+ * frames of the stream, so replaying reproduces the live run's counters
+ * exactly (the old format's "map generous regions per pid" replay could
+ * not).  Host pids are renamed to dense first-seen order on record and
+ * renamed back on replay, so the same workload recorded against any
+ * host — the real SpurSystem or the counts-only CountingHost — produces
+ * byte-identical trace bytes.
+ *
+ * File format, following the §13 stream discipline (same framing,
+ * digesting and truncation-vs-corruption rules as SPUR-STREAM/1):
+ *
+ *     SPUR-TRACE/1\n                    magic line
+ *     H <len>\n<header-json>\n          trace format version
+ *     per stream (one per distinct stream identity):
+ *       S <len>\n<meta-json>\n          workload, seed, refs, intensity,
+ *                                       page/block geometry
+ *       B <len>\n<binary-ops>\n         delta/varint op batches (~64 KiB)
+ *       ...
+ *       E <len>\n<end-json>\n           op/access counts, refs issued,
+ *                                       FNV-1a64 digest over the B
+ *                                       payloads
+ *     T <len>\n<trailer-json>\n         stream count + whole-file digest
+ *
+ * Binary op encoding (all integers LEB128 varints; access addresses are
+ * zigzag deltas against the previous access address):
+ *
+ *     0 create   <pid>                       pid must be the next dense id
+ *     1 destroy  <pid>
+ *     2 map      <pid> <base> <bytes> <kind>
+ *     3 share    <pid> <reg> <other> <other_reg>
+ *     4 switch
+ *     5 setpid   <pid>                       current pid for accesses
+ *     6 ifetch   <zigzag addr delta>
+ *     7 read     <zigzag addr delta>
+ *     8 write    <zigzag addr delta>
+ *
+ * Recovery semantics: a trace cut at any byte offset recovers the
+ * streams whose E frame is present and verified; a torn tail (and any
+ * stream it cut) is dropped and reported.  Damage truncation cannot
+ * explain — bad magic, malformed frames, a digest or count that
+ * disagrees — is a hard error, never a silent partial result.
+ * tests/trace_test.cc and the TraceFuzzTest corpus in
+ * tests/json_fuzz_test.cc enforce this at every byte offset.
  */
 #ifndef SPUR_WORKLOAD_TRACE_H_
 #define SPUR_WORKLOAD_TRACE_H_
 
 #include <cstdint>
-#include <cstdio>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "src/common/types.h"
+#include "src/sim/config.h"
 #include "src/workload/host.h"
 
 namespace spur::workload {
 
-/** Streams MemRefs to a trace file. */
-class TraceWriter
-{
-  public:
-    /** Opens @p path for writing; fatal on failure. */
-    explicit TraceWriter(const std::string& path);
+/** Version of the trace framing; bump on any format change. */
+inline constexpr int kTraceVersion = 1;
 
-    /** Finalizes the header and closes the file. */
-    ~TraceWriter();
+/** First line of every trace file. */
+inline constexpr char kTraceMagic[] = "SPUR-TRACE/1\n";
 
-    TraceWriter(const TraceWriter&) = delete;
-    TraceWriter& operator=(const TraceWriter&) = delete;
+/**
+ * The identity of one recorded stream: everything the generator's
+ * output depends on.  Policies and memory size are deliberately absent
+ * — the generator cannot see them — which is what lets one recording
+ * feed every cell of a policy/memory matrix.
+ */
+struct TraceStreamMeta {
+    std::string workload;     ///< Scenario name (core::ToString spelling).
+    uint64_t seed = 0;        ///< Driver seed (cell-derived for matrices).
+    uint64_t refs = 0;        ///< Reference budget of the recorded run.
+    double intensity = 1.0;   ///< Dev-machine intensity knob.
+    uint64_t page_bytes = 0;  ///< Page size the stream was generated at.
+    uint64_t block_bytes = 0; ///< Cache block size likewise.
 
-    /** Appends one reference. */
-    void Append(const MemRef& ref);
-
-    /** Records written so far. */
-    uint64_t count() const { return count_; }
-
-  private:
-    std::FILE* file_;
-    uint64_t count_ = 0;
-};
-
-/** Reads MemRefs back from a trace file. */
-class TraceReader
-{
-  public:
-    /** Opens @p path; fatal on missing file or bad magic. */
-    explicit TraceReader(const std::string& path);
-
-    ~TraceReader();
-
-    TraceReader(const TraceReader&) = delete;
-    TraceReader& operator=(const TraceReader&) = delete;
-
-    /** Reads the next record; false at end of trace. */
-    bool Next(MemRef* ref);
-
-    /** Total records according to the header. */
-    uint64_t count() const { return count_; }
-
-  private:
-    std::FILE* file_;
-    uint64_t count_ = 0;
-    uint64_t read_ = 0;
+    /** Canonical lookup key ("<workload>|seed=...|..."). */
+    std::string Identity() const;
 };
 
 /**
- * Replays a trace against any WorkloadHost.
- *
- * The trace format stores no region information, so the replayer maps one
- * generously sized region of each kind for every pid it encounters (lazy,
- * on first sight), mirroring the SyntheticProcess layout.  Returns the
- * number of references replayed.
+ * Encodes one stream's op sequence into framed bytes.  The encoder
+ * renames host pids to dense first-seen trace pids, so the output is
+ * independent of the recording host's pid policy.
  */
-uint64_t ReplayTrace(const std::string& path, WorkloadHost& system);
+class TraceEncoder
+{
+  public:
+    explicit TraceEncoder(TraceStreamMeta meta);
+
+    TraceEncoder(const TraceEncoder&) = delete;
+    TraceEncoder& operator=(const TraceEncoder&) = delete;
+
+    // One call per WorkloadHost operation, in issue order.
+    void OnCreateProcess(Pid host_pid);
+    void OnDestroyProcess(Pid host_pid);
+    void OnMapRegion(Pid host_pid, ProcessAddr base, uint64_t bytes,
+                     vm::PageKind kind);
+    void OnShareSegment(Pid host_pid, unsigned reg, Pid other,
+                        unsigned other_reg);
+    void OnContextSwitch();
+    void OnAccess(const MemRef& ref);
+
+    /**
+     * Seals the stream: flushes the final op batch and appends the E
+     * frame.  @p refs_issued is the driver's global reference clock
+     * (idle skips advance it without accesses, so it cannot be
+     * recomputed from the ops).  Returns the complete framed S..E
+     * bytes; the encoder must not be used afterwards.
+     */
+    std::string Finish(uint64_t refs_issued);
+
+    /** Access ops recorded so far. */
+    uint64_t accesses() const { return accesses_; }
+
+    /** Ops of any kind recorded so far. */
+    uint64_t ops() const { return ops_; }
+
+  private:
+    void Op(uint8_t opcode);
+    void Varint(uint64_t value);
+    void FlushBatch();
+    uint32_t TracePid(Pid host_pid) const;
+
+    TraceStreamMeta meta_;
+    std::string framed_;        ///< S frame + completed B frames.
+    std::string batch_;         ///< Op bytes of the open batch.
+    uint64_t digest_;           ///< Rolling FNV over B payloads.
+    uint64_t ops_ = 0;
+    uint64_t accesses_ = 0;
+    uint32_t next_trace_pid_ = 0;
+    std::vector<std::pair<Pid, uint32_t>> pid_map_;  ///< host -> trace.
+    uint32_t current_pid_ = ~uint32_t{0};
+    ProcessAddr last_addr_ = 0;
+    bool finished_ = false;
+};
+
+/**
+ * A WorkloadHost shim that records every operation into a TraceEncoder
+ * while forwarding it to the real host unchanged.  StopRecording()
+ * keeps forwarding but stops recording — RunOnce samples counters
+ * before driver teardown, so teardown ops must not enter the trace.
+ */
+class RecordingHost : public WorkloadHost
+{
+  public:
+    RecordingHost(WorkloadHost& host, TraceEncoder& encoder)
+        : host_(host), encoder_(encoder)
+    {
+    }
+
+    void StopRecording() { recording_ = false; }
+
+    Pid CreateProcess() override;
+    void DestroyProcess(Pid pid) override;
+    void MapRegion(Pid pid, ProcessAddr base, uint64_t bytes,
+                   vm::PageKind kind) override;
+    void ShareSegment(Pid pid, unsigned reg, Pid other,
+                      unsigned other_reg) override;
+    void Access(const MemRef& ref) override;
+    void AccessBatch(const MemRef* refs, size_t n) override;
+    void OnContextSwitch() override;
+    const sim::MachineConfig& config() const override;
+
+  private:
+    WorkloadHost& host_;
+    TraceEncoder& encoder_;
+    bool recording_ = true;
+};
+
+/**
+ * A counts-only host: accepts the full WorkloadHost surface without
+ * simulating anything, so `spur_trace record` can capture a scenario's
+ * op stream without paying for cache/VM simulation.  Thanks to pid
+ * normalization, a trace recorded through CountingHost is byte-
+ * identical to one recorded against the live SpurSystem.
+ */
+class CountingHost : public WorkloadHost
+{
+  public:
+    explicit CountingHost(const sim::MachineConfig& config)
+        : config_(config)
+    {
+    }
+
+    Pid CreateProcess() override { return next_pid_++; }
+    void DestroyProcess(Pid) override {}
+    void MapRegion(Pid, ProcessAddr, uint64_t, vm::PageKind) override {}
+    void ShareSegment(Pid, unsigned, Pid, unsigned) override {}
+    void Access(const MemRef&) override { ++accesses_; }
+    void OnContextSwitch() override { ++context_switches_; }
+    const sim::MachineConfig& config() const override { return config_; }
+
+    uint64_t accesses() const { return accesses_; }
+    uint64_t context_switches() const { return context_switches_; }
+
+  private:
+    sim::MachineConfig config_;
+    Pid next_pid_ = 1;
+    uint64_t accesses_ = 0;
+    uint64_t context_switches_ = 0;
+};
+
+/**
+ * Appends encoded streams to a trace file.  The magic line and H frame
+ * land at Open; every AppendStream is written and fsync'd whole, so a
+ * killed recorder leaves a file whose complete-stream prefix recovers.
+ * Not thread-safe; core::TraceRecordSession serializes callers.
+ */
+class TraceFileWriter
+{
+  public:
+    TraceFileWriter() = default;
+    ~TraceFileWriter();
+
+    TraceFileWriter(const TraceFileWriter&) = delete;
+    TraceFileWriter& operator=(const TraceFileWriter&) = delete;
+
+    /** Creates/truncates @p path, writes magic + H frame (fsync'd). */
+    bool Open(const std::string& path, std::string* error);
+
+    /** Appends one TraceEncoder::Finish() result (fsync'd whole). */
+    bool AppendStream(const std::string& stream_bytes, std::string* error);
+
+    /** Writes the T trailer frame and closes. */
+    bool Finish(std::string* error);
+
+    bool is_open() const { return fd_ >= 0; }
+
+    /** Streams appended so far. */
+    uint64_t streams() const { return streams_; }
+
+  private:
+    void Close();
+
+    int fd_ = -1;
+    uint64_t streams_ = 0;
+    uint64_t digest_ = 0;
+};
+
+/** One complete, digest-verified stream read back from a trace. */
+struct TraceStream {
+    TraceStreamMeta meta;
+    std::string ops;       ///< Concatenated B payloads (decoded on replay).
+    std::string framed;    ///< The exact S..E frame bytes (re-encoding).
+    uint64_t op_count = 0;
+    uint64_t accesses = 0;
+    uint64_t refs_issued = 0;
+    uint64_t digest = 0;   ///< FNV-1a64 over the B payloads.
+};
+
+/** Outcome of reading a trace file back. */
+struct RecoveredTrace {
+    /// True when the T trailer was present and verified.  False =
+    /// truncated: `streams` holds every stream whose E frame verified;
+    /// the torn tail (and any stream it cut) was dropped.
+    bool complete = false;
+    std::vector<TraceStream> streams;
+    /// Bytes dropped after the last complete stream.
+    uint64_t dropped_bytes = 0;
+    /// One-line human-readable recovery summary.
+    std::string note;
+};
+
+/**
+ * Parses @p bytes as a trace.  Truncation at any byte offset recovers
+ * the complete-stream prefix; corruption (anything truncation cannot
+ * produce, including malformed op payloads behind a valid digest)
+ * returns nullopt with *error set.
+ */
+std::optional<RecoveredTrace> RecoverTraceBytes(const std::string& bytes,
+                                                std::string* error);
+
+/** Reads @p path and recovers it via RecoverTraceBytes. */
+std::optional<RecoveredTrace> RecoverTraceFile(const std::string& path,
+                                               std::string* error);
+
+/**
+ * Renders a complete trace file from framed stream bytes (each entry a
+ * TraceEncoder::Finish() result or a TraceStream::framed).  A complete
+ * file recovered by RecoverTraceBytes re-encodes byte-identically —
+ * the fix-point the fuzzer holds the parser to.
+ */
+std::string EncodeTraceFile(const std::vector<std::string>& stream_frames);
+
+/**
+ * A loaded trace library: the replay side of --replay-trace.  Load
+ * demands a complete file (recover partial ones with `spur_trace
+ * validate` / RecoverTraceFile first); lookups are read-only and
+ * therefore safe from parallel sweep cells.
+ */
+class TraceLibrary
+{
+  public:
+    /** Loads @p path; false + *error on I/O error, corruption, or a
+     *  truncated (trailerless) file. */
+    bool Load(const std::string& path, std::string* error);
+
+    /** Finds a stream by TraceStreamMeta::Identity(), else nullptr. */
+    const TraceStream* Find(const std::string& identity) const;
+
+    const std::vector<TraceStream>& streams() const { return streams_; }
+
+  private:
+    std::vector<TraceStream> streams_;
+};
+
+/** Counters from one replayed stream. */
+struct ReplayStats {
+    uint64_t refs_issued = 0;      ///< The recorded driver clock.
+    uint64_t accesses = 0;
+    uint64_t context_switches = 0;
+    uint64_t processes = 0;        ///< Processes created during replay.
+};
+
+/**
+ * Replays one stream against @p host, issuing every recorded operation
+ * in order (accesses are batched through AccessBatch, which the host
+ * contract makes equivalent to the per-reference loop).  Fatal on a
+ * page/block geometry mismatch with the host.
+ */
+ReplayStats ReplayStream(const TraceStream& stream, WorkloadHost& host);
+
+/**
+ * Loads @p path (Fatal on error or a truncated file) and replays every
+ * stream in file order.  Convenience for examples and spur_trace.
+ */
+ReplayStats ReplayTrace(const std::string& path, WorkloadHost& host);
 
 }  // namespace spur::workload
 

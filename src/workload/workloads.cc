@@ -302,4 +302,211 @@ MakeDevMachine(double intensity)
     return spec;
 }
 
+// ---------------------------------------------------------------------------
+// The scenario library (workloads.h): VAC-stress scripts beyond the
+// paper.  Budgets and knobs are chosen so each scenario exaggerates one
+// flush/teardown axis while staying inside the 5-8 MB memories the
+// Table 3.x benches sweep.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** A small interactive process for the ctx-switch scenario. */
+ProcessProfile
+InteractiveProfile(const char* name, uint32_t heap_pages)
+{
+    ProcessProfile p;
+    p.name = name;
+    p.code_pages = 40;
+    p.data_pages = 36;
+    p.heap_pages = heap_pages;
+    p.stack_pages = 8;
+    p.frac_ifetch = 0.72;
+    p.w_seq_read = 1.0;
+    p.w_seq_write = 0.5;
+    p.w_rmw = 0.08;
+    p.w_scan_update = 0.04;
+    p.w_rand = 1.4;
+    p.w_file_write = 0.12;
+    p.rand_write_frac = 0.08;
+    p.heap_ws_pages = heap_pages / 2;
+    p.ws_slide_prob = 4e-4;
+    p.code_ws_pages = 16;
+    p.lifetime_refs = 0;  // Sessions last the whole script.
+    return p;
+}
+
+/** A short-lived writer that dirties most of what it touches. */
+ProcessProfile
+DirtyBurstProfile(const char* name)
+{
+    ProcessProfile p;
+    p.name = name;
+    p.code_pages = 36;
+    p.data_pages = 160;   // The output files it streams.
+    p.heap_pages = 200;   // Scratch buffers, freshly allocated.
+    p.stack_pages = 8;
+    p.frac_ifetch = 0.62;
+    p.w_seq_read = 0.6;
+    p.w_seq_write = 2.0;   // Allocation front: zfod pages.
+    p.w_rmw = 0.06;
+    p.w_scan_update = 0.30;  // Read-then-write-back passes.
+    p.w_rand = 0.5;
+    p.w_file_write = 2.6;  // The storm: streaming dirty output.
+    p.rand_write_frac = 0.15;
+    p.file_reread_frac = 0.10;  // Nearly everything stays dirty.
+    p.heap_ws_pages = 120;
+    p.ws_slide_prob = 1.5e-3;
+    p.code_ws_pages = 14;
+    p.lifetime_refs = 150'000;  // Exit fast: teardown IS the workload.
+    return p;
+}
+
+/** One request handler in the server-churn scenario. */
+ProcessProfile
+HandlerProfile()
+{
+    ProcessProfile p;
+    p.name = "handler";
+    p.code_pages = 90;    // Shared with every sibling (sticky text).
+    p.data_pages = 48;    // The request and response buffers.
+    p.heap_pages = 110;   // Per-request allocation: zfod churn.
+    p.stack_pages = 10;
+    p.frac_ifetch = 0.68;
+    p.w_seq_read = 1.0;
+    p.w_seq_write = 1.6;
+    p.w_rmw = 0.08;
+    p.w_scan_update = 0.06;
+    p.w_rand = 1.1;
+    p.w_file_write = 0.9;   // Writing the reply.
+    p.rand_write_frac = 0.09;
+    p.heap_ws_pages = 60;
+    p.ws_slide_prob = 1e-3;
+    p.code_ws_pages = 24;
+    p.lifetime_refs = 90'000;  // One request's worth of work.
+    return p;
+}
+
+}  // namespace
+
+WorkloadSpec
+MakeCtxSwitchHeavy()
+{
+    WorkloadSpec spec;
+    spec.name = "ctx-switch";
+    // The stress is the schedule, not the footprints: a dozen small
+    // long-lived processes on a ~13x shorter quantum than the paper
+    // workloads, so per-switch costs (context flushes, cache
+    // repopulation) stop amortizing.
+    spec.slice_refs = 1500;
+    spec.jobs.push_back(JobSpec{InteractiveProfile("xterm", 56), 0, 4, 0});
+    spec.jobs.push_back(
+        JobSpec{InteractiveProfile("editor", 80), 10'000, 3, 0});
+    spec.jobs.push_back(
+        JobSpec{InteractiveProfile("repl", 64), 20'000, 3, 0});
+    // Two monitors add spawn/teardown seasoning without dominating.
+    spec.jobs.push_back(JobSpec{MonitorProfile("vmstat"), 0, 1, 300'000,
+                                /*share_text=*/true, /*share_data=*/true});
+    spec.jobs.push_back(JobSpec{MonitorProfile("top"), 150'000, 1,
+                                300'000, /*share_text=*/true,
+                                /*share_data=*/true});
+    return spec;
+}
+
+WorkloadSpec
+MakeFlushStorm()
+{
+    WorkloadSpec spec;
+    spec.name = "flush-storm";
+    // A resident coordinator keeps baseline pressure on the cache.
+    ProcessProfile master = EspressoProfile();
+    master.name = "build-master";
+    master.heap_pages = 300;
+    master.heap_ws_pages = 160;
+    spec.jobs.push_back(JobSpec{master, 0, 1, 0});
+    // The storm: four concurrent short-lived writers, respawning
+    // almost immediately — every ~40k refs some process exits with
+    // hundreds of dirty pages to flush and free.
+    spec.jobs.push_back(
+        JobSpec{DirtyBurstProfile("burst-writer"), 20'000, 4, 30'000});
+    // A slower wave with bigger output, out of phase with the first.
+    ProcessProfile heavy = DirtyBurstProfile("burst-heavy");
+    heavy.data_pages = 260;
+    heavy.lifetime_refs = 320'000;
+    spec.jobs.push_back(JobSpec{heavy, 250'000, 2, 120'000});
+    return spec;
+}
+
+WorkloadSpec
+MakeServerChurn()
+{
+    WorkloadSpec spec;
+    spec.name = "server-churn";
+    // The frontend: long-lived, read-mostly, owns the shared text the
+    // handlers reuse across their short lives.
+    ProcessProfile frontend;
+    frontend.name = "frontend";
+    frontend.code_pages = 140;
+    frontend.data_pages = 120;
+    frontend.heap_pages = 260;
+    frontend.stack_pages = 12;
+    frontend.frac_ifetch = 0.71;
+    frontend.w_seq_read = 1.2;
+    frontend.w_seq_write = 0.4;
+    frontend.w_rmw = 0.08;
+    frontend.w_scan_update = 0.05;
+    frontend.w_rand = 1.5;
+    frontend.w_file_write = 0.25;
+    frontend.heap_ws_pages = 150;
+    frontend.ws_slide_prob = 3e-4;
+    frontend.code_ws_pages = 32;
+    frontend.lifetime_refs = 0;
+    spec.jobs.push_back(JobSpec{frontend, 0, 1, 0});
+    // Six concurrent handlers, respawning ~9 lifetimes per million
+    // refs each: address-space creation/teardown as the steady state.
+    spec.jobs.push_back(JobSpec{HandlerProfile(), 5'000, 6, 10'000});
+    // An access logger appending continuously (steady dirty trickle).
+    ProcessProfile logger = MonitorProfile("access-log");
+    logger.w_file_write = 0.9;
+    logger.lifetime_refs = 0;
+    spec.jobs.push_back(JobSpec{logger, 0, 1, 0});
+    return spec;
+}
+
+WorkloadSpec
+MakeGcSweep()
+{
+    WorkloadSpec spec;
+    spec.name = "gc-sweep";
+    // The Lisp image: a ~7 MB heap walked linearly by the collector
+    // (scan_update reads a run of blocks and writes survivors back)
+    // while the allocation front keeps minting zero-fill pages.  The
+    // working-set window is small but slides fast, which is what makes
+    // the walk linear rather than Zipf-resident.
+    ProcessProfile image;
+    image.name = "gc-image";
+    image.code_pages = 200;
+    image.data_pages = 120;
+    image.heap_pages = 1700;
+    image.stack_pages = 20;
+    image.frac_ifetch = 0.64;
+    image.w_seq_read = 0.4;
+    image.w_seq_write = 0.9;     // The allocation front (N_zfod).
+    image.w_rmw = 0.05;
+    image.w_scan_update = 1.3;   // The sweep itself dominates data refs.
+    image.w_rand = 0.6;
+    image.w_file_write = 0.15;
+    image.rand_write_frac = 0.10;
+    image.heap_ws_pages = 280;
+    image.ws_slide_prob = 4e-3;  // Advance the sweep window briskly.
+    image.code_ws_pages = 36;
+    image.lifetime_refs = 0;
+    spec.jobs.push_back(JobSpec{image, 0, 1, 0});
+    // A mutator thread of work (the program the GC serves).
+    ProcessProfile mutator = LispCompileProfile();
+    mutator.name = "gc-mutator";
+    spec.jobs.push_back(JobSpec{mutator, 40'000, 1, 150'000});
+    return spec;
+}
+
 }  // namespace spur::workload

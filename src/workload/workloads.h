@@ -40,6 +40,46 @@ WorkloadSpec MakeSlc();
  */
 WorkloadSpec MakeDevMachine(double intensity);
 
+// ---------------------------------------------------------------------------
+// The scenario library (DESIGN.md §19): scripts modeled on real VAC
+// management beyond the paper's two workloads.  SPARC's vac-ops.h (see
+// ROADMAP.md) names the three flush granularities a VAC kernel lives
+// by — context, segment and page flushes — and each scenario leans on
+// one of them.
+// ---------------------------------------------------------------------------
+
+/**
+ * Context-switch-heavy: a dozen small interactive processes scheduled
+ * on a deliberately short quantum (WorkloadSpec::slice_refs), so
+ * context switches — and the context-flush work they imply — dominate
+ * instead of amortizing away.
+ */
+WorkloadSpec MakeCtxSwitchHeavy();
+
+/**
+ * Flush-storm: waves of short-lived processes that dirty most of what
+ * they touch (output files, scan-update passes) and then exit, so page
+ * teardown arrives in bursts — the segment/page flush storms of SPARC's
+ * vac_flush_segment/vac_flush_page paths.
+ */
+WorkloadSpec MakeFlushStorm();
+
+/**
+ * Multi-tenant server churn: one long-lived frontend whose text every
+ * short-lived request handler shares (Sprite's sticky text), with
+ * handlers respawning fast enough that address-space creation and
+ * teardown is the steady state, as on a busy timesharing host.
+ */
+WorkloadSpec MakeServerChurn();
+
+/**
+ * GC-sweep: a Lisp image whose collector walks a multi-megabyte heap
+ * linearly — read a page, write back its survivors, advance — on top
+ * of an allocation front that keeps producing zero-fill pages (the
+ * N_zfod machinery at its worst).
+ */
+WorkloadSpec MakeGcSweep();
+
 /** Default reference budget for one WORKLOAD1 run. */
 inline constexpr uint64_t kWorkload1Refs = 24'000'000;
 
@@ -48,6 +88,18 @@ inline constexpr uint64_t kSlcRefs = 20'000'000;
 
 /** Default reference budget for one dev-machine observation window. */
 inline constexpr uint64_t kDevMachineRefs = 30'000'000;
+
+/** Default reference budget for one ctx-switch run. */
+inline constexpr uint64_t kCtxSwitchRefs = 16'000'000;
+
+/** Default reference budget for one flush-storm run. */
+inline constexpr uint64_t kFlushStormRefs = 16'000'000;
+
+/** Default reference budget for one server-churn run. */
+inline constexpr uint64_t kServerChurnRefs = 18'000'000;
+
+/** Default reference budget for one gc-sweep run. */
+inline constexpr uint64_t kGcSweepRefs = 20'000'000;
 
 }  // namespace spur::workload
 

@@ -27,10 +27,13 @@
 #include <vector>
 
 #include "src/common/random.h"
+#include "src/common/types.h"
 #include "src/stats/run_record.h"
 #include "src/sweep/json.h"
 #include "src/sweep/merge.h"
 #include "src/sweep/stream.h"
+#include "src/vm/region.h"
+#include "src/workload/trace.h"
 
 namespace spur::sweep {
 namespace {
@@ -292,6 +295,124 @@ TEST(StreamFuzzTest, EveryPrefixOfCorpusStreamRecovers)
         ASSERT_TRUE(recovered.has_value())
             << "cut at byte " << cut << ": " << error;
         EXPECT_FALSE(recovered->complete) << "cut at byte " << cut;
+    }
+}
+
+// ---- SPUR-TRACE/1 (src/workload/trace.h) ------------------------------
+
+/**
+ * A two-stream trace library, hand-scripted through the encoder (no
+ * driver in the hot fuzz path): shares, destroys, pid renames, and
+ * address deltas in both directions, so the mutator has every frame
+ * kind and opcode to chew on.
+ */
+std::string
+CorpusTrace()
+{
+    workload::TraceStreamMeta meta;
+    meta.workload = "fuzz-a";
+    meta.seed = 7;
+    meta.refs = 5;
+    meta.page_bytes = 4096;
+    meta.block_bytes = 32;
+    workload::TraceEncoder first(meta);
+    first.OnCreateProcess(12);
+    first.OnMapRegion(12, 0x80000000, 0x4000, vm::PageKind::kHeap);
+    first.OnAccess(MemRef{12, 0x80000100, AccessType::kWrite});
+    first.OnAccess(MemRef{12, 0x80000080, AccessType::kRead});
+    first.OnContextSwitch();
+    first.OnCreateProcess(3);
+    first.OnShareSegment(3, 0, 12, 0);
+    first.OnAccess(MemRef{3, 0x00000040, AccessType::kIFetch});
+    first.OnDestroyProcess(3);
+    first.OnAccess(MemRef{12, 0x80000084, AccessType::kRead});
+
+    workload::TraceStreamMeta second_meta = meta;
+    second_meta.workload = "fuzz-b";
+    second_meta.seed = 18446744073709551615ULL;
+    second_meta.intensity = 1.85;
+    workload::TraceEncoder second(second_meta);
+    second.OnCreateProcess(1);
+    second.OnMapRegion(1, 0xC0000000, 0x1000, vm::PageKind::kStack);
+    second.OnAccess(MemRef{1, 0xC0000FF8, AccessType::kWrite});
+    second.OnContextSwitch();
+    second.OnAccess(MemRef{1, 0xC0000FF0, AccessType::kWrite});
+
+    return workload::EncodeTraceFile(
+        {first.Finish(5), second.Finish(3)});
+}
+
+TEST(TraceFuzzTest, RecoverNeverCrashesAndAcceptedInputsAreFixpoints)
+{
+    const std::string corpus = CorpusTrace();
+    {
+        // The unmutated corpus is complete and re-encodes to itself.
+        std::string error;
+        const auto recovered =
+            workload::RecoverTraceBytes(corpus, &error);
+        ASSERT_TRUE(recovered.has_value()) << error;
+        EXPECT_TRUE(recovered->complete);
+        ASSERT_EQ(recovered->streams.size(), 2u);
+        EXPECT_EQ(workload::EncodeTraceFile(
+                      {recovered->streams[0].framed,
+                       recovered->streams[1].framed}),
+                  corpus);
+    }
+    Rng rng(0x5eed0003);
+    const uint64_t iterations = Iterations();
+    uint64_t accepted = 0;
+    for (uint64_t i = 0; i < iterations; ++i) {
+        std::string input = corpus;
+        const uint64_t rounds = 1 + rng.NextBelow(4);
+        for (uint64_t round = 0; round < rounds; ++round) {
+            input = Mutate(std::move(input), rng);
+        }
+        std::string error;
+        const auto recovered =
+            workload::RecoverTraceBytes(input, &error);
+        if (!recovered) {
+            EXPECT_FALSE(error.empty()) << "iteration " << i;
+            continue;
+        }
+        ++accepted;
+        // Whatever recovers must re-encode into a complete file that
+        // recovers again with the same streams — and a mutant accepted
+        // as *complete* must be byte-identical under re-encoding (the
+        // strict-parse fixpoint).
+        std::vector<std::string> frames;
+        for (const workload::TraceStream& stream : recovered->streams) {
+            frames.push_back(stream.framed);
+        }
+        const std::string reencoded = workload::EncodeTraceFile(frames);
+        if (recovered->complete) {
+            EXPECT_EQ(reencoded, input) << "iteration " << i;
+        }
+        std::string again_error;
+        const auto again =
+            workload::RecoverTraceBytes(reencoded, &again_error);
+        ASSERT_TRUE(again.has_value())
+            << "iteration " << i << ": " << again_error;
+        EXPECT_TRUE(again->complete) << "iteration " << i;
+        EXPECT_EQ(again->streams.size(), recovered->streams.size())
+            << "iteration " << i;
+    }
+    // The mutator must not be so destructive that nothing parses.
+    EXPECT_GT(accepted, 0u);
+}
+
+TEST(TraceFuzzTest, EveryPrefixOfCorpusTraceRecovers)
+{
+    // Truncation at any byte offset — a killed recorder — must recover
+    // the complete-stream prefix, never hard-error.
+    const std::string corpus = CorpusTrace();
+    for (size_t cut = 0; cut < corpus.size(); ++cut) {
+        std::string error;
+        const auto recovered = workload::RecoverTraceBytes(
+            corpus.substr(0, cut), &error);
+        ASSERT_TRUE(recovered.has_value())
+            << "cut at byte " << cut << ": " << error;
+        EXPECT_FALSE(recovered->complete) << "cut at byte " << cut;
+        EXPECT_LE(recovered->streams.size(), 2u) << "cut at byte " << cut;
     }
 }
 

@@ -1,112 +1,241 @@
 /**
  * @file
- * Tests for trace recording and replay: format round-trip, corruption
- * detection, and the determinism property that replaying a recorded
- * stream reproduces the recording system's cache statistics.
+ * Tests for the SPUR-TRACE/1 substrate (src/workload/trace.h): format
+ * round-trip through the file writer and library, host-independent
+ * recording (pid normalization), truncation-vs-corruption recovery,
+ * golden byte fixtures, and the determinism property that replaying a
+ * recorded stream reproduces the recording system's cache statistics.
+ *
+ * Every test gets its own mkdtemp directory: testing::TempDir() alone
+ * is shared across parallel ctest invocations of this binary, and the
+ * old fixed file names collided.
  */
 #include <gtest/gtest.h>
 
+#include <stdlib.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/core/system.h"
-#include "src/workload/process.h"
 #include "src/workload/trace.h"
+#include "src/workload/workloads.h"
 
 namespace spur::workload {
 namespace {
 
-std::string
-TempPath(const char* name)
+/** A per-test unique directory (mkdtemp), removed on destruction. */
+class ScopedTempDir
 {
-    return testing::TempDir() + "/" + name;
-}
-
-TEST(TraceTest, RoundTripsRecords)
-{
-    const std::string path = TempPath("roundtrip.trc");
+  public:
+    ScopedTempDir()
     {
-        TraceWriter writer(path);
-        writer.Append(MemRef{1, 0x1234, AccessType::kRead});
-        writer.Append(MemRef{2, 0xFFFFFFF0, AccessType::kWrite});
-        writer.Append(MemRef{0, 0x0, AccessType::kIFetch});
-        EXPECT_EQ(writer.count(), 3u);
+        std::string templ = testing::TempDir();
+        if (templ.empty() || templ.back() != '/') {
+            templ += '/';
+        }
+        templ += "spur_trace_XXXXXX";
+        std::vector<char> buf(templ.begin(), templ.end());
+        buf.push_back('\0');
+        const char* made = mkdtemp(buf.data());
+        EXPECT_NE(made, nullptr) << templ;
+        dir_ = (made != nullptr) ? made : testing::TempDir();
     }
-    TraceReader reader(path);
-    EXPECT_EQ(reader.count(), 3u);
-    MemRef ref;
-    ASSERT_TRUE(reader.Next(&ref));
-    EXPECT_EQ(ref.pid, 1u);
-    EXPECT_EQ(ref.addr, 0x1234u);
-    EXPECT_EQ(ref.type, AccessType::kRead);
-    ASSERT_TRUE(reader.Next(&ref));
-    EXPECT_EQ(ref.pid, 2u);
-    EXPECT_EQ(ref.addr, 0xFFFFFFF0u);
-    EXPECT_EQ(ref.type, AccessType::kWrite);
-    ASSERT_TRUE(reader.Next(&ref));
-    EXPECT_EQ(ref.type, AccessType::kIFetch);
-    EXPECT_FALSE(reader.Next(&ref));
+
+    ~ScopedTempDir()
+    {
+        for (const std::string& path : files_) {
+            std::remove(path.c_str());
+        }
+        rmdir(dir_.c_str());
+    }
+
+    /** A path inside the directory, removed with it. */
+    std::string Path(const std::string& name)
+    {
+        files_.push_back(dir_ + "/" + name);
+        return files_.back();
+    }
+
+  private:
+    std::string dir_;
+    std::vector<std::string> files_;
+};
+
+std::string
+ReadFile(const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr) << path;
+    std::string bytes;
+    if (f != nullptr) {
+        char buf[4096];
+        size_t n;
+        while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+            bytes.append(buf, n);
+        }
+        std::fclose(f);
+    }
+    return bytes;
 }
 
-TEST(TraceTest, EmptyTrace)
+void
+WriteFile(const std::string& path, const std::string& bytes)
 {
-    const std::string path = TempPath("empty.trc");
-    { TraceWriter writer(path); }
-    TraceReader reader(path);
-    EXPECT_EQ(reader.count(), 0u);
-    MemRef ref;
-    EXPECT_FALSE(reader.Next(&ref));
-}
-
-TEST(TraceDeathTest, RejectsMissingFile)
-{
-    EXPECT_EXIT({ TraceReader reader("/nonexistent/nope.trc"); },
-                testing::ExitedWithCode(1), "cannot open");
-}
-
-TEST(TraceDeathTest, RejectsBadMagic)
-{
-    const std::string path = TempPath("bad.trc");
     std::FILE* f = std::fopen(path.c_str(), "wb");
-    std::fwrite("NOTATRACEFILE...", 1, 16, f);
+    ASSERT_NE(f, nullptr) << path;
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
     std::fclose(f);
-    EXPECT_EXIT({ TraceReader reader(path); }, testing::ExitedWithCode(1),
-                "not a SPUR trace");
+}
+
+TraceStreamMeta
+MetaFor(const std::string& workload, uint64_t seed, uint64_t refs)
+{
+    const sim::MachineConfig config = sim::MachineConfig::Prototype(8);
+    TraceStreamMeta meta;
+    meta.workload = workload;
+    meta.seed = seed;
+    meta.refs = refs;
+    meta.page_bytes = config.page_bytes;
+    meta.block_bytes = config.block_bytes;
+    return meta;
+}
+
+struct Recorded {
+    std::string framed;
+    uint64_t refs_issued = 0;
+    uint64_t ops = 0;
+    uint64_t accesses = 0;
+};
+
+/** Records @p spec against @p host per the RunOnce recording recipe. */
+Recorded
+Record(const TraceStreamMeta& meta, WorkloadSpec spec, WorkloadHost& host)
+{
+    TraceEncoder encoder(meta);
+    RecordingHost recorder(host, encoder);
+    const uint32_t slice_refs = spec.slice_refs;
+    Driver driver(recorder, std::move(spec), meta.refs, meta.seed,
+                  slice_refs);
+    driver.Run();
+    recorder.StopRecording();
+    Recorded r;
+    r.refs_issued = driver.refs_issued();
+    r.ops = encoder.ops();
+    r.accesses = encoder.accesses();
+    r.framed = encoder.Finish(r.refs_issued);
+    return r;
+}
+
+TEST(TraceTest, RoundTripsThroughFileAndLibrary)
+{
+    ScopedTempDir tmp;
+    const std::string path = tmp.Path("roundtrip.trc");
+    const TraceStreamMeta meta = MetaFor("ctx-switch", 7, 120'000);
+    CountingHost counting(sim::MachineConfig::Prototype(8));
+    const Recorded rec = Record(meta, MakeCtxSwitchHeavy(), counting);
+
+    TraceFileWriter writer;
+    std::string error;
+    ASSERT_TRUE(writer.Open(path, &error)) << error;
+    ASSERT_TRUE(writer.AppendStream(rec.framed, &error)) << error;
+    EXPECT_EQ(writer.streams(), 1u);
+    ASSERT_TRUE(writer.Finish(&error)) << error;
+
+    TraceLibrary library;
+    ASSERT_TRUE(library.Load(path, &error)) << error;
+    ASSERT_EQ(library.streams().size(), 1u);
+    const TraceStream* stream = library.Find(meta.Identity());
+    ASSERT_NE(stream, nullptr);
+    EXPECT_EQ(stream->meta.Identity(), meta.Identity());
+    EXPECT_EQ(stream->op_count, rec.ops);
+    EXPECT_EQ(stream->accesses, rec.accesses);
+    EXPECT_EQ(stream->refs_issued, rec.refs_issued);
+    EXPECT_EQ(stream->framed, rec.framed);
+
+    // Replay into a fresh counts-only host: same call counts.
+    CountingHost replayed(sim::MachineConfig::Prototype(8));
+    const ReplayStats stats = ReplayStream(*stream, replayed);
+    EXPECT_EQ(stats.refs_issued, rec.refs_issued);
+    EXPECT_EQ(stats.accesses, rec.accesses);
+    EXPECT_EQ(replayed.accesses(), counting.accesses());
+    EXPECT_EQ(replayed.context_switches(), counting.context_switches());
+}
+
+TEST(TraceTest, RecordingIsDeterministic)
+{
+    const TraceStreamMeta meta = MetaFor("flush-storm", 11, 100'000);
+    CountingHost a(sim::MachineConfig::Prototype(8));
+    CountingHost b(sim::MachineConfig::Prototype(8));
+    const Recorded first = Record(meta, MakeFlushStorm(), a);
+    const Recorded second = Record(meta, MakeFlushStorm(), b);
+    EXPECT_EQ(first.framed, second.framed);
+    EXPECT_EQ(first.refs_issued, second.refs_issued);
+}
+
+TEST(TraceTest, RecordingIsHostIndependent)
+{
+    // Pid normalization: the live machine and the counts-only host
+    // assign pids differently, but the trace bytes must not see it.
+    const sim::MachineConfig config = sim::MachineConfig::Prototype(8);
+    const TraceStreamMeta meta = MetaFor("ctx-switch", 3, 80'000);
+    CountingHost counting(config);
+    const Recorded counted = Record(meta, MakeCtxSwitchHeavy(), counting);
+    core::SpurSystem live(config, policy::DirtyPolicyKind::kSpur,
+                          policy::RefPolicyKind::kMiss);
+    const Recorded simulated = Record(meta, MakeCtxSwitchHeavy(), live);
+    EXPECT_EQ(counted.framed, simulated.framed);
+}
+
+TEST(TraceTest, EmptyTraceRoundTrips)
+{
+    ScopedTempDir tmp;
+    const std::string path = tmp.Path("empty.trc");
+    TraceFileWriter writer;
+    std::string error;
+    ASSERT_TRUE(writer.Open(path, &error)) << error;
+    ASSERT_TRUE(writer.Finish(&error)) << error;
+    EXPECT_EQ(ReadFile(path), EncodeTraceFile({}));
+
+    TraceLibrary library;
+    ASSERT_TRUE(library.Load(path, &error)) << error;
+    EXPECT_TRUE(library.streams().empty());
 }
 
 TEST(TraceTest, ReplayReproducesRecordedRunStatistics)
 {
-    // Record a synthetic process's stream while running it, then replay
-    // the trace on a fresh identical machine: the cache statistics must
-    // match exactly (the trace-driven methodology's repeatability).
-    const std::string path = TempPath("replay.trc");
+    // Record a live run's op stream, then replay the trace on a fresh
+    // identical machine: the cache statistics must match exactly (the
+    // trace-driven methodology's repeatability).
+    ScopedTempDir tmp;
+    const std::string path = tmp.Path("replay.trc");
     const sim::MachineConfig config = sim::MachineConfig::Prototype(8);
+    const TraceStreamMeta meta = MetaFor("flush-storm", 77, 200'000);
 
     uint64_t live_misses = 0;
     uint64_t live_dirty_faults = 0;
+    uint64_t live_refs = 0;
     {
         core::SpurSystem live(config, policy::DirtyPolicyKind::kSpur,
                               policy::RefPolicyKind::kMiss);
-        ProcessProfile profile;
-        profile.heap_pages = 64;
-        profile.data_pages = 32;
-        profile.code_pages = 16;
-        SyntheticProcess process(live, profile, 77);
-        TraceWriter writer(path);
-        for (int i = 0; i < 200'000; ++i) {
-            const MemRef ref = process.Next();
-            writer.Append(ref);
-            live.Access(ref);
-        }
+        const Recorded rec = Record(meta, MakeFlushStorm(), live);
         live_misses = live.events().TotalMisses();
         live_dirty_faults = live.events().Get(sim::Event::kDirtyFault);
+        live_refs = rec.refs_issued;
+        TraceFileWriter writer;
+        std::string error;
+        ASSERT_TRUE(writer.Open(path, &error)) << error;
+        ASSERT_TRUE(writer.AppendStream(rec.framed, &error)) << error;
+        ASSERT_TRUE(writer.Finish(&error)) << error;
     }
 
     core::SpurSystem replayed(config, policy::DirtyPolicyKind::kSpur,
                               policy::RefPolicyKind::kMiss);
-    const uint64_t n = ReplayTrace(path, replayed);
-    EXPECT_EQ(n, 200'000u);
-    EXPECT_EQ(replayed.events().TotalRefs(), 200'000u);
+    const ReplayStats stats = ReplayTrace(path, replayed);
+    EXPECT_EQ(stats.refs_issued, live_refs);
     EXPECT_EQ(replayed.events().TotalMisses(), live_misses);
     EXPECT_EQ(replayed.events().Get(sim::Event::kDirtyFault),
               live_dirty_faults);
@@ -115,18 +244,18 @@ TEST(TraceTest, ReplayReproducesRecordedRunStatistics)
 TEST(TraceTest, ReplayUnderDifferentPolicyDiffers)
 {
     // The point of traces: the same stream, a different policy.
-    const std::string path = TempPath("policy.trc");
+    ScopedTempDir tmp;
+    const std::string path = tmp.Path("policy.trc");
     const sim::MachineConfig config = sim::MachineConfig::Prototype(8);
+    const TraceStreamMeta meta = MetaFor("flush-storm", 99, 150'000);
     {
-        core::SpurSystem live(config, policy::DirtyPolicyKind::kSpur,
-                              policy::RefPolicyKind::kMiss);
-        ProcessProfile profile;
-        profile.heap_pages = 64;
-        SyntheticProcess process(live, profile, 99);
-        TraceWriter writer(path);
-        for (int i = 0; i < 100'000; ++i) {
-            writer.Append(process.Next());
-        }
+        CountingHost counting(config);
+        const Recorded rec = Record(meta, MakeFlushStorm(), counting);
+        TraceFileWriter writer;
+        std::string error;
+        ASSERT_TRUE(writer.Open(path, &error)) << error;
+        ASSERT_TRUE(writer.AppendStream(rec.framed, &error)) << error;
+        ASSERT_TRUE(writer.Finish(&error)) << error;
     }
     core::SpurSystem fault_system(config, policy::DirtyPolicyKind::kFault,
                                   policy::RefPolicyKind::kMiss);
@@ -139,6 +268,165 @@ TEST(TraceTest, ReplayUnderDifferentPolicyDiffers)
     EXPECT_EQ(spur_system.events().Get(sim::Event::kExcessFault), 0u);
     EXPECT_EQ(fault_system.events().Get(sim::Event::kExcessFault),
               spur_system.events().Get(sim::Event::kDirtyBitMiss));
+}
+
+TEST(TraceTest, TruncationRecoversCompletePrefix)
+{
+    const TraceStreamMeta meta_a = MetaFor("ctx-switch", 1, 60'000);
+    const TraceStreamMeta meta_b = MetaFor("gc-sweep", 2, 60'000);
+    CountingHost host_a(sim::MachineConfig::Prototype(8));
+    CountingHost host_b(sim::MachineConfig::Prototype(8));
+    const Recorded a = Record(meta_a, MakeCtxSwitchHeavy(), host_a);
+    const Recorded b = Record(meta_b, MakeGcSweep(), host_b);
+    const std::string file = EncodeTraceFile({a.framed, b.framed});
+
+    // Cut mid-way through the second stream: the first one survives.
+    const size_t first_end = file.find(a.framed) + a.framed.size();
+    const size_t cut = first_end + b.framed.size() / 2;
+    std::string error;
+    const auto recovered =
+        RecoverTraceBytes(file.substr(0, cut), &error);
+    ASSERT_TRUE(recovered.has_value()) << error;
+    EXPECT_FALSE(recovered->complete);
+    ASSERT_EQ(recovered->streams.size(), 1u);
+    EXPECT_EQ(recovered->streams[0].meta.Identity(), meta_a.Identity());
+    EXPECT_GT(recovered->dropped_bytes, 0u);
+    EXPECT_FALSE(recovered->note.empty());
+
+    // Cut exactly after both streams (trailer torn off): both survive,
+    // and re-encoding the recovered streams reproduces the whole file.
+    const auto trailerless = RecoverTraceBytes(
+        file.substr(0, first_end + b.framed.size()), &error);
+    ASSERT_TRUE(trailerless.has_value()) << error;
+    EXPECT_FALSE(trailerless->complete);
+    ASSERT_EQ(trailerless->streams.size(), 2u);
+    EXPECT_EQ(EncodeTraceFile({trailerless->streams[0].framed,
+                               trailerless->streams[1].framed}),
+              file);
+
+    // A truncated file is not loadable — the library demands recovery.
+    ScopedTempDir tmp;
+    const std::string path = tmp.Path("truncated.trc");
+    WriteFile(path, file.substr(0, cut));
+    TraceLibrary library;
+    EXPECT_FALSE(library.Load(path, &error));
+    EXPECT_NE(error.find("spur_trace validate"), std::string::npos)
+        << error;
+}
+
+TEST(TraceTest, CorruptionIsAHardError)
+{
+    const TraceStreamMeta meta = MetaFor("ctx-switch", 5, 60'000);
+    CountingHost host(sim::MachineConfig::Prototype(8));
+    const Recorded rec = Record(meta, MakeCtxSwitchHeavy(), host);
+    std::string file = EncodeTraceFile({rec.framed});
+
+    // Flip one op byte behind the length prefix: the stream digest no
+    // longer agrees, which truncation can never explain.
+    const size_t b_frame = file.find("\nB ");
+    ASSERT_NE(b_frame, std::string::npos);
+    const size_t payload = file.find('\n', b_frame + 1) + 1;
+    file[payload + 10] = static_cast<char>(file[payload + 10] ^ 0x40);
+    std::string error;
+    EXPECT_FALSE(RecoverTraceBytes(file, &error).has_value());
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(TraceDeathTest, RejectsMissingFile)
+{
+    CountingHost host(sim::MachineConfig::Prototype(8));
+    EXPECT_EXIT(ReplayTrace("/nonexistent/nope.trc", host),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceDeathTest, RejectsBadMagic)
+{
+    ScopedTempDir tmp;
+    const std::string path = tmp.Path("bad.trc");
+    WriteFile(path, "NOTATRACEFILE...");
+    CountingHost host(sim::MachineConfig::Prototype(8));
+    EXPECT_EXIT(ReplayTrace(path, host), testing::ExitedWithCode(1),
+                "not a SPUR-TRACE/1");
+}
+
+TEST(TraceDeathTest, RejectsGeometryMismatch)
+{
+    ScopedTempDir tmp;
+    const std::string path = tmp.Path("geometry.trc");
+    const TraceStreamMeta meta = MetaFor("ctx-switch", 5, 60'000);
+    CountingHost host(sim::MachineConfig::Prototype(8));
+    const Recorded rec = Record(meta, MakeCtxSwitchHeavy(), host);
+    WriteFile(path, EncodeTraceFile({rec.framed}));
+
+    sim::MachineConfig other = sim::MachineConfig::Prototype(8);
+    other.page_bytes *= 2;
+    CountingHost mismatched(other);
+    EXPECT_EXIT(ReplayTrace(path, mismatched),
+                testing::ExitedWithCode(1), "recorded at page/block");
+}
+
+// ---- Golden files -----------------------------------------------------
+
+/**
+ * Compares produced trace bytes against a checked-in golden.  An
+ * intentional format change regenerates them with SPUR_UPDATE_GOLDEN=1
+ * (and is a schema event: bump kTraceVersion).
+ */
+void
+CheckGolden(const std::string& name, const std::string& produced)
+{
+    const std::string golden_path =
+        std::string(SPUR_SOURCE_ROOT) + "/tests/golden/" + name;
+    if (std::getenv("SPUR_UPDATE_GOLDEN") != nullptr) {
+        WriteFile(golden_path, produced);
+    }
+    EXPECT_EQ(produced, ReadFile(golden_path))
+        << name << " drifted from tests/golden/ — if intentional, bump "
+        << "kTraceVersion and rerun with SPUR_UPDATE_GOLDEN=1";
+}
+
+TEST(TraceGoldenTest, EmptyTraceMatchesGolden)
+{
+    CheckGolden("trace_empty", EncodeTraceFile({}));
+}
+
+/** A tiny hand-scripted stream, independent of any workload tuning. */
+std::string
+GoldenStream()
+{
+    TraceStreamMeta meta;
+    meta.workload = "golden";
+    meta.seed = 42;
+    meta.refs = 6;
+    meta.page_bytes = 4096;
+    meta.block_bytes = 32;
+    TraceEncoder encoder(meta);
+    encoder.OnCreateProcess(9);  // Host pid 9 normalizes to trace pid 0.
+    encoder.OnMapRegion(9, 0x40000000, 0x2000, vm::PageKind::kData);
+    encoder.OnAccess(MemRef{9, 0x40000010, AccessType::kRead});
+    encoder.OnAccess(MemRef{9, 0x40000014, AccessType::kWrite});
+    encoder.OnContextSwitch();
+    encoder.OnCreateProcess(4);
+    encoder.OnShareSegment(4, 0, 9, 0);
+    encoder.OnAccess(MemRef{4, 0x00000020, AccessType::kIFetch});
+    encoder.OnDestroyProcess(4);
+    return encoder.Finish(6);
+}
+
+TEST(TraceGoldenTest, SmallTraceMatchesGolden)
+{
+    const std::string file = EncodeTraceFile({GoldenStream()});
+    CheckGolden("trace_small", file);
+
+    // The golden bytes must also recover completely and re-encode to
+    // themselves (the parser fix-point the fuzzer generalizes).
+    std::string error;
+    const auto recovered = RecoverTraceBytes(file, &error);
+    ASSERT_TRUE(recovered.has_value()) << error;
+    EXPECT_TRUE(recovered->complete);
+    ASSERT_EQ(recovered->streams.size(), 1u);
+    EXPECT_EQ(recovered->streams[0].accesses, 3u);
+    EXPECT_EQ(EncodeTraceFile({recovered->streams[0].framed}), file);
 }
 
 }  // namespace

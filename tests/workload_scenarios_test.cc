@@ -1,0 +1,268 @@
+/**
+ * @file
+ * The scenario library (DESIGN.md §19): per-scenario determinism (same
+ * seed, same trace bytes), plausibility bounds tying each scenario to
+ * the VAC behaviour it was built to stress, and a RealTreeIsClean-style
+ * registration check that every scenario is wired into run_all.sh and
+ * the bench matrix.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/core/run_trace.h"
+#include "src/core/system.h"
+#include "src/workload/trace.h"
+#include "src/workload/workloads.h"
+
+namespace spur {
+namespace {
+
+constexpr uint64_t kRefs = 2'000'000;
+constexpr uint64_t kSeed = 9;
+
+core::RunConfig
+ConfigFor(core::WorkloadId id)
+{
+    core::RunConfig config;
+    config.workload = id;
+    config.refs = kRefs;
+    config.seed = kSeed;
+    return config;
+}
+
+/** Records @p id's op stream through the counts-only host. */
+std::string
+RecordStream(core::WorkloadId id)
+{
+    const core::RunConfig config = ConfigFor(id);
+    const workload::TraceStreamMeta meta = core::TraceMetaFor(config);
+    workload::WorkloadSpec spec = core::SpecFor(config);
+    const uint32_t slice_refs = spec.slice_refs;
+    workload::CountingHost host(sim::MachineConfig::Prototype(8));
+    workload::TraceEncoder encoder(meta);
+    workload::RecordingHost recorder(host, encoder);
+    workload::Driver driver(recorder, std::move(spec), kRefs, kSeed,
+                            slice_refs);
+    driver.Run();
+    recorder.StopRecording();
+    return encoder.Finish(driver.refs_issued());
+}
+
+/** A live SPUR run of @p id; returns the system's counters by value. */
+struct LiveRun {
+    sim::EventCounts events;
+    uint64_t spawns = 0;
+};
+
+LiveRun
+RunLive(core::WorkloadId id)
+{
+    const core::RunConfig config = ConfigFor(id);
+    workload::WorkloadSpec spec = core::SpecFor(config);
+    const uint32_t slice_refs = spec.slice_refs;
+    core::SpurSystem system(sim::MachineConfig::Prototype(8),
+                            policy::DirtyPolicyKind::kSpur,
+                            policy::RefPolicyKind::kMiss);
+    workload::Driver driver(system, std::move(spec), kRefs, kSeed,
+                            slice_refs);
+    driver.Run();
+    return LiveRun{system.events(), driver.NumSpawns()};
+}
+
+TEST(ScenarioLibraryTest, EveryScenarioRecordsDeterministically)
+{
+    // Same seed, same bytes — the property --record-trace leans on.
+    for (const core::WorkloadId id : core::kScenarioLibrary) {
+        const std::string first = RecordStream(id);
+        const std::string second = RecordStream(id);
+        EXPECT_EQ(first, second) << core::ToString(id);
+
+        // And the digest inside the E frame names the stream uniquely
+        // per scenario (different scripts, different bytes).
+        EXPECT_NE(first.find("\"digest\""), std::string::npos);
+    }
+}
+
+TEST(ScenarioLibraryTest, ScenarioStreamsDifferAcrossScenarios)
+{
+    std::set<std::string> bytes;
+    for (const core::WorkloadId id : core::kScenarioLibrary) {
+        EXPECT_TRUE(bytes.insert(RecordStream(id)).second)
+            << core::ToString(id) << " duplicates another scenario";
+    }
+}
+
+TEST(ScenarioLibraryTest, CtxSwitchScenarioIsContextSwitchDominated)
+{
+    const LiveRun base = RunLive(core::WorkloadId::kWorkload1);
+    const LiveRun ctx = RunLive(core::WorkloadId::kCtxSwitch);
+    const uint64_t base_switches =
+        base.events.Get(sim::Event::kContextSwitch);
+    const uint64_t ctx_switches =
+        ctx.events.Get(sim::Event::kContextSwitch);
+    // The short quantum (WorkloadSpec::slice_refs) must put the switch
+    // rate far above the paper's WORKLOAD1 at the same budget.
+    EXPECT_GT(ctx_switches, 5 * base_switches);
+}
+
+TEST(ScenarioLibraryTest, FlushStormScenarioFlushesPagesInBursts)
+{
+    const LiveRun base = RunLive(core::WorkloadId::kWorkload1);
+    const LiveRun storm = RunLive(core::WorkloadId::kFlushStorm);
+    // Short-lived dirty writers exiting means page teardown — whole-
+    // page flush operations — far beyond the steady CAD-developer load.
+    EXPECT_GT(storm.events.Get(sim::Event::kPageFlush),
+              3 * base.events.Get(sim::Event::kPageFlush));
+}
+
+TEST(ScenarioLibraryTest, ServerChurnScenarioChurnsAddressSpaces)
+{
+    const LiveRun base = RunLive(core::WorkloadId::kWorkload1);
+    const LiveRun churn = RunLive(core::WorkloadId::kServerChurn);
+    // Handler respawn is the steady state: more spawns than WORKLOAD1
+    // and at least one full respawn wave past the initial job list.
+    EXPECT_GT(churn.spawns, base.spawns);
+    EXPECT_GE(churn.spawns, 16u);
+    // Teardown of those address spaces shows up as page flushes too.
+    EXPECT_GT(churn.events.Get(sim::Event::kPageFlush),
+              3 * base.events.Get(sim::Event::kPageFlush));
+}
+
+TEST(ScenarioLibraryTest, GcSweepScenarioWalksAPagingScaleHeap)
+{
+    const LiveRun base = RunLive(core::WorkloadId::kWorkload1);
+    const LiveRun gc = RunLive(core::WorkloadId::kGcSweep);
+    // The heap exceeds memory: the linear sweep pages, and its write-
+    // back of survivors pages out dirty — which WORKLOAD1 never does
+    // at this budget.
+    EXPECT_GT(gc.events.Get(sim::Event::kPageIn),
+              2 * base.events.Get(sim::Event::kPageIn));
+    EXPECT_GT(gc.events.Get(sim::Event::kPageOutDirty), 0u);
+    // And the allocation front keeps producing zero-fill pages.
+    EXPECT_GT(gc.events.Get(sim::Event::kZeroFill),
+              base.events.Get(sim::Event::kZeroFill));
+}
+
+TEST(ScenarioLibraryTest, GcSweepTouchesALargeWorkingSet)
+{
+    // Count distinct (pid, page) pairs through a tracking host: the
+    // GC image alone maps ~1700 heap pages and the sweep visits them.
+    class PageTrackingHost : public workload::WorkloadHost
+    {
+      public:
+        explicit PageTrackingHost(const sim::MachineConfig& config)
+            : config_(config)
+        {
+        }
+        Pid CreateProcess() override { return next_pid_++; }
+        void DestroyProcess(Pid) override {}
+        void MapRegion(Pid, ProcessAddr, uint64_t, vm::PageKind) override
+        {
+        }
+        void ShareSegment(Pid, unsigned, Pid, unsigned) override {}
+        void Access(const MemRef& ref) override
+        {
+            if (pages_
+                    .insert((static_cast<uint64_t>(ref.pid) << 32) |
+                            (ref.addr / config_.page_bytes))
+                    .second) {
+                ++per_pid_[ref.pid];
+            }
+        }
+        void OnContextSwitch() override {}
+        const sim::MachineConfig& config() const override
+        {
+            return config_;
+        }
+        /** Distinct pages of the single widest process. */
+        size_t widest_working_set() const
+        {
+            size_t widest = 0;
+            for (const auto& [pid, pages] : per_pid_) {
+                widest = std::max(widest, pages);
+            }
+            return widest;
+        }
+
+      private:
+        sim::MachineConfig config_;
+        Pid next_pid_ = 1;
+        std::set<uint64_t> pages_;
+        std::map<Pid, size_t> per_pid_;
+    };
+
+    const auto distinct = [](core::WorkloadId id) {
+        const core::RunConfig config = ConfigFor(id);
+        workload::WorkloadSpec spec = core::SpecFor(config);
+        const uint32_t slice_refs = spec.slice_refs;
+        PageTrackingHost host(sim::MachineConfig::Prototype(8));
+        workload::Driver driver(host, std::move(spec), kRefs, kSeed,
+                                slice_refs);
+        driver.Run();
+        return host.widest_working_set();
+    };
+    const size_t gc_pages = distinct(core::WorkloadId::kGcSweep);
+    const size_t ctx_pages = distinct(core::WorkloadId::kCtxSwitch);
+    // The 8 MB machine holds 2048 frames; the GC image's working set
+    // must be paging-scale (well past half of memory) while the
+    // interactive mix is built from small processes.
+    EXPECT_GT(gc_pages, size_t{1200});
+    EXPECT_GT(gc_pages, 4 * ctx_pages);
+}
+
+// ---- Registration (RealTreeIsClean-style) -----------------------------
+
+std::string
+ReadSource(const std::string& relative)
+{
+    const std::string path =
+        std::string(SPUR_SOURCE_ROOT) + "/" + relative;
+    std::ifstream in(path);
+    EXPECT_TRUE(in.is_open()) << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+TEST(ScenarioLibraryTest, EveryScenarioIsRegisteredEverywhere)
+{
+    const std::string run_all = ReadSource("bench/run_all.sh");
+    const std::vector<std::string> benches = {
+        "bench/ablation_policy_variants.cc",
+        "bench/table_3_4_dirty_overhead.cc",
+        "bench/table_3_5_pageout.cc",
+    };
+    // run_all.sh names every scenario and passes --scenarios through.
+    for (const core::WorkloadId id : core::kScenarioLibrary) {
+        EXPECT_NE(run_all.find(core::ToString(id)), std::string::npos)
+            << "bench/run_all.sh does not mention "
+            << core::ToString(id);
+    }
+    EXPECT_NE(run_all.find("--scenarios"), std::string::npos);
+
+    // Each scenario bench iterates the library (not a hand list that
+    // could silently miss a new scenario) and takes the flag.
+    for (const std::string& bench : benches) {
+        const std::string source = ReadSource(bench);
+        EXPECT_NE(source.find("kScenarioLibrary"), std::string::npos)
+            << bench << " does not iterate core::kScenarioLibrary";
+        EXPECT_NE(source.find("scenarios"), std::string::npos) << bench;
+        EXPECT_NE(run_all.find(bench.substr(std::string("bench/").size(),
+                                            bench.size() - 9)),
+                  std::string::npos)
+            << bench << " missing from run_all.sh SCENARIO_BENCHES";
+    }
+}
+
+}  // namespace
+}  // namespace spur
